@@ -1,0 +1,72 @@
+// The paper's Listings 1-4 in one runnable tour: a procedural accumulation
+// loop (Listing 1) is unrolled and SSA-transformed (Listing 2, with enable
+// conditions), and the generated Verilog shows why source-level debugging
+// beats reading the RTL (Listings 3/4's point).
+//
+// Run: build/examples/ssa_listing
+#include <iostream>
+
+#include "frontend/compile.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "netlist/verilog.h"
+#include "symbols/symbol_table.h"
+
+using namespace hgdb;
+
+// Listing 1, written in the IR text format with explicit source locators
+// (listing.cc line numbers match the paper's listing):
+//
+//   1  int sum = 0;
+//   2  for (int i = 0; i < 2; i++) {
+//   3    if (data[i] % 2)
+//   4      sum += data[i];
+//   5  }
+constexpr const char* kListing1 = R"(circuit Listing
+  module Listing
+    input data : UInt<8>[2]
+    output out : UInt<8>
+    wire sum : UInt<8> @[listing.cc 1 1]
+    connect sum = UInt<8>(0) @[listing.cc 1 5]
+    for i = 0 to 2 @[listing.cc 2 1]
+      when neq(rem(data[i], UInt<8>(2)), UInt<8>(0)) @[listing.cc 3 3]
+        connect sum = add(sum, data[i]) @[listing.cc 4 5]
+      end
+    end
+    connect out = sum @[listing.cc 6 1]
+  end
+end
+)";
+
+int main() {
+  std::cout << "==== Listing 1 (High IR, procedural loop) ====\n";
+  auto high = ir::parse_circuit(kListing1);
+  std::cout << ir::print_circuit(*high);
+
+  frontend::CompileOptions options;
+  options.debug_mode = true;
+  auto compiled = frontend::compile(ir::parse_circuit(kListing1), options);
+
+  std::cout << "\n==== Listing 2 (Low IR after unrolling + SSA) ====\n";
+  std::cout << ir::print_circuit(*compiled.circuit);
+
+  std::cout << "\n==== Emulated breakpoints for source line 4 ====\n";
+  symbols::MemorySymbolTable table(compiled.symbols);
+  for (const auto& bp : table.breakpoints_at("listing.cc", 4)) {
+    std::cout << "breakpoint " << bp.id << " @ listing.cc:" << bp.line_num
+              << "   enable: " << bp.enable << "\n";
+    for (const auto& variable : table.scope_variables(bp.id)) {
+      std::cout << "    scope " << variable.name << " -> "
+                << (variable.is_rtl ? "RTL signal " : "constant ")
+                << variable.value << "\n";
+    }
+  }
+  std::cout << "(one source line, two breakpoints, two enable conditions --\n"
+               " the paper's \"Multiple line-mapping after SSA transform\")\n";
+
+  std::cout << "\n==== Listing 4's point: the generated Verilog ====\n";
+  std::cout << netlist::emit_verilog(*compiled.circuit);
+  std::cout << "\nWould you rather debug that, or set a breakpoint on "
+               "listing.cc:4?\n";
+  return 0;
+}

@@ -1,0 +1,43 @@
+#ifndef HGDB_COMMON_SOURCE_LOC_H
+#define HGDB_COMMON_SOURCE_LOC_H
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+
+namespace hgdb::common {
+
+/// A generator-source location: which file/line/column of the *generator
+/// program* produced an IR node.
+///
+/// This is the analogue of Chisel storing Scala filenames and line numbers
+/// inside FIRRTL (paper Sec. 4.1). The frontend eDSL captures locations from
+/// the host C++ program; the IR parser fills them from `@[file line col]`
+/// annotations; passes must preserve them so SymbolExtraction can emit
+/// breakpoints.
+struct SourceLoc {
+  std::string filename;  ///< empty means "unknown / synthesized node"
+  uint32_t line = 0;
+  uint32_t column = 0;
+
+  [[nodiscard]] bool valid() const { return !filename.empty() && line != 0; }
+
+  /// Lexical order: by filename, then line, then column. This is the
+  /// "absolute ordering of every potential breakpoint" the paper's Fig. 2
+  /// scheduler precomputes.
+  [[nodiscard]] auto tie() const { return std::tie(filename, line, column); }
+  bool operator==(const SourceLoc& rhs) const { return tie() == rhs.tie(); }
+  bool operator!=(const SourceLoc& rhs) const { return !(*this == rhs); }
+  bool operator<(const SourceLoc& rhs) const { return tie() < rhs.tie(); }
+
+  [[nodiscard]] std::string str() const {
+    if (!valid()) return "<unknown>";
+    std::string out = filename + ":" + std::to_string(line);
+    if (column != 0) out += ":" + std::to_string(column);
+    return out;
+  }
+};
+
+}  // namespace hgdb::common
+
+#endif  // HGDB_COMMON_SOURCE_LOC_H

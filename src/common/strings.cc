@@ -1,0 +1,66 @@
+#include "common/strings.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace hgdb::common {
+
+std::vector<std::string> split(std::string_view text, char delimiter) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = text.find(delimiter, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      return out;
+    }
+    out.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view delimiter) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += delimiter;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) --end;
+  return text.substr(begin, end - begin);
+}
+
+size_t longest_common_substring(std::string_view a, std::string_view b) {
+  if (a.empty() || b.empty()) return 0;
+  // Rolling 1-D dynamic program: O(|a|*|b|) time, O(|b|) space.
+  std::vector<size_t> previous(b.size() + 1, 0);
+  std::vector<size_t> current(b.size() + 1, 0);
+  size_t best = 0;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    for (size_t j = 1; j <= b.size(); ++j) {
+      if (a[i - 1] == b[j - 1]) {
+        current[j] = previous[j - 1] + 1;
+        best = std::max(best, current[j]);
+      } else {
+        current[j] = 0;
+      }
+    }
+    std::swap(previous, current);
+  }
+  return best;
+}
+
+bool ends_with_path(std::string_view name, std::string_view suffix) {
+  if (suffix.empty() || suffix.size() > name.size()) return false;
+  if (name.substr(name.size() - suffix.size()) != suffix) return false;
+  if (name.size() == suffix.size()) return true;
+  return name[name.size() - suffix.size() - 1] == '.';
+}
+
+}  // namespace hgdb::common

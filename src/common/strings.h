@@ -1,0 +1,30 @@
+#ifndef HGDB_COMMON_STRINGS_H
+#define HGDB_COMMON_STRINGS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hgdb::common {
+
+/// Splits on a single-character delimiter; keeps empty tokens.
+std::vector<std::string> split(std::string_view text, char delimiter);
+
+/// Joins with a delimiter.
+std::string join(const std::vector<std::string>& parts, std::string_view delimiter);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+/// Length of the longest common substring. The paper (Sec. 3.3) uses common
+/// substring matching to map symbol-table instance names onto the design
+/// hierarchy found in VCD traces, which carry no definition info.
+size_t longest_common_substring(std::string_view a, std::string_view b);
+
+/// True when `name` ends with the dotted suffix `suffix` on a path-component
+/// boundary, e.g. "tb.dut.core.alu" ends with "core.alu" but not "re.alu".
+bool ends_with_path(std::string_view name, std::string_view suffix);
+
+}  // namespace hgdb::common
+
+#endif  // HGDB_COMMON_STRINGS_H

@@ -1,0 +1,224 @@
+// hgdb-cli: the gdb-inspired interactive debugger from the paper's
+// Sec. 3.5, driving one of the Fig. 5 workloads under the native RTL
+// simulator. The debugger talks to the runtime over the same RPC protocol
+// an IDE would use; the simulation runs on a background thread like a
+// live simulator process.
+//
+// Usage: hgdb-cli <workload> [--optimized] [--cycles N]
+//   workload: multiply | mm | mt-matmul | vvadd | qsort | dhrystone |
+//             median | towers | spmv | mt-vvadd | fpu
+#include <atomic>
+#include <iostream>
+#include <sstream>
+#include <thread>
+
+#include "debugger/client.h"
+#include "frontend/compile.h"
+#include "runtime/runtime.h"
+#include "sim/simulator.h"
+#include "symbols/symbol_table.h"
+#include "vpi/native_backend.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace hgdb;
+
+void print_json(const common::Json& value, int indent) {
+  const std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  if (value.is_object()) {
+    for (const auto& [key, child] : value.as_object()) {
+      if (child.is_object()) {
+        std::cout << pad << key << ":\n";
+        print_json(child, indent + 1);
+      } else {
+        std::cout << pad << key << " = " << (child.is_string()
+                                                 ? child.as_string()
+                                                 : child.dump())
+                  << "\n";
+      }
+    }
+  } else {
+    std::cout << pad << value.dump() << "\n";
+  }
+}
+
+void print_stop(const rpc::StopEvent& stop) {
+  std::cout << "stopped at time " << stop.time << ", " << stop.frames.size()
+            << " thread(s)\n";
+  for (size_t i = 0; i < stop.frames.size(); ++i) {
+    const auto& frame = stop.frames[i];
+    std::cout << "  [" << i << "] " << frame.instance_name << " at "
+              << frame.filename << ":" << frame.line << " (bp "
+              << frame.breakpoint_id << ")\n";
+    if (!frame.locals.as_object().empty()) {
+      std::cout << "    locals:\n";
+      print_json(frame.locals, 3);
+    }
+  }
+}
+
+int run_cli(const std::string& name, bool debug_mode, uint64_t cycles) {
+  // Build + compile the requested design.
+  std::unique_ptr<ir::Circuit> circuit;
+  if (name == "fpu") {
+    circuit = workloads::build_fpu_compare(/*with_bug=*/true);
+  } else {
+    circuit = workloads::workload(name).build();
+  }
+  frontend::CompileOptions options;
+  options.debug_mode = debug_mode;
+  auto compiled = frontend::compile(std::move(circuit), options);
+  symbols::MemorySymbolTable table(compiled.symbols);
+  std::cout << "compiled '" << name << "' (" << (debug_mode ? "debug" : "optimized")
+            << "): " << compiled.netlist.signals().size() << " signals, "
+            << table.data().breakpoints.size() << " breakpoints\n";
+
+  sim::Simulator simulator(compiled.netlist);
+  simulator.enable_checkpoints(true);
+  vpi::NativeBackend backend(simulator);
+  runtime::Runtime runtime(backend, table);
+  runtime.attach();
+
+  auto [client_channel, server_channel] = rpc::make_channel_pair();
+  runtime.serve(std::move(server_channel));
+  debugger::DebugClient client(std::move(client_channel));
+
+  std::atomic<bool> done{false};
+  std::thread sim_thread([&] {
+    while (simulator.cycle() < cycles) simulator.tick();
+    done.store(true);
+  });
+
+  std::cout << "type 'help' for commands; simulation is running\n";
+  std::optional<rpc::StopEvent> current_stop;
+  std::string line;
+  while (std::cout << "(hgdb) " << std::flush, std::getline(std::cin, line)) {
+    std::istringstream input(line);
+    std::string command;
+    input >> command;
+    if (command.empty()) continue;
+    try {
+      if (command == "help") {
+        std::cout << "b <file>:<line> [cond]  set breakpoint\n"
+                     "d <file>:<line>         delete breakpoint\n"
+                     "l <file>                list breakpoint lines\n"
+                     "c / s / rs / rc         continue / step / reverse-step /"
+                     " reverse-continue\n"
+                     "wait                    wait for the next stop\n"
+                     "p <expr>                evaluate in current frame\n"
+                     "frames                  show last stop\n"
+                     "info / files            runtime info / source files\n"
+                     "q                       quit\n";
+      } else if (command == "b" || command == "d") {
+        std::string location;
+        input >> location;
+        const size_t colon = location.rfind(':');
+        if (colon == std::string::npos) {
+          std::cout << "expected <file>:<line>\n";
+          continue;
+        }
+        const std::string file = location.substr(0, colon);
+        const uint32_t line_number =
+            static_cast<uint32_t>(std::stoul(location.substr(colon + 1)));
+        if (command == "b") {
+          std::string condition;
+          std::getline(input, condition);
+          auto ids = client.set_breakpoint(file, line_number, condition);
+          if (ids.empty()) {
+            std::cout << "error: " << client.last_error() << "\n";
+          } else {
+            std::cout << "inserted " << ids.size() << " breakpoint(s)\n";
+          }
+        } else {
+          std::cout << "removed " << client.remove_breakpoint(file, line_number)
+                    << " breakpoint(s)\n";
+        }
+      } else if (command == "l") {
+        std::string file;
+        input >> file;
+        auto list = client.list_locations(file);
+        for (const auto& entry : list.as_array()) {
+          std::cout << "  " << entry.get_string("filename") << ":"
+                    << entry.get_int("line") << " [" << entry.get_string("instance")
+                    << "]\n";
+        }
+      } else if (command == "c" || command == "s" || command == "rs" ||
+                 command == "rc" || command == "wait") {
+        bool ok = true;
+        if (command == "c") ok = client.resume();
+        if (command == "s") ok = client.step_over();
+        if (command == "rs") ok = client.step_back();
+        if (command == "rc") ok = client.reverse_resume();
+        if (!ok && command != "wait") {
+          // Not stopped yet (e.g. first 'c' after setting breakpoints).
+          std::cout << "(simulation running)\n";
+        }
+        current_stop = client.wait_stop(std::chrono::milliseconds(2000));
+        if (current_stop) {
+          print_stop(*current_stop);
+        } else if (done.load()) {
+          std::cout << "simulation finished (" << cycles << " cycles)\n";
+        } else {
+          std::cout << "(no stop within 2s; still running)\n";
+        }
+      } else if (command == "p") {
+        std::string expression;
+        std::getline(input, expression);
+        std::optional<int64_t> scope;
+        if (current_stop && !current_stop->frames.empty()) {
+          scope = current_stop->frames[0].breakpoint_id;
+        }
+        auto result = client.evaluate(expression, scope);
+        if (result) {
+          std::cout << "= " << *result << "\n";
+        } else {
+          std::cout << "error: " << client.last_error() << "\n";
+        }
+      } else if (command == "frames") {
+        if (current_stop) print_stop(*current_stop);
+      } else if (command == "info") {
+        print_json(client.info(), 1);
+      } else if (command == "files") {
+        for (const auto& file : client.info()["files"].as_array()) {
+          std::cout << "  " << file.as_string() << "\n";
+        }
+      } else if (command == "q" || command == "quit") {
+        break;
+      } else {
+        std::cout << "unknown command '" << command << "' (try 'help')\n";
+      }
+    } catch (const std::exception& error) {
+      std::cout << "error: " << error.what() << "\n";
+    }
+  }
+
+  client.detach();
+  sim_thread.join();
+  runtime.stop_service();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string name = "vvadd";
+  bool debug_mode = true;
+  uint64_t cycles = 1u << 20;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--optimized") {
+      debug_mode = false;
+    } else if (arg == "--cycles" && i + 1 < argc) {
+      cycles = std::stoull(argv[++i]);
+    } else {
+      name = arg;
+    }
+  }
+  try {
+    return run_cli(name, debug_mode, cycles);
+  } catch (const std::exception& error) {
+    std::cerr << "fatal: " << error.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,134 @@
+#include "debugger/client.h"
+
+#include <stdexcept>
+
+namespace hgdb::debugger {
+
+using common::Json;
+using rpc::CommandRequest;
+using rpc::Request;
+
+DebugClient::DebugClient(std::unique_ptr<rpc::Channel> channel)
+    : channel_(std::move(channel)) {}
+
+rpc::GenericResponse DebugClient::transact(Request request) {
+  request.token = next_token_++;
+  channel_->send(rpc::serialize_request(request));
+  while (true) {
+    auto message = channel_->receive();
+    if (!message) {
+      throw std::runtime_error("debug channel closed");
+    }
+    auto server_message = rpc::parse_server_message(*message);
+    if (server_message.kind == rpc::ServerMessage::Kind::Stop) {
+      stops_.push_back(std::move(server_message.stop));
+      continue;
+    }
+    if (server_message.generic.token == request.token) {
+      if (!server_message.generic.success) {
+        last_error_ = server_message.generic.reason;
+      }
+      return std::move(server_message.generic);
+    }
+    // Response to an older request: drop.
+  }
+}
+
+std::vector<int64_t> DebugClient::set_breakpoint(const std::string& filename,
+                                                 uint32_t line,
+                                                 const std::string& condition) {
+  Request request;
+  request.kind = Request::Kind::Breakpoint;
+  request.breakpoint.action = rpc::BreakpointRequest::Action::Add;
+  request.breakpoint.filename = filename;
+  request.breakpoint.line = line;
+  request.breakpoint.condition = condition;
+  auto response = transact(std::move(request));
+  std::vector<int64_t> ids;
+  if (response.success && response.payload.contains("ids")) {
+    for (const auto& id : response.payload["ids"].as_array()) {
+      ids.push_back(id.as_int());
+    }
+  }
+  return ids;
+}
+
+size_t DebugClient::remove_breakpoint(const std::string& filename,
+                                      uint32_t line) {
+  Request request;
+  request.kind = Request::Kind::Breakpoint;
+  request.breakpoint.action = rpc::BreakpointRequest::Action::Remove;
+  request.breakpoint.filename = filename;
+  request.breakpoint.line = line;
+  auto response = transact(std::move(request));
+  return static_cast<size_t>(response.payload.get_int("removed"));
+}
+
+Json DebugClient::list_locations(const std::string& filename, uint32_t line) {
+  Request request;
+  request.kind = Request::Kind::BpLocation;
+  request.bp_location.filename = filename;
+  request.bp_location.line = line;
+  auto response = transact(std::move(request));
+  if (auto list = response.payload.get("breakpoints")) return list->get();
+  return Json::array();
+}
+
+bool DebugClient::send_command(CommandRequest::Command command, uint64_t time) {
+  Request request;
+  request.kind = Request::Kind::Command;
+  request.command.command = command;
+  request.command.time = time;
+  return transact(std::move(request)).success;
+}
+
+bool DebugClient::resume() { return send_command(CommandRequest::Command::Continue); }
+bool DebugClient::step_over() { return send_command(CommandRequest::Command::StepOver); }
+bool DebugClient::step_back() { return send_command(CommandRequest::Command::StepBack); }
+bool DebugClient::reverse_resume() {
+  return send_command(CommandRequest::Command::ReverseContinue);
+}
+bool DebugClient::pause() { return send_command(CommandRequest::Command::Pause); }
+bool DebugClient::jump(uint64_t time) {
+  return send_command(CommandRequest::Command::Jump, time);
+}
+bool DebugClient::detach() { return send_command(CommandRequest::Command::Detach); }
+
+std::optional<rpc::StopEvent> DebugClient::wait_stop(
+    std::optional<std::chrono::milliseconds> timeout) {
+  if (!stops_.empty()) {
+    auto stop = std::move(stops_.front());
+    stops_.pop_front();
+    return stop;
+  }
+  while (true) {
+    auto message = channel_->receive(timeout);
+    if (!message) return std::nullopt;
+    auto server_message = rpc::parse_server_message(*message);
+    if (server_message.kind == rpc::ServerMessage::Kind::Stop) {
+      return std::move(server_message.stop);
+    }
+    // Stray response (e.g. after a timeout race): ignore.
+  }
+}
+
+std::optional<std::string> DebugClient::evaluate(
+    const std::string& expression, std::optional<int64_t> breakpoint_id,
+    const std::string& instance) {
+  Request request;
+  request.kind = Request::Kind::Evaluation;
+  request.evaluation.expression = expression;
+  request.evaluation.breakpoint_id = breakpoint_id;
+  request.evaluation.instance_name = instance;
+  auto response = transact(std::move(request));
+  if (!response.success) return std::nullopt;
+  return response.payload.get_string("result");
+}
+
+Json DebugClient::info() {
+  Request request;
+  request.kind = Request::Kind::DebuggerInfo;
+  return transact(std::move(request)).payload;
+}
+
+}  // namespace hgdb::debugger

@@ -1,0 +1,68 @@
+#ifndef HGDB_DEBUGGER_CLIENT_H
+#define HGDB_DEBUGGER_CLIENT_H
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rpc/channel.h"
+#include "rpc/protocol.h"
+
+namespace hgdb::debugger {
+
+/// Synchronous debugger client speaking the JSON debug protocol over any
+/// rpc::Channel (in-process pair, or TCP to a remote runtime). This is the
+/// programmatic equivalent of the paper's gdb-like debugger; the VSCode
+/// extension in the paper speaks the same protocol.
+///
+/// Stop events arriving while a request is in flight are queued and
+/// surfaced through wait_stop().
+class DebugClient {
+ public:
+  explicit DebugClient(std::unique_ptr<rpc::Channel> channel);
+
+  // -- breakpoints --------------------------------------------------------------
+  /// Returns the inserted breakpoint ids (empty + error reason on failure).
+  std::vector<int64_t> set_breakpoint(const std::string& filename, uint32_t line,
+                                      const std::string& condition = "");
+  size_t remove_breakpoint(const std::string& filename, uint32_t line);
+  /// Lists symbol breakpoints at a location (line 0 = whole file).
+  common::Json list_locations(const std::string& filename, uint32_t line = 0);
+
+  // -- execution control ---------------------------------------------------------
+  bool resume();            ///< continue
+  bool step_over();
+  bool step_back();
+  bool reverse_resume();    ///< reverse-continue
+  bool pause();
+  bool jump(uint64_t time);
+  bool detach();
+
+  // -- inspection ------------------------------------------------------------------
+  /// Blocks until the next stop event (or timeout).
+  std::optional<rpc::StopEvent> wait_stop(
+      std::optional<std::chrono::milliseconds> timeout = std::nullopt);
+  /// Evaluates an expression in a breakpoint frame or instance scope.
+  std::optional<std::string> evaluate(const std::string& expression,
+                                      std::optional<int64_t> breakpoint_id,
+                                      const std::string& instance = "");
+  common::Json info();
+
+  /// Reason of the last failed request.
+  [[nodiscard]] const std::string& last_error() const { return last_error_; }
+
+ private:
+  rpc::GenericResponse transact(rpc::Request request);
+  bool send_command(rpc::CommandRequest::Command command, uint64_t time = 0);
+
+  std::unique_ptr<rpc::Channel> channel_;
+  std::deque<rpc::StopEvent> stops_;
+  int64_t next_token_ = 1;
+  std::string last_error_;
+};
+
+}  // namespace hgdb::debugger
+
+#endif  // HGDB_DEBUGGER_CLIENT_H

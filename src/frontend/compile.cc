@@ -1,0 +1,34 @@
+#include "frontend/compile.h"
+
+#include "passes/pass.h"
+#include "passes/symbol_extract.h"
+
+namespace hgdb::frontend {
+
+CompileResult compile(std::unique_ptr<ir::Circuit> circuit,
+                      const CompileOptions& options) {
+  passes::check_form(*circuit, ir::Form::High);
+
+  passes::PassManager manager;
+  manager.add(passes::create_unroll_loops_pass());
+  manager.add(passes::create_lower_aggregates_pass());
+  manager.add(passes::create_ssa_pass());
+  if (options.debug_mode) {
+    manager.add(passes::create_insert_dont_touch_pass());
+  }
+  if (options.optimize) {
+    manager.add(passes::create_const_prop_pass());
+    manager.add(passes::create_cse_pass());
+    manager.add(passes::create_dce_pass());
+  }
+  manager.run(*circuit);
+
+  CompileResult result;
+  result.symbols = passes::extract_symbol_table(*circuit);
+  result.netlist = netlist::elaborate(*circuit);
+  result.pass_order = manager.executed();
+  result.circuit = std::move(circuit);
+  return result;
+}
+
+}  // namespace hgdb::frontend

@@ -1,0 +1,41 @@
+#ifndef HGDB_FRONTEND_COMPILE_H
+#define HGDB_FRONTEND_COMPILE_H
+
+#include <memory>
+#include <string>
+
+#include "ir/circuit.h"
+#include "netlist/netlist.h"
+#include "symbols/schema.h"
+
+namespace hgdb::frontend {
+
+/// Compiler pipeline configuration, mirroring the paper's two build modes
+/// (Sec. 4.1/4.3):
+///  - optimized ("baseline"): const-prop + CSE + DCE shrink the design and
+///    the symbol table, like a software -O2 build;
+///  - debug: DontTouchAnnotation pins every breakpointable node, bloating
+///    the RTL and the symbol table (~30% in the paper) but keeping every
+///    source statement debuggable, like -O0.
+struct CompileOptions {
+  bool debug_mode = false;  ///< insert DontTouch on breakpointable nodes
+  bool optimize = true;     ///< run const-prop / CSE / DCE
+};
+
+struct CompileResult {
+  std::unique_ptr<ir::Circuit> circuit;  ///< Low form, post-pipeline
+  symbols::SymbolTableData symbols;      ///< Algorithm 1 output
+  netlist::Netlist netlist;              ///< elaborated, simulation-ready
+  std::vector<std::string> pass_order;   ///< executed pass names
+};
+
+/// Runs the full pipeline: check(High) -> unroll-loops -> lower-aggregates
+/// -> SSA (-> insert-dont-touch) (-> const-prop -> cse -> dce) ->
+/// symbol extraction -> netlist elaboration.
+/// Throws std::runtime_error on malformed input.
+CompileResult compile(std::unique_ptr<ir::Circuit> circuit,
+                      const CompileOptions& options = {});
+
+}  // namespace hgdb::frontend
+
+#endif  // HGDB_FRONTEND_COMPILE_H

@@ -1,0 +1,66 @@
+#include "frontend/components.h"
+
+#include <stdexcept>
+
+namespace hgdb::frontend {
+
+namespace {
+
+/// XNOR-LFSR tap positions for common widths (maximal-length where listed;
+/// otherwise a serviceable default for stimulus generation).
+std::vector<uint32_t> taps_for(uint32_t width) {
+  switch (width) {
+    case 8: return {7, 5, 4, 3};
+    case 16: return {15, 14, 12, 3};
+    case 24: return {23, 22, 21, 16};
+    case 32: return {31, 21, 1, 0};
+    default:
+      if (width < 2) throw std::invalid_argument("lfsr width must be >= 2");
+      return {width - 1, width / 2};
+  }
+}
+
+}  // namespace
+
+Value lfsr(ModuleBuilder& b, const std::string& name, uint32_t width,
+           const Value& clk) {
+  Value state = b.reg(name, width, clk, HGDB_LOC);
+  Value feedback;
+  for (uint32_t tap : taps_for(width)) {
+    Value bit = state.bit(tap);
+    feedback = feedback.valid() ? (feedback ^ bit) : bit;
+  }
+  feedback = ~feedback;  // XNOR form: all-zero state progresses
+  b.assign(state, state.shl(1) | feedback.pad(width), HGDB_LOC);
+  return state;
+}
+
+Value counter(ModuleBuilder& b, const std::string& name, uint32_t width,
+              const Value& clk) {
+  Value count = b.reg(name, width, clk, HGDB_LOC);
+  b.assign(count, count + b.lit(width, 1), HGDB_LOC);
+  return count;
+}
+
+Value adder_tree(ModuleBuilder& b, const std::vector<Value>& inputs) {
+  if (inputs.empty()) throw std::invalid_argument("adder_tree: no inputs");
+  std::vector<Value> level = inputs;
+  while (level.size() > 1) {
+    std::vector<Value> next;
+    next.reserve((level.size() + 1) / 2);
+    for (size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(level[i] + level[i + 1]);
+    }
+    if (level.size() % 2 != 0) next.push_back(level.back());
+    level = std::move(next);
+  }
+  (void)b;
+  return level.front();
+}
+
+std::pair<Value, Value> sort2(const Value& a, const Value& b) {
+  Value a_less = a < b;
+  return {mux(a_less, a, b), mux(a_less, b, a)};
+}
+
+}  // namespace hgdb::frontend

@@ -1,0 +1,32 @@
+#ifndef HGDB_FRONTEND_COMPONENTS_H
+#define HGDB_FRONTEND_COMPONENTS_H
+
+#include "frontend/dsl.h"
+
+namespace hgdb::frontend {
+
+/// Reusable generator components (the "library of generator components"
+/// any HGF ships). All are pure eDSL code: each instantiation elaborates
+/// fresh IR statements carrying this library's source locations — exactly
+/// the multi-instantiation pattern that makes generated RTL hard to debug
+/// and source mapping valuable.
+
+/// Free-running XNOR Galois LFSR register (progresses from the all-zero
+/// power-on state, so designs need no reset to self-stimulate).
+/// Returns the register Value; the step logic is emitted immediately.
+Value lfsr(ModuleBuilder& b, const std::string& name, uint32_t width,
+           const Value& clk);
+
+/// Free-running counter of `width` bits.
+Value counter(ModuleBuilder& b, const std::string& name, uint32_t width,
+              const Value& clk);
+
+/// Combinational adder tree over `inputs` (auto-padded); returns the sum.
+Value adder_tree(ModuleBuilder& b, const std::vector<Value>& inputs);
+
+/// Compare-and-exchange: returns {min, max} of two values (unsigned).
+std::pair<Value, Value> sort2(const Value& a, const Value& b);
+
+}  // namespace hgdb::frontend
+
+#endif  // HGDB_FRONTEND_COMPONENTS_H

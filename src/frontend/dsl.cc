@@ -1,0 +1,311 @@
+#include "frontend/dsl.h"
+
+#include <stdexcept>
+
+namespace hgdb::frontend {
+
+using namespace ir;
+
+// ---------------------------------------------------------------------------
+// Value operators
+// ---------------------------------------------------------------------------
+
+std::pair<ExprPtr, ExprPtr> balance(const Value& a, const Value& b) {
+  ExprPtr lhs = a.expr();
+  ExprPtr rhs = b.expr();
+  const uint32_t width = std::max(lhs->width(), rhs->width());
+  return {make_pad(std::move(lhs), width), make_pad(std::move(rhs), width)};
+}
+
+namespace {
+
+Value binary(PrimOp op, const Value& a, const Value& b) {
+  auto [lhs, rhs] = balance(a, b);
+  return Value(make_prim(op, {std::move(lhs), std::move(rhs)}), a.builder());
+}
+
+Value as_bool(const Value& v) {
+  if (v.width() == 1) return v;
+  return v.reduce_or();
+}
+
+}  // namespace
+
+Value Value::operator+(const Value& rhs) const { return binary(PrimOp::Add, *this, rhs); }
+Value Value::operator-(const Value& rhs) const { return binary(PrimOp::Sub, *this, rhs); }
+Value Value::operator*(const Value& rhs) const { return binary(PrimOp::Mul, *this, rhs); }
+Value Value::operator/(const Value& rhs) const { return binary(PrimOp::Div, *this, rhs); }
+Value Value::operator%(const Value& rhs) const { return binary(PrimOp::Rem, *this, rhs); }
+Value Value::operator&(const Value& rhs) const { return binary(PrimOp::And, *this, rhs); }
+Value Value::operator|(const Value& rhs) const { return binary(PrimOp::Or, *this, rhs); }
+Value Value::operator^(const Value& rhs) const { return binary(PrimOp::Xor, *this, rhs); }
+Value Value::operator==(const Value& rhs) const { return binary(PrimOp::Eq, *this, rhs); }
+Value Value::operator!=(const Value& rhs) const { return binary(PrimOp::Neq, *this, rhs); }
+Value Value::operator<(const Value& rhs) const { return binary(PrimOp::Lt, *this, rhs); }
+Value Value::operator<=(const Value& rhs) const { return binary(PrimOp::Leq, *this, rhs); }
+Value Value::operator>(const Value& rhs) const { return binary(PrimOp::Gt, *this, rhs); }
+Value Value::operator>=(const Value& rhs) const { return binary(PrimOp::Geq, *this, rhs); }
+
+Value Value::operator~() const {
+  return Value(make_prim(PrimOp::Not, {expr_}), builder_);
+}
+
+Value Value::operator!() const {
+  return Value(make_prim(PrimOp::Not, {as_bool(*this).expr()}), builder_);
+}
+
+Value Value::operator&&(const Value& rhs) const {
+  return binary(PrimOp::And, as_bool(*this), as_bool(rhs));
+}
+
+Value Value::operator||(const Value& rhs) const {
+  return binary(PrimOp::Or, as_bool(*this), as_bool(rhs));
+}
+
+Value Value::shl(uint32_t amount) const {
+  return Value(make_prim(PrimOp::Shl, {expr_}, {amount}), builder_);
+}
+
+Value Value::shr(uint32_t amount) const {
+  return Value(make_prim(PrimOp::Shr, {expr_}, {amount}), builder_);
+}
+
+Value Value::shl(const Value& amount) const {
+  return Value(make_prim(PrimOp::Dshl, {expr_, amount.expr()}), builder_);
+}
+
+Value Value::shr(const Value& amount) const {
+  return Value(make_prim(PrimOp::Dshr, {expr_, amount.expr()}), builder_);
+}
+
+Value Value::slice(uint32_t hi, uint32_t lo) const {
+  return Value(make_prim(PrimOp::Bits, {expr_}, {hi, lo}), builder_);
+}
+
+Value Value::concat(const Value& low) const {
+  return Value(make_prim(PrimOp::Cat, {expr_, low.expr()}), builder_);
+}
+
+Value Value::pad(uint32_t width) const {
+  return Value(make_pad(expr_, width), builder_);
+}
+
+Value Value::reduce_or() const {
+  return Value(make_prim(PrimOp::OrR, {expr_}), builder_);
+}
+
+Value Value::reduce_and() const {
+  return Value(make_prim(PrimOp::AndR, {expr_}), builder_);
+}
+
+Value Value::reduce_xor() const {
+  return Value(make_prim(PrimOp::XorR, {expr_}), builder_);
+}
+
+Value Value::field(const std::string& name) const {
+  return Value(make_subfield(expr_, name), builder_);
+}
+
+Value Value::operator[](uint32_t index) const {
+  return Value(make_subindex(expr_, index), builder_);
+}
+
+Value Value::operator[](const Value& index) const {
+  return Value(make_subaccess(expr_, index.expr()), builder_);
+}
+
+Value mux(const Value& sel, const Value& then_value, const Value& else_value) {
+  if (then_value.expr()->type()->is_ground() &&
+      else_value.expr()->type()->is_ground()) {
+    auto [a, b] = balance(then_value, else_value);
+    return Value(make_mux(sel.expr(), std::move(a), std::move(b)),
+                 sel.builder());
+  }
+  return Value(make_mux(sel.expr(), then_value.expr(), else_value.expr()),
+               sel.builder());
+}
+
+// ---------------------------------------------------------------------------
+// Instance
+// ---------------------------------------------------------------------------
+
+Value Instance::port(const std::string& port_name) const {
+  std::vector<BundleField> fields;
+  for (const auto& p : module_->ports()) {
+    fields.push_back(
+        BundleField{p.name, p.type, p.direction == Direction::Output});
+  }
+  ExprPtr base = make_ref(name_, bundle_type(std::move(fields)));
+  return Value(make_subfield(std::move(base), port_name), builder_);
+}
+
+// ---------------------------------------------------------------------------
+// ModuleBuilder
+// ---------------------------------------------------------------------------
+
+ModuleBuilder::ModuleBuilder(Circuit& circuit, const std::string& name)
+    : circuit_(&circuit), name_(name), module_(std::make_unique<Module>(name)) {
+  block_stack_.push_back(&module_->body());
+}
+
+Module& ModuleBuilder::finish() {
+  if (finished_) throw std::logic_error("module '" + name_ + "' already finished");
+  finished_ = true;
+  return circuit_->add_module(std::move(module_));
+}
+
+void ModuleBuilder::push(StmtPtr stmt) { block_stack_.back()->push(std::move(stmt)); }
+
+TypePtr ModuleBuilder::lookup(const std::string& name) const {
+  TypePtr type = module_->lookup_type(name);
+  if (!type) throw std::invalid_argument("unknown name '" + name + "'");
+  return type;
+}
+
+Value ModuleBuilder::clock(const std::string& name) {
+  module_->add_port(Port{name, clock_type(), Direction::Input, {}});
+  return Value(make_ref(name, clock_type()), this);
+}
+
+Value ModuleBuilder::input(const std::string& name, uint32_t width,
+                           common::SourceLoc loc) {
+  return input_type(name, uint_type(width), std::move(loc));
+}
+
+Value ModuleBuilder::output(const std::string& name, uint32_t width,
+                            common::SourceLoc loc) {
+  return output_type(name, uint_type(width), std::move(loc));
+}
+
+Value ModuleBuilder::input_type(const std::string& name, TypePtr type,
+                                common::SourceLoc loc) {
+  module_->add_port(Port{name, type, Direction::Input, std::move(loc)});
+  return Value(make_ref(name, type), this);
+}
+
+Value ModuleBuilder::output_type(const std::string& name, TypePtr type,
+                                 common::SourceLoc loc) {
+  module_->add_port(Port{name, type, Direction::Output, std::move(loc)});
+  return Value(make_ref(name, type), this);
+}
+
+Value ModuleBuilder::wire(const std::string& name, uint32_t width,
+                          common::SourceLoc loc) {
+  return wire_type(name, uint_type(width), std::move(loc));
+}
+
+Value ModuleBuilder::wire_type(const std::string& name, TypePtr type,
+                               common::SourceLoc loc) {
+  auto stmt = std::make_unique<WireStmt>(name, type);
+  stmt->source_name = name;
+  stmt->loc = std::move(loc);
+  push(std::move(stmt));
+  return Value(make_ref(name, type), this);
+}
+
+Value ModuleBuilder::reg(const std::string& name, uint32_t width,
+                         const Value& clk, common::SourceLoc loc) {
+  return reg_type(name, uint_type(width), clk, std::move(loc));
+}
+
+Value ModuleBuilder::reg_type(const std::string& name, TypePtr type,
+                              const Value& clk, common::SourceLoc loc) {
+  const auto& clock_ref = static_cast<const RefExpr&>(*clk.expr());
+  auto stmt = std::make_unique<RegStmt>(name, type, clock_ref.name());
+  stmt->source_name = name;
+  stmt->loc = std::move(loc);
+  push(std::move(stmt));
+  return Value(make_ref(name, type), this);
+}
+
+Value ModuleBuilder::reg_init(const std::string& name, uint32_t width,
+                              const Value& clk, const Value& reset,
+                              uint64_t init, common::SourceLoc loc) {
+  const auto& clock_ref = static_cast<const RefExpr&>(*clk.expr());
+  auto stmt = std::make_unique<RegStmt>(name, uint_type(width),
+                                        clock_ref.name());
+  stmt->source_name = name;
+  stmt->loc = std::move(loc);
+  stmt->reset = reset.expr();
+  stmt->init = make_uint_literal(width, init);
+  push(std::move(stmt));
+  return Value(make_ref(name, uint_type(width)), this);
+}
+
+Value ModuleBuilder::node(const std::string& name, const Value& value,
+                          common::SourceLoc loc) {
+  auto stmt = std::make_unique<NodeStmt>(name, value.expr());
+  stmt->source_name = name;
+  stmt->loc = std::move(loc);
+  push(std::move(stmt));
+  return Value(make_ref(name, value.expr()->type()), this);
+}
+
+Value ModuleBuilder::lit(uint32_t width, uint64_t value) {
+  return Value(make_uint_literal(width, value), this);
+}
+
+void ModuleBuilder::assign(const Value& target, const Value& value,
+                           common::SourceLoc loc) {
+  auto stmt = std::make_unique<ConnectStmt>(target.expr(), value.expr());
+  stmt->loc = std::move(loc);
+  push(std::move(stmt));
+}
+
+void ModuleBuilder::when_(const Value& condition, common::SourceLoc loc,
+                          const std::function<void()>& then_body,
+                          const std::function<void()>& else_body) {
+  Value cond_bool =
+      condition.width() == 1 ? condition : condition.reduce_or();
+  auto stmt = std::make_unique<WhenStmt>(cond_bool.expr());
+  stmt->loc = std::move(loc);
+  WhenStmt* when = stmt.get();
+  push(std::move(stmt));
+
+  block_stack_.push_back(when->then_body.get());
+  then_body();
+  block_stack_.pop_back();
+
+  if (else_body) {
+    when->else_body = std::make_unique<BlockStmt>();
+    block_stack_.push_back(when->else_body.get());
+    else_body();
+    block_stack_.pop_back();
+  }
+}
+
+void ModuleBuilder::for_(const std::string& var, int64_t start, int64_t end,
+                         common::SourceLoc loc,
+                         const std::function<void(Value)>& body) {
+  if (end < start) throw std::invalid_argument("for_: end < start");
+  auto stmt = std::make_unique<ForStmt>(var, start, end);
+  stmt->loc = std::move(loc);
+  ForStmt* loop = stmt.get();
+  push(std::move(stmt));
+
+  // Loop-variable width: minimal bits holding end-1 (at least 1).
+  uint32_t width = 1;
+  const int64_t max_value = std::max<int64_t>(end - 1, 1);
+  while ((int64_t{1} << width) <= max_value && width < 63) ++width;
+  Value index(make_ref(var, uint_type(width)), this);
+
+  block_stack_.push_back(loop->body.get());
+  body(index);
+  block_stack_.pop_back();
+}
+
+Instance ModuleBuilder::instantiate(const std::string& instance_name,
+                                    const std::string& module_name,
+                                    common::SourceLoc loc) {
+  const Module* child = circuit_->module(module_name);
+  if (child == nullptr) {
+    throw std::invalid_argument("instantiate: unknown module '" + module_name +
+                                "' (declare children before parents)");
+  }
+  auto stmt = std::make_unique<InstanceStmt>(instance_name, module_name);
+  stmt->loc = std::move(loc);
+  push(std::move(stmt));
+  return Instance(instance_name, child, this);
+}
+
+}  // namespace hgdb::frontend

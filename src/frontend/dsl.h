@@ -1,0 +1,186 @@
+#ifndef HGDB_FRONTEND_DSL_H
+#define HGDB_FRONTEND_DSL_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/circuit.h"
+
+namespace hgdb::frontend {
+
+/// Captures the *generator* source location — the C++ analogue of Chisel
+/// recording Scala file/line into FIRRTL (paper Sec. 4.1). Pass to every
+/// statement-producing builder call; breakpoints resolve to these.
+#define HGDB_LOC                                                 \
+  ::hgdb::common::SourceLoc {                                    \
+    __FILE__, static_cast<uint32_t>(__LINE__), 0                 \
+  }
+
+class ModuleBuilder;
+
+/// A typed value handle inside a module under construction. Wraps an IR
+/// expression; operators auto-pad operands to the wider width so generator
+/// code reads naturally (the compiler inserts the explicit pads the IR
+/// requires).
+class Value {
+ public:
+  Value() = default;
+  Value(ir::ExprPtr expr, ModuleBuilder* builder)
+      : expr_(std::move(expr)), builder_(builder) {}
+
+  [[nodiscard]] bool valid() const { return expr_ != nullptr; }
+  [[nodiscard]] const ir::ExprPtr& expr() const { return expr_; }
+  [[nodiscard]] uint32_t width() const { return expr_->width(); }
+  [[nodiscard]] ModuleBuilder* builder() const { return builder_; }
+
+  // arithmetic / bitwise (width = max of operands, Verilog-style)
+  Value operator+(const Value& rhs) const;
+  Value operator-(const Value& rhs) const;
+  Value operator*(const Value& rhs) const;
+  Value operator/(const Value& rhs) const;
+  Value operator%(const Value& rhs) const;
+  Value operator&(const Value& rhs) const;
+  Value operator|(const Value& rhs) const;
+  Value operator^(const Value& rhs) const;
+  Value operator~() const;
+  Value operator!() const;
+  // comparisons (1-bit)
+  Value operator==(const Value& rhs) const;
+  Value operator!=(const Value& rhs) const;
+  Value operator<(const Value& rhs) const;
+  Value operator<=(const Value& rhs) const;
+  Value operator>(const Value& rhs) const;
+  Value operator>=(const Value& rhs) const;
+  Value operator&&(const Value& rhs) const;
+  Value operator||(const Value& rhs) const;
+  // shifts
+  [[nodiscard]] Value shl(uint32_t amount) const;
+  [[nodiscard]] Value shr(uint32_t amount) const;
+  [[nodiscard]] Value shl(const Value& amount) const;
+  [[nodiscard]] Value shr(const Value& amount) const;
+  // structure
+  [[nodiscard]] Value slice(uint32_t hi, uint32_t lo) const;
+  [[nodiscard]] Value bit(uint32_t index) const { return slice(index, index); }
+  [[nodiscard]] Value concat(const Value& low) const;
+  [[nodiscard]] Value pad(uint32_t width) const;
+  [[nodiscard]] Value reduce_or() const;
+  [[nodiscard]] Value reduce_and() const;
+  [[nodiscard]] Value reduce_xor() const;
+  /// Bundle field access.
+  [[nodiscard]] Value field(const std::string& name) const;
+  /// Vector element access (constant or dynamic index).
+  Value operator[](uint32_t index) const;
+  Value operator[](const Value& index) const;
+
+ private:
+  ir::ExprPtr expr_;
+  ModuleBuilder* builder_ = nullptr;
+};
+
+/// Ternary select; arms are padded to a common width.
+Value mux(const Value& sel, const Value& then_value, const Value& else_value);
+
+/// Handle for an instantiated child module.
+class Instance {
+ public:
+  Instance() = default;
+  Instance(std::string name, const ir::Module* module, ModuleBuilder* builder)
+      : name_(std::move(name)), module_(module), builder_(builder) {}
+  /// Port access: read outputs, assign inputs (via ModuleBuilder::assign).
+  [[nodiscard]] Value port(const std::string& port_name) const;
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  const ir::Module* module_ = nullptr;
+  ModuleBuilder* builder_ = nullptr;
+};
+
+/// Builds one IR module. The generator calls methods in program order;
+/// every statement records the generator source location it was created
+/// from. Procedural semantics: wires may be assigned repeatedly, `when_`
+/// scopes conditions, `for_` emits an IR-level loop that the compiler
+/// unrolls (paper Listing 1).
+class ModuleBuilder {
+ public:
+  ModuleBuilder(ir::Circuit& circuit, const std::string& name);
+
+  /// Finishes the module (must be called exactly once).
+  ir::Module& finish();
+
+  [[nodiscard]] const std::string& module_name() const { return name_; }
+  [[nodiscard]] ir::Circuit& circuit() { return *circuit_; }
+
+  // -- ports -------------------------------------------------------------------
+  Value clock(const std::string& name = "clock");
+  Value input(const std::string& name, uint32_t width,
+              common::SourceLoc loc = {});
+  Value output(const std::string& name, uint32_t width,
+               common::SourceLoc loc = {});
+  Value input_type(const std::string& name, ir::TypePtr type,
+                   common::SourceLoc loc = {});
+  Value output_type(const std::string& name, ir::TypePtr type,
+                    common::SourceLoc loc = {});
+
+  // -- declarations ---------------------------------------------------------------
+  /// Procedural variable (the paper's `sum`). May be assigned repeatedly;
+  /// SSA renames the assignments.
+  Value wire(const std::string& name, uint32_t width, common::SourceLoc loc = {});
+  Value wire_type(const std::string& name, ir::TypePtr type,
+                  common::SourceLoc loc = {});
+  /// Clocked register; optional synchronous reset loading `init`.
+  Value reg(const std::string& name, uint32_t width, const Value& clk,
+            common::SourceLoc loc = {});
+  Value reg_init(const std::string& name, uint32_t width, const Value& clk,
+                 const Value& reset, uint64_t init,
+                 common::SourceLoc loc = {});
+  Value reg_type(const std::string& name, ir::TypePtr type, const Value& clk,
+                 common::SourceLoc loc = {});
+  /// Named immutable intermediate (breakpointable statement).
+  Value node(const std::string& name, const Value& value,
+             common::SourceLoc loc = {});
+
+  // -- literals --------------------------------------------------------------------
+  Value lit(uint32_t width, uint64_t value);
+  Value lit_bool(bool value) { return lit(1, value ? 1 : 0); }
+
+  // -- statements -------------------------------------------------------------------
+  /// connect: target must be a wire, register, output port, vector element
+  /// of a wire/register, or instance input port.
+  void assign(const Value& target, const Value& value,
+              common::SourceLoc loc = {});
+  /// Conditional scope (paper's `when`); else branch optional.
+  void when_(const Value& condition, common::SourceLoc loc,
+             const std::function<void()>& then_body,
+             const std::function<void()>& else_body = {});
+  /// IR-level static loop, unrolled by the compiler (paper Listing 1->2).
+  /// `body` receives the loop-variable Value.
+  void for_(const std::string& var, int64_t start, int64_t end,
+            common::SourceLoc loc, const std::function<void(Value)>& body);
+  /// Child module instantiation.
+  Instance instantiate(const std::string& instance_name,
+                       const std::string& module_name,
+                       common::SourceLoc loc = {});
+
+ private:
+  friend class Value;
+  friend class Instance;
+
+  void push(ir::StmtPtr stmt);
+  [[nodiscard]] ir::TypePtr lookup(const std::string& name) const;
+
+  ir::Circuit* circuit_;
+  std::string name_;
+  std::unique_ptr<ir::Module> module_;
+  std::vector<ir::BlockStmt*> block_stack_;
+  bool finished_ = false;
+};
+
+/// Pads two values to a common width (helper shared by operators).
+std::pair<ir::ExprPtr, ir::ExprPtr> balance(const Value& a, const Value& b);
+
+}  // namespace hgdb::frontend
+
+#endif  // HGDB_FRONTEND_DSL_H

@@ -1,0 +1,109 @@
+#include "ir/circuit.h"
+
+#include <stdexcept>
+
+namespace hgdb::ir {
+
+const Port* Module::port(const std::string& name) const {
+  for (const auto& p : ports_) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+void Module::add_port(Port port) {
+  if (this->port(port.name) != nullptr) {
+    throw std::invalid_argument("duplicate port '" + port.name + "' in module " +
+                                name_);
+  }
+  ports_.push_back(std::move(port));
+}
+
+TypePtr Module::lookup_type(const std::string& name) const {
+  if (const Port* p = port(name)) return p->type;
+  TypePtr found;
+  visit_stmts(*body_, [&](const Stmt& stmt) {
+    if (found) return;
+    switch (stmt.kind()) {
+      case StmtKind::Wire: {
+        const auto& wire = static_cast<const WireStmt&>(stmt);
+        if (wire.name == name) found = wire.type;
+        break;
+      }
+      case StmtKind::Reg: {
+        const auto& reg = static_cast<const RegStmt&>(stmt);
+        if (reg.name == name) found = reg.type;
+        break;
+      }
+      case StmtKind::Node: {
+        const auto& node = static_cast<const NodeStmt&>(stmt);
+        if (node.name == name) found = node.value->type();
+        break;
+      }
+      default:
+        break;
+    }
+  });
+  return found;
+}
+
+std::unique_ptr<Module> Module::clone() const {
+  auto out = std::make_unique<Module>(name_);
+  out->ports_ = ports_;
+  out->body_ = body_->clone_block();
+  return out;
+}
+
+Module& Circuit::add_module(std::unique_ptr<Module> module) {
+  if (by_name_.count(module->name()) != 0) {
+    throw std::invalid_argument("duplicate module '" + module->name() + "'");
+  }
+  by_name_[module->name()] = module.get();
+  modules_.push_back(std::move(module));
+  return *modules_.back();
+}
+
+Module* Circuit::module(const std::string& name) {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+const Module* Circuit::module(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+std::vector<const Annotation*> Circuit::annotations_of(
+    std::string_view kind) const {
+  std::vector<const Annotation*> out;
+  for (const auto& annotation : annotations_) {
+    if (annotation.kind == kind) out.push_back(&annotation);
+  }
+  return out;
+}
+
+bool Circuit::has_annotation(std::string_view kind, const std::string& module,
+                             const std::string& target) const {
+  for (const auto& annotation : annotations_) {
+    if (annotation.kind == kind && annotation.module == module &&
+        annotation.target == target) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Circuit::remove_annotations(
+    const std::function<bool(const Annotation&)>& predicate) {
+  std::erase_if(annotations_, predicate);
+}
+
+std::unique_ptr<Circuit> Circuit::clone() const {
+  auto out = std::make_unique<Circuit>(top_name_);
+  out->form_ = form_;
+  for (const auto& module : modules_) out->add_module(module->clone());
+  out->annotations_ = annotations_;
+  return out;
+}
+
+}  // namespace hgdb::ir

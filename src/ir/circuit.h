@@ -1,0 +1,126 @@
+#ifndef HGDB_IR_CIRCUIT_H
+#define HGDB_IR_CIRCUIT_H
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/source_loc.h"
+#include "ir/stmt.h"
+#include "ir/type.h"
+
+namespace hgdb::ir {
+
+enum class Direction : uint8_t { Input, Output };
+
+struct Port {
+  std::string name;
+  TypePtr type;
+  Direction direction = Direction::Input;
+  common::SourceLoc loc;
+};
+
+/// IR form discipline (paper Sec. 4.1: FIRRTL's High/Mid/Low split).
+///
+///  - High: aggregates, `when`, `for`, multiple (procedural) connects.
+///  - Mid : after UnrollLoops + LowerAggregates — ground types only, no
+///          `for`, no dynamic indexing; `when` and multi-connect remain.
+///  - Low : after SSA — additionally no `when`, every name defined once,
+///          every connect target connected exactly once. Netlist-ready.
+///
+/// `passes::check_form` verifies the constraints; passes declare the forms
+/// they consume/produce.
+enum class Form : uint8_t { High, Mid, Low };
+
+/// A free-form annotation attached to a circuit, addressed by
+/// (module, target-name). This is the mechanism Algorithm 1 uses: the first
+/// pass annotates IR nodes of interest on the High form; optimization
+/// passes drop annotations whose targets they delete; the second pass
+/// collects survivors on the Low form.
+struct Annotation {
+  std::string kind;    ///< e.g. "dont_touch", "hgdb.bp", "hgdb.var"
+  std::string module;  ///< owning module name
+  std::string target;  ///< statement/signal name within the module; "" = module
+  common::Json payload = common::Json::object();
+};
+
+/// Reserved annotation kinds.
+inline constexpr const char* kDontTouchAnnotation = "dont_touch";
+
+class Module {
+ public:
+  explicit Module(std::string name)
+      : name_(std::move(name)), body_(std::make_unique<BlockStmt>()) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<Port>& ports() const { return ports_; }
+  [[nodiscard]] const Port* port(const std::string& name) const;
+  void add_port(Port port);
+  /// Replaces the whole port list (used by LowerAggregates).
+  void set_ports(std::vector<Port> ports) { ports_ = std::move(ports); }
+
+  [[nodiscard]] BlockStmt& body() { return *body_; }
+  [[nodiscard]] const BlockStmt& body() const { return *body_; }
+  void set_body(std::unique_ptr<BlockStmt> body) { body_ = std::move(body); }
+
+  /// Type of a named declaration (port, wire, reg, or node) if visible at
+  /// module top level. Used by the parser and by passes that rebuild refs.
+  [[nodiscard]] TypePtr lookup_type(const std::string& name) const;
+
+  [[nodiscard]] std::unique_ptr<Module> clone() const;
+
+ private:
+  std::string name_;
+  std::vector<Port> ports_;
+  std::unique_ptr<BlockStmt> body_;
+};
+
+class Circuit {
+ public:
+  explicit Circuit(std::string top_name) : top_name_(std::move(top_name)) {}
+
+  [[nodiscard]] const std::string& top_name() const { return top_name_; }
+  [[nodiscard]] Form form() const { return form_; }
+  void set_form(Form form) { form_ = form; }
+
+  Module& add_module(std::unique_ptr<Module> module);
+  [[nodiscard]] Module* module(const std::string& name);
+  [[nodiscard]] const Module* module(const std::string& name) const;
+  [[nodiscard]] Module* top() { return module(top_name_); }
+  [[nodiscard]] const Module* top() const { return module(top_name_); }
+  [[nodiscard]] const std::vector<std::unique_ptr<Module>>& modules() const {
+    return modules_;
+  }
+
+  // -- annotations -----------------------------------------------------------
+  void annotate(Annotation annotation) {
+    annotations_.push_back(std::move(annotation));
+  }
+  [[nodiscard]] const std::vector<Annotation>& annotations() const {
+    return annotations_;
+  }
+  [[nodiscard]] std::vector<const Annotation*> annotations_of(
+      std::string_view kind) const;
+  [[nodiscard]] bool has_annotation(std::string_view kind,
+                                    const std::string& module,
+                                    const std::string& target) const;
+  /// Removes annotations for which `predicate` returns true.
+  void remove_annotations(
+      const std::function<bool(const Annotation&)>& predicate);
+
+  [[nodiscard]] std::unique_ptr<Circuit> clone() const;
+
+ private:
+  std::string top_name_;
+  Form form_ = Form::High;
+  std::vector<std::unique_ptr<Module>> modules_;
+  std::map<std::string, Module*> by_name_;
+  std::vector<Annotation> annotations_;
+};
+
+}  // namespace hgdb::ir
+
+#endif  // HGDB_IR_CIRCUIT_H

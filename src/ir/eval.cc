@@ -1,0 +1,116 @@
+#include "ir/eval.h"
+
+#include <stdexcept>
+
+namespace hgdb::ir {
+
+using common::BitVector;
+
+BitVector eval_prim(PrimOp op, const std::vector<BitVector>& operands,
+                    const std::vector<bool>& signs,
+                    const std::vector<uint32_t>& int_params,
+                    uint32_t result_width) {
+  // Binary arithmetic/comparison operands are extended to a common width
+  // first (sign-extended when signed), matching Verilog self-determined
+  // expression evaluation.
+  auto extend2 = [&](uint32_t width) {
+    return std::pair<BitVector, BitVector>{
+        operands[0].resize(width, signs[0]),
+        operands[1].resize(width, signs[1])};
+  };
+  const bool is_signed = !signs.empty() && signs[0];
+
+  switch (op) {
+    case PrimOp::Add: {
+      auto [a, b] = extend2(result_width);
+      return a.add(b);
+    }
+    case PrimOp::Sub: {
+      auto [a, b] = extend2(result_width);
+      return a.sub(b);
+    }
+    case PrimOp::Mul: {
+      auto [a, b] = extend2(result_width);
+      return a.mul(b);
+    }
+    case PrimOp::Div: {
+      auto [a, b] = extend2(result_width);
+      return is_signed ? a.sdiv(b) : a.udiv(b);
+    }
+    case PrimOp::Rem: {
+      auto [a, b] = extend2(result_width);
+      return is_signed ? a.srem(b) : a.urem(b);
+    }
+    case PrimOp::Lt: {
+      auto [a, b] = extend2(std::max(operands[0].width(), operands[1].width()));
+      return BitVector(1, (is_signed ? a.slt(b) : a.ult(b)) ? 1 : 0);
+    }
+    case PrimOp::Leq: {
+      auto [a, b] = extend2(std::max(operands[0].width(), operands[1].width()));
+      return BitVector(1, (is_signed ? a.sle(b) : a.ule(b)) ? 1 : 0);
+    }
+    case PrimOp::Gt: {
+      auto [a, b] = extend2(std::max(operands[0].width(), operands[1].width()));
+      return BitVector(1, (is_signed ? b.slt(a) : b.ult(a)) ? 1 : 0);
+    }
+    case PrimOp::Geq: {
+      auto [a, b] = extend2(std::max(operands[0].width(), operands[1].width()));
+      return BitVector(1, (is_signed ? b.sle(a) : b.ule(a)) ? 1 : 0);
+    }
+    case PrimOp::Eq: {
+      auto [a, b] = extend2(std::max(operands[0].width(), operands[1].width()));
+      return BitVector(1, a.eq(b) ? 1 : 0);
+    }
+    case PrimOp::Neq: {
+      auto [a, b] = extend2(std::max(operands[0].width(), operands[1].width()));
+      return BitVector(1, a.eq(b) ? 0 : 1);
+    }
+    case PrimOp::And: {
+      auto [a, b] = extend2(result_width);
+      return a.bit_and(b);
+    }
+    case PrimOp::Or: {
+      auto [a, b] = extend2(result_width);
+      return a.bit_or(b);
+    }
+    case PrimOp::Xor: {
+      auto [a, b] = extend2(result_width);
+      return a.bit_xor(b);
+    }
+    case PrimOp::Not:
+      return operands[0].bit_not();
+    case PrimOp::Neg:
+      return operands[0].negate();
+    case PrimOp::AndR:
+      return operands[0].reduce_and();
+    case PrimOp::OrR:
+      return operands[0].reduce_or();
+    case PrimOp::XorR:
+      return operands[0].reduce_xor();
+    case PrimOp::Cat:
+      return operands[0].concat(operands[1]);
+    case PrimOp::Bits:
+      return operands[0].slice(int_params[0], int_params[1]);
+    case PrimOp::Shl:
+      return operands[0].shl(int_params[0]);
+    case PrimOp::Shr:
+      return is_signed ? operands[0].ashr(int_params[0])
+                       : operands[0].lshr(int_params[0]);
+    case PrimOp::Dshl:
+      return operands[0].shl(operands[1]);
+    case PrimOp::Dshr:
+      return is_signed ? operands[0].ashr(operands[1])
+                       : operands[0].lshr(operands[1]);
+    case PrimOp::Pad:
+      return operands[0].resize(int_params[0], is_signed);
+    case PrimOp::AsUInt:
+    case PrimOp::AsSInt:
+    case PrimOp::AsClock:
+      return operands[0];
+    case PrimOp::Mux:
+      return operands[0].to_bool() ? operands[1] : operands[2];
+  }
+  throw std::logic_error("eval_prim: unhandled op");
+}
+
+}  // namespace hgdb::ir

@@ -1,0 +1,29 @@
+#ifndef HGDB_IR_EVAL_H
+#define HGDB_IR_EVAL_H
+
+#include <vector>
+
+#include "common/bitvector.h"
+#include "ir/expr.h"
+
+namespace hgdb::ir {
+
+/// Evaluates a primitive over constant operand values. This single routine
+/// defines the arithmetic semantics of the whole system: the constant
+/// folder, the RTL simulator and the debugger's expression evaluator all
+/// call it, so a value computed at compile time, simulation time, or
+/// debug time can never disagree.
+///
+/// Semantics are two-state and Verilog-flavoured: operands of binary ops
+/// are extended to the result width (sign-extended when signed) and the
+/// operation wraps modulo 2^width. Division by zero yields all-ones;
+/// remainder by zero yields the dividend.
+common::BitVector eval_prim(PrimOp op,
+                            const std::vector<common::BitVector>& operands,
+                            const std::vector<bool>& signs,
+                            const std::vector<uint32_t>& int_params,
+                            uint32_t result_width);
+
+}  // namespace hgdb::ir
+
+#endif  // HGDB_IR_EVAL_H

@@ -1,0 +1,457 @@
+#include "ir/expr.h"
+
+#include <array>
+#include <functional>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace hgdb::ir {
+
+namespace {
+
+struct PrimOpInfo {
+  PrimOp op;
+  const char* name;
+};
+
+constexpr std::array<PrimOpInfo, 27> kPrimOps = {{
+    {PrimOp::Add, "add"},       {PrimOp::Sub, "sub"},
+    {PrimOp::Mul, "mul"},       {PrimOp::Div, "div"},
+    {PrimOp::Rem, "rem"},       {PrimOp::Lt, "lt"},
+    {PrimOp::Leq, "leq"},       {PrimOp::Gt, "gt"},
+    {PrimOp::Geq, "geq"},       {PrimOp::Eq, "eq"},
+    {PrimOp::Neq, "neq"},       {PrimOp::And, "and"},
+    {PrimOp::Or, "or"},         {PrimOp::Xor, "xor"},
+    {PrimOp::Not, "not"},       {PrimOp::Neg, "neg"},
+    {PrimOp::AndR, "andr"},     {PrimOp::OrR, "orr"},
+    {PrimOp::XorR, "xorr"},     {PrimOp::Cat, "cat"},
+    {PrimOp::Bits, "bits"},     {PrimOp::Shl, "shl"},
+    {PrimOp::Shr, "shr"},       {PrimOp::Dshl, "dshl"},
+    {PrimOp::Dshr, "dshr"},     {PrimOp::Pad, "pad"},
+    {PrimOp::Mux, "mux"},
+}};
+
+size_t hash_combine(size_t seed, size_t value) {
+  return seed ^ (value + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2));
+}
+
+[[noreturn]] void bad_expr(const std::string& message) {
+  throw std::invalid_argument("IR expression error: " + message);
+}
+
+void require_ground(const ExprPtr& e, const char* what) {
+  if (!e->type()->is_ground()) {
+    bad_expr(std::string(what) + " requires a ground-typed operand, got " +
+             e->type()->str());
+  }
+}
+
+}  // namespace
+
+const char* prim_op_name(PrimOp op) {
+  switch (op) {
+    case PrimOp::AsUInt: return "asUInt";
+    case PrimOp::AsSInt: return "asSInt";
+    case PrimOp::AsClock: return "asClock";
+    default:
+      for (const auto& info : kPrimOps) {
+        if (info.op == op) return info.name;
+      }
+      return "<bad-op>";
+  }
+}
+
+bool prim_op_from_name(const std::string& name, PrimOp* out) {
+  if (name == "asUInt") { *out = PrimOp::AsUInt; return true; }
+  if (name == "asSInt") { *out = PrimOp::AsSInt; return true; }
+  if (name == "asClock") { *out = PrimOp::AsClock; return true; }
+  for (const auto& info : kPrimOps) {
+    if (name == info.name) {
+      *out = info.op;
+      return true;
+    }
+  }
+  return false;
+}
+
+// -- equality / hashing -------------------------------------------------------
+
+bool RefExpr::equals(const Expr& rhs) const {
+  if (rhs.kind() != ExprKind::Ref) return false;
+  return static_cast<const RefExpr&>(rhs).name_ == name_;
+}
+
+size_t RefExpr::hash() const {
+  return hash_combine(1, std::hash<std::string>{}(name_));
+}
+
+bool SubFieldExpr::equals(const Expr& rhs) const {
+  if (rhs.kind() != ExprKind::SubField) return false;
+  const auto& other = static_cast<const SubFieldExpr&>(rhs);
+  return field_ == other.field_ && base_->equals(*other.base_);
+}
+
+size_t SubFieldExpr::hash() const {
+  return hash_combine(hash_combine(2, base_->hash()),
+                      std::hash<std::string>{}(field_));
+}
+
+bool SubIndexExpr::equals(const Expr& rhs) const {
+  if (rhs.kind() != ExprKind::SubIndex) return false;
+  const auto& other = static_cast<const SubIndexExpr&>(rhs);
+  return index_ == other.index_ && base_->equals(*other.base_);
+}
+
+size_t SubIndexExpr::hash() const {
+  return hash_combine(hash_combine(3, base_->hash()), index_);
+}
+
+bool SubAccessExpr::equals(const Expr& rhs) const {
+  if (rhs.kind() != ExprKind::SubAccess) return false;
+  const auto& other = static_cast<const SubAccessExpr&>(rhs);
+  return base_->equals(*other.base_) && index_->equals(*other.index_);
+}
+
+size_t SubAccessExpr::hash() const {
+  return hash_combine(hash_combine(4, base_->hash()), index_->hash());
+}
+
+std::string LiteralExpr::str() const {
+  return type()->str() + "(" + value_.to_string(10) + ")";
+}
+
+bool LiteralExpr::equals(const Expr& rhs) const {
+  if (rhs.kind() != ExprKind::Literal) return false;
+  const auto& other = static_cast<const LiteralExpr&>(rhs);
+  return value_ == other.value_ &&
+         type()->is_signed() == other.type()->is_signed();
+}
+
+size_t LiteralExpr::hash() const { return hash_combine(5, value_.hash()); }
+
+std::string PrimExpr::str() const {
+  std::string out = prim_op_name(op_);
+  out.push_back('(');
+  bool first = true;
+  for (const auto& operand : operands_) {
+    if (!first) out += ", ";
+    first = false;
+    out += operand->str();
+  }
+  for (uint32_t p : int_params_) {
+    if (!first) out += ", ";
+    first = false;
+    out += std::to_string(p);
+  }
+  out.push_back(')');
+  return out;
+}
+
+bool PrimExpr::equals(const Expr& rhs) const {
+  if (rhs.kind() != ExprKind::Prim) return false;
+  const auto& other = static_cast<const PrimExpr&>(rhs);
+  if (op_ != other.op_ || int_params_ != other.int_params_ ||
+      operands_.size() != other.operands_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < operands_.size(); ++i) {
+    if (!operands_[i]->equals(*other.operands_[i])) return false;
+  }
+  return true;
+}
+
+size_t PrimExpr::hash() const {
+  size_t h = hash_combine(6, static_cast<size_t>(op_));
+  for (const auto& operand : operands_) h = hash_combine(h, operand->hash());
+  for (uint32_t p : int_params_) h = hash_combine(h, p);
+  return h;
+}
+
+// -- factories ----------------------------------------------------------------
+
+ExprPtr make_ref(std::string name, TypePtr type) {
+  if (!type) bad_expr("ref '" + name + "' has no type");
+  return std::make_shared<RefExpr>(std::move(name), std::move(type));
+}
+
+ExprPtr make_subfield(ExprPtr base, const std::string& field) {
+  if (base->type()->kind() != TypeKind::Bundle) {
+    bad_expr("subfield ." + field + " on non-bundle " + base->type()->str());
+  }
+  const auto& bundle = static_cast<const BundleType&>(*base->type());
+  const BundleField* f = bundle.field(field);
+  if (f == nullptr) {
+    bad_expr("bundle " + bundle.str() + " has no field '" + field + "'");
+  }
+  return std::make_shared<SubFieldExpr>(std::move(base), field, f->type);
+}
+
+ExprPtr make_subindex(ExprPtr base, uint32_t index) {
+  if (base->type()->kind() != TypeKind::Vector) {
+    bad_expr("subindex on non-vector " + base->type()->str());
+  }
+  const auto& vec = static_cast<const VectorType&>(*base->type());
+  if (index >= vec.size()) {
+    bad_expr("index " + std::to_string(index) + " out of range for " + vec.str());
+  }
+  return std::make_shared<SubIndexExpr>(std::move(base), index, vec.element());
+}
+
+ExprPtr make_subaccess(ExprPtr base, ExprPtr index) {
+  if (base->type()->kind() != TypeKind::Vector) {
+    bad_expr("subaccess on non-vector " + base->type()->str());
+  }
+  require_ground(index, "subaccess index");
+  const auto& vec = static_cast<const VectorType&>(*base->type());
+  return std::make_shared<SubAccessExpr>(std::move(base), std::move(index),
+                                         vec.element());
+}
+
+ExprPtr make_literal(common::BitVector value, bool is_signed) {
+  return std::make_shared<LiteralExpr>(std::move(value), is_signed);
+}
+
+ExprPtr make_uint_literal(uint32_t width, uint64_t value) {
+  return make_literal(common::BitVector(width, value), /*is_signed=*/false);
+}
+
+ExprPtr make_bool_literal(bool value) {
+  return make_uint_literal(1, value ? 1 : 0);
+}
+
+ExprPtr make_prim(PrimOp op, std::vector<ExprPtr> operands,
+                  std::vector<uint32_t> int_params) {
+  auto expect_operands = [&](size_t n) {
+    if (operands.size() != n) {
+      bad_expr(std::string(prim_op_name(op)) + " expects " + std::to_string(n) +
+               " operands, got " + std::to_string(operands.size()));
+    }
+  };
+  auto expect_params = [&](size_t n) {
+    if (int_params.size() != n) {
+      bad_expr(std::string(prim_op_name(op)) + " expects " + std::to_string(n) +
+               " integer parameters, got " + std::to_string(int_params.size()));
+    }
+  };
+  auto max_width = [&] {
+    return std::max(operands[0]->width(), operands[1]->width());
+  };
+  auto same_signedness = [&] {
+    const bool s = operands[0]->type()->is_signed();
+    if (operands[1]->type()->is_signed() != s) {
+      bad_expr(std::string(prim_op_name(op)) + " operand signedness mismatch");
+    }
+    return s;
+  };
+
+  TypePtr type;
+  switch (op) {
+    case PrimOp::Add: case PrimOp::Sub: case PrimOp::Mul:
+    case PrimOp::Div: case PrimOp::Rem: {
+      expect_operands(2); expect_params(0);
+      require_ground(operands[0], "arith"); require_ground(operands[1], "arith");
+      const bool s = same_signedness();
+      type = s ? sint_type(max_width()) : uint_type(max_width());
+      break;
+    }
+    case PrimOp::Lt: case PrimOp::Leq: case PrimOp::Gt:
+    case PrimOp::Geq: case PrimOp::Eq: case PrimOp::Neq: {
+      expect_operands(2); expect_params(0);
+      require_ground(operands[0], "cmp"); require_ground(operands[1], "cmp");
+      same_signedness();
+      type = bool_type();
+      break;
+    }
+    case PrimOp::And: case PrimOp::Or: case PrimOp::Xor: {
+      expect_operands(2); expect_params(0);
+      require_ground(operands[0], "bitwise"); require_ground(operands[1], "bitwise");
+      type = uint_type(max_width());
+      break;
+    }
+    case PrimOp::Not: {
+      expect_operands(1); expect_params(0);
+      require_ground(operands[0], "not");
+      type = uint_type(operands[0]->width());
+      break;
+    }
+    case PrimOp::Neg: {
+      expect_operands(1); expect_params(0);
+      require_ground(operands[0], "neg");
+      type = operands[0]->type()->is_signed()
+                 ? sint_type(operands[0]->width())
+                 : uint_type(operands[0]->width());
+      break;
+    }
+    case PrimOp::AndR: case PrimOp::OrR: case PrimOp::XorR: {
+      expect_operands(1); expect_params(0);
+      require_ground(operands[0], "reduction");
+      type = bool_type();
+      break;
+    }
+    case PrimOp::Cat: {
+      expect_operands(2); expect_params(0);
+      require_ground(operands[0], "cat"); require_ground(operands[1], "cat");
+      type = uint_type(operands[0]->width() + operands[1]->width());
+      break;
+    }
+    case PrimOp::Bits: {
+      expect_operands(1); expect_params(2);
+      require_ground(operands[0], "bits");
+      const uint32_t hi = int_params[0];
+      const uint32_t lo = int_params[1];
+      if (lo > hi || hi >= operands[0]->width()) {
+        bad_expr("bits(" + std::to_string(hi) + ", " + std::to_string(lo) +
+                 ") out of range for width " + std::to_string(operands[0]->width()));
+      }
+      type = uint_type(hi - lo + 1);
+      break;
+    }
+    case PrimOp::Shl: case PrimOp::Shr: {
+      expect_operands(1); expect_params(1);
+      require_ground(operands[0], "shift");
+      type = operands[0]->type()->is_signed()
+                 ? sint_type(operands[0]->width())
+                 : uint_type(operands[0]->width());
+      break;
+    }
+    case PrimOp::Dshl: case PrimOp::Dshr: {
+      expect_operands(2); expect_params(0);
+      require_ground(operands[0], "dshift"); require_ground(operands[1], "dshift");
+      type = operands[0]->type()->is_signed()
+                 ? sint_type(operands[0]->width())
+                 : uint_type(operands[0]->width());
+      break;
+    }
+    case PrimOp::Pad: {
+      expect_operands(1); expect_params(1);
+      require_ground(operands[0], "pad");
+      if (int_params[0] == 0) bad_expr("pad to width 0");
+      type = operands[0]->type()->is_signed() ? sint_type(int_params[0])
+                                              : uint_type(int_params[0]);
+      break;
+    }
+    case PrimOp::AsUInt: {
+      expect_operands(1); expect_params(0);
+      require_ground(operands[0], "asUInt");
+      type = uint_type(operands[0]->width());
+      break;
+    }
+    case PrimOp::AsSInt: {
+      expect_operands(1); expect_params(0);
+      require_ground(operands[0], "asSInt");
+      type = sint_type(operands[0]->width());
+      break;
+    }
+    case PrimOp::AsClock: {
+      expect_operands(1); expect_params(0);
+      if (operands[0]->width() != 1) bad_expr("asClock requires a 1-bit operand");
+      type = clock_type();
+      break;
+    }
+    case PrimOp::Mux: {
+      expect_operands(3); expect_params(0);
+      if (operands[0]->width() != 1 || !operands[0]->type()->is_ground()) {
+        bad_expr("mux selector must be a 1-bit ground value");
+      }
+      if (!operands[1]->type()->equals(*operands[2]->type())) {
+        bad_expr("mux arm type mismatch: " + operands[1]->type()->str() +
+                 " vs " + operands[2]->type()->str());
+      }
+      type = operands[1]->type();
+      break;
+    }
+  }
+  return std::make_shared<PrimExpr>(op, std::move(operands),
+                                    std::move(int_params), std::move(type));
+}
+
+ExprPtr make_mux(ExprPtr sel, ExprPtr then_value, ExprPtr else_value) {
+  return make_prim(PrimOp::Mux,
+                   {std::move(sel), std::move(then_value), std::move(else_value)});
+}
+
+ExprPtr make_eq(ExprPtr lhs, ExprPtr rhs) {
+  return make_prim(PrimOp::Eq, {std::move(lhs), std::move(rhs)});
+}
+
+ExprPtr make_and(ExprPtr lhs, ExprPtr rhs) {
+  return make_prim(PrimOp::And, {std::move(lhs), std::move(rhs)});
+}
+
+ExprPtr make_not(ExprPtr operand) {
+  return make_prim(PrimOp::Not, {std::move(operand)});
+}
+
+ExprPtr make_pad(ExprPtr operand, uint32_t width) {
+  if (operand->width() == width) return operand;
+  return make_prim(PrimOp::Pad, {std::move(operand)}, {width});
+}
+
+ExprPtr rewrite_expr(const ExprPtr& expr,
+                     const std::function<ExprPtr(const ExprPtr&)>& fn) {
+  switch (expr->kind()) {
+    case ExprKind::Ref:
+    case ExprKind::Literal:
+      return fn(expr);
+    case ExprKind::SubField: {
+      const auto& node = static_cast<const SubFieldExpr&>(*expr);
+      ExprPtr base = rewrite_expr(node.base(), fn);
+      if (base == node.base()) return fn(expr);
+      return fn(make_subfield(std::move(base), node.field()));
+    }
+    case ExprKind::SubIndex: {
+      const auto& node = static_cast<const SubIndexExpr&>(*expr);
+      ExprPtr base = rewrite_expr(node.base(), fn);
+      if (base == node.base()) return fn(expr);
+      return fn(make_subindex(std::move(base), node.index()));
+    }
+    case ExprKind::SubAccess: {
+      const auto& node = static_cast<const SubAccessExpr&>(*expr);
+      ExprPtr base = rewrite_expr(node.base(), fn);
+      ExprPtr index = rewrite_expr(node.index(), fn);
+      if (base == node.base() && index == node.index()) return fn(expr);
+      return fn(make_subaccess(std::move(base), std::move(index)));
+    }
+    case ExprKind::Prim: {
+      const auto& node = static_cast<const PrimExpr&>(*expr);
+      std::vector<ExprPtr> operands;
+      operands.reserve(node.operands().size());
+      bool changed = false;
+      for (const auto& operand : node.operands()) {
+        operands.push_back(rewrite_expr(operand, fn));
+        changed |= operands.back() != operand;
+      }
+      if (!changed) return fn(expr);
+      return fn(make_prim(node.op(), std::move(operands), node.int_params()));
+    }
+  }
+  return expr;  // unreachable
+}
+
+void visit_expr(const ExprPtr& expr, const std::function<void(const Expr&)>& fn) {
+  fn(*expr);
+  switch (expr->kind()) {
+    case ExprKind::Ref:
+    case ExprKind::Literal:
+      return;
+    case ExprKind::SubField:
+      visit_expr(static_cast<const SubFieldExpr&>(*expr).base(), fn);
+      return;
+    case ExprKind::SubIndex:
+      visit_expr(static_cast<const SubIndexExpr&>(*expr).base(), fn);
+      return;
+    case ExprKind::SubAccess: {
+      const auto& node = static_cast<const SubAccessExpr&>(*expr);
+      visit_expr(node.base(), fn);
+      visit_expr(node.index(), fn);
+      return;
+    }
+    case ExprKind::Prim:
+      for (const auto& operand : static_cast<const PrimExpr&>(*expr).operands()) {
+        visit_expr(operand, fn);
+      }
+      return;
+  }
+}
+
+}  // namespace hgdb::ir

@@ -1,0 +1,224 @@
+#ifndef HGDB_IR_EXPR_H
+#define HGDB_IR_EXPR_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bitvector.h"
+#include "ir/type.h"
+
+namespace hgdb::ir {
+
+class Expr;
+/// Expressions are immutable trees; passes rewrite by rebuilding nodes, so
+/// subtrees are freely shared across statements and across unrolled loop
+/// iterations (cheap clones during UnrollLoops).
+using ExprPtr = std::shared_ptr<const Expr>;
+
+enum class ExprKind : uint8_t {
+  Ref,        ///< named wire/reg/node/port/instance
+  SubField,   ///< bundle field access `a.b`
+  SubIndex,   ///< vector element with constant index `a[3]`
+  SubAccess,  ///< vector element with dynamic index `a[i]` (rvalue only)
+  Literal,    ///< constant, e.g. UInt<8>(42)
+  Prim,       ///< primitive operation
+};
+
+/// Primitive operations. Signedness comes from operand types. Width rules
+/// are Verilog-flavoured (documented per factory in expr.cc); the frontend
+/// inserts explicit `pad` nodes when a carry/grow is wanted.
+enum class PrimOp : uint8_t {
+  // binary arithmetic: result width = max(widths)
+  Add, Sub, Mul, Div, Rem,
+  // comparisons: result UInt<1>
+  Lt, Leq, Gt, Geq, Eq, Neq,
+  // binary bitwise: result UInt, width = max(widths)
+  And, Or, Xor,
+  // unary
+  Not, Neg,
+  // reductions: result UInt<1>
+  AndR, OrR, XorR,
+  // concatenation: result UInt, width = w0 + w1
+  Cat,
+  // bits(x, hi, lo): result UInt<hi-lo+1>
+  Bits,
+  // constant shifts, width preserving (shifted-out bits drop)
+  Shl, Shr,
+  // dynamic shifts, width of first operand preserved
+  Dshl, Dshr,
+  // pad(x, n): zero/sign-extend (or truncate) to exactly n bits
+  Pad,
+  // reinterpret casts, width preserving
+  AsUInt, AsSInt, AsClock,
+  // mux(sel, then, else): operands 1 and 2 same type
+  Mux,
+};
+
+const char* prim_op_name(PrimOp op);
+/// Parses the spelling used by the text format ("add", "mux", ...).
+/// Returns false if `name` is not a primitive.
+bool prim_op_from_name(const std::string& name, PrimOp* out);
+
+class Expr {
+ public:
+  Expr(ExprKind kind, TypePtr type) : kind_(kind), type_(std::move(type)) {}
+  virtual ~Expr() = default;
+
+  [[nodiscard]] ExprKind kind() const { return kind_; }
+  /// Every expression is typed at construction; see factories below.
+  [[nodiscard]] const TypePtr& type() const { return type_; }
+  [[nodiscard]] uint32_t width() const { return type_->bit_width(); }
+
+  /// Text-format spelling, e.g. "add(a, UInt<8>(1))".
+  [[nodiscard]] virtual std::string str() const = 0;
+  /// Structural equality (used by CSE).
+  [[nodiscard]] virtual bool equals(const Expr& rhs) const = 0;
+  /// Structural hash (used by CSE).
+  [[nodiscard]] virtual size_t hash() const = 0;
+
+ private:
+  ExprKind kind_;
+  TypePtr type_;
+};
+
+class RefExpr final : public Expr {
+ public:
+  RefExpr(std::string name, TypePtr type)
+      : Expr(ExprKind::Ref, std::move(type)), name_(std::move(name)) {}
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::string str() const override { return name_; }
+  [[nodiscard]] bool equals(const Expr& rhs) const override;
+  [[nodiscard]] size_t hash() const override;
+
+ private:
+  std::string name_;
+};
+
+class SubFieldExpr final : public Expr {
+ public:
+  SubFieldExpr(ExprPtr base, std::string field, TypePtr type)
+      : Expr(ExprKind::SubField, std::move(type)),
+        base_(std::move(base)),
+        field_(std::move(field)) {}
+  [[nodiscard]] const ExprPtr& base() const { return base_; }
+  [[nodiscard]] const std::string& field() const { return field_; }
+  [[nodiscard]] std::string str() const override {
+    return base_->str() + "." + field_;
+  }
+  [[nodiscard]] bool equals(const Expr& rhs) const override;
+  [[nodiscard]] size_t hash() const override;
+
+ private:
+  ExprPtr base_;
+  std::string field_;
+};
+
+class SubIndexExpr final : public Expr {
+ public:
+  SubIndexExpr(ExprPtr base, uint32_t index, TypePtr type)
+      : Expr(ExprKind::SubIndex, std::move(type)),
+        base_(std::move(base)),
+        index_(index) {}
+  [[nodiscard]] const ExprPtr& base() const { return base_; }
+  [[nodiscard]] uint32_t index() const { return index_; }
+  [[nodiscard]] std::string str() const override {
+    return base_->str() + "[" + std::to_string(index_) + "]";
+  }
+  [[nodiscard]] bool equals(const Expr& rhs) const override;
+  [[nodiscard]] size_t hash() const override;
+
+ private:
+  ExprPtr base_;
+  uint32_t index_;
+};
+
+class SubAccessExpr final : public Expr {
+ public:
+  SubAccessExpr(ExprPtr base, ExprPtr index, TypePtr type)
+      : Expr(ExprKind::SubAccess, std::move(type)),
+        base_(std::move(base)),
+        index_(std::move(index)) {}
+  [[nodiscard]] const ExprPtr& base() const { return base_; }
+  [[nodiscard]] const ExprPtr& index() const { return index_; }
+  [[nodiscard]] std::string str() const override {
+    return base_->str() + "[" + index_->str() + "]";
+  }
+  [[nodiscard]] bool equals(const Expr& rhs) const override;
+  [[nodiscard]] size_t hash() const override;
+
+ private:
+  ExprPtr base_;
+  ExprPtr index_;
+};
+
+class LiteralExpr final : public Expr {
+ public:
+  LiteralExpr(common::BitVector value, bool is_signed)
+      : Expr(ExprKind::Literal,
+             is_signed ? sint_type(value.width()) : uint_type(value.width())),
+        value_(std::move(value)) {}
+  [[nodiscard]] const common::BitVector& value() const { return value_; }
+  [[nodiscard]] std::string str() const override;
+  [[nodiscard]] bool equals(const Expr& rhs) const override;
+  [[nodiscard]] size_t hash() const override;
+
+ private:
+  common::BitVector value_;
+};
+
+class PrimExpr final : public Expr {
+ public:
+  PrimExpr(PrimOp op, std::vector<ExprPtr> operands,
+           std::vector<uint32_t> int_params, TypePtr type)
+      : Expr(ExprKind::Prim, std::move(type)),
+        op_(op),
+        operands_(std::move(operands)),
+        int_params_(std::move(int_params)) {}
+  [[nodiscard]] PrimOp op() const { return op_; }
+  [[nodiscard]] const std::vector<ExprPtr>& operands() const { return operands_; }
+  [[nodiscard]] const std::vector<uint32_t>& int_params() const { return int_params_; }
+  [[nodiscard]] std::string str() const override;
+  [[nodiscard]] bool equals(const Expr& rhs) const override;
+  [[nodiscard]] size_t hash() const override;
+
+ private:
+  PrimOp op_;
+  std::vector<ExprPtr> operands_;
+  std::vector<uint32_t> int_params_;
+};
+
+// -- Typed factories (validate operands, compute result type; throw
+//    std::invalid_argument on misuse) ----------------------------------------
+ExprPtr make_ref(std::string name, TypePtr type);
+ExprPtr make_subfield(ExprPtr base, const std::string& field);
+ExprPtr make_subindex(ExprPtr base, uint32_t index);
+ExprPtr make_subaccess(ExprPtr base, ExprPtr index);
+ExprPtr make_literal(common::BitVector value, bool is_signed = false);
+ExprPtr make_uint_literal(uint32_t width, uint64_t value);
+ExprPtr make_bool_literal(bool value);
+ExprPtr make_prim(PrimOp op, std::vector<ExprPtr> operands,
+                  std::vector<uint32_t> int_params = {});
+
+// Convenience builders used heavily by passes and the frontend.
+ExprPtr make_mux(ExprPtr sel, ExprPtr then_value, ExprPtr else_value);
+ExprPtr make_eq(ExprPtr lhs, ExprPtr rhs);
+ExprPtr make_and(ExprPtr lhs, ExprPtr rhs);
+ExprPtr make_not(ExprPtr operand);
+ExprPtr make_pad(ExprPtr operand, uint32_t width);
+
+/// Rewrites an expression bottom-up: `fn` is applied to every rebuilt node
+/// and may return a replacement (or its argument unchanged). Shared
+/// subtrees are rebuilt once per occurrence; the tree is small in practice.
+ExprPtr rewrite_expr(const ExprPtr& expr,
+                     const std::function<ExprPtr(const ExprPtr&)>& fn);
+
+/// Calls `fn` on every node of the tree (pre-order).
+void visit_expr(const ExprPtr& expr,
+                const std::function<void(const Expr&)>& fn);
+
+}  // namespace hgdb::ir
+
+#endif  // HGDB_IR_EXPR_H

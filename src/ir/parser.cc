@@ -1,0 +1,521 @@
+#include "ir/parser.h"
+
+#include <cctype>
+#include <map>
+#include <stdexcept>
+
+#include "common/strings.h"
+
+namespace hgdb::ir {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexing: the format is line-oriented. Each line is tokenized independently;
+// a trailing `@[file line col]` locator is split off before tokenizing.
+// ---------------------------------------------------------------------------
+
+struct Line {
+  size_t number = 0;
+  std::vector<std::string> tokens;
+  common::SourceLoc loc;  // from the @[...] suffix, if any
+};
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '$';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '$';
+}
+
+std::vector<Line> lex(std::string_view text) {
+  std::vector<Line> lines;
+  size_t line_number = 0;
+  for (const auto& raw : common::split(text, '\n')) {
+    ++line_number;
+    std::string_view body = raw;
+    // Strip comments.
+    if (const size_t comment = body.find(';'); comment != std::string_view::npos) {
+      body = body.substr(0, comment);
+    }
+    Line line;
+    line.number = line_number;
+    // Split off the source locator suffix.
+    if (const size_t at = body.find("@["); at != std::string_view::npos) {
+      std::string_view loc_text = body.substr(at + 2);
+      const size_t close = loc_text.find(']');
+      if (close == std::string_view::npos) {
+        throw std::runtime_error("line " + std::to_string(line_number) +
+                                 ": unterminated @[ locator");
+      }
+      loc_text = loc_text.substr(0, close);
+      // file line [col]
+      std::vector<std::string> parts;
+      for (auto& part : common::split(loc_text, ' ')) {
+        if (!part.empty()) parts.push_back(part);
+      }
+      if (parts.size() < 2) {
+        throw std::runtime_error("line " + std::to_string(line_number) +
+                                 ": bad locator");
+      }
+      line.loc.filename = parts[0];
+      line.loc.line = static_cast<uint32_t>(std::stoul(parts[1]));
+      if (parts.size() > 2) {
+        line.loc.column = static_cast<uint32_t>(std::stoul(parts[2]));
+      }
+      body = body.substr(0, at);
+    }
+    body = common::trim(body);
+    // Tokenize.
+    size_t i = 0;
+    while (i < body.size()) {
+      const char c = body[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (is_ident_start(c)) {
+        size_t j = i + 1;
+        while (j < body.size() && is_ident_char(body[j])) ++j;
+        line.tokens.emplace_back(body.substr(i, j - i));
+        i = j;
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '-' && i + 1 < body.size() &&
+           std::isdigit(static_cast<unsigned char>(body[i + 1])))) {
+        size_t j = i + 1;
+        while (j < body.size() && std::isdigit(static_cast<unsigned char>(body[j]))) {
+          ++j;
+        }
+        line.tokens.emplace_back(body.substr(i, j - i));
+        i = j;
+        continue;
+      }
+      // Single-character punctuation.
+      static const std::string kPunct = ":=.,()[]{}<>";
+      if (kPunct.find(c) != std::string::npos) {
+        line.tokens.emplace_back(1, c);
+        ++i;
+        continue;
+      }
+      throw std::runtime_error("line " + std::to_string(line_number) +
+                               ": unexpected character '" + std::string(1, c) + "'");
+    }
+    if (!line.tokens.empty() || line.loc.valid()) lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Cursor over one line's tokens.
+class TokenCursor {
+ public:
+  explicit TokenCursor(const Line& line) : line_(line) {}
+
+  [[nodiscard]] bool done() const { return pos_ >= line_.tokens.size(); }
+  [[nodiscard]] const std::string& peek() const {
+    static const std::string kEnd;
+    return done() ? kEnd : line_.tokens[pos_];
+  }
+  const std::string& next() {
+    if (done()) fail("unexpected end of line");
+    return line_.tokens[pos_++];
+  }
+  void expect(const std::string& token) {
+    if (peek() != token) fail("expected '" + token + "', got '" + peek() + "'");
+    ++pos_;
+  }
+  bool accept(const std::string& token) {
+    if (peek() != token) return false;
+    ++pos_;
+    return true;
+  }
+  int64_t expect_int() {
+    const std::string& token = next();
+    try {
+      return std::stoll(token);
+    } catch (const std::exception&) {
+      fail("expected integer, got '" + token + "'");
+    }
+  }
+  [[noreturn]] void fail(const std::string& message) const {
+    throw std::runtime_error("line " + std::to_string(line_.number) + ": " +
+                             message);
+  }
+
+ private:
+  const Line& line_;
+  size_t pos_ = 0;
+};
+
+uint32_t width_for_count(int64_t max_value) {
+  uint32_t width = 1;
+  while ((int64_t{1} << width) <= max_value && width < 63) ++width;
+  return width;
+}
+
+class CircuitParser {
+ public:
+  explicit CircuitParser(std::string_view text) : lines_(lex(text)) {}
+
+  std::unique_ptr<Circuit> parse() {
+    TokenCursor header(current());
+    header.expect("circuit");
+    auto circuit = std::make_unique<Circuit>(header.next());
+    advance();
+    // Pre-scan: collect module port signatures so `inst` references resolve
+    // regardless of declaration order.
+    prescan_module_ports();
+    while (!done()) {
+      TokenCursor cursor(current());
+      if (cursor.accept("end")) {
+        advance();
+        break;
+      }
+      parse_module(*circuit);
+    }
+    return circuit;
+  }
+
+ private:
+  [[nodiscard]] bool done() const { return index_ >= lines_.size(); }
+  [[nodiscard]] const Line& current() const {
+    if (done()) throw std::runtime_error("unexpected end of input");
+    return lines_[index_];
+  }
+  void advance() { ++index_; }
+
+  void prescan_module_ports() {
+    std::string module_name;
+    for (const auto& line : lines_) {
+      if (line.tokens.empty()) continue;
+      TokenCursor cursor(line);
+      if (cursor.accept("module")) {
+        module_name = cursor.next();
+        module_ports_[module_name] = {};
+      } else if (!module_name.empty() &&
+                 (line.tokens[0] == "input" || line.tokens[0] == "output")) {
+        TokenCursor port_cursor(line);
+        const bool is_input = port_cursor.next() == "input";
+        Port port;
+        port.name = port_cursor.next();
+        port_cursor.expect(":");
+        port.type = parse_type(port_cursor);
+        port.direction = is_input ? Direction::Input : Direction::Output;
+        port.loc = line.loc;
+        module_ports_[module_name].push_back(std::move(port));
+      }
+    }
+  }
+
+  TypePtr parse_type(TokenCursor& cursor) {
+    TypePtr type;
+    const std::string& head = cursor.next();
+    if (head == "UInt" || head == "SInt") {
+      cursor.expect("<");
+      const int64_t width = cursor.expect_int();
+      cursor.expect(">");
+      if (width <= 0) cursor.fail("type width must be positive");
+      type = head == "UInt" ? uint_type(static_cast<uint32_t>(width))
+                            : sint_type(static_cast<uint32_t>(width));
+    } else if (head == "Clock") {
+      type = clock_type();
+    } else if (head == "Reset") {
+      type = reset_type();
+    } else if (head == "{") {
+      std::vector<BundleField> fields;
+      if (!cursor.accept("}")) {
+        while (true) {
+          BundleField field;
+          field.flip = cursor.accept("flip");
+          field.name = cursor.next();
+          cursor.expect(":");
+          field.type = parse_type(cursor);
+          fields.push_back(std::move(field));
+          if (cursor.accept("}")) break;
+          cursor.expect(",");
+        }
+      }
+      type = bundle_type(std::move(fields));
+    } else {
+      cursor.fail("unknown type '" + head + "'");
+    }
+    // Vector suffixes: T[4][2] — only with a constant size.
+    while (cursor.peek() == "[") {
+      cursor.expect("[");
+      const int64_t size = cursor.expect_int();
+      cursor.expect("]");
+      if (size <= 0) cursor.fail("vector size must be positive");
+      type = vector_type(type, static_cast<uint32_t>(size));
+    }
+    return type;
+  }
+
+  TypePtr lookup(TokenCursor& cursor, const std::string& name) {
+    auto it = scope_.find(name);
+    if (it == scope_.end()) cursor.fail("unknown identifier '" + name + "'");
+    return it->second;
+  }
+
+  ExprPtr parse_expr(TokenCursor& cursor) {
+    const std::string head = cursor.next();
+    ExprPtr expr;
+    // Literal: UInt<8>(42)
+    if ((head == "UInt" || head == "SInt") && cursor.peek() == "<") {
+      cursor.expect("<");
+      const int64_t width = cursor.expect_int();
+      cursor.expect(">");
+      cursor.expect("(");
+      const int64_t value = cursor.expect_int();
+      cursor.expect(")");
+      common::BitVector bits(static_cast<uint32_t>(width),
+                             static_cast<uint64_t>(value));
+      return make_literal(std::move(bits), head == "SInt");
+    }
+    PrimOp op;
+    if (cursor.peek() == "(" && prim_op_from_name(head, &op)) {
+      cursor.expect("(");
+      std::vector<ExprPtr> operands;
+      std::vector<uint32_t> int_params;
+      if (!cursor.accept(")")) {
+        while (true) {
+          // Integer parameters (bits/pad/shl/shr) are bare integers.
+          const std::string& token = cursor.peek();
+          if (!token.empty() &&
+              (std::isdigit(static_cast<unsigned char>(token[0])) ||
+               token[0] == '-')) {
+            int_params.push_back(static_cast<uint32_t>(cursor.expect_int()));
+          } else {
+            operands.push_back(parse_expr(cursor));
+          }
+          if (cursor.accept(")")) break;
+          cursor.expect(",");
+        }
+      }
+      expr = make_prim(op, std::move(operands), std::move(int_params));
+    } else {
+      expr = make_ref(head, lookup(cursor, head));
+    }
+    // Postfix: .field, [const], [expr]
+    while (true) {
+      if (cursor.accept(".")) {
+        expr = make_subfield(std::move(expr), cursor.next());
+        continue;
+      }
+      if (cursor.peek() == "[") {
+        cursor.expect("[");
+        const std::string& token = cursor.peek();
+        if (!token.empty() && std::isdigit(static_cast<unsigned char>(token[0]))) {
+          const int64_t index = cursor.expect_int();
+          expr = make_subindex(std::move(expr), static_cast<uint32_t>(index));
+        } else {
+          ExprPtr index = parse_expr(cursor);
+          expr = make_subaccess(std::move(expr), std::move(index));
+        }
+        cursor.expect("]");
+        continue;
+      }
+      break;
+    }
+    return expr;
+  }
+
+  /// Parses optional `source <ident>` / `enable <expr>` suffixes.
+  void parse_stmt_suffixes(TokenCursor& cursor, std::string* source_name,
+                           ExprPtr* enable) {
+    while (!cursor.done()) {
+      if (source_name != nullptr && cursor.accept("source")) {
+        *source_name = cursor.next();
+        continue;
+      }
+      if (enable != nullptr && cursor.accept("enable")) {
+        *enable = parse_expr(cursor);
+        continue;
+      }
+      cursor.fail("unexpected trailing token '" + cursor.peek() + "'");
+    }
+  }
+
+  void parse_module(Circuit& circuit) {
+    TokenCursor header(current());
+    header.expect("module");
+    auto module = std::make_unique<Module>(header.next());
+    advance();
+    scope_.clear();
+    // Ports.
+    while (!done()) {
+      TokenCursor cursor(current());
+      if (cursor.peek() != "input" && cursor.peek() != "output") break;
+      const bool is_input = cursor.next() == "input";
+      Port port;
+      port.name = cursor.next();
+      cursor.expect(":");
+      port.type = parse_type(cursor);
+      port.direction = is_input ? Direction::Input : Direction::Output;
+      port.loc = current().loc;
+      scope_[port.name] = port.type;
+      module->add_port(std::move(port));
+      advance();
+    }
+    // Body.
+    module->set_body(parse_block(/*allow_else=*/false));
+    TokenCursor footer(current());
+    footer.expect("end");
+    advance();
+    circuit.add_module(std::move(module));
+  }
+
+  /// Parses statements until `end` (or `else` when allow_else). Does not
+  /// consume the terminator.
+  std::unique_ptr<BlockStmt> parse_block(bool allow_else) {
+    auto block = std::make_unique<BlockStmt>();
+    while (!done()) {
+      const Line& line = current();
+      TokenCursor cursor(line);
+      const std::string& head = cursor.peek();
+      if (head == "end" || (allow_else && head == "else")) return block;
+
+      if (head == "wire") {
+        cursor.next();
+        const std::string name = cursor.next();
+        cursor.expect(":");
+        TypePtr type = parse_type(cursor);
+        auto wire = std::make_unique<WireStmt>(name, type);
+        parse_stmt_suffixes(cursor, &wire->source_name, nullptr);
+        if (wire->source_name.empty()) wire->source_name = name;
+        wire->loc = line.loc;
+        scope_[name] = type;
+        block->push(std::move(wire));
+        advance();
+      } else if (head == "reg") {
+        cursor.next();
+        const std::string name = cursor.next();
+        cursor.expect(":");
+        TypePtr type = parse_type(cursor);
+        cursor.expect("clock");
+        const std::string clock_name = cursor.next();
+        auto reg = std::make_unique<RegStmt>(name, type, clock_name);
+        if (cursor.accept("reset")) {
+          // Register the name before parsing reset/init so self-references
+          // are impossible but forward shapes stay simple.
+          reg->reset = parse_expr(cursor);
+          cursor.expect("init");
+          reg->init = parse_expr(cursor);
+        }
+        parse_stmt_suffixes(cursor, &reg->source_name, nullptr);
+        if (reg->source_name.empty()) reg->source_name = name;
+        reg->loc = line.loc;
+        scope_[name] = type;
+        block->push(std::move(reg));
+        advance();
+      } else if (head == "node") {
+        cursor.next();
+        const std::string name = cursor.next();
+        cursor.expect("=");
+        ExprPtr value = parse_expr(cursor);
+        auto node = std::make_unique<NodeStmt>(name, value);
+        parse_stmt_suffixes(cursor, &node->source_name, &node->enable);
+        if (node->source_name.empty()) node->source_name = name;
+        node->loc = line.loc;
+        scope_[name] = value->type();
+        block->push(std::move(node));
+        advance();
+      } else if (head == "connect") {
+        cursor.next();
+        ExprPtr lhs = parse_expr(cursor);
+        cursor.expect("=");
+        ExprPtr rhs = parse_expr(cursor);
+        auto connect = std::make_unique<ConnectStmt>(std::move(lhs), std::move(rhs));
+        parse_stmt_suffixes(cursor, nullptr, &connect->enable);
+        connect->loc = line.loc;
+        block->push(std::move(connect));
+        advance();
+      } else if (head == "when") {
+        cursor.next();
+        ExprPtr cond = parse_expr(cursor);
+        auto when = std::make_unique<WhenStmt>(std::move(cond));
+        when->loc = line.loc;
+        advance();
+        when->then_body = parse_block(/*allow_else=*/true);
+        TokenCursor tail(current());
+        if (tail.accept("else")) {
+          advance();
+          when->else_body = parse_block(/*allow_else=*/false);
+        }
+        TokenCursor end_cursor(current());
+        end_cursor.expect("end");
+        advance();
+        block->push(std::move(when));
+      } else if (head == "for") {
+        cursor.next();
+        const std::string var = cursor.next();
+        cursor.expect("=");
+        const int64_t start = cursor.expect_int();
+        cursor.expect("to");
+        const int64_t end = cursor.expect_int();
+        if (end < start) cursor.fail("for loop end < start");
+        auto loop = std::make_unique<ForStmt>(var, start, end);
+        loop->loc = line.loc;
+        advance();
+        // The loop variable is in scope inside the body with the minimal
+        // width holding end-1.
+        const TypePtr var_type =
+            uint_type(width_for_count(std::max<int64_t>(end - 1, 1)));
+        std::optional<TypePtr> saved;
+        if (auto it = scope_.find(var); it != scope_.end()) saved = it->second;
+        scope_[var] = var_type;
+        loop->body = parse_block(/*allow_else=*/false);
+        if (saved) {
+          scope_[var] = *saved;
+        } else {
+          scope_.erase(var);
+        }
+        TokenCursor end_cursor(current());
+        end_cursor.expect("end");
+        advance();
+        block->push(std::move(loop));
+      } else if (head == "inst") {
+        cursor.next();
+        const std::string name = cursor.next();
+        cursor.expect("of");
+        const std::string module_name = cursor.next();
+        auto it = module_ports_.find(module_name);
+        if (it == module_ports_.end()) {
+          cursor.fail("instance of unknown module '" + module_name + "'");
+        }
+        std::vector<BundleField> fields;
+        fields.reserve(it->second.size());
+        for (const auto& port : it->second) {
+          fields.push_back(BundleField{
+              port.name, port.type, port.direction == Direction::Output});
+        }
+        scope_[name] = bundle_type(std::move(fields));
+        auto inst = std::make_unique<InstanceStmt>(name, module_name);
+        inst->loc = line.loc;
+        block->push(std::move(inst));
+        advance();
+      } else {
+        cursor.fail("unexpected statement '" + head + "'");
+      }
+    }
+    throw std::runtime_error("unexpected end of input inside a block");
+  }
+
+  std::vector<Line> lines_;
+  size_t index_ = 0;
+  std::map<std::string, TypePtr> scope_;
+  std::map<std::string, std::vector<Port>> module_ports_;
+};
+
+}  // namespace
+
+std::unique_ptr<Circuit> parse_circuit(std::string_view text) {
+  return CircuitParser(text).parse();
+}
+
+}  // namespace hgdb::ir

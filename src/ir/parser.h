@@ -1,0 +1,19 @@
+#ifndef HGDB_IR_PARSER_H
+#define HGDB_IR_PARSER_H
+
+#include <memory>
+#include <string_view>
+
+#include "ir/circuit.h"
+
+namespace hgdb::ir {
+
+/// Parses the canonical text format emitted by `print_circuit`.
+/// Throws std::runtime_error with a line number on malformed input.
+///
+/// The parsed circuit's form is not checked here; run passes::check_form.
+std::unique_ptr<Circuit> parse_circuit(std::string_view text);
+
+}  // namespace hgdb::ir
+
+#endif  // HGDB_IR_PARSER_H

@@ -1,0 +1,121 @@
+#include "ir/printer.h"
+
+namespace hgdb::ir {
+
+namespace {
+
+std::string indent_of(int indent) { return std::string(indent * 2, ' '); }
+
+std::string loc_suffix(const common::SourceLoc& loc) {
+  if (!loc.valid()) return "";
+  return " @[" + loc.filename + " " + std::to_string(loc.line) + " " +
+         std::to_string(loc.column) + "]";
+}
+
+std::string source_suffix(const std::string& source_name,
+                          const std::string& rtl_name) {
+  if (source_name.empty() || source_name == rtl_name) return "";
+  return " source " + source_name;
+}
+
+std::string enable_suffix(const ExprPtr& enable) {
+  if (!enable) return "";
+  return " enable " + enable->str();
+}
+
+void print_stmt_to(const Stmt& stmt, int indent, std::string& out) {
+  const std::string pad = indent_of(indent);
+  switch (stmt.kind()) {
+    case StmtKind::Block:
+      for (const auto& child : static_cast<const BlockStmt&>(stmt).stmts) {
+        print_stmt_to(*child, indent, out);
+      }
+      break;
+    case StmtKind::Wire: {
+      const auto& wire = static_cast<const WireStmt&>(stmt);
+      out += pad + "wire " + wire.name + " : " + wire.type->str() +
+             source_suffix(wire.source_name, wire.name) + loc_suffix(wire.loc) +
+             "\n";
+      break;
+    }
+    case StmtKind::Reg: {
+      const auto& reg = static_cast<const RegStmt&>(stmt);
+      out += pad + "reg " + reg.name + " : " + reg.type->str() + " clock " +
+             reg.clock_name;
+      if (reg.reset) {
+        out += " reset " + reg.reset->str() + " init " + reg.init->str();
+      }
+      out += source_suffix(reg.source_name, reg.name) + loc_suffix(reg.loc) + "\n";
+      break;
+    }
+    case StmtKind::Node: {
+      const auto& node = static_cast<const NodeStmt&>(stmt);
+      out += pad + "node " + node.name + " = " + node.value->str() +
+             source_suffix(node.source_name, node.name) +
+             enable_suffix(node.enable) + loc_suffix(node.loc) + "\n";
+      break;
+    }
+    case StmtKind::Connect: {
+      const auto& connect = static_cast<const ConnectStmt&>(stmt);
+      out += pad + "connect " + connect.lhs->str() + " = " + connect.rhs->str() +
+             enable_suffix(connect.enable) + loc_suffix(connect.loc) + "\n";
+      break;
+    }
+    case StmtKind::When: {
+      const auto& when = static_cast<const WhenStmt&>(stmt);
+      out += pad + "when " + when.cond->str() + loc_suffix(when.loc) + "\n";
+      print_stmt_to(*when.then_body, indent + 1, out);
+      if (when.else_body && !when.else_body->stmts.empty()) {
+        out += pad + "else\n";
+        print_stmt_to(*when.else_body, indent + 1, out);
+      }
+      out += pad + "end\n";
+      break;
+    }
+    case StmtKind::For: {
+      const auto& loop = static_cast<const ForStmt&>(stmt);
+      out += pad + "for " + loop.var + " = " + std::to_string(loop.start) +
+             " to " + std::to_string(loop.end) + loc_suffix(loop.loc) + "\n";
+      print_stmt_to(*loop.body, indent + 1, out);
+      out += pad + "end\n";
+      break;
+    }
+    case StmtKind::Instance: {
+      const auto& inst = static_cast<const InstanceStmt&>(stmt);
+      out += pad + "inst " + inst.name + " of " + inst.module_name +
+             loc_suffix(inst.loc) + "\n";
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string print_stmt(const Stmt& stmt, int indent) {
+  std::string out;
+  print_stmt_to(stmt, indent, out);
+  return out;
+}
+
+std::string print_module(const Module& module) {
+  std::string out = "  module " + module.name() + "\n";
+  for (const auto& port : module.ports()) {
+    out += "    ";
+    out += port.direction == Direction::Input ? "input " : "output ";
+    out += port.name + " : " + port.type->str() + loc_suffix(port.loc) + "\n";
+  }
+  out += print_stmt(module.body(), 2);
+  out += "  end\n";
+  return out;
+}
+
+std::string print_circuit(const Circuit& circuit) {
+  std::string out = "circuit " + circuit.top_name() + "\n";
+  for (const auto& module : circuit.modules()) {
+    out += print_module(*module);
+  }
+  out += "end\n";
+  return out;
+}
+
+}  // namespace hgdb::ir

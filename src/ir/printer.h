@@ -1,0 +1,18 @@
+#ifndef HGDB_IR_PRINTER_H
+#define HGDB_IR_PRINTER_H
+
+#include <string>
+
+#include "ir/circuit.h"
+
+namespace hgdb::ir {
+
+/// Prints a circuit in the canonical text format (see docs/ir_format.md).
+/// The output round-trips through `parse_circuit`.
+std::string print_circuit(const Circuit& circuit);
+std::string print_module(const Module& module);
+std::string print_stmt(const Stmt& stmt, int indent = 0);
+
+}  // namespace hgdb::ir
+
+#endif  // HGDB_IR_PRINTER_H

@@ -1,0 +1,182 @@
+#ifndef HGDB_IR_STMT_H
+#define HGDB_IR_STMT_H
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/source_loc.h"
+#include "ir/expr.h"
+#include "ir/type.h"
+
+namespace hgdb::ir {
+
+class Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class StmtKind : uint8_t {
+  Wire,      ///< mutable named signal; High form allows multiple connects
+  Reg,       ///< clocked state element (optional synchronous reset)
+  Node,      ///< immutable named intermediate (SSA output; FIRRTL `node`)
+  Connect,   ///< lhs <= rhs
+  When,      ///< conditional block (High form only; removed by SSA)
+  For,       ///< static-bound loop (High form only; removed by UnrollLoops)
+  Instance,  ///< child module instantiation
+  Block,     ///< statement sequence
+};
+
+/// Base statement. Every statement carries the generator SourceLoc that
+/// produced it — this is the raw material for breakpoints (paper Sec. 4.1:
+/// "Chisel stores original Scala filenames and line numbers in FIRRTL ...
+/// which can be used to compute breakpoints").
+class Stmt {
+ public:
+  explicit Stmt(StmtKind kind) : kind_(kind) {}
+  virtual ~Stmt() = default;
+
+  [[nodiscard]] StmtKind kind() const { return kind_; }
+  [[nodiscard]] virtual StmtPtr clone() const = 0;
+
+  common::SourceLoc loc;
+
+  /// Constant bindings introduced by UnrollLoops for the unrolled iterations
+  /// enclosing this statement, e.g. {"i", 1}. SSA copies these into each
+  /// breakpoint's scope, so the debugger can display the loop index that a
+  /// particular emulated breakpoint corresponds to (paper Sec. 3.1).
+  std::vector<std::pair<std::string, int64_t>> loop_bindings;
+
+ private:
+  StmtKind kind_;
+};
+
+class BlockStmt final : public Stmt {
+ public:
+  BlockStmt() : Stmt(StmtKind::Block) {}
+
+  std::vector<StmtPtr> stmts;
+
+  void push(StmtPtr stmt) { stmts.push_back(std::move(stmt)); }
+  [[nodiscard]] StmtPtr clone() const override;
+  /// Clone returning the concrete type (used by When/For cloning).
+  [[nodiscard]] std::unique_ptr<BlockStmt> clone_block() const;
+};
+
+class WireStmt final : public Stmt {
+ public:
+  WireStmt(std::string name, TypePtr type)
+      : Stmt(StmtKind::Wire), name(std::move(name)), type(std::move(type)) {}
+
+  std::string name;
+  TypePtr type;
+  /// Generator-level variable name this wire represents ("sum" in the
+  /// paper's Listing 1). Defaults to `name`; SSA keeps it stable while
+  /// renaming the RTL-side name.
+  std::string source_name;
+
+  [[nodiscard]] StmtPtr clone() const override;
+};
+
+class RegStmt final : public Stmt {
+ public:
+  RegStmt(std::string name, TypePtr type, std::string clock_name)
+      : Stmt(StmtKind::Reg),
+        name(std::move(name)),
+        type(std::move(type)),
+        clock_name(std::move(clock_name)) {}
+
+  std::string name;
+  TypePtr type;
+  std::string clock_name;
+  /// Optional synchronous reset: when `reset` is true at a clock edge the
+  /// register loads `init` instead of its connected next-value.
+  ExprPtr reset;  // 1-bit, may be null
+  ExprPtr init;   // same type as the register, null iff reset is null
+  std::string source_name;
+
+  [[nodiscard]] StmtPtr clone() const override;
+};
+
+class NodeStmt final : public Stmt {
+ public:
+  NodeStmt(std::string name, ExprPtr value)
+      : Stmt(StmtKind::Node), name(std::move(name)), value(std::move(value)) {}
+
+  std::string name;
+  ExprPtr value;
+  std::string source_name;
+  /// SSA enable condition (paper Sec. 3.1): the AND-reduction of the
+  /// condition stack under which this statement is "live". Null means
+  /// unconditional. Stored on the node so Algorithm 1's second pass can
+  /// collect it after optimization.
+  ExprPtr enable;
+  /// True for compiler-created nodes (SSA phi joins) that do not correspond
+  /// to an executable source statement; no breakpoint is emitted for them.
+  bool synthetic = false;
+
+  [[nodiscard]] StmtPtr clone() const override;
+};
+
+class ConnectStmt final : public Stmt {
+ public:
+  ConnectStmt(ExprPtr lhs, ExprPtr rhs)
+      : Stmt(StmtKind::Connect), lhs(std::move(lhs)), rhs(std::move(rhs)) {}
+
+  ExprPtr lhs;  ///< Ref / SubField / SubIndex path
+  ExprPtr rhs;
+  ExprPtr enable;  ///< see NodeStmt::enable
+
+  [[nodiscard]] StmtPtr clone() const override;
+};
+
+class WhenStmt final : public Stmt {
+ public:
+  explicit WhenStmt(ExprPtr cond)
+      : Stmt(StmtKind::When),
+        cond(std::move(cond)),
+        then_body(std::make_unique<BlockStmt>()) {}
+
+  ExprPtr cond;  ///< 1-bit
+  std::unique_ptr<BlockStmt> then_body;
+  std::unique_ptr<BlockStmt> else_body;  ///< may be null
+
+  [[nodiscard]] StmtPtr clone() const override;
+};
+
+class ForStmt final : public Stmt {
+ public:
+  ForStmt(std::string var, int64_t start, int64_t end)
+      : Stmt(StmtKind::For),
+        var(std::move(var)),
+        start(start),
+        end(end),
+        body(std::make_unique<BlockStmt>()) {}
+
+  std::string var;  ///< loop variable, substituted as a constant when unrolled
+  int64_t start;    ///< inclusive
+  int64_t end;      ///< exclusive
+  std::unique_ptr<BlockStmt> body;
+
+  [[nodiscard]] StmtPtr clone() const override;
+};
+
+class InstanceStmt final : public Stmt {
+ public:
+  InstanceStmt(std::string name, std::string module_name)
+      : Stmt(StmtKind::Instance),
+        name(std::move(name)),
+        module_name(std::move(module_name)) {}
+
+  std::string name;
+  std::string module_name;
+
+  [[nodiscard]] StmtPtr clone() const override;
+};
+
+/// Pre-order traversal over a statement tree.
+void visit_stmts(const Stmt& root, const std::function<void(const Stmt&)>& fn);
+void visit_stmts(Stmt& root, const std::function<void(Stmt&)>& fn);
+
+}  // namespace hgdb::ir
+
+#endif  // HGDB_IR_STMT_H

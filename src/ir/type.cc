@@ -1,0 +1,91 @@
+#include "ir/type.h"
+
+namespace hgdb::ir {
+
+std::string GroundType::str() const {
+  switch (kind()) {
+    case TypeKind::UInt: return "UInt<" + std::to_string(width_) + ">";
+    case TypeKind::SInt: return "SInt<" + std::to_string(width_) + ">";
+    case TypeKind::Clock: return "Clock";
+    case TypeKind::Reset: return "Reset";
+    default: return "<bad-ground>";
+  }
+}
+
+bool GroundType::equals(const Type& rhs) const {
+  if (rhs.kind() != kind()) return false;
+  return static_cast<const GroundType&>(rhs).width_ == width_;
+}
+
+const BundleField* BundleType::field(const std::string& name) const {
+  for (const auto& f : fields_) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+uint32_t BundleType::bit_width() const {
+  uint32_t total = 0;
+  for (const auto& f : fields_) total += f.type->bit_width();
+  return total;
+}
+
+std::string BundleType::str() const {
+  std::string out = "{";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i != 0) out += ", ";
+    if (fields_[i].flip) out += "flip ";
+    out += fields_[i].name + " : " + fields_[i].type->str();
+  }
+  return out + "}";
+}
+
+bool BundleType::equals(const Type& rhs) const {
+  if (rhs.kind() != TypeKind::Bundle) return false;
+  const auto& other = static_cast<const BundleType&>(rhs);
+  if (other.fields_.size() != fields_.size()) return false;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name != other.fields_[i].name) return false;
+    if (fields_[i].flip != other.fields_[i].flip) return false;
+    if (!fields_[i].type->equals(*other.fields_[i].type)) return false;
+  }
+  return true;
+}
+
+std::string VectorType::str() const {
+  return element_->str() + "[" + std::to_string(size_) + "]";
+}
+
+bool VectorType::equals(const Type& rhs) const {
+  if (rhs.kind() != TypeKind::Vector) return false;
+  const auto& other = static_cast<const VectorType&>(rhs);
+  return size_ == other.size_ && element_->equals(*other.element_);
+}
+
+TypePtr uint_type(uint32_t width) {
+  return std::make_shared<GroundType>(TypeKind::UInt, width);
+}
+
+TypePtr sint_type(uint32_t width) {
+  return std::make_shared<GroundType>(TypeKind::SInt, width);
+}
+
+TypePtr bool_type() { return uint_type(1); }
+
+TypePtr clock_type() {
+  return std::make_shared<GroundType>(TypeKind::Clock, 1);
+}
+
+TypePtr reset_type() {
+  return std::make_shared<GroundType>(TypeKind::Reset, 1);
+}
+
+TypePtr bundle_type(std::vector<BundleField> fields) {
+  return std::make_shared<BundleType>(std::move(fields));
+}
+
+TypePtr vector_type(TypePtr element, uint32_t size) {
+  return std::make_shared<VectorType>(std::move(element), size);
+}
+
+}  // namespace hgdb::ir

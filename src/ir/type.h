@@ -1,0 +1,112 @@
+#ifndef HGDB_IR_TYPE_H
+#define HGDB_IR_TYPE_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace hgdb::ir {
+
+class Type;
+using TypePtr = std::shared_ptr<const Type>;
+
+/// IR type system, modelled after FIRRTL's (paper Sec. 4.1).
+///
+/// Ground types (UInt/SInt/Clock/Reset) survive to the Low form; aggregate
+/// types (Bundle/Vector) only exist in the High form and are flattened by
+/// the LowerAggregates pass — this flattening is exactly why the debugger
+/// runtime must *re-aggregate* bundles when reconstructing frames
+/// (paper Sec. 4.2: "reconstruct structured variables from a list of
+/// flattened RTL signals").
+enum class TypeKind : uint8_t { UInt, SInt, Clock, Reset, Bundle, Vector };
+
+/// One member of a Bundle. `flip` reverses connection direction relative to
+/// the enclosing bundle (FIRRTL's `flip`), used for ready/valid interfaces.
+struct BundleField {
+  std::string name;
+  TypePtr type;
+  bool flip = false;
+};
+
+class Type {
+ public:
+  explicit Type(TypeKind kind) : kind_(kind) {}
+  virtual ~Type() = default;
+
+  [[nodiscard]] TypeKind kind() const { return kind_; }
+  [[nodiscard]] bool is_ground() const {
+    return kind_ == TypeKind::UInt || kind_ == TypeKind::SInt ||
+           kind_ == TypeKind::Clock || kind_ == TypeKind::Reset;
+  }
+  [[nodiscard]] bool is_aggregate() const { return !is_ground(); }
+  [[nodiscard]] bool is_signed() const { return kind_ == TypeKind::SInt; }
+
+  /// Bit width of a ground type; total bit count of an aggregate.
+  [[nodiscard]] virtual uint32_t bit_width() const = 0;
+  /// Human- and parser-facing spelling, e.g. "UInt<8>".
+  [[nodiscard]] virtual std::string str() const = 0;
+  /// Structural equality.
+  [[nodiscard]] virtual bool equals(const Type& rhs) const = 0;
+
+ private:
+  TypeKind kind_;
+};
+
+class GroundType final : public Type {
+ public:
+  GroundType(TypeKind kind, uint32_t width) : Type(kind), width_(width) {}
+
+  [[nodiscard]] uint32_t bit_width() const override { return width_; }
+  [[nodiscard]] std::string str() const override;
+  [[nodiscard]] bool equals(const Type& rhs) const override;
+
+ private:
+  uint32_t width_;
+};
+
+class BundleType final : public Type {
+ public:
+  explicit BundleType(std::vector<BundleField> fields)
+      : Type(TypeKind::Bundle), fields_(std::move(fields)) {}
+
+  [[nodiscard]] const std::vector<BundleField>& fields() const { return fields_; }
+  [[nodiscard]] const BundleField* field(const std::string& name) const;
+  [[nodiscard]] uint32_t bit_width() const override;
+  [[nodiscard]] std::string str() const override;
+  [[nodiscard]] bool equals(const Type& rhs) const override;
+
+ private:
+  std::vector<BundleField> fields_;
+};
+
+class VectorType final : public Type {
+ public:
+  VectorType(TypePtr element, uint32_t size)
+      : Type(TypeKind::Vector), element_(std::move(element)), size_(size) {}
+
+  [[nodiscard]] const TypePtr& element() const { return element_; }
+  [[nodiscard]] uint32_t size() const { return size_; }
+  [[nodiscard]] uint32_t bit_width() const override {
+    return element_->bit_width() * size_;
+  }
+  [[nodiscard]] std::string str() const override;
+  [[nodiscard]] bool equals(const Type& rhs) const override;
+
+ private:
+  TypePtr element_;
+  uint32_t size_;
+};
+
+// -- Factories ---------------------------------------------------------------
+TypePtr uint_type(uint32_t width);
+TypePtr sint_type(uint32_t width);
+TypePtr bool_type();
+TypePtr clock_type();
+TypePtr reset_type();
+TypePtr bundle_type(std::vector<BundleField> fields);
+TypePtr vector_type(TypePtr element, uint32_t size);
+
+}  // namespace hgdb::ir
+
+#endif  // HGDB_IR_TYPE_H

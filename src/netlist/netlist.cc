@@ -1,0 +1,371 @@
+#include "netlist/netlist.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace hgdb::netlist {
+
+namespace {
+
+using namespace ir;
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("elaborate: " + what);
+}
+
+}  // namespace
+
+class Elaborator {
+ public:
+  explicit Elaborator(const Circuit& circuit) : circuit_(circuit) {}
+
+  Netlist run() {
+    if (circuit_.form() != Form::Low) {
+      fail("circuit must be in Low form");
+    }
+    const Module* top = circuit_.top();
+    netlist_.top_name_ = top->name();
+    // Top-level ports become Input/Output signals.
+    Scope top_scope;
+    for (const auto& port : top->ports()) {
+      const bool is_input = port.direction == Direction::Input;
+      const uint32_t slot = new_signal(
+          top->name() + "." + port.name, port.type,
+          is_input ? SignalKind::Input : SignalKind::Output);
+      if (is_input && port.type->kind() == TypeKind::Clock) {
+        netlist_.signals_[slot].is_clock = true;
+        netlist_.clocks_.push_back(slot);
+      }
+      top_scope.slots[port.name] = slot;
+    }
+    elaborate_module(*top, top->name(), top_scope);
+    schedule();
+    resolve_register_clocks();
+    return std::move(netlist_);
+  }
+
+ private:
+  /// Name resolution for one module instance during elaboration.
+  struct Scope {
+    std::map<std::string, uint32_t> slots;          // name -> slot
+    std::map<std::string, Scope> children;          // instance -> child scope
+  };
+
+  uint32_t new_signal(const std::string& name, const TypePtr& type,
+                      SignalKind kind) {
+    Signal signal;
+    signal.id = static_cast<uint32_t>(netlist_.signals_.size());
+    signal.name = name;
+    signal.width = type->bit_width();
+    signal.kind = kind;
+    signal.is_signed = type->is_signed();
+    netlist_.signals_.push_back(signal);
+    if (!name.empty()) {
+      if (!netlist_.by_name_.emplace(name, signal.id).second) {
+        fail("duplicate hierarchical name '" + name + "'");
+      }
+    }
+    return signal.id;
+  }
+
+  uint32_t new_temp(uint32_t width, bool is_signed) {
+    Signal signal;
+    signal.id = static_cast<uint32_t>(netlist_.signals_.size());
+    signal.width = width;
+    signal.kind = SignalKind::Temp;
+    signal.is_signed = is_signed;
+    netlist_.signals_.push_back(signal);
+    return signal.id;
+  }
+
+  void emit_const(uint32_t dst, common::BitVector value) {
+    Instr instr;
+    instr.kind = Instr::Kind::Const;
+    instr.dst = dst;
+    instr.constant = std::move(value);
+    netlist_.instrs_.push_back(std::move(instr));
+  }
+
+  void emit_copy(uint32_t dst, uint32_t src) {
+    Instr instr;
+    instr.kind = Instr::Kind::Copy;
+    instr.dst = dst;
+    instr.operands = {src};
+    netlist_.instrs_.push_back(std::move(instr));
+  }
+
+  /// Emits instructions computing `expr`; returns the slot holding the
+  /// result.
+  uint32_t emit_expr(const ExprPtr& expr, const Scope& scope,
+                     const std::string& path) {
+    switch (expr->kind()) {
+      case ExprKind::Ref: {
+        const auto& ref = static_cast<const RefExpr&>(*expr);
+        auto it = scope.slots.find(ref.name());
+        if (it == scope.slots.end()) {
+          fail("unresolved reference '" + ref.name() + "' in " + path);
+        }
+        return it->second;
+      }
+      case ExprKind::SubField: {
+        // Instance port reference: inst.port.
+        const auto& field = static_cast<const SubFieldExpr&>(*expr);
+        if (field.base()->kind() != ExprKind::Ref) {
+          fail("unsupported field access '" + expr->str() + "'");
+        }
+        const auto& base = static_cast<const RefExpr&>(*field.base());
+        auto child = scope.children.find(base.name());
+        if (child == scope.children.end()) {
+          fail("unknown instance '" + base.name() + "' in " + path);
+        }
+        auto slot = child->second.slots.find(field.field());
+        if (slot == child->second.slots.end()) {
+          fail("unknown port '" + expr->str() + "' in " + path);
+        }
+        return slot->second;
+      }
+      case ExprKind::Literal: {
+        const auto& literal = static_cast<const LiteralExpr&>(*expr);
+        const uint32_t dst =
+            new_temp(expr->width(), expr->type()->is_signed());
+        emit_const(dst, literal.value());
+        return dst;
+      }
+      case ExprKind::Prim: {
+        const auto& prim = static_cast<const PrimExpr&>(*expr);
+        Instr instr;
+        instr.kind = Instr::Kind::Prim;
+        instr.op = prim.op();
+        instr.int_params = prim.int_params();
+        for (const auto& operand : prim.operands()) {
+          instr.operands.push_back(emit_expr(operand, scope, path));
+          instr.operand_signs.push_back(operand->type()->is_signed());
+        }
+        instr.dst = new_temp(expr->width(), expr->type()->is_signed());
+        const uint32_t dst = instr.dst;
+        netlist_.instrs_.push_back(std::move(instr));
+        return dst;
+      }
+      default:
+        fail("unsupported expression '" + expr->str() + "' after lowering");
+    }
+  }
+
+  void elaborate_module(const Module& module, const std::string& path,
+                        Scope& scope) {
+    netlist_.instance_paths_.push_back(path);
+    // First pass: declare every named slot (regs, nodes, instances) so any
+    // statement order works.
+    for (const auto& stmt : module.body().stmts) {
+      switch (stmt->kind()) {
+        case StmtKind::Reg: {
+          const auto& reg = static_cast<const RegStmt&>(*stmt);
+          const uint32_t slot =
+              new_signal(path + "." + reg.name, reg.type, SignalKind::Register);
+          scope.slots[reg.name] = slot;
+          break;
+        }
+        case StmtKind::Node: {
+          const auto& node = static_cast<const NodeStmt&>(*stmt);
+          const uint32_t slot = new_signal(path + "." + node.name,
+                                           node.value->type(), SignalKind::Wire);
+          scope.slots[node.name] = slot;
+          break;
+        }
+        case StmtKind::Instance: {
+          const auto& inst = static_cast<const InstanceStmt&>(*stmt);
+          const Module* child = circuit_.module(inst.module_name);
+          Scope child_scope;
+          for (const auto& port : child->ports()) {
+            const uint32_t slot =
+                new_signal(path + "." + inst.name + "." + port.name, port.type,
+                           SignalKind::Wire);
+            child_scope.slots[port.name] = slot;
+          }
+          scope.children.emplace(inst.name, std::move(child_scope));
+          break;
+        }
+        case StmtKind::Wire:
+          fail("wire statement survived SSA in module " + module.name());
+        default:
+          break;
+      }
+    }
+    // Second pass: emit logic.
+    for (const auto& stmt : module.body().stmts) {
+      switch (stmt->kind()) {
+        case StmtKind::Node: {
+          const auto& node = static_cast<const NodeStmt&>(*stmt);
+          const uint32_t value = emit_expr(node.value, scope, path);
+          emit_copy(scope.slots.at(node.name), value);
+          break;
+        }
+        case StmtKind::Connect: {
+          const auto& connect = static_cast<const ConnectStmt&>(*stmt);
+          const uint32_t rhs = emit_expr(connect.rhs, scope, path);
+          const uint32_t lhs = resolve_target(*connect.lhs, scope, path);
+          const Signal& lhs_signal = netlist_.signals_[lhs];
+          if (lhs_signal.kind == SignalKind::Register) {
+            // Next-value connect; recorded in the register table.
+            auto it = std::find_if(netlist_.registers_.begin(),
+                                   netlist_.registers_.end(),
+                                   [&](const Register& r) {
+                                     return r.signal == lhs;
+                                   });
+            if (it == netlist_.registers_.end()) {
+              fail("connect to unknown register in " + path);
+            }
+            it->next = rhs;
+          } else {
+            emit_copy(lhs, rhs);
+          }
+          break;
+        }
+        case StmtKind::Reg: {
+          const auto& reg = static_cast<const RegStmt&>(*stmt);
+          Register entry;
+          entry.signal = scope.slots.at(reg.name);
+          entry.next = entry.signal;  // hold by default
+          auto clock_it = scope.slots.find(reg.clock_name);
+          if (clock_it == scope.slots.end()) {
+            fail("register '" + reg.name + "' references unknown clock '" +
+                 reg.clock_name + "'");
+          }
+          entry.clock = clock_it->second;
+          if (reg.reset) {
+            entry.reset = emit_expr(reg.reset, scope, path);
+            entry.init = emit_expr(reg.init, scope, path);
+          }
+          netlist_.registers_.push_back(entry);
+          break;
+        }
+        case StmtKind::Instance: {
+          const auto& inst = static_cast<const InstanceStmt&>(*stmt);
+          const Module* child = circuit_.module(inst.module_name);
+          elaborate_module(*child, path + "." + inst.name,
+                           scope.children.at(inst.name));
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+
+  uint32_t resolve_target(const Expr& lhs, const Scope& scope,
+                          const std::string& path) {
+    if (lhs.kind() == ExprKind::Ref) {
+      const auto& ref = static_cast<const RefExpr&>(lhs);
+      auto it = scope.slots.find(ref.name());
+      if (it == scope.slots.end()) fail("unknown connect target in " + path);
+      return it->second;
+    }
+    if (lhs.kind() == ExprKind::SubField) {
+      const auto& field = static_cast<const SubFieldExpr&>(lhs);
+      const auto& base = static_cast<const RefExpr&>(*field.base());
+      auto child = scope.children.find(base.name());
+      if (child == scope.children.end()) {
+        fail("unknown instance target in " + path);
+      }
+      return child->second.slots.at(field.field());
+    }
+    fail("unsupported connect target '" + lhs.str() + "'");
+  }
+
+  /// Kahn topological sort of the combinational program. Register outputs,
+  /// inputs and constants are sources. Detects combinational loops.
+  void schedule() {
+    auto& instrs = netlist_.instrs_;
+    const size_t n = instrs.size();
+    // writer[slot] = instr index writing that slot (at most one: SSA).
+    std::vector<int32_t> writer(netlist_.signals_.size(), -1);
+    for (size_t i = 0; i < n; ++i) {
+      if (writer[instrs[i].dst] != -1) {
+        fail("slot written twice: " + netlist_.signals_[instrs[i].dst].name);
+      }
+      writer[instrs[i].dst] = static_cast<int32_t>(i);
+    }
+    std::vector<uint32_t> in_degree(n, 0);
+    std::vector<std::vector<uint32_t>> dependents(n);
+    for (size_t i = 0; i < n; ++i) {
+      for (uint32_t src : instrs[i].operands) {
+        const Signal& signal = netlist_.signals_[src];
+        if (signal.kind == SignalKind::Register ||
+            signal.kind == SignalKind::Input) {
+          continue;  // state/input: stable during eval
+        }
+        const int32_t w = writer[src];
+        if (w < 0) continue;  // undriven wire: defaults to zero
+        dependents[w].push_back(static_cast<uint32_t>(i));
+        ++in_degree[i];
+      }
+    }
+    std::vector<uint32_t> order;
+    order.reserve(n);
+    std::vector<uint32_t> ready;
+    for (size_t i = 0; i < n; ++i) {
+      if (in_degree[i] == 0) ready.push_back(static_cast<uint32_t>(i));
+    }
+    while (!ready.empty()) {
+      const uint32_t i = ready.back();
+      ready.pop_back();
+      order.push_back(i);
+      for (uint32_t d : dependents[i]) {
+        if (--in_degree[d] == 0) ready.push_back(d);
+      }
+    }
+    if (order.size() != n) {
+      // Find a slot involved in the cycle for the error message.
+      for (size_t i = 0; i < n; ++i) {
+        if (in_degree[i] != 0) {
+          fail("combinational loop involving '" +
+               netlist_.signals_[instrs[i].dst].name + "'");
+        }
+      }
+    }
+    std::vector<Instr> sorted;
+    sorted.reserve(n);
+    for (uint32_t i : order) sorted.push_back(std::move(instrs[i]));
+    instrs = std::move(sorted);
+  }
+
+  /// Traces each register's clock slot back through Copy instructions to a
+  /// top-level clock input.
+  void resolve_register_clocks() {
+    std::map<uint32_t, uint32_t> copy_src;  // dst -> src for Copy instrs
+    for (const auto& instr : netlist_.instrs_) {
+      if (instr.kind == Instr::Kind::Copy) {
+        copy_src[instr.dst] = instr.operands[0];
+      }
+    }
+    for (auto& reg : netlist_.registers_) {
+      uint32_t slot = reg.clock;
+      for (int hops = 0; hops < 1024; ++hops) {
+        const Signal& signal = netlist_.signals_[slot];
+        if (signal.kind == SignalKind::Input && signal.is_clock) break;
+        auto it = copy_src.find(slot);
+        if (it == copy_src.end()) {
+          fail("register '" + netlist_.signals_[reg.signal].name +
+               "' is not driven by a top-level clock (derived clocks are "
+               "unsupported)");
+        }
+        slot = it->second;
+      }
+      reg.clock = slot;
+    }
+  }
+
+  const Circuit& circuit_;
+  Netlist netlist_;
+};
+
+std::optional<uint32_t> Netlist::signal_id(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+Netlist elaborate(const ir::Circuit& circuit) { return Elaborator(circuit).run(); }
+
+}  // namespace hgdb::netlist

@@ -1,0 +1,95 @@
+#ifndef HGDB_NETLIST_NETLIST_H
+#define HGDB_NETLIST_NETLIST_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bitvector.h"
+#include "ir/circuit.h"
+
+namespace hgdb::netlist {
+
+/// Kind of a value slot in the elaborated design.
+enum class SignalKind : uint8_t {
+  Input,     ///< top-level input (testbench-driven)
+  Output,    ///< top-level output
+  Register,  ///< state element; written at clock edges
+  Wire,      ///< named combinational value (IR node / child port)
+  Temp,      ///< unnamed expression temporary
+};
+
+struct Signal {
+  uint32_t id = 0;
+  /// Hierarchical name, e.g. "Top.child.sum0"; empty for temporaries.
+  std::string name;
+  uint32_t width = 1;
+  SignalKind kind = SignalKind::Wire;
+  bool is_signed = false;
+  bool is_clock = false;
+};
+
+/// One step of the (topologically sorted) combinational program.
+struct Instr {
+  enum class Kind : uint8_t { Const, Copy, Prim };
+  Kind kind = Kind::Prim;
+  uint32_t dst = 0;
+  ir::PrimOp op = ir::PrimOp::Add;       // Prim only
+  std::vector<uint32_t> operands;        // slot ids
+  std::vector<uint32_t> int_params;
+  std::vector<bool> operand_signs;
+  common::BitVector constant;            // Const only
+};
+
+struct Register {
+  uint32_t signal = 0;       ///< register output slot
+  uint32_t next = 0;         ///< next-value slot (sampled before the edge)
+  uint32_t clock = 0;        ///< top-level clock slot driving this register
+  std::optional<uint32_t> reset;  ///< synchronous reset slot
+  std::optional<uint32_t> init;   ///< value loaded while reset is high
+};
+
+/// A fully elaborated, flattened design: value slots + a topologically
+/// sorted combinational program + registers. This is the substrate the
+/// zero-delay simulator executes; the paper's breakpoint emulation relies
+/// on exactly these semantics (all values stable at every clock edge).
+class Netlist {
+ public:
+  [[nodiscard]] const std::vector<Signal>& signals() const { return signals_; }
+  [[nodiscard]] const std::vector<Instr>& instrs() const { return instrs_; }
+  [[nodiscard]] const std::vector<Register>& registers() const {
+    return registers_;
+  }
+  [[nodiscard]] const std::string& top_name() const { return top_name_; }
+  /// Top-level clock inputs.
+  [[nodiscard]] const std::vector<uint32_t>& clocks() const { return clocks_; }
+  /// Hierarchical instance paths, e.g. {"Top", "Top.child"}.
+  [[nodiscard]] const std::vector<std::string>& instance_paths() const {
+    return instance_paths_;
+  }
+
+  [[nodiscard]] std::optional<uint32_t> signal_id(const std::string& name) const;
+  [[nodiscard]] const Signal& signal(uint32_t id) const { return signals_[id]; }
+  [[nodiscard]] size_t slot_count() const { return signals_.size(); }
+
+ private:
+  friend class Elaborator;
+  std::vector<Signal> signals_;
+  std::vector<Instr> instrs_;
+  std::vector<Register> registers_;
+  std::vector<uint32_t> clocks_;
+  std::vector<std::string> instance_paths_;
+  std::map<std::string, uint32_t> by_name_;
+  std::string top_name_;
+};
+
+/// Elaborates a Low-form circuit into a flat netlist. Throws
+/// std::runtime_error on combinational loops, derived clocks, or other
+/// unsupported structures.
+Netlist elaborate(const ir::Circuit& circuit);
+
+}  // namespace hgdb::netlist
+
+#endif  // HGDB_NETLIST_NETLIST_H

@@ -1,0 +1,203 @@
+#include "netlist/verilog.h"
+
+#include <map>
+#include <stdexcept>
+
+namespace hgdb::netlist {
+
+namespace {
+
+using namespace ir;
+
+std::string width_decl(const TypePtr& type) {
+  const uint32_t width = type->bit_width();
+  if (width == 1) return "";
+  return "[" + std::to_string(width - 1) + ":0] ";
+}
+
+std::string literal_text(const LiteralExpr& literal) {
+  return std::to_string(literal.value().width()) + "'h" +
+         literal.value().to_string(16);
+}
+
+std::string expr_text(const ExprPtr& expr);
+
+std::string binop_text(const PrimExpr& prim, const char* op) {
+  return "(" + expr_text(prim.operands()[0]) + " " + op + " " +
+         expr_text(prim.operands()[1]) + ")";
+}
+
+std::string signed_wrap(const ExprPtr& operand) {
+  std::string text = expr_text(operand);
+  if (operand->type()->is_signed()) return "$signed(" + text + ")";
+  return text;
+}
+
+std::string expr_text(const ExprPtr& expr) {
+  switch (expr->kind()) {
+    case ExprKind::Ref:
+      return static_cast<const RefExpr&>(*expr).name();
+    case ExprKind::SubField: {
+      const auto& field = static_cast<const SubFieldExpr&>(*expr);
+      // Instance ports are hooked up through per-instance wires.
+      return expr_text(field.base()) + "_" + field.field();
+    }
+    case ExprKind::Literal:
+      return literal_text(static_cast<const LiteralExpr&>(*expr));
+    case ExprKind::Prim: {
+      const auto& prim = static_cast<const PrimExpr&>(*expr);
+      switch (prim.op()) {
+        case PrimOp::Add: return binop_text(prim, "+");
+        case PrimOp::Sub: return binop_text(prim, "-");
+        case PrimOp::Mul: return binop_text(prim, "*");
+        case PrimOp::Div: return binop_text(prim, "/");
+        case PrimOp::Rem: return binop_text(prim, "%");
+        case PrimOp::Lt: return binop_text(prim, "<");
+        case PrimOp::Leq: return binop_text(prim, "<=");
+        case PrimOp::Gt: return binop_text(prim, ">");
+        case PrimOp::Geq: return binop_text(prim, ">=");
+        case PrimOp::Eq: return binop_text(prim, "==");
+        case PrimOp::Neq: return binop_text(prim, "!=");
+        case PrimOp::And: return binop_text(prim, "&");
+        case PrimOp::Or: return binop_text(prim, "|");
+        case PrimOp::Xor: return binop_text(prim, "^");
+        case PrimOp::Not: return "(~" + expr_text(prim.operands()[0]) + ")";
+        case PrimOp::Neg: return "(-" + expr_text(prim.operands()[0]) + ")";
+        case PrimOp::AndR: return "(&" + expr_text(prim.operands()[0]) + ")";
+        case PrimOp::OrR: return "(|" + expr_text(prim.operands()[0]) + ")";
+        case PrimOp::XorR: return "(^" + expr_text(prim.operands()[0]) + ")";
+        case PrimOp::Cat:
+          return "{" + expr_text(prim.operands()[0]) + ", " +
+                 expr_text(prim.operands()[1]) + "}";
+        case PrimOp::Bits:
+          return expr_text(prim.operands()[0]) + "[" +
+                 std::to_string(prim.int_params()[0]) + ":" +
+                 std::to_string(prim.int_params()[1]) + "]";
+        case PrimOp::Shl:
+          return "(" + expr_text(prim.operands()[0]) + " << " +
+                 std::to_string(prim.int_params()[0]) + ")";
+        case PrimOp::Shr:
+          return "(" + signed_wrap(prim.operands()[0]) + " >>> " +
+                 std::to_string(prim.int_params()[0]) + ")";
+        case PrimOp::Dshl: return binop_text(prim, "<<");
+        case PrimOp::Dshr: return binop_text(prim, ">>");
+        case PrimOp::Pad: {
+          // Verilog widens implicitly in assignment context.
+          return signed_wrap(prim.operands()[0]);
+        }
+        case PrimOp::AsUInt:
+        case PrimOp::AsSInt:
+        case PrimOp::AsClock:
+          return expr_text(prim.operands()[0]);
+        case PrimOp::Mux:
+          return "(" + expr_text(prim.operands()[0]) + " ? " +
+                 expr_text(prim.operands()[1]) + " : " +
+                 expr_text(prim.operands()[2]) + ")";
+      }
+      return "/*bad prim*/";
+    }
+    default:
+      throw std::runtime_error("verilog: unsupported expression " + expr->str());
+  }
+}
+
+}  // namespace
+
+std::string emit_verilog_module(const ir::Circuit& circuit,
+                                const ir::Module& module) {
+  std::string out = "module " + module.name() + "(\n";
+  const auto& ports = module.ports();
+  for (size_t i = 0; i < ports.size(); ++i) {
+    out += "  ";
+    out += ports[i].direction == Direction::Input ? "input " : "output ";
+    out += width_decl(ports[i].type) + ports[i].name;
+    out += i + 1 == ports.size() ? "\n" : ",\n";
+  }
+  out += ");\n";
+
+  std::string body;
+  std::string always;
+  for (const auto& stmt : module.body().stmts) {
+    switch (stmt->kind()) {
+      case StmtKind::Reg: {
+        const auto& reg = static_cast<const RegStmt&>(*stmt);
+        body += "  reg " + width_decl(reg.type) + reg.name + ";\n";
+        break;
+      }
+      case StmtKind::Node: {
+        const auto& node = static_cast<const NodeStmt&>(*stmt);
+        body += "  wire " + width_decl(node.value->type()) + node.name + " = " +
+                expr_text(node.value) + ";";
+        if (node.loc.valid()) body += "  // " + node.loc.str();
+        body += "\n";
+        break;
+      }
+      case StmtKind::Instance: {
+        const auto& inst = static_cast<const InstanceStmt&>(*stmt);
+        const Module* child = circuit.module(inst.module_name);
+        for (const auto& port : child->ports()) {
+          body += "  wire " + width_decl(port.type) + inst.name + "_" +
+                  port.name + ";\n";
+        }
+        body += "  " + inst.module_name + " " + inst.name + "(";
+        bool first = true;
+        for (const auto& port : child->ports()) {
+          if (!first) body += ", ";
+          first = false;
+          body += "." + port.name + "(" + inst.name + "_" + port.name + ")";
+        }
+        body += ");\n";
+        break;
+      }
+      case StmtKind::Connect: {
+        const auto& connect = static_cast<const ConnectStmt&>(*stmt);
+        // Register next-values land in an always block.
+        bool is_reg = false;
+        if (connect.lhs->kind() == ExprKind::Ref) {
+          const std::string& name =
+              static_cast<const RefExpr&>(*connect.lhs).name();
+          visit_stmts(module.body(), [&](const Stmt& s) {
+            if (s.kind() == StmtKind::Reg &&
+                static_cast<const RegStmt&>(s).name == name) {
+              is_reg = true;
+            }
+          });
+        }
+        if (is_reg) {
+          always += "    " + expr_text(connect.lhs) + " <= " +
+                    expr_text(connect.rhs) + ";\n";
+        } else {
+          body += "  assign " + expr_text(connect.lhs) + " = " +
+                  expr_text(connect.rhs) + ";\n";
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  out += body;
+  if (!always.empty()) {
+    // All registers in a module share the module clock in the emitted text.
+    std::string clock_name = "clock";
+    visit_stmts(module.body(), [&](const Stmt& s) {
+      if (s.kind() == StmtKind::Reg) {
+        clock_name = static_cast<const RegStmt&>(s).clock_name;
+      }
+    });
+    out += "  always @(posedge " + clock_name + ") begin\n" + always +
+           "  end\n";
+  }
+  out += "endmodule\n";
+  return out;
+}
+
+std::string emit_verilog(const ir::Circuit& circuit) {
+  std::string out;
+  for (const auto& module : circuit.modules()) {
+    out += emit_verilog_module(circuit, *module) + "\n";
+  }
+  return out;
+}
+
+}  // namespace hgdb::netlist

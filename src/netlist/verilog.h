@@ -1,0 +1,24 @@
+#ifndef HGDB_NETLIST_VERILOG_H
+#define HGDB_NETLIST_VERILOG_H
+
+#include <string>
+
+#include "ir/circuit.h"
+
+namespace hgdb::netlist {
+
+/// Emits human-readable Verilog for a Low-form circuit.
+///
+/// This is the "generated RTL" a designer would otherwise have to debug by
+/// hand (the paper's Listing 4): flattened control flow, compiler-named
+/// temporaries, no trace of the source structure. The RTL simulator does
+/// *not* consume this output — it executes the elaborated netlist directly;
+/// the emitter exists so examples and docs can show what hgdb saves the
+/// user from reading.
+std::string emit_verilog(const ir::Circuit& circuit);
+std::string emit_verilog_module(const ir::Circuit& circuit,
+                                const ir::Module& module);
+
+}  // namespace hgdb::netlist
+
+#endif  // HGDB_NETLIST_VERILOG_H

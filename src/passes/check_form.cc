@@ -1,0 +1,133 @@
+#include <set>
+#include <stdexcept>
+
+#include "passes/pass.h"
+
+namespace hgdb::passes {
+
+namespace {
+
+[[noreturn]] void violation(const ir::Module& module, const std::string& what) {
+  throw std::runtime_error("form violation in module '" + module.name() +
+                           "': " + what);
+}
+
+/// Low form: every wire gets exactly one unconditional connect, no `when`.
+void check_single_assignment(const ir::Module& module) {
+  std::set<std::string> connected;
+  ir::visit_stmts(module.body(), [&](const ir::Stmt& stmt) {
+    if (stmt.kind() == ir::StmtKind::When) {
+      violation(module, "when statement present after SSA");
+    }
+    if (stmt.kind() == ir::StmtKind::Connect) {
+      const auto& connect = static_cast<const ir::ConnectStmt&>(stmt);
+      const std::string target = connect.lhs->str();
+      if (!connected.insert(target).second) {
+        violation(module, "multiple connects to '" + target + "'");
+      }
+    }
+  });
+}
+
+/// Mid/Low form: ground-typed declarations, no `for`, no dynamic indexing.
+void check_lowered(const ir::Module& module) {
+  for (const auto& port : module.ports()) {
+    if (!port.type->is_ground()) {
+      violation(module, "aggregate port '" + port.name + "' after lowering");
+    }
+  }
+  ir::visit_stmts(module.body(), [&](const ir::Stmt& stmt) {
+    switch (stmt.kind()) {
+      case ir::StmtKind::For:
+        violation(module, "for statement present after unrolling");
+      case ir::StmtKind::Wire: {
+        const auto& wire = static_cast<const ir::WireStmt&>(stmt);
+        if (!wire.type->is_ground()) {
+          violation(module, "aggregate wire '" + wire.name + "' after lowering");
+        }
+        break;
+      }
+      case ir::StmtKind::Reg: {
+        const auto& reg = static_cast<const ir::RegStmt&>(stmt);
+        if (!reg.type->is_ground()) {
+          violation(module, "aggregate reg '" + reg.name + "' after lowering");
+        }
+        break;
+      }
+      case ir::StmtKind::Node: {
+        const auto& node = static_cast<const ir::NodeStmt&>(stmt);
+        ir::visit_expr(node.value, [&](const ir::Expr& expr) {
+          if (expr.kind() == ir::ExprKind::SubAccess) {
+            violation(module,
+                      "dynamic index after lowering at node '" + node.name + "'");
+          }
+        });
+        break;
+      }
+      default:
+        break;
+    }
+  });
+}
+
+void check_unique_names(const ir::Module& module) {
+  std::set<std::string> names;
+  for (const auto& port : module.ports()) names.insert(port.name);
+  ir::visit_stmts(module.body(), [&](const ir::Stmt& stmt) {
+    const std::string* name = nullptr;
+    switch (stmt.kind()) {
+      case ir::StmtKind::Wire:
+        name = &static_cast<const ir::WireStmt&>(stmt).name;
+        break;
+      case ir::StmtKind::Reg:
+        name = &static_cast<const ir::RegStmt&>(stmt).name;
+        break;
+      case ir::StmtKind::Node:
+        name = &static_cast<const ir::NodeStmt&>(stmt).name;
+        break;
+      case ir::StmtKind::Instance:
+        name = &static_cast<const ir::InstanceStmt&>(stmt).name;
+        break;
+      default:
+        break;
+    }
+    if (name != nullptr && !names.insert(*name).second) {
+      violation(module, "duplicate declaration '" + *name + "'");
+    }
+  });
+}
+
+}  // namespace
+
+void check_form(const ir::Circuit& circuit, ir::Form form) {
+  if (circuit.top() == nullptr) {
+    throw std::runtime_error("circuit has no top module '" +
+                             circuit.top_name() + "'");
+  }
+  for (const auto& module : circuit.modules()) {
+    ir::visit_stmts(module->body(), [&](const ir::Stmt& stmt) {
+      if (stmt.kind() == ir::StmtKind::Instance) {
+        const auto& inst = static_cast<const ir::InstanceStmt&>(stmt);
+        if (circuit.module(inst.module_name) == nullptr) {
+          violation(*module, "instance '" + inst.name +
+                                 "' of unknown module '" + inst.module_name + "'");
+        }
+      }
+    });
+    switch (form) {
+      case ir::Form::High:
+        break;
+      case ir::Form::Mid:
+        check_unique_names(*module);
+        check_lowered(*module);
+        break;
+      case ir::Form::Low:
+        check_unique_names(*module);
+        check_lowered(*module);
+        check_single_assignment(*module);
+        break;
+    }
+  }
+}
+
+}  // namespace hgdb::passes

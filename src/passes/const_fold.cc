@@ -1,0 +1,51 @@
+#include "passes/const_fold.h"
+
+#include "ir/eval.h"
+
+namespace hgdb::passes {
+
+using common::BitVector;
+using namespace ir;
+
+BitVector eval_prim(PrimOp op, const std::vector<BitVector>& operands,
+                    const std::vector<bool>& signs,
+                    const std::vector<uint32_t>& int_params,
+                    uint32_t result_width) {
+  return ir::eval_prim(op, operands, signs, int_params, result_width);
+}
+
+ExprPtr fold_expr_node(const ExprPtr& expr) {
+  if (expr->kind() != ExprKind::Prim) return expr;
+  const auto& prim = static_cast<const PrimExpr&>(*expr);
+
+  // Mux with a literal selector simplifies without needing literal arms.
+  if (prim.op() == PrimOp::Mux &&
+      prim.operands()[0]->kind() == ExprKind::Literal) {
+    const auto& sel = static_cast<const LiteralExpr&>(*prim.operands()[0]);
+    return sel.value().to_bool() ? prim.operands()[1] : prim.operands()[2];
+  }
+  // Mux with identical arms simplifies regardless of the selector.
+  if (prim.op() == PrimOp::Mux &&
+      prim.operands()[1]->equals(*prim.operands()[2])) {
+    return prim.operands()[1];
+  }
+
+  std::vector<common::BitVector> values;
+  std::vector<bool> signs;
+  values.reserve(prim.operands().size());
+  for (const auto& operand : prim.operands()) {
+    if (operand->kind() != ExprKind::Literal) return expr;
+    values.push_back(static_cast<const LiteralExpr&>(*operand).value());
+    signs.push_back(operand->type()->is_signed());
+  }
+  common::BitVector folded = hgdb::passes::eval_prim(
+      prim.op(), values, signs, prim.int_params(), expr->width());
+  // eval_prim may produce a narrower/wider scratch value for comparisons;
+  // normalize to the expression's width.
+  if (folded.width() != expr->width()) {
+    folded = folded.resize(expr->width(), expr->type()->is_signed());
+  }
+  return make_literal(std::move(folded), expr->type()->is_signed());
+}
+
+}  // namespace hgdb::passes

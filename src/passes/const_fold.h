@@ -1,0 +1,24 @@
+#ifndef HGDB_PASSES_CONST_FOLD_H
+#define HGDB_PASSES_CONST_FOLD_H
+
+#include "ir/expr.h"
+
+namespace hgdb::passes {
+
+/// Evaluates a primitive over constant operand values with the same
+/// semantics the RTL simulator uses (two-state, modular, Verilog-flavoured
+/// widths). `operands` are the literal values, `signs` their signedness.
+common::BitVector eval_prim(ir::PrimOp op,
+                            const std::vector<common::BitVector>& operands,
+                            const std::vector<bool>& signs,
+                            const std::vector<uint32_t>& int_params,
+                            uint32_t result_width);
+
+/// Bottom-up single-node fold: if `expr` is a prim whose operands are all
+/// literals (or a mux with a literal selector), returns the folded literal
+/// or simplified arm; otherwise returns `expr` unchanged.
+ir::ExprPtr fold_expr_node(const ir::ExprPtr& expr);
+
+}  // namespace hgdb::passes
+
+#endif  // HGDB_PASSES_CONST_FOLD_H

@@ -1,0 +1,467 @@
+#include <map>
+#include <stdexcept>
+
+#include "passes/pass.h"
+#include "passes/util.h"
+
+namespace hgdb::passes {
+
+namespace {
+
+using namespace ir;
+
+/// Annotation kinds recorded by this pass. The debugger runtime reads
+/// "hgdb.flat" entries to re-aggregate flattened bundles when it
+/// reconstructs frames (paper Sec. 4.2: the IO ports appear as a Chisel
+/// PortBundle even though the RTL only has flattened scalars).
+constexpr const char* kFlatAnnotation = "hgdb.flat";
+
+/// One ground leaf of an aggregate type.
+struct Leaf {
+  std::string flat_suffix;    ///< "_a_2_b" style suffix (empty for ground)
+  std::string source_suffix;  ///< ".a[2].b" style suffix (empty for ground)
+  TypePtr type;
+  bool flip = false;  ///< cumulative flip parity
+};
+
+void collect_leaves(const TypePtr& type, const std::string& flat,
+                    const std::string& source, bool flip,
+                    std::vector<Leaf>& out) {
+  if (type->is_ground()) {
+    out.push_back(Leaf{flat, source, type, flip});
+    return;
+  }
+  if (type->kind() == TypeKind::Bundle) {
+    const auto& bundle = static_cast<const BundleType&>(*type);
+    for (const auto& field : bundle.fields()) {
+      collect_leaves(field.type, flat + "_" + field.name,
+                     source + "." + field.name, flip != field.flip, out);
+    }
+    return;
+  }
+  const auto& vec = static_cast<const VectorType&>(*type);
+  for (uint32_t i = 0; i < vec.size(); ++i) {
+    collect_leaves(vec.element(), flat + "_" + std::to_string(i),
+                   source + "[" + std::to_string(i) + "]", flip, out);
+  }
+}
+
+std::vector<Leaf> leaves_of(const TypePtr& type) {
+  std::vector<Leaf> out;
+  collect_leaves(type, "", "", false, out);
+  return out;
+}
+
+/// A reference path while rewriting: either an already-ground expression or
+/// a still-aggregate prefix ("w", "inst.io") plus its type.
+struct Path {
+  ExprPtr ground;           ///< non-null iff the path resolved to ground
+  std::string flat_prefix;  ///< flat name accumulated so far
+  std::string inst;         ///< non-empty when the path roots at an instance
+  TypePtr type;             ///< aggregate type at this prefix
+};
+
+class LowerAggregates final : public Pass {
+ public:
+  [[nodiscard]] std::string name() const override { return "lower-aggregates"; }
+  [[nodiscard]] Form input_form() const override { return Form::High; }
+  [[nodiscard]] Form output_form() const override { return Form::Mid; }
+
+  void run(Circuit& circuit) override {
+    circuit_ = &circuit;
+    // Phase 1: flatten every module's port list so instance references can
+    // resolve against the flattened interface of any child.
+    for (const auto& module : circuit.modules()) {
+      flatten_ports(*module);
+    }
+    // Phase 2: rewrite bodies.
+    for (const auto& module : circuit.modules()) {
+      module_ = module.get();
+      instance_modules_.clear();
+      collect_instances(module->body());
+      module->set_body(rewrite_block(module->body()));
+    }
+    circuit_ = nullptr;
+  }
+
+ private:
+  // -- phase 1 ---------------------------------------------------------------
+
+  void flatten_ports(Module& module) {
+    std::vector<Port> flat_ports;
+    for (const auto& port : module.ports()) {
+      if (port.type->is_ground()) {
+        flat_ports.push_back(port);
+        continue;
+      }
+      original_port_types_[module.name() + "." + port.name] = port.type;
+      for (const auto& leaf : leaves_of(port.type)) {
+        Port p;
+        p.name = port.name + leaf.flat_suffix;
+        p.type = leaf.type;
+        // A flipped leaf of an output bundle is an input, and vice versa.
+        const bool is_output = (port.direction == Direction::Output) != leaf.flip;
+        p.direction = is_output ? Direction::Output : Direction::Input;
+        p.loc = port.loc;
+        circuit_->annotate(Annotation{
+            kFlatAnnotation, module.name(), p.name,
+            common::Json(common::Json::Object{
+                {"source", common::Json(port.name + leaf.source_suffix)},
+                {"kind", common::Json("port")}})});
+        flat_ports.push_back(std::move(p));
+      }
+    }
+    flat_port_lists_[module.name()] = flat_ports;
+    module.set_ports(std::move(flat_ports));
+  }
+
+  // -- phase 2 ---------------------------------------------------------------
+
+  void collect_instances(const BlockStmt& body) {
+    visit_stmts(body, [&](const Stmt& stmt) {
+      if (stmt.kind() == StmtKind::Instance) {
+        const auto& inst = static_cast<const InstanceStmt&>(stmt);
+        instance_modules_[inst.name] = inst.module_name;
+      }
+    });
+  }
+
+  [[noreturn]] void unsupported(const std::string& what) const {
+    throw std::runtime_error("lower-aggregates: " + what + " in module '" +
+                             module_->name() + "'");
+  }
+
+  void record_flat(const std::string& flat_name, const std::string& source_name,
+                   const char* kind) {
+    circuit_->annotate(Annotation{
+        kFlatAnnotation, module_->name(), flat_name,
+        common::Json(common::Json::Object{{"source", common::Json(source_name)},
+                                          {"kind", common::Json(kind)}})});
+  }
+
+  /// Resolves an expression into either a ground expression or an aggregate
+  /// path that callers may extend.
+  Path resolve(const ExprPtr& expr) {
+    switch (expr->kind()) {
+      case ExprKind::Ref: {
+        const auto& ref = static_cast<const RefExpr&>(*expr);
+        if (instance_modules_.count(ref.name())) {
+          return Path{nullptr, "", ref.name(), expr->type()};
+        }
+        if (expr->type()->is_ground()) {
+          return Path{expr, ref.name(), "", expr->type()};
+        }
+        return Path{nullptr, ref.name(), "", expr->type()};
+      }
+      case ExprKind::SubField: {
+        const auto& field = static_cast<const SubFieldExpr&>(*expr);
+        Path base = resolve(field.base());
+        if (base.ground) unsupported("subfield on ground value");
+        if (!base.inst.empty() && base.flat_prefix.empty()) {
+          // First level below an instance: the port name.
+          return extend_instance(base, field.field());
+        }
+        return extend(base, "_" + field.field(),
+                      member_type(base.type, field.field()));
+      }
+      case ExprKind::SubIndex: {
+        const auto& index = static_cast<const SubIndexExpr&>(*expr);
+        Path base = resolve(index.base());
+        if (base.ground) unsupported("subindex on ground value");
+        const std::string text = std::to_string(index.index());
+        if (!base.inst.empty() && base.flat_prefix.empty()) {
+          unsupported("indexing an instance");
+        }
+        const auto& vec = static_cast<const VectorType&>(*base.type);
+        return extend(base, "_" + text, vec.element());
+      }
+      case ExprKind::SubAccess: {
+        // Rewritten by the expression rewriter before resolve() sees it.
+        unsupported("unexpected dynamic access during path resolution");
+      }
+      default:
+        unsupported("aggregate-typed operator expression");
+    }
+  }
+
+  static TypePtr member_type(const TypePtr& type, const std::string& field) {
+    const auto& bundle = static_cast<const BundleType&>(*type);
+    const BundleField* f = bundle.field(field);
+    if (f == nullptr) {
+      throw std::runtime_error("lower-aggregates: missing field " + field);
+    }
+    return f->type;
+  }
+
+  Path extend(Path base, const std::string& flat_suffix, TypePtr type) {
+    Path out;
+    out.inst = base.inst;
+    out.flat_prefix = base.flat_prefix + flat_suffix;
+    out.type = type;
+    if (type->is_ground()) {
+      if (!out.inst.empty()) {
+        out.ground = instance_port_ref(out.inst, out.flat_prefix);
+      } else {
+        out.ground = make_ref(out.flat_prefix, type);
+      }
+    }
+    return out;
+  }
+
+  Path extend_instance(const Path& base, const std::string& port_name) {
+    // Find all flattened child ports that begin with port_name; if the
+    // original port was ground this resolves directly.
+    const auto& child_ports = flat_port_lists_.at(instance_modules_.at(base.inst));
+    for (const auto& port : child_ports) {
+      if (port.name == port_name) {
+        Path out;
+        out.inst = base.inst;
+        out.flat_prefix = port_name;
+        out.type = port.type;
+        out.ground = instance_port_ref(base.inst, port_name);
+        return out;
+      }
+    }
+    // Aggregate child port: reconstruct its pre-flattening type lazily by
+    // returning a prefix path; later SubField/SubIndex extensions must match
+    // flattened port names.
+    Path out;
+    out.inst = base.inst;
+    out.flat_prefix = port_name;
+    out.type = aggregate_port_type(base.inst, port_name);
+    return out;
+  }
+
+  /// Original aggregate type of `port_name` on the pre-flattening module of
+  /// instance `inst`. Kept from phase 1 via original port lists.
+  TypePtr aggregate_port_type(const std::string& inst,
+                              const std::string& port_name) {
+    const std::string& child = instance_modules_.at(inst);
+    auto it = original_port_types_.find(child + "." + port_name);
+    if (it == original_port_types_.end()) {
+      unsupported("unknown instance port " + inst + "." + port_name);
+    }
+    return it->second;
+  }
+
+  ExprPtr instance_port_ref(const std::string& inst,
+                            const std::string& port_name) {
+    const std::string& child_name = instance_modules_.at(inst);
+    const auto& child_ports = flat_port_lists_.at(child_name);
+    std::vector<BundleField> fields;
+    fields.reserve(child_ports.size());
+    for (const auto& port : child_ports) {
+      fields.push_back(BundleField{port.name, port.type,
+                                   port.direction == Direction::Output});
+    }
+    ExprPtr base = make_ref(inst, bundle_type(std::move(fields)));
+    return make_subfield(std::move(base), port_name);
+  }
+
+  /// Expression rewriter: flattens aggregate paths and expands dynamic
+  /// accesses into mux chains.
+  ExprPtr rewrite(const ExprPtr& expr) {
+    switch (expr->kind()) {
+      case ExprKind::Literal:
+        return expr;
+      case ExprKind::Ref: {
+        if (expr->type()->is_ground()) return expr;
+        unsupported("aggregate value '" + expr->str() +
+                    "' used in ground context");
+      }
+      case ExprKind::SubField:
+      case ExprKind::SubIndex: {
+        if (!expr->type()->is_ground()) {
+          unsupported("aggregate value '" + expr->str() +
+                      "' used in ground context");
+        }
+        Path path = resolve(expr);
+        return path.ground;
+      }
+      case ExprKind::SubAccess: {
+        const auto& access = static_cast<const SubAccessExpr&>(*expr);
+        if (!expr->type()->is_ground()) {
+          unsupported("dynamic access yielding an aggregate");
+        }
+        ExprPtr index = rewrite(access.index());
+        const auto& vec = static_cast<const VectorType&>(*access.base()->type());
+        // Mux chain: idx == 0 ? elem0 : idx == 1 ? elem1 : ... : elemN-1.
+        ExprPtr out = rewrite(make_subindex(access.base(), vec.size() - 1));
+        for (uint32_t i = vec.size() - 1; i-- > 0;) {
+          ExprPtr element = rewrite(make_subindex(access.base(), i));
+          ExprPtr sel = make_eq(
+              index, make_literal(common::BitVector(index->width(), i), false));
+          out = make_mux(std::move(sel), std::move(element), std::move(out));
+        }
+        return out;
+      }
+      case ExprKind::Prim: {
+        const auto& prim = static_cast<const PrimExpr&>(*expr);
+        std::vector<ExprPtr> operands;
+        operands.reserve(prim.operands().size());
+        for (const auto& operand : prim.operands()) {
+          operands.push_back(rewrite(operand));
+        }
+        return make_prim(prim.op(), std::move(operands), prim.int_params());
+      }
+    }
+    return expr;
+  }
+
+  std::unique_ptr<BlockStmt> rewrite_block(const BlockStmt& block) {
+    auto out = std::make_unique<BlockStmt>();
+    out->loc = block.loc;
+    out->loop_bindings = block.loop_bindings;
+    for (const auto& stmt : block.stmts) {
+      rewrite_stmt(*stmt, *out);
+    }
+    return out;
+  }
+
+  void rewrite_stmt(const Stmt& stmt, BlockStmt& out) {
+    switch (stmt.kind()) {
+      case StmtKind::Wire: {
+        const auto& wire = static_cast<const WireStmt&>(stmt);
+        if (wire.type->is_ground()) {
+          out.push(wire.clone());
+          return;
+        }
+        for (const auto& leaf : leaves_of(wire.type)) {
+          auto flat = std::make_unique<WireStmt>(wire.name + leaf.flat_suffix,
+                                                 leaf.type);
+          flat->loc = wire.loc;
+          flat->loop_bindings = wire.loop_bindings;
+          flat->source_name = wire.source_name + leaf.source_suffix;
+          record_flat(flat->name, flat->source_name, "wire");
+          out.push(std::move(flat));
+        }
+        return;
+      }
+      case StmtKind::Reg: {
+        const auto& reg = static_cast<const RegStmt&>(stmt);
+        if (reg.type->is_ground()) {
+          auto clone = reg.clone();
+          auto* cloned = static_cast<RegStmt*>(clone.get());
+          if (cloned->reset) cloned->reset = rewrite(cloned->reset);
+          if (cloned->init) cloned->init = rewrite(cloned->init);
+          out.push(std::move(clone));
+          return;
+        }
+        for (const auto& leaf : leaves_of(reg.type)) {
+          auto flat = std::make_unique<RegStmt>(reg.name + leaf.flat_suffix,
+                                                leaf.type, reg.clock_name);
+          flat->loc = reg.loc;
+          flat->loop_bindings = reg.loop_bindings;
+          flat->source_name = reg.source_name + leaf.source_suffix;
+          if (reg.reset) {
+            flat->reset = rewrite(reg.reset);
+            // Aggregate init must be an aggregate literal path; support the
+            // common zero-literal case by re-slicing a ground literal.
+            if (reg.init->kind() == ExprKind::Literal) {
+              const auto& literal = static_cast<const LiteralExpr&>(*reg.init);
+              flat->init = make_literal(
+                  common::BitVector(leaf.type->bit_width(),
+                                    literal.value().to_uint64()),
+                  leaf.type->is_signed());
+            } else {
+              Path path = resolve(reg.init);
+              flat->init = make_ref(path.flat_prefix + leaf.flat_suffix, leaf.type);
+            }
+          }
+          record_flat(flat->name, flat->source_name, "reg");
+          out.push(std::move(flat));
+        }
+        return;
+      }
+      case StmtKind::Node: {
+        const auto& node = static_cast<const NodeStmt&>(stmt);
+        auto flat = std::make_unique<NodeStmt>(node.name, rewrite(node.value));
+        flat->loc = node.loc;
+        flat->loop_bindings = node.loop_bindings;
+        flat->source_name = node.source_name;
+        if (node.enable) flat->enable = rewrite(node.enable);
+        out.push(std::move(flat));
+        return;
+      }
+      case StmtKind::Connect: {
+        const auto& connect = static_cast<const ConnectStmt&>(stmt);
+        if (connect.lhs->type()->is_ground()) {
+          auto flat = std::make_unique<ConnectStmt>(rewrite_lhs(connect.lhs),
+                                                    rewrite(connect.rhs));
+          flat->loc = connect.loc;
+          flat->loop_bindings = connect.loop_bindings;
+          if (connect.enable) flat->enable = rewrite(connect.enable);
+          out.push(std::move(flat));
+          return;
+        }
+        // Aggregate connect: both sides must be paths; expand leaf-wise.
+        Path lhs = resolve(connect.lhs);
+        Path rhs = resolve(connect.rhs);
+        if (!lhs.type->equals(*rhs.type)) {
+          unsupported("aggregate connect type mismatch: " + lhs.type->str() +
+                      " vs " + rhs.type->str());
+        }
+        for (const auto& leaf : leaves_of(lhs.type)) {
+          ExprPtr lhs_leaf = path_leaf_ref(lhs, leaf);
+          ExprPtr rhs_leaf = path_leaf_ref(rhs, leaf);
+          auto flat = std::make_unique<ConnectStmt>(
+              leaf.flip ? std::move(rhs_leaf) : std::move(lhs_leaf),
+              leaf.flip ? std::move(lhs_leaf) : std::move(rhs_leaf));
+          flat->loc = connect.loc;
+          flat->loop_bindings = connect.loop_bindings;
+          out.push(std::move(flat));
+        }
+        return;
+      }
+      case StmtKind::When: {
+        const auto& when = static_cast<const WhenStmt&>(stmt);
+        auto flat = std::make_unique<WhenStmt>(rewrite(when.cond));
+        flat->loc = when.loc;
+        flat->loop_bindings = when.loop_bindings;
+        flat->then_body = rewrite_block(*when.then_body);
+        if (when.else_body) flat->else_body = rewrite_block(*when.else_body);
+        out.push(std::move(flat));
+        return;
+      }
+      case StmtKind::Instance:
+        out.push(stmt.clone());
+        return;
+      case StmtKind::Block: {
+        for (const auto& inner : static_cast<const BlockStmt&>(stmt).stmts) {
+          rewrite_stmt(*inner, out);
+        }
+        return;
+      }
+      case StmtKind::For:
+        unsupported("for statement (run unroll-loops first)");
+    }
+  }
+
+  /// Connect lhs: ground path (ref / instance-port subfield).
+  ExprPtr rewrite_lhs(const ExprPtr& lhs) {
+    Path path = resolve(lhs);
+    if (!path.ground) unsupported("connect target is aggregate");
+    return path.ground;
+  }
+
+  ExprPtr path_leaf_ref(const Path& path, const Leaf& leaf) {
+    if (!path.inst.empty()) {
+      return instance_port_ref(path.inst, path.flat_prefix + leaf.flat_suffix);
+    }
+    return make_ref(path.flat_prefix + leaf.flat_suffix, leaf.type);
+  }
+
+  Circuit* circuit_ = nullptr;
+  Module* module_ = nullptr;
+  std::map<std::string, std::string> instance_modules_;
+  std::map<std::string, std::vector<Port>> flat_port_lists_;
+  std::map<std::string, TypePtr> original_port_types_;
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> create_lower_aggregates_pass() {
+  return std::make_unique<LowerAggregates>();
+}
+
+}  // namespace hgdb::passes

@@ -1,0 +1,245 @@
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "passes/const_fold.h"
+#include "passes/pass.h"
+#include "passes/util.h"
+
+namespace hgdb::passes {
+
+namespace {
+
+using namespace ir;
+
+bool is_dont_touch(const Circuit& circuit, const std::string& module,
+                   const std::string& target) {
+  return circuit.has_annotation(kDontTouchAnnotation, module, target);
+}
+
+// ---------------------------------------------------------------------------
+// Constant propagation
+// ---------------------------------------------------------------------------
+
+/// Folds literal subexpressions and propagates literal-valued nodes into
+/// their uses (paper Sec. 4.1 lists constant propagation among the default
+/// FIRRTL optimizations that "make the final RTL challenging to debug").
+class ConstProp final : public Pass {
+ public:
+  [[nodiscard]] std::string name() const override { return "const-prop"; }
+  [[nodiscard]] Form input_form() const override { return Form::Low; }
+  [[nodiscard]] Form output_form() const override { return Form::Low; }
+
+  void run(Circuit& circuit) override {
+    for (const auto& module : circuit.modules()) {
+      std::map<std::string, ExprPtr> literal_nodes;
+      auto rewrite = [&](const ExprPtr& e) -> ExprPtr {
+        if (e->kind() == ExprKind::Ref) {
+          auto it = literal_nodes.find(static_cast<const RefExpr&>(*e).name());
+          if (it != literal_nodes.end()) return it->second;
+          return e;
+        }
+        return fold_expr_node(e);
+      };
+      for (auto& stmt : module->body().stmts) {
+        rewrite_stmt_exprs(*stmt, rewrite);
+        if (stmt->kind() == StmtKind::Node) {
+          auto& node = static_cast<NodeStmt&>(*stmt);
+          if (node.value->kind() == ExprKind::Literal) {
+            literal_nodes[node.name] = node.value;
+          }
+        }
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Common subexpression elimination
+// ---------------------------------------------------------------------------
+
+/// Merges nodes with structurally identical values. The canonical node is
+/// the first occurrence; later duplicates are deleted and their uses
+/// redirected. DontTouch-annotated nodes are never deleted (debug mode),
+/// which is exactly why the paper's debug-mode symbol table is ~30% larger.
+class Cse final : public Pass {
+ public:
+  [[nodiscard]] std::string name() const override { return "cse"; }
+  [[nodiscard]] Form input_form() const override { return Form::Low; }
+  [[nodiscard]] Form output_form() const override { return Form::Low; }
+
+  void run(Circuit& circuit) override {
+    for (const auto& module : circuit.modules()) {
+      std::map<size_t, std::vector<const NodeStmt*>> by_hash;
+      std::map<std::string, std::string> replace;  // dup name -> canonical
+
+      auto rewrite = [&](const ExprPtr& e) -> ExprPtr {
+        if (e->kind() != ExprKind::Ref) return e;
+        auto it = replace.find(static_cast<const RefExpr&>(*e).name());
+        if (it == replace.end()) return e;
+        return make_ref(it->second, e->type());
+      };
+
+      std::vector<StmtPtr> kept;
+      for (auto& stmt : module->body().stmts) {
+        rewrite_stmt_exprs(*stmt, rewrite);
+        if (stmt->kind() == StmtKind::Node) {
+          auto& node = static_cast<NodeStmt&>(*stmt);
+          if (!is_dont_touch(circuit, module->name(), node.name)) {
+            bool merged = false;
+            auto& bucket = by_hash[node.value->hash()];
+            for (const NodeStmt* canonical : bucket) {
+              if (canonical->value->equals(*node.value) &&
+                  canonical->value->type()->equals(*node.value->type())) {
+                replace[node.name] = canonical->name;
+                merged = true;
+                break;
+              }
+            }
+            if (merged) continue;  // drop the duplicate definition
+            bucket.push_back(&node);
+          }
+        }
+        kept.push_back(std::move(stmt));
+      }
+      module->body().stmts = std::move(kept);
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Dead code elimination
+// ---------------------------------------------------------------------------
+
+/// Removes nodes whose values no connect, register, or live breakpoint
+/// enable transitively uses. Roots:
+///   - connect statements (ports, instance inputs, register next-values)
+///   - register reset/init expressions
+///   - DontTouch-annotated nodes (debug mode keeps everything breakable)
+/// When a breakpointable node survives, its *enable condition* references
+/// are marked live too — the debugger must be able to evaluate the enable
+/// at runtime (paper Sec. 3.1).
+class Dce final : public Pass {
+ public:
+  [[nodiscard]] std::string name() const override { return "dce"; }
+  [[nodiscard]] Form input_form() const override { return Form::Low; }
+  [[nodiscard]] Form output_form() const override { return Form::Low; }
+
+  void run(Circuit& circuit) override {
+    for (const auto& module : circuit.modules()) {
+      run_on_module(circuit, *module);
+    }
+  }
+
+ private:
+  static void mark_expr(const ExprPtr& expr, std::set<std::string>& live,
+                        std::vector<std::string>& worklist) {
+    visit_expr(expr, [&](const Expr& e) {
+      if (e.kind() == ExprKind::Ref) {
+        const std::string& name = static_cast<const RefExpr&>(e).name();
+        if (live.insert(name).second) worklist.push_back(name);
+      }
+    });
+  }
+
+  void run_on_module(Circuit& circuit, Module& module) {
+    // Index node definitions.
+    std::map<std::string, const NodeStmt*> nodes;
+    for (const auto& stmt : module.body().stmts) {
+      if (stmt->kind() == StmtKind::Node) {
+        const auto& node = static_cast<const NodeStmt&>(*stmt);
+        nodes[node.name] = &node;
+      }
+    }
+
+    std::set<std::string> live;
+    std::vector<std::string> worklist;
+    for (const auto& stmt : module.body().stmts) {
+      switch (stmt->kind()) {
+        case StmtKind::Connect: {
+          const auto& connect = static_cast<const ConnectStmt&>(*stmt);
+          mark_expr(connect.rhs, live, worklist);
+          break;
+        }
+        case StmtKind::Reg: {
+          const auto& reg = static_cast<const RegStmt&>(*stmt);
+          if (reg.reset) {
+            mark_expr(reg.reset, live, worklist);
+            mark_expr(reg.init, live, worklist);
+          }
+          break;
+        }
+        case StmtKind::Node: {
+          const auto& node = static_cast<const NodeStmt&>(*stmt);
+          if (is_dont_touch(circuit, module.name(), node.name)) {
+            if (live.insert(node.name).second) worklist.push_back(node.name);
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+
+    while (!worklist.empty()) {
+      const std::string name = std::move(worklist.back());
+      worklist.pop_back();
+      auto it = nodes.find(name);
+      if (it == nodes.end()) continue;  // reg or port: no further deps here
+      const NodeStmt& node = *it->second;
+      mark_expr(node.value, live, worklist);
+      // Keep the enable computable for surviving breakpoints.
+      if (node.enable && node.loc.valid() && !node.synthetic) {
+        mark_expr(node.enable, live, worklist);
+      }
+    }
+
+    std::erase_if(module.body().stmts, [&](const StmtPtr& stmt) {
+      if (stmt->kind() != StmtKind::Node) return false;
+      return live.count(static_cast<const NodeStmt&>(*stmt).name) == 0;
+    });
+  }
+};
+
+// ---------------------------------------------------------------------------
+// DontTouch insertion (debug mode)
+// ---------------------------------------------------------------------------
+
+/// Debug-mode pass (paper Sec. 4.1: "similar to gcc's -O0, the first pass
+/// can insert DontTouchAnnotation, which keeps the target IR node away from
+/// any compiler optimization"). Marks every breakpointable node.
+class InsertDontTouch final : public Pass {
+ public:
+  [[nodiscard]] std::string name() const override { return "insert-dont-touch"; }
+  [[nodiscard]] Form input_form() const override { return Form::Low; }
+  [[nodiscard]] Form output_form() const override { return Form::Low; }
+
+  void run(Circuit& circuit) override {
+    for (const auto& module : circuit.modules()) {
+      for (const auto& stmt : module->body().stmts) {
+        if (stmt->kind() != StmtKind::Node) continue;
+        const auto& node = static_cast<const NodeStmt&>(*stmt);
+        if (node.loc.valid()) {
+          circuit.annotate(Annotation{kDontTouchAnnotation, module->name(),
+                                      node.name, common::Json::object()});
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> create_const_prop_pass() {
+  return std::make_unique<ConstProp>();
+}
+
+std::unique_ptr<Pass> create_cse_pass() { return std::make_unique<Cse>(); }
+
+std::unique_ptr<Pass> create_dce_pass() { return std::make_unique<Dce>(); }
+
+std::unique_ptr<Pass> create_insert_dont_touch_pass() {
+  return std::make_unique<InsertDontTouch>();
+}
+
+}  // namespace hgdb::passes

@@ -1,0 +1,59 @@
+#ifndef HGDB_PASSES_PASS_H
+#define HGDB_PASSES_PASS_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/circuit.h"
+
+namespace hgdb::passes {
+
+/// A circuit-to-circuit transform. Passes mutate the circuit in place and
+/// declare the IR form they consume and produce so the PassManager can
+/// verify pipeline legality (the paper's FIRRTL pipeline works the same
+/// way: High-form passes run before lowering, Low-form passes after).
+class Pass {
+ public:
+  virtual ~Pass() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual ir::Form input_form() const = 0;
+  [[nodiscard]] virtual ir::Form output_form() const = 0;
+  virtual void run(ir::Circuit& circuit) = 0;
+};
+
+/// Runs passes in sequence, checking form transitions. Throws
+/// std::runtime_error if a pass is fed the wrong form or a form check
+/// fails after a pass that claims to establish it.
+class PassManager {
+ public:
+  void add(std::unique_ptr<Pass> pass) { passes_.push_back(std::move(pass)); }
+  void run(ir::Circuit& circuit, bool verify_forms = true);
+  [[nodiscard]] const std::vector<std::string>& executed() const {
+    return executed_;
+  }
+
+ private:
+  std::vector<std::unique_ptr<Pass>> passes_;
+  std::vector<std::string> executed_;
+};
+
+// -- form verification --------------------------------------------------------
+
+/// Throws std::runtime_error describing the first violation if `circuit`
+/// does not satisfy the constraints of `form` (see ir::Form).
+void check_form(const ir::Circuit& circuit, ir::Form form);
+
+// -- pass factories -----------------------------------------------------------
+
+std::unique_ptr<Pass> create_unroll_loops_pass();
+std::unique_ptr<Pass> create_ssa_pass();
+std::unique_ptr<Pass> create_lower_aggregates_pass();
+std::unique_ptr<Pass> create_const_prop_pass();
+std::unique_ptr<Pass> create_cse_pass();
+std::unique_ptr<Pass> create_dce_pass();
+std::unique_ptr<Pass> create_insert_dont_touch_pass();
+
+}  // namespace hgdb::passes
+
+#endif  // HGDB_PASSES_PASS_H

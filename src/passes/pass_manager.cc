@@ -1,0 +1,23 @@
+#include <stdexcept>
+
+#include "passes/pass.h"
+
+namespace hgdb::passes {
+
+void PassManager::run(ir::Circuit& circuit, bool verify_forms) {
+  for (auto& pass : passes_) {
+    if (circuit.form() != pass->input_form()) {
+      throw std::runtime_error(
+          "pass '" + pass->name() + "' requires form " +
+          std::to_string(static_cast<int>(pass->input_form())) +
+          " but circuit is in form " +
+          std::to_string(static_cast<int>(circuit.form())));
+    }
+    pass->run(circuit);
+    circuit.set_form(pass->output_form());
+    if (verify_forms) check_form(circuit, circuit.form());
+    executed_.push_back(pass->name());
+  }
+}
+
+}  // namespace hgdb::passes

@@ -1,0 +1,544 @@
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "passes/pass.h"
+#include "passes/util.h"
+
+namespace hgdb::passes {
+
+namespace {
+
+using namespace ir;
+
+/// Annotation kinds produced here and consumed by Algorithm 1's second pass
+/// (symbol extraction) after optimization.
+constexpr const char* kScopeAnnotation = "hgdb.scope";
+
+/// SSA + when-flattening (paper Sec. 3.1, Listings 1 -> 2).
+///
+/// Procedural wires ("variables" in generator source) are renamed so each
+/// assignment defines a fresh node: `sum` becomes `sum0, sum1, ...`. Every
+/// emitted node carries:
+///   - the source location of the originating assignment (one source line
+///     can produce several nodes after unrolling — several breakpoints);
+///   - the *enable condition*: the AND-reduction of the `when` condition
+///     stack, which tells the debugger when this emulated breakpoint is
+///     active during simulation;
+///   - a scope annotation with the variable mapping visible *before* the
+///     statement executes (hitting Listing 2 line 4 shows sum == sum0).
+///
+/// Ports and register next-values use last-connect-wins with mux joins at
+/// `when` merges (FIRRTL semantics); wires use procedural read-after-write
+/// semantics within the module body.
+class SsaTransform final : public Pass {
+ public:
+  [[nodiscard]] std::string name() const override { return "ssa"; }
+  [[nodiscard]] Form input_form() const override { return Form::Mid; }
+  [[nodiscard]] Form output_form() const override { return Form::Low; }
+
+  void run(Circuit& circuit) override {
+    circuit_ = &circuit;
+    for (const auto& module : circuit.modules()) {
+      run_on_module(*module);
+    }
+    circuit_ = nullptr;
+  }
+
+ private:
+  enum class VarKind : uint8_t { Wire, OutputPort, InstanceInput, RegNext };
+
+  struct Var {
+    VarKind kind = VarKind::Wire;
+    TypePtr type;
+    std::string source_name;  ///< generator-level name ("sum")
+    std::string fresh_base;   ///< base for SSA names
+    ExprPtr value;            ///< current SSA value (null = unassigned)
+    bool poisoned = false;    ///< assigned on some paths only, no default
+    std::string instance;     ///< for InstanceInput: instance name
+    std::string port;         ///< for InstanceInput/OutputPort: port name
+  };
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("ssa: " + what + " in module '" +
+                             module_->name() + "'");
+  }
+
+  void run_on_module(Module& module) {
+    module_ = &module;
+    vars_.clear();
+    used_names_.clear();
+    output_ = std::make_unique<BlockStmt>();
+    var_order_.clear();
+
+    for (const auto& port : module.ports()) {
+      used_names_.insert(port.name);
+      if (port.direction == Direction::Output) {
+        Var var;
+        var.kind = VarKind::OutputPort;
+        var.type = port.type;
+        var.source_name = port.name;
+        var.fresh_base = port.name + "_ssa";
+        var.port = port.name;
+        declare(port.name, std::move(var));
+      }
+    }
+    // Collect declared names up front so fresh names never collide with
+    // later declarations.
+    visit_stmts(module.body(), [&](const Stmt& stmt) {
+      switch (stmt.kind()) {
+        case StmtKind::Wire:
+          used_names_.insert(static_cast<const WireStmt&>(stmt).name);
+          break;
+        case StmtKind::Reg:
+          used_names_.insert(static_cast<const RegStmt&>(stmt).name);
+          break;
+        case StmtKind::Node:
+          used_names_.insert(static_cast<const NodeStmt&>(stmt).name);
+          break;
+        case StmtKind::Instance:
+          used_names_.insert(static_cast<const InstanceStmt&>(stmt).name);
+          break;
+        default:
+          break;
+      }
+    });
+
+    walk_block(module.body());
+    finalize();
+    module.set_body(std::move(output_));
+    module_ = nullptr;
+  }
+
+  void declare(const std::string& key, Var var) {
+    if (vars_.count(key)) fail("duplicate SSA variable '" + key + "'");
+    vars_[key] = std::move(var);
+    var_order_.push_back(key);
+  }
+
+  std::string fresh(const std::string& base) {
+    std::string name = fresh_name(
+        base, [&](const std::string& candidate) {
+          return used_names_.count(candidate) != 0;
+        });
+    used_names_.insert(name);
+    return name;
+  }
+
+  // -- reads ------------------------------------------------------------------
+
+  /// Replaces reads of procedural wires with their current SSA value.
+  ExprPtr rewrite_reads(const ExprPtr& expr, const common::SourceLoc& loc) {
+    return rewrite_expr(expr, [&](const ExprPtr& e) -> ExprPtr {
+      if (e->kind() != ExprKind::Ref) return e;
+      const auto& ref = static_cast<const RefExpr&>(*e);
+      auto it = vars_.find(ref.name());
+      if (it == vars_.end() || it->second.kind != VarKind::Wire) return e;
+      const Var& var = it->second;
+      if (var.poisoned) {
+        fail("variable '" + var.source_name +
+             "' may be unassigned when read at " + loc.str());
+      }
+      if (!var.value) {
+        fail("variable '" + var.source_name + "' read before assignment at " +
+             loc.str());
+      }
+      return var.value;
+    });
+  }
+
+  // -- condition stack ---------------------------------------------------------
+
+  [[nodiscard]] ExprPtr current_enable() const {
+    ExprPtr enable;
+    for (const auto& cond : cond_stack_) {
+      enable = enable ? make_and(enable, cond) : cond;
+    }
+    return enable;
+  }
+
+  // -- scope snapshots ----------------------------------------------------------
+
+  /// Records the variable mapping visible before the statement at
+  /// `target_node` executes. Loop bindings become constant "variables".
+  void record_scope(const std::string& target_node, const Stmt& origin) {
+    common::Json vars = common::Json::object();
+    for (const auto& key : var_order_) {
+      const Var& var = vars_.at(key);
+      if (var.kind != VarKind::Wire || !var.value) continue;
+      vars[var.source_name] = common::Json(var.value->str());
+    }
+    common::Json constants = common::Json::object();
+    for (const auto& [name, value] : origin.loop_bindings) {
+      constants[name] = common::Json(static_cast<int64_t>(value));
+    }
+    common::Json payload = common::Json::object();
+    payload["vars"] = std::move(vars);
+    payload["constants"] = std::move(constants);
+    circuit_->annotate(
+        Annotation{kScopeAnnotation, module_->name(), target_node,
+                   std::move(payload)});
+  }
+
+  // -- assignment helpers --------------------------------------------------------
+
+  static ExprPtr coerce(ExprPtr value, const TypePtr& type) {
+    if (value->type()->equals(*type)) return value;
+    if (!type->is_ground() || !value->type()->is_ground()) {
+      throw std::runtime_error("ssa: cannot coerce aggregate connect");
+    }
+    if (type->kind() == TypeKind::Clock || type->kind() == TypeKind::Reset ||
+        value->type()->kind() == TypeKind::Clock ||
+        value->type()->kind() == TypeKind::Reset) {
+      if (value->width() == 1 && type->bit_width() == 1) return value;
+      throw std::runtime_error("ssa: bad clock/reset connect");
+    }
+    if (value->width() != type->bit_width()) {
+      value = make_pad(std::move(value), type->bit_width());
+    }
+    if (value->type()->is_signed() != type->is_signed()) {
+      value = make_prim(type->is_signed() ? PrimOp::AsSInt : PrimOp::AsUInt,
+                        {std::move(value)});
+    }
+    return value;
+  }
+
+  /// Emits the SSA node for an assignment and updates the environment.
+  void assign(const std::string& key, ExprPtr rhs, const Stmt& origin) {
+    Var& var = vars_.at(key);
+    rhs = coerce(std::move(rhs), var.type);
+    const std::string node_name = fresh(var.fresh_base);
+    auto node = std::make_unique<NodeStmt>(node_name, std::move(rhs));
+    node->loc = origin.loc;
+    node->loop_bindings = origin.loop_bindings;
+    node->source_name = var.source_name;
+    node->enable = current_enable();
+    if (origin.loc.valid()) record_scope(node_name, origin);
+    ExprPtr value = make_ref(node_name, node->value->type());
+    output_->push(std::move(node));
+    var.value = std::move(value);
+    var.poisoned = false;
+  }
+
+  // -- statement walk --------------------------------------------------------------
+
+  void walk_block(const BlockStmt& block) {
+    for (const auto& stmt : block.stmts) walk_stmt(*stmt);
+  }
+
+  void walk_stmt(const Stmt& stmt) {
+    switch (stmt.kind()) {
+      case StmtKind::Block:
+        walk_block(static_cast<const BlockStmt&>(stmt));
+        return;
+      case StmtKind::Wire: {
+        const auto& wire = static_cast<const WireStmt&>(stmt);
+        Var var;
+        var.kind = VarKind::Wire;
+        var.type = wire.type;
+        var.source_name =
+            wire.source_name.empty() ? wire.name : wire.source_name;
+        var.fresh_base = wire.name;
+        declare(wire.name, std::move(var));
+        // The wire declaration itself disappears; its SSA nodes replace it.
+        return;
+      }
+      case StmtKind::Reg: {
+        const auto& reg = static_cast<const RegStmt&>(stmt);
+        if (!cond_stack_.empty()) fail("register declared inside when");
+        auto clone = reg.clone();
+        auto* cloned = static_cast<RegStmt*>(clone.get());
+        if (cloned->reset) {
+          cloned->reset = rewrite_reads(cloned->reset, reg.loc);
+          cloned->init = rewrite_reads(cloned->init, reg.loc);
+        }
+        output_->push(std::move(clone));
+        Var var;
+        var.kind = VarKind::RegNext;
+        var.type = reg.type;
+        var.source_name = reg.source_name.empty() ? reg.name : reg.source_name;
+        var.fresh_base = reg.name + "_next";
+        // Registers hold their value when unassigned.
+        var.value = make_ref(reg.name, reg.type);
+        declare(reg.name, std::move(var));
+        return;
+      }
+      case StmtKind::Node: {
+        const auto& node = static_cast<const NodeStmt&>(stmt);
+        auto clone = node.clone();
+        auto* cloned = static_cast<NodeStmt*>(clone.get());
+        cloned->value = rewrite_reads(cloned->value, node.loc);
+        cloned->enable = current_enable();
+        if (cloned->loc.valid() && !cloned->synthetic) {
+          record_scope(cloned->name, node);
+        }
+        // Named source values ("val t = ..." in Chisel terms) appear in the
+        // IDE's generator-variable pane.
+        if (!cloned->synthetic) {
+          annotate_genvar(cloned->name, cloned->source_name.empty()
+                                            ? cloned->name
+                                            : cloned->source_name);
+        }
+        output_->push(std::move(clone));
+        return;
+      }
+      case StmtKind::Instance: {
+        const auto& inst = static_cast<const InstanceStmt&>(stmt);
+        if (!cond_stack_.empty()) fail("instance declared inside when");
+        const Module* child = circuit_->module(inst.module_name);
+        for (const auto& port : child->ports()) {
+          if (port.direction != Direction::Input) continue;
+          Var var;
+          var.kind = VarKind::InstanceInput;
+          var.type = port.type;
+          var.source_name = inst.name + "." + port.name;
+          var.fresh_base = inst.name + "_" + port.name + "_ssa";
+          var.instance = inst.name;
+          var.port = port.name;
+          declare(inst.name + "." + port.name, std::move(var));
+        }
+        output_->push(stmt.clone());
+        return;
+      }
+      case StmtKind::Connect: {
+        const auto& connect = static_cast<const ConnectStmt&>(stmt);
+        const std::string key = connect_key(*connect.lhs);
+        ExprPtr rhs = rewrite_reads(connect.rhs, connect.loc);
+        assign(key, std::move(rhs), connect);
+        return;
+      }
+      case StmtKind::When: {
+        walk_when(static_cast<const WhenStmt&>(stmt));
+        return;
+      }
+      case StmtKind::For:
+        fail("for statement (run unroll-loops first)");
+    }
+  }
+
+  /// Maps a connect lhs to the SSA environment key, validating direction.
+  std::string connect_key(const Expr& lhs) {
+    if (lhs.kind() == ExprKind::Ref) {
+      const auto& ref = static_cast<const RefExpr&>(lhs);
+      if (const Port* port = module_->port(ref.name())) {
+        if (port->direction == Direction::Input) {
+          fail("connect to input port '" + ref.name() + "'");
+        }
+        return ref.name();
+      }
+      auto it = vars_.find(ref.name());
+      if (it == vars_.end()) {
+        fail("connect to undeclared name '" + ref.name() + "'");
+      }
+      return ref.name();
+    }
+    if (lhs.kind() == ExprKind::SubField) {
+      const auto& field = static_cast<const SubFieldExpr&>(lhs);
+      if (field.base()->kind() != ExprKind::Ref) {
+        fail("unsupported connect target '" + lhs.str() + "'");
+      }
+      const auto& base = static_cast<const RefExpr&>(*field.base());
+      const std::string key = base.name() + "." + field.field();
+      auto it = vars_.find(key);
+      if (it == vars_.end()) {
+        fail("connect to instance output or unknown port '" + key + "'");
+      }
+      return key;
+    }
+    fail("unsupported connect target '" + lhs.str() + "'");
+  }
+
+  void walk_when(const WhenStmt& when) {
+    // The condition itself is an executable statement in the source: emit a
+    // node for it so users can break on the `when` line and so branch
+    // enables share one signal.
+    ExprPtr cond = rewrite_reads(when.cond, when.loc);
+    if (cond->width() != 1) fail("when condition must be 1 bit");
+    const std::string cond_name = fresh("when_cond");
+    auto cond_node = std::make_unique<NodeStmt>(cond_name, std::move(cond));
+    cond_node->loc = when.loc;
+    cond_node->loop_bindings = when.loop_bindings;
+    cond_node->enable = current_enable();
+    if (when.loc.valid()) record_scope(cond_name, when);
+    ExprPtr cond_ref = make_ref(cond_name, bool_type());
+    output_->push(std::move(cond_node));
+
+    // Snapshot, walk both arms, merge with muxes.
+    const auto snapshot = save_env();
+
+    cond_stack_.push_back(cond_ref);
+    walk_block(*when.then_body);
+    auto then_env = save_env();
+    cond_stack_.pop_back();
+
+    restore_env(snapshot);
+    if (when.else_body) {
+      cond_stack_.push_back(make_not(cond_ref));
+      walk_block(*when.else_body);
+      cond_stack_.pop_back();
+    }
+    auto else_env = save_env();
+
+    merge_env(cond_ref, snapshot, then_env, else_env, when);
+  }
+
+  using Env = std::map<std::string, std::pair<ExprPtr, bool>>;
+
+  [[nodiscard]] Env save_env() const {
+    Env env;
+    for (const auto& [key, var] : vars_) {
+      env[key] = {var.value, var.poisoned};
+    }
+    return env;
+  }
+
+  void restore_env(const Env& env) {
+    for (auto& [key, var] : vars_) {
+      auto it = env.find(key);
+      if (it == env.end()) {
+        // Declared inside the branch we just left: out of scope now.
+        var.value = nullptr;
+        var.poisoned = false;
+      } else {
+        var.value = it->second.first;
+        var.poisoned = it->second.second;
+      }
+    }
+  }
+
+  void merge_env(const ExprPtr& cond, const Env& before, const Env& then_env,
+                 const Env& else_env, const WhenStmt& when) {
+    for (const auto& key : var_order_) {
+      auto before_it = before.find(key);
+      if (before_it == before.end()) continue;  // declared inside a branch
+      const ExprPtr& base = before_it->second.first;
+      auto then_it = then_env.find(key);
+      auto else_it = else_env.find(key);
+      const ExprPtr then_value =
+          then_it != then_env.end() ? then_it->second.first : base;
+      const ExprPtr else_value =
+          else_it != else_env.end() ? else_it->second.first : base;
+      const bool then_poisoned =
+          then_it != then_env.end() ? then_it->second.second : false;
+      const bool else_poisoned =
+          else_it != else_env.end() ? else_it->second.second : false;
+
+      Var& var = vars_.at(key);
+      if (then_value == else_value) {
+        var.value = then_value;
+        var.poisoned = then_poisoned || else_poisoned;
+        continue;
+      }
+      if (!then_value || !else_value || then_poisoned || else_poisoned) {
+        // Assigned on one path only with no default: poisoned until a
+        // subsequent unconditional assignment.
+        var.value = then_value ? then_value : else_value;
+        var.poisoned = true;
+        continue;
+      }
+      // Phi: a synthetic mux join.
+      const std::string phi_name = fresh(var.fresh_base);
+      auto phi = std::make_unique<NodeStmt>(
+          phi_name, make_mux(cond, then_value, else_value));
+      phi->loc = when.loc;
+      phi->loop_bindings = when.loop_bindings;
+      phi->source_name = var.source_name;
+      phi->enable = current_enable();
+      phi->synthetic = true;
+      ExprPtr value = make_ref(phi_name, phi->value->type());
+      output_->push(std::move(phi));
+      var.value = std::move(value);
+      var.poisoned = false;
+    }
+  }
+
+  // -- finalization ------------------------------------------------------------
+
+  void finalize() {
+    for (const auto& key : var_order_) {
+      const Var& var = vars_.at(key);
+      switch (var.kind) {
+        case VarKind::Wire: {
+          // The final SSA value is this generator variable's value; expose
+          // it to the debugger as an instance ("generator") variable.
+          if (var.value && var.value->kind() == ExprKind::Ref) {
+            annotate_genvar(static_cast<const RefExpr&>(*var.value).name(),
+                            var.source_name);
+          }
+          break;
+        }
+        case VarKind::OutputPort: {
+          if (!var.value || var.poisoned) {
+            fail("output port '" + var.port + "' is not fully assigned");
+          }
+          output_->push(std::make_unique<ConnectStmt>(
+              make_ref(var.port, var.type), var.value));
+          annotate_genvar(var.port, var.port);
+          break;
+        }
+        case VarKind::InstanceInput: {
+          if (!var.value || var.poisoned) {
+            fail("instance input '" + key + "' is not fully assigned");
+          }
+          ExprPtr lhs = make_subfield(instance_ref(var.instance), var.port);
+          output_->push(std::make_unique<ConnectStmt>(std::move(lhs), var.value));
+          break;
+        }
+        case VarKind::RegNext: {
+          output_->push(std::make_unique<ConnectStmt>(
+              make_ref(key, var.type), var.value));
+          annotate_genvar(key, var.source_name);
+          break;
+        }
+      }
+    }
+    // Input ports are readable generator variables too.
+    for (const auto& port : module_->ports()) {
+      if (port.direction == Direction::Input) {
+        annotate_genvar(port.name, port.name);
+      }
+    }
+  }
+
+  ExprPtr instance_ref(const std::string& instance) {
+    // Rebuild the synthetic bundle type for the instance reference.
+    std::string module_name;
+    visit_stmts(module_->body(), [&](const Stmt& stmt) {
+      if (stmt.kind() == StmtKind::Instance) {
+        const auto& inst = static_cast<const InstanceStmt&>(stmt);
+        if (inst.name == instance) module_name = inst.module_name;
+      }
+    });
+    const Module* child = circuit_->module(module_name);
+    std::vector<BundleField> fields;
+    for (const auto& port : child->ports()) {
+      fields.push_back(BundleField{port.name, port.type,
+                                   port.direction == Direction::Output});
+    }
+    return make_ref(instance, bundle_type(std::move(fields)));
+  }
+
+  void annotate_genvar(const std::string& rtl_name,
+                       const std::string& source_name) {
+    common::Json payload = common::Json::object();
+    payload["name"] = common::Json(source_name);
+    circuit_->annotate(Annotation{"hgdb.genvar", module_->name(), rtl_name,
+                                  std::move(payload)});
+  }
+
+  Circuit* circuit_ = nullptr;
+  Module* module_ = nullptr;
+  std::map<std::string, Var> vars_;
+  std::vector<std::string> var_order_;
+  std::set<std::string> used_names_;
+  std::vector<ExprPtr> cond_stack_;
+  std::unique_ptr<BlockStmt> output_;
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> create_ssa_pass() {
+  return std::make_unique<SsaTransform>();
+}
+
+}  // namespace hgdb::passes

@@ -1,0 +1,25 @@
+#ifndef HGDB_PASSES_SYMBOL_EXTRACT_H
+#define HGDB_PASSES_SYMBOL_EXTRACT_H
+
+#include "ir/circuit.h"
+#include "symbols/schema.h"
+
+namespace hgdb::passes {
+
+/// Algorithm 1, second pass: collects the annotations the SSA/lowering
+/// passes attached to IR nodes ("first pass") and computes the final
+/// symbol table from the *current* (optimized) circuit state.
+///
+/// Nodes deleted by optimization simply no longer exist in the Low form,
+/// so their breakpoints and variables are dropped — "a behavior consistent
+/// with software compilers" (paper Sec. 4.1). Variables whose RTL targets
+/// were optimized away are likewise omitted from scopes.
+///
+/// Instance rows are emitted for the full elaborated hierarchy, rooted at
+/// the top module's name; variable rows hold instance-relative RTL paths
+/// and are shared between instances of the same module.
+symbols::SymbolTableData extract_symbol_table(const ir::Circuit& circuit);
+
+}  // namespace hgdb::passes
+
+#endif  // HGDB_PASSES_SYMBOL_EXTRACT_H

@@ -1,0 +1,157 @@
+#include <set>
+
+#include "passes/pass.h"
+#include "passes/util.h"
+
+namespace hgdb::passes {
+
+namespace {
+
+using namespace ir;
+
+/// Unrolls `for` statements with static bounds (paper Sec. 3.1: "During the
+/// SSA transform, fixed-length loops get unrolled"). Each iteration clones
+/// the body, substitutes the loop variable with a constant literal, and
+/// renames declarations made inside the body so iterations don't collide.
+/// Source locators are preserved on every clone — that is precisely how one
+/// source line yields multiple emulated breakpoints (Listing 1 -> Listing 2).
+class UnrollLoops final : public Pass {
+ public:
+  [[nodiscard]] std::string name() const override { return "unroll-loops"; }
+  [[nodiscard]] Form input_form() const override { return Form::High; }
+  [[nodiscard]] Form output_form() const override { return Form::High; }
+
+  void run(Circuit& circuit) override {
+    for (const auto& module : circuit.modules()) {
+      module->set_body(unroll_block(*module->body().clone_block()));
+    }
+  }
+
+ private:
+  static std::set<std::string> declared_names(const Stmt& root) {
+    std::set<std::string> names;
+    visit_stmts(root, [&](const Stmt& stmt) {
+      switch (stmt.kind()) {
+        case StmtKind::Wire:
+          names.insert(static_cast<const WireStmt&>(stmt).name);
+          break;
+        case StmtKind::Reg:
+          names.insert(static_cast<const RegStmt&>(stmt).name);
+          break;
+        case StmtKind::Node:
+          names.insert(static_cast<const NodeStmt&>(stmt).name);
+          break;
+        case StmtKind::Instance:
+          names.insert(static_cast<const InstanceStmt&>(stmt).name);
+          break;
+        default:
+          break;
+      }
+    });
+    return names;
+  }
+
+  static void rename_declarations(Stmt& root,
+                                  const std::set<std::string>& names,
+                                  const std::string& suffix) {
+    visit_stmts(root, [&](Stmt& stmt) {
+      switch (stmt.kind()) {
+        case StmtKind::Wire: {
+          auto& wire = static_cast<WireStmt&>(stmt);
+          if (names.count(wire.name)) wire.name += suffix;
+          break;
+        }
+        case StmtKind::Reg: {
+          auto& reg = static_cast<RegStmt&>(stmt);
+          if (names.count(reg.name)) reg.name += suffix;
+          break;
+        }
+        case StmtKind::Node: {
+          auto& node = static_cast<NodeStmt&>(stmt);
+          if (names.count(node.name)) node.name += suffix;
+          break;
+        }
+        case StmtKind::Instance: {
+          auto& inst = static_cast<InstanceStmt&>(stmt);
+          if (names.count(inst.name)) inst.name += suffix;
+          break;
+        }
+        default:
+          break;
+      }
+    });
+    rewrite_stmt_exprs(root, [&](const ExprPtr& expr) -> ExprPtr {
+      if (expr->kind() != ExprKind::Ref) return expr;
+      const auto& ref = static_cast<const RefExpr&>(*expr);
+      if (!names.count(ref.name())) return expr;
+      return make_ref(ref.name() + suffix, expr->type());
+    });
+  }
+
+  std::unique_ptr<BlockStmt> unroll_block(const BlockStmt& block) {
+    auto out = std::make_unique<BlockStmt>();
+    out->loc = block.loc;
+    for (const auto& stmt : block.stmts) {
+      switch (stmt->kind()) {
+        case StmtKind::For: {
+          const auto& loop = static_cast<const ForStmt&>(*stmt);
+          // Inner loops first so each clone below is loop-free.
+          auto body = unroll_block(*loop.body);
+          const std::set<std::string> local_names = declared_names(*body);
+          for (int64_t i = loop.start; i < loop.end; ++i) {
+            auto iteration = body->clone_block();
+            // Record the binding on every statement of this iteration so
+            // SSA can expose the loop index in breakpoint scopes.
+            visit_stmts(*iteration, [&](Stmt& s) {
+              s.loop_bindings.emplace_back(loop.var, i);
+            });
+            if (!local_names.empty()) {
+              rename_declarations(*iteration, local_names,
+                                  "_" + std::to_string(i));
+            }
+            // Substitute the loop variable with a constant of the same
+            // width the references carry, then fold vec[const].
+            rewrite_stmt_exprs(*iteration, [&](const ExprPtr& expr) -> ExprPtr {
+              if (expr->kind() == ExprKind::Ref) {
+                const auto& ref = static_cast<const RefExpr&>(*expr);
+                if (ref.name() == loop.var) {
+                  return make_literal(
+                      common::BitVector(expr->width(),
+                                        static_cast<uint64_t>(i)),
+                      expr->type()->is_signed());
+                }
+                return expr;
+              }
+              return fold_subaccess(expr);
+            });
+            for (auto& inner : iteration->stmts) {
+              out->push(std::move(inner));
+            }
+          }
+          break;
+        }
+        case StmtKind::When: {
+          const auto& when = static_cast<const WhenStmt&>(*stmt);
+          auto replacement = std::make_unique<WhenStmt>(when.cond);
+          replacement->loc = when.loc;
+          replacement->then_body = unroll_block(*when.then_body);
+          if (when.else_body) replacement->else_body = unroll_block(*when.else_body);
+          out->push(std::move(replacement));
+          break;
+        }
+        default:
+          out->push(stmt->clone());
+          break;
+      }
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> create_unroll_loops_pass() {
+  return std::make_unique<UnrollLoops>();
+}
+
+}  // namespace hgdb::passes

@@ -1,0 +1,63 @@
+#include "passes/util.h"
+
+namespace hgdb::passes {
+
+void rewrite_stmt_exprs(
+    ir::Stmt& stmt, const std::function<ir::ExprPtr(const ir::ExprPtr&)>& fn) {
+  using namespace ir;
+  visit_stmts(stmt, [&](Stmt& s) {
+    switch (s.kind()) {
+      case StmtKind::Node: {
+        auto& node = static_cast<NodeStmt&>(s);
+        node.value = rewrite_expr(node.value, fn);
+        if (node.enable) node.enable = rewrite_expr(node.enable, fn);
+        break;
+      }
+      case StmtKind::Connect: {
+        auto& connect = static_cast<ConnectStmt&>(s);
+        connect.lhs = rewrite_expr(connect.lhs, fn);
+        connect.rhs = rewrite_expr(connect.rhs, fn);
+        if (connect.enable) connect.enable = rewrite_expr(connect.enable, fn);
+        break;
+      }
+      case StmtKind::When: {
+        auto& when = static_cast<WhenStmt&>(s);
+        when.cond = rewrite_expr(when.cond, fn);
+        break;
+      }
+      case StmtKind::Reg: {
+        auto& reg = static_cast<RegStmt&>(s);
+        if (reg.reset) reg.reset = rewrite_expr(reg.reset, fn);
+        if (reg.init) reg.init = rewrite_expr(reg.init, fn);
+        break;
+      }
+      default:
+        break;
+    }
+  });
+}
+
+ir::ExprPtr fold_subaccess(const ir::ExprPtr& expr) {
+  using namespace ir;
+  if (expr->kind() != ExprKind::SubAccess) return expr;
+  const auto& access = static_cast<const SubAccessExpr&>(*expr);
+  if (access.index()->kind() != ExprKind::Literal) return expr;
+  const auto& literal = static_cast<const LiteralExpr&>(*access.index());
+  const auto& vec = static_cast<const VectorType&>(*access.base()->type());
+  uint64_t index = literal.value().to_uint64();
+  // An out-of-range constant index clamps to the last element; two-state
+  // simulation has no X to return, and clamping matches the mux-chain
+  // lowering (the last arm is the default).
+  if (index >= vec.size()) index = vec.size() - 1;
+  return make_subindex(access.base(), static_cast<uint32_t>(index));
+}
+
+std::string fresh_name(const std::string& base,
+                       const std::function<bool(const std::string&)>& is_used) {
+  for (uint32_t k = 0;; ++k) {
+    std::string candidate = base + std::to_string(k);
+    if (!is_used(candidate)) return candidate;
+  }
+}
+
+}  // namespace hgdb::passes

@@ -1,0 +1,28 @@
+#ifndef HGDB_PASSES_UTIL_H
+#define HGDB_PASSES_UTIL_H
+
+#include <functional>
+#include <string>
+
+#include "ir/stmt.h"
+
+namespace hgdb::passes {
+
+/// Applies `fn` (a bottom-up expression rewriter, see ir::rewrite_expr) to
+/// every expression held by `stmt` and its children: node values and
+/// enables, connect lhs/rhs/enables, when conditions, register reset/init.
+void rewrite_stmt_exprs(
+    ir::Stmt& stmt, const std::function<ir::ExprPtr(const ir::ExprPtr&)>& fn);
+
+/// Bottom-up rewrite step that turns `vec[Literal]` dynamic accesses into
+/// constant SubIndex accesses (applied after loop-variable substitution).
+ir::ExprPtr fold_subaccess(const ir::ExprPtr& expr);
+
+/// Returns a fresh name of the form `<base><k>` that is not in `used`,
+/// starting from k = 0 (matches the paper's sum0/sum1/sum2 naming).
+std::string fresh_name(const std::string& base,
+                       const std::function<bool(const std::string&)>& is_used);
+
+}  // namespace hgdb::passes
+
+#endif  // HGDB_PASSES_UTIL_H

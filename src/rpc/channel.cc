@@ -1,0 +1,89 @@
+#include "rpc/channel.h"
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+
+namespace hgdb::rpc {
+
+namespace {
+
+/// Shared state of one direction of an in-process pipe.
+struct Queue {
+  std::mutex mutex;
+  std::condition_variable ready;
+  std::deque<std::string> messages;
+  bool closed = false;
+
+  void push(std::string message) {
+    {
+      std::lock_guard lock(mutex);
+      if (closed) throw std::runtime_error("channel closed");
+      messages.push_back(std::move(message));
+    }
+    ready.notify_one();
+  }
+
+  std::optional<std::string> pop(std::optional<std::chrono::milliseconds> timeout) {
+    std::unique_lock lock(mutex);
+    auto has_data = [this] { return !messages.empty() || closed; };
+    if (timeout) {
+      if (!ready.wait_for(lock, *timeout, has_data)) return std::nullopt;
+    } else {
+      ready.wait(lock, has_data);
+    }
+    if (messages.empty()) return std::nullopt;  // closed and drained
+    std::string message = std::move(messages.front());
+    messages.pop_front();
+    return message;
+  }
+
+  void close() {
+    {
+      std::lock_guard lock(mutex);
+      closed = true;
+    }
+    ready.notify_all();
+  }
+};
+
+class PairedChannel final : public Channel {
+ public:
+  PairedChannel(std::shared_ptr<Queue> incoming, std::shared_ptr<Queue> outgoing)
+      : incoming_(std::move(incoming)), outgoing_(std::move(outgoing)) {}
+
+  ~PairedChannel() override { close(); }
+
+  void send(std::string message) override { outgoing_->push(std::move(message)); }
+
+  std::optional<std::string> receive(
+      std::optional<std::chrono::milliseconds> timeout) override {
+    return incoming_->pop(timeout);
+  }
+
+  void close() override {
+    incoming_->close();
+    outgoing_->close();
+  }
+
+  [[nodiscard]] bool closed() const override {
+    std::lock_guard lock(incoming_->mutex);
+    return incoming_->closed && incoming_->messages.empty();
+  }
+
+ private:
+  std::shared_ptr<Queue> incoming_;
+  std::shared_ptr<Queue> outgoing_;
+};
+
+}  // namespace
+
+std::pair<std::unique_ptr<Channel>, std::unique_ptr<Channel>> make_channel_pair() {
+  auto a_to_b = std::make_shared<Queue>();
+  auto b_to_a = std::make_shared<Queue>();
+  return {std::make_unique<PairedChannel>(b_to_a, a_to_b),
+          std::make_unique<PairedChannel>(a_to_b, b_to_a)};
+}
+
+}  // namespace hgdb::rpc

@@ -1,0 +1,42 @@
+#ifndef HGDB_RPC_CHANNEL_H
+#define HGDB_RPC_CHANNEL_H
+
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace hgdb::rpc {
+
+/// A duplex, message-oriented transport endpoint. The debug protocol
+/// (paper Sec. 3.5: debuggers connect to the runtime over an RPC protocol
+/// similar to the gdb remote protocol) runs over any Channel:
+/// an in-process pair for same-process debuggers and tests, or loopback
+/// TCP with length framing standing in for the paper's WebSocket (see
+/// DESIGN.md substitutions).
+class Channel {
+ public:
+  virtual ~Channel() = default;
+
+  /// Sends one message. Throws std::runtime_error if the peer is gone.
+  virtual void send(std::string message) = 0;
+
+  /// Receives the next message, blocking up to `timeout` (forever when
+  /// nullopt). Returns nullopt on timeout or when the channel is closed
+  /// and drained.
+  virtual std::optional<std::string> receive(
+      std::optional<std::chrono::milliseconds> timeout = std::nullopt) = 0;
+
+  /// Closes this endpoint; pending receives wake with nullopt.
+  virtual void close() = 0;
+  [[nodiscard]] virtual bool closed() const = 0;
+};
+
+/// Creates a connected in-process channel pair (A's sends appear at B and
+/// vice versa). Both endpoints are thread-safe.
+std::pair<std::unique_ptr<Channel>, std::unique_ptr<Channel>> make_channel_pair();
+
+}  // namespace hgdb::rpc
+
+#endif  // HGDB_RPC_CHANNEL_H

@@ -1,0 +1,196 @@
+#include "rpc/protocol.h"
+
+#include <stdexcept>
+
+#include "common/strings.h"
+
+namespace hgdb::rpc {
+
+using common::Json;
+
+namespace {
+
+const char* command_name(CommandRequest::Command command) {
+  switch (command) {
+    case CommandRequest::Command::Continue: return "continue";
+    case CommandRequest::Command::Pause: return "pause";
+    case CommandRequest::Command::StepOver: return "step_over";
+    case CommandRequest::Command::StepBack: return "step_back";
+    case CommandRequest::Command::ReverseContinue: return "reverse_continue";
+    case CommandRequest::Command::Jump: return "jump";
+    case CommandRequest::Command::Detach: return "detach";
+  }
+  return "continue";
+}
+
+CommandRequest::Command command_from(const std::string& name) {
+  if (name == "continue") return CommandRequest::Command::Continue;
+  if (name == "pause") return CommandRequest::Command::Pause;
+  if (name == "step_over") return CommandRequest::Command::StepOver;
+  if (name == "step_back") return CommandRequest::Command::StepBack;
+  if (name == "reverse_continue") return CommandRequest::Command::ReverseContinue;
+  if (name == "jump") return CommandRequest::Command::Jump;
+  if (name == "detach") return CommandRequest::Command::Detach;
+  throw std::runtime_error("unknown command '" + name + "'");
+}
+
+}  // namespace
+
+Request parse_request(const std::string& text) {
+  const Json json = Json::parse(text);
+  Request request;
+  request.token = json.get_int("token");
+  const std::string type = json.get_string("type");
+  if (type == "breakpoint") {
+    request.kind = Request::Kind::Breakpoint;
+    request.breakpoint.action = json.get_string("action") == "remove"
+                                    ? BreakpointRequest::Action::Remove
+                                    : BreakpointRequest::Action::Add;
+    request.breakpoint.filename = json.get_string("filename");
+    request.breakpoint.line = static_cast<uint32_t>(json.get_int("line"));
+    request.breakpoint.column = static_cast<uint32_t>(json.get_int("column"));
+    request.breakpoint.condition = json.get_string("condition");
+  } else if (type == "bp-location") {
+    request.kind = Request::Kind::BpLocation;
+    request.bp_location.filename = json.get_string("filename");
+    request.bp_location.line = static_cast<uint32_t>(json.get_int("line"));
+  } else if (type == "command") {
+    request.kind = Request::Kind::Command;
+    request.command.command = command_from(json.get_string("command"));
+    request.command.time = static_cast<uint64_t>(json.get_int("time"));
+  } else if (type == "evaluation") {
+    request.kind = Request::Kind::Evaluation;
+    request.evaluation.expression = json.get_string("expression");
+    if (json.contains("breakpoint_id")) {
+      request.evaluation.breakpoint_id = json.get_int("breakpoint_id");
+    }
+    request.evaluation.instance_name = json.get_string("instance_name");
+  } else if (type == "debugger-info") {
+    request.kind = Request::Kind::DebuggerInfo;
+  } else {
+    throw std::runtime_error("unknown request type '" + type + "'");
+  }
+  return request;
+}
+
+std::string serialize_request(const Request& request) {
+  Json json = Json::object();
+  json["token"] = Json(request.token);
+  switch (request.kind) {
+    case Request::Kind::Breakpoint:
+      json["type"] = Json("breakpoint");
+      json["action"] = Json(request.breakpoint.action ==
+                                    BreakpointRequest::Action::Remove
+                                ? "remove"
+                                : "add");
+      json["filename"] = Json(request.breakpoint.filename);
+      json["line"] = Json(static_cast<int64_t>(request.breakpoint.line));
+      json["column"] = Json(static_cast<int64_t>(request.breakpoint.column));
+      if (!request.breakpoint.condition.empty()) {
+        json["condition"] = Json(request.breakpoint.condition);
+      }
+      break;
+    case Request::Kind::BpLocation:
+      json["type"] = Json("bp-location");
+      json["filename"] = Json(request.bp_location.filename);
+      json["line"] = Json(static_cast<int64_t>(request.bp_location.line));
+      break;
+    case Request::Kind::Command:
+      json["type"] = Json("command");
+      json["command"] = Json(command_name(request.command.command));
+      json["time"] = Json(static_cast<int64_t>(request.command.time));
+      break;
+    case Request::Kind::Evaluation:
+      json["type"] = Json("evaluation");
+      json["expression"] = Json(request.evaluation.expression);
+      if (request.evaluation.breakpoint_id) {
+        json["breakpoint_id"] = Json(*request.evaluation.breakpoint_id);
+      }
+      if (!request.evaluation.instance_name.empty()) {
+        json["instance_name"] = Json(request.evaluation.instance_name);
+      }
+      break;
+    case Request::Kind::DebuggerInfo:
+      json["type"] = Json("debugger-info");
+      break;
+  }
+  return json.dump();
+}
+
+std::string serialize_response(const GenericResponse& response) {
+  Json json = Json::object();
+  json["type"] = Json("generic");
+  json["token"] = Json(response.token);
+  json["status"] = Json(response.success ? "success" : "error");
+  if (!response.reason.empty()) json["reason"] = Json(response.reason);
+  json["payload"] = response.payload;
+  return json.dump();
+}
+
+std::string serialize_stop_event(const StopEvent& event) {
+  Json frames = Json::array();
+  for (const auto& frame : event.frames) {
+    Json f = Json::object();
+    f["breakpoint_id"] = Json(frame.breakpoint_id);
+    f["instance_id"] = Json(frame.instance_id);
+    f["instance_name"] = Json(frame.instance_name);
+    f["filename"] = Json(frame.filename);
+    f["line"] = Json(static_cast<int64_t>(frame.line));
+    f["column"] = Json(static_cast<int64_t>(frame.column));
+    f["locals"] = frame.locals;
+    f["generator"] = frame.generator;
+    frames.push_back(std::move(f));
+  }
+  Json json = Json::object();
+  json["type"] = Json("stop");
+  json["time"] = Json(static_cast<int64_t>(event.time));
+  json["frames"] = std::move(frames);
+  return json.dump();
+}
+
+ServerMessage parse_server_message(const std::string& text) {
+  const Json json = Json::parse(text);
+  ServerMessage message;
+  if (json.get_string("type") == "stop") {
+    message.kind = ServerMessage::Kind::Stop;
+    message.stop.time = static_cast<uint64_t>(json.get_int("time"));
+    if (auto frames = json.get("frames")) {
+      for (const auto& f : frames->get().as_array()) {
+        Frame frame;
+        frame.breakpoint_id = f.get_int("breakpoint_id");
+        frame.instance_id = f.get_int("instance_id");
+        frame.instance_name = f.get_string("instance_name");
+        frame.filename = f.get_string("filename");
+        frame.line = static_cast<uint32_t>(f.get_int("line"));
+        frame.column = static_cast<uint32_t>(f.get_int("column"));
+        if (auto locals = f.get("locals")) frame.locals = locals->get();
+        if (auto generator = f.get("generator")) {
+          frame.generator = generator->get();
+        }
+        message.stop.frames.push_back(std::move(frame));
+      }
+    }
+  } else {
+    message.kind = ServerMessage::Kind::Generic;
+    message.generic.token = json.get_int("token");
+    message.generic.success = json.get_string("status") == "success";
+    message.generic.reason = json.get_string("reason");
+    if (auto payload = json.get("payload")) {
+      message.generic.payload = payload->get();
+    }
+  }
+  return message;
+}
+
+void insert_nested(Json& object, const std::string& name, Json value) {
+  const auto parts = common::split(name, '.');
+  Json* node = &object;
+  for (size_t i = 0; i + 1 < parts.size(); ++i) {
+    Json& child = (*node)[parts[i]];
+    if (!child.is_object()) child = Json::object();
+    node = &child;
+  }
+  (*node)[parts.back()] = std::move(value);
+}
+
+}  // namespace hgdb::rpc

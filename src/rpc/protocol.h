@@ -1,0 +1,134 @@
+#ifndef HGDB_RPC_PROTOCOL_H
+#define HGDB_RPC_PROTOCOL_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace hgdb::rpc {
+
+/// JSON debug protocol between debugger clients and the hgdb runtime
+/// (paper Sec. 3.5: "RPC-based debugging protocol similar to gdb remote
+/// protocol"). Every request carries a client-chosen `token` echoed in the
+/// reply; stop events are unsolicited (token-less).
+///
+/// Wire format: one JSON object per Channel message, with a "type" field.
+
+// -- requests (debugger -> runtime) -------------------------------------------
+
+struct BreakpointRequest {
+  enum class Action : uint8_t { Add, Remove };
+  Action action = Action::Add;
+  std::string filename;
+  uint32_t line = 0;     ///< 0 = every line in file (remove only)
+  uint32_t column = 0;   ///< 0 = any column
+  std::string condition; ///< optional user condition expression
+};
+
+struct BpLocationRequest {
+  std::string filename;
+  uint32_t line = 0;  ///< 0 = all lines
+};
+
+struct CommandRequest {
+  enum class Command : uint8_t {
+    Continue,         ///< run until an inserted breakpoint hits
+    Pause,            ///< stop at the next statement boundary
+    StepOver,         ///< next statement (any breakpointable location)
+    StepBack,         ///< previous statement (intra-cycle reverse; uses
+                      ///< time travel across cycles when supported)
+    ReverseContinue,  ///< run backwards until an inserted breakpoint hits
+    Jump,             ///< jump to absolute time (requires time travel)
+    Detach,           ///< remove all breakpoints and stop serving
+  };
+  Command command = Command::Continue;
+  uint64_t time = 0;  ///< for Jump
+};
+
+struct EvaluationRequest {
+  std::string expression;
+  /// Scope: a breakpoint id (frame locals + instance vars) or an instance
+  /// name. Empty = top instance.
+  std::optional<int64_t> breakpoint_id;
+  std::string instance_name;
+};
+
+struct DebuggerInfoRequest {};
+
+/// Decoded request variant.
+struct Request {
+  enum class Kind : uint8_t {
+    Breakpoint,
+    BpLocation,
+    Command,
+    Evaluation,
+    DebuggerInfo,
+  };
+  Kind kind = Kind::Command;
+  int64_t token = 0;
+  BreakpointRequest breakpoint;
+  BpLocationRequest bp_location;
+  CommandRequest command;
+  EvaluationRequest evaluation;
+};
+
+/// Parses a request message; throws std::runtime_error on malformed input.
+Request parse_request(const std::string& text);
+std::string serialize_request(const Request& request);
+
+// -- responses / events (runtime -> debugger) ---------------------------------
+
+struct GenericResponse {
+  int64_t token = 0;
+  bool success = true;
+  std::string reason;
+  /// Optional payload (bp-location lists, evaluation results, info dumps).
+  common::Json payload = common::Json::object();
+};
+
+/// One concurrent "hardware thread" stopped at a breakpoint
+/// (paper Fig. 4 B): same source line, different instance.
+struct Frame {
+  int64_t breakpoint_id = 0;
+  int64_t instance_id = 0;
+  std::string instance_name;
+  std::string filename;
+  uint32_t line = 0;
+  uint32_t column = 0;
+  /// Local (scope) variables; values rendered as decimal strings; dotted
+  /// names re-aggregated into nested objects (bundle reconstruction).
+  common::Json locals = common::Json::object();
+  /// Generator (instance) variables, same encoding.
+  common::Json generator = common::Json::object();
+};
+
+struct StopEvent {
+  uint64_t time = 0;
+  std::vector<Frame> frames;
+};
+
+std::string serialize_response(const GenericResponse& response);
+std::string serialize_stop_event(const StopEvent& event);
+
+/// Decoded runtime->debugger message.
+struct ServerMessage {
+  enum class Kind : uint8_t { Generic, Stop };
+  Kind kind = Kind::Generic;
+  GenericResponse generic;
+  StopEvent stop;
+};
+
+ServerMessage parse_server_message(const std::string& text);
+
+/// Inserts `value` into a nested JSON object, splitting `name` on '.' —
+/// "io.out.bits" becomes {"io":{"out":{"bits": value}}}. This is the
+/// bundle re-aggregation the paper demonstrates on the FPU's PortBundle.
+void insert_nested(common::Json& object, const std::string& name,
+                   common::Json value);
+
+}  // namespace hgdb::rpc
+
+#endif  // HGDB_RPC_PROTOCOL_H

@@ -1,0 +1,152 @@
+#include "rpc/tcp.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+
+namespace hgdb::rpc {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("tcp: " + what + " (" + std::strerror(errno) + ")");
+}
+
+/// Blocking socket channel with 4-byte big-endian length prefixes.
+class SocketChannel final : public Channel {
+ public:
+  explicit SocketChannel(int fd) : fd_(fd) {}
+  ~SocketChannel() override { close(); }
+
+  void send(std::string message) override {
+    std::lock_guard lock(send_mutex_);
+    if (fd_ < 0) throw std::runtime_error("tcp: send on closed channel");
+    const uint32_t length = htonl(static_cast<uint32_t>(message.size()));
+    write_all(reinterpret_cast<const char*>(&length), sizeof(length));
+    write_all(message.data(), message.size());
+  }
+
+  std::optional<std::string> receive(
+      std::optional<std::chrono::milliseconds> timeout) override {
+    std::lock_guard lock(receive_mutex_);
+    if (fd_ < 0) return std::nullopt;
+    if (timeout) {
+      pollfd pfd{fd_, POLLIN, 0};
+      const int rc = ::poll(&pfd, 1, static_cast<int>(timeout->count()));
+      if (rc == 0) return std::nullopt;
+      if (rc < 0) return std::nullopt;
+    }
+    uint32_t length = 0;
+    if (!read_all(reinterpret_cast<char*>(&length), sizeof(length))) {
+      return std::nullopt;
+    }
+    length = ntohl(length);
+    if (length > (64u << 20)) return std::nullopt;  // sanity: 64 MiB cap
+    std::string message(length, '\0');
+    if (!read_all(message.data(), length)) return std::nullopt;
+    return message;
+  }
+
+  void close() override {
+    if (fd_ >= 0) {
+      ::shutdown(fd_, SHUT_RDWR);
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  [[nodiscard]] bool closed() const override { return fd_ < 0; }
+
+ private:
+  void write_all(const char* data, size_t size) {
+    size_t written = 0;
+    while (written < size) {
+      const ssize_t n = ::send(fd_, data + written, size - written, MSG_NOSIGNAL);
+      if (n <= 0) fail("send");
+      written += static_cast<size_t>(n);
+    }
+  }
+
+  bool read_all(char* data, size_t size) {
+    size_t got = 0;
+    while (got < size) {
+      const ssize_t n = ::recv(fd_, data + got, size - got, 0);
+      if (n <= 0) return false;
+      got += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  int fd_;
+  std::mutex send_mutex_;
+  std::mutex receive_mutex_;
+};
+
+}  // namespace
+
+TcpServer::TcpServer(uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) fail("socket");
+  const int enable = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  address.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&address), sizeof(address)) < 0) {
+    fail("bind");
+  }
+  if (::listen(fd_, 4) < 0) fail("listen");
+  socklen_t length = sizeof(address);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&address), &length) < 0) {
+    fail("getsockname");
+  }
+  port_ = ntohs(address.sin_port);
+}
+
+TcpServer::~TcpServer() { close(); }
+
+std::unique_ptr<Channel> TcpServer::accept() {
+  if (fd_ < 0) return nullptr;
+  const int client = ::accept(fd_, nullptr, nullptr);
+  if (client < 0) return nullptr;
+  const int enable = 1;
+  ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+  return std::make_unique<SocketChannel>(client);
+}
+
+void TcpServer::close() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::unique_ptr<Channel> tcp_connect(const std::string& host, uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail("socket");
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &address.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("tcp: bad host '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&address), sizeof(address)) < 0) {
+    ::close(fd);
+    fail("connect");
+  }
+  const int enable = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+  return std::make_unique<SocketChannel>(fd);
+}
+
+}  // namespace hgdb::rpc

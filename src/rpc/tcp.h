@@ -1,0 +1,43 @@
+#ifndef HGDB_RPC_TCP_H
+#define HGDB_RPC_TCP_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "rpc/channel.h"
+
+namespace hgdb::rpc {
+
+/// Loopback TCP transport with 4-byte big-endian length framing. This is
+/// the cross-process stand-in for the paper's WebSocket connection between
+/// the VSCode/gdb-style debuggers and the runtime (Fig. 1): same message
+/// semantics, simpler framing (documented in DESIGN.md).
+class TcpServer {
+ public:
+  /// Binds and listens on 127.0.0.1:`port` (0 picks an ephemeral port).
+  explicit TcpServer(uint16_t port = 0);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  [[nodiscard]] uint16_t port() const { return port_; }
+
+  /// Blocks until a client connects; returns the connection channel.
+  /// Returns nullptr if the server was closed.
+  std::unique_ptr<Channel> accept();
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+/// Connects to a TcpServer. Throws std::runtime_error on failure.
+std::unique_ptr<Channel> tcp_connect(const std::string& host, uint16_t port);
+
+}  // namespace hgdb::rpc
+
+#endif  // HGDB_RPC_TCP_H

@@ -1,0 +1,529 @@
+#include "runtime/expression.h"
+
+#include <cctype>
+#include <stdexcept>
+#include <vector>
+
+#include "ir/eval.h"
+#include "ir/expr.h"
+
+namespace hgdb::runtime {
+
+using common::BitVector;
+using ir::PrimOp;
+
+// ---------------------------------------------------------------------------
+// AST
+// ---------------------------------------------------------------------------
+
+struct Expression::Node {
+  enum class Kind : uint8_t { Literal, Name, Op };
+  Kind kind = Kind::Literal;
+  BitVector literal{1, 0};
+  bool literal_signed = false;
+  std::string name;
+  PrimOp op = PrimOp::Add;
+  std::vector<uint32_t> int_params;
+  std::vector<std::unique_ptr<Node>> children;
+  /// Logical (&&, ||, !) ops coerce operands to booleans first.
+  bool logical = false;
+};
+
+namespace {
+
+using Node = Expression::Node;
+
+}  // namespace
+
+// The out-of-line special members must see the complete Node type.
+Expression::Expression(std::unique_ptr<Node> root, std::string text,
+                       std::set<std::string> names)
+    : root_(std::move(root)), text_(std::move(text)), names_(std::move(names)) {}
+Expression::Expression(Expression&&) noexcept = default;
+Expression& Expression::operator=(Expression&&) noexcept = default;
+Expression::~Expression() = default;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+struct Token {
+  enum class Kind : uint8_t { Name, Number, TypedLiteral, Punct, End };
+  Kind kind = Kind::End;
+  std::string text;       // Name / Punct spelling
+  BitVector value{1, 0};  // Number / TypedLiteral
+  bool is_signed = false;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) { advance(); }
+
+  [[nodiscard]] const Token& peek() const { return current_; }
+  Token next() {
+    Token token = current_;
+    advance();
+    return token;
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw std::invalid_argument("expression error at offset " +
+                                std::to_string(pos_) + ": " + message);
+  }
+
+ private:
+  void advance() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) {
+      current_ = Token{};
+      return;
+    }
+    const char c = text_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '$') {
+      lex_name_or_literal();
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      lex_number();
+      return;
+    }
+    lex_punct();
+  }
+
+  void lex_name_or_literal() {
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_' || text_[pos_] == '$')) {
+      ++pos_;
+    }
+    std::string name = text_.substr(start, pos_ - start);
+    // Typed literal: UInt<8>(42) / SInt<4>(-3).
+    if ((name == "UInt" || name == "SInt") && pos_ < text_.size() &&
+        text_[pos_] == '<') {
+      ++pos_;
+      const uint32_t width = static_cast<uint32_t>(lex_raw_int());
+      expect('>');
+      expect('(');
+      const int64_t value = lex_raw_int();
+      expect(')');
+      current_.kind = Token::Kind::TypedLiteral;
+      current_.value = BitVector(width, static_cast<uint64_t>(value));
+      current_.is_signed = name == "SInt";
+      return;
+    }
+    // Path suffixes are part of the name: a.b[3].c matches the symbol
+    // table's flattened source names verbatim.
+    while (pos_ < text_.size()) {
+      if (text_[pos_] == '.') {
+        size_t probe = pos_ + 1;
+        if (probe >= text_.size() ||
+            !(std::isalpha(static_cast<unsigned char>(text_[probe])) ||
+              text_[probe] == '_' || text_[probe] == '$')) {
+          break;
+        }
+        name.push_back('.');
+        pos_ = probe;
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '_' || text_[pos_] == '$')) {
+          name.push_back(text_[pos_]);
+          ++pos_;
+        }
+        continue;
+      }
+      if (text_[pos_] == '[') {
+        size_t probe = pos_ + 1;
+        std::string digits;
+        while (probe < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[probe]))) {
+          digits.push_back(text_[probe]);
+          ++probe;
+        }
+        if (digits.empty() || probe >= text_.size() || text_[probe] != ']') {
+          break;
+        }
+        name += "[" + digits + "]";
+        pos_ = probe + 1;
+        continue;
+      }
+      break;
+    }
+    current_.kind = Token::Kind::Name;
+    current_.text = std::move(name);
+  }
+
+  int64_t lex_raw_int() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    bool negative = false;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      negative = true;
+      ++pos_;
+    }
+    if (pos_ >= text_.size() ||
+        !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      fail("expected integer");
+    }
+    int64_t value = 0;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      value = value * 10 + (text_[pos_] - '0');
+      ++pos_;
+    }
+    return negative ? -value : value;
+  }
+
+  void expect(char c) {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  void lex_number() {
+    uint64_t value = 0;
+    uint32_t width = 0;
+    if (text_[pos_] == '0' && pos_ + 1 < text_.size() &&
+        (text_[pos_ + 1] == 'x' || text_[pos_ + 1] == 'X')) {
+      pos_ += 2;
+      const size_t start = pos_;
+      while (pos_ < text_.size() &&
+             std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+        value = value * 16 +
+                static_cast<uint64_t>(
+                    std::isdigit(static_cast<unsigned char>(text_[pos_]))
+                        ? text_[pos_] - '0'
+                        : std::tolower(text_[pos_]) - 'a' + 10);
+        ++pos_;
+      }
+      if (pos_ == start) fail("bad hex literal");
+    } else {
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        value = value * 10 + static_cast<uint64_t>(text_[pos_] - '0');
+        ++pos_;
+      }
+    }
+    // Bare numbers behave like software-debugger integers: 64-bit, so
+    // mixed-width arithmetic never wraps unexpectedly. Typed literals
+    // (UInt<w>(v)) give exact widths when wanted.
+    width = 64;
+    current_.kind = Token::Kind::Number;
+    current_.value = BitVector(width, value);
+    current_.is_signed = false;
+  }
+
+  void lex_punct() {
+    static const char* kTwoChar[] = {"==", "!=", "<=", ">=", "&&", "||", "<<", ">>"};
+    for (const char* op : kTwoChar) {
+      if (text_.compare(pos_, 2, op) == 0) {
+        current_.kind = Token::Kind::Punct;
+        current_.text = op;
+        pos_ += 2;
+        return;
+      }
+    }
+    static const std::string kOneChar = "+-*/%&|^~!<>(),";
+    if (kOneChar.find(text_[pos_]) != std::string::npos) {
+      current_.kind = Token::Kind::Punct;
+      current_.text = std::string(1, text_[pos_]);
+      ++pos_;
+      return;
+    }
+    fail(std::string("unexpected character '") + text_[pos_] + "'");
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  Token current_;
+};
+
+// ---------------------------------------------------------------------------
+// Parser (precedence climbing)
+// ---------------------------------------------------------------------------
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : lexer_(text) {}
+
+  std::unique_ptr<Node> parse() {
+    auto node = parse_binary(0);
+    if (lexer_.peek().kind != Token::Kind::End) {
+      lexer_.fail("trailing tokens");
+    }
+    return node;
+  }
+
+  std::set<std::string> take_names() { return std::move(names_); }
+
+ private:
+  struct OpInfo {
+    const char* spelling;
+    int precedence;
+    PrimOp op;
+    bool logical;
+  };
+
+  static const OpInfo* binary_op(const std::string& text) {
+    static const OpInfo kOps[] = {
+        {"||", 1, PrimOp::Or, true},   {"&&", 2, PrimOp::And, true},
+        {"|", 3, PrimOp::Or, false},   {"^", 4, PrimOp::Xor, false},
+        {"&", 5, PrimOp::And, false},  {"==", 6, PrimOp::Eq, false},
+        {"!=", 6, PrimOp::Neq, false}, {"<", 7, PrimOp::Lt, false},
+        {"<=", 7, PrimOp::Leq, false}, {">", 7, PrimOp::Gt, false},
+        {">=", 7, PrimOp::Geq, false}, {"<<", 8, PrimOp::Dshl, false},
+        {">>", 8, PrimOp::Dshr, false},{"+", 9, PrimOp::Add, false},
+        {"-", 9, PrimOp::Sub, false},  {"*", 10, PrimOp::Mul, false},
+        {"/", 10, PrimOp::Div, false}, {"%", 10, PrimOp::Rem, false},
+    };
+    for (const auto& info : kOps) {
+      if (text == info.spelling) return &info;
+    }
+    return nullptr;
+  }
+
+  std::unique_ptr<Node> parse_binary(int min_precedence) {
+    auto lhs = parse_unary();
+    while (lexer_.peek().kind == Token::Kind::Punct) {
+      const OpInfo* info = binary_op(lexer_.peek().text);
+      if (info == nullptr || info->precedence < min_precedence) break;
+      lexer_.next();
+      auto rhs = parse_binary(info->precedence + 1);
+      auto node = std::make_unique<Node>();
+      node->kind = Node::Kind::Op;
+      node->op = info->op;
+      node->logical = info->logical;
+      node->children.push_back(std::move(lhs));
+      node->children.push_back(std::move(rhs));
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  std::unique_ptr<Node> parse_unary() {
+    if (lexer_.peek().kind == Token::Kind::Punct) {
+      // Copy: next() overwrites the token the peek reference points into.
+      const std::string text = lexer_.peek().text;
+      if (text == "!" || text == "~" || text == "-") {
+        lexer_.next();
+        auto operand = parse_unary();
+        auto node = std::make_unique<Node>();
+        node->kind = Node::Kind::Op;
+        node->op = text == "-" ? PrimOp::Neg : PrimOp::Not;
+        node->logical = text == "!";
+        node->children.push_back(std::move(operand));
+        return node;
+      }
+      if (text == "(") {
+        lexer_.next();
+        auto node = parse_binary(0);
+        expect_punct(")");
+        return node;
+      }
+    }
+    return parse_primary();
+  }
+
+  std::unique_ptr<Node> parse_primary() {
+    Token token = lexer_.next();
+    auto node = std::make_unique<Node>();
+    switch (token.kind) {
+      case Token::Kind::Number:
+      case Token::Kind::TypedLiteral:
+        node->kind = Node::Kind::Literal;
+        node->literal = token.value;
+        node->literal_signed = token.is_signed;
+        return node;
+      case Token::Kind::Name: {
+        // Call syntax for IR primitives: add(a, b), bits(x, 7, 0), ...
+        PrimOp op;
+        if (lexer_.peek().kind == Token::Kind::Punct &&
+            lexer_.peek().text == "(" && ir::prim_op_from_name(token.text, &op)) {
+          lexer_.next();
+          node->kind = Node::Kind::Op;
+          node->op = op;
+          if (!(lexer_.peek().kind == Token::Kind::Punct &&
+                lexer_.peek().text == ")")) {
+            while (true) {
+              // bits/pad/shl/shr integer parameters arrive as numbers in
+              // trailing positions; treat trailing pure numbers for param-
+              // taking ops as int params.
+              node->children.push_back(parse_binary(0));
+              if (lexer_.peek().kind == Token::Kind::Punct &&
+                  lexer_.peek().text == ",") {
+                lexer_.next();
+                continue;
+              }
+              break;
+            }
+          }
+          expect_punct(")");
+          split_int_params(*node);
+          return node;
+        }
+        node->kind = Node::Kind::Name;
+        node->name = token.text;
+        names_.insert(token.text);
+        return node;
+      }
+      default:
+        lexer_.fail("expected value");
+    }
+  }
+
+  /// For ops that take integer parameters (bits, pad, shl, shr), move the
+  /// trailing literal children into int_params.
+  static void split_int_params(Node& node) {
+    size_t param_count = 0;
+    switch (node.op) {
+      case PrimOp::Bits: param_count = 2; break;
+      case PrimOp::Pad:
+      case PrimOp::Shl:
+      case PrimOp::Shr: param_count = 1; break;
+      default: return;
+    }
+    if (node.children.size() < param_count) return;
+    for (size_t i = node.children.size() - param_count;
+         i < node.children.size(); ++i) {
+      if (node.children[i]->kind != Node::Kind::Literal) {
+        throw std::invalid_argument("expression error: " +
+                                    std::string(ir::prim_op_name(node.op)) +
+                                    " parameters must be integer literals");
+      }
+      node.int_params.push_back(
+          static_cast<uint32_t>(node.children[i]->literal.to_uint64()));
+    }
+    node.children.resize(node.children.size() - param_count);
+  }
+
+  void expect_punct(const std::string& text) {
+    if (lexer_.peek().kind != Token::Kind::Punct || lexer_.peek().text != text) {
+      lexer_.fail("expected '" + text + "'");
+    }
+    lexer_.next();
+  }
+
+  Lexer lexer_;
+  std::set<std::string> names_;
+};
+
+// ---------------------------------------------------------------------------
+// Evaluation
+// ---------------------------------------------------------------------------
+
+struct Value {
+  BitVector bits{1, 0};
+  bool is_signed = false;
+};
+
+Value evaluate_node(const Node& node, const Expression::Resolver& resolver) {
+  switch (node.kind) {
+    case Node::Kind::Literal:
+      return {node.literal, node.literal_signed};
+    case Node::Kind::Name: {
+      auto value = resolver(node.name);
+      if (!value) {
+        throw std::runtime_error("cannot resolve symbol '" + node.name + "'");
+      }
+      return {std::move(*value), false};
+    }
+    case Node::Kind::Op:
+      break;
+  }
+  std::vector<Value> operands;
+  operands.reserve(node.children.size());
+  for (const auto& child : node.children) {
+    operands.push_back(evaluate_node(*child, resolver));
+  }
+  if (node.logical) {
+    // Coerce operands to booleans first; then And/Or/Not are exact.
+    for (auto& operand : operands) {
+      operand = {BitVector(1, operand.bits.to_bool() ? 1 : 0), false};
+    }
+  }
+  // Determine the result width.
+  uint32_t width = 1;
+  switch (node.op) {
+    case PrimOp::Add: case PrimOp::Sub: case PrimOp::Mul:
+    case PrimOp::Div: case PrimOp::Rem: case PrimOp::And:
+    case PrimOp::Or: case PrimOp::Xor:
+      width = std::max(operands[0].bits.width(), operands[1].bits.width());
+      break;
+    case PrimOp::Mux:
+      width = std::max(operands[1].bits.width(), operands[2].bits.width());
+      break;
+    case PrimOp::Not: case PrimOp::Neg:
+    case PrimOp::Dshl: case PrimOp::Dshr:
+    case PrimOp::AsUInt: case PrimOp::AsSInt: case PrimOp::AsClock:
+      width = operands[0].bits.width();
+      break;
+    case PrimOp::Cat:
+      width = operands[0].bits.width() + operands[1].bits.width();
+      break;
+    case PrimOp::Bits:
+      width = node.int_params[0] - node.int_params[1] + 1;
+      break;
+    case PrimOp::Shl: case PrimOp::Shr:
+      width = operands[0].bits.width();
+      break;
+    case PrimOp::Pad:
+      width = node.int_params[0];
+      break;
+    case PrimOp::Lt: case PrimOp::Leq: case PrimOp::Gt: case PrimOp::Geq:
+    case PrimOp::Eq: case PrimOp::Neq:
+    case PrimOp::AndR: case PrimOp::OrR: case PrimOp::XorR:
+      width = 1;
+      break;
+  }
+  std::vector<BitVector> bits;
+  std::vector<bool> signs;
+  bits.reserve(operands.size());
+  for (const auto& operand : operands) {
+    bits.push_back(operand.bits);
+    signs.push_back(operand.is_signed);
+  }
+  // Mux with unequal arm widths: extend both arms.
+  if (node.op == PrimOp::Mux) {
+    bits[1] = bits[1].resize(width, signs[1]);
+    bits[2] = bits[2].resize(width, signs[2]);
+  }
+  BitVector result = ir::eval_prim(node.op, bits, signs, node.int_params, width);
+  if (result.width() != width) result = result.resize(width);
+  const bool result_signed =
+      (node.op == PrimOp::AsSInt) ||
+      (!signs.empty() && signs[0] &&
+       (node.op == PrimOp::Add || node.op == PrimOp::Sub ||
+        node.op == PrimOp::Mul || node.op == PrimOp::Div ||
+        node.op == PrimOp::Rem || node.op == PrimOp::Neg));
+  return {std::move(result), result_signed};
+}
+
+}  // namespace
+
+Expression Expression::parse(const std::string& text) {
+  Parser parser(text);
+  auto root = parser.parse();
+  return Expression(std::move(root), text, parser.take_names());
+}
+
+BitVector Expression::evaluate(const Resolver& resolver) const {
+  return evaluate_node(*root_, resolver).bits;
+}
+
+bool Expression::evaluate_bool(const Resolver& resolver) const {
+  return evaluate(resolver).to_bool();
+}
+
+}  // namespace hgdb::runtime

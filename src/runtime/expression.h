@@ -1,0 +1,67 @@
+#ifndef HGDB_RUNTIME_EXPRESSION_H
+#define HGDB_RUNTIME_EXPRESSION_H
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "common/bitvector.h"
+
+namespace hgdb::runtime {
+
+/// A parsed debug-time expression.
+///
+/// Two expression sources flow through this class (paper Sec. 3.1/3.2):
+///  - SSA *enable conditions* stored in the symbol table, written in the
+///    IR printer's call syntax, e.g. "and(when_cond0, not(when_cond1))";
+///  - *user conditions* on breakpoints, written C-style, e.g.
+///    "data[0] % 2 == 1 && sum > 10".
+/// One grammar covers both: C-style infix operators plus named calls for
+/// every IR primitive, names with '.' and '[index]' path suffixes (matched
+/// verbatim against symbol names), decimal/hex numbers, and typed literals
+/// like UInt<8>(42).
+///
+/// Parsing happens once (at breakpoint insertion); evaluation runs on
+/// every scheduler pass, resolving names through a caller-supplied
+/// resolver so the same expression works against live simulation, traces,
+/// or test fixtures.
+class Expression {
+ public:
+  using Resolver =
+      std::function<std::optional<common::BitVector>(const std::string&)>;
+
+  /// Parses `text`; throws std::invalid_argument with a description on
+  /// syntax errors.
+  static Expression parse(const std::string& text);
+
+  Expression(Expression&&) noexcept;
+  Expression& operator=(Expression&&) noexcept;
+  ~Expression();
+
+  /// Evaluates against a resolver. Throws std::runtime_error if a name
+  /// cannot be resolved.
+  [[nodiscard]] common::BitVector evaluate(const Resolver& resolver) const;
+  /// Convenience: evaluate and coerce to bool.
+  [[nodiscard]] bool evaluate_bool(const Resolver& resolver) const;
+
+  /// All symbol names referenced by the expression.
+  [[nodiscard]] const std::set<std::string>& names() const { return names_; }
+
+  [[nodiscard]] const std::string& text() const { return text_; }
+
+  struct Node;  // implementation detail, defined in expression.cc
+
+ private:
+  explicit Expression(std::unique_ptr<Node> root, std::string text,
+                      std::set<std::string> names);
+
+  std::unique_ptr<Node> root_;
+  std::string text_;
+  std::set<std::string> names_;
+};
+
+}  // namespace hgdb::runtime
+
+#endif  // HGDB_RUNTIME_EXPRESSION_H

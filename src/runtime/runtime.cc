@@ -1,0 +1,681 @@
+#include "runtime/runtime.h"
+
+#include <algorithm>
+
+namespace hgdb::runtime {
+
+using common::BitVector;
+using rpc::Frame;
+using rpc::StopEvent;
+
+namespace {
+
+constexpr size_t kDefaultEvalThreads = 4;
+
+/// Renders a value the way the IDE variable pane shows it.
+std::string render(const BitVector& value) { return value.to_string(10); }
+
+}  // namespace
+
+Runtime::Runtime(vpi::SimulatorInterface& interface,
+                 const symbols::SymbolTable& table, RuntimeOptions options)
+    : interface_(&interface), table_(&table), options_(options) {}
+
+Runtime::~Runtime() {
+  stop_service();
+  detach();
+}
+
+// ---------------------------------------------------------------------------
+// attach / detach
+// ---------------------------------------------------------------------------
+
+void Runtime::attach() {
+  if (callback_handle_) return;
+
+  // Precompute the absolute breakpoint ordering (Fig. 2: "Before the
+  // simulation starts, we compute the absolute ordering of every potential
+  // breakpoint based on the symbol table").
+  breakpoints_.clear();
+  batches_.clear();
+  by_id_.clear();
+  instance_names_.clear();
+
+  for (const auto& instance : table_->instances()) {
+    instance_names_[instance.id] = instance.name;
+  }
+
+  const auto rows = table_->all_breakpoints();
+  breakpoints_.reserve(rows.size());
+  for (const auto& row : rows) {
+    Breakpoint bp;
+    bp.row = row;
+    if (!row.enable.empty()) bp.enable = Expression::parse(row.enable);
+    auto name_it = instance_names_.find(row.instance_id);
+    bp.instance_name =
+        name_it != instance_names_.end() ? name_it->second : std::string{};
+    by_id_[row.id] = breakpoints_.size();
+    breakpoints_.push_back(std::move(bp));
+  }
+  for (size_t i = 0; i < breakpoints_.size(); ++i) {
+    const auto& row = breakpoints_[i].row;
+    if (batches_.empty() || batches_.back().filename != row.filename ||
+        batches_.back().line != row.line_num ||
+        batches_.back().column != row.column_num) {
+      batches_.push_back(Batch{row.filename, row.line_num, row.column_num, {}});
+    }
+    batches_.back().members.push_back(i);
+  }
+
+  // Locate the generated design inside the simulated hierarchy (Sec. 3.4).
+  std::string symbol_root;
+  for (const auto& [id, name] : instance_names_) {
+    if (symbol_root.empty() || name.size() < symbol_root.size()) {
+      symbol_root = name;
+    }
+  }
+  std::vector<std::string> symbol_names;
+  for (const auto& [id, name] : instance_names_) {
+    for (const auto& variable : table_->generator_variables(id)) {
+      if (!variable.is_rtl) continue;
+      symbol_names.push_back(name + "." + variable.value);
+      if (symbol_names.size() >= 64) break;
+    }
+    if (symbol_names.size() >= 64) break;
+  }
+  mapper_.emplace(interface_->signal_names(), symbol_names, symbol_root);
+
+  pool_ = std::make_unique<ThreadPool>(
+      options_.eval_threads != 0 ? options_.eval_threads : kDefaultEvalThreads);
+
+  callback_handle_ = interface_->add_clock_callback(
+      [this](vpi::ClockEdge edge, uint64_t time) { on_clock_edge(edge, time); });
+}
+
+void Runtime::detach() {
+  if (!callback_handle_) return;
+  interface_->remove_clock_callback(*callback_handle_);
+  callback_handle_.reset();
+}
+
+// ---------------------------------------------------------------------------
+// breakpoints
+// ---------------------------------------------------------------------------
+
+std::vector<int64_t> Runtime::add_breakpoint(const std::string& filename,
+                                             uint32_t line,
+                                             const std::string& condition) {
+  std::optional<Expression> parsed;
+  if (!condition.empty()) parsed = Expression::parse(condition);
+
+  std::lock_guard lock(state_mutex_);
+  std::vector<int64_t> inserted;
+  for (auto& bp : breakpoints_) {
+    if (bp.row.filename != filename || bp.row.line_num != line) continue;
+    bp.inserted = true;
+    if (parsed) {
+      bp.condition = Expression::parse(condition);
+    } else {
+      bp.condition.reset();
+    }
+    inserted.push_back(bp.row.id);
+  }
+  if (!inserted.empty()) any_inserted_.store(true, std::memory_order_release);
+  return inserted;
+}
+
+size_t Runtime::remove_breakpoint(const std::string& filename, uint32_t line) {
+  std::lock_guard lock(state_mutex_);
+  size_t removed = 0;
+  bool any = false;
+  for (auto& bp : breakpoints_) {
+    if (bp.row.filename == filename &&
+        (line == 0 || bp.row.line_num == line)) {
+      if (bp.inserted) ++removed;
+      bp.inserted = false;
+      bp.condition.reset();
+    }
+    any |= bp.inserted;
+  }
+  any_inserted_.store(any, std::memory_order_release);
+  return removed;
+}
+
+void Runtime::clear_breakpoints() {
+  std::lock_guard lock(state_mutex_);
+  for (auto& bp : breakpoints_) {
+    bp.inserted = false;
+    bp.condition.reset();
+  }
+  any_inserted_.store(false, std::memory_order_release);
+}
+
+size_t Runtime::inserted_count() const {
+  std::lock_guard lock(state_mutex_);
+  return static_cast<size_t>(
+      std::count_if(breakpoints_.begin(), breakpoints_.end(),
+                    [](const Breakpoint& bp) { return bp.inserted; }));
+}
+
+void Runtime::set_stop_handler(StopHandler handler) {
+  std::lock_guard lock(command_mutex_);
+  stop_handler_ = std::move(handler);
+}
+
+// ---------------------------------------------------------------------------
+// name resolution
+// ---------------------------------------------------------------------------
+
+std::string Runtime::to_design_name(const std::string& symbol_name) const {
+  if (mapper_ && mapper_->valid()) return mapper_->to_design(symbol_name);
+  return symbol_name;
+}
+
+Expression::Resolver Runtime::breakpoint_resolver(const Breakpoint& bp) const {
+  return [this, &bp](const std::string& name) -> std::optional<BitVector> {
+    // 1. frame locals (scope variables)
+    if (auto variable = table_->resolve_scope_variable(bp.row.id, name)) {
+      if (!variable->is_rtl) {
+        return BitVector::from_string(variable->value);
+      }
+      return interface_->get_value(
+          to_design_name(bp.instance_name + "." + variable->value));
+    }
+    // 2. generator (instance) variables
+    if (auto variable =
+            table_->resolve_generator_variable(bp.row.instance_id, name)) {
+      if (!variable->is_rtl) return BitVector::from_string(variable->value);
+      return interface_->get_value(
+          to_design_name(bp.instance_name + "." + variable->value));
+    }
+    // 3. instance-relative RTL name (this is how SSA enable conditions
+    //    resolve: they are written over instance-relative node names)
+    if (auto value = interface_->get_value(
+            to_design_name(bp.instance_name + "." + name))) {
+      return value;
+    }
+    // 4. absolute hierarchical name
+    return interface_->get_value(name);
+  };
+}
+
+Expression::Resolver Runtime::instance_resolver(
+    int64_t instance_id, const std::string& instance_name) const {
+  return [this, instance_id,
+          instance_name](const std::string& name) -> std::optional<BitVector> {
+    if (auto variable =
+            table_->resolve_generator_variable(instance_id, name)) {
+      if (!variable->is_rtl) return BitVector::from_string(variable->value);
+      return interface_->get_value(
+          to_design_name(instance_name + "." + variable->value));
+    }
+    if (auto value = interface_->get_value(
+            to_design_name(instance_name + "." + name))) {
+      return value;
+    }
+    return interface_->get_value(name);
+  };
+}
+
+// ---------------------------------------------------------------------------
+// scheduler (Fig. 2)
+// ---------------------------------------------------------------------------
+
+void Runtime::on_clock_edge(vpi::ClockEdge edge, uint64_t time) {
+  // All values are stable at both edges under zero-delay simulation; one
+  // pass per cycle at the rising edge is sufficient (Sec. 3).
+  if (edge != vpi::ClockEdge::Rising) return;
+  stats_.clock_edges.fetch_add(1, std::memory_order_relaxed);
+
+  // Fast path first: nothing inserted, no pause requested, plain run mode.
+  // This branch is the entire per-cycle cost the paper measures in Fig. 5,
+  // so it is lock- and allocation-free.
+  if (mode_.load(std::memory_order_acquire) == Mode::Run &&
+      !any_inserted_.load(std::memory_order_acquire) &&
+      !pause_pending_.load(std::memory_order_acquire)) {
+    stats_.fast_path_exits.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
+  if (pause_pending_.exchange(false)) {
+    std::lock_guard lock(state_mutex_);
+    mode_ = Mode::Step;
+  }
+
+  Mode mode;
+  bool reverse_entry;
+  {
+    std::lock_guard lock(state_mutex_);
+    mode = mode_;
+    reverse_entry = reverse_entry_;
+    reverse_entry_ = false;
+  }
+
+  bool reverse = mode == Mode::ReverseStep || mode == Mode::ReverseContinue;
+  if (reverse && !reverse_entry) {
+    // A reverse command always enters a cycle through time travel; if we
+    // land here (e.g. rewind unsupported), degrade to forward stepping.
+    reverse = false;
+    std::lock_guard lock(state_mutex_);
+    mode_ = mode = Mode::Step;
+  }
+
+  int64_t index = reverse ? static_cast<int64_t>(batches_.size()) - 1 : 0;
+  std::vector<size_t> hits;
+  while (index >= 0 && index < static_cast<int64_t>(batches_.size())) {
+    mode = mode_.load(std::memory_order_acquire);
+    const bool respect_inserted =
+        mode == Mode::Run || mode == Mode::ReverseContinue;
+    hits.clear();
+    evaluate_batch(batches_[static_cast<size_t>(index)], respect_inserted, hits);
+    if (hits.empty()) {
+      index += reverse ? -1 : 1;
+      continue;
+    }
+
+    const Command command = deliver_stop(make_stop_event(time, hits));
+    std::lock_guard lock(state_mutex_);
+    switch (command) {
+      case Command::Continue:
+        mode_ = Mode::Run;
+        reverse = false;
+        ++index;
+        break;
+      case Command::Pause:
+      case Command::StepOver:
+        mode_ = Mode::Step;
+        reverse = false;
+        ++index;
+        break;
+      case Command::StepBack:
+        mode_ = Mode::ReverseStep;
+        reverse = true;
+        --index;
+        break;
+      case Command::ReverseContinue:
+        mode_ = Mode::ReverseContinue;
+        reverse = true;
+        --index;
+        break;
+      case Command::Jump:
+        // Handled by the service thread via set_time before resuming.
+        mode_ = Mode::Step;
+        return;
+      case Command::Detach:
+        for (auto& bp : breakpoints_) bp.inserted = false;
+        any_inserted_.store(false, std::memory_order_release);
+        mode_ = Mode::Run;
+        return;
+    }
+  }
+
+  if (!reverse) return;  // forward scan done; wait for the next edge
+
+  // Reverse scan exhausted this cycle: hop to the previous cycle if the
+  // backend supports time travel (Fig. 2 "*Reverse time").
+  if (rewind_one_cycle(time)) {
+    std::lock_guard lock(state_mutex_);
+    reverse_entry_ = true;
+    return;
+  }
+  // Beginning of recorded history: report an empty stop so the debugger
+  // knows reverse execution bottomed out, then resume forward stepping.
+  const Command command = deliver_stop(StopEvent{time, {}});
+  std::lock_guard lock(state_mutex_);
+  mode_ = command == Command::Continue ? Mode::Run : Mode::Step;
+}
+
+bool Runtime::rewind_one_cycle(uint64_t time) {
+  if (!interface_->supports_time_travel()) return false;
+  if (time < 3) return false;
+  // The clock grid has a rising edge every 2 time units; landing 3 units
+  // back puts the cursor strictly before the previous rising edge for the
+  // replay backend and on the previous cycle for the native backend.
+  return interface_->set_time(time - 3);
+}
+
+void Runtime::evaluate_batch(const Batch& batch, bool respect_inserted,
+                             std::vector<size_t>& hits) {
+  std::lock_guard lock(state_mutex_);
+  std::vector<uint8_t> fired(batch.members.size(), 0);
+  size_t evaluated = 0;
+
+  auto evaluate_member = [&](size_t position) {
+    const size_t member = batch.members[position];
+    const Breakpoint& bp = breakpoints_[member];
+    if (respect_inserted && !bp.inserted) return;
+    const auto resolver = breakpoint_resolver(bp);
+    try {
+      if (bp.enable && !bp.enable->evaluate_bool(resolver)) return;
+      if (respect_inserted && bp.condition &&
+          !bp.condition->evaluate_bool(resolver)) {
+        return;
+      }
+      fired[position] = 1;
+    } catch (const std::exception&) {
+      // Unresolvable symbols (optimized away, trace without the signal):
+      // treat as not-hit, consistent with how debuggers degrade.
+    }
+  };
+
+  // Fig. 2 step 2: evaluate the batch in parallel.
+  evaluated = batch.members.size();
+  pool_->parallel_for(batch.members.size(), evaluate_member);
+
+  for (size_t position = 0; position < fired.size(); ++position) {
+    if (fired[position]) hits.push_back(batch.members[position]);
+  }
+  stats_.batches_evaluated.fetch_add(1, std::memory_order_relaxed);
+  stats_.conditions_evaluated.fetch_add(evaluated, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// frames
+// ---------------------------------------------------------------------------
+
+StopEvent Runtime::make_stop_event(uint64_t time,
+                                   const std::vector<size_t>& hits) {
+  StopEvent event;
+  event.time = time;
+  event.frames.reserve(hits.size());
+  for (size_t member : hits) {
+    event.frames.push_back(make_frame(breakpoints_[member]));
+  }
+  stats_.stops.fetch_add(1, std::memory_order_relaxed);
+  return event;
+}
+
+Frame Runtime::make_frame(const Breakpoint& bp) {
+  Frame frame;
+  frame.breakpoint_id = bp.row.id;
+  frame.instance_id = bp.row.instance_id;
+  frame.instance_name = bp.instance_name;
+  frame.filename = bp.row.filename;
+  frame.line = bp.row.line_num;
+  frame.column = bp.row.column_num;
+
+  // Locals: the scope variables recorded by SSA for this statement,
+  // re-aggregated into nested objects on dotted names.
+  for (const auto& variable : table_->scope_variables(bp.row.id)) {
+    std::string text;
+    if (!variable.is_rtl) {
+      text = variable.value;
+    } else if (auto value = interface_->get_value(to_design_name(
+                   bp.instance_name + "." + variable.value))) {
+      text = render(*value);
+    } else {
+      text = "<unavailable>";
+    }
+    rpc::insert_nested(frame.locals, variable.name, common::Json(text));
+  }
+  // Generator variables of the owning instance (paper Fig. 4 A).
+  for (const auto& variable :
+       table_->generator_variables(bp.row.instance_id)) {
+    std::string text;
+    if (!variable.is_rtl) {
+      text = variable.value;
+    } else if (auto value = interface_->get_value(to_design_name(
+                   bp.instance_name + "." + variable.value))) {
+      text = render(*value);
+    } else {
+      text = "<unavailable>";
+    }
+    rpc::insert_nested(frame.generator, variable.name, common::Json(text));
+  }
+  return frame;
+}
+
+Frame Runtime::build_frame(int64_t breakpoint_id) {
+  auto it = by_id_.find(breakpoint_id);
+  if (it == by_id_.end()) {
+    throw std::invalid_argument("unknown breakpoint id " +
+                                std::to_string(breakpoint_id));
+  }
+  return make_frame(breakpoints_[it->second]);
+}
+
+// ---------------------------------------------------------------------------
+// stop delivery / command handshake
+// ---------------------------------------------------------------------------
+
+Runtime::Command Runtime::deliver_stop(StopEvent event) {
+  StopHandler handler;
+  {
+    std::lock_guard lock(command_mutex_);
+    handler = stop_handler_;
+  }
+  if (handler) return handler(event);
+
+  std::unique_lock lock(command_mutex_);
+  if (!channel_) return Command::Continue;  // nobody is listening
+  channel_->send(rpc::serialize_stop_event(event));
+  waiting_for_command_ = true;
+  command_ready_.wait(lock, [this] { return pending_command_.has_value(); });
+  waiting_for_command_ = false;
+  const Command command = *pending_command_;
+  pending_command_.reset();
+  return command;
+}
+
+// ---------------------------------------------------------------------------
+// evaluation
+// ---------------------------------------------------------------------------
+
+std::optional<BitVector> Runtime::evaluate(const std::string& expression,
+                                           std::optional<int64_t> breakpoint_id,
+                                           const std::string& instance_name) {
+  try {
+    const Expression parsed = Expression::parse(expression);
+    Expression::Resolver resolver;
+    if (breakpoint_id) {
+      auto it = by_id_.find(*breakpoint_id);
+      if (it == by_id_.end()) return std::nullopt;
+      resolver = breakpoint_resolver(breakpoints_[it->second]);
+    } else {
+      std::string name = instance_name;
+      int64_t instance_id = 0;
+      if (name.empty()) {
+        // Top instance: the shortest name.
+        for (const auto& [id, instance] : instance_names_) {
+          if (name.empty() || instance.size() < name.size()) {
+            name = instance;
+            instance_id = id;
+          }
+        }
+      } else if (auto row = table_->instance_by_name(name)) {
+        instance_id = row->id;
+      } else {
+        return std::nullopt;
+      }
+      resolver = instance_resolver(instance_id, name);
+    }
+    return parsed.evaluate(resolver);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+Runtime::Stats Runtime::stats() const {
+  Stats out;
+  out.clock_edges = stats_.clock_edges.load(std::memory_order_relaxed);
+  out.fast_path_exits = stats_.fast_path_exits.load(std::memory_order_relaxed);
+  out.batches_evaluated = stats_.batches_evaluated.load(std::memory_order_relaxed);
+  out.conditions_evaluated =
+      stats_.conditions_evaluated.load(std::memory_order_relaxed);
+  out.stops = stats_.stops.load(std::memory_order_relaxed);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// RPC service
+// ---------------------------------------------------------------------------
+
+void Runtime::serve(std::unique_ptr<rpc::Channel> channel) {
+  stop_service();
+  {
+    std::lock_guard lock(command_mutex_);
+    channel_ = std::move(channel);
+  }
+  service_thread_ = std::thread([this] { service_loop(channel_.get()); });
+}
+
+void Runtime::stop_service() {
+  {
+    std::lock_guard lock(command_mutex_);
+    if (channel_) channel_->close();
+  }
+  if (service_thread_.joinable()) service_thread_.join();
+  std::lock_guard lock(command_mutex_);
+  channel_.reset();
+}
+
+void Runtime::service_loop(rpc::Channel* channel) {
+  while (true) {
+    auto message = channel->receive();
+    if (!message) break;  // closed
+    rpc::Request request;
+    try {
+      request = rpc::parse_request(*message);
+    } catch (const std::exception& error) {
+      rpc::GenericResponse response;
+      response.success = false;
+      response.reason = error.what();
+      try {
+        channel->send(rpc::serialize_response(response));
+      } catch (const std::exception&) {
+        break;
+      }
+      continue;
+    }
+    try {
+      handle_request(request, channel);
+    } catch (const std::exception& error) {
+      rpc::GenericResponse response;
+      response.token = request.token;
+      response.success = false;
+      response.reason = error.what();
+      try {
+        channel->send(rpc::serialize_response(response));
+      } catch (const std::exception&) {
+        break;
+      }
+    }
+  }
+  // Client is gone: release the simulation if it is waiting on us.
+  std::lock_guard lock(command_mutex_);
+  if (waiting_for_command_) {
+    pending_command_ = Command::Continue;
+    command_ready_.notify_all();
+  }
+}
+
+void Runtime::handle_request(const rpc::Request& request,
+                             rpc::Channel* channel) {
+  using common::Json;
+  rpc::GenericResponse response;
+  response.token = request.token;
+
+  switch (request.kind) {
+    case rpc::Request::Kind::Breakpoint: {
+      if (request.breakpoint.action == rpc::BreakpointRequest::Action::Add) {
+        const auto inserted =
+            add_breakpoint(request.breakpoint.filename, request.breakpoint.line,
+                           request.breakpoint.condition);
+        if (inserted.empty()) {
+          response.success = false;
+          response.reason = "no breakpoint at " + request.breakpoint.filename +
+                            ":" + std::to_string(request.breakpoint.line);
+        } else {
+          Json ids = Json::array();
+          for (int64_t id : inserted) ids.push_back(Json(id));
+          response.payload["ids"] = std::move(ids);
+        }
+      } else {
+        const size_t removed = remove_breakpoint(request.breakpoint.filename,
+                                                 request.breakpoint.line);
+        response.payload["removed"] = Json(static_cast<int64_t>(removed));
+      }
+      break;
+    }
+    case rpc::Request::Kind::BpLocation: {
+      const auto rows = table_->breakpoints_at(request.bp_location.filename,
+                                               request.bp_location.line);
+      Json list = Json::array();
+      for (const auto& row : rows) {
+        Json entry = Json::object();
+        entry["id"] = Json(row.id);
+        entry["filename"] = Json(row.filename);
+        entry["line"] = Json(static_cast<int64_t>(row.line_num));
+        entry["column"] = Json(static_cast<int64_t>(row.column_num));
+        auto it = instance_names_.find(row.instance_id);
+        entry["instance"] =
+            Json(it != instance_names_.end() ? it->second : "");
+        list.push_back(std::move(entry));
+      }
+      response.payload["breakpoints"] = std::move(list);
+      break;
+    }
+    case rpc::Request::Kind::Command: {
+      std::lock_guard lock(command_mutex_);
+      if (waiting_for_command_) {
+        if (request.command.command == Command::Jump) {
+          if (!interface_->set_time(request.command.time)) {
+            response.success = false;
+            response.reason = "time travel unsupported or out of range";
+            break;
+          }
+        }
+        pending_command_ = request.command.command;
+        command_ready_.notify_all();
+      } else if (request.command.command == Command::Pause) {
+        pause_pending_.store(true);
+      } else if (request.command.command == Command::Detach) {
+        clear_breakpoints();
+      } else {
+        response.success = false;
+        response.reason = "simulation is not stopped";
+      }
+      break;
+    }
+    case rpc::Request::Kind::Evaluation: {
+      auto value = evaluate(request.evaluation.expression,
+                            request.evaluation.breakpoint_id,
+                            request.evaluation.instance_name);
+      if (!value) {
+        response.success = false;
+        response.reason = "cannot evaluate '" +
+                          request.evaluation.expression + "'";
+      } else {
+        response.payload["result"] = Json(render(*value));
+        response.payload["width"] =
+            Json(static_cast<int64_t>(value->width()));
+      }
+      break;
+    }
+    case rpc::Request::Kind::DebuggerInfo: {
+      Json inserted = Json::array();
+      {
+        std::lock_guard lock(state_mutex_);
+        for (const auto& bp : breakpoints_) {
+          if (!bp.inserted) continue;
+          Json entry = Json::object();
+          entry["id"] = Json(bp.row.id);
+          entry["filename"] = Json(bp.row.filename);
+          entry["line"] = Json(static_cast<int64_t>(bp.row.line_num));
+          entry["instance"] = Json(bp.instance_name);
+          inserted.push_back(std::move(entry));
+        }
+      }
+      response.payload["breakpoints"] = std::move(inserted);
+      response.payload["time"] =
+          Json(static_cast<int64_t>(interface_->get_time()));
+      Json files = Json::array();
+      for (const auto& file : table_->files()) files.push_back(Json(file));
+      response.payload["files"] = std::move(files);
+      break;
+    }
+  }
+  channel->send(rpc::serialize_response(response));
+}
+
+}  // namespace hgdb::runtime

@@ -1,0 +1,81 @@
+#include "runtime/thread_pool.h"
+
+namespace hgdb::runtime {
+
+ThreadPool::ThreadPool(size_t threads) {
+  if (threads == 0) threads = 1;
+  // The caller is one of the threads; spawn the rest.
+  workers_.reserve(threads - 1);
+  for (size_t i = 0; i + 1 < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  uint64_t seen_generation = 0;
+  while (true) {
+    const std::function<void(size_t)>* job = nullptr;
+    size_t job_size = 0;
+    {
+      std::unique_lock lock(mutex_);
+      work_ready_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      job = job_;
+      job_size = job_size_;
+    }
+    while (true) {
+      const size_t index = next_index_.fetch_add(1, std::memory_order_relaxed);
+      if (index >= job_size) break;
+      (*job)(index);
+    }
+    if (active_workers_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Notify under the mutex: otherwise the caller can check the
+      // predicate (active == 1), lose this notify before blocking, and
+      // sleep forever — the textbook lost-wakeup race.
+      std::lock_guard lock(mutex_);
+      work_done_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    job_ = &fn;
+    job_size_ = n;
+    next_index_.store(0, std::memory_order_relaxed);
+    active_workers_.store(workers_.size(), std::memory_order_relaxed);
+    ++generation_;
+  }
+  work_ready_.notify_all();
+  // The caller shares the work.
+  while (true) {
+    const size_t index = next_index_.fetch_add(1, std::memory_order_relaxed);
+    if (index >= n) break;
+    fn(index);
+  }
+  std::unique_lock lock(mutex_);
+  work_done_.wait(lock, [&] {
+    return active_workers_.load(std::memory_order_acquire) == 0;
+  });
+  job_ = nullptr;
+}
+
+}  // namespace hgdb::runtime

@@ -1,0 +1,48 @@
+#ifndef HGDB_RUNTIME_THREAD_POOL_H
+#define HGDB_RUNTIME_THREAD_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hgdb::runtime {
+
+/// Minimal fork-join pool used by the Fig. 2 scheduler to "evaluate each
+/// breakpoint condition in parallel". One job at a time; the calling
+/// thread participates in the work, so a pool of size 1 degenerates to
+/// sequential evaluation with no synchronization overhead on the workers.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] size_t size() const { return workers_.size() + 1; }
+
+  /// Runs fn(0) .. fn(n-1), partitioned over all threads; blocks until
+  /// every call returns. fn must be safe to call concurrently.
+  void parallel_for(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  const std::function<void(size_t)>* job_ = nullptr;
+  size_t job_size_ = 0;
+  uint64_t generation_ = 0;
+  std::atomic<size_t> next_index_{0};
+  std::atomic<size_t> active_workers_{0};
+  bool shutdown_ = false;
+};
+
+}  // namespace hgdb::runtime
+
+#endif  // HGDB_RUNTIME_THREAD_POOL_H

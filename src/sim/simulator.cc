@@ -1,0 +1,365 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "ir/eval.h"
+
+namespace hgdb::sim {
+
+using common::BitVector;
+
+Simulator::Simulator(netlist::Netlist netlist) : netlist_(std::move(netlist)) {
+  values_.reserve(netlist_.slot_count());
+  for (const auto& signal : netlist_.signals()) {
+    values_.emplace_back(signal.width, 0);
+  }
+  register_slots_.reserve(netlist_.registers().size());
+  for (const auto& reg : netlist_.registers()) {
+    register_slots_.push_back(reg.signal);
+  }
+}
+
+const BitVector& Simulator::value(const std::string& name) const {
+  auto id = netlist_.signal_id(name);
+  if (!id) throw std::invalid_argument("unknown signal '" + name + "'");
+  return values_[*id];
+}
+
+void Simulator::set_value(uint32_t signal_id, BitVector value) {
+  const netlist::Signal& signal = netlist_.signal(signal_id);
+  if (signal.kind != netlist::SignalKind::Input &&
+      signal.kind != netlist::SignalKind::Register) {
+    throw std::invalid_argument(
+        "cannot force combinational signal '" + signal.name +
+        "' (it would be overwritten by the next evaluation)");
+  }
+  values_[signal_id] = value.resize(signal.width, signal.is_signed);
+  dirty_ = true;
+}
+
+void Simulator::set_value(const std::string& name, uint64_t value) {
+  auto id = netlist_.signal_id(name);
+  if (!id) throw std::invalid_argument("unknown signal '" + name + "'");
+  set_value(*id, BitVector(netlist_.signal(*id).width, value));
+}
+
+namespace {
+
+constexpr uint64_t mask_of(uint32_t width) {
+  return width >= 64 ? ~uint64_t{0} : (uint64_t{1} << width) - 1;
+}
+
+/// Sign- or zero-extends a `from`-bit value into a 64-bit lane.
+constexpr uint64_t extend64(uint64_t value, uint32_t from, bool is_signed) {
+  if (!is_signed || from >= 64) return value;
+  const uint64_t sign = uint64_t{1} << (from - 1);
+  return (value & sign) != 0 ? value | ~mask_of(from) : value;
+}
+
+}  // namespace
+
+/// Allocation-free evaluation for instructions whose operands and result
+/// all fit in 64 bits (the overwhelmingly common case). Semantics mirror
+/// ir::eval_prim exactly; the wide path below stays the reference.
+bool Simulator::execute_fast(const netlist::Instr& instr) {
+  const netlist::Signal& dst = netlist_.signal(instr.dst);
+  const uint32_t dst_width = dst.width;
+  if (dst_width > 64) return false;
+  for (uint32_t slot : instr.operands) {
+    if (netlist_.signal(slot).width > 64) return false;
+  }
+  auto raw = [&](size_t index) {
+    return values_[instr.operands[index]].to_uint64();
+  };
+  auto width_of = [&](size_t index) {
+    return netlist_.signal(instr.operands[index]).width;
+  };
+  auto extended = [&](size_t index, uint32_t to) {
+    const bool is_signed =
+        index < instr.operand_signs.size() && instr.operand_signs[index];
+    return extend64(raw(index), width_of(index), is_signed) & mask_of(to);
+  };
+  const bool op_signed =
+      !instr.operand_signs.empty() && instr.operand_signs[0];
+  auto as_int64 = [&](size_t index) {
+    return static_cast<int64_t>(extend64(raw(index), width_of(index), true));
+  };
+
+  using ir::PrimOp;
+  uint64_t result = 0;
+  switch (instr.op) {
+    case PrimOp::Add: result = extended(0, 64) + extended(1, 64); break;
+    case PrimOp::Sub: result = extended(0, 64) - extended(1, 64); break;
+    case PrimOp::Mul: result = extended(0, 64) * extended(1, 64); break;
+    case PrimOp::Div: {
+      const uint64_t divisor = raw(1);
+      if (divisor == 0) {
+        result = mask_of(dst_width);
+      } else if (op_signed) {
+        result = static_cast<uint64_t>(as_int64(0) / as_int64(1));
+      } else {
+        result = raw(0) / divisor;
+      }
+      break;
+    }
+    case PrimOp::Rem: {
+      const uint64_t divisor = raw(1);
+      if (divisor == 0) {
+        result = raw(0);
+      } else if (op_signed) {
+        result = static_cast<uint64_t>(as_int64(0) % as_int64(1));
+      } else {
+        result = raw(0) % divisor;
+      }
+      break;
+    }
+    case PrimOp::Lt:
+      result = op_signed ? static_cast<uint64_t>(as_int64(0) < as_int64(1))
+                         : static_cast<uint64_t>(raw(0) < raw(1));
+      break;
+    case PrimOp::Leq:
+      result = op_signed ? static_cast<uint64_t>(as_int64(0) <= as_int64(1))
+                         : static_cast<uint64_t>(raw(0) <= raw(1));
+      break;
+    case PrimOp::Gt:
+      result = op_signed ? static_cast<uint64_t>(as_int64(0) > as_int64(1))
+                         : static_cast<uint64_t>(raw(0) > raw(1));
+      break;
+    case PrimOp::Geq:
+      result = op_signed ? static_cast<uint64_t>(as_int64(0) >= as_int64(1))
+                         : static_cast<uint64_t>(raw(0) >= raw(1));
+      break;
+    case PrimOp::Eq: result = extended(0, 64) == extended(1, 64); break;
+    case PrimOp::Neq: result = extended(0, 64) != extended(1, 64); break;
+    case PrimOp::And: result = extended(0, 64) & extended(1, 64); break;
+    case PrimOp::Or: result = extended(0, 64) | extended(1, 64); break;
+    case PrimOp::Xor: result = extended(0, 64) ^ extended(1, 64); break;
+    case PrimOp::Not: result = ~raw(0); break;
+    case PrimOp::Neg: result = ~raw(0) + 1; break;
+    case PrimOp::AndR: result = raw(0) == mask_of(width_of(0)); break;
+    case PrimOp::OrR: result = raw(0) != 0; break;
+    case PrimOp::XorR:
+      result = static_cast<uint64_t>(__builtin_popcountll(raw(0)) & 1);
+      break;
+    case PrimOp::Cat:
+      if (width_of(0) + width_of(1) > 64) return false;
+      result = (raw(0) << width_of(1)) | raw(1);
+      break;
+    case PrimOp::Bits:
+      result = raw(0) >> instr.int_params[1];
+      break;  // masked to dst width below
+    case PrimOp::Shl:
+      result = instr.int_params[0] >= 64 ? 0 : raw(0) << instr.int_params[0];
+      break;
+    case PrimOp::Shr: {
+      const uint32_t amount = instr.int_params[0];
+      if (op_signed) {
+        result = amount >= 64
+                     ? static_cast<uint64_t>(as_int64(0) < 0 ? -1 : 0)
+                     : static_cast<uint64_t>(as_int64(0) >> amount);
+      } else {
+        result = amount >= 64 ? 0 : raw(0) >> amount;
+      }
+      break;
+    }
+    case PrimOp::Dshl: {
+      const uint64_t amount = raw(1);
+      result = amount >= width_of(0) ? 0 : raw(0) << amount;
+      break;
+    }
+    case PrimOp::Dshr: {
+      const uint64_t amount = raw(1);
+      if (op_signed) {
+        result = amount >= width_of(0)
+                     ? static_cast<uint64_t>(as_int64(0) < 0 ? -1 : 0)
+                     : static_cast<uint64_t>(as_int64(0) >>
+                                             static_cast<uint32_t>(amount));
+      } else {
+        result = amount >= width_of(0) ? 0 : raw(0) >> amount;
+      }
+      break;
+    }
+    case PrimOp::Pad:
+      result = extend64(raw(0), width_of(0), op_signed);
+      break;
+    case PrimOp::AsUInt:
+    case PrimOp::AsSInt:
+    case PrimOp::AsClock:
+      result = raw(0);
+      break;
+    case PrimOp::Mux:
+      result = raw(0) != 0 ? extended(1, 64) : extended(2, 64);
+      break;
+  }
+  values_[instr.dst].assign_uint64(result & mask_of(dst_width));
+  return true;
+}
+
+void Simulator::execute_instr(const netlist::Instr& instr) {
+  using netlist::Instr;
+  switch (instr.kind) {
+    case Instr::Kind::Const:
+      values_[instr.dst] = instr.constant;
+      return;
+    case Instr::Kind::Copy: {
+      const BitVector& src = values_[instr.operands[0]];
+      const netlist::Signal& dst = netlist_.signal(instr.dst);
+      if (src.width() == dst.width) {
+        values_[instr.dst] = src;
+      } else if (src.width() <= 64 && dst.width <= 64) {
+        values_[instr.dst].assign_uint64(
+            extend64(src.to_uint64(), src.width(), dst.is_signed) &
+            mask_of(dst.width));
+      } else {
+        values_[instr.dst] = src.resize(dst.width, dst.is_signed);
+      }
+      return;
+    }
+    case Instr::Kind::Prim: {
+      if (execute_fast(instr)) return;
+      // Wide path: arbitrary-precision via the shared evaluator.
+      std::vector<BitVector> operands;
+      operands.reserve(instr.operands.size());
+      for (uint32_t slot : instr.operands) operands.push_back(values_[slot]);
+      values_[instr.dst] =
+          ir::eval_prim(instr.op, operands,
+                        std::vector<bool>(instr.operand_signs.begin(),
+                                          instr.operand_signs.end()),
+                        instr.int_params, netlist_.signal(instr.dst).width);
+      // Comparison results are 1-bit; eval_prim already returns the result
+      // in the destination width for arithmetic. Normalize defensively.
+      if (values_[instr.dst].width() != netlist_.signal(instr.dst).width) {
+        values_[instr.dst] = values_[instr.dst].resize(
+            netlist_.signal(instr.dst).width,
+            netlist_.signal(instr.dst).is_signed);
+      }
+      return;
+    }
+  }
+}
+
+void Simulator::eval() {
+  for (const auto& instr : netlist_.instrs()) execute_instr(instr);
+  dirty_ = false;
+}
+
+void Simulator::fire_callbacks(Edge edge) {
+  for (const auto& [handle, callback] : callbacks_) callback(edge, time_);
+}
+
+void Simulator::save_checkpoint() {
+  Checkpoint checkpoint;
+  checkpoint.cycle = cycle_;
+  checkpoint.time = time_;
+  checkpoint.registers.reserve(register_slots_.size());
+  for (uint32_t slot : register_slots_) {
+    checkpoint.registers.push_back(values_[slot]);
+  }
+  for (const auto& signal : netlist_.signals()) {
+    if (signal.kind == netlist::SignalKind::Input) {
+      checkpoint.inputs.emplace_back(signal.id, values_[signal.id]);
+    }
+  }
+  checkpoints_.push_back(std::move(checkpoint));
+}
+
+void Simulator::tick(std::optional<uint32_t> clock) {
+  if (netlist_.clocks().empty()) {
+    throw std::runtime_error("design has no clock input");
+  }
+  const uint32_t clock_slot = clock.value_or(netlist_.clocks().front());
+
+  // Settle combinational state with the clock low, then snapshot for
+  // reverse debugging: the checkpoint captures the state at the *start* of
+  // this cycle.
+  eval();
+  if (checkpoints_enabled_) save_checkpoint();
+
+  // Sample next-values with pre-edge state (zero-delay register model).
+  std::vector<BitVector> next_values;
+  next_values.reserve(netlist_.registers().size());
+  for (const auto& reg : netlist_.registers()) {
+    if (reg.clock != clock_slot) {
+      next_values.push_back(values_[reg.signal]);  // other clock: hold
+      continue;
+    }
+    if (reg.reset && values_[*reg.reset].to_bool()) {
+      next_values.push_back(
+          values_[*reg.init].resize(netlist_.signal(reg.signal).width,
+                                    netlist_.signal(reg.signal).is_signed));
+    } else {
+      next_values.push_back(
+          values_[reg.next].resize(netlist_.signal(reg.signal).width,
+                                   netlist_.signal(reg.signal).is_signed));
+    }
+  }
+  for (size_t i = 0; i < netlist_.registers().size(); ++i) {
+    values_[netlist_.registers()[i].signal] = std::move(next_values[i]);
+  }
+
+  // Rising edge: raise the clock, settle, notify (every value stable).
+  values_[clock_slot] = BitVector(1, 1);
+  time_ += 1;
+  eval();
+  fire_callbacks(Edge::Rising);
+
+  // A debugger may rewind time from inside a rising-edge callback
+  // (reverse debugging). The timeline restarts at the restored cycle; the
+  // rest of this tick belongs to an abandoned future and must not run.
+  if (time_travelled_) {
+    time_travelled_ = false;
+    return;
+  }
+
+  // Falling edge.
+  values_[clock_slot] = BitVector(1, 0);
+  time_ += 1;
+  eval();
+  fire_callbacks(Edge::Falling);
+
+  ++cycle_;
+}
+
+void Simulator::run(uint64_t cycles) {
+  for (uint64_t i = 0; i < cycles; ++i) tick();
+}
+
+uint64_t Simulator::add_clock_callback(ClockCallback callback) {
+  const uint64_t handle = next_callback_handle_++;
+  callbacks_.emplace_back(handle, std::move(callback));
+  return handle;
+}
+
+void Simulator::remove_clock_callback(uint64_t handle) {
+  std::erase_if(callbacks_,
+                [handle](const auto& entry) { return entry.first == handle; });
+}
+
+uint64_t Simulator::earliest_cycle() const {
+  if (checkpoints_.empty()) return cycle_;
+  return checkpoints_.front().cycle;
+}
+
+void Simulator::restore_cycle(uint64_t cycle) {
+  // Find the checkpoint for the requested cycle.
+  auto it = std::find_if(
+      checkpoints_.begin(), checkpoints_.end(),
+      [cycle](const Checkpoint& c) { return c.cycle == cycle; });
+  if (it == checkpoints_.end()) {
+    throw std::out_of_range("no checkpoint for cycle " + std::to_string(cycle));
+  }
+  for (size_t i = 0; i < register_slots_.size(); ++i) {
+    values_[register_slots_[i]] = it->registers[i];
+  }
+  for (const auto& [slot, value] : it->inputs) values_[slot] = value;
+  cycle_ = it->cycle;
+  time_ = it->time;
+  time_travelled_ = true;
+  // Drop checkpoints at or after the restored cycle: re-execution will
+  // recreate them (and inputs may differ on the new timeline).
+  checkpoints_.erase(it, checkpoints_.end());
+  eval();
+}
+
+}  // namespace hgdb::sim

@@ -1,0 +1,116 @@
+#ifndef HGDB_SIM_SIMULATOR_H
+#define HGDB_SIM_SIMULATOR_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace hgdb::sim {
+
+/// Edge kind reported to clock callbacks.
+enum class Edge : uint8_t { Rising, Falling };
+
+/// Zero-delay, two-state, cycle-based RTL simulator.
+///
+/// Semantics match the assumptions the paper's breakpoint emulation relies
+/// on (Sec. 3): designs are synchronous, all combinational values reach
+/// equilibrium before each clock edge, and every value is stable when a
+/// clock-edge callback runs. `tick()` performs one full clock cycle:
+///
+///   settle comb -> sample register next-values -> update registers ->
+///   raise clock, settle, fire rising-edge callbacks ->
+///   lower clock, settle, fire falling-edge callbacks.
+///
+/// Register updates use the pre-edge combinational state, which is exactly
+/// the zero-delay model of commercial simulators.
+///
+/// For reverse debugging, the simulator checkpoints register state and
+/// input values every cycle (when enabled); `restore_cycle` rewinds to any
+/// previous cycle in O(state) time.
+class Simulator {
+ public:
+  /// Takes the netlist by value: the simulator owns its design, so the
+  /// compile result need not outlive it (pass std::move() to avoid the
+  /// copy when the caller is done with the netlist).
+  explicit Simulator(netlist::Netlist netlist);
+
+  // -- value access ------------------------------------------------------------
+  [[nodiscard]] std::optional<uint32_t> signal_id(const std::string& name) const {
+    return netlist_.signal_id(name);
+  }
+  [[nodiscard]] const common::BitVector& value(uint32_t signal_id) const {
+    return values_[signal_id];
+  }
+  [[nodiscard]] const common::BitVector& value(const std::string& name) const;
+  /// Sets a top-level input (or forces a register). Forcing combinational
+  /// signals is rejected: the next eval would overwrite the value anyway.
+  void set_value(uint32_t signal_id, common::BitVector value);
+  void set_value(const std::string& name, uint64_t value);
+
+  // -- execution ---------------------------------------------------------------
+  /// Settles combinational logic from current inputs + register state.
+  void eval();
+  /// Runs one full cycle of the given clock (default: the first clock).
+  void tick(std::optional<uint32_t> clock = std::nullopt);
+  void run(uint64_t cycles);
+
+  [[nodiscard]] uint64_t time() const { return time_; }
+  [[nodiscard]] uint64_t cycle() const { return cycle_; }
+
+  // -- clock callbacks (the VPI backend hooks these) ----------------------------
+  using ClockCallback = std::function<void(Edge, uint64_t /*time*/)>;
+  /// Registers a callback fired after the design settles at each clock
+  /// edge. Returns a handle usable with remove_clock_callback.
+  uint64_t add_clock_callback(ClockCallback callback);
+  void remove_clock_callback(uint64_t handle);
+
+  // -- checkpointing / reverse execution ----------------------------------------
+  void enable_checkpoints(bool enabled) { checkpoints_enabled_ = enabled; }
+  [[nodiscard]] bool checkpoints_enabled() const { return checkpoints_enabled_; }
+  /// Earliest cycle that can be restored (0 when checkpointing from start).
+  [[nodiscard]] uint64_t earliest_cycle() const;
+  /// Rewinds to the state at the *start* of `cycle` (before its clock
+  /// edge). Requires checkpoints. Throws if out of range.
+  void restore_cycle(uint64_t cycle);
+
+  // -- introspection -------------------------------------------------------------
+  [[nodiscard]] const netlist::Netlist& netlist() const { return netlist_; }
+
+ private:
+  struct Checkpoint {
+    uint64_t cycle = 0;
+    uint64_t time = 0;
+    std::vector<common::BitVector> registers;
+    std::vector<std::pair<uint32_t, common::BitVector>> inputs;
+  };
+
+  void execute_instr(const netlist::Instr& instr);
+  /// Allocation-free <=64-bit evaluation; false when the wide path is
+  /// needed. Semantics identical to ir::eval_prim (tested against it).
+  bool execute_fast(const netlist::Instr& instr);
+  void fire_callbacks(Edge edge);
+  void save_checkpoint();
+
+  netlist::Netlist netlist_;
+  std::vector<common::BitVector> values_;
+  std::vector<uint32_t> register_slots_;
+  uint64_t time_ = 0;
+  uint64_t cycle_ = 0;
+  bool dirty_ = true;
+
+  std::vector<std::pair<uint64_t, ClockCallback>> callbacks_;
+  uint64_t next_callback_handle_ = 1;
+
+  bool checkpoints_enabled_ = false;
+  bool time_travelled_ = false;  ///< restore_cycle ran inside a callback
+  std::vector<Checkpoint> checkpoints_;
+};
+
+}  // namespace hgdb::sim
+
+#endif  // HGDB_SIM_SIMULATOR_H

@@ -1,0 +1,124 @@
+#include "sim/vcd_writer.h"
+
+#include <map>
+#include <stdexcept>
+
+#include "common/strings.h"
+
+namespace hgdb::sim {
+
+namespace {
+
+/// Scope tree node for the $scope header section.
+struct ScopeNode {
+  std::map<std::string, ScopeNode> children;
+  // (leaf name, code, width)
+  std::vector<std::tuple<std::string, std::string, uint32_t>> vars;
+};
+
+}  // namespace
+
+VcdWriter::VcdWriter(Simulator& simulator, const std::string& path)
+    : simulator_(&simulator), out_(path) {
+  if (!out_) throw std::runtime_error("cannot open VCD file '" + path + "'");
+  const auto& signals = simulator.netlist().signals();
+  for (const auto& signal : signals) {
+    if (signal.name.empty()) continue;  // temporaries are not traced
+    Entry entry;
+    entry.signal_id = signal.id;
+    entry.code = code_for(entries_.size());
+    entries_.push_back(std::move(entry));
+  }
+  shadow_.reserve(entries_.size());
+  for (const auto& entry : entries_) {
+    shadow_.emplace_back(simulator.netlist().signal(entry.signal_id).width, 0);
+  }
+  write_header();
+}
+
+VcdWriter::~VcdWriter() = default;
+
+std::string VcdWriter::code_for(size_t index) {
+  // Identifier codes use the printable range '!'..'~' (94 symbols).
+  std::string code;
+  do {
+    code.push_back(static_cast<char>('!' + index % 94));
+    index /= 94;
+  } while (index != 0);
+  return code;
+}
+
+void VcdWriter::write_header() {
+  out_ << "$date\n  hgdb-repro simulation\n$end\n";
+  out_ << "$version\n  hgdb-repro RTL simulator\n$end\n";
+  out_ << "$timescale 1ns $end\n";
+
+  ScopeNode root;
+  for (const auto& entry : entries_) {
+    const auto& signal = simulator_->netlist().signal(entry.signal_id);
+    auto parts = common::split(signal.name, '.');
+    ScopeNode* node = &root;
+    for (size_t i = 0; i + 1 < parts.size(); ++i) {
+      node = &node->children[parts[i]];
+    }
+    node->vars.emplace_back(parts.back(), entry.code, signal.width);
+  }
+
+  // Recursive header emission.
+  auto emit = [&](auto&& self, const ScopeNode& node) -> void {
+    for (const auto& [leaf, code, width] : node.vars) {
+      out_ << "$var wire " << width << " " << code << " " << leaf;
+      if (width > 1) out_ << " [" << width - 1 << ":0]";
+      out_ << " $end\n";
+    }
+    for (const auto& [name, child] : node.children) {
+      out_ << "$scope module " << name << " $end\n";
+      self(self, child);
+      out_ << "$upscope $end\n";
+    }
+  };
+  // The top of `root` has exactly one child (the top module).
+  emit(emit, root);
+  out_ << "$enddefinitions $end\n";
+}
+
+void VcdWriter::sample() {
+  const uint64_t now = simulator_->time();
+  bool wrote_time = false;
+  auto ensure_time = [&] {
+    if (!wrote_time) {
+      out_ << "#" << now << "\n";
+      wrote_time = true;
+    }
+  };
+  if (first_sample_) {
+    ensure_time();
+    out_ << "$dumpvars\n";
+  }
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const auto& value = simulator_->value(entries_[i].signal_id);
+    if (!first_sample_ && value == shadow_[i]) continue;
+    ensure_time();
+    const uint32_t width = simulator_->netlist().signal(entries_[i].signal_id).width;
+    if (width == 1) {
+      out_ << (value.to_bool() ? '1' : '0') << entries_[i].code << "\n";
+    } else {
+      out_ << "b" << value.to_vcd_string() << " " << entries_[i].code << "\n";
+    }
+    shadow_[i] = value;
+  }
+  if (first_sample_) {
+    out_ << "$end\n";
+    first_sample_ = false;
+  }
+  last_time_ = now;
+}
+
+uint64_t VcdWriter::attach() {
+  // Capture the initial state at time 0 before any edges.
+  sample();
+  return simulator_->add_clock_callback(
+      [this](Edge, uint64_t) { sample(); });
+}
+
+}  // namespace hgdb::sim

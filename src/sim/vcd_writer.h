@@ -1,0 +1,54 @@
+#ifndef HGDB_SIM_VCD_WRITER_H
+#define HGDB_SIM_VCD_WRITER_H
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace hgdb::sim {
+
+/// Streams value changes of all named signals to a VCD file.
+///
+/// The trace drives the paper's offline replay flow: hgdb can attach to a
+/// captured VCD instead of a live simulator and offer the same debugging
+/// interface, including reverse debugging (Sec. 3.3: "enable offline replay
+/// from captured trace").
+class VcdWriter {
+ public:
+  /// Opens `path` and writes the header (hierarchy from dotted names).
+  VcdWriter(Simulator& simulator, const std::string& path);
+  ~VcdWriter();
+
+  VcdWriter(const VcdWriter&) = delete;
+  VcdWriter& operator=(const VcdWriter&) = delete;
+
+  /// Records changes since the last sample at the simulator's current time.
+  /// The first call dumps every signal ($dumpvars semantics).
+  void sample();
+
+  /// Convenience: attaches a falling+rising edge callback to the simulator
+  /// that samples automatically. Returns the callback handle.
+  uint64_t attach();
+
+ private:
+  struct Entry {
+    uint32_t signal_id = 0;
+    std::string code;
+  };
+
+  void write_header();
+  static std::string code_for(size_t index);
+
+  Simulator* simulator_;
+  std::ofstream out_;
+  std::vector<Entry> entries_;
+  std::vector<common::BitVector> shadow_;
+  bool first_sample_ = true;
+  uint64_t last_time_ = ~uint64_t{0};
+};
+
+}  // namespace hgdb::sim
+
+#endif  // HGDB_SIM_VCD_WRITER_H

@@ -1,0 +1,126 @@
+#include <algorithm>
+#include <set>
+
+#include "symbols/symbol_table.h"
+
+namespace hgdb::symbols {
+
+void sort_breakpoints(std::vector<BreakpointRow>& breakpoints) {
+  std::sort(breakpoints.begin(), breakpoints.end(),
+            [](const BreakpointRow& a, const BreakpointRow& b) {
+              return std::tie(a.filename, a.line_num, a.column_num,
+                              a.order_index, a.instance_id, a.id) <
+                     std::tie(b.filename, b.line_num, b.column_num,
+                              b.order_index, b.instance_id, b.id);
+            });
+}
+
+MemorySymbolTable::MemorySymbolTable(SymbolTableData data)
+    : data_(std::move(data)) {}
+
+const VariableRow* MemorySymbolTable::variable(int64_t id) const {
+  for (const auto& row : data_.variables) {
+    if (row.id == id) return &row;
+  }
+  return nullptr;
+}
+
+std::vector<BreakpointRow> MemorySymbolTable::breakpoints_at(
+    const std::string& filename, uint32_t line) const {
+  std::vector<BreakpointRow> out;
+  for (const auto& row : data_.breakpoints) {
+    if (row.filename == filename && (line == 0 || row.line_num == line)) {
+      out.push_back(row);
+    }
+  }
+  sort_breakpoints(out);
+  return out;
+}
+
+std::vector<BreakpointRow> MemorySymbolTable::all_breakpoints() const {
+  std::vector<BreakpointRow> out = data_.breakpoints;
+  sort_breakpoints(out);
+  return out;
+}
+
+std::optional<BreakpointRow> MemorySymbolTable::breakpoint(int64_t id) const {
+  for (const auto& row : data_.breakpoints) {
+    if (row.id == id) return row;
+  }
+  return std::nullopt;
+}
+
+std::vector<ResolvedVariable> MemorySymbolTable::scope_variables(
+    int64_t breakpoint_id) const {
+  std::vector<ResolvedVariable> out;
+  for (const auto& row : data_.scope_variables) {
+    if (row.breakpoint_id != breakpoint_id) continue;
+    if (const VariableRow* var = variable(row.variable_id)) {
+      out.push_back(ResolvedVariable{row.name, var->value, var->is_rtl});
+    }
+  }
+  return out;
+}
+
+std::optional<ResolvedVariable> MemorySymbolTable::resolve_scope_variable(
+    int64_t breakpoint_id, const std::string& name) const {
+  for (const auto& row : data_.scope_variables) {
+    if (row.breakpoint_id == breakpoint_id && row.name == name) {
+      if (const VariableRow* var = variable(row.variable_id)) {
+        return ResolvedVariable{row.name, var->value, var->is_rtl};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<ResolvedVariable> MemorySymbolTable::generator_variables(
+    int64_t instance_id) const {
+  std::vector<ResolvedVariable> out;
+  for (const auto& row : data_.generator_variables) {
+    if (row.instance_id != instance_id) continue;
+    if (const VariableRow* var = variable(row.variable_id)) {
+      out.push_back(ResolvedVariable{row.name, var->value, var->is_rtl});
+    }
+  }
+  return out;
+}
+
+std::optional<ResolvedVariable> MemorySymbolTable::resolve_generator_variable(
+    int64_t instance_id, const std::string& name) const {
+  for (const auto& row : data_.generator_variables) {
+    if (row.instance_id == instance_id && row.name == name) {
+      if (const VariableRow* var = variable(row.variable_id)) {
+        return ResolvedVariable{row.name, var->value, var->is_rtl};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<InstanceRow> MemorySymbolTable::instances() const {
+  return data_.instances;
+}
+
+std::optional<InstanceRow> MemorySymbolTable::instance(int64_t id) const {
+  for (const auto& row : data_.instances) {
+    if (row.id == id) return row;
+  }
+  return std::nullopt;
+}
+
+std::optional<InstanceRow> MemorySymbolTable::instance_by_name(
+    const std::string& name) const {
+  for (const auto& row : data_.instances) {
+    if (row.name == name) return row;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> MemorySymbolTable::files() const {
+  std::set<std::string> seen;
+  for (const auto& row : data_.breakpoints) seen.insert(row.filename);
+  return {seen.begin(), seen.end()};
+}
+
+}  // namespace hgdb::symbols

@@ -1,0 +1,86 @@
+#ifndef HGDB_SYMBOLS_SCHEMA_H
+#define HGDB_SYMBOLS_SCHEMA_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hgdb::symbols {
+
+/// Row types mirroring the paper's Fig. 3 SQLite schema.
+///
+/// `Instance` describes a hierarchical RTL instance name (relative to the
+/// generated design's top; the runtime maps it into the full testbench
+/// hierarchy, Sec. 3.4). `Breakpoint` encodes a source location plus the
+/// SSA-derived *enable condition*. `Variable` holds either an RTL signal
+/// path (relative to the owning instance) or a constant string.
+/// `ScopeVariable` binds variables into a breakpoint's frame;
+/// `GeneratorVariable` binds variables to an instance (the "generator
+/// variables" pane in the paper's Fig. 4).
+
+struct InstanceRow {
+  int64_t id = 0;
+  std::string name;  ///< e.g. "Top.child.alu"
+};
+
+struct BreakpointRow {
+  int64_t id = 0;
+  int64_t instance_id = 0;
+  std::string filename;
+  uint32_t line_num = 0;
+  uint32_t column_num = 0;
+  /// Enable condition as an expression over instance-relative RTL names
+  /// (IR text syntax, e.g. "and(when_cond0, not(when_cond1))"). Empty
+  /// means always enabled.
+  std::string enable;
+  /// Execution order within a clock cycle (paper Fig. 2: "absolute ordering
+  /// of every potential breakpoint"): statement order in the lowered IR.
+  uint32_t order_index = 0;
+};
+
+struct VariableRow {
+  int64_t id = 0;
+  /// RTL signal path relative to the instance when `is_rtl`, otherwise a
+  /// constant rendered as text (e.g. an unrolled loop index).
+  std::string value;
+  bool is_rtl = true;
+};
+
+struct ScopeVariableRow {
+  int64_t breakpoint_id = 0;
+  int64_t variable_id = 0;
+  std::string name;  ///< source-level name, e.g. "sum"
+};
+
+struct GeneratorVariableRow {
+  int64_t instance_id = 0;
+  int64_t variable_id = 0;
+  std::string name;  ///< source-level name, possibly dotted ("io.signaling")
+};
+
+/// A complete symbol table as plain data; produced by the compiler's
+/// symbol-extraction pass (Algorithm 1) and loadable into any store.
+struct SymbolTableData {
+  std::vector<InstanceRow> instances;
+  std::vector<BreakpointRow> breakpoints;
+  std::vector<VariableRow> variables;
+  std::vector<ScopeVariableRow> scope_variables;
+  std::vector<GeneratorVariableRow> generator_variables;
+
+  [[nodiscard]] size_t total_rows() const {
+    return instances.size() + breakpoints.size() + variables.size() +
+           scope_variables.size() + generator_variables.size();
+  }
+};
+
+/// A resolved variable visible in some frame: name plus either an RTL path
+/// (relative to the instance) or a constant.
+struct ResolvedVariable {
+  std::string name;
+  std::string value;
+  bool is_rtl = true;
+};
+
+}  // namespace hgdb::symbols
+
+#endif  // HGDB_SYMBOLS_SCHEMA_H

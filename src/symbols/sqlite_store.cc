@@ -1,0 +1,358 @@
+#include "symbols/sqlite_store.h"
+
+#include <sqlite3.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+
+namespace hgdb::symbols {
+
+namespace {
+
+[[noreturn]] void fail(sqlite3* db, const std::string& what) {
+  throw std::runtime_error("sqlite: " + what + ": " +
+                           (db != nullptr ? sqlite3_errmsg(db) : "unknown"));
+}
+
+/// RAII wrapper for a prepared statement.
+class Statement {
+ public:
+  Statement(sqlite3* db, const char* sql) : db_(db) {
+    if (sqlite3_prepare_v2(db, sql, -1, &stmt_, nullptr) != SQLITE_OK) {
+      fail(db, std::string("prepare '") + sql + "'");
+    }
+  }
+  ~Statement() { sqlite3_finalize(stmt_); }
+  Statement(const Statement&) = delete;
+  Statement& operator=(const Statement&) = delete;
+
+  Statement& bind(int index, int64_t value) {
+    sqlite3_bind_int64(stmt_, index, value);
+    return *this;
+  }
+  Statement& bind(int index, const std::string& value) {
+    sqlite3_bind_text(stmt_, index, value.c_str(), -1, SQLITE_TRANSIENT);
+    return *this;
+  }
+  /// Steps once; true if a row is available.
+  bool step() {
+    const int rc = sqlite3_step(stmt_);
+    if (rc == SQLITE_ROW) return true;
+    if (rc == SQLITE_DONE) return false;
+    fail(db_, "step");
+  }
+  [[nodiscard]] int64_t column_int(int index) const {
+    return sqlite3_column_int64(stmt_, index);
+  }
+  [[nodiscard]] std::string column_text(int index) const {
+    const unsigned char* text = sqlite3_column_text(stmt_, index);
+    return text != nullptr ? reinterpret_cast<const char*>(text) : "";
+  }
+
+ private:
+  sqlite3* db_;
+  sqlite3_stmt* stmt_ = nullptr;
+};
+
+void exec(sqlite3* db, const char* sql) {
+  char* error = nullptr;
+  if (sqlite3_exec(db, sql, nullptr, nullptr, &error) != SQLITE_OK) {
+    std::string message = error != nullptr ? error : "unknown";
+    sqlite3_free(error);
+    throw std::runtime_error("sqlite exec failed: " + message);
+  }
+}
+
+constexpr const char* kSchema = R"sql(
+CREATE TABLE instance (
+  id INTEGER PRIMARY KEY,
+  name TEXT NOT NULL
+);
+CREATE TABLE breakpoint (
+  id INTEGER PRIMARY KEY,
+  instance_id INTEGER NOT NULL REFERENCES instance(id),
+  filename TEXT NOT NULL,
+  line_num INTEGER NOT NULL,
+  column_num INTEGER NOT NULL,
+  enable TEXT,
+  order_index INTEGER NOT NULL
+);
+CREATE TABLE variable (
+  id INTEGER PRIMARY KEY,
+  value TEXT NOT NULL,
+  is_rtl INTEGER NOT NULL
+);
+CREATE TABLE scope_variable (
+  breakpoint_id INTEGER NOT NULL REFERENCES breakpoint(id),
+  variable_id INTEGER NOT NULL REFERENCES variable(id),
+  name TEXT NOT NULL
+);
+CREATE TABLE generator_variable (
+  instance_id INTEGER NOT NULL REFERENCES instance(id),
+  variable_id INTEGER NOT NULL REFERENCES variable(id),
+  name TEXT NOT NULL
+);
+CREATE INDEX idx_breakpoint_loc ON breakpoint(filename, line_num);
+CREATE INDEX idx_scope_bp ON scope_variable(breakpoint_id);
+CREATE INDEX idx_gen_inst ON generator_variable(instance_id);
+CREATE INDEX idx_instance_name ON instance(name);
+)sql";
+
+BreakpointRow read_breakpoint(const Statement& stmt) {
+  BreakpointRow row;
+  row.id = stmt.column_int(0);
+  row.instance_id = stmt.column_int(1);
+  row.filename = stmt.column_text(2);
+  row.line_num = static_cast<uint32_t>(stmt.column_int(3));
+  row.column_num = static_cast<uint32_t>(stmt.column_int(4));
+  row.enable = stmt.column_text(5);
+  row.order_index = static_cast<uint32_t>(stmt.column_int(6));
+  return row;
+}
+
+constexpr const char* kBreakpointColumns =
+    "id, instance_id, filename, line_num, column_num, enable, order_index";
+
+}  // namespace
+
+struct SqliteSymbolTable::Impl {
+  sqlite3* db = nullptr;
+  ~Impl() {
+    if (db != nullptr) sqlite3_close(db);
+  }
+};
+
+SqliteSymbolTable::SqliteSymbolTable(const std::string& path)
+    : impl_(std::make_unique<Impl>()) {
+  if (sqlite3_open_v2(path.c_str(), &impl_->db, SQLITE_OPEN_READONLY, nullptr) !=
+      SQLITE_OK) {
+    fail(impl_->db, "open " + path);
+  }
+}
+
+SqliteSymbolTable::~SqliteSymbolTable() = default;
+
+size_t SqliteSymbolTable::save(const SymbolTableData& data,
+                               const std::string& path) {
+  std::remove(path.c_str());
+  sqlite3* db = nullptr;
+  if (sqlite3_open(path.c_str(), &db) != SQLITE_OK) fail(db, "create " + path);
+  try {
+    exec(db, kSchema);
+    exec(db, "BEGIN TRANSACTION;");
+    for (const auto& row : data.instances) {
+      Statement insert(db, "INSERT INTO instance (id, name) VALUES (?, ?);");
+      insert.bind(1, row.id).bind(2, row.name);
+      insert.step();
+    }
+    for (const auto& row : data.breakpoints) {
+      Statement insert(db,
+                       "INSERT INTO breakpoint (id, instance_id, filename, "
+                       "line_num, column_num, enable, order_index) VALUES "
+                       "(?, ?, ?, ?, ?, ?, ?);");
+      insert.bind(1, row.id)
+          .bind(2, row.instance_id)
+          .bind(3, row.filename)
+          .bind(4, static_cast<int64_t>(row.line_num))
+          .bind(5, static_cast<int64_t>(row.column_num))
+          .bind(6, row.enable)
+          .bind(7, static_cast<int64_t>(row.order_index));
+      insert.step();
+    }
+    for (const auto& row : data.variables) {
+      Statement insert(
+          db, "INSERT INTO variable (id, value, is_rtl) VALUES (?, ?, ?);");
+      insert.bind(1, row.id)
+          .bind(2, row.value)
+          .bind(3, static_cast<int64_t>(row.is_rtl ? 1 : 0));
+      insert.step();
+    }
+    for (const auto& row : data.scope_variables) {
+      Statement insert(db,
+                       "INSERT INTO scope_variable (breakpoint_id, "
+                       "variable_id, name) VALUES (?, ?, ?);");
+      insert.bind(1, row.breakpoint_id)
+          .bind(2, row.variable_id)
+          .bind(3, row.name);
+      insert.step();
+    }
+    for (const auto& row : data.generator_variables) {
+      Statement insert(db,
+                       "INSERT INTO generator_variable (instance_id, "
+                       "variable_id, name) VALUES (?, ?, ?);");
+      insert.bind(1, row.instance_id)
+          .bind(2, row.variable_id)
+          .bind(3, row.name);
+      insert.step();
+    }
+    exec(db, "COMMIT;");
+  } catch (...) {
+    sqlite3_close(db);
+    throw;
+  }
+  sqlite3_close(db);
+  return static_cast<size_t>(std::filesystem::file_size(path));
+}
+
+SymbolTableData SqliteSymbolTable::load_all() const {
+  SymbolTableData data;
+  {
+    Statement stmt(impl_->db, "SELECT id, name FROM instance;");
+    while (stmt.step()) {
+      data.instances.push_back(InstanceRow{stmt.column_int(0), stmt.column_text(1)});
+    }
+  }
+  {
+    Statement stmt(impl_->db, ("SELECT " + std::string(kBreakpointColumns) +
+                               " FROM breakpoint;")
+                                  .c_str());
+    while (stmt.step()) data.breakpoints.push_back(read_breakpoint(stmt));
+  }
+  {
+    Statement stmt(impl_->db, "SELECT id, value, is_rtl FROM variable;");
+    while (stmt.step()) {
+      data.variables.push_back(VariableRow{stmt.column_int(0), stmt.column_text(1),
+                                           stmt.column_int(2) != 0});
+    }
+  }
+  {
+    Statement stmt(impl_->db,
+                   "SELECT breakpoint_id, variable_id, name FROM scope_variable;");
+    while (stmt.step()) {
+      data.scope_variables.push_back(ScopeVariableRow{
+          stmt.column_int(0), stmt.column_int(1), stmt.column_text(2)});
+    }
+  }
+  {
+    Statement stmt(
+        impl_->db,
+        "SELECT instance_id, variable_id, name FROM generator_variable;");
+    while (stmt.step()) {
+      data.generator_variables.push_back(GeneratorVariableRow{
+          stmt.column_int(0), stmt.column_int(1), stmt.column_text(2)});
+    }
+  }
+  return data;
+}
+
+std::vector<BreakpointRow> SqliteSymbolTable::breakpoints_at(
+    const std::string& filename, uint32_t line) const {
+  std::vector<BreakpointRow> out;
+  std::string sql = "SELECT " + std::string(kBreakpointColumns) +
+                    " FROM breakpoint WHERE filename = ?";
+  if (line != 0) sql += " AND line_num = ?";
+  Statement stmt(impl_->db, sql.c_str());
+  stmt.bind(1, filename);
+  if (line != 0) stmt.bind(2, static_cast<int64_t>(line));
+  while (stmt.step()) out.push_back(read_breakpoint(stmt));
+  sort_breakpoints(out);
+  return out;
+}
+
+std::vector<BreakpointRow> SqliteSymbolTable::all_breakpoints() const {
+  std::vector<BreakpointRow> out;
+  Statement stmt(impl_->db, ("SELECT " + std::string(kBreakpointColumns) +
+                             " FROM breakpoint;")
+                                .c_str());
+  while (stmt.step()) out.push_back(read_breakpoint(stmt));
+  sort_breakpoints(out);
+  return out;
+}
+
+std::optional<BreakpointRow> SqliteSymbolTable::breakpoint(int64_t id) const {
+  Statement stmt(impl_->db, ("SELECT " + std::string(kBreakpointColumns) +
+                             " FROM breakpoint WHERE id = ?;")
+                                .c_str());
+  stmt.bind(1, id);
+  if (!stmt.step()) return std::nullopt;
+  return read_breakpoint(stmt);
+}
+
+std::vector<ResolvedVariable> SqliteSymbolTable::scope_variables(
+    int64_t breakpoint_id) const {
+  std::vector<ResolvedVariable> out;
+  Statement stmt(impl_->db,
+                 "SELECT s.name, v.value, v.is_rtl FROM scope_variable s "
+                 "JOIN variable v ON v.id = s.variable_id "
+                 "WHERE s.breakpoint_id = ?;");
+  stmt.bind(1, breakpoint_id);
+  while (stmt.step()) {
+    out.push_back(ResolvedVariable{stmt.column_text(0), stmt.column_text(1),
+                                   stmt.column_int(2) != 0});
+  }
+  return out;
+}
+
+std::optional<ResolvedVariable> SqliteSymbolTable::resolve_scope_variable(
+    int64_t breakpoint_id, const std::string& name) const {
+  Statement stmt(impl_->db,
+                 "SELECT s.name, v.value, v.is_rtl FROM scope_variable s "
+                 "JOIN variable v ON v.id = s.variable_id "
+                 "WHERE s.breakpoint_id = ? AND s.name = ?;");
+  stmt.bind(1, breakpoint_id).bind(2, name);
+  if (!stmt.step()) return std::nullopt;
+  return ResolvedVariable{stmt.column_text(0), stmt.column_text(1),
+                          stmt.column_int(2) != 0};
+}
+
+std::vector<ResolvedVariable> SqliteSymbolTable::generator_variables(
+    int64_t instance_id) const {
+  std::vector<ResolvedVariable> out;
+  Statement stmt(impl_->db,
+                 "SELECT g.name, v.value, v.is_rtl FROM generator_variable g "
+                 "JOIN variable v ON v.id = g.variable_id "
+                 "WHERE g.instance_id = ?;");
+  stmt.bind(1, instance_id);
+  while (stmt.step()) {
+    out.push_back(ResolvedVariable{stmt.column_text(0), stmt.column_text(1),
+                                   stmt.column_int(2) != 0});
+  }
+  return out;
+}
+
+std::optional<ResolvedVariable> SqliteSymbolTable::resolve_generator_variable(
+    int64_t instance_id, const std::string& name) const {
+  Statement stmt(impl_->db,
+                 "SELECT g.name, v.value, v.is_rtl FROM generator_variable g "
+                 "JOIN variable v ON v.id = g.variable_id "
+                 "WHERE g.instance_id = ? AND g.name = ?;");
+  stmt.bind(1, instance_id).bind(2, name);
+  if (!stmt.step()) return std::nullopt;
+  return ResolvedVariable{stmt.column_text(0), stmt.column_text(1),
+                          stmt.column_int(2) != 0};
+}
+
+std::vector<InstanceRow> SqliteSymbolTable::instances() const {
+  std::vector<InstanceRow> out;
+  Statement stmt(impl_->db, "SELECT id, name FROM instance;");
+  while (stmt.step()) {
+    out.push_back(InstanceRow{stmt.column_int(0), stmt.column_text(1)});
+  }
+  return out;
+}
+
+std::optional<InstanceRow> SqliteSymbolTable::instance(int64_t id) const {
+  Statement stmt(impl_->db, "SELECT id, name FROM instance WHERE id = ?;");
+  stmt.bind(1, id);
+  if (!stmt.step()) return std::nullopt;
+  return InstanceRow{stmt.column_int(0), stmt.column_text(1)};
+}
+
+std::optional<InstanceRow> SqliteSymbolTable::instance_by_name(
+    const std::string& name) const {
+  Statement stmt(impl_->db, "SELECT id, name FROM instance WHERE name = ?;");
+  stmt.bind(1, name);
+  if (!stmt.step()) return std::nullopt;
+  return InstanceRow{stmt.column_int(0), stmt.column_text(1)};
+}
+
+std::vector<std::string> SqliteSymbolTable::files() const {
+  std::vector<std::string> out;
+  Statement stmt(impl_->db,
+                 "SELECT DISTINCT filename FROM breakpoint ORDER BY filename;");
+  while (stmt.step()) out.push_back(stmt.column_text(0));
+  return out;
+}
+
+}  // namespace hgdb::symbols

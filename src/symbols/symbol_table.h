@@ -1,0 +1,96 @@
+#ifndef HGDB_SYMBOLS_SYMBOL_TABLE_H
+#define HGDB_SYMBOLS_SYMBOL_TABLE_H
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "symbols/schema.h"
+
+namespace hgdb::symbols {
+
+/// The paper's *unified symbol table interface* (Sec. 3.4). The debugger
+/// runtime is written purely against these primitives, so a symbol table
+/// may live in SQLite, in memory, or behind an RPC connection — the
+/// runtime cannot tell the difference.
+class SymbolTable {
+ public:
+  virtual ~SymbolTable() = default;
+
+  // -- "Get breakpoints from source location" --------------------------------
+  /// All breakpoints at filename:line, ordered by (column, order_index).
+  /// With line == 0, every breakpoint in the file.
+  [[nodiscard]] virtual std::vector<BreakpointRow> breakpoints_at(
+      const std::string& filename, uint32_t line) const = 0;
+  /// Every breakpoint, in scheduling order (filename, line, column,
+  /// order_index) — the Fig. 2 precomputed "absolute ordering".
+  [[nodiscard]] virtual std::vector<BreakpointRow> all_breakpoints() const = 0;
+  [[nodiscard]] virtual std::optional<BreakpointRow> breakpoint(
+      int64_t id) const = 0;
+
+  // -- "Get scope information for each breakpoint" ---------------------------
+  [[nodiscard]] virtual std::vector<ResolvedVariable> scope_variables(
+      int64_t breakpoint_id) const = 0;
+
+  // -- "Resolve scoped variable names to RTL name" ---------------------------
+  [[nodiscard]] virtual std::optional<ResolvedVariable> resolve_scope_variable(
+      int64_t breakpoint_id, const std::string& name) const = 0;
+
+  // -- "Resolve instance variable names to RTL name" -------------------------
+  [[nodiscard]] virtual std::vector<ResolvedVariable> generator_variables(
+      int64_t instance_id) const = 0;
+  [[nodiscard]] virtual std::optional<ResolvedVariable>
+  resolve_generator_variable(int64_t instance_id,
+                             const std::string& name) const = 0;
+
+  // -- instances --------------------------------------------------------------
+  [[nodiscard]] virtual std::vector<InstanceRow> instances() const = 0;
+  [[nodiscard]] virtual std::optional<InstanceRow> instance(
+      int64_t id) const = 0;
+  [[nodiscard]] virtual std::optional<InstanceRow> instance_by_name(
+      const std::string& name) const = 0;
+
+  // -- misc -------------------------------------------------------------------
+  /// Distinct source filenames (IDE file listing).
+  [[nodiscard]] virtual std::vector<std::string> files() const = 0;
+};
+
+/// In-memory symbol table (the "native" implementation an HGF can hand to
+/// the runtime directly).
+class MemorySymbolTable final : public SymbolTable {
+ public:
+  explicit MemorySymbolTable(SymbolTableData data);
+
+  [[nodiscard]] std::vector<BreakpointRow> breakpoints_at(
+      const std::string& filename, uint32_t line) const override;
+  [[nodiscard]] std::vector<BreakpointRow> all_breakpoints() const override;
+  [[nodiscard]] std::optional<BreakpointRow> breakpoint(int64_t id) const override;
+  [[nodiscard]] std::vector<ResolvedVariable> scope_variables(
+      int64_t breakpoint_id) const override;
+  [[nodiscard]] std::optional<ResolvedVariable> resolve_scope_variable(
+      int64_t breakpoint_id, const std::string& name) const override;
+  [[nodiscard]] std::vector<ResolvedVariable> generator_variables(
+      int64_t instance_id) const override;
+  [[nodiscard]] std::optional<ResolvedVariable> resolve_generator_variable(
+      int64_t instance_id, const std::string& name) const override;
+  [[nodiscard]] std::vector<InstanceRow> instances() const override;
+  [[nodiscard]] std::optional<InstanceRow> instance(int64_t id) const override;
+  [[nodiscard]] std::optional<InstanceRow> instance_by_name(
+      const std::string& name) const override;
+  [[nodiscard]] std::vector<std::string> files() const override;
+
+  [[nodiscard]] const SymbolTableData& data() const { return data_; }
+
+ private:
+  [[nodiscard]] const VariableRow* variable(int64_t id) const;
+
+  SymbolTableData data_;
+};
+
+/// Sorts breakpoints into the canonical scheduling order.
+void sort_breakpoints(std::vector<BreakpointRow>& breakpoints);
+
+}  // namespace hgdb::symbols
+
+#endif  // HGDB_SYMBOLS_SYMBOL_TABLE_H

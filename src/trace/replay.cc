@@ -1,0 +1,84 @@
+#include "trace/replay.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/strings.h"
+
+namespace hgdb::trace {
+
+ReplayEngine::ReplayEngine(VcdTrace trace, const std::string& clock_name)
+    : trace_(std::move(trace)) {
+  std::optional<size_t> clock_index;
+  if (!clock_name.empty()) {
+    clock_index = trace_.var_index(clock_name);
+    if (!clock_index) {
+      // Try a suffix match ("clock" matches "Top.clock").
+      for (size_t i = 0; i < trace_.vars().size(); ++i) {
+        if (common::ends_with_path(trace_.vars()[i].hier_name, clock_name)) {
+          clock_index = i;
+          break;
+        }
+      }
+    }
+    if (!clock_index) {
+      throw std::runtime_error("replay: clock '" + clock_name +
+                               "' not found in trace");
+    }
+  } else {
+    for (size_t i = 0; i < trace_.vars().size(); ++i) {
+      const auto& var = trace_.vars()[i];
+      if (var.width != 1) continue;
+      const auto parts = common::split(var.hier_name, '.');
+      const std::string& leaf = parts.back();
+      if (leaf == "clock" || leaf == "clk") {
+        clock_index = i;
+        break;
+      }
+    }
+    if (!clock_index) {
+      throw std::runtime_error(
+          "replay: no clock variable found (pass clock_name explicitly)");
+    }
+  }
+  edges_ = trace_.rising_edges(*clock_index);
+}
+
+std::optional<size_t> ReplayEngine::current_cycle() const {
+  auto it = std::upper_bound(edges_.begin(), edges_.end(), time_);
+  if (it == edges_.begin()) return std::nullopt;
+  return static_cast<size_t>(std::distance(edges_.begin(), it)) - 1;
+}
+
+void ReplayEngine::seek_cycle(size_t cycle) {
+  if (cycle >= edges_.size()) {
+    throw std::out_of_range("replay: cycle " + std::to_string(cycle) +
+                            " beyond trace end (" +
+                            std::to_string(edges_.size()) + " cycles)");
+  }
+  time_ = edges_[cycle];
+}
+
+bool ReplayEngine::step_forward() {
+  auto cycle = current_cycle();
+  const size_t next = cycle ? *cycle + 1 : 0;
+  if (next >= edges_.size()) return false;
+  time_ = edges_[next];
+  return true;
+}
+
+bool ReplayEngine::step_backward() {
+  auto cycle = current_cycle();
+  if (!cycle || *cycle == 0) return false;
+  time_ = edges_[*cycle - 1];
+  return true;
+}
+
+std::optional<common::BitVector> ReplayEngine::value(
+    const std::string& hier_name) const {
+  auto index = trace_.var_index(hier_name);
+  if (!index) return std::nullopt;
+  return trace_.value_at(*index, time_);
+}
+
+}  // namespace hgdb::trace

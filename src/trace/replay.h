@@ -1,0 +1,55 @@
+#ifndef HGDB_TRACE_REPLAY_H
+#define HGDB_TRACE_REPLAY_H
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/vcd_reader.h"
+
+namespace hgdb::trace {
+
+/// Replay engine over a parsed VCD trace (the paper's "Replay tool" box in
+/// Fig. 1). Maintains a time cursor that can move to any clock edge,
+/// forward or backward — time travel is free because the trace holds the
+/// complete history, which is what makes reverse-debugging "much more
+/// challenging to implement for software" trivial here (Sec. 1).
+class ReplayEngine {
+ public:
+  /// `clock_name` selects the clock whose rising edges define the cycle
+  /// grid. When empty, the engine picks the first 1-bit variable whose
+  /// leaf name is "clock" or "clk".
+  explicit ReplayEngine(VcdTrace trace, const std::string& clock_name = "");
+
+  [[nodiscard]] const VcdTrace& trace() const { return trace_; }
+
+  /// Rising-edge times of the selected clock.
+  [[nodiscard]] const std::vector<uint64_t>& edges() const { return edges_; }
+  [[nodiscard]] size_t cycle_count() const { return edges_.size(); }
+
+  // -- time cursor -------------------------------------------------------------
+  [[nodiscard]] uint64_t time() const { return time_; }
+  void set_time(uint64_t time) { time_ = time; }
+  /// Index of the latest clock edge at or before the cursor; nullopt if
+  /// the cursor is before the first edge.
+  [[nodiscard]] std::optional<size_t> current_cycle() const;
+  /// Moves the cursor to the given edge index. Throws on out-of-range.
+  void seek_cycle(size_t cycle);
+  /// Steps one edge forward/backward; returns false at the trace ends.
+  bool step_forward();
+  bool step_backward();
+
+  // -- values ------------------------------------------------------------------
+  [[nodiscard]] std::optional<common::BitVector> value(
+      const std::string& hier_name) const;
+
+ private:
+  VcdTrace trace_;
+  std::vector<uint64_t> edges_;
+  uint64_t time_ = 0;
+};
+
+}  // namespace hgdb::trace
+
+#endif  // HGDB_TRACE_REPLAY_H

@@ -1,0 +1,60 @@
+#ifndef HGDB_TRACE_VCD_READER_H
+#define HGDB_TRACE_VCD_READER_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bitvector.h"
+
+namespace hgdb::trace {
+
+/// One traced variable.
+struct VcdVar {
+  std::string hier_name;  ///< dotted hierarchical name
+  uint32_t width = 1;
+};
+
+/// A parsed VCD trace with per-signal time-indexed change lists.
+///
+/// This is the data source for offline replay (paper Sec. 3.3): the VCD
+/// carries the design hierarchy but no definition information, so the
+/// debugger matches symbol-table instance names onto it by substring
+/// matching. X/Z values are mapped to 0 (the runtime is two-state).
+class VcdTrace {
+ public:
+  [[nodiscard]] const std::vector<VcdVar>& vars() const { return vars_; }
+  [[nodiscard]] std::optional<size_t> var_index(const std::string& name) const;
+  [[nodiscard]] uint64_t max_time() const { return max_time_; }
+
+  /// Value of variable `index` at `time` (last change at or before `time`;
+  /// zero before the first change).
+  [[nodiscard]] common::BitVector value_at(size_t index, uint64_t time) const;
+
+  /// Times at which the variable transitions 0 -> nonzero.
+  [[nodiscard]] std::vector<uint64_t> rising_edges(size_t index) const;
+
+  /// Change list (time, value), sorted by time.
+  [[nodiscard]] const std::vector<std::pair<uint64_t, common::BitVector>>&
+  changes(size_t index) const {
+    return changes_[index];
+  }
+
+ private:
+  friend VcdTrace parse_vcd(std::string_view text);
+  std::vector<VcdVar> vars_;
+  std::map<std::string, size_t> by_name_;
+  std::vector<std::vector<std::pair<uint64_t, common::BitVector>>> changes_;
+  uint64_t max_time_ = 0;
+};
+
+/// Parses VCD text. Throws std::runtime_error on malformed input.
+VcdTrace parse_vcd(std::string_view text);
+VcdTrace parse_vcd_file(const std::string& path);
+
+}  // namespace hgdb::trace
+
+#endif  // HGDB_TRACE_VCD_READER_H

@@ -1,0 +1,81 @@
+#include "vpi/hierarchy.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/strings.h"
+
+namespace hgdb::vpi {
+
+HierarchyMapper::HierarchyMapper(const std::vector<std::string>& design_names,
+                                 const std::vector<std::string>& symbol_names,
+                                 std::string symbol_root)
+    : symbol_root_(std::move(symbol_root)) {
+  if (symbol_names.empty()) return;
+
+  // Suffixes of symbol names with the root stripped: "Top.a.b" -> "a.b".
+  std::vector<std::string> suffixes;
+  suffixes.reserve(symbol_names.size());
+  for (const auto& name : symbol_names) {
+    if (name == symbol_root_) continue;
+    if (name.size() > symbol_root_.size() + 1 &&
+        name.compare(0, symbol_root_.size(), symbol_root_) == 0 &&
+        name[symbol_root_.size()] == '.') {
+      suffixes.push_back(name.substr(symbol_root_.size() + 1));
+    }
+  }
+  if (suffixes.empty()) return;
+
+  // Vote: every design name that ends with some suffix proposes the prefix
+  // obtained by removing that suffix.
+  std::map<std::string, size_t> votes;
+  for (const auto& design_name : design_names) {
+    for (const auto& suffix : suffixes) {
+      if (!common::ends_with_path(design_name, suffix)) continue;
+      if (design_name.size() == suffix.size()) continue;  // no prefix at all
+      votes[design_name.substr(0, design_name.size() - suffix.size() - 1)]++;
+    }
+  }
+  if (votes.empty()) return;
+
+  // Pick the most-voted prefix; break ties with the longest common
+  // substring against the symbol root (Sec. 3.3's matching heuristic:
+  // "tb.dut_top" beats "tb.other" for root "Top").
+  size_t best_votes = 0;
+  size_t best_affinity = 0;
+  for (const auto& [prefix, count] : votes) {
+    const size_t affinity = common::longest_common_substring(prefix, symbol_root_);
+    if (count > best_votes ||
+        (count == best_votes && affinity > best_affinity)) {
+      best_votes = count;
+      best_affinity = affinity;
+      design_prefix_ = prefix;
+    }
+  }
+  valid_ = true;
+}
+
+std::string HierarchyMapper::to_design(const std::string& symbol_name) const {
+  if (!valid_) return symbol_name;
+  if (symbol_name == symbol_root_) return design_prefix_;
+  if (symbol_name.size() > symbol_root_.size() + 1 &&
+      symbol_name.compare(0, symbol_root_.size(), symbol_root_) == 0 &&
+      symbol_name[symbol_root_.size()] == '.') {
+    return design_prefix_ + symbol_name.substr(symbol_root_.size());
+  }
+  return symbol_name;
+}
+
+std::optional<std::string> HierarchyMapper::to_symbol(
+    const std::string& design_name) const {
+  if (!valid_) return std::nullopt;
+  if (design_name == design_prefix_) return symbol_root_;
+  if (design_name.size() > design_prefix_.size() + 1 &&
+      design_name.compare(0, design_prefix_.size(), design_prefix_) == 0 &&
+      design_name[design_prefix_.size()] == '.') {
+    return symbol_root_ + design_name.substr(design_prefix_.size());
+  }
+  return std::nullopt;
+}
+
+}  // namespace hgdb::vpi

@@ -1,0 +1,51 @@
+#ifndef HGDB_VPI_HIERARCHY_H
+#define HGDB_VPI_HIERARCHY_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hgdb::vpi {
+
+/// Locates the generated IP inside the complete simulated design
+/// (paper Sec. 3 and 3.4): the symbol table only knows the generator's own
+/// hierarchy (rooted at, say, "Top"), while the test environment may
+/// instantiate it under "testbench.dut". Since the *relative* hierarchy
+/// never changes, the mapper searches the simulator's signal names for a
+/// subtree matching the symbol table's names and derives the prefix
+/// substitution; candidate ties are broken by common-substring affinity
+/// with the symbol root, per Sec. 3.3's VCD strategy.
+class HierarchyMapper {
+ public:
+  /// `design_names`: all hierarchical signal names from the simulator.
+  /// `symbol_names`: representative full names from the symbol table
+  /// (instance-relative variables resolved against instance names).
+  /// `symbol_root`: the symbol table's root instance name (e.g. "Top").
+  HierarchyMapper(const std::vector<std::string>& design_names,
+                  const std::vector<std::string>& symbol_names,
+                  std::string symbol_root);
+
+  /// True if a mapping was found.
+  [[nodiscard]] bool valid() const { return valid_; }
+  /// The design-side prefix substituted for the symbol root (may equal the
+  /// symbol root when the design is simulated standalone).
+  [[nodiscard]] const std::string& design_prefix() const {
+    return design_prefix_;
+  }
+
+  /// Maps a symbol-table full name ("Top.child.sum0") into the design
+  /// hierarchy ("tb.dut.child.sum0").
+  [[nodiscard]] std::string to_design(const std::string& symbol_name) const;
+  /// Inverse mapping; nullopt when the name is outside the subtree.
+  [[nodiscard]] std::optional<std::string> to_symbol(
+      const std::string& design_name) const;
+
+ private:
+  std::string symbol_root_;
+  std::string design_prefix_;
+  bool valid_ = false;
+};
+
+}  // namespace hgdb::vpi
+
+#endif  // HGDB_VPI_HIERARCHY_H

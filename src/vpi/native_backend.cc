@@ -1,0 +1,68 @@
+#include "vpi/native_backend.h"
+
+namespace hgdb::vpi {
+
+std::optional<common::BitVector> NativeBackend::get_value(
+    const std::string& hier_name) {
+  auto id = simulator_->signal_id(hier_name);
+  if (!id) return std::nullopt;
+  return simulator_->value(*id);
+}
+
+std::vector<std::string> NativeBackend::signal_names() const {
+  std::vector<std::string> out;
+  for (const auto& signal : simulator_->netlist().signals()) {
+    if (!signal.name.empty()) out.push_back(signal.name);
+  }
+  return out;
+}
+
+std::vector<std::string> NativeBackend::clock_names() const {
+  std::vector<std::string> out;
+  for (uint32_t slot : simulator_->netlist().clocks()) {
+    out.push_back(simulator_->netlist().signal(slot).name);
+  }
+  return out;
+}
+
+uint64_t NativeBackend::add_clock_callback(ClockCallback callback) {
+  return simulator_->add_clock_callback(
+      [callback = std::move(callback)](sim::Edge edge, uint64_t time) {
+        callback(edge == sim::Edge::Rising ? ClockEdge::Rising
+                                           : ClockEdge::Falling,
+                 time);
+      });
+}
+
+void NativeBackend::remove_clock_callback(uint64_t handle) {
+  simulator_->remove_clock_callback(handle);
+}
+
+bool NativeBackend::set_time(uint64_t time) {
+  if (!simulator_->checkpoints_enabled()) return false;
+  // tick() advances time by 2 (one unit per edge); the checkpoint grid is
+  // one per cycle.
+  const uint64_t cycle = time / 2;
+  if (cycle >= simulator_->cycle() ||
+      cycle < simulator_->earliest_cycle()) {
+    return false;
+  }
+  simulator_->restore_cycle(cycle);
+  return true;
+}
+
+bool NativeBackend::set_value(const std::string& hier_name,
+                              const common::BitVector& value) {
+  auto id = simulator_->signal_id(hier_name);
+  if (!id) return false;
+  const auto kind = simulator_->netlist().signal(*id).kind;
+  if (kind != netlist::SignalKind::Input &&
+      kind != netlist::SignalKind::Register) {
+    return false;
+  }
+  simulator_->set_value(*id, value);
+  simulator_->eval();
+  return true;
+}
+
+}  // namespace hgdb::vpi

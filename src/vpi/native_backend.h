@@ -1,0 +1,43 @@
+#ifndef HGDB_VPI_NATIVE_BACKEND_H
+#define HGDB_VPI_NATIVE_BACKEND_H
+
+#include "sim/simulator.h"
+#include "vpi/sim_interface.h"
+
+namespace hgdb::vpi {
+
+/// Native backend: adapts the in-process RTL simulator to the unified
+/// interface. This is the "loaded into simulator tools natively" path in
+/// the paper's Fig. 1 — calls are direct function calls, so per-cycle
+/// overhead is just the callback dispatch (measured in EXP-3).
+class NativeBackend final : public SimulatorInterface {
+ public:
+  explicit NativeBackend(sim::Simulator& simulator) : simulator_(&simulator) {}
+
+  [[nodiscard]] std::optional<common::BitVector> get_value(
+      const std::string& hier_name) override;
+  [[nodiscard]] std::vector<std::string> signal_names() const override;
+  [[nodiscard]] std::vector<std::string> clock_names() const override;
+  uint64_t add_clock_callback(ClockCallback callback) override;
+  void remove_clock_callback(uint64_t handle) override;
+
+  [[nodiscard]] uint64_t get_time() const override {
+    return simulator_->time();
+  }
+  [[nodiscard]] bool supports_time_travel() const override {
+    return simulator_->checkpoints_enabled();
+  }
+  bool set_time(uint64_t time) override;
+  [[nodiscard]] bool supports_set_value() const override { return true; }
+  bool set_value(const std::string& hier_name,
+                 const common::BitVector& value) override;
+
+  [[nodiscard]] sim::Simulator& simulator() { return *simulator_; }
+
+ private:
+  sim::Simulator* simulator_;
+};
+
+}  // namespace hgdb::vpi
+
+#endif  // HGDB_VPI_NATIVE_BACKEND_H

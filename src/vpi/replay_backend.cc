@@ -1,0 +1,68 @@
+#include "vpi/replay_backend.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace hgdb::vpi {
+
+std::vector<std::string> ReplayBackend::signal_names() const {
+  std::vector<std::string> out;
+  out.reserve(engine_.trace().vars().size());
+  for (const auto& var : engine_.trace().vars()) out.push_back(var.hier_name);
+  return out;
+}
+
+std::vector<std::string> ReplayBackend::clock_names() const {
+  std::vector<std::string> out;
+  for (const auto& var : engine_.trace().vars()) {
+    if (var.width != 1) continue;
+    const auto parts = common::split(var.hier_name, '.');
+    if (parts.back() == "clock" || parts.back() == "clk") {
+      out.push_back(var.hier_name);
+    }
+  }
+  return out;
+}
+
+uint64_t ReplayBackend::add_clock_callback(ClockCallback callback) {
+  const uint64_t handle = next_handle_++;
+  callbacks_.emplace_back(handle, std::move(callback));
+  return handle;
+}
+
+void ReplayBackend::remove_clock_callback(uint64_t handle) {
+  std::erase_if(callbacks_,
+                [handle](const auto& entry) { return entry.first == handle; });
+}
+
+bool ReplayBackend::set_time(uint64_t time) {
+  if (time > engine_.trace().max_time()) return false;
+  engine_.set_time(time);
+  return true;
+}
+
+void ReplayBackend::fire() {
+  for (const auto& [handle, callback] : callbacks_) {
+    callback(ClockEdge::Rising, engine_.time());
+  }
+}
+
+bool ReplayBackend::step_forward() {
+  if (!engine_.step_forward()) return false;
+  fire();
+  return true;
+}
+
+bool ReplayBackend::step_backward() {
+  if (!engine_.step_backward()) return false;
+  fire();
+  return true;
+}
+
+void ReplayBackend::run_forward() {
+  while (step_forward()) {
+  }
+}
+
+}  // namespace hgdb::vpi

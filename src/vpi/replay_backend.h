@@ -1,0 +1,59 @@
+#ifndef HGDB_VPI_REPLAY_BACKEND_H
+#define HGDB_VPI_REPLAY_BACKEND_H
+
+#include <memory>
+
+#include "trace/replay.h"
+#include "vpi/sim_interface.h"
+
+namespace hgdb::vpi {
+
+/// Trace backend: adapts a VCD replay engine to the unified interface
+/// (the "Replay tool" box in the paper's Fig. 1).
+///
+/// Unlike a live simulator, nothing drives time forward by itself; the
+/// owner calls run_forward()/run_backward()/step(), and the backend fires
+/// rising-edge callbacks at every visited clock edge — identical to what
+/// the debugger runtime sees from a live simulation, which is the whole
+/// point of the unified interface. set_value is unsupported (you cannot
+/// change history); set_time is fully supported in both directions.
+class ReplayBackend final : public SimulatorInterface {
+ public:
+  explicit ReplayBackend(trace::ReplayEngine engine)
+      : engine_(std::move(engine)) {}
+
+  [[nodiscard]] std::optional<common::BitVector> get_value(
+      const std::string& hier_name) override {
+    return engine_.value(hier_name);
+  }
+  [[nodiscard]] std::vector<std::string> signal_names() const override;
+  [[nodiscard]] std::vector<std::string> clock_names() const override;
+  uint64_t add_clock_callback(ClockCallback callback) override;
+  void remove_clock_callback(uint64_t handle) override;
+
+  [[nodiscard]] uint64_t get_time() const override { return engine_.time(); }
+  [[nodiscard]] bool supports_time_travel() const override { return true; }
+  bool set_time(uint64_t time) override;
+  [[nodiscard]] bool supports_set_value() const override { return false; }
+
+  // -- replay driving -----------------------------------------------------------
+  /// Advances one clock edge and fires callbacks; false at trace end.
+  bool step_forward();
+  /// Rewinds one clock edge and fires callbacks; false at trace start.
+  bool step_backward();
+  /// Runs forward to the end of the trace (callbacks at every edge).
+  void run_forward();
+
+  [[nodiscard]] trace::ReplayEngine& engine() { return engine_; }
+
+ private:
+  void fire();
+
+  trace::ReplayEngine engine_;
+  std::vector<std::pair<uint64_t, ClockCallback>> callbacks_;
+  uint64_t next_handle_ = 1;
+};
+
+}  // namespace hgdb::vpi
+
+#endif  // HGDB_VPI_REPLAY_BACKEND_H

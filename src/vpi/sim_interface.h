@@ -1,0 +1,67 @@
+#ifndef HGDB_VPI_SIM_INTERFACE_H
+#define HGDB_VPI_SIM_INTERFACE_H
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bitvector.h"
+
+namespace hgdb::vpi {
+
+enum class ClockEdge : uint8_t { Rising, Falling };
+
+/// The paper's *unified simulator interface* (Sec. 3.3): the minimum set of
+/// primitives hgdb needs from any simulation environment. Commercial
+/// simulators implement these through a small VPI subset; this repo
+/// provides a native backend (our RTL simulator) and a trace backend (VCD
+/// replay). The debugger runtime is written only against this class.
+///
+/// Required primitives:
+///   - get signal value            -> get_value()
+///   - get design hierarchy/clocks -> signal_names(), clock_names()
+///   - callbacks on clock changes  -> add/remove_clock_callback()
+/// Optional primitives:
+///   - get and set simulation time -> get_time()/set_time() (reverse debug)
+///   - set signal value            -> set_value() (not possible on traces)
+class SimulatorInterface {
+ public:
+  virtual ~SimulatorInterface() = default;
+
+  // -- required ---------------------------------------------------------------
+  /// Value of a full hierarchical signal name; nullopt if unknown.
+  [[nodiscard]] virtual std::optional<common::BitVector> get_value(
+      const std::string& hier_name) = 0;
+  /// Every hierarchical signal name in the design (the "design hierarchy"
+  /// query; used to locate the generated IP inside the test environment).
+  [[nodiscard]] virtual std::vector<std::string> signal_names() const = 0;
+  /// Hierarchical names of clock signals.
+  [[nodiscard]] virtual std::vector<std::string> clock_names() const = 0;
+
+  using ClockCallback = std::function<void(ClockEdge, uint64_t /*time*/)>;
+  /// Fires after the design reaches equilibrium at each clock edge — the
+  /// zero-delay property the breakpoint emulation relies on. The simulator
+  /// blocks while the callback runs, which is how hgdb pauses simulation.
+  virtual uint64_t add_clock_callback(ClockCallback callback) = 0;
+  virtual void remove_clock_callback(uint64_t handle) = 0;
+
+  // -- optional ---------------------------------------------------------------
+  [[nodiscard]] virtual uint64_t get_time() const = 0;
+  [[nodiscard]] virtual bool supports_time_travel() const { return false; }
+  /// Rewinds (or advances) simulation time; returns false if unsupported
+  /// or out of range.
+  virtual bool set_time(uint64_t /*time*/) { return false; }
+
+  [[nodiscard]] virtual bool supports_set_value() const { return false; }
+  /// Forces a signal value; returns false if unsupported (e.g. traces).
+  virtual bool set_value(const std::string& /*hier_name*/,
+                         const common::BitVector& /*value*/) {
+    return false;
+  }
+};
+
+}  // namespace hgdb::vpi
+
+#endif  // HGDB_VPI_SIM_INTERFACE_H

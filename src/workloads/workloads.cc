@@ -1,0 +1,615 @@
+#include "workloads/workloads.h"
+
+#include <stdexcept>
+
+#include "frontend/components.h"
+#include "frontend/dsl.h"
+
+namespace hgdb::workloads {
+
+using frontend::Instance;
+using frontend::ModuleBuilder;
+using frontend::Value;
+using frontend::adder_tree;
+using frontend::counter;
+using frontend::lfsr;
+using frontend::mux;
+using frontend::sort2;
+
+namespace {
+
+/// Diagnostic intermediates a generator typically elaborates but a given
+/// configuration never consumes: parity/overflow probes and folded config
+/// constants. The optimized build removes them (const-prop + DCE), dropping
+/// their breakpoints and scope variables from the symbol table; debug mode
+/// pins them with DontTouch — this asymmetry is the source of the paper's
+/// ~30% debug-mode symbol-table growth (Sec. 4.1), reproduced by EXP-2.
+void emit_diagnostics(ModuleBuilder& b, const std::string& prefix,
+                      const Value& probe) {
+  Value parity = b.node(prefix + "_parity", probe.reduce_xor(), HGDB_LOC);
+  Value nonzero = b.node(prefix + "_nonzero", probe.reduce_or(), HGDB_LOC);
+  Value saturated = b.node(prefix + "_saturated", probe.reduce_and(), HGDB_LOC);
+  Value window = b.node(prefix + "_window", probe.shr(4) & b.lit(probe.width(), 0xff),
+                        HGDB_LOC);
+  Value cfg = b.node(prefix + "_cfg",
+                     b.lit(32, 0xf0).shl(4) | b.lit(32, 0x0c), HGDB_LOC);
+  Value flag = b.wire(prefix + "_flag", 1, HGDB_LOC);
+  b.assign(flag, parity & nonzero, HGDB_LOC);
+  b.when_(cfg.bit(3), HGDB_LOC,
+          [&] { b.assign(flag, flag | saturated | window.reduce_or(), HGDB_LOC); });
+}
+
+// ---------------------------------------------------------------------------
+// multiply: pipelined multiplier with a parity-gated accumulator
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<ir::Circuit> build_multiply() {
+  auto circuit = std::make_unique<ir::Circuit>("Multiply");
+  ModuleBuilder b(*circuit, "Multiply");
+  Value clk = b.clock();
+  Value checksum = b.output("checksum", 32, HGDB_LOC);
+
+  Value a = lfsr(b, "a", 16, clk);
+  Value bb = lfsr(b, "b", 16, clk);
+
+  Value prod = b.node("prod", a.pad(32) * bb.pad(32), HGDB_LOC);
+  Value stage1 = b.reg("stage1", 32, clk, HGDB_LOC);
+  b.assign(stage1, prod, HGDB_LOC);
+  Value stage2 = b.reg("stage2", 32, clk, HGDB_LOC);
+  b.assign(stage2, stage1 ^ stage1.shr(7), HGDB_LOC);
+
+  Value acc = b.reg("acc", 32, clk, HGDB_LOC);
+  Value sum = b.wire("sum", 32, HGDB_LOC);
+  b.assign(sum, acc ^ stage2, HGDB_LOC);
+  b.when_(stage2.bit(0), HGDB_LOC,
+          [&] { b.assign(sum, sum + b.lit(32, 1), HGDB_LOC); });
+  b.assign(acc, sum, HGDB_LOC);
+  emit_diagnostics(b, "dbg", prod);
+  b.assign(checksum, acc, HGDB_LOC);
+  b.finish();
+  return circuit;
+}
+
+// ---------------------------------------------------------------------------
+// mm / mt-matmul: n x n multiply-accumulate grid
+// ---------------------------------------------------------------------------
+
+/// Builds the MAC-grid core module inside `circuit` and returns its name.
+/// Host C++ loops elaborate the grid — many IR statements share the same
+/// generator source line, exactly like a Chisel `for` (the concurrent
+/// "threads" of paper Fig. 4 B).
+std::string build_matmul_core(ir::Circuit& circuit, const std::string& name,
+                              uint32_t n) {
+  ModuleBuilder b(circuit, name);
+  Value clk = b.clock();
+  Value seed = b.input("seed", 16, HGDB_LOC);
+  Value checksum = b.output("checksum", 32, HGDB_LOC);
+
+  Value raw_stimulus = lfsr(b, "raw_stimulus", 32, clk);
+  Value stimulus =
+      b.node("stimulus", raw_stimulus ^ seed.pad(32).shl(3), HGDB_LOC);
+
+  // Activations: one register per row, refreshed from LFSR slices.
+  std::vector<Value> activations;
+  for (uint32_t i = 0; i < n; ++i) {
+    Value act = b.reg("act_" + std::to_string(i), 16, clk, HGDB_LOC);
+    b.assign(act, act + stimulus.slice((i % 4) * 8 + 7, (i % 4) * 8), HGDB_LOC);
+    activations.push_back(act);
+  }
+
+  // Weight grid and per-column MAC accumulators.
+  std::vector<Value> column_sums;
+  for (uint32_t j = 0; j < n; ++j) {
+    std::vector<Value> products;
+    for (uint32_t i = 0; i < n; ++i) {
+      Value weight = b.reg("w_" + std::to_string(i) + "_" + std::to_string(j),
+                           16, clk, HGDB_LOC);
+      b.assign(weight, weight ^ stimulus.slice(15, 0) ^ b.lit(16, i * 31 + j * 7),
+               HGDB_LOC);
+      products.push_back(
+          b.node("p_" + std::to_string(i) + "_" + std::to_string(j),
+                 weight.pad(32) * activations[i].pad(32), HGDB_LOC));
+    }
+    Value column = adder_tree(b, products);
+    Value acc = b.reg("col_" + std::to_string(j), 32, clk, HGDB_LOC);
+    b.assign(acc, acc + column, HGDB_LOC);
+    column_sums.push_back(acc);
+  }
+
+  Value folded = column_sums[0];
+  for (uint32_t j = 1; j < n; ++j) folded = folded ^ column_sums[j];
+  emit_diagnostics(b, "dbg", folded);
+  b.assign(checksum, folded.pad(32), HGDB_LOC);
+  b.finish();
+  return name;
+}
+
+std::unique_ptr<ir::Circuit> build_mm() {
+  auto circuit = std::make_unique<ir::Circuit>("Matmul");
+  build_matmul_core(*circuit, "Matmul", 4);
+  return circuit;
+}
+
+std::unique_ptr<ir::Circuit> build_mt_matmul() {
+  auto circuit = std::make_unique<ir::Circuit>("MtMatmul");
+  build_matmul_core(*circuit, "MatmulCore", 3);
+  ModuleBuilder b(*circuit, "MtMatmul");
+  Value clk = b.clock();
+  Value checksum = b.output("checksum", 32, HGDB_LOC);
+  // Two hardware "threads" of the same core module.
+  Instance t0 = b.instantiate("thread0", "MatmulCore", HGDB_LOC);
+  Instance t1 = b.instantiate("thread1", "MatmulCore", HGDB_LOC);
+  b.assign(t0.port("clock"), clk, HGDB_LOC);
+  b.assign(t1.port("clock"), clk, HGDB_LOC);
+  b.assign(t0.port("seed"), b.lit(16, 0x1a2b), HGDB_LOC);
+  b.assign(t1.port("seed"), b.lit(16, 0x7c3d), HGDB_LOC);
+  b.assign(checksum, t0.port("checksum") ^ t1.port("checksum"), HGDB_LOC);
+  b.finish();
+  return circuit;
+}
+
+// ---------------------------------------------------------------------------
+// vvadd / mt-vvadd: vector add with the paper's Listing-1 loop shape
+// ---------------------------------------------------------------------------
+
+std::string build_vvadd_core(ir::Circuit& circuit, const std::string& name) {
+  constexpr uint32_t kLanes = 8;
+  ModuleBuilder b(circuit, name);
+  Value clk = b.clock();
+  Value seed = b.input("seed", 16, HGDB_LOC);
+  Value checksum = b.output("checksum", 32, HGDB_LOC);
+
+  Value raw_stimulus = lfsr(b, "raw_stimulus", 32, clk);
+  Value stimulus = b.node("stimulus", raw_stimulus ^ seed.pad(32), HGDB_LOC);
+  Value va = b.reg_type("va", ir::vector_type(ir::uint_type(16), kLanes), clk,
+                        HGDB_LOC);
+  Value vb = b.reg_type("vb", ir::vector_type(ir::uint_type(16), kLanes), clk,
+                        HGDB_LOC);
+  for (uint32_t k = 0; k < kLanes; ++k) {
+    b.assign(va[k], va[k] + stimulus.slice(15, 0) + b.lit(16, k), HGDB_LOC);
+    b.assign(vb[k], vb[k] ^ stimulus.slice(31, 16) ^ b.lit(16, 3 * k), HGDB_LOC);
+  }
+
+  // The paper's Listing 1: a procedural accumulator reassigned inside an
+  // unrolled loop, guarded by a data-dependent condition. One source line
+  // here becomes kLanes emulated breakpoints with distinct enables.
+  Value sum = b.wire("sum", 32, HGDB_LOC);
+  b.assign(sum, b.lit(32, 0), HGDB_LOC);
+  b.for_("i", 0, kLanes, HGDB_LOC, [&](Value i) {
+    Value element = b.node("element", (va[i] + vb[i]).pad(32), HGDB_LOC);
+    b.when_((element % b.lit(32, 2)) == b.lit(32, 1), HGDB_LOC,
+            [&] { b.assign(sum, sum + element, HGDB_LOC); });
+  });
+
+  Value acc = b.reg("acc", 32, clk, HGDB_LOC);
+  b.assign(acc, acc ^ sum, HGDB_LOC);
+  emit_diagnostics(b, "dbg", sum);
+  b.assign(checksum, acc, HGDB_LOC);
+  b.finish();
+  return name;
+}
+
+std::unique_ptr<ir::Circuit> build_vvadd() {
+  auto circuit = std::make_unique<ir::Circuit>("Vvadd");
+  build_vvadd_core(*circuit, "Vvadd");
+  return circuit;
+}
+
+std::unique_ptr<ir::Circuit> build_mt_vvadd() {
+  auto circuit = std::make_unique<ir::Circuit>("MtVvadd");
+  build_vvadd_core(*circuit, "VvaddCore");
+  ModuleBuilder b(*circuit, "MtVvadd");
+  Value clk = b.clock();
+  Value checksum = b.output("checksum", 32, HGDB_LOC);
+  Instance t0 = b.instantiate("thread0", "VvaddCore", HGDB_LOC);
+  Instance t1 = b.instantiate("thread1", "VvaddCore", HGDB_LOC);
+  b.assign(t0.port("clock"), clk, HGDB_LOC);
+  b.assign(t1.port("clock"), clk, HGDB_LOC);
+  b.assign(t0.port("seed"), b.lit(16, 0x00ff), HGDB_LOC);
+  b.assign(t1.port("seed"), b.lit(16, 0x5a5a), HGDB_LOC);
+  b.assign(checksum, t0.port("checksum") + t1.port("checksum"), HGDB_LOC);
+  b.finish();
+  return circuit;
+}
+
+// ---------------------------------------------------------------------------
+// qsort: 8-lane bitonic sorting network, pipelined between stages
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<ir::Circuit> build_qsort() {
+  constexpr uint32_t kLanes = 8;
+  auto circuit = std::make_unique<ir::Circuit>("Qsort");
+  ModuleBuilder b(*circuit, "Qsort");
+  Value clk = b.clock();
+  Value checksum = b.output("checksum", 32, HGDB_LOC);
+
+  Value stimulus = lfsr(b, "stimulus", 32, clk);
+  std::vector<Value> lanes;
+  for (uint32_t i = 0; i < kLanes; ++i) {
+    Value lane = b.reg("in_" + std::to_string(i), 16, clk, HGDB_LOC);
+    b.assign(lane,
+             lane + stimulus.slice((i % 2) * 16 + 15, (i % 2) * 16) +
+                 b.lit(16, i * 17),
+             HGDB_LOC);
+    lanes.push_back(lane);
+  }
+
+  // Batcher odd-even merge network for 8 inputs (19 compare-exchanges).
+  static constexpr std::pair<uint32_t, uint32_t> kStages[] = {
+      {0, 1}, {2, 3}, {4, 5}, {6, 7}, {0, 2}, {1, 3}, {4, 6}, {5, 7},
+      {1, 2}, {5, 6}, {0, 4}, {1, 5}, {2, 6}, {3, 7}, {2, 4}, {3, 5},
+      {1, 2}, {3, 4}, {5, 6}};
+  std::vector<Value> network = lanes;
+  uint32_t exchange_index = 0;
+  for (const auto& [low, high] : kStages) {
+    auto [small, large] = sort2(network[low], network[high]);
+    network[low] =
+        b.node("cmp_lo_" + std::to_string(exchange_index), small, HGDB_LOC);
+    network[high] =
+        b.node("cmp_hi_" + std::to_string(exchange_index), large, HGDB_LOC);
+    ++exchange_index;
+  }
+
+  // Sortedness witness folded into the checksum: catches any network bug.
+  Value sorted_flag = b.wire("sorted_flag", 1, HGDB_LOC);
+  b.assign(sorted_flag, b.lit(1, 1), HGDB_LOC);
+  for (uint32_t i = 0; i + 1 < kLanes; ++i) {
+    b.assign(sorted_flag, sorted_flag & (network[i] <= network[i + 1]),
+             HGDB_LOC);
+  }
+
+  Value acc = b.reg("acc", 32, clk, HGDB_LOC);
+  Value folded = network[0].pad(32);
+  for (uint32_t i = 1; i < kLanes; ++i) {
+    folded = folded + network[i].pad(32).shl(i % 8);
+  }
+  b.assign(acc, acc ^ folded ^ sorted_flag.pad(32), HGDB_LOC);
+  emit_diagnostics(b, "dbg", folded);
+  b.assign(checksum, acc, HGDB_LOC);
+  b.finish();
+  return circuit;
+}
+
+// ---------------------------------------------------------------------------
+// dhrystone: mixed-ALU state machine with deep when chains
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<ir::Circuit> build_dhrystone() {
+  auto circuit = std::make_unique<ir::Circuit>("Dhrystone");
+  ModuleBuilder b(*circuit, "Dhrystone");
+  Value clk = b.clock();
+  Value checksum = b.output("checksum", 32, HGDB_LOC);
+
+  Value x = lfsr(b, "x", 32, clk);
+  Value y = counter(b, "y", 32, clk);
+  Value op = b.node("op", x.slice(2, 0), HGDB_LOC);
+
+  Value result = b.wire("result", 32, HGDB_LOC);
+  b.assign(result, x ^ y, HGDB_LOC);
+  b.when_(op == b.lit(3, 0), HGDB_LOC,
+          [&] { b.assign(result, x + y, HGDB_LOC); },
+          [&] {
+            b.when_(op == b.lit(3, 1), HGDB_LOC,
+                    [&] { b.assign(result, x - y, HGDB_LOC); },
+                    [&] {
+                      b.when_(op == b.lit(3, 2), HGDB_LOC,
+                              [&] { b.assign(result, x & y, HGDB_LOC); },
+                              [&] {
+                                b.when_(
+                                    op == b.lit(3, 3), HGDB_LOC,
+                                    [&] {
+                                      b.assign(result,
+                                               x % (y | b.lit(32, 1)), HGDB_LOC);
+                                    },
+                                    [&] {
+                                      b.assign(result, x * y, HGDB_LOC);
+                                    });
+                              });
+                    });
+          });
+
+  Value acc = b.reg("acc", 32, clk, HGDB_LOC);
+  b.assign(acc, (acc.shl(1) | acc.shr(31)) ^ result, HGDB_LOC);
+  emit_diagnostics(b, "dbg", result);
+  b.assign(checksum, acc, HGDB_LOC);
+  b.finish();
+  return circuit;
+}
+
+// ---------------------------------------------------------------------------
+// median: median-of-9 filter over a shifting sample window
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<ir::Circuit> build_median() {
+  constexpr uint32_t kWindow = 9;
+  auto circuit = std::make_unique<ir::Circuit>("Median");
+  ModuleBuilder b(*circuit, "Median");
+  Value clk = b.clock();
+  Value checksum = b.output("checksum", 32, HGDB_LOC);
+
+  Value stimulus = lfsr(b, "stimulus", 16, clk);
+  std::vector<Value> window;
+  for (uint32_t i = 0; i < kWindow; ++i) {
+    Value sample = b.reg("w_" + std::to_string(i), 16, clk, HGDB_LOC);
+    if (i == 0) {
+      b.assign(sample, stimulus, HGDB_LOC);
+    } else {
+      b.assign(sample, window[i - 1], HGDB_LOC);
+    }
+    window.push_back(sample);
+  }
+
+  // Median-of-9 via a full sorting network (simple and verifiable).
+  std::vector<Value> net = window;
+  uint32_t exchange_index = 0;
+  for (uint32_t pass = 0; pass < kWindow; ++pass) {
+    for (uint32_t i = pass % 2; i + 1 < kWindow; i += 2) {
+      auto [small, large] = sort2(net[i], net[i + 1]);
+      net[i] = b.node("m_lo_" + std::to_string(exchange_index), small, HGDB_LOC);
+      net[i + 1] =
+          b.node("m_hi_" + std::to_string(exchange_index), large, HGDB_LOC);
+      ++exchange_index;
+    }
+  }
+  Value median = b.node("median", net[kWindow / 2], HGDB_LOC);
+
+  Value acc = b.reg("acc", 32, clk, HGDB_LOC);
+  b.assign(acc, acc + median.pad(32), HGDB_LOC);
+  emit_diagnostics(b, "dbg", median);
+  b.assign(checksum, acc, HGDB_LOC);
+  b.finish();
+  return circuit;
+}
+
+// ---------------------------------------------------------------------------
+// towers: Towers-of-Hanoi flavoured FSM
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<ir::Circuit> build_towers() {
+  auto circuit = std::make_unique<ir::Circuit>("Towers");
+  ModuleBuilder b(*circuit, "Towers");
+  Value clk = b.clock();
+  Value checksum = b.output("checksum", 32, HGDB_LOC);
+
+  Value state = b.reg("state", 2, clk, HGDB_LOC);
+  Value peg0 = b.reg("peg0", 8, clk, HGDB_LOC);
+  Value peg1 = b.reg("peg1", 8, clk, HGDB_LOC);
+  Value peg2 = b.reg("peg2", 8, clk, HGDB_LOC);
+  Value moves = b.reg("moves", 32, clk, HGDB_LOC);
+
+  // Refill peg0 with 5 disks whenever everything drained.
+  Value empty = b.node(
+      "empty", (peg0 == b.lit(8, 0)) & (peg1 == b.lit(8, 0)), HGDB_LOC);
+  b.when_(empty, HGDB_LOC, [&] { b.assign(peg0, b.lit(8, 5), HGDB_LOC); });
+
+  b.when_(state == b.lit(2, 0), HGDB_LOC,
+          [&] {
+            b.when_(peg0 > b.lit(8, 0), HGDB_LOC, [&] {
+              b.assign(peg0, peg0 - b.lit(8, 1), HGDB_LOC);
+              b.assign(peg1, peg1 + b.lit(8, 1), HGDB_LOC);
+              b.assign(moves, moves + b.lit(32, 1), HGDB_LOC);
+            });
+            b.assign(state, b.lit(2, 1), HGDB_LOC);
+          },
+          [&] {
+            b.when_(state == b.lit(2, 1), HGDB_LOC,
+                    [&] {
+                      b.when_(peg1 > b.lit(8, 0), HGDB_LOC, [&] {
+                        b.assign(peg1, peg1 - b.lit(8, 1), HGDB_LOC);
+                        b.assign(peg2, peg2 + b.lit(8, 1), HGDB_LOC);
+                        b.assign(moves, moves + b.lit(32, 1), HGDB_LOC);
+                      });
+                      b.assign(state, b.lit(2, 2), HGDB_LOC);
+                    },
+                    [&] {
+                      b.when_(peg2 > b.lit(8, 0), HGDB_LOC, [&] {
+                        b.assign(peg2, peg2 - b.lit(8, 1), HGDB_LOC);
+                        b.assign(moves, moves + b.lit(32, 3), HGDB_LOC);
+                      });
+                      b.assign(state, b.lit(2, 0), HGDB_LOC);
+                    });
+          });
+
+  Value acc = b.reg("acc", 32, clk, HGDB_LOC);
+  b.assign(acc,
+           acc ^ moves ^ peg0.pad(32).shl(8) ^ peg1.pad(32).shl(16) ^
+               peg2.pad(32).shl(24),
+           HGDB_LOC);
+  emit_diagnostics(b, "dbg", moves);
+  b.assign(checksum, acc, HGDB_LOC);
+  b.finish();
+  return circuit;
+}
+
+// ---------------------------------------------------------------------------
+// spmv: sparse gather with dynamic vector indexing
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<ir::Circuit> build_spmv() {
+  constexpr uint32_t kEntries = 8;
+  auto circuit = std::make_unique<ir::Circuit>("Spmv");
+  ModuleBuilder b(*circuit, "Spmv");
+  Value clk = b.clock();
+  Value checksum = b.output("checksum", 32, HGDB_LOC);
+
+  Value stimulus = lfsr(b, "stimulus", 32, clk);
+  Value values = b.reg_type(
+      "values", ir::vector_type(ir::uint_type(16), kEntries), clk, HGDB_LOC);
+  for (uint32_t k = 0; k < kEntries; ++k) {
+    b.assign(values[k], values[k] + stimulus.slice(15, 0) + b.lit(16, 11 * k),
+             HGDB_LOC);
+  }
+
+  // Gather: three "nonzeros" per row, column indices from the LFSR. The
+  // dynamic index lowers to a mux chain (LowerAggregates), and the
+  // accumulation loop is the paper's SSA showcase again.
+  Value row_sum = b.wire("row_sum", 32, HGDB_LOC);
+  b.assign(row_sum, b.lit(32, 0), HGDB_LOC);
+  b.for_("nz", 0, 3, HGDB_LOC, [&](Value nz) {
+    Value column = b.node(
+        "column", (stimulus.shr(5) + nz.pad(32) * b.lit(32, 3)).slice(2, 0),
+        HGDB_LOC);
+    Value gathered = b.node("gathered", values[column], HGDB_LOC);
+    b.when_(gathered != b.lit(16, 0), HGDB_LOC,
+            [&] { b.assign(row_sum, row_sum + gathered.pad(32), HGDB_LOC); });
+  });
+
+  Value acc = b.reg("acc", 32, clk, HGDB_LOC);
+  b.assign(acc, acc + row_sum, HGDB_LOC);
+  emit_diagnostics(b, "dbg", row_sum);
+  b.assign(checksum, acc, HGDB_LOC);
+  b.finish();
+  return circuit;
+}
+
+// ---------------------------------------------------------------------------
+// FPU compare (Sec. 4.2 case study)
+// ---------------------------------------------------------------------------
+
+struct FpuLines {
+  uint32_t when_wflags = 0;
+  uint32_t toint = 0;
+};
+FpuLines g_fpu_lines;
+
+/// Recoded-float compare unit ("dcmp" in the paper's Listing 3). The
+/// format is hardfloat-style 33-bit recoded: [32] sign, [31:23] exponent
+/// (top three bits 111 = NaN), [22:0] significand (bit 22 clear = sNaN).
+void build_dcmp(ir::Circuit& circuit) {
+  ModuleBuilder b(circuit, "CompareRecFN");
+  Value a = b.input("a", 33, HGDB_LOC);
+  Value bv = b.input("b", 33, HGDB_LOC);
+  Value signaling = b.input("signaling", 1, HGDB_LOC);
+  Value lt = b.output("lt", 1, HGDB_LOC);
+  Value eq = b.output("eq", 1, HGDB_LOC);
+  Value exception_flags = b.output("exceptionFlags", 5, HGDB_LOC);
+
+  Value a_nan = b.node("a_nan", a.slice(31, 29) == b.lit(3, 7), HGDB_LOC);
+  Value b_nan = b.node("b_nan", bv.slice(31, 29) == b.lit(3, 7), HGDB_LOC);
+  Value a_snan = b.node("a_snan", a_nan & ~a.bit(22), HGDB_LOC);
+  Value b_snan = b.node("b_snan", b_nan & ~bv.bit(22), HGDB_LOC);
+  Value any_nan = b.node("any_nan", a_nan | b_nan, HGDB_LOC);
+
+  // Invalid-operation: signaling compares trap on any NaN; quiet compares
+  // only on signaling NaNs. The paper's bug wires `signaling` high, so
+  // quiet-NaN feq instructions spuriously raise this flag.
+  Value invalid =
+      b.node("invalid", (any_nan & signaling) | a_snan | b_snan, HGDB_LOC);
+  b.assign(exception_flags, invalid.pad(5).shl(4), HGDB_LOC);
+
+  Value sign_a = a.bit(32);
+  Value sign_b = bv.bit(32);
+  Value mag_a = b.node("mag_a", a.slice(31, 0), HGDB_LOC);
+  Value mag_b = b.node("mag_b", bv.slice(31, 0), HGDB_LOC);
+  Value mag_lt = b.node("mag_lt", mag_a < mag_b, HGDB_LOC);
+  Value mag_eq = b.node("mag_eq", mag_a == mag_b, HGDB_LOC);
+
+  Value ordered_lt = b.wire("ordered_lt", 1, HGDB_LOC);
+  b.assign(ordered_lt, ~sign_a & ~sign_b & mag_lt, HGDB_LOC);
+  b.when_(sign_a & ~sign_b, HGDB_LOC,
+          [&] { b.assign(ordered_lt, b.lit(1, 1), HGDB_LOC); });
+  b.when_(sign_a & sign_b, HGDB_LOC, [&] {
+    b.assign(ordered_lt, ~mag_lt & ~mag_eq, HGDB_LOC);
+  });
+
+  b.assign(lt, ~any_nan & ordered_lt, HGDB_LOC);
+  b.assign(eq, ~any_nan & mag_eq & (sign_a == sign_b), HGDB_LOC);
+  b.finish();
+}
+
+std::unique_ptr<ir::Circuit> build_fpu_compare_impl(bool with_bug) {
+  auto circuit = std::make_unique<ir::Circuit>("FpuCtrl");
+  build_dcmp(*circuit);
+
+  ModuleBuilder b(*circuit, "FpuCtrl");
+  Value clk = b.clock();
+  Value checksum = b.output("checksum", 32, HGDB_LOC);
+  Value exc_out = b.output("exc_flags", 5, HGDB_LOC);
+
+  // Instruction/operand stream (stand-in for the RocketChip pipeline).
+  Value stream = lfsr(b, "stream", 32, clk);
+  Value in1 = b.reg("in1", 33, clk, HGDB_LOC);
+  Value in2 = b.reg("in2", 33, clk, HGDB_LOC);
+  // Force frequent NaN patterns so the bug manifests: the top exponent
+  // bits come from the LFSR, so about 1/8 of operands are NaNs.
+  b.assign(in1, in1.shl(3) ^ stream.pad(33), HGDB_LOC);
+  b.assign(in2, in2.shl(5) ^ stream.shr(7).pad(33) ^ b.lit(33, 0x155), HGDB_LOC);
+
+  Value rm = b.node("rm", stream.slice(1, 0), HGDB_LOC);
+  Value wflags = b.node("wflags", stream.bit(2), HGDB_LOC);
+  Value store = b.node("store", in1.slice(31, 0), HGDB_LOC);
+
+  Instance dcmp = b.instantiate("dcmp", "CompareRecFN", HGDB_LOC);
+  b.assign(dcmp.port("a"), in1, HGDB_LOC);
+  b.assign(dcmp.port("b"), in2, HGDB_LOC);
+  if (with_bug) {
+    // Listing 3: dcmp.io.signaling := Bool(true)  -- the seeded bug.
+    b.assign(dcmp.port("signaling"), b.lit(1, 1), HGDB_LOC);
+  } else {
+    // Fixed: only flt/fle (rm[1] == 0 in this encoding) are signaling.
+    b.assign(dcmp.port("signaling"), ~rm.bit(1), HGDB_LOC);
+  }
+
+  Value toint = b.wire("toint", 32, HGDB_LOC);
+  Value exc = b.wire("exc", 5, HGDB_LOC);
+  b.assign(toint, store, HGDB_LOC);
+  b.assign(exc, b.lit(5, 0), HGDB_LOC);
+  g_fpu_lines.when_wflags = __LINE__ + 1;
+  b.when_(wflags, HGDB_LOC, [&] {
+    g_fpu_lines.toint = __LINE__ + 1;
+    b.assign(toint, (~rm.pad(2) & dcmp.port("lt").concat(dcmp.port("eq"))).pad(32), HGDB_LOC);
+    b.assign(exc, dcmp.port("exceptionFlags"), HGDB_LOC);
+  });
+
+  Value acc = b.reg("acc_reg", 32, clk, HGDB_LOC);
+  b.assign(acc, acc ^ toint ^ exc.pad(32).shl(11), HGDB_LOC);
+  b.assign(checksum, acc, HGDB_LOC);
+  b.assign(exc_out, exc, HGDB_LOC);
+  b.finish();
+  return circuit;
+}
+
+}  // namespace
+
+const std::vector<WorkloadInfo>& fig5_workloads() {
+  static const std::vector<WorkloadInfo> kWorkloads = {
+      {"multiply", "Multiply", build_multiply},
+      {"mm", "Matmul", build_mm},
+      {"mt-matmul", "MtMatmul", build_mt_matmul},
+      {"vvadd", "Vvadd", build_vvadd},
+      {"qsort", "Qsort", build_qsort},
+      {"dhrystone", "Dhrystone", build_dhrystone},
+      {"median", "Median", build_median},
+      {"towers", "Towers", build_towers},
+      {"spmv", "Spmv", build_spmv},
+      {"mt-vvadd", "MtVvadd", build_mt_vvadd},
+  };
+  return kWorkloads;
+}
+
+const WorkloadInfo& workload(const std::string& name) {
+  for (const auto& info : fig5_workloads()) {
+    if (info.name == name) return info;
+  }
+  throw std::out_of_range("unknown workload '" + name + "'");
+}
+
+std::unique_ptr<ir::Circuit> build_matmul(uint32_t n) {
+  auto circuit = std::make_unique<ir::Circuit>("Matmul");
+  build_matmul_core(*circuit, "Matmul", n);
+  return circuit;
+}
+
+std::unique_ptr<ir::Circuit> build_fpu_compare(bool with_bug) {
+  return build_fpu_compare_impl(with_bug);
+}
+
+FpuSourceInfo fpu_source_info() {
+  if (g_fpu_lines.when_wflags == 0) {
+    // Elaborate once to capture the anchor lines.
+    build_fpu_compare_impl(true);
+  }
+  return FpuSourceInfo{__FILE__, g_fpu_lines.when_wflags, g_fpu_lines.toint};
+}
+
+}  // namespace hgdb::workloads

@@ -1,0 +1,54 @@
+#ifndef HGDB_WORKLOADS_WORKLOADS_H
+#define HGDB_WORKLOADS_WORKLOADS_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/circuit.h"
+
+namespace hgdb::workloads {
+
+/// One benchmark design named after the paper's Fig. 5 RocketChip
+/// benchmark-suite workloads. Each design is fully self-stimulating
+/// (internal LFSR/counter stimulus, clock-only interface) and folds its
+/// results into a `checksum` output so optimization cannot remove the
+/// datapath and re-execution is deterministic (a requirement for native
+/// reverse debugging).
+struct WorkloadInfo {
+  std::string name;  ///< Fig. 5 label: "multiply", "mm", ...
+  std::string top;   ///< top module name
+  std::function<std::unique_ptr<ir::Circuit>()> build;
+};
+
+/// All ten Fig. 5 workloads, in the paper's plot order.
+const std::vector<WorkloadInfo>& fig5_workloads();
+
+/// Looks up one workload by Fig. 5 name; throws std::out_of_range.
+const WorkloadInfo& workload(const std::string& name);
+
+/// Scalable matrix-multiply design for the callback-overhead ablation
+/// (EXP-3): an n x n MAC grid; combinational work grows as n^2 while the
+/// per-cycle hgdb callback cost stays constant.
+std::unique_ptr<ir::Circuit> build_matmul(uint32_t n);
+
+/// The Sec. 4.2 case study: a recoded-float compare unit inside an FPU
+/// control block. `with_bug` seeds the paper's bug — `dcmp.io.signaling`
+/// permanently asserted — which corrupts the exception flags whenever a
+/// quiet-NaN operand arrives; the fixed version drives signaling from the
+/// instruction decode.
+std::unique_ptr<ir::Circuit> build_fpu_compare(bool with_bug);
+
+/// Source file:line anchors for writing FPU-debug breakpoints in examples
+/// and tests without hard-coding line numbers.
+struct FpuSourceInfo {
+  std::string filename;       ///< generator source file of the FPU design
+  uint32_t when_wflags_line;  ///< the `when (wflags)` statement
+  uint32_t toint_line;        ///< the `toint` assignment inside the when
+};
+FpuSourceInfo fpu_source_info();
+
+}  // namespace hgdb::workloads
+
+#endif  // HGDB_WORKLOADS_WORKLOADS_H

@@ -1,0 +1,59 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace hgdb::common {
+namespace {
+
+TEST(Strings, SplitBasic) {
+  const auto parts = split("a.b.c", '.');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitKeepsEmptyTokens) {
+  const auto parts = split("a..b.", '.');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitNoDelimiter) {
+  const auto parts = split("abc", '.');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, JoinInvertsSplit) {
+  EXPECT_EQ(join(split("top.dut.alu", '.'), "."), "top.dut.alu");
+  EXPECT_EQ(join({}, "."), "");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, LongestCommonSubstring) {
+  EXPECT_EQ(longest_common_substring("testbench_dut", "dut"), 3u);
+  EXPECT_EQ(longest_common_substring("abc", "xyz"), 0u);
+  EXPECT_EQ(longest_common_substring("", "abc"), 0u);
+  EXPECT_EQ(longest_common_substring("same", "same"), 4u);
+  // The paper's use case: matching symbol instance names against VCD
+  // hierarchy names.
+  EXPECT_EQ(longest_common_substring("tb.rocket_tile", "RocketTile"), 5u);
+}
+
+TEST(Strings, EndsWithPath) {
+  EXPECT_TRUE(ends_with_path("tb.dut.core.alu", "core.alu"));
+  EXPECT_TRUE(ends_with_path("core.alu", "core.alu"));
+  EXPECT_FALSE(ends_with_path("tb.dut.score.alu", "core.alu"));
+  EXPECT_FALSE(ends_with_path("alu", "core.alu"));
+  EXPECT_FALSE(ends_with_path("tb.dut", ""));
+}
+
+}  // namespace
+}  // namespace hgdb::common

@@ -1,0 +1,122 @@
+#include "ir/eval.h"
+
+#include <gtest/gtest.h>
+
+namespace hgdb::ir {
+namespace {
+
+using common::BitVector;
+
+BitVector eval2(PrimOp op, uint64_t a, uint32_t wa, uint64_t b, uint32_t wb,
+                uint32_t result_width, bool is_signed = false) {
+  return eval_prim(op, {BitVector(wa, a), BitVector(wb, b)},
+                   {is_signed, is_signed}, {}, result_width);
+}
+
+TEST(EvalPrim, AddExtendsOperandsToResultWidth) {
+  EXPECT_EQ(eval2(PrimOp::Add, 200, 8, 100, 8, 8).to_uint64(), 44u);  // wraps
+  EXPECT_EQ(eval2(PrimOp::Add, 200, 8, 100, 16, 16).to_uint64(), 300u);
+}
+
+TEST(EvalPrim, SignedAddSignExtends) {
+  // -1 (4-bit) + 1 (8-bit) = 0 when sign-extended
+  EXPECT_EQ(eval2(PrimOp::Add, 0xf, 4, 1, 8, 8, true).to_uint64(), 0u);
+}
+
+TEST(EvalPrim, MulDivRem) {
+  EXPECT_EQ(eval2(PrimOp::Mul, 20, 8, 10, 8, 8).to_uint64(), 200u);
+  EXPECT_EQ(eval2(PrimOp::Div, 200, 8, 7, 8, 8).to_uint64(), 28u);
+  EXPECT_EQ(eval2(PrimOp::Rem, 200, 8, 7, 8, 8).to_uint64(), 4u);
+}
+
+TEST(EvalPrim, SignedDivision) {
+  // -20 / 3 = -6 in 8 bits
+  EXPECT_EQ(eval2(PrimOp::Div, 0xec, 8, 3, 8, 8, true).to_int64(), -6);
+  EXPECT_EQ(eval2(PrimOp::Rem, 0xec, 8, 3, 8, 8, true).to_int64(), -2);
+}
+
+TEST(EvalPrim, Comparisons) {
+  EXPECT_EQ(eval2(PrimOp::Lt, 3, 8, 5, 8, 1).to_uint64(), 1u);
+  EXPECT_EQ(eval2(PrimOp::Geq, 5, 8, 5, 8, 1).to_uint64(), 1u);
+  EXPECT_EQ(eval2(PrimOp::Eq, 5, 8, 5, 16, 1).to_uint64(), 1u);
+  EXPECT_EQ(eval2(PrimOp::Neq, 5, 8, 6, 8, 1).to_uint64(), 1u);
+}
+
+TEST(EvalPrim, SignedComparison) {
+  // -1 < 1 signed, but 255 > 1 unsigned
+  EXPECT_EQ(eval2(PrimOp::Lt, 0xff, 8, 1, 8, 1, true).to_uint64(), 1u);
+  EXPECT_EQ(eval2(PrimOp::Lt, 0xff, 8, 1, 8, 1, false).to_uint64(), 0u);
+}
+
+TEST(EvalPrim, Bitwise) {
+  EXPECT_EQ(eval2(PrimOp::And, 0b1100, 4, 0b1010, 4, 4).to_uint64(), 0b1000u);
+  EXPECT_EQ(eval2(PrimOp::Or, 0b1100, 4, 0b1010, 4, 4).to_uint64(), 0b1110u);
+  EXPECT_EQ(eval2(PrimOp::Xor, 0b1100, 4, 0b1010, 4, 4).to_uint64(), 0b0110u);
+}
+
+TEST(EvalPrim, UnaryOps) {
+  EXPECT_EQ(eval_prim(PrimOp::Not, {BitVector(4, 0b1010)}, {false}, {}, 4)
+                .to_uint64(),
+            0b0101u);
+  EXPECT_EQ(eval_prim(PrimOp::Neg, {BitVector(8, 1)}, {false}, {}, 8)
+                .to_uint64(),
+            0xffu);
+}
+
+TEST(EvalPrim, Reductions) {
+  EXPECT_EQ(eval_prim(PrimOp::AndR, {BitVector(4, 0xf)}, {false}, {}, 1)
+                .to_uint64(), 1u);
+  EXPECT_EQ(eval_prim(PrimOp::OrR, {BitVector(4, 0)}, {false}, {}, 1)
+                .to_uint64(), 0u);
+  EXPECT_EQ(eval_prim(PrimOp::XorR, {BitVector(4, 0b0111)}, {false}, {}, 1)
+                .to_uint64(), 1u);
+}
+
+TEST(EvalPrim, CatAndBits) {
+  EXPECT_EQ(eval2(PrimOp::Cat, 0xa, 4, 0xb, 4, 8).to_uint64(), 0xabu);
+  EXPECT_EQ(eval_prim(PrimOp::Bits, {BitVector(8, 0xab)}, {false}, {7, 4}, 4)
+                .to_uint64(), 0xau);
+}
+
+TEST(EvalPrim, ConstantShifts) {
+  EXPECT_EQ(eval_prim(PrimOp::Shl, {BitVector(8, 0x0f)}, {false}, {2}, 8)
+                .to_uint64(), 0x3cu);
+  EXPECT_EQ(eval_prim(PrimOp::Shr, {BitVector(8, 0xf0)}, {false}, {2}, 8)
+                .to_uint64(), 0x3cu);
+  // Signed shr is arithmetic.
+  EXPECT_EQ(eval_prim(PrimOp::Shr, {BitVector(8, 0x80)}, {true}, {2}, 8)
+                .to_uint64(), 0xe0u);
+}
+
+TEST(EvalPrim, DynamicShifts) {
+  EXPECT_EQ(eval2(PrimOp::Dshl, 1, 8, 3, 4, 8).to_uint64(), 8u);
+  EXPECT_EQ(eval2(PrimOp::Dshr, 0x80, 8, 7, 4, 8).to_uint64(), 1u);
+}
+
+TEST(EvalPrim, PadExtendsOrTruncates) {
+  EXPECT_EQ(eval_prim(PrimOp::Pad, {BitVector(4, 0xa)}, {false}, {8}, 8)
+                .to_uint64(), 0xau);
+  EXPECT_EQ(eval_prim(PrimOp::Pad, {BitVector(4, 0xa)}, {true}, {8}, 8)
+                .to_uint64(), 0xfau);  // sign-extended
+  EXPECT_EQ(eval_prim(PrimOp::Pad, {BitVector(8, 0xab)}, {false}, {4}, 4)
+                .to_uint64(), 0xbu);
+}
+
+TEST(EvalPrim, Mux) {
+  EXPECT_EQ(eval_prim(PrimOp::Mux,
+                      {BitVector(1, 1), BitVector(8, 5), BitVector(8, 9)},
+                      {false, false, false}, {}, 8)
+                .to_uint64(), 5u);
+  EXPECT_EQ(eval_prim(PrimOp::Mux,
+                      {BitVector(1, 0), BitVector(8, 5), BitVector(8, 9)},
+                      {false, false, false}, {}, 8)
+                .to_uint64(), 9u);
+}
+
+TEST(EvalPrim, DivisionByZeroConvention) {
+  EXPECT_EQ(eval2(PrimOp::Div, 42, 8, 0, 8, 8), BitVector::all_ones(8));
+  EXPECT_EQ(eval2(PrimOp::Rem, 42, 8, 0, 8, 8).to_uint64(), 42u);
+}
+
+}  // namespace
+}  // namespace hgdb::ir

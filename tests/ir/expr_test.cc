@@ -1,0 +1,160 @@
+#include "ir/expr.h"
+
+#include <gtest/gtest.h>
+
+namespace hgdb::ir {
+namespace {
+
+TEST(Expr, RefCarriesTypeFromConstruction) {
+  auto ref = make_ref("a", uint_type(8));
+  EXPECT_EQ(ref->kind(), ExprKind::Ref);
+  EXPECT_EQ(ref->width(), 8u);
+  EXPECT_EQ(ref->str(), "a");
+}
+
+TEST(Expr, LiteralSpelling) {
+  auto literal = make_uint_literal(8, 42);
+  EXPECT_EQ(literal->str(), "UInt<8>(42)");
+  auto signed_literal =
+      make_literal(common::BitVector(4, 3), /*is_signed=*/true);
+  EXPECT_EQ(signed_literal->str(), "SInt<4>(3)");
+  EXPECT_TRUE(signed_literal->type()->is_signed());
+}
+
+TEST(Expr, ArithmeticResultWidthIsMax) {
+  auto a = make_ref("a", uint_type(8));
+  auto b = make_ref("b", uint_type(12));
+  auto sum = make_prim(PrimOp::Add, {a, b});
+  EXPECT_EQ(sum->width(), 12u);
+  EXPECT_EQ(sum->str(), "add(a, b)");
+}
+
+TEST(Expr, SignednessMismatchRejected) {
+  auto a = make_ref("a", uint_type(8));
+  auto b = make_ref("b", sint_type(8));
+  EXPECT_THROW(make_prim(PrimOp::Add, {a, b}), std::invalid_argument);
+  EXPECT_THROW(make_prim(PrimOp::Lt, {a, b}), std::invalid_argument);
+}
+
+TEST(Expr, ComparisonYieldsBool) {
+  auto a = make_ref("a", uint_type(8));
+  auto b = make_ref("b", uint_type(8));
+  EXPECT_EQ(make_prim(PrimOp::Lt, {a, b})->width(), 1u);
+  EXPECT_EQ(make_eq(a, b)->width(), 1u);
+}
+
+TEST(Expr, CatSumsWidths) {
+  auto a = make_ref("a", uint_type(8));
+  auto b = make_ref("b", uint_type(3));
+  EXPECT_EQ(make_prim(PrimOp::Cat, {a, b})->width(), 11u);
+}
+
+TEST(Expr, BitsValidation) {
+  auto a = make_ref("a", uint_type(8));
+  auto bits = make_prim(PrimOp::Bits, {a}, {5, 2});
+  EXPECT_EQ(bits->width(), 4u);
+  EXPECT_EQ(bits->str(), "bits(a, 5, 2)");
+  EXPECT_THROW(make_prim(PrimOp::Bits, {a}, {8, 0}), std::invalid_argument);
+  EXPECT_THROW(make_prim(PrimOp::Bits, {a}, {1, 2}), std::invalid_argument);
+}
+
+TEST(Expr, PadSetsExactWidth) {
+  auto a = make_ref("a", uint_type(8));
+  EXPECT_EQ(make_pad(a, 16)->width(), 16u);
+  EXPECT_EQ(make_pad(a, 8), a);  // no-op pad returns the operand
+  EXPECT_EQ(make_pad(a, 4)->width(), 4u);  // pad may truncate
+}
+
+TEST(Expr, MuxValidation) {
+  auto sel = make_ref("sel", bool_type());
+  auto a = make_ref("a", uint_type(8));
+  auto b = make_ref("b", uint_type(8));
+  auto c = make_ref("c", uint_type(9));
+  EXPECT_EQ(make_mux(sel, a, b)->width(), 8u);
+  EXPECT_THROW(make_mux(sel, a, c), std::invalid_argument);
+  EXPECT_THROW(make_mux(a, a, b), std::invalid_argument);  // wide selector
+}
+
+TEST(Expr, SubFieldNavigatesBundles) {
+  auto bundle = bundle_type({{"data", uint_type(8), false}});
+  auto io = make_ref("io", bundle);
+  auto data = make_subfield(io, "data");
+  EXPECT_EQ(data->width(), 8u);
+  EXPECT_EQ(data->str(), "io.data");
+  EXPECT_THROW(make_subfield(io, "nope"), std::invalid_argument);
+  EXPECT_THROW(make_subfield(data, "x"), std::invalid_argument);
+}
+
+TEST(Expr, SubIndexValidation) {
+  auto vec = make_ref("v", vector_type(uint_type(8), 4));
+  EXPECT_EQ(make_subindex(vec, 3)->str(), "v[3]");
+  EXPECT_THROW(make_subindex(vec, 4), std::invalid_argument);
+}
+
+TEST(Expr, SubAccessDynamicIndex) {
+  auto vec = make_ref("v", vector_type(uint_type(8), 4));
+  auto index = make_ref("i", uint_type(2));
+  auto access = make_subaccess(vec, index);
+  EXPECT_EQ(access->kind(), ExprKind::SubAccess);
+  EXPECT_EQ(access->width(), 8u);
+  EXPECT_EQ(access->str(), "v[i]");
+}
+
+TEST(Expr, StructuralEqualityAndHash) {
+  auto a1 = make_prim(PrimOp::Add, {make_ref("x", uint_type(8)),
+                                    make_uint_literal(8, 1)});
+  auto a2 = make_prim(PrimOp::Add, {make_ref("x", uint_type(8)),
+                                    make_uint_literal(8, 1)});
+  auto b = make_prim(PrimOp::Add, {make_ref("y", uint_type(8)),
+                                   make_uint_literal(8, 1)});
+  EXPECT_TRUE(a1->equals(*a2));
+  EXPECT_EQ(a1->hash(), a2->hash());
+  EXPECT_FALSE(a1->equals(*b));
+}
+
+TEST(Expr, OperandCountValidation) {
+  auto a = make_ref("a", uint_type(8));
+  EXPECT_THROW(make_prim(PrimOp::Add, {a}), std::invalid_argument);
+  EXPECT_THROW(make_prim(PrimOp::Not, {a, a}), std::invalid_argument);
+  EXPECT_THROW(make_prim(PrimOp::Mux, {a, a}), std::invalid_argument);
+}
+
+TEST(Expr, PrimOpNames) {
+  PrimOp op;
+  EXPECT_TRUE(prim_op_from_name("add", &op));
+  EXPECT_EQ(op, PrimOp::Add);
+  EXPECT_TRUE(prim_op_from_name("asUInt", &op));
+  EXPECT_EQ(op, PrimOp::AsUInt);
+  EXPECT_FALSE(prim_op_from_name("bogus", &op));
+  EXPECT_STREQ(prim_op_name(PrimOp::Mux), "mux");
+}
+
+TEST(Expr, RewriteReplacesRefs) {
+  auto expr = make_prim(
+      PrimOp::Add, {make_ref("a", uint_type(8)),
+                    make_prim(PrimOp::Not, {make_ref("a", uint_type(8))})});
+  auto rewritten = rewrite_expr(expr, [](const ExprPtr& e) -> ExprPtr {
+    if (e->kind() == ExprKind::Ref) return make_ref("b", e->type());
+    return e;
+  });
+  EXPECT_EQ(rewritten->str(), "add(b, not(b))");
+}
+
+TEST(Expr, RewriteUnchangedReturnsSameNodes) {
+  auto expr = make_prim(PrimOp::Add, {make_ref("a", uint_type(8)),
+                                      make_uint_literal(8, 1)});
+  auto rewritten = rewrite_expr(expr, [](const ExprPtr& e) { return e; });
+  EXPECT_EQ(rewritten, expr);  // pointer-identical: no rebuild
+}
+
+TEST(Expr, VisitCountsNodes) {
+  auto expr = make_prim(PrimOp::Add, {make_ref("a", uint_type(8)),
+                                      make_prim(PrimOp::Not,
+                                                {make_ref("b", uint_type(8))})});
+  int count = 0;
+  visit_expr(expr, [&](const Expr&) { ++count; });
+  EXPECT_EQ(count, 4);  // add, a, not, b
+}
+
+}  // namespace
+}  // namespace hgdb::ir

@@ -1,0 +1,252 @@
+#include "ir/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/printer.h"
+
+namespace hgdb::ir {
+namespace {
+
+constexpr const char* kCounter = R"(circuit Counter
+  module Counter
+    input clock : Clock
+    input enable : UInt<1>
+    output out : UInt<8>
+    reg count : UInt<8> clock clock @[counter.cc 10 3]
+    when enable @[counter.cc 11 3]
+      connect count = add(count, UInt<8>(1)) @[counter.cc 12 5]
+    end
+    connect out = count @[counter.cc 14 3]
+  end
+end
+)";
+
+TEST(Parser, ParsesCounter) {
+  auto circuit = parse_circuit(kCounter);
+  ASSERT_NE(circuit->top(), nullptr);
+  EXPECT_EQ(circuit->top_name(), "Counter");
+  EXPECT_EQ(circuit->top()->ports().size(), 3u);
+  EXPECT_EQ(circuit->top()->body().stmts.size(), 3u);
+}
+
+TEST(Parser, PreservesSourceLocators) {
+  auto circuit = parse_circuit(kCounter);
+  const auto& when = static_cast<const WhenStmt&>(*circuit->top()->body().stmts[1]);
+  EXPECT_EQ(when.loc.filename, "counter.cc");
+  EXPECT_EQ(when.loc.line, 11u);
+  EXPECT_EQ(when.loc.column, 3u);
+  const auto& connect =
+      static_cast<const ConnectStmt&>(*when.then_body->stmts[0]);
+  EXPECT_EQ(connect.loc.line, 12u);
+}
+
+TEST(Parser, RoundTripIsStable) {
+  auto circuit = parse_circuit(kCounter);
+  const std::string printed = print_circuit(*circuit);
+  auto reparsed = parse_circuit(printed);
+  EXPECT_EQ(print_circuit(*reparsed), printed);
+}
+
+TEST(Parser, ExpressionsNestAndType) {
+  auto circuit = parse_circuit(R"(circuit T
+  module T
+    input a : UInt<8>
+    input b : UInt<8>
+    output o : UInt<1>
+    node t = eq(add(a, b), UInt<8>(3))
+    connect o = t
+  end
+end
+)");
+  const auto& node = static_cast<const NodeStmt&>(*circuit->top()->body().stmts[0]);
+  EXPECT_EQ(node.value->width(), 1u);
+  EXPECT_EQ(node.value->str(), "eq(add(a, b), UInt<8>(3))");
+}
+
+TEST(Parser, BundleAndVectorTypes) {
+  auto circuit = parse_circuit(R"(circuit T
+  module T
+    input io : {valid : UInt<1>, data : UInt<8>, flip ready : UInt<1>}
+    input v : UInt<4>[3]
+    output o : UInt<8>
+    connect o = mux(io.valid, io.data, cat(v[0], v[1]))
+  end
+end
+)");
+  const Port* io = circuit->top()->port("io");
+  ASSERT_NE(io, nullptr);
+  EXPECT_EQ(io->type->bit_width(), 10u);
+  const Port* v = circuit->top()->port("v");
+  EXPECT_EQ(v->type->str(), "UInt<4>[3]");
+}
+
+TEST(Parser, DynamicIndexBecomesSubAccess) {
+  auto circuit = parse_circuit(R"(circuit T
+  module T
+    input v : UInt<8>[4]
+    input i : UInt<2>
+    output o : UInt<8>
+    connect o = v[i]
+  end
+end
+)");
+  const auto& connect =
+      static_cast<const ConnectStmt&>(*circuit->top()->body().stmts[0]);
+  EXPECT_EQ(connect.rhs->kind(), ExprKind::SubAccess);
+}
+
+TEST(Parser, ForLoopsWithScopedVariable) {
+  auto circuit = parse_circuit(R"(circuit T
+  module T
+    input v : UInt<8>[4]
+    output o : UInt<8>
+    wire sum : UInt<8>
+    connect sum = UInt<8>(0)
+    for i = 0 to 4 @[gen.cc 20 1]
+      connect sum = add(sum, v[i]) @[gen.cc 21 3]
+    end
+    connect o = sum
+  end
+end
+)");
+  const auto& loop = static_cast<const ForStmt&>(*circuit->top()->body().stmts[2]);
+  EXPECT_EQ(loop.var, "i");
+  EXPECT_EQ(loop.start, 0);
+  EXPECT_EQ(loop.end, 4);
+  EXPECT_EQ(loop.body->stmts.size(), 1u);
+}
+
+TEST(Parser, RegisterWithReset) {
+  auto circuit = parse_circuit(R"(circuit T
+  module T
+    input clock : Clock
+    input rst : UInt<1>
+    output o : UInt<8>
+    reg r : UInt<8> clock clock reset rst init UInt<8>(7)
+    connect r = add(r, UInt<8>(1))
+    connect o = r
+  end
+end
+)");
+  const auto& reg = static_cast<const RegStmt&>(*circuit->top()->body().stmts[0]);
+  ASSERT_NE(reg.reset, nullptr);
+  EXPECT_EQ(reg.init->str(), "UInt<8>(7)");
+}
+
+TEST(Parser, InstancesResolveChildPorts) {
+  auto circuit = parse_circuit(R"(circuit Top
+  module Child
+    input in : UInt<8>
+    output out : UInt<8>
+    connect out = not(in)
+  end
+  module Top
+    input a : UInt<8>
+    output o : UInt<8>
+    inst c of Child
+    connect c.in = a
+    connect o = c.out
+  end
+end
+)");
+  EXPECT_EQ(circuit->modules().size(), 2u);
+  EXPECT_NE(circuit->module("Child"), nullptr);
+}
+
+TEST(Parser, InstanceForwardReferenceAllowed) {
+  // Pre-scan allows parents to be declared before children.
+  auto circuit = parse_circuit(R"(circuit Top
+  module Top
+    input a : UInt<8>
+    output o : UInt<8>
+    inst c of Child
+    connect c.in = a
+    connect o = c.out
+  end
+  module Child
+    input in : UInt<8>
+    output out : UInt<8>
+    connect out = in
+  end
+end
+)");
+  EXPECT_EQ(circuit->modules().size(), 2u);
+}
+
+TEST(Parser, NodeSuffixesSourceAndEnable) {
+  auto circuit = parse_circuit(R"(circuit T
+  module T
+    input c : UInt<1>
+    output o : UInt<8>
+    node sum0 = UInt<8>(1) source sum enable c @[x.cc 4 2]
+    connect o = sum0
+  end
+end
+)");
+  const auto& node = static_cast<const NodeStmt&>(*circuit->top()->body().stmts[0]);
+  EXPECT_EQ(node.source_name, "sum");
+  ASSERT_NE(node.enable, nullptr);
+  EXPECT_EQ(node.enable->str(), "c");
+}
+
+TEST(Parser, CommentsIgnored) {
+  auto circuit = parse_circuit(R"(circuit T ; the top
+  module T
+    ; a comment-only line
+    input a : UInt<8>
+    output o : UInt<8>
+    connect o = a ; trailing comment
+  end
+end
+)");
+  EXPECT_EQ(circuit->top()->body().stmts.size(), 1u);
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  try {
+    parse_circuit("circuit T\n  module T\n    input a : Bogus<8>\n  end\nend\n");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(Parser, UnknownIdentifierRejected) {
+  EXPECT_THROW(parse_circuit(R"(circuit T
+  module T
+    output o : UInt<8>
+    connect o = ghost
+  end
+end
+)"),
+               std::runtime_error);
+}
+
+TEST(Parser, UnterminatedBlockRejected) {
+  EXPECT_THROW(parse_circuit("circuit T\n  module T\n    input a : UInt<1>\n"),
+               std::runtime_error);
+}
+
+TEST(Parser, WhenElseBlocks) {
+  auto circuit = parse_circuit(R"(circuit T
+  module T
+    input c : UInt<1>
+    output o : UInt<8>
+    wire t : UInt<8>
+    when c
+      connect t = UInt<8>(1)
+    else
+      connect t = UInt<8>(2)
+    end
+    connect o = t
+  end
+end
+)");
+  const auto& when = static_cast<const WhenStmt&>(*circuit->top()->body().stmts[1]);
+  ASSERT_NE(when.else_body, nullptr);
+  EXPECT_EQ(when.then_body->stmts.size(), 1u);
+  EXPECT_EQ(when.else_body->stmts.size(), 1u);
+}
+
+}  // namespace
+}  // namespace hgdb::ir

@@ -1,0 +1,85 @@
+#include "ir/type.h"
+
+#include <gtest/gtest.h>
+
+namespace hgdb::ir {
+namespace {
+
+TEST(Type, GroundWidths) {
+  EXPECT_EQ(uint_type(8)->bit_width(), 8u);
+  EXPECT_EQ(sint_type(16)->bit_width(), 16u);
+  EXPECT_EQ(bool_type()->bit_width(), 1u);
+  EXPECT_EQ(clock_type()->bit_width(), 1u);
+}
+
+TEST(Type, KindsAndPredicates) {
+  EXPECT_TRUE(uint_type(8)->is_ground());
+  EXPECT_FALSE(uint_type(8)->is_signed());
+  EXPECT_TRUE(sint_type(8)->is_signed());
+  EXPECT_EQ(clock_type()->kind(), TypeKind::Clock);
+}
+
+TEST(Type, Spelling) {
+  EXPECT_EQ(uint_type(8)->str(), "UInt<8>");
+  EXPECT_EQ(sint_type(4)->str(), "SInt<4>");
+  EXPECT_EQ(clock_type()->str(), "Clock");
+}
+
+TEST(Type, StructuralEquality) {
+  EXPECT_TRUE(uint_type(8)->equals(*uint_type(8)));
+  EXPECT_FALSE(uint_type(8)->equals(*uint_type(9)));
+  EXPECT_FALSE(uint_type(8)->equals(*sint_type(8)));
+}
+
+TEST(Type, BundleFieldsAndWidth) {
+  auto bundle = bundle_type({{"valid", bool_type(), false},
+                             {"data", uint_type(8), false},
+                             {"ready", bool_type(), true}});
+  EXPECT_TRUE(bundle->is_aggregate());
+  EXPECT_EQ(bundle->bit_width(), 10u);
+  const auto& casted = static_cast<const BundleType&>(*bundle);
+  ASSERT_NE(casted.field("data"), nullptr);
+  EXPECT_EQ(casted.field("data")->type->bit_width(), 8u);
+  EXPECT_TRUE(casted.field("ready")->flip);
+  EXPECT_EQ(casted.field("missing"), nullptr);
+}
+
+TEST(Type, BundleSpelling) {
+  auto bundle = bundle_type({{"a", uint_type(4), false},
+                             {"b", bool_type(), true}});
+  EXPECT_EQ(bundle->str(), "{a : UInt<4>, flip b : UInt<1>}");
+}
+
+TEST(Type, BundleEquality) {
+  auto a = bundle_type({{"x", uint_type(4), false}});
+  auto b = bundle_type({{"x", uint_type(4), false}});
+  auto c = bundle_type({{"x", uint_type(4), true}});
+  auto d = bundle_type({{"y", uint_type(4), false}});
+  EXPECT_TRUE(a->equals(*b));
+  EXPECT_FALSE(a->equals(*c));
+  EXPECT_FALSE(a->equals(*d));
+}
+
+TEST(Type, VectorWidthAndSpelling) {
+  auto vec = vector_type(uint_type(8), 4);
+  EXPECT_EQ(vec->bit_width(), 32u);
+  EXPECT_EQ(vec->str(), "UInt<8>[4]");
+  const auto& casted = static_cast<const VectorType&>(*vec);
+  EXPECT_EQ(casted.size(), 4u);
+  EXPECT_TRUE(casted.element()->equals(*uint_type(8)));
+}
+
+TEST(Type, NestedAggregates) {
+  auto nested = vector_type(bundle_type({{"v", uint_type(3), false}}), 5);
+  EXPECT_EQ(nested->bit_width(), 15u);
+  EXPECT_EQ(nested->str(), "{v : UInt<3>}[5]");
+}
+
+TEST(Type, VectorEquality) {
+  EXPECT_TRUE(vector_type(uint_type(8), 4)->equals(*vector_type(uint_type(8), 4)));
+  EXPECT_FALSE(vector_type(uint_type(8), 4)->equals(*vector_type(uint_type(8), 5)));
+  EXPECT_FALSE(vector_type(uint_type(8), 4)->equals(*uint_type(32)));
+}
+
+}  // namespace
+}  // namespace hgdb::ir

@@ -1,0 +1,213 @@
+#include "netlist/netlist.h"
+
+#include <gtest/gtest.h>
+
+#include "frontend/compile.h"
+#include "ir/parser.h"
+#include "netlist/verilog.h"
+
+namespace hgdb::netlist {
+namespace {
+
+Netlist elaborate_text(const char* text) {
+  auto result = frontend::compile(ir::parse_circuit(text));
+  return std::move(result.netlist);
+}
+
+TEST(Netlist, TopPortsBecomeInputsAndOutputs) {
+  Netlist netlist = elaborate_text(R"(circuit T
+  module T
+    input clock : Clock
+    input a : UInt<8>
+    output o : UInt<8>
+    connect o = add(a, UInt<8>(1))
+  end
+end
+)");
+  auto a = netlist.signal_id("T.a");
+  auto o = netlist.signal_id("T.o");
+  ASSERT_TRUE(a && o);
+  EXPECT_EQ(netlist.signal(*a).kind, SignalKind::Input);
+  EXPECT_EQ(netlist.signal(*o).kind, SignalKind::Output);
+  EXPECT_EQ(netlist.signal(*a).width, 8u);
+}
+
+TEST(Netlist, ClockInputsDiscovered) {
+  Netlist netlist = elaborate_text(R"(circuit T
+  module T
+    input clock : Clock
+    input a : UInt<8>
+    output o : UInt<8>
+    reg r : UInt<8> clock clock
+    connect r = a
+    connect o = r
+  end
+end
+)");
+  ASSERT_EQ(netlist.clocks().size(), 1u);
+  EXPECT_EQ(netlist.signal(netlist.clocks()[0]).name, "T.clock");
+  EXPECT_TRUE(netlist.signal(netlist.clocks()[0]).is_clock);
+}
+
+TEST(Netlist, HierarchicalNamesAndInstancePaths) {
+  Netlist netlist = elaborate_text(R"(circuit Top
+  module Child
+    input in : UInt<8>
+    output out : UInt<8>
+    node t = not(in)
+    connect out = t
+  end
+  module Top
+    input a : UInt<8>
+    output o : UInt<8>
+    inst u of Child
+    connect u.in = a
+    connect o = u.out
+  end
+end
+)");
+  EXPECT_TRUE(netlist.signal_id("Top.u.t").has_value());
+  EXPECT_TRUE(netlist.signal_id("Top.u.in").has_value());
+  EXPECT_EQ(netlist.instance_paths(),
+            (std::vector<std::string>{"Top", "Top.u"}));
+}
+
+TEST(Netlist, RegisterTracksClockThroughInstanceBoundary) {
+  Netlist netlist = elaborate_text(R"(circuit Top
+  module Child
+    input clock : Clock
+    input in : UInt<8>
+    output out : UInt<8>
+    reg r : UInt<8> clock clock
+    connect r = in
+    connect out = r
+  end
+  module Top
+    input clock : Clock
+    input a : UInt<8>
+    output o : UInt<8>
+    inst u of Child
+    connect u.clock = clock
+    connect u.in = a
+    connect o = u.out
+  end
+end
+)");
+  ASSERT_EQ(netlist.registers().size(), 1u);
+  // The register's clock resolved through the Copy chain to the top input.
+  EXPECT_EQ(netlist.signal(netlist.registers()[0].clock).name, "Top.clock");
+}
+
+TEST(Netlist, CombinationalLoopDetected) {
+  auto circuit = ir::parse_circuit(R"(circuit T
+  module T
+    output o : UInt<8>
+    wire a : UInt<8>
+    wire b : UInt<8>
+    connect a = UInt<8>(0)
+    connect b = add(a, UInt<8>(1))
+    connect a = add(b, UInt<8>(1))
+    connect b = add(a, UInt<8>(1))
+    connect o = b
+  end
+end
+)");
+  // Procedural wires make this legal (SSA resolves it); build a REAL loop
+  // through two instances instead.
+  auto looped = ir::parse_circuit(R"(circuit Top
+  module Inv
+    input in : UInt<1>
+    output out : UInt<1>
+    connect out = not(in)
+  end
+  module Top
+    output o : UInt<1>
+    inst a of Inv
+    inst b of Inv
+    connect a.in = b.out
+    connect b.in = a.out
+    connect o = a.out
+  end
+end
+)");
+  EXPECT_THROW(frontend::compile(std::move(looped)), std::runtime_error);
+  EXPECT_NO_THROW(frontend::compile(std::move(circuit)));
+}
+
+TEST(Netlist, InstructionsAreTopologicallyOrdered) {
+  Netlist netlist = elaborate_text(R"(circuit Top
+  module Child
+    input in : UInt<8>
+    output out : UInt<8>
+    connect out = not(in)
+  end
+  module Top
+    input a : UInt<8>
+    output o : UInt<8>
+    inst u of Child
+    node pre = add(a, UInt<8>(1))
+    connect u.in = pre
+    node post = add(u.out, UInt<8>(1))
+    connect o = post
+  end
+end
+)");
+  // Every operand of every instruction must be written earlier (or be an
+  // input/register).
+  std::vector<bool> written(netlist.slot_count(), false);
+  for (const auto& instr : netlist.instrs()) {
+    for (uint32_t src : instr.operands) {
+      const auto kind = netlist.signal(src).kind;
+      if (kind == SignalKind::Input || kind == SignalKind::Register) continue;
+      EXPECT_TRUE(written[src]) << "use-before-def of slot " << src;
+    }
+    written[instr.dst] = true;
+  }
+}
+
+TEST(Verilog, EmitsReadableModule) {
+  auto result = frontend::compile(ir::parse_circuit(R"(circuit T
+  module T
+    input clock : Clock
+    input a : UInt<8>
+    output o : UInt<8>
+    reg r : UInt<8> clock clock
+    connect r = add(r, a)
+    connect o = r
+  end
+end
+)"));
+  const std::string verilog = emit_verilog(*result.circuit);
+  EXPECT_NE(verilog.find("module T("), std::string::npos);
+  EXPECT_NE(verilog.find("input [7:0] a"), std::string::npos);
+  EXPECT_NE(verilog.find("always @(posedge clock)"), std::string::npos);
+  EXPECT_NE(verilog.find("endmodule"), std::string::npos);
+}
+
+TEST(Verilog, ShowsFlattenedControlFlowLikeListing4) {
+  auto result = frontend::compile(ir::parse_circuit(R"(circuit T
+  module T
+    input c : UInt<1>
+    input a : UInt<8>
+    output o : UInt<8>
+    wire t : UInt<8>
+    connect t = UInt<8>(0)
+    when c
+      connect t = a
+    end
+    connect o = t
+  end
+end
+)"));
+  const std::string verilog = emit_verilog(*result.circuit);
+  // The when is gone; a ternary mux remains — the "obfuscated RTL" the
+  // paper's Listing 4 illustrates.
+  EXPECT_NE(verilog.find("?"), std::string::npos);
+  // No `when` construct survives (the compiler-named "when_cond0" wire is
+  // exactly the kind of artifact Listing 4 complains about).
+  EXPECT_EQ(verilog.find("when ("), std::string::npos);
+  EXPECT_NE(verilog.find("when_cond0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hgdb::netlist

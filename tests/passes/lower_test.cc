@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "passes/pass.h"
+
+namespace hgdb::passes {
+namespace {
+
+using namespace ir;
+
+std::unique_ptr<Circuit> lowered(const char* text) {
+  auto circuit = parse_circuit(text);
+  PassManager manager;
+  manager.add(create_unroll_loops_pass());
+  manager.add(create_lower_aggregates_pass());
+  manager.run(*circuit);
+  return circuit;
+}
+
+TEST(LowerAggregates, FlattensBundlePorts) {
+  auto circuit = lowered(R"(circuit T
+  module T
+    input io : {valid : UInt<1>, data : UInt<8>}
+    output o : UInt<8>
+    connect o = mux(io.valid, io.data, UInt<8>(0))
+  end
+end
+)");
+  EXPECT_NE(circuit->top()->port("io_valid"), nullptr);
+  EXPECT_NE(circuit->top()->port("io_data"), nullptr);
+  EXPECT_EQ(circuit->top()->port("io"), nullptr);
+  const auto& connect =
+      static_cast<const ConnectStmt&>(*circuit->top()->body().stmts[0]);
+  EXPECT_EQ(connect.rhs->str(), "mux(io_valid, io_data, UInt<8>(0))");
+}
+
+TEST(LowerAggregates, FlipLeafReversesPortDirection) {
+  auto circuit = lowered(R"(circuit T
+  module T
+    output io : {data : UInt<8>, flip ready : UInt<1>}
+    output o : UInt<1>
+    connect io.data = UInt<8>(1)
+    connect o = io.ready
+  end
+end
+)");
+  const Port* data = circuit->top()->port("io_data");
+  const Port* ready = circuit->top()->port("io_ready");
+  ASSERT_NE(data, nullptr);
+  ASSERT_NE(ready, nullptr);
+  EXPECT_EQ(data->direction, Direction::Output);
+  EXPECT_EQ(ready->direction, Direction::Input);  // flipped leaf of output
+}
+
+TEST(LowerAggregates, FlattensVectorWiresWithSourceNames) {
+  auto circuit = lowered(R"(circuit T
+  module T
+    output o : UInt<8>
+    wire v : UInt<8>[2] @[gen.cc 5 1]
+    connect v[0] = UInt<8>(1)
+    connect v[1] = UInt<8>(2)
+    connect o = add(v[0], v[1])
+  end
+end
+)");
+  std::vector<std::string> wire_names;
+  std::vector<std::string> source_names;
+  visit_stmts(circuit->top()->body(), [&](const Stmt& stmt) {
+    if (stmt.kind() == StmtKind::Wire) {
+      wire_names.push_back(static_cast<const WireStmt&>(stmt).name);
+      source_names.push_back(static_cast<const WireStmt&>(stmt).source_name);
+    }
+  });
+  EXPECT_EQ(wire_names, (std::vector<std::string>{"v_0", "v_1"}));
+  EXPECT_EQ(source_names, (std::vector<std::string>{"v[0]", "v[1]"}));
+}
+
+TEST(LowerAggregates, RecordsFlatteningAnnotations) {
+  auto circuit = lowered(R"(circuit T
+  module T
+    input io : {a : {b : UInt<4>}}
+    output o : UInt<4>
+    connect o = io.a.b
+  end
+end
+)");
+  bool found = false;
+  for (const auto& annotation : circuit->annotations()) {
+    if (annotation.kind == "hgdb.flat" && annotation.target == "io_a_b") {
+      EXPECT_EQ(annotation.payload.get_string("source"), "io.a.b");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(LowerAggregates, DynamicAccessBecomesMuxChain) {
+  auto circuit = lowered(R"(circuit T
+  module T
+    input v : UInt<8>[4]
+    input i : UInt<2>
+    output o : UInt<8>
+    connect o = v[i]
+  end
+end
+)");
+  const auto& connect =
+      static_cast<const ConnectStmt&>(*circuit->top()->body().stmts[0]);
+  // idx==0 ? v_0 : idx==1 ? v_1 : idx==2 ? v_2 : v_3
+  EXPECT_EQ(connect.rhs->str(),
+            "mux(eq(i, UInt<2>(0)), v_0, mux(eq(i, UInt<2>(1)), v_1, "
+            "mux(eq(i, UInt<2>(2)), v_2, v_3)))");
+}
+
+TEST(LowerAggregates, WholeBundleConnectExpandsLeafwise) {
+  auto circuit = lowered(R"(circuit T
+  module T
+    input a : {x : UInt<4>, y : UInt<4>}
+    output b : {x : UInt<4>, y : UInt<4>}
+    connect b = a
+  end
+end
+)");
+  std::vector<std::string> connects;
+  visit_stmts(circuit->top()->body(), [&](const Stmt& stmt) {
+    if (stmt.kind() == StmtKind::Connect) {
+      const auto& connect = static_cast<const ConnectStmt&>(stmt);
+      connects.push_back(connect.lhs->str() + "=" + connect.rhs->str());
+    }
+  });
+  EXPECT_EQ(connects, (std::vector<std::string>{"b_x=a_x", "b_y=a_y"}));
+}
+
+TEST(LowerAggregates, FlippedBundleConnectReversesLeafDirection) {
+  auto circuit = lowered(R"(circuit Top
+  module Child
+    input io : {data : UInt<8>, flip ready : UInt<1>}
+    output o : UInt<8>
+    connect io.ready = UInt<1>(1)
+    connect o = io.data
+  end
+  module Top
+    output io : {data : UInt<8>, flip ready : UInt<1>}
+    output o : UInt<1>
+    inst u of Child
+    connect u.io = io
+    connect io.data = UInt<8>(5)
+    connect o = io.ready
+  end
+end
+)");
+  // connect u.io = io expands to: u.io_data = io_data (forward) and
+  // io_ready = u.io_ready (reversed).
+  std::vector<std::string> connects;
+  visit_stmts(circuit->top()->body(), [&](const Stmt& stmt) {
+    if (stmt.kind() == StmtKind::Connect) {
+      const auto& connect = static_cast<const ConnectStmt&>(stmt);
+      connects.push_back(connect.lhs->str() + "=" + connect.rhs->str());
+    }
+  });
+  EXPECT_NE(std::find(connects.begin(), connects.end(), "u.io_data=io_data"),
+            connects.end());
+  EXPECT_NE(std::find(connects.begin(), connects.end(), "io_ready=u.io_ready"),
+            connects.end());
+}
+
+TEST(LowerAggregates, VectorRegistersSplitWithZeroInit) {
+  auto circuit = lowered(R"(circuit T
+  module T
+    input clock : Clock
+    input rst : UInt<1>
+    output o : UInt<8>
+    reg v : UInt<8>[2] clock clock reset rst init UInt<16>(0)
+    connect v[0] = add(v[0], UInt<8>(1))
+    connect v[1] = add(v[1], v[0])
+    connect o = v[1]
+  end
+end
+)");
+  int reg_count = 0;
+  visit_stmts(circuit->top()->body(), [&](const Stmt& stmt) {
+    if (stmt.kind() == StmtKind::Reg) {
+      ++reg_count;
+      const auto& reg = static_cast<const RegStmt&>(stmt);
+      EXPECT_TRUE(reg.type->is_ground());
+      ASSERT_NE(reg.init, nullptr);
+      EXPECT_EQ(reg.init->width(), 8u);
+    }
+  });
+  EXPECT_EQ(reg_count, 2);
+}
+
+TEST(LowerAggregates, MidFormPassesCheck) {
+  auto circuit = lowered(R"(circuit T
+  module T
+    input io : {v : UInt<1>, d : UInt<8>[2]}
+    output o : UInt<8>
+    connect o = mux(io.v, io.d[0], io.d[1])
+  end
+end
+)");
+  EXPECT_NO_THROW(check_form(*circuit, Form::Mid));
+}
+
+TEST(LowerAggregates, AggregateTypeMismatchRejected) {
+  EXPECT_THROW(lowered(R"(circuit T
+  module T
+    input a : {x : UInt<4>}
+    output b : {x : UInt<8>}
+    connect b = a
+  end
+end
+)"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hgdb::passes

@@ -1,0 +1,371 @@
+#include <gtest/gtest.h>
+
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "passes/pass.h"
+
+namespace hgdb::passes {
+namespace {
+
+using namespace ir;
+
+/// Runs unroll + lower + ssa (the High -> Low pipeline without opts).
+std::unique_ptr<Circuit> to_low(const char* text) {
+  auto circuit = parse_circuit(text);
+  PassManager manager;
+  manager.add(create_unroll_loops_pass());
+  manager.add(create_lower_aggregates_pass());
+  manager.add(create_ssa_pass());
+  manager.run(*circuit);
+  return circuit;
+}
+
+std::vector<const NodeStmt*> nodes_of(const Circuit& circuit) {
+  std::vector<const NodeStmt*> out;
+  visit_stmts(circuit.top()->body(), [&](const Stmt& stmt) {
+    if (stmt.kind() == StmtKind::Node) {
+      out.push_back(static_cast<const NodeStmt*>(&stmt));
+    }
+  });
+  return out;
+}
+
+// -- EXP-6: the paper's Listing 1 -> Listing 2 transformation ----------------
+
+constexpr const char* kListing1 = R"(circuit Listing
+  module Listing
+    input data : UInt<8>[2]
+    output out : UInt<8>
+    wire sum : UInt<8> @[listing.cc 1 1]
+    connect sum = UInt<8>(0) @[listing.cc 1 5]
+    for i = 0 to 2 @[listing.cc 2 1]
+      when neq(rem(data[i], UInt<8>(2)), UInt<8>(0)) @[listing.cc 3 3]
+        connect sum = add(sum, data[i]) @[listing.cc 4 5]
+      end
+    end
+    connect out = sum @[listing.cc 6 1]
+  end
+end
+)";
+
+TEST(SsaListing, VariableRenamedPerAssignment) {
+  auto circuit = to_low(kListing1);
+  // sum is renamed per definition like the paper's Listing 2 (sum0, sum1,
+  // sum2, ...). The when-merge muxes share the same numbering (sum2 and
+  // sum4 here are the phi joins), so the explicit assignments land on
+  // sum0, sum1 and sum3.
+  std::vector<std::string> sum_nodes;
+  std::vector<std::string> all_sum_nodes;
+  for (const auto* node : nodes_of(*circuit)) {
+    if (node->source_name != "sum") continue;
+    all_sum_nodes.push_back(node->name);
+    if (!node->synthetic) sum_nodes.push_back(node->name);
+  }
+  EXPECT_EQ(sum_nodes, (std::vector<std::string>{"sum0", "sum1", "sum3"}));
+  EXPECT_EQ(all_sum_nodes, (std::vector<std::string>{"sum0", "sum1", "sum2",
+                                                     "sum3", "sum4"}));
+}
+
+TEST(SsaListing, OneSourceLineYieldsTwoBreakpoints) {
+  auto circuit = to_low(kListing1);
+  // Line 4 (sum += data[i]) must exist twice with distinct enables.
+  std::vector<const NodeStmt*> line4;
+  for (const auto* node : nodes_of(*circuit)) {
+    if (node->loc.line == 4 && !node->synthetic) line4.push_back(node);
+  }
+  ASSERT_EQ(line4.size(), 2u);
+  ASSERT_NE(line4[0]->enable, nullptr);
+  ASSERT_NE(line4[1]->enable, nullptr);
+  EXPECT_NE(line4[0]->enable->str(), line4[1]->enable->str());
+}
+
+TEST(SsaListing, EnableConditionsReferenceTheWhenConditions) {
+  auto circuit = to_low(kListing1);
+  // The when conditions become named nodes; the line-4 enables are refs to
+  // them (AND-reduction of a one-deep condition stack).
+  std::vector<std::string> cond_nodes;
+  for (const auto* node : nodes_of(*circuit)) {
+    if (node->loc.line == 3 && !node->synthetic) cond_nodes.push_back(node->name);
+  }
+  ASSERT_EQ(cond_nodes.size(), 2u);
+  std::vector<std::string> enables;
+  for (const auto* node : nodes_of(*circuit)) {
+    if (node->loc.line == 4 && !node->synthetic) {
+      enables.push_back(node->enable->str());
+    }
+  }
+  EXPECT_EQ(enables[0], cond_nodes[0]);
+  EXPECT_EQ(enables[1], cond_nodes[1]);
+}
+
+TEST(SsaListing, ScopeAnnotationsMapIncomingValues) {
+  auto circuit = to_low(kListing1);
+  // At the first line-4 breakpoint, `sum` must read sum0 (the value BEFORE
+  // the statement executes — paper: "we should fetch the value of sum0 to
+  // represent sum" at the first mapped statement).
+  const NodeStmt* first_line4 = nullptr;
+  for (const auto* node : nodes_of(*circuit)) {
+    if (node->loc.line == 4 && !node->synthetic) {
+      first_line4 = node;
+      break;
+    }
+  }
+  ASSERT_NE(first_line4, nullptr);
+  bool found = false;
+  for (const auto& annotation : circuit->annotations()) {
+    if (annotation.kind != "hgdb.scope" ||
+        annotation.target != first_line4->name) {
+      continue;
+    }
+    found = true;
+    const auto vars = annotation.payload.get("vars");
+    ASSERT_TRUE(vars.has_value());
+    EXPECT_EQ(vars->get().get_string("sum"), "sum0");
+    const auto constants = annotation.payload.get("constants");
+    ASSERT_TRUE(constants.has_value());
+    EXPECT_EQ(constants->get().get_int("i"), 0);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SsaListing, PhiJoinsAreSyntheticMuxes) {
+  auto circuit = to_low(kListing1);
+  int phi_count = 0;
+  for (const auto* node : nodes_of(*circuit)) {
+    if (node->synthetic && node->source_name == "sum") {
+      ++phi_count;
+      EXPECT_EQ(node->value->kind(), ExprKind::Prim);
+      EXPECT_EQ(static_cast<const PrimExpr&>(*node->value).op(), PrimOp::Mux);
+    }
+  }
+  EXPECT_EQ(phi_count, 2);  // one join per when
+}
+
+// -- general SSA behaviour ----------------------------------------------------
+
+TEST(Ssa, LowFormHasSingleAssignment) {
+  auto circuit = to_low(kListing1);
+  EXPECT_NO_THROW(check_form(*circuit, Form::Low));
+}
+
+TEST(Ssa, WhenElseMergesWithMux) {
+  auto circuit = to_low(R"(circuit T
+  module T
+    input c : UInt<1>
+    output o : UInt<8>
+    wire t : UInt<8>
+    when c
+      connect t = UInt<8>(1)
+    else
+      connect t = UInt<8>(2)
+    end
+    connect o = t
+  end
+end
+)");
+  // Find the phi and check both arms flow in.
+  const NodeStmt* phi = nullptr;
+  for (const auto* node : nodes_of(*circuit)) {
+    if (node->synthetic) phi = node;
+  }
+  ASSERT_NE(phi, nullptr);
+  const auto& mux_expr = static_cast<const PrimExpr&>(*phi->value);
+  EXPECT_EQ(mux_expr.op(), PrimOp::Mux);
+  EXPECT_EQ(mux_expr.operands()[1]->str(), "t0");
+  EXPECT_EQ(mux_expr.operands()[2]->str(), "t1");
+}
+
+TEST(Ssa, RegisterReadsSeeOldValue) {
+  auto circuit = to_low(R"(circuit T
+  module T
+    input clock : Clock
+    output o : UInt<8>
+    reg r : UInt<8> clock clock
+    connect r = add(r, UInt<8>(1))
+    connect o = r
+  end
+end
+)");
+  // The next-value node reads ref(r), not an SSA rename.
+  bool found = false;
+  for (const auto* node : nodes_of(*circuit)) {
+    if (node->name == "r_next0") {
+      EXPECT_EQ(node->value->str(), "add(r, UInt<8>(1))");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Ssa, ConditionalRegisterAssignHoldsByDefault) {
+  auto circuit = to_low(R"(circuit T
+  module T
+    input clock : Clock
+    input c : UInt<1>
+    output o : UInt<8>
+    reg r : UInt<8> clock clock
+    when c
+      connect r = add(r, UInt<8>(1))
+    end
+    connect o = r
+  end
+end
+)");
+  // The final connect to r must be a mux(c, r+1, r) — hold on else.
+  const ConnectStmt* final_connect = nullptr;
+  visit_stmts(circuit->top()->body(), [&](const Stmt& stmt) {
+    if (stmt.kind() == StmtKind::Connect) {
+      const auto& connect = static_cast<const ConnectStmt&>(stmt);
+      if (connect.lhs->str() == "r") final_connect = &connect;
+    }
+  });
+  ASSERT_NE(final_connect, nullptr);
+  // Value should reference the synthetic phi holding mux(cond, next, r).
+  const auto* phi = nodes_of(*circuit).back();
+  for (const auto* node : nodes_of(*circuit)) {
+    if (node->synthetic) phi = node;
+  }
+  const auto& mux_expr = static_cast<const PrimExpr&>(*phi->value);
+  EXPECT_EQ(mux_expr.operands()[2]->str(), "r");
+}
+
+TEST(Ssa, ReadBeforeAssignmentFails) {
+  EXPECT_THROW(to_low(R"(circuit T
+  module T
+    output o : UInt<8>
+    wire t : UInt<8>
+    node x = add(t, UInt<8>(1))
+    connect t = UInt<8>(2)
+    connect o = x
+  end
+end
+)"),
+               std::runtime_error);
+}
+
+TEST(Ssa, PartiallyAssignedReadFails) {
+  EXPECT_THROW(to_low(R"(circuit T
+  module T
+    input c : UInt<1>
+    output o : UInt<8>
+    wire t : UInt<8>
+    when c
+      connect t = UInt<8>(1)
+    end
+    connect o = t
+  end
+end
+)"),
+               std::runtime_error);
+}
+
+TEST(Ssa, UnassignedOutputFails) {
+  EXPECT_THROW(to_low(R"(circuit T
+  module T
+    input a : UInt<8>
+    output o : UInt<8>
+    node t = add(a, UInt<8>(1))
+  end
+end
+)"),
+               std::runtime_error);
+}
+
+TEST(Ssa, ConnectToInputPortFails) {
+  EXPECT_THROW(to_low(R"(circuit T
+  module T
+    input a : UInt<8>
+    output o : UInt<8>
+    connect a = UInt<8>(1)
+    connect o = a
+  end
+end
+)"),
+               std::runtime_error);
+}
+
+TEST(Ssa, LastConnectWinsOnPorts) {
+  auto circuit = to_low(R"(circuit T
+  module T
+    input a : UInt<8>
+    output o : UInt<8>
+    connect o = UInt<8>(1)
+    connect o = a
+  end
+end
+)");
+  const ConnectStmt* final_connect = nullptr;
+  visit_stmts(circuit->top()->body(), [&](const Stmt& stmt) {
+    if (stmt.kind() == StmtKind::Connect) {
+      const auto& connect = static_cast<const ConnectStmt&>(stmt);
+      if (connect.lhs->str() == "o") final_connect = &connect;
+    }
+  });
+  ASSERT_NE(final_connect, nullptr);
+  // The port's final value is the SSA node of the *last* assignment.
+  EXPECT_EQ(final_connect->rhs->str(), "o_ssa1");
+}
+
+TEST(Ssa, WidthCoercionOnConnect) {
+  auto circuit = to_low(R"(circuit T
+  module T
+    input a : UInt<4>
+    output o : UInt<8>
+    connect o = a
+  end
+end
+)");
+  bool found_pad = false;
+  for (const auto* node : nodes_of(*circuit)) {
+    if (node->value->str() == "pad(a, 8)") found_pad = true;
+  }
+  EXPECT_TRUE(found_pad);
+}
+
+TEST(Ssa, GenvarAnnotationsEmitted) {
+  auto circuit = to_low(kListing1);
+  bool sum_genvar = false;
+  for (const auto& annotation : circuit->annotations()) {
+    if (annotation.kind == "hgdb.genvar" &&
+        annotation.payload.get_string("name") == "sum") {
+      // The generator variable maps to the final SSA value of sum (the
+      // last phi join of the unrolled loop).
+      EXPECT_EQ(annotation.target, "sum4");
+      sum_genvar = true;
+    }
+  }
+  EXPECT_TRUE(sum_genvar);
+}
+
+TEST(Ssa, InstanceInputsGetFinalConnects) {
+  auto circuit = to_low(R"(circuit Top
+  module Child
+    input in : UInt<8>
+    output out : UInt<8>
+    connect out = not(in)
+  end
+  module Top
+    input c : UInt<1>
+    input a : UInt<8>
+    output o : UInt<8>
+    inst u of Child
+    connect u.in = a
+    when c
+      connect u.in = not(a)
+    end
+    connect o = u.out
+  end
+end
+)");
+  const ConnectStmt* instance_connect = nullptr;
+  visit_stmts(circuit->top()->body(), [&](const Stmt& stmt) {
+    if (stmt.kind() == StmtKind::Connect) {
+      const auto& connect = static_cast<const ConnectStmt&>(stmt);
+      if (connect.lhs->str() == "u.in") instance_connect = &connect;
+    }
+  });
+  ASSERT_NE(instance_connect, nullptr);
+}
+
+}  // namespace
+}  // namespace hgdb::passes

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "passes/pass.h"
+
+namespace hgdb::passes {
+namespace {
+
+using namespace ir;
+
+std::unique_ptr<Circuit> unrolled(const char* text) {
+  auto circuit = parse_circuit(text);
+  auto pass = create_unroll_loops_pass();
+  pass->run(*circuit);
+  return circuit;
+}
+
+TEST(UnrollLoops, ReplacesLoopWithIterationCopies) {
+  auto circuit = unrolled(R"(circuit T
+  module T
+    input v : UInt<8>[4]
+    output o : UInt<8>
+    wire sum : UInt<8>
+    connect sum = UInt<8>(0)
+    for i = 0 to 4 @[gen.cc 20 1]
+      connect sum = add(sum, v[i]) @[gen.cc 21 3]
+    end
+    connect o = sum
+  end
+end
+)");
+  // wire + init connect + 4 unrolled connects + output connect
+  EXPECT_EQ(circuit->top()->body().stmts.size(), 7u);
+  int for_count = 0;
+  visit_stmts(circuit->top()->body(), [&](const Stmt& stmt) {
+    if (stmt.kind() == StmtKind::For) ++for_count;
+  });
+  EXPECT_EQ(for_count, 0);
+}
+
+TEST(UnrollLoops, SubstitutesLoopVariableAsConstantIndex) {
+  auto circuit = unrolled(R"(circuit T
+  module T
+    input v : UInt<8>[4]
+    output o : UInt<8>
+    wire sum : UInt<8>
+    connect sum = UInt<8>(0)
+    for i = 0 to 4
+      connect sum = add(sum, v[i])
+    end
+    connect o = sum
+  end
+end
+)");
+  // After substitution v[i] must be a constant SubIndex, not SubAccess.
+  const auto& iteration2 =
+      static_cast<const ConnectStmt&>(*circuit->top()->body().stmts[4]);
+  EXPECT_EQ(iteration2.rhs->str(), "add(sum, v[2])");
+}
+
+TEST(UnrollLoops, PreservesSourceLocatorsAcrossIterations) {
+  auto circuit = unrolled(R"(circuit T
+  module T
+    output o : UInt<8>
+    wire sum : UInt<8>
+    connect sum = UInt<8>(0)
+    for i = 0 to 3
+      connect sum = add(sum, UInt<8>(1)) @[gen.cc 21 3]
+    end
+    connect o = sum
+  end
+end
+)");
+  // One source line -> three statements with the same locator: the basis
+  // for multiple emulated breakpoints per line (paper Sec. 3.1).
+  int same_loc = 0;
+  visit_stmts(circuit->top()->body(), [&](const Stmt& stmt) {
+    if (stmt.loc.valid() && stmt.loc.line == 21) ++same_loc;
+  });
+  EXPECT_EQ(same_loc, 3);
+}
+
+TEST(UnrollLoops, RecordsLoopBindings) {
+  auto circuit = unrolled(R"(circuit T
+  module T
+    output o : UInt<8>
+    wire sum : UInt<8>
+    connect sum = UInt<8>(0)
+    for i = 0 to 3
+      connect sum = add(sum, UInt<8>(1)) @[gen.cc 21 3]
+    end
+    connect o = sum
+  end
+end
+)");
+  std::vector<int64_t> bindings;
+  visit_stmts(circuit->top()->body(), [&](const Stmt& stmt) {
+    if (stmt.kind() == StmtKind::Connect && stmt.loc.line == 21) {
+      ASSERT_EQ(stmt.loop_bindings.size(), 1u);
+      EXPECT_EQ(stmt.loop_bindings[0].first, "i");
+      bindings.push_back(stmt.loop_bindings[0].second);
+    }
+  });
+  EXPECT_EQ(bindings, (std::vector<int64_t>{0, 1, 2}));
+}
+
+TEST(UnrollLoops, NestedLoopsMultiplyAndStackBindings) {
+  auto circuit = unrolled(R"(circuit T
+  module T
+    output o : UInt<8>
+    wire sum : UInt<8>
+    connect sum = UInt<8>(0)
+    for i = 0 to 2
+      for j = 0 to 3
+        connect sum = add(sum, UInt<8>(1)) @[gen.cc 30 5]
+      end
+    end
+    connect o = sum
+  end
+end
+)");
+  int copies = 0;
+  visit_stmts(circuit->top()->body(), [&](const Stmt& stmt) {
+    if (stmt.kind() == StmtKind::Connect && stmt.loc.line == 30) {
+      ++copies;
+      EXPECT_EQ(stmt.loop_bindings.size(), 2u);
+    }
+  });
+  EXPECT_EQ(copies, 6);
+}
+
+TEST(UnrollLoops, RenamesDeclarationsPerIteration) {
+  auto circuit = unrolled(R"(circuit T
+  module T
+    input v : UInt<8>[2]
+    output o : UInt<8>
+    wire sum : UInt<8>
+    connect sum = UInt<8>(0)
+    for i = 0 to 2
+      node tmp = add(v[i], UInt<8>(1))
+      connect sum = add(sum, tmp)
+    end
+    connect o = sum
+  end
+end
+)");
+  std::vector<std::string> node_names;
+  visit_stmts(circuit->top()->body(), [&](const Stmt& stmt) {
+    if (stmt.kind() == StmtKind::Node) {
+      node_names.push_back(static_cast<const NodeStmt&>(stmt).name);
+    }
+  });
+  EXPECT_EQ(node_names, (std::vector<std::string>{"tmp_0", "tmp_1"}));
+  // References to tmp inside each iteration follow the rename.
+  const auto& second_use =
+      static_cast<const ConnectStmt&>(*circuit->top()->body().stmts[5]);
+  EXPECT_EQ(second_use.rhs->str(), "add(sum, tmp_1)");
+}
+
+TEST(UnrollLoops, LoopInsideWhenIsUnrolled) {
+  auto circuit = unrolled(R"(circuit T
+  module T
+    input c : UInt<1>
+    output o : UInt<8>
+    wire sum : UInt<8>
+    connect sum = UInt<8>(0)
+    when c
+      for i = 0 to 2
+        connect sum = add(sum, UInt<8>(1))
+      end
+    end
+    connect o = sum
+  end
+end
+)");
+  const auto& when = static_cast<const WhenStmt&>(*circuit->top()->body().stmts[2]);
+  EXPECT_EQ(when.then_body->stmts.size(), 2u);
+}
+
+TEST(UnrollLoops, EmptyRangeProducesNothing) {
+  auto circuit = unrolled(R"(circuit T
+  module T
+    output o : UInt<8>
+    wire sum : UInt<8>
+    connect sum = UInt<8>(0)
+    for i = 3 to 3
+      connect sum = add(sum, UInt<8>(1))
+    end
+    connect o = sum
+  end
+end
+)");
+  EXPECT_EQ(circuit->top()->body().stmts.size(), 3u);
+}
+
+}  // namespace
+}  // namespace hgdb::passes

@@ -1,0 +1,135 @@
+#include "rpc/protocol.h"
+
+#include <gtest/gtest.h>
+
+namespace hgdb::rpc {
+namespace {
+
+TEST(Protocol, BreakpointRequestRoundTrip) {
+  Request request;
+  request.kind = Request::Kind::Breakpoint;
+  request.token = 7;
+  request.breakpoint.action = BreakpointRequest::Action::Add;
+  request.breakpoint.filename = "gen.cc";
+  request.breakpoint.line = 42;
+  request.breakpoint.condition = "i == 3 && sum > 10";
+  const Request parsed = parse_request(serialize_request(request));
+  EXPECT_EQ(parsed.kind, Request::Kind::Breakpoint);
+  EXPECT_EQ(parsed.token, 7);
+  EXPECT_EQ(parsed.breakpoint.filename, "gen.cc");
+  EXPECT_EQ(parsed.breakpoint.line, 42u);
+  EXPECT_EQ(parsed.breakpoint.condition, "i == 3 && sum > 10");
+}
+
+TEST(Protocol, RemoveActionPreserved) {
+  Request request;
+  request.kind = Request::Kind::Breakpoint;
+  request.breakpoint.action = BreakpointRequest::Action::Remove;
+  request.breakpoint.filename = "x.cc";
+  const Request parsed = parse_request(serialize_request(request));
+  EXPECT_EQ(parsed.breakpoint.action, BreakpointRequest::Action::Remove);
+}
+
+TEST(Protocol, AllCommandsRoundTrip) {
+  using Command = CommandRequest::Command;
+  for (Command command :
+       {Command::Continue, Command::Pause, Command::StepOver, Command::StepBack,
+        Command::ReverseContinue, Command::Jump, Command::Detach}) {
+    Request request;
+    request.kind = Request::Kind::Command;
+    request.command.command = command;
+    request.command.time = 123;
+    const Request parsed = parse_request(serialize_request(request));
+    EXPECT_EQ(parsed.command.command, command);
+    EXPECT_EQ(parsed.command.time, 123u);
+  }
+}
+
+TEST(Protocol, EvaluationRequestScopes) {
+  Request request;
+  request.kind = Request::Kind::Evaluation;
+  request.evaluation.expression = "sum + 1";
+  request.evaluation.breakpoint_id = 5;
+  const Request parsed = parse_request(serialize_request(request));
+  EXPECT_EQ(parsed.evaluation.expression, "sum + 1");
+  ASSERT_TRUE(parsed.evaluation.breakpoint_id.has_value());
+  EXPECT_EQ(*parsed.evaluation.breakpoint_id, 5);
+
+  Request by_instance;
+  by_instance.kind = Request::Kind::Evaluation;
+  by_instance.evaluation.expression = "acc";
+  by_instance.evaluation.instance_name = "Top.child";
+  const Request parsed2 = parse_request(serialize_request(by_instance));
+  EXPECT_FALSE(parsed2.evaluation.breakpoint_id.has_value());
+  EXPECT_EQ(parsed2.evaluation.instance_name, "Top.child");
+}
+
+TEST(Protocol, UnknownTypeRejected) {
+  EXPECT_THROW(parse_request(R"({"type":"bogus","token":1})"),
+               std::runtime_error);
+  EXPECT_THROW(parse_request("not json"), std::runtime_error);
+}
+
+TEST(Protocol, GenericResponseRoundTrip) {
+  GenericResponse response;
+  response.token = 9;
+  response.success = false;
+  response.reason = "no breakpoint at foo.cc:1";
+  const auto message = parse_server_message(serialize_response(response));
+  EXPECT_EQ(message.kind, ServerMessage::Kind::Generic);
+  EXPECT_EQ(message.generic.token, 9);
+  EXPECT_FALSE(message.generic.success);
+  EXPECT_EQ(message.generic.reason, "no breakpoint at foo.cc:1");
+}
+
+TEST(Protocol, StopEventRoundTripWithFrames) {
+  StopEvent event;
+  event.time = 1024;
+  Frame frame;
+  frame.breakpoint_id = 3;
+  frame.instance_id = 2;
+  frame.instance_name = "Top.child";
+  frame.filename = "gen.cc";
+  frame.line = 21;
+  insert_nested(frame.locals, "sum", common::Json("42"));
+  insert_nested(frame.locals, "i", common::Json("1"));
+  insert_nested(frame.generator, "io.out.bits", common::Json("7"));
+  event.frames.push_back(frame);
+
+  const auto message = parse_server_message(serialize_stop_event(event));
+  EXPECT_EQ(message.kind, ServerMessage::Kind::Stop);
+  EXPECT_EQ(message.stop.time, 1024u);
+  ASSERT_EQ(message.stop.frames.size(), 1u);
+  const Frame& parsed = message.stop.frames[0];
+  EXPECT_EQ(parsed.instance_name, "Top.child");
+  EXPECT_EQ(parsed.locals.get_string("sum"), "42");
+  // Bundle re-aggregation survives the wire format.
+  EXPECT_EQ(parsed.generator.get("io")->get().get("out")->get().get_string("bits"),
+            "7");
+}
+
+TEST(Protocol, InsertNestedBuildsBundleTree) {
+  common::Json object = common::Json::object();
+  insert_nested(object, "io.a.b", common::Json("1"));
+  insert_nested(object, "io.a.c", common::Json("2"));
+  insert_nested(object, "flat", common::Json("3"));
+  EXPECT_EQ(object.dump(), R"({"flat":"3","io":{"a":{"b":"1","c":"2"}}})");
+}
+
+TEST(Protocol, InsertNestedOverwritesLeaf) {
+  common::Json object = common::Json::object();
+  insert_nested(object, "x.y", common::Json("1"));
+  insert_nested(object, "x.y", common::Json("2"));
+  EXPECT_EQ(object.get("x")->get().get_string("y"), "2");
+}
+
+TEST(Protocol, EmptyStopEventAllowed) {
+  // Reverse execution bottoming out sends a frame-less stop.
+  StopEvent event;
+  event.time = 3;
+  const auto message = parse_server_message(serialize_stop_event(event));
+  EXPECT_TRUE(message.stop.frames.empty());
+}
+
+}  // namespace
+}  // namespace hgdb::rpc

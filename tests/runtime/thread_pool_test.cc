@@ -1,0 +1,69 @@
+#include "runtime/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace hgdb::runtime {
+namespace {
+
+TEST(ThreadPool, SizeCountsCaller) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  ThreadPool solo(1);
+  EXPECT_EQ(solo.size(), 1u);
+  ThreadPool zero(0);
+  EXPECT_EQ(zero.size(), 1u);
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kTasks = 1000;
+  std::vector<std::atomic<int>> counts(kTasks);
+  pool.parallel_for(kTasks, [&](size_t i) { counts[i]++; });
+  for (size_t i = 0; i < kTasks; ++i) EXPECT_EQ(counts[i].load(), 1);
+}
+
+TEST(ThreadPool, EmptyJobIsNoOp) {
+  ThreadPool pool(4);
+  pool.parallel_for(0, [](size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, SequentialFallbackForSingleItem) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  pool.parallel_for(1, [&](size_t) { count++; });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossJobs) {
+  ThreadPool pool(3);
+  std::atomic<uint64_t> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.parallel_for(100, [&](size_t i) { total += i; });
+  }
+  EXPECT_EQ(total.load(), 50ull * (99ull * 100ull / 2));
+}
+
+TEST(ThreadPool, ActuallyRunsConcurrently) {
+  ThreadPool pool(4);
+  std::set<std::thread::id> thread_ids;
+  std::mutex mutex;
+  pool.parallel_for(64, [&](size_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    std::lock_guard lock(mutex);
+    thread_ids.insert(std::this_thread::get_id());
+  });
+  EXPECT_GT(thread_ids.size(), 1u);
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsInCaller) {
+  ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  pool.parallel_for(10, [&](size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+}  // namespace
+}  // namespace hgdb::runtime

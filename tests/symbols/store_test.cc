@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <unistd.h>
+
+#include "symbols/sqlite_store.h"
+#include "symbols/symbol_table.h"
+
+namespace hgdb::symbols {
+namespace {
+
+/// Builds a small, representative table: two instances of one module, an
+/// unrolled line with two breakpoints, constants, and generator variables.
+SymbolTableData sample_data() {
+  SymbolTableData data;
+  data.instances = {{1, "Top"}, {2, "Top.child"}};
+  data.breakpoints = {
+      {1, 1, "gen.cc", 10, 0, "", 0},
+      {2, 2, "gen.cc", 20, 0, "when_cond0", 1},
+      {3, 2, "gen.cc", 20, 0, "when_cond1", 2},
+      {4, 2, "other.cc", 5, 2, "", 0},
+  };
+  data.variables = {
+      {1, "sum0", true}, {2, "sum1", true}, {3, "2", false}, {4, "acc", true},
+  };
+  data.scope_variables = {
+      {2, 1, "sum"}, {3, 2, "sum"}, {3, 3, "i"},
+  };
+  data.generator_variables = {
+      {1, 4, "acc"}, {2, 1, "io.data"},
+  };
+  return data;
+}
+
+/// Both SymbolTable implementations must behave identically; run the same
+/// assertions against each (the paper's "unified symbol table interface").
+class StoreTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override {
+    // ctest runs tests in parallel processes; the DB path must be unique
+    // per test to avoid cross-test races.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    std::string name = info->name();
+    for (auto& c : name) {
+      if (c == '/' || c == '"') c = '_';
+    }
+    path_ = ::testing::TempDir() + "hgdb_symbols_" + name + "_" +
+            std::to_string(::getpid()) + ".db";
+    data_ = sample_data();
+    if (std::string(GetParam()) == "sqlite") {
+      SqliteSymbolTable::save(data_, path_);
+      table_ = std::make_unique<SqliteSymbolTable>(path_);
+    } else {
+      table_ = std::make_unique<MemorySymbolTable>(data_);
+    }
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+  SymbolTableData data_;
+  std::unique_ptr<SymbolTable> table_;
+};
+
+TEST_P(StoreTest, BreakpointsAtLocation) {
+  auto bps = table_->breakpoints_at("gen.cc", 20);
+  ASSERT_EQ(bps.size(), 2u);
+  EXPECT_EQ(bps[0].id, 2);
+  EXPECT_EQ(bps[1].id, 3);
+  EXPECT_EQ(bps[0].enable, "when_cond0");
+}
+
+TEST_P(StoreTest, BreakpointsAtWholeFile) {
+  EXPECT_EQ(table_->breakpoints_at("gen.cc", 0).size(), 3u);
+  EXPECT_TRUE(table_->breakpoints_at("missing.cc", 0).empty());
+}
+
+TEST_P(StoreTest, AllBreakpointsInSchedulingOrder) {
+  auto all = table_->all_breakpoints();
+  ASSERT_EQ(all.size(), 4u);
+  // (filename, line, column, order_index) lexical order
+  EXPECT_EQ(all[0].id, 1);
+  EXPECT_EQ(all[1].id, 2);
+  EXPECT_EQ(all[2].id, 3);
+  EXPECT_EQ(all[3].id, 4);
+}
+
+TEST_P(StoreTest, BreakpointById) {
+  auto bp = table_->breakpoint(3);
+  ASSERT_TRUE(bp.has_value());
+  EXPECT_EQ(bp->line_num, 20u);
+  EXPECT_FALSE(table_->breakpoint(99).has_value());
+}
+
+TEST_P(StoreTest, ScopeVariables) {
+  auto vars = table_->scope_variables(3);
+  ASSERT_EQ(vars.size(), 2u);
+  auto sum = table_->resolve_scope_variable(3, "sum");
+  ASSERT_TRUE(sum.has_value());
+  EXPECT_EQ(sum->value, "sum1");
+  EXPECT_TRUE(sum->is_rtl);
+  auto index = table_->resolve_scope_variable(3, "i");
+  ASSERT_TRUE(index.has_value());
+  EXPECT_FALSE(index->is_rtl);
+  EXPECT_EQ(index->value, "2");
+  EXPECT_FALSE(table_->resolve_scope_variable(3, "ghost").has_value());
+}
+
+TEST_P(StoreTest, GeneratorVariables) {
+  auto vars = table_->generator_variables(2);
+  ASSERT_EQ(vars.size(), 1u);
+  EXPECT_EQ(vars[0].name, "io.data");
+  auto acc = table_->resolve_generator_variable(1, "acc");
+  ASSERT_TRUE(acc.has_value());
+  EXPECT_EQ(acc->value, "acc");
+  EXPECT_FALSE(table_->resolve_generator_variable(2, "acc").has_value());
+}
+
+TEST_P(StoreTest, Instances) {
+  EXPECT_EQ(table_->instances().size(), 2u);
+  auto child = table_->instance_by_name("Top.child");
+  ASSERT_TRUE(child.has_value());
+  EXPECT_EQ(child->id, 2);
+  EXPECT_EQ(table_->instance(1)->name, "Top");
+  EXPECT_FALSE(table_->instance(42).has_value());
+  EXPECT_FALSE(table_->instance_by_name("nope").has_value());
+}
+
+TEST_P(StoreTest, Files) {
+  EXPECT_EQ(table_->files(), (std::vector<std::string>{"gen.cc", "other.cc"}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, StoreTest,
+                         ::testing::Values("memory", "sqlite"));
+
+TEST(SqliteStore, SaveReturnsFileSizeAndLoadRoundTrips) {
+  const std::string path = ::testing::TempDir() + "hgdb_sqlite_rt.db";
+  const auto data = sample_data();
+  const size_t size = SqliteSymbolTable::save(data, path);
+  EXPECT_GT(size, 0u);
+  SqliteSymbolTable table(path);
+  const auto loaded = table.load_all();
+  EXPECT_EQ(loaded.instances.size(), data.instances.size());
+  EXPECT_EQ(loaded.breakpoints.size(), data.breakpoints.size());
+  EXPECT_EQ(loaded.variables.size(), data.variables.size());
+  EXPECT_EQ(loaded.scope_variables.size(), data.scope_variables.size());
+  EXPECT_EQ(loaded.generator_variables.size(), data.generator_variables.size());
+  std::remove(path.c_str());
+}
+
+TEST(SqliteStore, OpenMissingFileThrows) {
+  EXPECT_THROW(SqliteSymbolTable("/nonexistent/dir/file.db"),
+               std::runtime_error);
+}
+
+TEST(SqliteStore, SaveOverwritesExisting) {
+  const std::string path = ::testing::TempDir() + "hgdb_sqlite_ow.db";
+  SqliteSymbolTable::save(sample_data(), path);
+  SymbolTableData small;
+  small.instances = {{1, "Solo"}};
+  SqliteSymbolTable::save(small, path);
+  SqliteSymbolTable table(path);
+  EXPECT_EQ(table.instances().size(), 1u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hgdb::symbols

@@ -1,0 +1,133 @@
+#include "trace/replay.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/vcd_reader.h"
+
+namespace hgdb::trace {
+namespace {
+
+constexpr const char* kTrace = R"($date today $end
+$timescale 1ns $end
+$scope module top $end
+$var wire 1 ! clock $end
+$var wire 8 " data [7:0] $end
+$scope module child $end
+$var wire 1 # flag $end
+$upscope $end
+$upscope $end
+$enddefinitions $end
+#0
+$dumpvars
+0!
+b0 "
+0#
+$end
+#1
+1!
+b101 "
+#2
+0!
+#3
+1!
+b1010 "
+1#
+#4
+0!
+#5
+1!
+)";
+
+TEST(VcdReader, ParsesHierarchicalNames) {
+  auto trace = parse_vcd(kTrace);
+  EXPECT_TRUE(trace.var_index("top.clock").has_value());
+  EXPECT_TRUE(trace.var_index("top.data").has_value());
+  EXPECT_TRUE(trace.var_index("top.child.flag").has_value());
+  EXPECT_FALSE(trace.var_index("top.ghost").has_value());
+  EXPECT_EQ(trace.max_time(), 5u);
+}
+
+TEST(VcdReader, ValueAtInterpolatesBetweenChanges) {
+  auto trace = parse_vcd(kTrace);
+  auto data = *trace.var_index("top.data");
+  EXPECT_EQ(trace.value_at(data, 0).to_uint64(), 0u);
+  EXPECT_EQ(trace.value_at(data, 1).to_uint64(), 0b101u);
+  EXPECT_EQ(trace.value_at(data, 2).to_uint64(), 0b101u);  // holds
+  EXPECT_EQ(trace.value_at(data, 3).to_uint64(), 0b1010u);
+  EXPECT_EQ(trace.value_at(data, 100).to_uint64(), 0b1010u);
+}
+
+TEST(VcdReader, ValueBeforeFirstChangeIsZero) {
+  auto trace = parse_vcd("$var wire 4 ! x $end\n$enddefinitions $end\n#5\nb111 !\n");
+  EXPECT_EQ(trace.value_at(0, 2).to_uint64(), 0u);
+}
+
+TEST(VcdReader, RisingEdges) {
+  auto trace = parse_vcd(kTrace);
+  auto clock = *trace.var_index("top.clock");
+  EXPECT_EQ(trace.rising_edges(clock), (std::vector<uint64_t>{1, 3, 5}));
+}
+
+TEST(VcdReader, XZMapToZero) {
+  auto trace = parse_vcd(
+      "$var wire 1 ! x $end\n$enddefinitions $end\n#0\nx!\n#1\n1!\n#2\nz!\n");
+  EXPECT_EQ(trace.value_at(0, 0).to_uint64(), 0u);
+  EXPECT_EQ(trace.value_at(0, 1).to_uint64(), 1u);
+  EXPECT_EQ(trace.value_at(0, 2).to_uint64(), 0u);
+}
+
+TEST(VcdReader, UnknownCodeRejected) {
+  EXPECT_THROW(parse_vcd("$enddefinitions $end\n#0\n1?\n"), std::runtime_error);
+}
+
+TEST(ReplayEngine, FindsClockByLeafName) {
+  ReplayEngine engine{parse_vcd(kTrace)};
+  EXPECT_EQ(engine.cycle_count(), 3u);
+  EXPECT_EQ(engine.edges(), (std::vector<uint64_t>{1, 3, 5}));
+}
+
+TEST(ReplayEngine, ExplicitClockBySuffix) {
+  ReplayEngine engine{parse_vcd(kTrace), "clock"};
+  EXPECT_EQ(engine.cycle_count(), 3u);
+  EXPECT_THROW(ReplayEngine(parse_vcd(kTrace), "nope"), std::runtime_error);
+}
+
+TEST(ReplayEngine, SeekAndStep) {
+  ReplayEngine engine{parse_vcd(kTrace)};
+  engine.seek_cycle(0);
+  EXPECT_EQ(engine.time(), 1u);
+  EXPECT_EQ(engine.value("top.data")->to_uint64(), 0b101u);
+
+  EXPECT_TRUE(engine.step_forward());
+  EXPECT_EQ(engine.time(), 3u);
+  EXPECT_EQ(engine.value("top.data")->to_uint64(), 0b1010u);
+
+  EXPECT_TRUE(engine.step_backward());
+  EXPECT_EQ(engine.time(), 1u);
+  EXPECT_EQ(engine.value("top.data")->to_uint64(), 0b101u);
+  EXPECT_FALSE(engine.step_backward());
+}
+
+TEST(ReplayEngine, StepForwardStopsAtEnd) {
+  ReplayEngine engine{parse_vcd(kTrace)};
+  engine.seek_cycle(2);
+  EXPECT_FALSE(engine.step_forward());
+}
+
+TEST(ReplayEngine, SeekOutOfRangeThrows) {
+  ReplayEngine engine{parse_vcd(kTrace)};
+  EXPECT_THROW(engine.seek_cycle(3), std::out_of_range);
+}
+
+TEST(ReplayEngine, CurrentCycleTracksCursor) {
+  ReplayEngine engine{parse_vcd(kTrace)};
+  engine.set_time(0);
+  EXPECT_FALSE(engine.current_cycle().has_value());
+  engine.set_time(2);
+  EXPECT_EQ(engine.current_cycle(), 0u);
+  engine.set_time(5);
+  EXPECT_EQ(engine.current_cycle(), 2u);
+}
+
+}  // namespace
+}  // namespace hgdb::trace

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "frontend/compile.h"
+#include "ir/parser.h"
+#include "sim/vcd_writer.h"
+#include "trace/vcd_reader.h"
+#include "vpi/hierarchy.h"
+#include "vpi/native_backend.h"
+#include "vpi/replay_backend.h"
+
+namespace hgdb::vpi {
+namespace {
+
+constexpr const char* kCounter = R"(circuit Counter
+  module Counter
+    input clock : Clock
+    input enable : UInt<1>
+    output out : UInt<8>
+    reg count : UInt<8> clock clock
+    connect count = add(count, pad(enable, 8))
+    connect out = count
+  end
+end
+)";
+
+TEST(NativeBackend, GetValueByHierName) {
+  auto compiled = frontend::compile(ir::parse_circuit(kCounter));
+  sim::Simulator simulator(compiled.netlist);
+  NativeBackend backend(simulator);
+  simulator.set_value("Counter.enable", 1);
+  simulator.run(3);
+  auto value = backend.get_value("Counter.out");
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(value->to_uint64(), 3u);
+  EXPECT_FALSE(backend.get_value("Counter.nope").has_value());
+}
+
+TEST(NativeBackend, HierarchyAndClockQueries) {
+  auto compiled = frontend::compile(ir::parse_circuit(kCounter));
+  sim::Simulator simulator(compiled.netlist);
+  NativeBackend backend(simulator);
+  auto names = backend.signal_names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "Counter.count"), names.end());
+  EXPECT_EQ(backend.clock_names(), (std::vector<std::string>{"Counter.clock"}));
+}
+
+TEST(NativeBackend, ClockCallbacksForwarded) {
+  auto compiled = frontend::compile(ir::parse_circuit(kCounter));
+  sim::Simulator simulator(compiled.netlist);
+  NativeBackend backend(simulator);
+  int edges = 0;
+  auto handle = backend.add_clock_callback(
+      [&](ClockEdge edge, uint64_t) { if (edge == ClockEdge::Rising) ++edges; });
+  simulator.run(4);
+  EXPECT_EQ(edges, 4);
+  backend.remove_clock_callback(handle);
+  simulator.run(1);
+  EXPECT_EQ(edges, 4);
+}
+
+TEST(NativeBackend, SetValueOnInputsAndRegistersOnly) {
+  auto compiled = frontend::compile(ir::parse_circuit(kCounter));
+  sim::Simulator simulator(compiled.netlist);
+  NativeBackend backend(simulator);
+  EXPECT_TRUE(backend.supports_set_value());
+  EXPECT_TRUE(backend.set_value("Counter.count", common::BitVector(8, 99)));
+  EXPECT_EQ(backend.get_value("Counter.out")->to_uint64(), 99u);
+  EXPECT_FALSE(backend.set_value("Counter.out", common::BitVector(8, 1)));
+  EXPECT_FALSE(backend.set_value("Counter.ghost", common::BitVector(8, 1)));
+}
+
+TEST(NativeBackend, TimeTravelRequiresCheckpoints) {
+  auto compiled = frontend::compile(ir::parse_circuit(kCounter));
+  sim::Simulator simulator(compiled.netlist);
+  NativeBackend backend(simulator);
+  EXPECT_FALSE(backend.supports_time_travel());
+  simulator.enable_checkpoints(true);
+  EXPECT_TRUE(backend.supports_time_travel());
+  simulator.set_value("Counter.enable", 1);
+  simulator.run(10);
+  EXPECT_TRUE(backend.set_time(8));  // cycle 4
+  EXPECT_EQ(backend.get_value("Counter.out")->to_uint64(), 4u);
+  EXPECT_FALSE(backend.set_time(500));
+}
+
+class ReplayBackendTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "hgdb_replay_test.vcd";
+    auto compiled = frontend::compile(ir::parse_circuit(kCounter));
+    sim::Simulator simulator(compiled.netlist);
+    simulator.set_value("Counter.enable", 1);
+    sim::VcdWriter writer(simulator, path_);
+    writer.attach();
+    simulator.run(10);
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(ReplayBackendTest, ValuesFollowTheCursor) {
+  ReplayBackend backend{trace::ReplayEngine(trace::parse_vcd_file(path_))};
+  backend.engine().seek_cycle(4);
+  EXPECT_EQ(backend.get_value("Counter.out")->to_uint64(), 5u);
+  backend.engine().seek_cycle(0);
+  EXPECT_EQ(backend.get_value("Counter.out")->to_uint64(), 1u);
+}
+
+TEST_F(ReplayBackendTest, CallbacksFireWhileStepping) {
+  ReplayBackend backend{trace::ReplayEngine(trace::parse_vcd_file(path_))};
+  std::vector<uint64_t> sampled;
+  backend.add_clock_callback([&](ClockEdge, uint64_t) {
+    sampled.push_back(backend.get_value("Counter.out")->to_uint64());
+  });
+  backend.run_forward();
+  EXPECT_EQ(sampled, (std::vector<uint64_t>{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}));
+}
+
+TEST_F(ReplayBackendTest, ReverseSteppingWorks) {
+  ReplayBackend backend{trace::ReplayEngine(trace::parse_vcd_file(path_))};
+  backend.engine().seek_cycle(5);
+  EXPECT_TRUE(backend.supports_time_travel());
+  EXPECT_FALSE(backend.supports_set_value());
+  EXPECT_TRUE(backend.step_backward());
+  EXPECT_EQ(backend.get_value("Counter.out")->to_uint64(), 5u);
+}
+
+TEST_F(ReplayBackendTest, SetTimeBounded) {
+  ReplayBackend backend{trace::ReplayEngine(trace::parse_vcd_file(path_))};
+  EXPECT_TRUE(backend.set_time(7));
+  EXPECT_EQ(backend.get_time(), 7u);
+  EXPECT_FALSE(backend.set_time(10000));
+}
+
+// -- hierarchy mapping (Sec. 3.4 "locate the generated IP") -------------------
+
+TEST(HierarchyMapper, IdentityWhenStandalone) {
+  HierarchyMapper mapper({"Top.a", "Top.child.b"}, {"Top.a", "Top.child.b"},
+                         "Top");
+  ASSERT_TRUE(mapper.valid());
+  EXPECT_EQ(mapper.design_prefix(), "Top");
+  EXPECT_EQ(mapper.to_design("Top.child.b"), "Top.child.b");
+}
+
+TEST(HierarchyMapper, FindsPrefixInsideTestbench) {
+  const std::vector<std::string> design = {
+      "tb.clock", "tb.driver.req", "tb.dut_top.a", "tb.dut_top.child.b",
+      "tb.monitor.x"};
+  HierarchyMapper mapper(design, {"Top.a", "Top.child.b"}, "Top");
+  ASSERT_TRUE(mapper.valid());
+  EXPECT_EQ(mapper.design_prefix(), "tb.dut_top");
+  EXPECT_EQ(mapper.to_design("Top.child.b"), "tb.dut_top.child.b");
+  EXPECT_EQ(mapper.to_design("Top"), "tb.dut_top");
+}
+
+TEST(HierarchyMapper, InverseMapping) {
+  HierarchyMapper mapper({"tb.dut.a"}, {"Top.a"}, "Top");
+  ASSERT_TRUE(mapper.valid());
+  EXPECT_EQ(mapper.to_symbol("tb.dut.a"), "Top.a");
+  EXPECT_FALSE(mapper.to_symbol("tb.other.a").has_value());
+}
+
+TEST(HierarchyMapper, CommonSubstringBreaksTies) {
+  // Both prefixes match one signal each; "dut_rocket" shares more substring
+  // with root "RocketTop" than "driver" does.
+  const std::vector<std::string> design = {"tb.dut_rocket.a", "tb.driver.a"};
+  HierarchyMapper mapper(design, {"RocketTop.a"}, "RocketTop");
+  ASSERT_TRUE(mapper.valid());
+  EXPECT_EQ(mapper.design_prefix(), "tb.dut_rocket");
+}
+
+TEST(HierarchyMapper, InvalidWhenNothingMatches) {
+  HierarchyMapper mapper({"x.y"}, {"Top.a"}, "Top");
+  EXPECT_FALSE(mapper.valid());
+  EXPECT_EQ(mapper.to_design("Top.a"), "Top.a");  // identity fallback
+}
+
+}  // namespace
+}  // namespace hgdb::vpi
