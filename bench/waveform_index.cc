@@ -1,0 +1,201 @@
+// EXP-W — Indexed waveform store vs. in-memory trace (the scaling step the
+// replay path needs for production-size dumps; cf. Goeders & Wilton's
+// trace-based HLS debugging, where the waveform store is the bottleneck).
+//
+// The harness synthesizes a VCD of configurable size, then compares the two
+// WaveformSource backends on the same queries:
+//   in_memory   trace::VcdTrace       — full parse, O(trace) resident
+//   indexed     waveform::IndexedWaveform — one-time convert, O(log n)
+//               seeks through an LRU block cache, residency bounded by the
+//               cache capacity
+//
+// Expected shape: indexed open time is orders of magnitude below the full
+// parse, random-seek latency stays in the same ballpark, and the peak
+// resident block count never exceeds the configured LRU capacity. Exit is
+// nonzero on any parity mismatch or LRU bound violation, so the bench
+// doubles as a stress check.
+//
+// Output: one JSON object on stdout.
+// Environment: HGDB_WVX_SIGNALS (default 40), HGDB_WVX_CYCLES (20000),
+//              HGDB_WVX_SEEKS (2000), HGDB_WVX_CACHE (32, in blocks),
+//              HGDB_WVX_BLOCK_CAP (256, changes per block).
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "trace/vcd_reader.h"
+#include "waveform/index_writer.h"
+#include "waveform/indexed_waveform.h"
+
+namespace {
+
+using namespace hgdb;
+using Clock = std::chrono::steady_clock;
+
+uint64_t env_or(const char* name, uint64_t fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::strtoull(value, nullptr, 10) : fallback;
+}
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+/// Deterministic xorshift so runs are reproducible.
+struct Rng {
+  uint64_t state;
+  uint64_t next() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  }
+};
+
+/// Streams a synthetic VCD to disk: one clock plus `signals` data signals of
+/// mixed widths, `cycles` clock periods, ~25% change probability per signal
+/// per cycle. Returns the number of value changes written (excluding clock).
+uint64_t write_synthetic_vcd(const std::string& path, uint64_t signals,
+                             uint64_t cycles) {
+  std::ofstream out(path, std::ios::trunc);
+  const uint32_t widths[] = {1, 8, 32, 80};
+  out << "$timescale 1ns $end\n$scope module bench $end\n";
+  out << "$var wire 1 ck clock $end\n";
+  for (uint64_t i = 0; i < signals; ++i) {
+    out << "$var wire " << widths[i % 4] << " c" << i << " sig" << i
+        << " [" << widths[i % 4] - 1 << ":0] $end\n";
+  }
+  out << "$upscope $end\n$enddefinitions $end\n";
+
+  Rng rng{0x9e3779b97f4a7c15ull};
+  uint64_t changes = 0;
+  out << "#0\n$dumpvars\n0ck\n";
+  for (uint64_t i = 0; i < signals; ++i) out << "b0 c" << i << "\n";
+  out << "$end\n";
+  for (uint64_t t = 0; t < cycles; ++t) {
+    out << "#" << (2 * t + 1) << "\n1ck\n";
+    for (uint64_t i = 0; i < signals; ++i) {
+      if ((rng.next() & 3) != 0) continue;  // ~25% change rate
+      const uint32_t width = widths[i % 4];
+      const uint64_t value = rng.next();
+      out << "b";
+      // Binary, MSB first, enough digits to look like real traffic.
+      const uint32_t digits = width < 64 ? width : 64;
+      for (uint32_t bit = digits; bit-- > 0;) out << ((value >> bit) & 1);
+      out << " c" << i << "\n";
+      ++changes;
+    }
+    out << "#" << (2 * t + 2) << "\n0ck\n";
+  }
+  return changes;
+}
+
+}  // namespace
+
+int main() {
+  // At least one data signal: the seek loop excludes the clock.
+  const uint64_t signals = std::max<uint64_t>(1, env_or("HGDB_WVX_SIGNALS", 40));
+  const uint64_t cycles = env_or("HGDB_WVX_CYCLES", 20000);
+  const uint64_t seeks = env_or("HGDB_WVX_SEEKS", 2000);
+  const size_t cache_blocks = env_or("HGDB_WVX_CACHE", 32);
+  const uint32_t block_cap = static_cast<uint32_t>(env_or("HGDB_WVX_BLOCK_CAP", 256));
+
+  const std::string vcd_path = "/tmp/hgdb_bench_waveform.vcd";
+  const std::string wvx_path = "/tmp/hgdb_bench_waveform.wvx";
+
+  const uint64_t changes = write_synthetic_vcd(vcd_path, signals, cycles);
+
+  // -- in-memory backend: full-text parse ----------------------------------------
+  auto t0 = Clock::now();
+  auto trace = trace::parse_vcd_file(vcd_path);
+  const double parse_ms = ms_since(t0);
+  const size_t trace_resident = trace.resident_bytes();
+
+  // -- indexed backend: one-time convert, then header+footer-only open -----------
+  t0 = Clock::now();
+  waveform::IndexWriterOptions options;
+  options.block_capacity = block_cap;
+  waveform::convert_vcd_to_index(vcd_path, wvx_path, options);
+  const double convert_ms = ms_since(t0);
+
+  t0 = Clock::now();
+  waveform::IndexedWaveform indexed(wvx_path, cache_blocks);
+  const double open_ms = ms_since(t0);
+
+  // -- random cycle seeks, answered by both backends -----------------------------
+  Rng rng{0xdeadbeefcafef00dull};
+  std::vector<std::pair<size_t, uint64_t>> queries;
+  queries.reserve(seeks);
+  for (uint64_t i = 0; i < seeks; ++i) {
+    // Skip signal 0 (the clock) so seeks hit data blocks.
+    const size_t signal = 1 + rng.next() % (trace.signal_count() - 1);
+    const uint64_t time = rng.next() % (trace.max_time() + 1);
+    queries.emplace_back(signal, time);
+  }
+
+  uint64_t mismatches = 0;
+  t0 = Clock::now();
+  uint64_t checksum_memory = 0;
+  for (const auto& [signal, time] : queries) {
+    checksum_memory += trace.value_at(signal, time).to_uint64();
+  }
+  const double memory_seek_ms = ms_since(t0);
+
+  t0 = Clock::now();
+  uint64_t checksum_indexed = 0;
+  for (const auto& [signal, time] : queries) {
+    checksum_indexed += indexed.value_at(signal, time).to_uint64();
+  }
+  const double indexed_seek_ms = ms_since(t0);
+
+  for (const auto& [signal, time] : queries) {
+    if (trace.value_at(signal, time) != indexed.value_at(signal, time)) {
+      ++mismatches;
+    }
+  }
+
+  const auto stats = indexed.cache_stats();
+  const bool lru_bounded = stats.peak_resident <= indexed.cache_capacity();
+  // Residency proxy for the indexed store: peak cached blocks, each at most
+  // block_capacity entries of (8 time bytes + value payload + BitVector
+  // overhead of one 64-bit word per started 64 bits).
+  const uint64_t indexed_resident =
+      static_cast<uint64_t>(stats.peak_resident) * block_cap * (8 + 16 + 16);
+
+  std::printf(
+      "{\n"
+      "  \"config\": {\"signals\": %" PRIu64 ", \"cycles\": %" PRIu64
+      ", \"changes\": %" PRIu64 ", \"seeks\": %" PRIu64
+      ", \"cache_blocks\": %zu, \"block_capacity\": %u},\n"
+      "  \"in_memory\": {\"parse_ms\": %.2f, \"resident_bytes\": %zu, "
+      "\"seek_us_avg\": %.3f},\n"
+      "  \"indexed\": {\"convert_ms\": %.2f, \"open_ms\": %.2f, "
+      "\"seek_us_avg\": %.3f, \"resident_bytes_proxy\": %" PRIu64 ",\n"
+      "    \"total_blocks\": %" PRIu64 ", \"cache\": {\"hits\": %" PRIu64
+      ", \"misses\": %" PRIu64 ", \"evictions\": %" PRIu64
+      ", \"peak_resident\": %zu, \"capacity\": %zu}},\n"
+      "  \"open_vs_parse_speedup\": %.1f,\n"
+      "  \"parity_mismatches\": %" PRIu64 ",\n"
+      "  \"lru_bounded\": %s\n"
+      "}\n",
+      signals, cycles, changes, seeks, cache_blocks, block_cap, parse_ms,
+      trace_resident, memory_seek_ms * 1000.0 / static_cast<double>(seeks),
+      convert_ms, open_ms,
+      indexed_seek_ms * 1000.0 / static_cast<double>(seeks), indexed_resident,
+      indexed.total_blocks(), stats.hits, stats.misses, stats.evictions,
+      stats.peak_resident, indexed.cache_capacity(),
+      open_ms > 0 ? parse_ms / open_ms : 0.0, mismatches,
+      lru_bounded ? "true" : "false");
+
+  std::remove(vcd_path.c_str());
+  std::remove(wvx_path.c_str());
+  if (mismatches != 0 || !lru_bounded) return 1;
+  (void)checksum_memory;
+  (void)checksum_indexed;
+  return 0;
+}

@@ -4,10 +4,20 @@
 // an IDE would use; the simulation runs on a background thread like a
 // live simulator process.
 //
-// Usage: hgdb-cli <workload> [--optimized] [--cycles N]
+// Usage: hgdb-cli <workload> [--optimized] [--cycles N] [--replay vcd|wvx]
 //   workload: multiply | mm | mt-matmul | vvadd | qsort | dhrystone |
 //             median | towers | spmv | mt-vvadd | fpu
+//
+// With --replay the workload is first simulated to a trace dump, then the
+// same REPL attaches to the *trace* through the replay backend (paper
+// Sec. 3.3): identical commands, free time travel, no live simulator.
+// "vcd" debugs the dump through the in-memory trace::VcdTrace; "wvx"
+// converts it to the on-disk waveform index and debugs through
+// waveform::IndexedWaveform with LRU-bounded residency.
+#include <unistd.h>
+
 #include <atomic>
+#include <cstdio>
 #include <iostream>
 #include <sstream>
 #include <thread>
@@ -16,8 +26,13 @@
 #include "frontend/compile.h"
 #include "runtime/runtime.h"
 #include "sim/simulator.h"
+#include "sim/vcd_writer.h"
 #include "symbols/symbol_table.h"
+#include "trace/vcd_reader.h"
 #include "vpi/native_backend.h"
+#include "vpi/replay_backend.h"
+#include "waveform/index_writer.h"
+#include "waveform/indexed_waveform.h"
 #include "workloads/workloads.h"
 
 namespace {
@@ -58,39 +73,12 @@ void print_stop(const rpc::StopEvent& stop) {
   }
 }
 
-int run_cli(const std::string& name, bool debug_mode, uint64_t cycles) {
-  // Build + compile the requested design.
-  std::unique_ptr<ir::Circuit> circuit;
-  if (name == "fpu") {
-    circuit = workloads::build_fpu_compare(/*with_bug=*/true);
-  } else {
-    circuit = workloads::workload(name).build();
-  }
-  frontend::CompileOptions options;
-  options.debug_mode = debug_mode;
-  auto compiled = frontend::compile(std::move(circuit), options);
-  symbols::MemorySymbolTable table(compiled.symbols);
-  std::cout << "compiled '" << name << "' (" << (debug_mode ? "debug" : "optimized")
-            << "): " << compiled.netlist.signals().size() << " signals, "
-            << table.data().breakpoints.size() << " breakpoints\n";
-
-  sim::Simulator simulator(compiled.netlist);
-  simulator.enable_checkpoints(true);
-  vpi::NativeBackend backend(simulator);
-  runtime::Runtime runtime(backend, table);
-  runtime.attach();
-
-  auto [client_channel, server_channel] = rpc::make_channel_pair();
-  runtime.serve(std::move(server_channel));
-  debugger::DebugClient client(std::move(client_channel));
-
-  std::atomic<bool> done{false};
-  std::thread sim_thread([&] {
-    while (simulator.cycle() < cycles) simulator.tick();
-    done.store(true);
-  });
-
-  std::cout << "type 'help' for commands; simulation is running\n";
+/// The gdb-style command loop, shared by live and replay sessions.
+/// `on_first_run`, when set, fires before the first c/s/rs/rc/wait command —
+/// replay sessions use it to hold the trace until breakpoints are in place.
+void run_repl(debugger::DebugClient& client, const std::atomic<bool>& done,
+              const std::string& finished_message,
+              std::function<void()> on_first_run = {}) {
   std::optional<rpc::StopEvent> current_stop;
   std::string line;
   while (std::cout << "(hgdb) " << std::flush, std::getline(std::cin, line)) {
@@ -145,6 +133,10 @@ int run_cli(const std::string& name, bool debug_mode, uint64_t cycles) {
         }
       } else if (command == "c" || command == "s" || command == "rs" ||
                  command == "rc" || command == "wait") {
+        if (on_first_run) {
+          on_first_run();
+          on_first_run = nullptr;
+        }
         bool ok = true;
         if (command == "c") ok = client.resume();
         if (command == "s") ok = client.step_over();
@@ -158,7 +150,7 @@ int run_cli(const std::string& name, bool debug_mode, uint64_t cycles) {
         if (current_stop) {
           print_stop(*current_stop);
         } else if (done.load()) {
-          std::cout << "simulation finished (" << cycles << " cycles)\n";
+          std::cout << finished_message << "\n";
         } else {
           std::cout << "(no stop within 2s; still running)\n";
         }
@@ -192,6 +184,122 @@ int run_cli(const std::string& name, bool debug_mode, uint64_t cycles) {
       std::cout << "error: " << error.what() << "\n";
     }
   }
+}
+
+/// Builds and compiles the named workload (shared by live and replay).
+frontend::CompileResult compile_workload(const std::string& name,
+                                         bool debug_mode) {
+  std::unique_ptr<ir::Circuit> circuit;
+  if (name == "fpu") {
+    circuit = workloads::build_fpu_compare(/*with_bug=*/true);
+  } else {
+    circuit = workloads::workload(name).build();
+  }
+  frontend::CompileOptions options;
+  options.debug_mode = debug_mode;
+  return frontend::compile(std::move(circuit), options);
+}
+
+/// Deletes the replay dump files however the session ends.
+struct TempFileRemover {
+  std::vector<std::string> paths;
+  ~TempFileRemover() {
+    for (const auto& path : paths) std::remove(path.c_str());
+  }
+};
+
+/// Offline session: simulate once while dumping a trace, then debug the
+/// trace with the unified interface — the paper's replay flow end to end.
+int run_replay_cli(const std::string& name, bool debug_mode, uint64_t cycles,
+                   const std::string& format) {
+  auto compiled = compile_workload(name, debug_mode);
+
+  // Per-process paths: concurrent sessions must not clobber each other.
+  const std::string stem =
+      "/tmp/hgdb_cli_replay." + std::to_string(::getpid());
+  const std::string vcd_path = stem + ".vcd";
+  const std::string wvx_path = stem + ".wvx";
+  TempFileRemover remover{{vcd_path, wvx_path}};
+  {
+    sim::Simulator simulator(compiled.netlist);
+    sim::VcdWriter writer(simulator, vcd_path);
+    writer.attach();
+    simulator.run(cycles);
+  }
+
+  std::shared_ptr<waveform::WaveformSource> source;
+  if (format == "wvx") {
+    waveform::convert_vcd_to_index(vcd_path, wvx_path);
+    auto indexed = std::make_shared<waveform::IndexedWaveform>(wvx_path);
+    std::cout << "indexed " << indexed->signal_count() << " signals into "
+              << indexed->total_blocks() << " blocks (" << wvx_path
+              << "); cache capacity " << indexed->cache_capacity()
+              << " blocks\n";
+    source = std::move(indexed);
+  } else {
+    source = std::make_shared<trace::VcdTrace>(trace::parse_vcd_file(vcd_path));
+  }
+  std::cout << "replaying " << cycles << " dumped cycles of '" << name
+            << "' through the " << (format == "wvx" ? "indexed" : "in-memory")
+            << " waveform store\n";
+
+  vpi::ReplayBackend backend{trace::ReplayEngine(std::move(source))};
+  symbols::MemorySymbolTable table(compiled.symbols);
+  runtime::Runtime runtime(backend, table);
+  runtime.attach();
+
+  auto [client_channel, server_channel] = rpc::make_channel_pair();
+  runtime.serve(std::move(server_channel));
+  debugger::DebugClient client(std::move(client_channel));
+
+  std::atomic<bool> done{false};
+  std::thread replay_thread;
+  // Replay is deterministic and fast: hold it until breakpoints are set,
+  // otherwise the whole dump replays before the first command lands.
+  auto start_replay = [&] {
+    replay_thread = std::thread([&] {
+      backend.run_forward();
+      done.store(true);
+    });
+  };
+
+  std::cout << "type 'help' for commands; set breakpoints, then 'c' starts "
+               "the replay\n";
+  run_repl(client, done, "trace replay reached the end of the dump",
+           start_replay);
+
+  client.detach();
+  if (replay_thread.joinable()) replay_thread.join();
+  runtime.stop_service();
+  return 0;
+}
+
+int run_cli(const std::string& name, bool debug_mode, uint64_t cycles) {
+  auto compiled = compile_workload(name, debug_mode);
+  symbols::MemorySymbolTable table(compiled.symbols);
+  std::cout << "compiled '" << name << "' (" << (debug_mode ? "debug" : "optimized")
+            << "): " << compiled.netlist.signals().size() << " signals, "
+            << table.data().breakpoints.size() << " breakpoints\n";
+
+  sim::Simulator simulator(compiled.netlist);
+  simulator.enable_checkpoints(true);
+  vpi::NativeBackend backend(simulator);
+  runtime::Runtime runtime(backend, table);
+  runtime.attach();
+
+  auto [client_channel, server_channel] = rpc::make_channel_pair();
+  runtime.serve(std::move(server_channel));
+  debugger::DebugClient client(std::move(client_channel));
+
+  std::atomic<bool> done{false};
+  std::thread sim_thread([&] {
+    while (simulator.cycle() < cycles) simulator.tick();
+    done.store(true);
+  });
+
+  std::cout << "type 'help' for commands; simulation is running\n";
+  run_repl(client, done,
+           "simulation finished (" + std::to_string(cycles) + " cycles)");
 
   client.detach();
   sim_thread.join();
@@ -204,19 +312,31 @@ int run_cli(const std::string& name, bool debug_mode, uint64_t cycles) {
 int main(int argc, char** argv) {
   std::string name = "vvadd";
   bool debug_mode = true;
-  uint64_t cycles = 1u << 20;
+  std::optional<uint64_t> cycles;
+  std::string replay_format;  // "", "vcd", or "wvx"
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--optimized") {
       debug_mode = false;
     } else if (arg == "--cycles" && i + 1 < argc) {
       cycles = std::stoull(argv[++i]);
+    } else if (arg == "--replay" && i + 1 < argc) {
+      replay_format = argv[++i];
+      if (replay_format != "vcd" && replay_format != "wvx") {
+        std::cerr << "fatal: --replay expects 'vcd' or 'wvx'\n";
+        return 1;
+      }
     } else {
       name = arg;
     }
   }
   try {
-    return run_cli(name, debug_mode, cycles);
+    if (!replay_format.empty()) {
+      // Replay dumps the whole run up front, so default to a modest trace.
+      return run_replay_cli(name, debug_mode, cycles.value_or(4096),
+                            replay_format);
+    }
+    return run_cli(name, debug_mode, cycles.value_or(uint64_t{1} << 20));
   } catch (const std::exception& error) {
     std::cerr << "fatal: " << error.what() << "\n";
     return 1;

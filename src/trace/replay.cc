@@ -3,46 +3,25 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "common/strings.h"
-
 namespace hgdb::trace {
 
-ReplayEngine::ReplayEngine(VcdTrace trace, const std::string& clock_name)
-    : trace_(std::move(trace)) {
-  std::optional<size_t> clock_index;
-  if (!clock_name.empty()) {
-    clock_index = trace_.var_index(clock_name);
-    if (!clock_index) {
-      // Try a suffix match ("clock" matches "Top.clock").
-      for (size_t i = 0; i < trace_.vars().size(); ++i) {
-        if (common::ends_with_path(trace_.vars()[i].hier_name, clock_name)) {
-          clock_index = i;
-          break;
-        }
-      }
-    }
-    if (!clock_index) {
-      throw std::runtime_error("replay: clock '" + clock_name +
-                               "' not found in trace");
-    }
-  } else {
-    for (size_t i = 0; i < trace_.vars().size(); ++i) {
-      const auto& var = trace_.vars()[i];
-      if (var.width != 1) continue;
-      const auto parts = common::split(var.hier_name, '.');
-      const std::string& leaf = parts.back();
-      if (leaf == "clock" || leaf == "clk") {
-        clock_index = i;
-        break;
-      }
-    }
-    if (!clock_index) {
-      throw std::runtime_error(
-          "replay: no clock variable found (pass clock_name explicitly)");
-    }
+ReplayEngine::ReplayEngine(
+    std::shared_ptr<const waveform::WaveformSource> source,
+    const std::string& clock_name)
+    : source_(std::move(source)) {
+  if (!source_) throw std::runtime_error("replay: null waveform source");
+  const size_t clock_index = waveform::resolve_clock(*source_, clock_name);
+  clock_name_ = source_->signal(clock_index).hier_name;
+  edges_ = source_->rising_edges(clock_index);
+  if (edges_.empty()) {
+    throw std::runtime_error("replay: clock '" + clock_name_ +
+                             "' never rises in the trace (empty edge grid); "
+                             "pass a different clock_name");
   }
-  edges_ = trace_.rising_edges(*clock_index);
 }
+
+ReplayEngine::ReplayEngine(VcdTrace trace, const std::string& clock_name)
+    : ReplayEngine(std::make_shared<VcdTrace>(std::move(trace)), clock_name) {}
 
 std::optional<size_t> ReplayEngine::current_cycle() const {
   auto it = std::upper_bound(edges_.begin(), edges_.end(), time_);
@@ -76,9 +55,9 @@ bool ReplayEngine::step_backward() {
 
 std::optional<common::BitVector> ReplayEngine::value(
     const std::string& hier_name) const {
-  auto index = trace_.var_index(hier_name);
+  auto index = source_->signal_index(hier_name);
   if (!index) return std::nullopt;
-  return trace_.value_at(*index, time_);
+  return source_->value_at(*index, time_);
 }
 
 }  // namespace hgdb::trace

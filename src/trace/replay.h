@@ -7,26 +7,44 @@
 #include <vector>
 
 #include "trace/vcd_reader.h"
+#include "waveform/waveform_source.h"
 
 namespace hgdb::trace {
 
-/// Replay engine over a parsed VCD trace (the paper's "Replay tool" box in
+/// Replay engine over a waveform store (the paper's "Replay tool" box in
 /// Fig. 1). Maintains a time cursor that can move to any clock edge,
 /// forward or backward — time travel is free because the trace holds the
 /// complete history, which is what makes reverse-debugging "much more
 /// challenging to implement for software" trivial here (Sec. 1).
+///
+/// The engine is written against waveform::WaveformSource, so the backend
+/// is interchangeable: an in-memory VcdTrace for small dumps, or a
+/// waveform::IndexedWaveform whose residency is bounded by its LRU block
+/// cache for production-scale dumps.
 class ReplayEngine {
  public:
   /// `clock_name` selects the clock whose rising edges define the cycle
   /// grid. When empty, the engine picks the first 1-bit variable whose
-  /// leaf name is "clock" or "clk".
+  /// leaf name is "clock" or "clk" (case-insensitive, so "CLK" and
+  /// "Clock" work). Throws std::runtime_error when no candidate exists or
+  /// the chosen clock never rises (an empty edge grid cannot replay).
+  explicit ReplayEngine(std::shared_ptr<const waveform::WaveformSource> source,
+                        const std::string& clock_name = "");
+  /// Convenience for the in-memory backend.
   explicit ReplayEngine(VcdTrace trace, const std::string& clock_name = "");
 
-  [[nodiscard]] const VcdTrace& trace() const { return trace_; }
+  [[nodiscard]] const waveform::WaveformSource& source() const {
+    return *source_;
+  }
+  [[nodiscard]] const std::shared_ptr<const waveform::WaveformSource>&
+  source_ptr() const {
+    return source_;
+  }
 
   /// Rising-edge times of the selected clock.
   [[nodiscard]] const std::vector<uint64_t>& edges() const { return edges_; }
   [[nodiscard]] size_t cycle_count() const { return edges_.size(); }
+  [[nodiscard]] const std::string& clock_name() const { return clock_name_; }
 
   // -- time cursor -------------------------------------------------------------
   [[nodiscard]] uint64_t time() const { return time_; }
@@ -45,7 +63,8 @@ class ReplayEngine {
       const std::string& hier_name) const;
 
  private:
-  VcdTrace trace_;
+  std::shared_ptr<const waveform::WaveformSource> source_;
+  std::string clock_name_;
   std::vector<uint64_t> edges_;
   uint64_t time_ = 0;
 };

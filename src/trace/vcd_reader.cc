@@ -1,11 +1,10 @@
 #include "trace/vcd_reader.h"
 
 #include <algorithm>
-#include <fstream>
-#include <sstream>
 #include <stdexcept>
 
-#include "common/strings.h"
+#include "waveform/indexed_waveform.h"
+#include "waveform/vcd_stream_parser.h"
 
 namespace hgdb::trace {
 
@@ -38,133 +37,62 @@ std::vector<uint64_t> VcdTrace::rising_edges(size_t index) const {
   return out;
 }
 
-namespace {
-
-/// Maps VCD value characters to two-state bits ('x'/'z' -> 0).
-bool bit_of(char c) { return c == '1'; }
-
-BitVector parse_vector_value(std::string_view text, uint32_t width) {
-  BitVector value(width, 0);
-  // text is binary, MSB first, possibly shorter than width.
-  uint32_t bit = 0;
-  for (size_t i = text.size(); i-- > 0 && bit < width; ++bit) {
-    if (bit_of(text[i])) value.set_bit(bit, true);
+size_t VcdTrace::resident_bytes() const {
+  size_t bytes = 0;
+  for (const auto& list : changes_) {
+    bytes += list.capacity() * sizeof(list[0]);
+    for (const auto& [time, value] : list) {
+      bytes += value.num_words() * sizeof(uint64_t);
+    }
   }
-  return value;
+  return bytes;
 }
 
-}  // namespace
+/// VcdStreamParser sink that materializes the change lists.
+class VcdTraceBuilder final : public waveform::VcdEventSink {
+ public:
+  void on_signal(size_t id, const waveform::SignalInfo& info) override {
+    if (id != trace_.vars_.size()) {
+      throw std::runtime_error("vcd: non-contiguous signal id");
+    }
+    // Aliased re-declarations of one name keep the first index.
+    trace_.by_name_.emplace(info.hier_name, id);
+    trace_.vars_.push_back(info);
+    trace_.changes_.emplace_back();
+  }
+
+  void on_change(size_t id, uint64_t time, const BitVector& value) override {
+    trace_.changes_[id].emplace_back(time, value);
+  }
+
+  void on_finish(uint64_t max_time) override { trace_.max_time_ = max_time; }
+
+  VcdTrace take() { return std::move(trace_); }
+
+ private:
+  VcdTrace trace_;
+};
 
 VcdTrace parse_vcd(std::string_view text) {
-  VcdTrace trace;
-  std::map<std::string, size_t> code_to_index;
-  std::vector<std::string> scope_stack;
-  uint64_t now = 0;
-  bool in_definitions = true;
-
-  std::istringstream stream{std::string(text)};
-  std::string token;
-
-  auto read_token = [&]() -> bool { return bool(stream >> token); };
-  auto expect_end = [&] {
-    while (read_token()) {
-      if (token == "$end") return;
-    }
-    throw std::runtime_error("vcd: unterminated directive");
-  };
-
-  while (read_token()) {
-    if (token.empty()) continue;
-    if (token[0] == '$') {
-      if (token == "$scope") {
-        std::string kind, name;
-        stream >> kind >> name;
-        scope_stack.push_back(name);
-        expect_end();
-      } else if (token == "$upscope") {
-        if (scope_stack.empty()) throw std::runtime_error("vcd: upscope underflow");
-        scope_stack.pop_back();
-        expect_end();
-      } else if (token == "$var") {
-        std::string kind, width_text, code;
-        stream >> kind >> width_text >> code;
-        VcdVar var;
-        var.width = static_cast<uint32_t>(std::stoul(width_text));
-        std::string name;
-        stream >> name;
-        // Optional "[msb:lsb]" token before $end.
-        std::string tail;
-        while (stream >> tail && tail != "$end") {
-          // ignore range tokens
-        }
-        std::string full;
-        for (const auto& scope : scope_stack) full += scope + ".";
-        full += name;
-        var.hier_name = full;
-        code_to_index[code] = trace.vars_.size();
-        trace.by_name_[full] = trace.vars_.size();
-        trace.vars_.push_back(std::move(var));
-        trace.changes_.emplace_back();
-      } else if (token == "$enddefinitions") {
-        expect_end();
-        in_definitions = false;
-      } else if (token == "$dumpvars" || token == "$dumpall" ||
-                 token == "$dumpon" || token == "$dumpoff") {
-        // Value-change section; values follow until $end but are parsed by
-        // the normal value handling below.
-      } else if (token == "$end") {
-        // end of a dump section
-      } else {
-        expect_end();
-      }
-      continue;
-    }
-    if (in_definitions) continue;
-    if (token[0] == '#') {
-      now = std::stoull(token.substr(1));
-      trace.max_time_ = std::max(trace.max_time_, now);
-      continue;
-    }
-    if (token[0] == 'b' || token[0] == 'B') {
-      const std::string value_text = token.substr(1);
-      std::string code;
-      stream >> code;
-      auto it = code_to_index.find(code);
-      if (it == code_to_index.end()) {
-        throw std::runtime_error("vcd: unknown id code '" + code + "'");
-      }
-      const size_t index = it->second;
-      trace.changes_[index].emplace_back(
-          now, parse_vector_value(value_text, trace.vars_[index].width));
-      continue;
-    }
-    if (token[0] == '0' || token[0] == '1' || token[0] == 'x' ||
-        token[0] == 'X' || token[0] == 'z' || token[0] == 'Z') {
-      const std::string code = token.substr(1);
-      auto it = code_to_index.find(code);
-      if (it == code_to_index.end()) {
-        throw std::runtime_error("vcd: unknown id code '" + code + "'");
-      }
-      trace.changes_[it->second].emplace_back(
-          now, BitVector(1, bit_of(token[0]) ? 1 : 0));
-      continue;
-    }
-    if (token[0] == 'r' || token[0] == 'R') {
-      // real values: unsupported, skip the code token
-      stream >> token;
-      continue;
-    }
-    throw std::runtime_error("vcd: unexpected token '" + token + "'");
-  }
-  return trace;
+  VcdTraceBuilder builder;
+  waveform::VcdStreamParser::parse_text(text, builder);
+  return builder.take();
 }
 
 VcdTrace parse_vcd_file(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open VCD file '" + path + "'");
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return parse_vcd(buffer.str());
+  VcdTraceBuilder builder;
+  waveform::VcdStreamParser::parse_file(path, builder);
+  return builder.take();
+}
+
+std::shared_ptr<waveform::WaveformSource> open_waveform(const std::string& path,
+                                                        size_t cache_blocks) {
+  const bool indexed =
+      path.size() >= 4 && path.compare(path.size() - 4, 4, ".wvx") == 0;
+  if (indexed) {
+    return std::make_shared<waveform::IndexedWaveform>(path, cache_blocks);
+  }
+  return std::make_shared<VcdTrace>(parse_vcd_file(path));
 }
 
 }  // namespace hgdb::trace

@@ -2,27 +2,20 @@
 
 #include <algorithm>
 
-#include "common/strings.h"
-
 namespace hgdb::vpi {
 
 std::vector<std::string> ReplayBackend::signal_names() const {
+  const auto& source = engine_.source();
   std::vector<std::string> out;
-  out.reserve(engine_.trace().vars().size());
-  for (const auto& var : engine_.trace().vars()) out.push_back(var.hier_name);
+  out.reserve(source.signal_count());
+  for (size_t i = 0; i < source.signal_count(); ++i) {
+    out.push_back(source.signal(i).hier_name);
+  }
   return out;
 }
 
 std::vector<std::string> ReplayBackend::clock_names() const {
-  std::vector<std::string> out;
-  for (const auto& var : engine_.trace().vars()) {
-    if (var.width != 1) continue;
-    const auto parts = common::split(var.hier_name, '.');
-    if (parts.back() == "clock" || parts.back() == "clk") {
-      out.push_back(var.hier_name);
-    }
-  }
-  return out;
+  return waveform::clock_signal_names(engine_.source());
 }
 
 uint64_t ReplayBackend::add_clock_callback(ClockCallback callback) {
@@ -37,7 +30,7 @@ void ReplayBackend::remove_clock_callback(uint64_t handle) {
 }
 
 bool ReplayBackend::set_time(uint64_t time) {
-  if (time > engine_.trace().max_time()) return false;
+  if (time > engine_.source().max_time()) return false;
   engine_.set_time(time);
   return true;
 }

@@ -8,8 +8,10 @@
 
 namespace hgdb::vpi {
 
-/// Trace backend: adapts a VCD replay engine to the unified interface
-/// (the "Replay tool" box in the paper's Fig. 1).
+/// Trace backend: adapts a waveform replay engine to the unified interface
+/// (the "Replay tool" box in the paper's Fig. 1). The engine's store may be
+/// an in-memory trace::VcdTrace or an on-disk waveform::IndexedWaveform —
+/// the debugger runtime above cannot tell the difference.
 ///
 /// Unlike a live simulator, nothing drives time forward by itself; the
 /// owner calls run_forward()/run_backward()/step(), and the backend fires

@@ -1,0 +1,71 @@
+#ifndef HGDB_WAVEFORM_INDEX_FORMAT_H
+#define HGDB_WAVEFORM_INDEX_FORMAT_H
+
+#include <cstdint>
+
+#include "waveform/waveform_source.h"
+
+namespace hgdb::waveform {
+
+/// The .wvx on-disk waveform index, version 1.
+///
+/// Layout (all integers little-endian, fixed width):
+///
+///   [header: 32 bytes]
+///     u32 magic            "WVX1" (0x31585657)
+///     u32 version          1
+///     u64 footer_offset    patched after the block region is written
+///     u64 max_time
+///     u64 signal_count
+///   [block region]
+///     Per-signal columnar change blocks, interleaved in write order. One
+///     block is `count` fixed-stride entries for a single signal:
+///       u64 time, then ceil(width/8) value bytes (little-endian).
+///   [footer: signal table + block directory]
+///     per signal:
+///       u32 name_len, name bytes
+///       u32 width
+///       u64 block_count
+///       per block: u64 start_time, u64 end_time, u64 file_offset, u32 count
+///
+/// The footer is small (O(signals + blocks)) and is the only part an
+/// IndexedWaveform keeps resident; block payloads load on demand through
+/// the LRU cache. The directory per signal is sorted by start_time, so a
+/// cycle seek is a binary search over the directory followed by a binary
+/// search inside one block: O(log blocks + log block_capacity), no
+/// full-trace parse.
+constexpr uint32_t kWvxMagic = 0x31585657;  // "WVX1"
+constexpr uint32_t kWvxVersion = 1;
+constexpr size_t kWvxHeaderSize = 32;
+
+/// Directory entry for one on-disk change block.
+struct BlockInfo {
+  uint64_t start_time = 0;  ///< time of the first entry
+  uint64_t end_time = 0;    ///< time of the last entry
+  uint64_t file_offset = 0; ///< absolute offset of the first entry
+  uint32_t count = 0;       ///< number of entries
+};
+
+/// Resident metadata for one indexed signal.
+struct IndexedSignal {
+  SignalInfo info;
+  uint32_t value_bytes = 0;  ///< ceil(width/8): per-entry value payload
+  std::vector<BlockInfo> blocks;
+};
+
+/// Bytes of one on-disk entry for a signal of `width` bits.
+constexpr uint32_t wvx_value_bytes(uint32_t width) { return (width + 7) / 8; }
+constexpr uint64_t wvx_entry_stride(uint32_t width) {
+  return 8 + wvx_value_bytes(width);
+}
+
+struct IndexWriterOptions {
+  /// Changes per block. Smaller blocks seek faster and cache finer; larger
+  /// blocks amortize directory size. 256 keeps a 32-bit signal's block
+  /// at ~3 KiB.
+  uint32_t block_capacity = 256;
+};
+
+}  // namespace hgdb::waveform
+
+#endif  // HGDB_WAVEFORM_INDEX_FORMAT_H

@@ -1,0 +1,131 @@
+#include "waveform/index_writer.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace hgdb::waveform {
+
+namespace {
+
+void put_u32(std::ofstream& out, uint32_t value) {
+  char bytes[4];
+  for (int i = 0; i < 4; ++i) bytes[i] = static_cast<char>(value >> (8 * i));
+  out.write(bytes, 4);
+}
+
+void put_u64(std::ofstream& out, uint64_t value) {
+  char bytes[8];
+  for (int i = 0; i < 8; ++i) bytes[i] = static_cast<char>(value >> (8 * i));
+  out.write(bytes, 8);
+}
+
+void put_value(std::ofstream& out, const common::BitVector& value,
+               uint32_t value_bytes) {
+  const auto& words = value.words();
+  for (uint32_t byte = 0; byte < value_bytes; ++byte) {
+    const size_t word = byte / 8;
+    const uint64_t shifted = word < words.size() ? words[word] >> (8 * (byte % 8)) : 0;
+    out.put(static_cast<char>(shifted & 0xff));
+  }
+}
+
+}  // namespace
+
+IndexWriter::IndexWriter(const std::string& path, IndexWriterOptions options)
+    : path_(path), options_(options), out_(path, std::ios::binary | std::ios::trunc) {
+  if (!out_) {
+    throw std::runtime_error("wvx: cannot open '" + path + "' for writing");
+  }
+  if (options_.block_capacity == 0) options_.block_capacity = 1;
+  // Header with a placeholder footer offset; patched in on_finish().
+  put_u32(out_, kWvxMagic);
+  put_u32(out_, kWvxVersion);
+  put_u64(out_, 0);  // footer_offset
+  put_u64(out_, 0);  // max_time
+  put_u64(out_, 0);  // signal_count
+}
+
+IndexWriter::~IndexWriter() {
+  // Abandoned (exception unwound before on_finish): leave the truncated
+  // file; readers reject it via the zero footer offset.
+}
+
+void IndexWriter::on_signal(size_t id, const SignalInfo& info) {
+  if (id != signals_.size()) {
+    throw std::runtime_error("wvx: non-contiguous signal id");
+  }
+  IndexedSignal signal;
+  signal.info = info;
+  signal.value_bytes = wvx_value_bytes(info.width);
+  signals_.push_back(std::move(signal));
+  pending_.emplace_back();
+}
+
+void IndexWriter::on_change(size_t id, uint64_t time,
+                            const common::BitVector& value) {
+  if (id >= signals_.size()) throw std::runtime_error("wvx: bad signal id");
+  auto& pending = pending_[id];
+  // Same-timestamp glitches (0->1->0 within one #time) are kept verbatim:
+  // upper_bound seeks pick the last entry at a time, matching VcdTrace
+  // exactly, and rising_edges must see the intermediate values so both
+  // backends report identical edge grids.
+  pending.times.push_back(time);
+  pending.values.push_back(value);
+  if (pending.times.size() >= options_.block_capacity) flush_block(id);
+}
+
+void IndexWriter::flush_block(size_t id) {
+  auto& pending = pending_[id];
+  if (pending.times.empty()) return;
+  auto& signal = signals_[id];
+  BlockInfo block;
+  block.start_time = pending.times.front();
+  block.end_time = pending.times.back();
+  block.file_offset = static_cast<uint64_t>(out_.tellp());
+  block.count = static_cast<uint32_t>(pending.times.size());
+  for (size_t i = 0; i < pending.times.size(); ++i) {
+    put_u64(out_, pending.times[i]);
+    put_value(out_, pending.values[i], signal.value_bytes);
+  }
+  signal.blocks.push_back(block);
+  pending.times.clear();
+  pending.values.clear();
+  ++blocks_written_;
+}
+
+void IndexWriter::on_finish(uint64_t max_time) {
+  for (size_t id = 0; id < signals_.size(); ++id) flush_block(id);
+  const uint64_t footer_offset = static_cast<uint64_t>(out_.tellp());
+  for (const auto& signal : signals_) {
+    put_u32(out_, static_cast<uint32_t>(signal.info.hier_name.size()));
+    out_.write(signal.info.hier_name.data(),
+               static_cast<std::streamsize>(signal.info.hier_name.size()));
+    put_u32(out_, signal.info.width);
+    put_u64(out_, signal.blocks.size());
+    for (const auto& block : signal.blocks) {
+      put_u64(out_, block.start_time);
+      put_u64(out_, block.end_time);
+      put_u64(out_, block.file_offset);
+      put_u32(out_, block.count);
+    }
+  }
+  // Patch the header.
+  out_.seekp(8);
+  put_u64(out_, footer_offset);
+  put_u64(out_, max_time);
+  put_u64(out_, signals_.size());
+  out_.flush();
+  if (!out_) throw std::runtime_error("wvx: write failed for '" + path_ + "'");
+  out_.close();
+  finished_ = true;
+}
+
+size_t convert_vcd_to_index(const std::string& vcd_path,
+                            const std::string& index_path,
+                            IndexWriterOptions options) {
+  IndexWriter writer(index_path, options);
+  VcdStreamParser::parse_file(vcd_path, writer);
+  return writer.signal_count();
+}
+
+}  // namespace hgdb::waveform

@@ -1,0 +1,61 @@
+#ifndef HGDB_WAVEFORM_INDEX_WRITER_H
+#define HGDB_WAVEFORM_INDEX_WRITER_H
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "waveform/index_format.h"
+#include "waveform/vcd_stream_parser.h"
+
+namespace hgdb::waveform {
+
+/// Builds a .wvx index file from a stream of VCD events. Used as the sink
+/// of a VcdStreamParser, so VCD -> index conversion never materializes the
+/// trace: resident state is one partially-filled block per signal plus the
+/// growing (small) directory.
+class IndexWriter final : public VcdEventSink {
+ public:
+  explicit IndexWriter(const std::string& path, IndexWriterOptions options = {});
+  ~IndexWriter() override;
+
+  IndexWriter(const IndexWriter&) = delete;
+  IndexWriter& operator=(const IndexWriter&) = delete;
+
+  // -- VcdEventSink -------------------------------------------------------------
+  void on_signal(size_t id, const SignalInfo& info) override;
+  void on_change(size_t id, uint64_t time,
+                 const common::BitVector& value) override;
+  void on_finish(uint64_t max_time) override;
+
+  /// True once on_finish() wrote the footer and closed the file.
+  [[nodiscard]] bool finished() const { return finished_; }
+  [[nodiscard]] size_t signal_count() const { return signals_.size(); }
+  [[nodiscard]] uint64_t blocks_written() const { return blocks_written_; }
+
+ private:
+  struct Pending {
+    std::vector<uint64_t> times;
+    std::vector<common::BitVector> values;
+  };
+
+  void flush_block(size_t id);
+
+  std::string path_;
+  IndexWriterOptions options_;
+  std::ofstream out_;
+  std::vector<IndexedSignal> signals_;
+  std::vector<Pending> pending_;
+  uint64_t blocks_written_ = 0;
+  bool finished_ = false;
+};
+
+/// Streams `vcd_path` through a VcdStreamParser into an IndexWriter.
+/// Returns the number of indexed signals.
+size_t convert_vcd_to_index(const std::string& vcd_path,
+                            const std::string& index_path,
+                            IndexWriterOptions options = {});
+
+}  // namespace hgdb::waveform
+
+#endif  // HGDB_WAVEFORM_INDEX_WRITER_H

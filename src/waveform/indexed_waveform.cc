@@ -1,0 +1,225 @@
+#include "waveform/indexed_waveform.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hgdb::waveform {
+
+using common::BitVector;
+
+namespace {
+
+class Reader {
+ public:
+  Reader(std::ifstream& in, const std::string& path) : in_(in), path_(path) {}
+
+  uint32_t u32() {
+    unsigned char bytes[4];
+    read(bytes, 4);
+    uint32_t out = 0;
+    for (int i = 3; i >= 0; --i) out = (out << 8) | bytes[i];
+    return out;
+  }
+
+  uint64_t u64() {
+    unsigned char bytes[8];
+    read(bytes, 8);
+    uint64_t out = 0;
+    for (int i = 7; i >= 0; --i) out = (out << 8) | bytes[i];
+    return out;
+  }
+
+  std::string str(size_t length) {
+    std::string out(length, '\0');
+    read(out.data(), length);
+    return out;
+  }
+
+  void read(void* dst, size_t bytes) {
+    in_.read(static_cast<char*>(dst), static_cast<std::streamsize>(bytes));
+    if (static_cast<size_t>(in_.gcount()) != bytes) {
+      throw std::runtime_error("wvx: truncated index file '" + path_ + "'");
+    }
+  }
+
+ private:
+  std::ifstream& in_;
+  const std::string& path_;
+};
+
+}  // namespace
+
+namespace {
+
+/// Sanity bounds for untrusted on-disk metadata: a corrupt or crafted
+/// index must fail with a clean error, not an unchecked huge allocation.
+constexpr uint32_t kMaxSignalWidth = 1u << 20;   // 1M bits
+constexpr uint32_t kMaxNameLength = 1u << 16;
+
+[[noreturn]] void corrupt(const std::string& path, const std::string& what) {
+  throw std::runtime_error("wvx: corrupt index '" + path + "': " + what);
+}
+
+}  // namespace
+
+IndexedWaveform::IndexedWaveform(const std::string& path, size_t cache_blocks)
+    : path_(path),
+      file_(path, std::ios::binary),
+      cache_(cache_blocks) {
+  if (!file_) {
+    throw std::runtime_error("wvx: cannot open index file '" + path + "'");
+  }
+  file_.seekg(0, std::ios::end);
+  const uint64_t file_size = static_cast<uint64_t>(file_.tellg());
+  file_.seekg(0);
+  Reader reader(file_, path_);
+  if (reader.u32() != kWvxMagic) {
+    throw std::runtime_error("wvx: '" + path + "' is not a waveform index (bad magic)");
+  }
+  const uint32_t version = reader.u32();
+  if (version != kWvxVersion) {
+    throw std::runtime_error("wvx: unsupported index version " +
+                             std::to_string(version) + " in '" + path + "'");
+  }
+  const uint64_t footer_offset = reader.u64();
+  max_time_ = reader.u64();
+  const uint64_t signal_count = reader.u64();
+  if (footer_offset == 0) {
+    throw std::runtime_error("wvx: '" + path +
+                             "' was never finalized (missing footer)");
+  }
+  if (footer_offset < kWvxHeaderSize || footer_offset > file_size) {
+    corrupt(path_, "footer offset outside the file");
+  }
+  // Every signal needs >= 16 footer bytes, every block 28: cheap a-priori
+  // caps so corrupt counts fail before any reserve/allocation.
+  if (signal_count > (file_size - footer_offset) / 16) {
+    corrupt(path_, "signal count exceeds footer size");
+  }
+  const uint64_t max_total_blocks = (file_size - footer_offset) / 28;
+  file_.seekg(static_cast<std::streamoff>(footer_offset));
+  signals_.reserve(signal_count);
+  for (uint64_t i = 0; i < signal_count; ++i) {
+    IndexedSignal signal;
+    const uint32_t name_len = reader.u32();
+    if (name_len > kMaxNameLength) corrupt(path_, "oversized signal name");
+    signal.info.hier_name = reader.str(name_len);
+    signal.info.width = reader.u32();
+    if (signal.info.width == 0 || signal.info.width > kMaxSignalWidth) {
+      corrupt(path_, "implausible signal width");
+    }
+    signal.value_bytes = wvx_value_bytes(signal.info.width);
+    const uint64_t stride = wvx_entry_stride(signal.info.width);
+    const uint64_t block_count = reader.u64();
+    if (total_blocks_ + block_count > max_total_blocks) {
+      corrupt(path_, "block count exceeds footer size");
+    }
+    signal.blocks.reserve(block_count);
+    for (uint64_t b = 0; b < block_count; ++b) {
+      BlockInfo block;
+      block.start_time = reader.u64();
+      block.end_time = reader.u64();
+      block.file_offset = reader.u64();
+      block.count = reader.u32();
+      // Block payloads live strictly between the header and the footer.
+      if (block.count == 0 || block.file_offset < kWvxHeaderSize ||
+          block.file_offset > footer_offset ||
+          static_cast<uint64_t>(block.count) * stride >
+              footer_offset - block.file_offset) {
+        corrupt(path_, "block outside the data region");
+      }
+      signal.blocks.push_back(block);
+    }
+    total_blocks_ += block_count;
+    // emplace (first wins) to match VcdTrace's duplicate-name resolution.
+    by_name_.emplace(signal.info.hier_name, signals_.size());
+    signals_.push_back(std::move(signal));
+  }
+}
+
+std::optional<size_t> IndexedWaveform::signal_index(
+    const std::string& hier_name) const {
+  auto it = by_name_.find(hier_name);
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+BlockCache::BlockPtr IndexedWaveform::load_block(size_t signal_index,
+                                                 size_t block_index) const {
+  // Caller holds mutex_.
+  const BlockCache::Key key{static_cast<uint32_t>(signal_index),
+                            static_cast<uint32_t>(block_index)};
+  if (auto cached = cache_.lookup(key)) return cached;
+
+  const auto& signal = signals_[signal_index];
+  const auto& info = signal.blocks[block_index];
+  const uint64_t stride = wvx_entry_stride(signal.info.width);
+  std::vector<char> raw(static_cast<size_t>(info.count) * stride);
+  file_.seekg(static_cast<std::streamoff>(info.file_offset));
+  file_.read(raw.data(), static_cast<std::streamsize>(raw.size()));
+  if (static_cast<size_t>(file_.gcount()) != raw.size()) {
+    throw std::runtime_error("wvx: truncated block in '" + path_ + "'");
+  }
+
+  auto block = std::make_shared<BlockCache::Block>();
+  block->reserve(info.count);
+  const uint32_t width = signal.info.width;
+  const size_t num_words = (width + 63) / 64;
+  for (uint32_t entry = 0; entry < info.count; ++entry) {
+    const unsigned char* base =
+        reinterpret_cast<const unsigned char*>(raw.data()) + entry * stride;
+    uint64_t time = 0;
+    for (int i = 7; i >= 0; --i) time = (time << 8) | base[i];
+    std::vector<uint64_t> words(num_words, 0);
+    for (uint32_t byte = 0; byte < signal.value_bytes; ++byte) {
+      words[byte / 8] |= static_cast<uint64_t>(base[8 + byte]) << (8 * (byte % 8));
+    }
+    block->emplace_back(time, BitVector::from_words(width, std::move(words)));
+  }
+  cache_.insert(key, block);
+  return block;
+}
+
+BitVector IndexedWaveform::value_at(size_t index, uint64_t time) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto& signal = signals_[index];
+  const auto& directory = signal.blocks;
+  // Last block whose first entry is at or before `time`.
+  auto it = std::upper_bound(
+      directory.begin(), directory.end(), time,
+      [](uint64_t t, const BlockInfo& block) { return t < block.start_time; });
+  if (it == directory.begin()) return BitVector(signal.info.width, 0);
+  const size_t block_index =
+      static_cast<size_t>(std::distance(directory.begin(), it)) - 1;
+  auto block = load_block(index, block_index);
+  // Last entry with entry.time <= time. For a well-formed index the first
+  // entry equals start_time so one always exists; a corrupt directory whose
+  // start_time understates the payload must not walk before begin().
+  auto entry = std::upper_bound(
+      block->begin(), block->end(), time,
+      [](uint64_t t, const auto& change) { return t < change.first; });
+  if (entry == block->begin()) return BitVector(signal.info.width, 0);
+  return std::prev(entry)->second;
+}
+
+std::vector<uint64_t> IndexedWaveform::rising_edges(size_t index) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<uint64_t> out;
+  bool previous = false;
+  for (size_t b = 0; b < signals_[index].blocks.size(); ++b) {
+    auto block = load_block(index, b);
+    for (const auto& [time, value] : *block) {
+      const bool current = value.to_bool();
+      if (current && !previous) out.push_back(time);
+      previous = current;
+    }
+  }
+  return out;
+}
+
+CacheStats IndexedWaveform::cache_stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cache_.stats();
+}
+
+}  // namespace hgdb::waveform

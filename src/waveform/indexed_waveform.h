@@ -1,0 +1,71 @@
+#ifndef HGDB_WAVEFORM_INDEXED_WAVEFORM_H
+#define HGDB_WAVEFORM_INDEXED_WAVEFORM_H
+
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "waveform/block_cache.h"
+#include "waveform/index_format.h"
+#include "waveform/waveform_source.h"
+
+namespace hgdb::waveform {
+
+/// WaveformSource over a .wvx index file. Opening reads only the 32-byte
+/// header and the footer (signal table + block directory); change payloads
+/// stream in on demand through an LRU block cache, so the resident set is
+/// bounded by `cache_blocks` regardless of trace size. A cycle seek is
+/// O(log blocks + log block_capacity).
+///
+/// Thread-safe for concurrent queries (one mutex around the cache + file
+/// handle; the debugger runtime evaluates breakpoint batches from a pool).
+class IndexedWaveform final : public WaveformSource {
+ public:
+  static constexpr size_t kDefaultCacheBlocks = waveform::kDefaultCacheBlocks;
+
+  /// Throws std::runtime_error on missing file, bad magic/version, or a
+  /// truncated (unfinished) index.
+  explicit IndexedWaveform(const std::string& path,
+                           size_t cache_blocks = kDefaultCacheBlocks);
+
+  // -- WaveformSource -----------------------------------------------------------
+  [[nodiscard]] size_t signal_count() const override { return signals_.size(); }
+  [[nodiscard]] const SignalInfo& signal(size_t index) const override {
+    return signals_[index].info;
+  }
+  [[nodiscard]] std::optional<size_t> signal_index(
+      const std::string& hier_name) const override;
+  [[nodiscard]] uint64_t max_time() const override { return max_time_; }
+  [[nodiscard]] common::BitVector value_at(size_t index,
+                                           uint64_t time) const override;
+  [[nodiscard]] std::vector<uint64_t> rising_edges(size_t index) const override;
+
+  // -- introspection ------------------------------------------------------------
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] const std::vector<BlockInfo>& blocks(size_t index) const {
+    return signals_[index].blocks;
+  }
+  [[nodiscard]] CacheStats cache_stats() const;
+  [[nodiscard]] size_t cache_capacity() const { return cache_.capacity(); }
+  [[nodiscard]] uint64_t total_blocks() const { return total_blocks_; }
+
+ private:
+  BlockCache::BlockPtr load_block(size_t signal_index, size_t block_index) const;
+
+  std::string path_;
+  std::vector<IndexedSignal> signals_;
+  std::map<std::string, size_t> by_name_;
+  uint64_t max_time_ = 0;
+  uint64_t total_blocks_ = 0;
+
+  mutable std::mutex mutex_;
+  mutable std::ifstream file_;
+  mutable BlockCache cache_;
+};
+
+}  // namespace hgdb::waveform
+
+#endif  // HGDB_WAVEFORM_INDEXED_WAVEFORM_H

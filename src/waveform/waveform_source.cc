@@ -1,0 +1,65 @@
+#include "waveform/waveform_source.h"
+
+#include <cctype>
+#include <stdexcept>
+
+#include "common/strings.h"
+
+namespace hgdb::waveform {
+
+bool is_clock_leaf(std::string_view leaf) {
+  std::string lower;
+  lower.reserve(leaf.size());
+  for (char c : leaf) {
+    // unsigned char cast: passing negative bytes to tolower is UB.
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return lower == "clock" || lower == "clk";
+}
+
+namespace {
+
+std::string leaf_of(const std::string& hier_name) {
+  const size_t dot = hier_name.rfind('.');
+  return dot == std::string::npos ? hier_name : hier_name.substr(dot + 1);
+}
+
+}  // namespace
+
+std::vector<std::string> clock_signal_names(const WaveformSource& source) {
+  std::vector<std::string> out;
+  for (size_t i = 0; i < source.signal_count(); ++i) {
+    const auto& info = source.signal(i);
+    if (info.width == 1 && is_clock_leaf(leaf_of(info.hier_name))) {
+      out.push_back(info.hier_name);
+    }
+  }
+  return out;
+}
+
+size_t resolve_clock(const WaveformSource& source,
+                     const std::string& clock_name) {
+  if (!clock_name.empty()) {
+    if (auto index = source.signal_index(clock_name)) return *index;
+    // Dotted-suffix match: "clock" matches "Top.clock".
+    for (size_t i = 0; i < source.signal_count(); ++i) {
+      if (common::ends_with_path(source.signal(i).hier_name, clock_name)) {
+        return i;
+      }
+    }
+    throw std::runtime_error("replay: clock '" + clock_name +
+                             "' not found in trace (" +
+                             std::to_string(source.signal_count()) +
+                             " signals searched)");
+  }
+  for (size_t i = 0; i < source.signal_count(); ++i) {
+    const auto& info = source.signal(i);
+    if (info.width == 1 && is_clock_leaf(leaf_of(info.hier_name))) return i;
+  }
+  throw std::runtime_error(
+      "replay: no clock candidate in trace (no 1-bit signal with leaf "
+      "'clock'/'clk', case-insensitive); pass clock_name explicitly");
+}
+
+}  // namespace hgdb::waveform

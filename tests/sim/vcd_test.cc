@@ -110,6 +110,61 @@ TEST_F(VcdRoundTrip, OnlyChangesAreWritten) {
   EXPECT_LE(count, 4u);
 }
 
+constexpr const char* kWideShift = R"(circuit WideShift
+  module WideShift
+    input clock : Clock
+    input enable : UInt<1>
+    output out : UInt<80>
+    reg acc : UInt<80> clock clock
+    connect acc = cat(bits(acc, 78, 0), enable)
+    connect out = acc
+  end
+end
+)";
+
+TEST_F(VcdRoundTrip, WideVectorsSurviveWriterParserRoundTrip) {
+  // >64-bit signals stress the multi-word VCD binary encode/decode path.
+  auto compiled = frontend::compile(ir::parse_circuit(kWideShift));
+  Simulator simulator(compiled.netlist);
+  simulator.set_value("WideShift.enable", 1);
+  std::vector<std::pair<uint64_t, common::BitVector>> expected;
+  {
+    VcdWriter writer(simulator, path_);
+    writer.attach();
+    for (int i = 0; i < 72; ++i) {
+      simulator.tick();
+      expected.emplace_back(simulator.time(),
+                            simulator.value("WideShift.out"));
+    }
+  }
+  auto trace = trace::parse_vcd_file(path_);
+  auto out_index = trace.var_index("WideShift.out");
+  ASSERT_TRUE(out_index.has_value());
+  EXPECT_EQ(trace.vars()[*out_index].width, 80u);
+  for (const auto& [time, value] : expected) {
+    ASSERT_EQ(trace.value_at(*out_index, time), value) << "at time " << time;
+  }
+  // After 72 shifted-in ones the value has bits set above word 0.
+  const auto& final_value = expected.back().second;
+  EXPECT_EQ(final_value.popcount(), 72u);
+  EXPECT_TRUE(final_value.bit(71));
+}
+
+TEST_F(VcdRoundTrip, XZValuesParseAsZeroWithoutError) {
+  // The writer is two-state, but external simulator dumps carry x/z; the
+  // parser must accept them in scalars and vectors and map them to 0.
+  auto trace = trace::parse_vcd(
+      "$var wire 1 ! f $end\n$var wire 8 \" v $end\n"
+      "$enddefinitions $end\n"
+      "#0\nx!\nbzzzzzzzz \"\n#1\n1!\nb1x1z \"\n");
+  auto f = *trace.var_index("f");
+  auto v = *trace.var_index("v");
+  EXPECT_EQ(trace.value_at(f, 0).to_uint64(), 0u);
+  EXPECT_EQ(trace.value_at(v, 0).to_uint64(), 0u);
+  EXPECT_EQ(trace.value_at(f, 1).to_uint64(), 1u);
+  EXPECT_EQ(trace.value_at(v, 1).to_uint64(), 0b1010u);
+}
+
 TEST_F(VcdRoundTrip, TemporariesNotTraced) {
   auto compiled = frontend::compile(ir::parse_circuit(kCounter));
   Simulator simulator(compiled.netlist);

@@ -80,6 +80,40 @@ TEST(VcdReader, UnknownCodeRejected) {
   EXPECT_THROW(parse_vcd("$enddefinitions $end\n#0\n1?\n"), std::runtime_error);
 }
 
+TEST(VcdReader, AliasedVarsShareTheChangeStream) {
+  // Two $var declarations with one id code: simulators emit this when a net
+  // has several hierarchical names. Every alias must track the changes.
+  auto trace = parse_vcd(
+      "$scope module top $end\n"
+      "$var wire 8 ! bus $end\n"
+      "$scope module sub $end\n"
+      "$var wire 8 ! bus_alias $end\n"
+      "$upscope $end\n$upscope $end\n"
+      "$enddefinitions $end\n"
+      "#0\nb1100 !\n#4\nb11 !\n");
+  auto a = trace.var_index("top.bus");
+  auto b = trace.var_index("top.sub.bus_alias");
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_NE(*a, *b);
+  EXPECT_EQ(trace.value_at(*a, 0).to_uint64(), 0b1100u);
+  EXPECT_EQ(trace.value_at(*b, 0).to_uint64(), 0b1100u);
+  EXPECT_EQ(trace.value_at(*a, 5).to_uint64(), 0b11u);
+  EXPECT_EQ(trace.value_at(*b, 5).to_uint64(), 0b11u);
+}
+
+TEST(VcdReader, RealAndStringChangesSkippedNotFatal) {
+  auto trace = parse_vcd(
+      "$var wire 1 ! flag $end\n"
+      "$var real 64 r temperature $end\n"
+      "$enddefinitions $end\n"
+      "#0\nr1.25 r\n1!\n#1\nsENUM_STATE r\n0!\n");
+  auto flag = trace.var_index("flag");
+  ASSERT_TRUE(flag.has_value());
+  EXPECT_EQ(trace.value_at(*flag, 0).to_uint64(), 1u);
+  EXPECT_EQ(trace.value_at(*flag, 1).to_uint64(), 0u);
+}
+
 TEST(ReplayEngine, FindsClockByLeafName) {
   ReplayEngine engine{parse_vcd(kTrace)};
   EXPECT_EQ(engine.cycle_count(), 3u);
@@ -90,6 +124,43 @@ TEST(ReplayEngine, ExplicitClockBySuffix) {
   ReplayEngine engine{parse_vcd(kTrace), "clock"};
   EXPECT_EQ(engine.cycle_count(), 3u);
   EXPECT_THROW(ReplayEngine(parse_vcd(kTrace), "nope"), std::runtime_error);
+}
+
+TEST(ReplayEngine, ClockAutoDetectionIsCaseInsensitive) {
+  for (const char* leaf : {"CLK", "Clock", "clk", "CLOCK"}) {
+    const std::string text = std::string("$scope module top $end\n$var wire 1 ! ") +
+                             leaf +
+                             " $end\n$upscope $end\n$enddefinitions $end\n"
+                             "#0\n0!\n#1\n1!\n#2\n0!\n#3\n1!\n";
+    ReplayEngine engine{parse_vcd(text)};
+    EXPECT_EQ(engine.cycle_count(), 2u) << leaf;
+    EXPECT_EQ(engine.clock_name(), std::string("top.") + leaf);
+  }
+}
+
+TEST(ReplayEngine, MissingClockGivesClearError) {
+  const auto no_candidate =
+      "$var wire 1 ! data $end\n$enddefinitions $end\n#0\n1!\n";
+  try {
+    ReplayEngine engine{parse_vcd(no_candidate)};
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("no clock candidate"),
+              std::string::npos);
+  }
+}
+
+TEST(ReplayEngine, ClockThatNeverRisesIsRejected) {
+  // A clock stuck at 0 would yield an empty edge grid; the engine must
+  // refuse loudly instead of replaying nothing.
+  const auto stuck =
+      "$var wire 1 c clk $end\n$enddefinitions $end\n#0\n0c\n#5\n0c\n";
+  try {
+    ReplayEngine engine{parse_vcd(stuck)};
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("never rises"), std::string::npos);
+  }
 }
 
 TEST(ReplayEngine, SeekAndStep) {

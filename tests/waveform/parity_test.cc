@@ -1,0 +1,200 @@
+// WaveformSource parity suite: the in-memory VcdTrace and the on-disk
+// IndexedWaveform must answer every replay query identically on the same
+// dump — values, edges, the ReplayEngine cycle grid, and debugger-runtime
+// breakpoint behavior.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "frontend/compile.h"
+#include "ir/parser.h"
+#include "runtime/runtime.h"
+#include "sim/simulator.h"
+#include "sim/vcd_writer.h"
+#include "symbols/symbol_table.h"
+#include "trace/replay.h"
+#include "trace/vcd_reader.h"
+#include "vpi/replay_backend.h"
+#include "waveform/index_writer.h"
+#include "waveform/indexed_waveform.h"
+#include "workloads/workloads.h"
+
+namespace hgdb::waveform {
+namespace {
+
+using Command = runtime::Runtime::Command;
+
+/// 80-bit shift register: after >64 cycles with enable=1, bits above word 0
+/// are set, exercising multi-word values end to end.
+constexpr const char* kWide = R"(circuit Wide
+  module Wide
+    input clock : Clock
+    input enable : UInt<1>
+    output out : UInt<80>
+    reg acc : UInt<80> clock clock
+    connect acc = cat(bits(acc, 78, 0), enable)
+    connect out = acc
+  end
+end
+)";
+
+class SourceParityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const std::string stem = ::testing::TempDir() + "hgdb_parity_" +
+                             std::to_string(reinterpret_cast<uintptr_t>(this));
+    vcd_path_ = stem + ".vcd";
+    wvx_path_ = stem + ".wvx";
+
+    auto compiled = frontend::compile(ir::parse_circuit(kWide));
+    {
+      sim::Simulator simulator(compiled.netlist);
+      simulator.set_value("Wide.enable", 1);
+      sim::VcdWriter writer(simulator, vcd_path_);
+      writer.attach();
+      simulator.run(100);
+    }
+
+    IndexWriterOptions options;
+    options.block_capacity = 16;
+    convert_vcd_to_index(vcd_path_, wvx_path_, options);
+
+    memory_ = std::make_shared<trace::VcdTrace>(trace::parse_vcd_file(vcd_path_));
+    indexed_ = std::make_shared<IndexedWaveform>(wvx_path_, /*cache_blocks=*/4);
+  }
+
+  void TearDown() override {
+    std::remove(vcd_path_.c_str());
+    std::remove(wvx_path_.c_str());
+  }
+
+  std::string vcd_path_;
+  std::string wvx_path_;
+  std::shared_ptr<trace::VcdTrace> memory_;
+  std::shared_ptr<IndexedWaveform> indexed_;
+};
+
+TEST_F(SourceParityTest, SameSignalsAndValuesEverywhere) {
+  ASSERT_EQ(indexed_->signal_count(), memory_->signal_count());
+  ASSERT_GT(indexed_->signal_count(), 0u);
+  EXPECT_EQ(indexed_->max_time(), memory_->max_time());
+  for (size_t i = 0; i < memory_->signal_count(); ++i) {
+    EXPECT_EQ(indexed_->signal(i).hier_name, memory_->signal(i).hier_name);
+    EXPECT_EQ(indexed_->signal(i).width, memory_->signal(i).width);
+    for (uint64_t t = 0; t <= memory_->max_time() + 1; ++t) {
+      ASSERT_EQ(indexed_->value_at(i, t), memory_->value_at(i, t))
+          << memory_->signal(i).hier_name << " at " << t;
+    }
+    EXPECT_EQ(indexed_->rising_edges(i), memory_->rising_edges(i));
+  }
+}
+
+TEST_F(SourceParityTest, WideValuesCrossTheWordBoundary) {
+  auto index = memory_->signal_index("Wide.out");
+  ASSERT_TRUE(index.has_value());
+  const auto last = indexed_->value_at(*index, indexed_->max_time());
+  EXPECT_EQ(last.width(), 80u);
+  // 100 shifted-in ones saturate all 80 bits, including those above bit 63.
+  EXPECT_EQ(last.popcount(), 80u);
+  EXPECT_EQ(last, memory_->value_at(*index, memory_->max_time()));
+}
+
+TEST_F(SourceParityTest, ReplayEnginesAgreeOnTheCycleGrid) {
+  trace::ReplayEngine memory_engine(memory_);
+  trace::ReplayEngine indexed_engine(indexed_);
+  ASSERT_EQ(memory_engine.cycle_count(), indexed_engine.cycle_count());
+  EXPECT_EQ(memory_engine.edges(), indexed_engine.edges());
+  EXPECT_EQ(memory_engine.clock_name(), indexed_engine.clock_name());
+
+  for (size_t cycle : {size_t{0}, size_t{5}, size_t{63}, size_t{99}}) {
+    memory_engine.seek_cycle(cycle);
+    indexed_engine.seek_cycle(cycle);
+    EXPECT_EQ(memory_engine.value("Wide.out"), indexed_engine.value("Wide.out"))
+        << "cycle " << cycle;
+  }
+  // Reverse stepping visits identical states.
+  while (indexed_engine.step_backward()) {
+    ASSERT_TRUE(memory_engine.step_backward());
+    ASSERT_EQ(memory_engine.value("Wide.acc"), indexed_engine.value("Wide.acc"));
+  }
+  EXPECT_FALSE(memory_engine.step_backward());
+}
+
+TEST_F(SourceParityTest, OpenWaveformDispatchesOnExtension) {
+  auto from_vcd = trace::open_waveform(vcd_path_);
+  auto from_wvx = trace::open_waveform(wvx_path_);
+  ASSERT_NE(from_vcd, nullptr);
+  ASSERT_NE(from_wvx, nullptr);
+  EXPECT_NE(dynamic_cast<trace::VcdTrace*>(from_vcd.get()), nullptr);
+  EXPECT_NE(dynamic_cast<IndexedWaveform*>(from_wvx.get()), nullptr);
+  EXPECT_EQ(from_vcd->max_time(), from_wvx->max_time());
+}
+
+/// Full-stack parity: the debugger runtime sees identical breakpoint
+/// behavior from both backends on a real workload dump.
+class RuntimeParityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const std::string stem = ::testing::TempDir() + "hgdb_rt_parity_" +
+                             std::to_string(reinterpret_cast<uintptr_t>(this));
+    vcd_path_ = stem + ".vcd";
+    wvx_path_ = stem + ".wvx";
+
+    frontend::CompileOptions options;
+    options.debug_mode = true;
+    auto compiled = frontend::compile(workloads::workload("towers").build(),
+                                      options);
+    symbols_ = compiled.symbols;
+    {
+      sim::Simulator simulator(compiled.netlist);
+      sim::VcdWriter writer(simulator, vcd_path_);
+      writer.attach();
+      simulator.run(120);
+    }
+    convert_vcd_to_index(vcd_path_, wvx_path_);
+  }
+
+  void TearDown() override {
+    std::remove(vcd_path_.c_str());
+    std::remove(wvx_path_.c_str());
+  }
+
+  struct Session {
+    int stops = 0;
+    uint64_t first_hit = 0;
+  };
+
+  Session run_session(std::shared_ptr<WaveformSource> source) {
+    symbols::MemorySymbolTable table(symbols_);
+    vpi::ReplayBackend backend{trace::ReplayEngine(std::move(source))};
+    runtime::Runtime runtime(backend, table);
+    runtime.attach();
+    const auto bp = table.all_breakpoints().front();
+    runtime.add_breakpoint(bp.filename, bp.line_num, "moves > 10");
+    Session session;
+    runtime.set_stop_handler([&](const rpc::StopEvent& event) {
+      if (++session.stops == 1) session.first_hit = event.time;
+      return Command::Continue;
+    });
+    backend.run_forward();
+    return session;
+  }
+
+  std::string vcd_path_;
+  std::string wvx_path_;
+  symbols::SymbolTableData symbols_;
+};
+
+TEST_F(RuntimeParityTest, BreakpointsHitIdenticallyOnBothBackends) {
+  auto memory = run_session(
+      std::make_shared<trace::VcdTrace>(trace::parse_vcd_file(vcd_path_)));
+  auto indexed =
+      run_session(std::make_shared<IndexedWaveform>(wvx_path_, /*cache=*/8));
+  ASSERT_GT(memory.stops, 0);
+  EXPECT_EQ(indexed.stops, memory.stops);
+  EXPECT_EQ(indexed.first_hit, memory.first_hit);
+}
+
+}  // namespace
+}  // namespace hgdb::waveform
