@@ -5,8 +5,15 @@
 // live simulator process.
 //
 // Usage: hgdb-cli <workload> [--optimized] [--cycles N] [--replay vcd|wvx]
+//        hgdb-cli wvx-verify <file.wvx>
 //   workload: multiply | mm | mt-matmul | vvadd | qsort | dhrystone |
 //             median | towers | spmv | mt-vvadd | fpu
+//
+// The REPL speaks debug protocol v2 natively: it negotiates capabilities
+// at connect time (so reverse/jump availability is known up front) and
+// exposes the v2 request families (watchpoints, hierarchy browsing,
+// batched evaluation, stats). `wvx-verify` checks a waveform index's
+// per-block checksums and reports the first corrupt block.
 //
 // With --replay the workload is first simulated to a trace dump, then the
 // same REPL attaches to the *trace* through the replay backend (paper
@@ -33,6 +40,7 @@
 #include "vpi/replay_backend.h"
 #include "waveform/index_writer.h"
 #include "waveform/indexed_waveform.h"
+#include "waveform/wvx_verify.h"
 #include "workloads/workloads.h"
 
 namespace {
@@ -71,6 +79,19 @@ void print_stop(const rpc::StopEvent& stop) {
       print_json(frame.locals, 3);
     }
   }
+  for (const auto& hit : stop.watch_hits) {
+    std::cout << "  watch " << hit.id << ": " << hit.expression << " changed "
+              << hit.old_value << " -> " << hit.new_value << "\n";
+  }
+}
+
+void print_capabilities(const debugger::DebugClient& client) {
+  if (!client.capabilities()) return;
+  const auto& caps = *client.capabilities();
+  std::cout << "connected (protocol v" << caps.protocol_version << ", "
+            << caps.backend << " backend; time travel "
+            << (caps.time_travel ? "yes" : "no") << ", set-value "
+            << (caps.set_value ? "yes" : "no") << ")\n";
 }
 
 /// The gdb-style command loop, shared by live and replay sessions.
@@ -93,10 +114,19 @@ void run_repl(debugger::DebugClient& client, const std::atomic<bool>& done,
                      "l <file>                list breakpoint lines\n"
                      "c / s / rs / rc         continue / step / reverse-step /"
                      " reverse-continue\n"
+                     "j <time>                jump to absolute time"
+                     " (needs time travel)\n"
                      "wait                    wait for the next stop\n"
                      "p <expr>                evaluate in current frame\n"
+                     "pp <e1> ; <e2> ; ...    batched evaluation\n"
+                     "watch <expr>            stop when the value changes\n"
+                     "unwatch <id>            remove a watchpoint\n"
+                     "instances               list design instances\n"
+                     "vars <instance>         list an instance's variables\n"
                      "frames                  show last stop\n"
-                     "info / files            runtime info / source files\n"
+                     "info / files / stats    runtime info / source files /"
+                     " counters\n"
+                     "caps                    negotiated capabilities\n"
                      "q                       quit\n";
       } else if (command == "b" || command == "d") {
         std::string location;
@@ -167,12 +197,84 @@ void run_repl(debugger::DebugClient& client, const std::atomic<bool>& done,
         } else {
           std::cout << "error: " << client.last_error() << "\n";
         }
+      } else if (command == "pp") {
+        std::string rest;
+        std::getline(input, rest);
+        std::vector<std::string> expressions;
+        std::istringstream splitter(rest);
+        std::string expression;
+        while (std::getline(splitter, expression, ';')) {
+          const auto begin = expression.find_first_not_of(" \t");
+          if (begin == std::string::npos) continue;
+          const auto end = expression.find_last_not_of(" \t");
+          expressions.push_back(expression.substr(begin, end - begin + 1));
+        }
+        std::optional<int64_t> scope;
+        if (current_stop && !current_stop->frames.empty()) {
+          scope = current_stop->frames[0].breakpoint_id;
+        }
+        for (const auto& result : client.evaluate_batch(expressions, scope)) {
+          std::cout << "  " << result.expression << " = "
+                    << (result.ok ? result.value : "<" + result.reason + ">")
+                    << "\n";
+        }
+      } else if (command == "watch") {
+        std::string expression;
+        std::getline(input, expression);
+        if (auto id = client.watch(expression)) {
+          std::cout << "watchpoint " << *id << " armed\n";
+        } else {
+          std::cout << "error: " << client.last_error() << "\n";
+        }
+      } else if (command == "unwatch") {
+        int64_t id = 0;
+        input >> id;
+        if (client.unwatch(id)) {
+          std::cout << "watchpoint " << id << " removed\n";
+        } else {
+          std::cout << "error: " << client.last_error() << "\n";
+        }
+      } else if (command == "j") {
+        uint64_t time = 0;
+        input >> time;
+        if (client.jump(time)) {
+          std::cout << "jumped to time " << time << "\n";
+        } else {
+          std::cout << "error: " << client.last_error() << "\n";
+        }
+      } else if (command == "instances") {
+        // Keep the Json alive for the loop (as_array() returns a member
+        // reference; iterating a temporary's member dangles).
+        const auto instances = client.list_instances();
+        for (const auto& entry : instances.as_array()) {
+          std::cout << "  [" << entry.get_int("id") << "] "
+                    << entry.get_string("name") << "\n";
+        }
+      } else if (command == "vars") {
+        std::string instance;
+        input >> instance;
+        const auto variables = client.list_variables(instance);
+        if (client.last_error_code() != rpc::ErrorCode::None) {
+          std::cout << "error: " << client.last_error() << "\n";
+        } else if (variables.size() == 0) {
+          std::cout << "(no variables)\n";
+        } else {
+          for (const auto& entry : variables.as_array()) {
+            std::cout << "  " << entry.get_string("name") << " = "
+                      << entry.get_string("value") << "\n";
+          }
+        }
+      } else if (command == "stats") {
+        print_json(client.stats(), 1);
+      } else if (command == "caps") {
+        print_capabilities(client);
       } else if (command == "frames") {
         if (current_stop) print_stop(*current_stop);
       } else if (command == "info") {
         print_json(client.info(), 1);
       } else if (command == "files") {
-        for (const auto& file : client.info()["files"].as_array()) {
+        auto info = client.info();
+        for (const auto& file : info["files"].as_array()) {
           std::cout << "  " << file.as_string() << "\n";
         }
       } else if (command == "q" || command == "quit") {
@@ -251,6 +353,8 @@ int run_replay_cli(const std::string& name, bool debug_mode, uint64_t cycles,
   auto [client_channel, server_channel] = rpc::make_channel_pair();
   runtime.serve(std::move(server_channel));
   debugger::DebugClient client(std::move(client_channel));
+  client.connect("hgdb-cli");
+  print_capabilities(client);
 
   std::atomic<bool> done{false};
   std::thread replay_thread;
@@ -290,6 +394,8 @@ int run_cli(const std::string& name, bool debug_mode, uint64_t cycles) {
   auto [client_channel, server_channel] = rpc::make_channel_pair();
   runtime.serve(std::move(server_channel));
   debugger::DebugClient client(std::move(client_channel));
+  client.connect("hgdb-cli");
+  print_capabilities(client);
 
   std::atomic<bool> done{false};
   std::thread sim_thread([&] {
@@ -310,6 +416,15 @@ int run_cli(const std::string& name, bool debug_mode, uint64_t cycles) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::string(argv[1]) == "wvx-verify") {
+    if (argc < 3) {
+      std::cerr << "usage: hgdb-cli wvx-verify <file.wvx>\n";
+      return 2;
+    }
+    const auto result = waveform::verify_index(argv[2]);
+    std::cout << waveform::describe(result, argv[2]) << "\n";
+    return result.ok ? 0 : 1;
+  }
   std::string name = "vvadd";
   bool debug_mode = true;
   std::optional<uint64_t> cycles;

@@ -6,12 +6,42 @@ namespace hgdb::debugger {
 
 using common::Json;
 using rpc::CommandRequest;
+using rpc::ErrorCode;
 using rpc::Request;
+using rpc::RequestV2;
+using rpc::ResponseV2;
 
-DebugClient::DebugClient(std::unique_ptr<rpc::Channel> channel)
-    : channel_(std::move(channel)) {}
+DebugClient::DebugClient(std::unique_ptr<rpc::Channel> channel,
+                         Protocol protocol)
+    : channel_(std::move(channel)), protocol_(protocol) {}
 
-rpc::GenericResponse DebugClient::transact(Request request) {
+// ---------------------------------------------------------------------------
+// transport loops
+// ---------------------------------------------------------------------------
+
+std::optional<rpc::StopEvent> DebugClient::decode_stop(const std::string& text) {
+  try {
+    const Json json = Json::parse(text);
+    if (!json.is_object()) return std::nullopt;
+    if (rpc::is_v2_envelope(json)) {
+      if (json.get_string("type") != "event" ||
+          json.get_string("event") != "stop") {
+        return std::nullopt;
+      }
+      auto payload = json.get("payload");
+      if (!payload || !payload->get().is_object()) return std::nullopt;
+      return rpc::stop_event_fields(payload->get());
+    }
+    // A v1 stop can reach a v2 client when the runtime had not yet seen a
+    // v2 envelope on this session; accept both formats unconditionally.
+    if (json.get_string("type") != "stop") return std::nullopt;
+    return rpc::stop_event_fields(json);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+rpc::GenericResponse DebugClient::transact_v1(Request request) {
   request.token = next_token_++;
   channel_->send(rpc::serialize_request(request));
   while (true) {
@@ -27,6 +57,9 @@ rpc::GenericResponse DebugClient::transact(Request request) {
     if (server_message.generic.token == request.token) {
       if (!server_message.generic.success) {
         last_error_ = server_message.generic.reason;
+        last_error_code_ = ErrorCode::InternalError;
+      } else {
+        last_error_code_ = ErrorCode::None;
       }
       return std::move(server_message.generic);
     }
@@ -34,52 +67,153 @@ rpc::GenericResponse DebugClient::transact(Request request) {
   }
 }
 
+ResponseV2 DebugClient::transact(const std::string& command, Json payload) {
+  RequestV2 request;
+  request.command = command;
+  request.token = next_token_++;
+  request.payload = std::move(payload);
+  channel_->send(rpc::serialize_request_v2(request));
+  while (true) {
+    auto message = channel_->receive();
+    if (!message) {
+      throw std::runtime_error("debug channel closed");
+    }
+    if (auto stop = decode_stop(*message)) {
+      stops_.push_back(std::move(*stop));
+      continue;
+    }
+    ResponseV2 response;
+    try {
+      auto server_message = rpc::parse_server_message_v2(*message);
+      if (server_message.kind != rpc::ServerMessageV2::Kind::Response) {
+        continue;  // unrelated event
+      }
+      response = std::move(server_message.response);
+    } catch (const std::exception&) {
+      continue;  // stray/unparseable message
+    }
+    if (response.token != request.token) continue;  // older request
+    if (!response.ok()) {
+      last_error_ = response.reason;
+      last_error_code_ = response.error;
+    } else {
+      last_error_code_ = ErrorCode::None;
+    }
+    return response;
+  }
+}
+
+bool DebugClient::require_v2(const char* what) {
+  last_error_ = std::string(what) + " requires protocol v2";
+  last_error_code_ = ErrorCode::UnsupportedCapability;
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// handshake
+// ---------------------------------------------------------------------------
+
+bool DebugClient::connect(const std::string& client_name) {
+  if (protocol_ == Protocol::V1) return require_v2("connect");
+  Json payload = Json::object();
+  payload["client"] = Json(client_name);
+  auto response = transact("connect", std::move(payload));
+  if (!response.ok()) return false;
+  if (auto caps = response.payload.get("capabilities")) {
+    capabilities_ = rpc::Capabilities::from_json(caps->get());
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// breakpoints
+// ---------------------------------------------------------------------------
+
 std::vector<int64_t> DebugClient::set_breakpoint(const std::string& filename,
                                                  uint32_t line,
                                                  const std::string& condition) {
-  Request request;
-  request.kind = Request::Kind::Breakpoint;
-  request.breakpoint.action = rpc::BreakpointRequest::Action::Add;
-  request.breakpoint.filename = filename;
-  request.breakpoint.line = line;
-  request.breakpoint.condition = condition;
-  auto response = transact(std::move(request));
-  std::vector<int64_t> ids;
-  if (response.success && response.payload.contains("ids")) {
-    for (const auto& id : response.payload["ids"].as_array()) {
-      ids.push_back(id.as_int());
+  Json ids_json = Json::array();
+  if (protocol_ == Protocol::V1) {
+    Request request;
+    request.kind = Request::Kind::Breakpoint;
+    request.breakpoint.action = rpc::BreakpointRequest::Action::Add;
+    request.breakpoint.filename = filename;
+    request.breakpoint.line = line;
+    request.breakpoint.condition = condition;
+    auto response = transact_v1(std::move(request));
+    if (response.success && response.payload.contains("ids")) {
+      ids_json = response.payload["ids"];
     }
+  } else {
+    Json payload = Json::object();
+    payload["filename"] = Json(filename);
+    payload["line"] = Json(static_cast<int64_t>(line));
+    if (!condition.empty()) payload["condition"] = Json(condition);
+    auto response = transact("breakpoint-add", std::move(payload));
+    if (response.ok() && response.payload.contains("ids")) {
+      ids_json = response.payload["ids"];
+    }
+  }
+  std::vector<int64_t> ids;
+  if (ids_json.is_array()) {
+    for (const auto& id : ids_json.as_array()) ids.push_back(id.as_int());
   }
   return ids;
 }
 
 size_t DebugClient::remove_breakpoint(const std::string& filename,
                                       uint32_t line) {
-  Request request;
-  request.kind = Request::Kind::Breakpoint;
-  request.breakpoint.action = rpc::BreakpointRequest::Action::Remove;
-  request.breakpoint.filename = filename;
-  request.breakpoint.line = line;
-  auto response = transact(std::move(request));
+  if (protocol_ == Protocol::V1) {
+    Request request;
+    request.kind = Request::Kind::Breakpoint;
+    request.breakpoint.action = rpc::BreakpointRequest::Action::Remove;
+    request.breakpoint.filename = filename;
+    request.breakpoint.line = line;
+    auto response = transact_v1(std::move(request));
+    return static_cast<size_t>(response.payload.get_int("removed"));
+  }
+  Json payload = Json::object();
+  payload["filename"] = Json(filename);
+  payload["line"] = Json(static_cast<int64_t>(line));
+  auto response = transact("breakpoint-remove", std::move(payload));
   return static_cast<size_t>(response.payload.get_int("removed"));
 }
 
 Json DebugClient::list_locations(const std::string& filename, uint32_t line) {
-  Request request;
-  request.kind = Request::Kind::BpLocation;
-  request.bp_location.filename = filename;
-  request.bp_location.line = line;
-  auto response = transact(std::move(request));
+  if (protocol_ == Protocol::V1) {
+    Request request;
+    request.kind = Request::Kind::BpLocation;
+    request.bp_location.filename = filename;
+    request.bp_location.line = line;
+    auto response = transact_v1(std::move(request));
+    if (auto list = response.payload.get("breakpoints")) return list->get();
+    return Json::array();
+  }
+  Json payload = Json::object();
+  payload["filename"] = Json(filename);
+  payload["line"] = Json(static_cast<int64_t>(line));
+  auto response = transact("bp-location", std::move(payload));
   if (auto list = response.payload.get("breakpoints")) return list->get();
   return Json::array();
 }
 
+// ---------------------------------------------------------------------------
+// execution control
+// ---------------------------------------------------------------------------
+
 bool DebugClient::send_command(CommandRequest::Command command, uint64_t time) {
-  Request request;
-  request.kind = Request::Kind::Command;
-  request.command.command = command;
-  request.command.time = time;
-  return transact(std::move(request)).success;
+  if (protocol_ == Protocol::V1) {
+    Request request;
+    request.kind = Request::Kind::Command;
+    request.command.command = command;
+    request.command.time = time;
+    return transact_v1(std::move(request)).success;
+  }
+  Json payload = Json::object();
+  if (command == CommandRequest::Command::Jump) {
+    payload["time"] = Json(static_cast<int64_t>(time));
+  }
+  return transact(rpc::v2_command_name(command), std::move(payload)).ok();
 }
 
 bool DebugClient::resume() { return send_command(CommandRequest::Command::Continue); }
@@ -94,6 +228,15 @@ bool DebugClient::jump(uint64_t time) {
 }
 bool DebugClient::detach() { return send_command(CommandRequest::Command::Detach); }
 
+bool DebugClient::disconnect() {
+  if (protocol_ == Protocol::V1) return detach();
+  return transact("disconnect", Json::object()).ok();
+}
+
+// ---------------------------------------------------------------------------
+// inspection
+// ---------------------------------------------------------------------------
+
 std::optional<rpc::StopEvent> DebugClient::wait_stop(
     std::optional<std::chrono::milliseconds> timeout) {
   if (!stops_.empty()) {
@@ -104,10 +247,7 @@ std::optional<rpc::StopEvent> DebugClient::wait_stop(
   while (true) {
     auto message = channel_->receive(timeout);
     if (!message) return std::nullopt;
-    auto server_message = rpc::parse_server_message(*message);
-    if (server_message.kind == rpc::ServerMessage::Kind::Stop) {
-      return std::move(server_message.stop);
-    }
+    if (auto stop = decode_stop(*message)) return stop;
     // Stray response (e.g. after a timeout race): ignore.
   }
 }
@@ -115,20 +255,136 @@ std::optional<rpc::StopEvent> DebugClient::wait_stop(
 std::optional<std::string> DebugClient::evaluate(
     const std::string& expression, std::optional<int64_t> breakpoint_id,
     const std::string& instance) {
-  Request request;
-  request.kind = Request::Kind::Evaluation;
-  request.evaluation.expression = expression;
-  request.evaluation.breakpoint_id = breakpoint_id;
-  request.evaluation.instance_name = instance;
-  auto response = transact(std::move(request));
-  if (!response.success) return std::nullopt;
+  if (protocol_ == Protocol::V1) {
+    Request request;
+    request.kind = Request::Kind::Evaluation;
+    request.evaluation.expression = expression;
+    request.evaluation.breakpoint_id = breakpoint_id;
+    request.evaluation.instance_name = instance;
+    auto response = transact_v1(std::move(request));
+    if (!response.success) return std::nullopt;
+    return response.payload.get_string("result");
+  }
+  Json payload = Json::object();
+  payload["expression"] = Json(expression);
+  if (breakpoint_id) payload["breakpoint_id"] = Json(*breakpoint_id);
+  if (!instance.empty()) payload["instance_name"] = Json(instance);
+  auto response = transact("evaluate", std::move(payload));
+  if (!response.ok()) return std::nullopt;
   return response.payload.get_string("result");
 }
 
 Json DebugClient::info() {
-  Request request;
-  request.kind = Request::Kind::DebuggerInfo;
-  return transact(std::move(request)).payload;
+  if (protocol_ == Protocol::V1) {
+    Request request;
+    request.kind = Request::Kind::DebuggerInfo;
+    return transact_v1(std::move(request)).payload;
+  }
+  return transact("info", Json::object()).payload;
+}
+
+// ---------------------------------------------------------------------------
+// v2 request families
+// ---------------------------------------------------------------------------
+
+std::vector<EvalResult> DebugClient::evaluate_batch(
+    const std::vector<std::string>& expressions,
+    std::optional<int64_t> breakpoint_id, const std::string& instance) {
+  std::vector<EvalResult> results;
+  if (protocol_ == Protocol::V1) {
+    // Degraded path: one round trip per expression.
+    for (const auto& expression : expressions) {
+      EvalResult result;
+      result.expression = expression;
+      if (auto value = evaluate(expression, breakpoint_id, instance)) {
+        result.ok = true;
+        result.value = *value;
+      } else {
+        result.reason = last_error_;
+      }
+      results.push_back(std::move(result));
+    }
+    return results;
+  }
+  Json payload = Json::object();
+  Json list = Json::array();
+  for (const auto& expression : expressions) list.push_back(Json(expression));
+  payload["expressions"] = std::move(list);
+  if (breakpoint_id) payload["breakpoint_id"] = Json(*breakpoint_id);
+  if (!instance.empty()) payload["instance_name"] = Json(instance);
+  auto response = transact("evaluate-batch", std::move(payload));
+  if (!response.ok()) return results;
+  if (auto entries = response.payload.get("results")) {
+    for (const auto& entry : entries->get().as_array()) {
+      EvalResult result;
+      result.expression = entry.get_string("expression");
+      result.ok = entry.get_string("status") == "success";
+      result.value = entry.get_string("value");
+      result.width = static_cast<uint32_t>(entry.get_int("width"));
+      result.reason = entry.get_string("reason");
+      results.push_back(std::move(result));
+    }
+  }
+  return results;
+}
+
+std::optional<int64_t> DebugClient::watch(const std::string& expression,
+                                          const std::string& instance) {
+  if (protocol_ == Protocol::V1) {
+    require_v2("watch");
+    return std::nullopt;
+  }
+  Json payload = Json::object();
+  payload["expression"] = Json(expression);
+  if (!instance.empty()) payload["instance_name"] = Json(instance);
+  auto response = transact("watch", std::move(payload));
+  if (!response.ok()) return std::nullopt;
+  return response.payload.get_int("id");
+}
+
+bool DebugClient::unwatch(int64_t id) {
+  if (protocol_ == Protocol::V1) return require_v2("unwatch");
+  Json payload = Json::object();
+  payload["id"] = Json(id);
+  return transact("unwatch", std::move(payload)).ok();
+}
+
+Json DebugClient::list_instances() {
+  if (protocol_ == Protocol::V1) {
+    require_v2("list-instances");
+    return Json::array();
+  }
+  auto response = transact("list-instances", Json::object());
+  if (auto list = response.payload.get("instances")) return list->get();
+  return Json::array();
+}
+
+Json DebugClient::list_variables(const std::string& instance) {
+  if (protocol_ == Protocol::V1) {
+    require_v2("list-variables");
+    return Json::array();
+  }
+  Json payload = Json::object();
+  payload["instance_name"] = Json(instance);
+  auto response = transact("list-variables", std::move(payload));
+  if (auto list = response.payload.get("variables")) return list->get();
+  return Json::array();
+}
+
+Json DebugClient::stats() {
+  if (protocol_ == Protocol::V1) {
+    require_v2("stats");
+    return Json::object();
+  }
+  return transact("stats", Json::object()).payload;
+}
+
+bool DebugClient::set_value(const std::string& name, const std::string& value) {
+  if (protocol_ == Protocol::V1) return require_v2("set-value");
+  Json payload = Json::object();
+  payload["name"] = Json(name);
+  payload["value"] = Json(value);
+  return transact("set-value", std::move(payload)).ok();
 }
 
 }  // namespace hgdb::debugger

@@ -9,19 +9,53 @@
 
 #include "rpc/channel.h"
 #include "rpc/protocol.h"
+#include "rpc/protocol_v2.h"
 
 namespace hgdb::debugger {
+
+/// Which wire dialect the client speaks.
+enum class Protocol : uint8_t {
+  V1,  ///< legacy closed-enum messages (served through the compat shim)
+  V2,  ///< versioned command envelopes with typed errors + capabilities
+};
+
+/// One expression's result from evaluate_batch().
+struct EvalResult {
+  std::string expression;
+  bool ok = false;
+  std::string value;
+  uint32_t width = 0;
+  std::string reason;
+};
 
 /// Synchronous debugger client speaking the JSON debug protocol over any
 /// rpc::Channel (in-process pair, or TCP to a remote runtime). This is the
 /// programmatic equivalent of the paper's gdb-like debugger; the VSCode
 /// extension in the paper speaks the same protocol.
 ///
+/// The client is v2-native by default: connect() performs the handshake
+/// and records the runtime's negotiated capabilities, failed requests
+/// carry typed error codes (last_error_code()), and the v2-only request
+/// families (watchpoints, batched evaluation, hierarchy browsing, stats)
+/// are available. Protocol::V1 preserves the legacy wire format
+/// byte-for-byte for old runtimes — v2-only methods then fail cleanly.
+///
 /// Stop events arriving while a request is in flight are queued and
 /// surfaced through wait_stop().
 class DebugClient {
  public:
-  explicit DebugClient(std::unique_ptr<rpc::Channel> channel);
+  explicit DebugClient(std::unique_ptr<rpc::Channel> channel,
+                       Protocol protocol = Protocol::V2);
+
+  [[nodiscard]] Protocol protocol() const { return protocol_; }
+
+  // -- handshake (v2) ------------------------------------------------------------
+  /// Negotiates capabilities with the runtime. Optional but recommended:
+  /// afterwards capabilities() says whether jump/reverse/set-value can work.
+  bool connect(const std::string& client_name = "hgdb-client");
+  [[nodiscard]] const std::optional<rpc::Capabilities>& capabilities() const {
+    return capabilities_;
+  }
 
   // -- breakpoints --------------------------------------------------------------
   /// Returns the inserted breakpoint ids (empty + error reason on failure).
@@ -39,6 +73,9 @@ class DebugClient {
   bool pause();
   bool jump(uint64_t time);
   bool detach();
+  /// Detaches and asks the runtime to close this session (v2; in V1 mode
+  /// identical to detach()).
+  bool disconnect();
 
   // -- inspection ------------------------------------------------------------------
   /// Blocks until the next stop event (or timeout).
@@ -50,17 +87,45 @@ class DebugClient {
                                       const std::string& instance = "");
   common::Json info();
 
+  // -- v2 request families -------------------------------------------------------
+  /// One round trip, many expressions (IDE variable panes).
+  std::vector<EvalResult> evaluate_batch(
+      const std::vector<std::string>& expressions,
+      std::optional<int64_t> breakpoint_id = std::nullopt,
+      const std::string& instance = "");
+  /// Arms a watchpoint; returns its id.
+  std::optional<int64_t> watch(const std::string& expression,
+                               const std::string& instance = "");
+  bool unwatch(int64_t id);
+  common::Json list_instances();
+  common::Json list_variables(const std::string& instance);
+  common::Json stats();
+  bool set_value(const std::string& name, const std::string& value);
+
   /// Reason of the last failed request.
   [[nodiscard]] const std::string& last_error() const { return last_error_; }
+  /// Typed code of the last failed request (v2; None after success).
+  [[nodiscard]] rpc::ErrorCode last_error_code() const {
+    return last_error_code_;
+  }
 
  private:
-  rpc::GenericResponse transact(rpc::Request request);
+  rpc::GenericResponse transact_v1(rpc::Request request);
+  rpc::ResponseV2 transact(const std::string& command, common::Json payload);
   bool send_command(rpc::CommandRequest::Command command, uint64_t time = 0);
+  /// Decodes a stop event in either wire format; nullopt if `text` is not
+  /// a stop message.
+  std::optional<rpc::StopEvent> decode_stop(const std::string& text);
+  /// Marks a v2-only call failed in V1 mode.
+  bool require_v2(const char* what);
 
   std::unique_ptr<rpc::Channel> channel_;
+  Protocol protocol_;
   std::deque<rpc::StopEvent> stops_;
   int64_t next_token_ = 1;
   std::string last_error_;
+  rpc::ErrorCode last_error_code_ = rpc::ErrorCode::None;
+  std::optional<rpc::Capabilities> capabilities_;
 };
 
 }  // namespace hgdb::debugger

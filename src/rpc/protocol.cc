@@ -34,37 +34,108 @@ CommandRequest::Command command_from(const std::string& name) {
   throw std::runtime_error("unknown command '" + name + "'");
 }
 
+// -- malformed-input guards ---------------------------------------------------
+// Every accessor below throws std::runtime_error (and nothing else) with a
+// field-specific message, so the service layer can surface a structured
+// protocol error instead of letting a stray exception kill the thread.
+
+const Json& require_field(const Json& json, const char* key) {
+  auto field = json.get(key);
+  if (!field) {
+    throw std::runtime_error(std::string("missing field '") + key + "'");
+  }
+  return field->get();
+}
+
+std::string require_string(const Json& json, const char* key) {
+  const Json& field = require_field(json, key);
+  if (!field.is_string()) {
+    throw std::runtime_error(std::string("field '") + key +
+                             "' must be a string");
+  }
+  return field.as_string();
+}
+
+int64_t require_int(const Json& json, const char* key) {
+  const Json& field = require_field(json, key);
+  if (!field.is_number()) {
+    throw std::runtime_error(std::string("field '") + key +
+                             "' must be a number");
+  }
+  return field.as_int();
+}
+
+/// Absent -> default; present with the wrong type -> error.
+std::string optional_string(const Json& json, const char* key) {
+  auto field = json.get(key);
+  if (!field) return {};
+  if (!field->get().is_string()) {
+    throw std::runtime_error(std::string("field '") + key +
+                             "' must be a string");
+  }
+  return field->get().as_string();
+}
+
+int64_t optional_int(const Json& json, const char* key, int64_t fallback = 0) {
+  auto field = json.get(key);
+  if (!field) return fallback;
+  if (!field->get().is_number()) {
+    throw std::runtime_error(std::string("field '") + key +
+                             "' must be a number");
+  }
+  return field->get().as_int();
+}
+
+Json parse_object(const std::string& text, const char* what) {
+  Json json;
+  try {
+    json = Json::parse(text);
+  } catch (const std::exception& error) {
+    throw std::runtime_error(std::string("malformed ") + what + ": " +
+                             error.what());
+  }
+  if (!json.is_object()) {
+    throw std::runtime_error(std::string(what) + " is not a JSON object");
+  }
+  return json;
+}
+
 }  // namespace
 
 Request parse_request(const std::string& text) {
-  const Json json = Json::parse(text);
+  const Json json = parse_object(text, "request");
   Request request;
-  request.token = json.get_int("token");
-  const std::string type = json.get_string("type");
+  request.token = optional_int(json, "token");
+  const std::string type = require_string(json, "type");
   if (type == "breakpoint") {
     request.kind = Request::Kind::Breakpoint;
-    request.breakpoint.action = json.get_string("action") == "remove"
+    const std::string action = optional_string(json, "action");
+    if (!action.empty() && action != "add" && action != "remove") {
+      throw std::runtime_error("unknown breakpoint action '" + action + "'");
+    }
+    request.breakpoint.action = action == "remove"
                                     ? BreakpointRequest::Action::Remove
                                     : BreakpointRequest::Action::Add;
-    request.breakpoint.filename = json.get_string("filename");
-    request.breakpoint.line = static_cast<uint32_t>(json.get_int("line"));
-    request.breakpoint.column = static_cast<uint32_t>(json.get_int("column"));
-    request.breakpoint.condition = json.get_string("condition");
+    request.breakpoint.filename = require_string(json, "filename");
+    request.breakpoint.line = static_cast<uint32_t>(optional_int(json, "line"));
+    request.breakpoint.column =
+        static_cast<uint32_t>(optional_int(json, "column"));
+    request.breakpoint.condition = optional_string(json, "condition");
   } else if (type == "bp-location") {
     request.kind = Request::Kind::BpLocation;
-    request.bp_location.filename = json.get_string("filename");
-    request.bp_location.line = static_cast<uint32_t>(json.get_int("line"));
+    request.bp_location.filename = require_string(json, "filename");
+    request.bp_location.line = static_cast<uint32_t>(optional_int(json, "line"));
   } else if (type == "command") {
     request.kind = Request::Kind::Command;
-    request.command.command = command_from(json.get_string("command"));
-    request.command.time = static_cast<uint64_t>(json.get_int("time"));
+    request.command.command = command_from(require_string(json, "command"));
+    request.command.time = static_cast<uint64_t>(optional_int(json, "time"));
   } else if (type == "evaluation") {
     request.kind = Request::Kind::Evaluation;
-    request.evaluation.expression = json.get_string("expression");
+    request.evaluation.expression = require_string(json, "expression");
     if (json.contains("breakpoint_id")) {
-      request.evaluation.breakpoint_id = json.get_int("breakpoint_id");
+      request.evaluation.breakpoint_id = require_int(json, "breakpoint_id");
     }
-    request.evaluation.instance_name = json.get_string("instance_name");
+    request.evaluation.instance_name = optional_string(json, "instance_name");
   } else if (type == "debugger-info") {
     request.kind = Request::Kind::DebuggerInfo;
   } else {
@@ -127,59 +198,148 @@ std::string serialize_response(const GenericResponse& response) {
   return json.dump();
 }
 
+namespace {
+
+Json frame_to_json(const Frame& frame) {
+  Json f = Json::object();
+  f["breakpoint_id"] = Json(frame.breakpoint_id);
+  f["instance_id"] = Json(frame.instance_id);
+  f["instance_name"] = Json(frame.instance_name);
+  f["filename"] = Json(frame.filename);
+  f["line"] = Json(static_cast<int64_t>(frame.line));
+  f["column"] = Json(static_cast<int64_t>(frame.column));
+  f["locals"] = frame.locals;
+  f["generator"] = frame.generator;
+  return f;
+}
+
+Frame frame_from_json(const Json& f) {
+  if (!f.is_object()) throw std::runtime_error("stop frame must be an object");
+  Frame frame;
+  frame.breakpoint_id = optional_int(f, "breakpoint_id");
+  frame.instance_id = optional_int(f, "instance_id");
+  frame.instance_name = optional_string(f, "instance_name");
+  frame.filename = optional_string(f, "filename");
+  frame.line = static_cast<uint32_t>(optional_int(f, "line"));
+  frame.column = static_cast<uint32_t>(optional_int(f, "column"));
+  if (auto locals = f.get("locals")) {
+    if (!locals->get().is_object()) {
+      throw std::runtime_error("frame field 'locals' must be an object");
+    }
+    frame.locals = locals->get();
+  }
+  if (auto generator = f.get("generator")) {
+    if (!generator->get().is_object()) {
+      throw std::runtime_error("frame field 'generator' must be an object");
+    }
+    frame.generator = generator->get();
+  }
+  return frame;
+}
+
+Json watch_hit_to_json(const WatchHit& hit) {
+  Json w = Json::object();
+  w["id"] = Json(hit.id);
+  w["expression"] = Json(hit.expression);
+  w["old"] = Json(hit.old_value);
+  w["new"] = Json(hit.new_value);
+  return w;
+}
+
+WatchHit watch_hit_from_json(const Json& w) {
+  if (!w.is_object()) throw std::runtime_error("watch hit must be an object");
+  WatchHit hit;
+  hit.id = optional_int(w, "id");
+  hit.expression = optional_string(w, "expression");
+  hit.old_value = optional_string(w, "old");
+  hit.new_value = optional_string(w, "new");
+  return hit;
+}
+
+}  // namespace
+
 std::string serialize_stop_event(const StopEvent& event) {
   Json frames = Json::array();
   for (const auto& frame : event.frames) {
-    Json f = Json::object();
-    f["breakpoint_id"] = Json(frame.breakpoint_id);
-    f["instance_id"] = Json(frame.instance_id);
-    f["instance_name"] = Json(frame.instance_name);
-    f["filename"] = Json(frame.filename);
-    f["line"] = Json(static_cast<int64_t>(frame.line));
-    f["column"] = Json(static_cast<int64_t>(frame.column));
-    f["locals"] = frame.locals;
-    f["generator"] = frame.generator;
-    frames.push_back(std::move(f));
+    frames.push_back(frame_to_json(frame));
   }
   Json json = Json::object();
   json["type"] = Json("stop");
   json["time"] = Json(static_cast<int64_t>(event.time));
   json["frames"] = std::move(frames);
+  if (!event.watch_hits.empty()) {
+    Json watches = Json::array();
+    for (const auto& hit : event.watch_hits) {
+      watches.push_back(watch_hit_to_json(hit));
+    }
+    json["watches"] = std::move(watches);
+  }
   return json.dump();
 }
 
 ServerMessage parse_server_message(const std::string& text) {
-  const Json json = Json::parse(text);
+  const Json json = parse_object(text, "server message");
   ServerMessage message;
-  if (json.get_string("type") == "stop") {
+  const std::string type = require_string(json, "type");
+  if (type == "stop") {
     message.kind = ServerMessage::Kind::Stop;
-    message.stop.time = static_cast<uint64_t>(json.get_int("time"));
-    if (auto frames = json.get("frames")) {
-      for (const auto& f : frames->get().as_array()) {
-        Frame frame;
-        frame.breakpoint_id = f.get_int("breakpoint_id");
-        frame.instance_id = f.get_int("instance_id");
-        frame.instance_name = f.get_string("instance_name");
-        frame.filename = f.get_string("filename");
-        frame.line = static_cast<uint32_t>(f.get_int("line"));
-        frame.column = static_cast<uint32_t>(f.get_int("column"));
-        if (auto locals = f.get("locals")) frame.locals = locals->get();
-        if (auto generator = f.get("generator")) {
-          frame.generator = generator->get();
-        }
-        message.stop.frames.push_back(std::move(frame));
-      }
-    }
-  } else {
+    message.stop = stop_event_fields(json);
+  } else if (type == "generic") {
     message.kind = ServerMessage::Kind::Generic;
-    message.generic.token = json.get_int("token");
-    message.generic.success = json.get_string("status") == "success";
-    message.generic.reason = json.get_string("reason");
+    message.generic.token = optional_int(json, "token");
+    const std::string status = require_string(json, "status");
+    if (status != "success" && status != "error") {
+      throw std::runtime_error("unknown response status '" + status + "'");
+    }
+    message.generic.success = status == "success";
+    message.generic.reason = optional_string(json, "reason");
     if (auto payload = json.get("payload")) {
       message.generic.payload = payload->get();
     }
+  } else {
+    throw std::runtime_error("unknown server message type '" + type + "'");
   }
   return message;
+}
+
+StopEvent stop_event_fields(const Json& json) {
+  StopEvent stop;
+  stop.time = static_cast<uint64_t>(optional_int(json, "time"));
+  if (auto frames = json.get("frames")) {
+    if (!frames->get().is_array()) {
+      throw std::runtime_error("field 'frames' must be an array");
+    }
+    for (const auto& f : frames->get().as_array()) {
+      stop.frames.push_back(frame_from_json(f));
+    }
+  }
+  if (auto watches = json.get("watches")) {
+    if (!watches->get().is_array()) {
+      throw std::runtime_error("field 'watches' must be an array");
+    }
+    for (const auto& w : watches->get().as_array()) {
+      stop.watch_hits.push_back(watch_hit_from_json(w));
+    }
+  }
+  return stop;
+}
+
+Json stop_event_payload(const StopEvent& event) {
+  Json json = Json::object();
+  json["time"] = Json(static_cast<int64_t>(event.time));
+  Json frames = Json::array();
+  for (const auto& frame : event.frames) {
+    frames.push_back(frame_to_json(frame));
+  }
+  json["frames"] = std::move(frames);
+  if (!event.watch_hits.empty()) {
+    Json watches = Json::array();
+    for (const auto& hit : event.watch_hits) {
+      watches.push_back(watch_hit_to_json(hit));
+    }
+    json["watches"] = std::move(watches);
+  }
+  return json;
 }
 
 void insert_nested(Json& object, const std::string& name, Json value) {

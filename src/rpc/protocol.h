@@ -75,7 +75,10 @@ struct Request {
   EvaluationRequest evaluation;
 };
 
-/// Parses a request message; throws std::runtime_error on malformed input.
+/// Parses a request message. Malformed input — invalid JSON, a non-object
+/// document, missing required fields, or wrong field types — always throws
+/// std::runtime_error with a description (never any other exception type),
+/// so a service loop can map it to a structured protocol error.
 Request parse_request(const std::string& text);
 std::string serialize_request(const Request& request);
 
@@ -105,9 +108,21 @@ struct Frame {
   common::Json generator = common::Json::object();
 };
 
+/// A signal watchpoint that fired this cycle (protocol v2 `watch`): the
+/// watched expression's value changed between consecutive rising edges.
+struct WatchHit {
+  int64_t id = 0;
+  std::string expression;
+  std::string old_value;  ///< decimal rendering before the edge
+  std::string new_value;  ///< decimal rendering after the edge
+};
+
 struct StopEvent {
   uint64_t time = 0;
   std::vector<Frame> frames;
+  /// Watchpoint hits (empty for plain breakpoint stops; omitted from the
+  /// wire format when empty so v1 clients never see the field).
+  std::vector<WatchHit> watch_hits;
 };
 
 std::string serialize_response(const GenericResponse& response);
@@ -121,7 +136,16 @@ struct ServerMessage {
   StopEvent stop;
 };
 
+/// Parses a runtime->debugger message with the same malformed-input
+/// guarantee as parse_request: std::runtime_error only.
 ServerMessage parse_server_message(const std::string& text);
+
+/// Extracts StopEvent fields from a JSON object — the body of a v1 "stop"
+/// message and the payload of a v2 "stop" event share this shape. Throws
+/// std::runtime_error on wrong-typed fields.
+StopEvent stop_event_fields(const common::Json& json);
+/// Renders a StopEvent's fields as a JSON object (the v2 event payload).
+common::Json stop_event_payload(const StopEvent& event);
 
 /// Inserts `value` into a nested JSON object, splitting `name` on '.' —
 /// "io.out.bits" becomes {"io":{"out":{"bits": value}}}. This is the

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "session/session_manager.h"
+
 namespace hgdb::runtime {
 
 using common::BitVector;
@@ -157,8 +159,95 @@ size_t Runtime::inserted_count() const {
                     [](const Breakpoint& bp) { return bp.inserted; }));
 }
 
+std::vector<Runtime::InsertedBreakpoint> Runtime::inserted_breakpoints() const {
+  std::lock_guard lock(state_mutex_);
+  std::vector<InsertedBreakpoint> out;
+  for (const auto& bp : breakpoints_) {
+    if (!bp.inserted) continue;
+    out.push_back(InsertedBreakpoint{bp.row.id, bp.row.filename,
+                                     bp.row.line_num, bp.instance_name});
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// watchpoints
+// ---------------------------------------------------------------------------
+
+int64_t Runtime::add_watchpoint(const std::string& expression,
+                                const std::string& instance_name) {
+  Expression parsed = Expression::parse(expression);  // std::invalid_argument
+
+  const auto instance = resolve_instance(instance_name);
+  if (!instance) {
+    throw std::out_of_range("unknown instance '" + instance_name + "'");
+  }
+  const auto& [instance_id, name] = *instance;
+
+  Watchpoint wp{0, expression, std::move(parsed), instance_id, name,
+                std::nullopt};
+  // Baseline: the current value, so the watch fires on the next change
+  // rather than immediately. Unresolvable-now expressions baseline on the
+  // first successful evaluation instead.
+  try {
+    wp.last = wp.expr.evaluate(instance_resolver(instance_id, name));
+  } catch (const std::exception&) {
+  }
+
+  std::lock_guard lock(state_mutex_);
+  wp.id = next_watch_id_++;
+  const int64_t id = wp.id;
+  watchpoints_.push_back(std::move(wp));
+  any_watch_.store(true, std::memory_order_release);
+  return id;
+}
+
+bool Runtime::remove_watchpoint(int64_t id) {
+  std::lock_guard lock(state_mutex_);
+  const size_t before = watchpoints_.size();
+  watchpoints_.erase(
+      std::remove_if(watchpoints_.begin(), watchpoints_.end(),
+                     [id](const Watchpoint& wp) { return wp.id == id; }),
+      watchpoints_.end());
+  any_watch_.store(!watchpoints_.empty(), std::memory_order_release);
+  return watchpoints_.size() != before;
+}
+
+size_t Runtime::watchpoint_count() const {
+  std::lock_guard lock(state_mutex_);
+  return watchpoints_.size();
+}
+
+void Runtime::collect_watch_hits(std::vector<rpc::WatchHit>& hits) {
+  std::lock_guard lock(state_mutex_);
+  if (watchpoints_.empty()) return;
+
+  // Same batch path as breakpoint conditions: one parallel_for per edge.
+  std::vector<std::optional<BitVector>> current(watchpoints_.size());
+  pool_->parallel_for(watchpoints_.size(), [&](size_t i) {
+    auto& wp = watchpoints_[i];
+    try {
+      current[i] =
+          wp.expr.evaluate(instance_resolver(wp.instance_id, wp.instance_name));
+    } catch (const std::exception&) {
+      current[i] = std::nullopt;
+    }
+  });
+  for (size_t i = 0; i < watchpoints_.size(); ++i) {
+    if (!current[i]) continue;
+    auto& wp = watchpoints_[i];
+    if (wp.last && *wp.last != *current[i]) {
+      hits.push_back(rpc::WatchHit{wp.id, wp.text, render(*wp.last),
+                                   render(*current[i])});
+    }
+    wp.last = std::move(current[i]);
+  }
+  stats_.watchpoints_evaluated.fetch_add(watchpoints_.size(),
+                                         std::memory_order_relaxed);
+}
+
 void Runtime::set_stop_handler(StopHandler handler) {
-  std::lock_guard lock(command_mutex_);
+  std::lock_guard lock(handler_mutex_);
   stop_handler_ = std::move(handler);
 }
 
@@ -199,6 +288,26 @@ Expression::Resolver Runtime::breakpoint_resolver(const Breakpoint& bp) const {
   };
 }
 
+std::optional<std::pair<int64_t, std::string>> Runtime::resolve_instance(
+    const std::string& name) const {
+  if (name.empty()) {
+    // Top instance: the shortest name.
+    int64_t top_id = 0;
+    std::string top_name;
+    for (const auto& [id, instance] : instance_names_) {
+      if (top_name.empty() || instance.size() < top_name.size()) {
+        top_name = instance;
+        top_id = id;
+      }
+    }
+    return std::make_pair(top_id, top_name);
+  }
+  if (auto row = table_->instance_by_name(name)) {
+    return std::make_pair(row->id, name);
+  }
+  return std::nullopt;
+}
+
 Expression::Resolver Runtime::instance_resolver(
     int64_t instance_id, const std::string& instance_name) const {
   return [this, instance_id,
@@ -227,11 +336,12 @@ void Runtime::on_clock_edge(vpi::ClockEdge edge, uint64_t time) {
   if (edge != vpi::ClockEdge::Rising) return;
   stats_.clock_edges.fetch_add(1, std::memory_order_relaxed);
 
-  // Fast path first: nothing inserted, no pause requested, plain run mode.
-  // This branch is the entire per-cycle cost the paper measures in Fig. 5,
-  // so it is lock- and allocation-free.
+  // Fast path first: nothing inserted, nothing watched, no pause requested,
+  // plain run mode. This branch is the entire per-cycle cost the paper
+  // measures in Fig. 5, so it is lock- and allocation-free.
   if (mode_.load(std::memory_order_acquire) == Mode::Run &&
       !any_inserted_.load(std::memory_order_acquire) &&
+      !any_watch_.load(std::memory_order_acquire) &&
       !pause_pending_.load(std::memory_order_acquire)) {
     stats_.fast_path_exits.fetch_add(1, std::memory_order_relaxed);
     return;
@@ -240,6 +350,45 @@ void Runtime::on_clock_edge(vpi::ClockEdge edge, uint64_t time) {
   if (pause_pending_.exchange(false)) {
     std::lock_guard lock(state_mutex_);
     mode_ = Mode::Step;
+  }
+
+  // Watchpoints fire before the batch scan (forward execution only: a
+  // reverse traversal re-visits old values and would re-trigger them).
+  {
+    const Mode current = mode_.load(std::memory_order_acquire);
+    if (current != Mode::ReverseStep && current != Mode::ReverseContinue &&
+        any_watch_.load(std::memory_order_acquire)) {
+      std::vector<rpc::WatchHit> watch_hits;
+      collect_watch_hits(watch_hits);
+      if (!watch_hits.empty()) {
+        StopEvent event;
+        event.time = time;
+        event.watch_hits = std::move(watch_hits);
+        stats_.stops.fetch_add(1, std::memory_order_relaxed);
+        const Command command = deliver_stop(std::move(event));
+        std::lock_guard lock(state_mutex_);
+        switch (command) {
+          case Command::Continue:
+            mode_ = Mode::Run;
+            break;
+          case Command::Pause:
+          case Command::StepOver:
+          case Command::StepBack:
+          case Command::ReverseContinue:
+            // Reverse from a watch stop degrades to a forward step (watch
+            // stops only exist on the forward path).
+            mode_ = Mode::Step;
+            break;
+          case Command::Jump:
+            // Handled by the session layer via set_time before resuming.
+            mode_ = Mode::Step;
+            return;
+          case Command::Detach:
+            mode_ = Mode::Run;
+            return;
+        }
+      }
+    }
   }
 
   Mode mode;
@@ -298,7 +447,7 @@ void Runtime::on_clock_edge(vpi::ClockEdge edge, uint64_t time) {
         --index;
         break;
       case Command::Jump:
-        // Handled by the service thread via set_time before resuming.
+        // Handled by the session layer via set_time before resuming.
         mode_ = Mode::Step;
         return;
       case Command::Detach:
@@ -320,7 +469,7 @@ void Runtime::on_clock_edge(vpi::ClockEdge edge, uint64_t time) {
   }
   // Beginning of recorded history: report an empty stop so the debugger
   // knows reverse execution bottomed out, then resume forward stepping.
-  const Command command = deliver_stop(StopEvent{time, {}});
+  const Command command = deliver_stop(StopEvent{time, {}, {}});
   std::lock_guard lock(state_mutex_);
   mode_ = command == Command::Continue ? Mode::Run : Mode::Step;
 }
@@ -435,26 +584,24 @@ Frame Runtime::build_frame(int64_t breakpoint_id) {
 }
 
 // ---------------------------------------------------------------------------
-// stop delivery / command handshake
+// stop delivery
 // ---------------------------------------------------------------------------
 
 Runtime::Command Runtime::deliver_stop(StopEvent event) {
   StopHandler handler;
   {
-    std::lock_guard lock(command_mutex_);
+    std::lock_guard lock(handler_mutex_);
     handler = stop_handler_;
   }
   if (handler) return handler(event);
 
-  std::unique_lock lock(command_mutex_);
-  if (!channel_) return Command::Continue;  // nobody is listening
-  channel_->send(rpc::serialize_stop_event(event));
-  waiting_for_command_ = true;
-  command_ready_.wait(lock, [this] { return pending_command_.has_value(); });
-  waiting_for_command_ = false;
-  const Command command = *pending_command_;
-  pending_command_.reset();
-  return command;
+  session::SessionManager* service = nullptr;
+  {
+    std::lock_guard lock(service_mutex_);
+    service = service_.get();
+  }
+  if (service) return service->deliver_stop(std::move(event));
+  return Command::Continue;  // nobody is listening
 }
 
 // ---------------------------------------------------------------------------
@@ -472,27 +619,38 @@ std::optional<BitVector> Runtime::evaluate(const std::string& expression,
       if (it == by_id_.end()) return std::nullopt;
       resolver = breakpoint_resolver(breakpoints_[it->second]);
     } else {
-      std::string name = instance_name;
-      int64_t instance_id = 0;
-      if (name.empty()) {
-        // Top instance: the shortest name.
-        for (const auto& [id, instance] : instance_names_) {
-          if (name.empty() || instance.size() < name.size()) {
-            name = instance;
-            instance_id = id;
-          }
-        }
-      } else if (auto row = table_->instance_by_name(name)) {
-        instance_id = row->id;
-      } else {
-        return std::nullopt;
-      }
-      resolver = instance_resolver(instance_id, name);
+      const auto instance = resolve_instance(instance_name);
+      if (!instance) return std::nullopt;
+      resolver = instance_resolver(instance->first, instance->second);
     }
     return parsed.evaluate(resolver);
   } catch (const std::exception&) {
     return std::nullopt;
   }
+}
+
+std::optional<BitVector> Runtime::read_instance_rtl(
+    const std::string& instance_name, const std::string& rtl_path) {
+  if (auto value = interface_->get_value(
+          to_design_name(instance_name + "." + rtl_path))) {
+    return value;
+  }
+  return interface_->get_value(rtl_path);
+}
+
+bool Runtime::set_signal_value(const std::string& hier_name,
+                               const BitVector& value) {
+  auto try_name = [&](const std::string& name) {
+    // Match the target's width when it is known, so "42" forces cleanly
+    // into an 8-bit register.
+    if (auto current = interface_->get_value(name)) {
+      return interface_->set_value(name, value.resize(current->width()));
+    }
+    return interface_->set_value(name, value);
+  };
+  if (try_name(hier_name)) return true;
+  const std::string mapped = to_design_name(hier_name);
+  return mapped != hier_name && try_name(mapped);
 }
 
 Runtime::Stats Runtime::stats() const {
@@ -502,180 +660,42 @@ Runtime::Stats Runtime::stats() const {
   out.batches_evaluated = stats_.batches_evaluated.load(std::memory_order_relaxed);
   out.conditions_evaluated =
       stats_.conditions_evaluated.load(std::memory_order_relaxed);
+  out.watchpoints_evaluated =
+      stats_.watchpoints_evaluated.load(std::memory_order_relaxed);
   out.stops = stats_.stops.load(std::memory_order_relaxed);
   return out;
 }
 
 // ---------------------------------------------------------------------------
-// RPC service
+// RPC service (delegated to the session layer)
 // ---------------------------------------------------------------------------
 
+session::SessionManager* Runtime::ensure_service() {
+  std::lock_guard lock(service_mutex_);
+  if (!service_) service_ = std::make_unique<session::SessionManager>(*this);
+  return service_.get();
+}
+
 void Runtime::serve(std::unique_ptr<rpc::Channel> channel) {
-  stop_service();
-  {
-    std::lock_guard lock(command_mutex_);
-    channel_ = std::move(channel);
-  }
-  service_thread_ = std::thread([this] { service_loop(channel_.get()); });
+  ensure_service()->add_client(std::move(channel));
+}
+
+uint16_t Runtime::serve_tcp(uint16_t port) {
+  return ensure_service()->listen_tcp(port);
 }
 
 void Runtime::stop_service() {
+  session::SessionManager* service = nullptr;
   {
-    std::lock_guard lock(command_mutex_);
-    if (channel_) channel_->close();
+    std::lock_guard lock(service_mutex_);
+    service = service_.get();
   }
-  if (service_thread_.joinable()) service_thread_.join();
-  std::lock_guard lock(command_mutex_);
-  channel_.reset();
+  if (service) service->shutdown();
 }
 
-void Runtime::service_loop(rpc::Channel* channel) {
-  while (true) {
-    auto message = channel->receive();
-    if (!message) break;  // closed
-    rpc::Request request;
-    try {
-      request = rpc::parse_request(*message);
-    } catch (const std::exception& error) {
-      rpc::GenericResponse response;
-      response.success = false;
-      response.reason = error.what();
-      try {
-        channel->send(rpc::serialize_response(response));
-      } catch (const std::exception&) {
-        break;
-      }
-      continue;
-    }
-    try {
-      handle_request(request, channel);
-    } catch (const std::exception& error) {
-      rpc::GenericResponse response;
-      response.token = request.token;
-      response.success = false;
-      response.reason = error.what();
-      try {
-        channel->send(rpc::serialize_response(response));
-      } catch (const std::exception&) {
-        break;
-      }
-    }
-  }
-  // Client is gone: release the simulation if it is waiting on us.
-  std::lock_guard lock(command_mutex_);
-  if (waiting_for_command_) {
-    pending_command_ = Command::Continue;
-    command_ready_.notify_all();
-  }
-}
-
-void Runtime::handle_request(const rpc::Request& request,
-                             rpc::Channel* channel) {
-  using common::Json;
-  rpc::GenericResponse response;
-  response.token = request.token;
-
-  switch (request.kind) {
-    case rpc::Request::Kind::Breakpoint: {
-      if (request.breakpoint.action == rpc::BreakpointRequest::Action::Add) {
-        const auto inserted =
-            add_breakpoint(request.breakpoint.filename, request.breakpoint.line,
-                           request.breakpoint.condition);
-        if (inserted.empty()) {
-          response.success = false;
-          response.reason = "no breakpoint at " + request.breakpoint.filename +
-                            ":" + std::to_string(request.breakpoint.line);
-        } else {
-          Json ids = Json::array();
-          for (int64_t id : inserted) ids.push_back(Json(id));
-          response.payload["ids"] = std::move(ids);
-        }
-      } else {
-        const size_t removed = remove_breakpoint(request.breakpoint.filename,
-                                                 request.breakpoint.line);
-        response.payload["removed"] = Json(static_cast<int64_t>(removed));
-      }
-      break;
-    }
-    case rpc::Request::Kind::BpLocation: {
-      const auto rows = table_->breakpoints_at(request.bp_location.filename,
-                                               request.bp_location.line);
-      Json list = Json::array();
-      for (const auto& row : rows) {
-        Json entry = Json::object();
-        entry["id"] = Json(row.id);
-        entry["filename"] = Json(row.filename);
-        entry["line"] = Json(static_cast<int64_t>(row.line_num));
-        entry["column"] = Json(static_cast<int64_t>(row.column_num));
-        auto it = instance_names_.find(row.instance_id);
-        entry["instance"] =
-            Json(it != instance_names_.end() ? it->second : "");
-        list.push_back(std::move(entry));
-      }
-      response.payload["breakpoints"] = std::move(list);
-      break;
-    }
-    case rpc::Request::Kind::Command: {
-      std::lock_guard lock(command_mutex_);
-      if (waiting_for_command_) {
-        if (request.command.command == Command::Jump) {
-          if (!interface_->set_time(request.command.time)) {
-            response.success = false;
-            response.reason = "time travel unsupported or out of range";
-            break;
-          }
-        }
-        pending_command_ = request.command.command;
-        command_ready_.notify_all();
-      } else if (request.command.command == Command::Pause) {
-        pause_pending_.store(true);
-      } else if (request.command.command == Command::Detach) {
-        clear_breakpoints();
-      } else {
-        response.success = false;
-        response.reason = "simulation is not stopped";
-      }
-      break;
-    }
-    case rpc::Request::Kind::Evaluation: {
-      auto value = evaluate(request.evaluation.expression,
-                            request.evaluation.breakpoint_id,
-                            request.evaluation.instance_name);
-      if (!value) {
-        response.success = false;
-        response.reason = "cannot evaluate '" +
-                          request.evaluation.expression + "'";
-      } else {
-        response.payload["result"] = Json(render(*value));
-        response.payload["width"] =
-            Json(static_cast<int64_t>(value->width()));
-      }
-      break;
-    }
-    case rpc::Request::Kind::DebuggerInfo: {
-      Json inserted = Json::array();
-      {
-        std::lock_guard lock(state_mutex_);
-        for (const auto& bp : breakpoints_) {
-          if (!bp.inserted) continue;
-          Json entry = Json::object();
-          entry["id"] = Json(bp.row.id);
-          entry["filename"] = Json(bp.row.filename);
-          entry["line"] = Json(static_cast<int64_t>(bp.row.line_num));
-          entry["instance"] = Json(bp.instance_name);
-          inserted.push_back(std::move(entry));
-        }
-      }
-      response.payload["breakpoints"] = std::move(inserted);
-      response.payload["time"] =
-          Json(static_cast<int64_t>(interface_->get_time()));
-      Json files = Json::array();
-      for (const auto& file : table_->files()) files.push_back(Json(file));
-      response.payload["files"] = std::move(files);
-      break;
-    }
-  }
-  channel->send(rpc::serialize_response(response));
+session::SessionManager* Runtime::session_manager() {
+  std::lock_guard lock(service_mutex_);
+  return service_.get();
 }
 
 }  // namespace hgdb::runtime

@@ -2,14 +2,12 @@
 #define HGDB_RUNTIME_RUNTIME_H
 
 #include <atomic>
-#include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
-#include <set>
 #include <string>
-#include <thread>
+#include <utility>
 #include <vector>
 
 #include "rpc/channel.h"
@@ -19,6 +17,10 @@
 #include "symbols/symbol_table.h"
 #include "vpi/hierarchy.h"
 #include "vpi/sim_interface.h"
+
+namespace hgdb::session {
+class SessionManager;
+}  // namespace hgdb::session
 
 namespace hgdb::runtime {
 
@@ -41,14 +43,17 @@ struct RuntimeOptions {
 ///   hit, reconstruct stack frames and notify the debugger -> wait for a
 ///   command -> repeat; exit the loop when no batch is left.
 ///
-/// The fast path — no breakpoints inserted — returns immediately, which is
-/// why the measured simulation overhead stays under 5% (Fig. 5).
+/// The fast path — no breakpoints or watchpoints inserted — returns
+/// immediately, which is why the measured simulation overhead stays under
+/// 5% (Fig. 5).
 ///
 /// Two front-end attachment modes:
 ///  - direct: set_stop_handler() receives stop events synchronously and
 ///    returns the next command (tests, scripted debugging);
-///  - RPC: serve() spawns a service thread speaking the JSON protocol over
-///    any rpc::Channel (gdb-style CLI, IDE adapters).
+///  - RPC: serve()/serve_tcp() attach debugger clients through the
+///    session::SessionManager, which speaks the versioned debug protocol
+///    (v2 envelopes + v1 compat) over any rpc::Channel and hosts N
+///    concurrent clients against this one runtime.
 class Runtime {
  public:
   using Command = rpc::CommandRequest::Command;
@@ -83,13 +88,43 @@ class Runtime {
   void clear_breakpoints();
   [[nodiscard]] size_t inserted_count() const;
 
+  /// One currently-inserted breakpoint (`breakpoint-list` / `info`).
+  struct InsertedBreakpoint {
+    int64_t id = 0;
+    std::string filename;
+    uint32_t line = 0;
+    std::string instance_name;
+  };
+  [[nodiscard]] std::vector<InsertedBreakpoint> inserted_breakpoints() const;
+
+  // -- watchpoints -------------------------------------------------------------
+  /// Arms a signal watchpoint: `expression` is re-evaluated on the batch
+  /// path at every rising edge (in `instance_name`'s scope; empty = top)
+  /// and a stop fires whenever its value changes. Returns the watch id.
+  /// Throws std::invalid_argument on a malformed expression and
+  /// std::out_of_range on an unknown instance.
+  int64_t add_watchpoint(const std::string& expression,
+                         const std::string& instance_name = "");
+  bool remove_watchpoint(int64_t id);
+  [[nodiscard]] size_t watchpoint_count() const;
+
   // -- direct-mode control ---------------------------------------------------------
   void set_stop_handler(StopHandler handler);
+  /// Requests a stop at the next statement boundary (protocol `pause`).
+  void request_pause() { pause_pending_.store(true); }
 
   // -- RPC service -------------------------------------------------------------------
-  /// Serves the JSON debug protocol on `channel` from a background thread.
+  /// Attaches one debugger client on `channel`. May be called repeatedly:
+  /// every call adds a concurrent session (the session layer broadcasts
+  /// stop events to all of them and tracks per-session ownership).
   void serve(std::unique_ptr<rpc::Channel> channel);
+  /// Listens on loopback TCP (0 = ephemeral) and accepts any number of
+  /// clients; returns the bound port.
+  uint16_t serve_tcp(uint16_t port = 0);
+  /// Disconnects every client and stops the accept loop.
   void stop_service();
+  /// The session layer, if serve()/serve_tcp() started it (else nullptr).
+  [[nodiscard]] session::SessionManager* session_manager();
 
   // -- evaluation --------------------------------------------------------------------
   /// Evaluates an expression in a breakpoint's scope (locals, then
@@ -98,6 +133,15 @@ class Runtime {
   [[nodiscard]] std::optional<common::BitVector> evaluate(
       const std::string& expression, std::optional<int64_t> breakpoint_id,
       const std::string& instance_name = "");
+  /// Reads an instance-relative RTL path through the hierarchy mapping
+  /// (variable browsing); nullopt when unresolvable.
+  [[nodiscard]] std::optional<common::BitVector> read_instance_rtl(
+      const std::string& instance_name, const std::string& rtl_path);
+  /// Forces a signal value (protocol `set-value`); tries the name verbatim
+  /// first, then mapped into the design hierarchy. False when the backend
+  /// does not support set-value or the signal is unknown.
+  bool set_signal_value(const std::string& hier_name,
+                        const common::BitVector& value);
 
   // -- introspection -----------------------------------------------------------------
   struct Stats {
@@ -105,11 +149,16 @@ class Runtime {
     uint64_t fast_path_exits = 0;   ///< edges with no work (Fig. 2 early exit)
     uint64_t batches_evaluated = 0; ///< breakpoint batches condition-checked
     uint64_t conditions_evaluated = 0;
+    uint64_t watchpoints_evaluated = 0;
     uint64_t stops = 0;             ///< stop events delivered
   };
   [[nodiscard]] Stats stats() const;
   [[nodiscard]] const vpi::HierarchyMapper* hierarchy_mapper() const {
     return mapper_ ? &*mapper_ : nullptr;
+  }
+  [[nodiscard]] vpi::SimulatorInterface& sim_interface() { return *interface_; }
+  [[nodiscard]] const symbols::SymbolTable& symbol_table() const {
+    return *table_;
   }
   /// Frames for an explicitly chosen breakpoint id at the current sim
   /// state (used by tests and the CLI's `frame` command).
@@ -133,6 +182,16 @@ class Runtime {
     std::vector<size_t> members;  ///< indexes into breakpoints_
   };
 
+  /// An armed watchpoint: parsed expression + the last observed value.
+  struct Watchpoint {
+    int64_t id = 0;
+    std::string text;
+    Expression expr;
+    int64_t instance_id = 0;
+    std::string instance_name;
+    std::optional<common::BitVector> last;
+  };
+
   enum class Mode : uint8_t {
     Run,              ///< stop on inserted hits only
     Step,             ///< stop at the next enabled statement
@@ -147,6 +206,8 @@ class Runtime {
   /// Evaluates one batch; fills `hits` with member indexes that fired.
   void evaluate_batch(const Batch& batch, bool respect_inserted,
                       std::vector<size_t>& hits);
+  /// Evaluates every armed watchpoint (batch path); appends change hits.
+  void collect_watch_hits(std::vector<rpc::WatchHit>& hits);
   rpc::StopEvent make_stop_event(uint64_t time, const std::vector<size_t>& hits);
   rpc::Frame make_frame(const Breakpoint& bp);
   /// Blocks until the debugger answers the stop event; returns the command.
@@ -157,10 +218,12 @@ class Runtime {
   Expression::Resolver breakpoint_resolver(const Breakpoint& bp) const;
   Expression::Resolver instance_resolver(int64_t instance_id,
                                          const std::string& instance_name) const;
+  /// Resolves an instance scope: empty name = the top instance (the
+  /// shortest hierarchical name). nullopt for an unknown name.
+  [[nodiscard]] std::optional<std::pair<int64_t, std::string>>
+  resolve_instance(const std::string& name) const;
   [[nodiscard]] std::string to_design_name(const std::string& symbol_name) const;
-
-  void service_loop(rpc::Channel* channel);
-  void handle_request(const rpc::Request& request, rpc::Channel* channel);
+  session::SessionManager* ensure_service();
 
   vpi::SimulatorInterface* interface_;
   const symbols::SymbolTable* table_;
@@ -175,23 +238,23 @@ class Runtime {
   std::optional<uint64_t> callback_handle_;
   std::unique_ptr<ThreadPool> pool_;
 
-  // Scheduler state (sim thread + service thread).
+  // Scheduler state (sim thread + service threads).
   mutable std::mutex state_mutex_;
   std::atomic<bool> any_inserted_{false};
+  std::atomic<bool> any_watch_{false};
   std::atomic<bool> pause_pending_{false};
   std::atomic<Mode> mode_{Mode::Run};
   bool reverse_entry_ = false;  ///< entered this cycle travelling backwards
+  std::vector<Watchpoint> watchpoints_;
+  int64_t next_watch_id_ = 1;
 
-  // Stop/command handshake.
-  std::mutex command_mutex_;
-  std::condition_variable command_ready_;
-  std::optional<Command> pending_command_;
-  bool waiting_for_command_ = false;
+  // Direct-mode stop delivery.
+  std::mutex handler_mutex_;
   StopHandler stop_handler_;
 
-  // RPC service.
-  std::unique_ptr<rpc::Channel> channel_;
-  std::thread service_thread_;
+  // Multi-client session layer (created lazily by serve()/serve_tcp()).
+  std::mutex service_mutex_;
+  std::unique_ptr<session::SessionManager> service_;
 
   // Monotonic counters; written from the sim thread on the hot path, so
   // they are relaxed atomics rather than lock-protected (the fast path must
@@ -201,6 +264,7 @@ class Runtime {
     std::atomic<uint64_t> fast_path_exits{0};
     std::atomic<uint64_t> batches_evaluated{0};
     std::atomic<uint64_t> conditions_evaluated{0};
+    std::atomic<uint64_t> watchpoints_evaluated{0};
     std::atomic<uint64_t> stops{0};
   };
   mutable AtomicStats stats_;

@@ -1,0 +1,88 @@
+#include "session/debug_session.h"
+
+namespace hgdb::session {
+
+DebugSession::DebugSession(uint64_t id, std::unique_ptr<rpc::Channel> channel)
+    : id_(id), channel_(std::move(channel)) {}
+
+std::string DebugSession::client_name() const {
+  std::lock_guard lock(mutex_);
+  return client_name_;
+}
+
+void DebugSession::set_client_name(std::string name) {
+  std::lock_guard lock(mutex_);
+  client_name_ = std::move(name);
+}
+
+bool DebugSession::send(const std::string& text) {
+  if (!alive()) return false;
+  try {
+    channel_->send(text);
+    return true;
+  } catch (const std::exception&) {
+    mark_dead();
+    return false;
+  }
+}
+
+void DebugSession::own_location(const Location& location) {
+  std::lock_guard lock(mutex_);
+  locations_.insert(location);
+}
+
+bool DebugSession::owns_location(const Location& location) const {
+  std::lock_guard lock(mutex_);
+  return locations_.count(location) != 0;
+}
+
+std::vector<Location> DebugSession::take_locations(const std::string& filename,
+                                                   uint32_t line) {
+  std::lock_guard lock(mutex_);
+  std::vector<Location> taken;
+  for (auto it = locations_.begin(); it != locations_.end();) {
+    if (it->first == filename && (line == 0 || it->second == line)) {
+      taken.push_back(*it);
+      it = locations_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return taken;
+}
+
+std::vector<Location> DebugSession::take_all_locations() {
+  std::lock_guard lock(mutex_);
+  std::vector<Location> taken(locations_.begin(), locations_.end());
+  locations_.clear();
+  return taken;
+}
+
+size_t DebugSession::owned_location_count() const {
+  std::lock_guard lock(mutex_);
+  return locations_.size();
+}
+
+void DebugSession::own_watch(int64_t id) {
+  std::lock_guard lock(mutex_);
+  watches_.insert(id);
+}
+
+bool DebugSession::owns_watch(int64_t id) const {
+  std::lock_guard lock(mutex_);
+  return watches_.count(id) != 0;
+}
+
+bool DebugSession::disown_watch(int64_t id) {
+  std::lock_guard lock(mutex_);
+  return watches_.erase(id) != 0;
+}
+
+std::vector<int64_t> DebugSession::take_watches() {
+  std::lock_guard lock(mutex_);
+  std::vector<int64_t> taken(watches_.begin(), watches_.end());
+  watches_.clear();
+  return taken;
+}
+
+}  // namespace hgdb::session

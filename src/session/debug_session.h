@@ -1,0 +1,114 @@
+#ifndef HGDB_SESSION_DEBUG_SESSION_H
+#define HGDB_SESSION_DEBUG_SESSION_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rpc/channel.h"
+
+namespace hgdb::session {
+
+/// A breakpoint source location owned by a session (filename + line).
+using Location = std::pair<std::string, uint32_t>;
+
+/// One attached debugger client: its transport endpoint, negotiated
+/// protocol version, and the breakpoint/watchpoint state it owns. Created
+/// and driven by SessionManager, which runs one reader thread per session;
+/// send() is safe from any thread (responses from the session thread, stop
+/// broadcasts from the simulation thread).
+class DebugSession {
+ public:
+  DebugSession(uint64_t id, std::unique_ptr<rpc::Channel> channel);
+
+  DebugSession(const DebugSession&) = delete;
+  DebugSession& operator=(const DebugSession&) = delete;
+
+  [[nodiscard]] uint64_t id() const { return id_; }
+
+  /// 1 until the first v2 envelope arrives on this session, then latched
+  /// to 2 — decides the wire format of responses and stop events.
+  [[nodiscard]] int protocol_version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+  void promote_to_v2() { version_.store(2, std::memory_order_release); }
+
+  [[nodiscard]] std::string client_name() const;
+  void set_client_name(std::string name);
+
+  // -- transport ---------------------------------------------------------------
+  /// Thread-safe send; returns false (and marks the session dead) once the
+  /// peer is gone.
+  bool send(const std::string& text);
+  /// Blocking receive on the session's reader thread.
+  std::optional<std::string> receive() { return channel_->receive(); }
+  void close() { channel_->close(); }
+
+  [[nodiscard]] bool alive() const {
+    return alive_.load(std::memory_order_acquire);
+  }
+  void mark_dead() { alive_.store(false, std::memory_order_release); }
+
+  /// Engagement: whether this client is actively debugging (it armed a
+  /// breakpoint/watchpoint or issued an execution command) as opposed to
+  /// passively observing. Stop events broadcast to every session, but
+  /// only engaged sessions are *expected* to answer — the scheduler
+  /// auto-resumes once every engaged recipient has answered or departed,
+  /// so an idle observer can never hang the simulation.
+  [[nodiscard]] bool engaged() const {
+    return engaged_.load(std::memory_order_acquire);
+  }
+  void engage() { engaged_.store(true, std::memory_order_release); }
+  void disengage() { engaged_.store(false, std::memory_order_release); }
+
+  /// Set by the `disconnect` handler: the reader loop exits after the
+  /// response is flushed.
+  std::atomic<bool> close_requested{false};
+
+  /// The reader thread sets this as its final statement: past this point
+  /// it holds no locks, so joining the thread cannot deadlock.
+  void set_reapable() { reapable_.store(true, std::memory_order_release); }
+  [[nodiscard]] bool reapable() const {
+    return reapable_.load(std::memory_order_acquire);
+  }
+
+  // -- breakpoint ownership ------------------------------------------------------
+  void own_location(const Location& location);
+  [[nodiscard]] bool owns_location(const Location& location) const;
+  /// Removes and returns the owned locations matching filename (+line;
+  /// line 0 = every owned location in the file).
+  std::vector<Location> take_locations(const std::string& filename,
+                                       uint32_t line);
+  /// Removes and returns every owned location.
+  std::vector<Location> take_all_locations();
+  [[nodiscard]] size_t owned_location_count() const;
+
+  // -- watchpoint ownership ------------------------------------------------------
+  void own_watch(int64_t id);
+  [[nodiscard]] bool owns_watch(int64_t id) const;
+  bool disown_watch(int64_t id);
+  std::vector<int64_t> take_watches();
+
+ private:
+  const uint64_t id_;
+  std::unique_ptr<rpc::Channel> channel_;
+  std::atomic<int> version_{1};
+  std::atomic<bool> alive_{true};
+  std::atomic<bool> engaged_{false};
+  std::atomic<bool> reapable_{false};
+
+  mutable std::mutex mutex_;
+  std::string client_name_;
+  std::set<Location> locations_;
+  std::set<int64_t> watches_;
+};
+
+}  // namespace hgdb::session
+
+#endif  // HGDB_SESSION_DEBUG_SESSION_H

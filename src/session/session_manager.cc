@@ -1,0 +1,834 @@
+#include "session/session_manager.h"
+
+#include <stdexcept>
+
+#include "rpc/tcp.h"
+#include "runtime/runtime.h"
+
+namespace hgdb::session {
+
+using common::BitVector;
+using common::Json;
+using rpc::ErrorCode;
+using rpc::RequestV2;
+using rpc::ResponseV2;
+
+namespace {
+
+std::string render(const BitVector& value) { return value.to_string(10); }
+
+// -- payload accessors --------------------------------------------------------
+// Throw std::invalid_argument, which execute() maps to invalid-payload; the
+// message names the offending field so clients can fix the request.
+
+const Json& payload_field(const Json& payload, const char* key) {
+  auto field = payload.get(key);
+  if (!field) {
+    throw std::invalid_argument(std::string("payload missing '") + key + "'");
+  }
+  return field->get();
+}
+
+std::string want_string(const Json& payload, const char* key) {
+  const Json& field = payload_field(payload, key);
+  if (!field.is_string()) {
+    throw std::invalid_argument(std::string("payload field '") + key +
+                                "' must be a string");
+  }
+  return field.as_string();
+}
+
+int64_t want_int(const Json& payload, const char* key) {
+  const Json& field = payload_field(payload, key);
+  if (!field.is_number()) {
+    throw std::invalid_argument(std::string("payload field '") + key +
+                                "' must be a number");
+  }
+  return field.as_int();
+}
+
+std::string opt_string(const Json& payload, const char* key,
+                       std::string fallback = "") {
+  auto field = payload.get(key);
+  if (!field) return fallback;
+  if (!field->get().is_string()) {
+    throw std::invalid_argument(std::string("payload field '") + key +
+                                "' must be a string");
+  }
+  return field->get().as_string();
+}
+
+int64_t opt_int(const Json& payload, const char* key, int64_t fallback = 0) {
+  auto field = payload.get(key);
+  if (!field) return fallback;
+  if (!field->get().is_number()) {
+    throw std::invalid_argument(std::string("payload field '") + key +
+                                "' must be a number");
+  }
+  return field->get().as_int();
+}
+
+}  // namespace
+
+SessionManager::SessionManager(runtime::Runtime& runtime) : runtime_(&runtime) {
+  register_builtins();
+}
+
+SessionManager::~SessionManager() { shutdown(); }
+
+// ---------------------------------------------------------------------------
+// clients
+// ---------------------------------------------------------------------------
+
+uint64_t SessionManager::add_client(std::unique_ptr<rpc::Channel> channel) {
+  if (shutting_down_.load()) {
+    channel->close();
+    return 0;
+  }
+  std::lock_guard lock(sessions_mutex_);
+  // Reap sessions whose reader thread has fully finished (reapable() is
+  // the thread's final statement, so this join cannot block on our locks).
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->session->reapable()) {
+      if (it->thread.joinable()) it->thread.join();
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  const uint64_t id = next_session_id_++;
+  entries_.push_back(Entry{
+      std::make_unique<DebugSession>(id, std::move(channel)), std::thread{}});
+  DebugSession* session = entries_.back().session.get();
+  entries_.back().thread = std::thread([this, session] { session_loop(session); });
+  return id;
+}
+
+uint16_t SessionManager::listen_tcp(uint16_t port) {
+  std::lock_guard lock(sessions_mutex_);
+  if (tcp_server_) return tcp_server_->port();
+  tcp_server_ = std::make_unique<rpc::TcpServer>(port);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return tcp_server_->port();
+}
+
+void SessionManager::accept_loop() {
+  // tcp_server_ stays valid for the thread's lifetime: shutdown() joins
+  // this thread before resetting it.
+  while (!shutting_down_.load()) {
+    auto channel = tcp_server_->accept();
+    if (!channel) break;
+    add_client(std::move(channel));
+  }
+}
+
+void SessionManager::shutdown() {
+  static std::mutex shutdown_mutex;
+  std::lock_guard shutdown_lock(shutdown_mutex);
+  shutting_down_.store(true);
+  {
+    std::lock_guard lock(sessions_mutex_);
+    if (tcp_server_) tcp_server_->close();
+    for (auto& entry : entries_) entry.session->close();
+  }
+  {
+    // Wake a deliver_stop() waiting for a command: it sees shutting_down_
+    // and releases the simulation with Continue.
+    std::lock_guard lock(command_mutex_);
+    command_ready_.notify_all();
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Entry addresses are stable (unique_ptr) and the vector cannot grow
+  // (add_client rejects while shutting_down_), so join index-wise without
+  // holding sessions_mutex_ — the exiting threads need it for cleanup.
+  size_t count = 0;
+  {
+    std::lock_guard lock(sessions_mutex_);
+    count = entries_.size();
+  }
+  for (size_t i = 0; i < count; ++i) {
+    std::thread* thread = nullptr;
+    {
+      std::lock_guard lock(sessions_mutex_);
+      thread = &entries_[i].thread;
+    }
+    if (thread->joinable()) thread->join();
+  }
+  {
+    std::lock_guard lock(sessions_mutex_);
+    entries_.clear();
+    tcp_server_.reset();
+  }
+  {
+    std::lock_guard lock(refs_mutex_);
+    location_refs_.clear();
+  }
+  {
+    // The sim thread may still be parked inside deliver_stop():
+    // shutting_down_ satisfies its wake predicate, but it has to actually
+    // run and leave the handshake before the shared state is reset —
+    // resetting first would swallow its wakeup and park it forever.
+    std::unique_lock lock(command_mutex_);
+    command_ready_.notify_all();
+    command_ready_.wait(lock, [this] { return !waiting_for_command_; });
+    pending_command_.reset();
+    pending_responders_.clear();
+  }
+  shutting_down_.store(false);  // manager is reusable
+}
+
+size_t SessionManager::session_count() const {
+  std::lock_guard lock(sessions_mutex_);
+  size_t alive = 0;
+  for (const auto& entry : entries_) {
+    if (entry.session->alive()) ++alive;
+  }
+  return alive;
+}
+
+// ---------------------------------------------------------------------------
+// per-session service loop
+// ---------------------------------------------------------------------------
+
+void SessionManager::session_loop(DebugSession* session) {
+  while (!shutting_down_.load()) {
+    auto message = session->receive();
+    if (!message) break;  // peer closed
+    dispatch(*session, *message);
+    if (session->close_requested.load()) break;
+  }
+  cleanup_session(*session);
+  session->set_reapable();
+}
+
+void SessionManager::cleanup_session(DebugSession& session) {
+  session.mark_dead();
+  session.close();
+  release_session_state(session);
+}
+
+size_t SessionManager::release_session_state(DebugSession& session) {
+  const size_t removed = release_locations(session.take_all_locations());
+  for (int64_t watch : session.take_watches()) {
+    runtime_->remove_watchpoint(watch);
+  }
+  // The departing client stops counting toward the current stop's
+  // expected responders: the simulation resumes once every engaged
+  // recipient has answered or left, and never sooner — so a crash can't
+  // hang a stop, and a remaining client's stop is never yanked away.
+  session.disengage();
+  resign_from_stop(session.id());
+  return removed;
+}
+
+size_t SessionManager::release_locations(const std::vector<Location>& locations) {
+  size_t removed = 0;
+  for (const auto& location : locations) {
+    bool remove_now = false;
+    {
+      std::lock_guard lock(refs_mutex_);
+      auto it = location_refs_.find(location);
+      if (it != location_refs_.end() && --it->second <= 0) {
+        location_refs_.erase(it);
+        remove_now = true;
+      }
+    }
+    if (remove_now) {
+      removed += runtime_->remove_breakpoint(location.first, location.second);
+    }
+  }
+  return removed;
+}
+
+// ---------------------------------------------------------------------------
+// dispatch
+// ---------------------------------------------------------------------------
+
+void SessionManager::dispatch(DebugSession& session, const std::string& text) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  Json json;
+  try {
+    json = Json::parse(text);
+  } catch (const std::exception& error) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    ResponseV2 response;
+    response.fail(ErrorCode::MalformedRequest,
+                  std::string("malformed request: ") + error.what());
+    session.send(session.protocol_version() >= 2
+                     ? rpc::serialize_response_v2(response)
+                     : rpc::serialize_response_as_v1(response));
+    return;
+  }
+
+  if (rpc::is_v2_envelope(json)) {
+    session.promote_to_v2();
+    auto decoded = rpc::decode_request_v2(json);
+    if (!decoded.ok()) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      ResponseV2 response;
+      response.token = decoded.request.token;
+      response.command = decoded.request.command;
+      response.fail(decoded.error, decoded.reason);
+      session.send(rpc::serialize_response_v2(response));
+      return;
+    }
+    ResponseV2 response = execute(session, decoded.request);
+    session.send(rpc::serialize_response_v2(response));
+    return;
+  }
+
+  // v1 message: translate through the compat shim and answer in the v1
+  // wire format.
+  rpc::Request v1;
+  try {
+    v1 = rpc::parse_request(text);
+  } catch (const std::exception& error) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    ResponseV2 response;
+    response.token = json.is_object() ? json.get_int("token") : 0;
+    response.fail(ErrorCode::MalformedRequest, error.what());
+    session.send(rpc::serialize_response_as_v1(response));
+    return;
+  }
+  ResponseV2 response = execute(session, rpc::v2_from_v1(v1));
+  session.send(rpc::serialize_response_as_v1(response));
+}
+
+ResponseV2 SessionManager::execute(DebugSession& session,
+                                   const RequestV2& request) {
+  ResponseV2 response;
+  response.command = request.command;
+  response.token = request.token;
+
+  auto it = commands_.find(request.command);
+  if (it == commands_.end()) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    response.fail(ErrorCode::UnknownCommand,
+                  "unknown command '" + request.command + "'");
+    return response;
+  }
+
+  if (it->second.gate != Gate::None) {
+    const auto caps = capabilities();
+    if (it->second.gate == Gate::TimeTravel && !caps.time_travel) {
+      response.fail(ErrorCode::UnsupportedCapability,
+                    "backend ('" + caps.backend +
+                        "') does not support time travel");
+      return response;
+    }
+    if (it->second.gate == Gate::SetValue && !caps.set_value) {
+      response.fail(ErrorCode::UnsupportedCapability,
+                    "backend ('" + caps.backend +
+                        "') does not support set-value");
+      return response;
+    }
+  }
+
+  try {
+    it->second.handler(session, request, response);
+  } catch (const std::invalid_argument& error) {
+    response.fail(ErrorCode::InvalidPayload, error.what());
+  } catch (const std::out_of_range& error) {
+    response.fail(ErrorCode::NoSuchEntity, error.what());
+  } catch (const std::exception& error) {
+    response.fail(ErrorCode::InternalError, error.what());
+  }
+  return response;
+}
+
+// ---------------------------------------------------------------------------
+// stop delivery
+// ---------------------------------------------------------------------------
+
+SessionManager::Command SessionManager::deliver_stop(rpc::StopEvent event) {
+  if (shutting_down_.load()) return Command::Continue;
+
+  // Serialize once per wire format; sessions pick theirs by negotiated
+  // version.
+  const std::string v1_text = rpc::serialize_stop_event(event);
+  const std::string v2_text = rpc::serialize_event_v2(
+      rpc::EventV2{"stop", rpc::stop_event_payload(event)});
+
+  // waiting_for_command_ must be visible before any client can answer, so
+  // the broadcast happens under command_mutex_.
+  std::unique_lock lock(command_mutex_);
+  pending_command_.reset();
+  pending_responders_.clear();
+  size_t delivered = 0;
+  {
+    std::lock_guard sessions_lock(sessions_mutex_);
+    for (auto& entry : entries_) {
+      auto& session = *entry.session;
+      if (!session.alive()) continue;
+      if (session.send(session.protocol_version() >= 2 ? v2_text : v1_text)) {
+        ++delivered;
+        // Only engaged clients owe an answer; passive observers receive
+        // the event but must not be able to park the simulation.
+        if (session.engaged()) pending_responders_.insert(session.id());
+      }
+    }
+  }
+  if (delivered == 0 || pending_responders_.empty()) {
+    return Command::Continue;  // nobody is expected to answer
+  }
+  stops_broadcast_.fetch_add(1, std::memory_order_relaxed);
+
+  waiting_for_command_ = true;
+  command_ready_.wait(lock, [this] {
+    return pending_command_.has_value() || shutting_down_.load();
+  });
+  waiting_for_command_ = false;
+  const Command command = pending_command_.value_or(Command::Continue);
+  pending_command_.reset();
+  pending_responders_.clear();
+  // Wake a shutdown() waiting for the sim thread to leave the handshake.
+  command_ready_.notify_all();
+  return command;
+}
+
+void SessionManager::resign_from_stop(uint64_t session_id) {
+  std::lock_guard lock(command_mutex_);
+  pending_responders_.erase(session_id);
+  if (waiting_for_command_ && !pending_command_ &&
+      pending_responders_.empty()) {
+    pending_command_ = Command::Continue;
+    command_ready_.notify_all();
+  }
+}
+
+void SessionManager::handle_execution(DebugSession& session,
+                                      const RequestV2& request,
+                                      ResponseV2& response, Command command) {
+  session.engage();
+  std::unique_lock lock(command_mutex_);
+  if (waiting_for_command_) {
+    if (pending_command_.has_value()) {
+      // Another client already answered this stop; first command wins
+      // rather than being silently overwritten.
+      response.fail(ErrorCode::InvalidState,
+                    "a resume command is already pending for this stop");
+      return;
+    }
+    if (command == Command::Jump) {
+      const auto time = static_cast<uint64_t>(want_int(request.payload, "time"));
+      if (!runtime_->sim_interface().set_time(time)) {
+        response.fail(ErrorCode::InvalidPayload,
+                      "time travel target out of range");
+        return;
+      }
+    }
+    pending_command_ = command;
+    command_ready_.notify_all();
+    return;
+  }
+  lock.unlock();
+  if (command == Command::Pause) {
+    runtime_->request_pause();
+    return;
+  }
+  response.fail(ErrorCode::InvalidState, "simulation is not stopped");
+}
+
+// ---------------------------------------------------------------------------
+// protocol surface
+// ---------------------------------------------------------------------------
+
+rpc::Capabilities SessionManager::capabilities() const {
+  rpc::Capabilities caps;
+  auto& interface = runtime_->sim_interface();
+  caps.backend = interface.backend_kind();
+  caps.time_travel = interface.supports_time_travel();
+  caps.set_value = interface.supports_set_value();
+  return caps;
+}
+
+std::vector<std::string> SessionManager::command_names() const {
+  std::vector<std::string> names;
+  names.reserve(commands_.size());
+  for (const auto& [name, spec] : commands_) names.push_back(name);
+  return names;
+}
+
+void SessionManager::register_command(const std::string& name, Handler handler,
+                                      Gate gate) {
+  commands_[name] = CommandSpec{std::move(handler), gate};
+}
+
+SessionManager::ServiceStats SessionManager::service_stats() const {
+  ServiceStats stats;
+  stats.requests = requests_.load(std::memory_order_relaxed);
+  stats.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  stats.stops_broadcast = stops_broadcast_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+// ---------------------------------------------------------------------------
+// built-in command catalogue
+// ---------------------------------------------------------------------------
+
+void SessionManager::register_builtins() {
+  // -- handshake --------------------------------------------------------------
+  register_command("connect", [this](DebugSession& session,
+                                     const RequestV2& request,
+                                     ResponseV2& response) {
+    session.set_client_name(opt_string(request.payload, "client", "client"));
+    response.payload["session_id"] = Json(static_cast<int64_t>(session.id()));
+    response.payload["server"] = Json("hgdb");
+    response.payload["capabilities"] = capabilities().to_json();
+    Json commands = Json::array();
+    for (const auto& name : command_names()) commands.push_back(Json(name));
+    response.payload["commands"] = std::move(commands);
+  });
+
+  register_command("disconnect", [this](DebugSession& session,
+                                        const RequestV2&,
+                                        ResponseV2& response) {
+    release_session_state(session);
+    session.close_requested.store(true);
+    response.payload["disconnected"] = Json(true);
+  });
+
+  // -- breakpoints ------------------------------------------------------------
+  register_command("breakpoint-add", [this](DebugSession& session,
+                                            const RequestV2& request,
+                                            ResponseV2& response) {
+    const std::string filename = want_string(request.payload, "filename");
+    const auto line = static_cast<uint32_t>(want_int(request.payload, "line"));
+    const std::string condition = opt_string(request.payload, "condition");
+    const auto ids = runtime_->add_breakpoint(filename, line, condition);
+    if (ids.empty()) {
+      response.fail(ErrorCode::NoSuchLocation, "no breakpoint at " + filename +
+                                                   ":" + std::to_string(line));
+      return;
+    }
+    Json json_ids = Json::array();
+    for (int64_t id : ids) json_ids.push_back(Json(id));
+    response.payload["ids"] = std::move(json_ids);
+    session.engage();  // armed a breakpoint: expected to answer stops
+    const Location location{filename, line};
+    if (!session.owns_location(location)) {
+      session.own_location(location);
+      std::lock_guard lock(refs_mutex_);
+      ++location_refs_[location];
+    }
+  });
+
+  register_command("breakpoint-remove", [this](DebugSession& session,
+                                               const RequestV2& request,
+                                               ResponseV2& response) {
+    const std::string filename = want_string(request.payload, "filename");
+    const auto line =
+        static_cast<uint32_t>(opt_int(request.payload, "line", 0));
+    const auto taken = session.take_locations(filename, line);
+    const size_t removed = release_locations(taken);
+    response.payload["removed"] = Json(static_cast<int64_t>(removed));
+  });
+
+  register_command("breakpoint-list", [this](DebugSession& session,
+                                             const RequestV2&,
+                                             ResponseV2& response) {
+    Json list = Json::array();
+    for (const auto& bp : runtime_->inserted_breakpoints()) {
+      Json entry = Json::object();
+      entry["id"] = Json(bp.id);
+      entry["filename"] = Json(bp.filename);
+      entry["line"] = Json(static_cast<int64_t>(bp.line));
+      entry["instance"] = Json(bp.instance_name);
+      entry["owned"] = Json(session.owns_location({bp.filename, bp.line}));
+      list.push_back(std::move(entry));
+    }
+    response.payload["breakpoints"] = std::move(list);
+  });
+
+  register_command("bp-location", [this](DebugSession&,
+                                         const RequestV2& request,
+                                         ResponseV2& response) {
+    const std::string filename = want_string(request.payload, "filename");
+    const auto line =
+        static_cast<uint32_t>(opt_int(request.payload, "line", 0));
+    const auto& table = runtime_->symbol_table();
+    Json list = Json::array();
+    for (const auto& row : table.breakpoints_at(filename, line)) {
+      Json entry = Json::object();
+      entry["id"] = Json(row.id);
+      entry["filename"] = Json(row.filename);
+      entry["line"] = Json(static_cast<int64_t>(row.line_num));
+      entry["column"] = Json(static_cast<int64_t>(row.column_num));
+      auto instance = table.instance(row.instance_id);
+      entry["instance"] = Json(instance ? instance->name : "");
+      list.push_back(std::move(entry));
+    }
+    response.payload["breakpoints"] = std::move(list);
+  });
+
+  // -- execution --------------------------------------------------------------
+  struct ExecutionCommand {
+    const char* name;
+    Command command;
+    Gate gate;
+  };
+  const ExecutionCommand executions[] = {
+      {"continue", Command::Continue, Gate::None},
+      {"pause", Command::Pause, Gate::None},
+      {"step-over", Command::StepOver, Gate::None},
+      // step-back / reverse-continue intentionally ungated: without time
+      // travel the scheduler degrades them to forward stepping, which is
+      // still useful. jump has no degraded meaning, so it is gated.
+      {"step-back", Command::StepBack, Gate::None},
+      {"reverse-continue", Command::ReverseContinue, Gate::None},
+      {"jump", Command::Jump, Gate::TimeTravel},
+  };
+  for (const auto& execution : executions) {
+    register_command(
+        execution.name,
+        [this, command = execution.command](DebugSession& session,
+                                            const RequestV2& request,
+                                            ResponseV2& response) {
+          handle_execution(session, request, response, command);
+        },
+        execution.gate);
+  }
+
+  register_command("detach", [this](DebugSession& session, const RequestV2&,
+                                    ResponseV2& response) {
+    const size_t removed = release_session_state(session);
+    response.payload["removed"] = Json(static_cast<int64_t>(removed));
+  });
+
+  // -- evaluation -------------------------------------------------------------
+  register_command("evaluate", [this](DebugSession&, const RequestV2& request,
+                                      ResponseV2& response) {
+    const std::string expression = want_string(request.payload, "expression");
+    std::optional<int64_t> breakpoint_id;
+    if (request.payload.contains("breakpoint_id")) {
+      breakpoint_id = want_int(request.payload, "breakpoint_id");
+    }
+    const std::string instance =
+        opt_string(request.payload, "instance_name");
+    auto value = runtime_->evaluate(expression, breakpoint_id, instance);
+    if (!value) {
+      response.fail(ErrorCode::EvaluationFailed,
+                    "cannot evaluate '" + expression + "'");
+      return;
+    }
+    response.payload["result"] = Json(render(*value));
+    response.payload["width"] = Json(static_cast<int64_t>(value->width()));
+  });
+
+  register_command("evaluate-batch", [this](DebugSession&,
+                                            const RequestV2& request,
+                                            ResponseV2& response) {
+    const Json& expressions = payload_field(request.payload, "expressions");
+    if (!expressions.is_array()) {
+      throw std::invalid_argument("payload field 'expressions' must be an array");
+    }
+    std::optional<int64_t> breakpoint_id;
+    if (request.payload.contains("breakpoint_id")) {
+      breakpoint_id = want_int(request.payload, "breakpoint_id");
+    }
+    const std::string instance =
+        opt_string(request.payload, "instance_name");
+    Json results = Json::array();
+    int64_t errors = 0;
+    for (const auto& item : expressions.as_array()) {
+      if (!item.is_string()) {
+        throw std::invalid_argument("'expressions' entries must be strings");
+      }
+      Json result = Json::object();
+      result["expression"] = item;
+      auto value = runtime_->evaluate(item.as_string(), breakpoint_id, instance);
+      if (value) {
+        result["status"] = Json("success");
+        result["value"] = Json(render(*value));
+        result["width"] = Json(static_cast<int64_t>(value->width()));
+      } else {
+        result["status"] = Json("error");
+        result["reason"] =
+            Json("cannot evaluate '" + item.as_string() + "'");
+        ++errors;
+      }
+      results.push_back(std::move(result));
+    }
+    response.payload["results"] = std::move(results);
+    response.payload["errors"] = Json(errors);
+  });
+
+  // -- watchpoints ------------------------------------------------------------
+  register_command("watch", [this](DebugSession& session,
+                                   const RequestV2& request,
+                                   ResponseV2& response) {
+    const std::string expression = want_string(request.payload, "expression");
+    const std::string instance =
+        opt_string(request.payload, "instance_name");
+    const int64_t id = runtime_->add_watchpoint(expression, instance);
+    session.engage();  // armed a watchpoint: expected to answer stops
+    session.own_watch(id);
+    response.payload["id"] = Json(id);
+  });
+
+  register_command("unwatch", [this](DebugSession& session,
+                                     const RequestV2& request,
+                                     ResponseV2& response) {
+    const int64_t id = want_int(request.payload, "id");
+    if (!session.owns_watch(id)) {
+      response.fail(ErrorCode::NoSuchEntity,
+                    "watchpoint " + std::to_string(id) +
+                        " is not owned by this session");
+      return;
+    }
+    session.disown_watch(id);
+    runtime_->remove_watchpoint(id);
+    response.payload["removed"] = Json(true);
+  });
+
+  // -- hierarchy / symbol browsing --------------------------------------------
+  register_command("list-instances", [this](DebugSession&, const RequestV2&,
+                                            ResponseV2& response) {
+    Json list = Json::array();
+    for (const auto& row : runtime_->symbol_table().instances()) {
+      Json entry = Json::object();
+      entry["id"] = Json(row.id);
+      entry["name"] = Json(row.name);
+      list.push_back(std::move(entry));
+    }
+    response.payload["instances"] = std::move(list);
+  });
+
+  register_command("list-variables", [this](DebugSession&,
+                                            const RequestV2& request,
+                                            ResponseV2& response) {
+    if (request.payload.contains("breakpoint_id")) {
+      const int64_t id = want_int(request.payload, "breakpoint_id");
+      rpc::Frame frame;
+      try {
+        frame = runtime_->build_frame(id);
+      } catch (const std::invalid_argument& error) {
+        response.fail(ErrorCode::NoSuchEntity, error.what());
+        return;
+      }
+      response.payload["locals"] = frame.locals;
+      response.payload["generator"] = frame.generator;
+      return;
+    }
+    const std::string instance =
+        want_string(request.payload, "instance_name");
+    const auto& table = runtime_->symbol_table();
+    auto row = table.instance_by_name(instance);
+    if (!row) {
+      response.fail(ErrorCode::NoSuchEntity,
+                    "unknown instance '" + instance + "'");
+      return;
+    }
+    Json list = Json::array();
+    for (const auto& variable : table.generator_variables(row->id)) {
+      Json entry = Json::object();
+      entry["name"] = Json(variable.name);
+      entry["rtl"] = Json(variable.is_rtl);
+      if (!variable.is_rtl) {
+        entry["value"] = Json(variable.value);
+      } else if (auto value =
+                     runtime_->read_instance_rtl(instance, variable.value)) {
+        entry["value"] = Json(render(*value));
+        entry["width"] = Json(static_cast<int64_t>(value->width()));
+      } else {
+        entry["value"] = Json("<unavailable>");
+      }
+      list.push_back(std::move(entry));
+    }
+    response.payload["variables"] = std::move(list);
+  });
+
+  register_command("list-files", [this](DebugSession&, const RequestV2&,
+                                        ResponseV2& response) {
+    Json files = Json::array();
+    for (const auto& file : runtime_->symbol_table().files()) {
+      files.push_back(Json(file));
+    }
+    response.payload["files"] = std::move(files);
+  });
+
+  // -- introspection ----------------------------------------------------------
+  register_command("info", [this](DebugSession&, const RequestV2&,
+                                  ResponseV2& response) {
+    Json inserted = Json::array();
+    for (const auto& bp : runtime_->inserted_breakpoints()) {
+      Json entry = Json::object();
+      entry["id"] = Json(bp.id);
+      entry["filename"] = Json(bp.filename);
+      entry["line"] = Json(static_cast<int64_t>(bp.line));
+      entry["instance"] = Json(bp.instance_name);
+      inserted.push_back(std::move(entry));
+    }
+    response.payload["breakpoints"] = std::move(inserted);
+    response.payload["time"] =
+        Json(static_cast<int64_t>(runtime_->sim_interface().get_time()));
+    Json files = Json::array();
+    for (const auto& file : runtime_->symbol_table().files()) {
+      files.push_back(Json(file));
+    }
+    response.payload["files"] = std::move(files);
+    response.payload["protocol_version"] = Json(rpc::kProtocolV2);
+    response.payload["backend"] =
+        Json(runtime_->sim_interface().backend_kind());
+    Json sessions = Json::array();
+    {
+      std::lock_guard lock(sessions_mutex_);
+      for (const auto& entry : entries_) {
+        if (!entry.session->alive()) continue;
+        Json item = Json::object();
+        item["id"] = Json(static_cast<int64_t>(entry.session->id()));
+        item["client"] = Json(entry.session->client_name());
+        item["protocol"] =
+            Json(static_cast<int64_t>(entry.session->protocol_version()));
+        sessions.push_back(std::move(item));
+      }
+    }
+    response.payload["sessions"] = std::move(sessions);
+  });
+
+  register_command("stats", [this](DebugSession&, const RequestV2&,
+                                   ResponseV2& response) {
+    const auto stats = runtime_->stats();
+    response.payload["clock_edges"] = Json(stats.clock_edges);
+    response.payload["fast_path_exits"] = Json(stats.fast_path_exits);
+    response.payload["batches_evaluated"] = Json(stats.batches_evaluated);
+    response.payload["conditions_evaluated"] = Json(stats.conditions_evaluated);
+    response.payload["watchpoints_evaluated"] =
+        Json(stats.watchpoints_evaluated);
+    response.payload["stops"] = Json(stats.stops);
+    response.payload["sessions"] = Json(static_cast<int64_t>(session_count()));
+    response.payload["watchpoints"] =
+        Json(static_cast<int64_t>(runtime_->watchpoint_count()));
+    const auto service = service_stats();
+    response.payload["requests"] = Json(service.requests);
+    response.payload["protocol_errors"] = Json(service.protocol_errors);
+    response.payload["stops_broadcast"] = Json(service.stops_broadcast);
+  });
+
+  // -- signal forcing ---------------------------------------------------------
+  register_command(
+      "set-value",
+      [this](DebugSession&, const RequestV2& request, ResponseV2& response) {
+        const std::string name = want_string(request.payload, "name");
+        const Json& raw = payload_field(request.payload, "value");
+        BitVector value;
+        if (raw.is_string()) {
+          value = BitVector::from_string(raw.as_string());
+        } else if (raw.is_number()) {
+          value = BitVector::from_string(std::to_string(raw.as_int()));
+        } else {
+          throw std::invalid_argument(
+              "payload field 'value' must be a string or number");
+        }
+        if (!runtime_->set_signal_value(name, value)) {
+          response.fail(ErrorCode::NoSuchEntity,
+                        "cannot set '" + name + "'");
+          return;
+        }
+        response.payload["set"] = Json(true);
+      },
+      Gate::SetValue);
+}
+
+}  // namespace hgdb::session

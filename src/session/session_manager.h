@@ -1,0 +1,170 @@
+#ifndef HGDB_SESSION_SESSION_MANAGER_H
+#define HGDB_SESSION_SESSION_MANAGER_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rpc/protocol.h"
+#include "rpc/protocol_v2.h"
+#include "session/debug_session.h"
+
+namespace hgdb::rpc {
+class TcpServer;
+}  // namespace hgdb::rpc
+
+namespace hgdb::runtime {
+class Runtime;
+}  // namespace hgdb::runtime
+
+namespace hgdb::session {
+
+/// The multi-client service layer between debugger transports and the
+/// runtime's breakpoint engine (the "RPC-based debugging protocol" of the
+/// paper's Sec. 3.5, grown into protocol v2).
+///
+/// Responsibilities:
+///  - hosts N concurrent DebugSessions over any rpc::Channel, plus a TCP
+///    accept loop (listen_tcp) for out-of-process debuggers;
+///  - dispatches requests through a *command registry*: adding a request
+///    family means registering a handler, not editing the runtime core;
+///  - gates commands on the backend's negotiated capabilities (`connect`
+///    handshake) and answers failures with typed error codes;
+///  - tracks breakpoint/watchpoint ownership per session (refcounted
+///    across sessions), so one client detaching never tears down
+///    another's breakpoints;
+///  - broadcasts stop events to every attached client and funnels the
+///    first resume command back to the waiting simulation thread;
+///  - keeps v1 clients working: messages without a "version" field are
+///    translated onto the v2 command namespace and answered in the v1
+///    wire format.
+class SessionManager {
+ public:
+  using Command = rpc::CommandRequest::Command;
+  /// A command handler fills in `response` (already carrying the echoed
+  /// command/token). Throwing std::invalid_argument maps to
+  /// invalid-payload, std::out_of_range to no-such-entity, anything else
+  /// to internal-error.
+  using Handler = std::function<void(DebugSession&, const rpc::RequestV2&,
+                                     rpc::ResponseV2&)>;
+
+  /// Capability a command requires; gated before the handler runs.
+  enum class Gate : uint8_t { None, TimeTravel, SetValue };
+
+  explicit SessionManager(runtime::Runtime& runtime);
+  ~SessionManager();
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  // -- clients -----------------------------------------------------------------
+  /// Attaches a client and starts its reader thread; returns the session id.
+  uint64_t add_client(std::unique_ptr<rpc::Channel> channel);
+  /// Binds loopback TCP (0 = ephemeral) and accepts clients until
+  /// shutdown; returns the bound port.
+  uint16_t listen_tcp(uint16_t port = 0);
+  /// Closes every session and the TCP listener; joins all threads. The
+  /// manager is reusable afterwards.
+  void shutdown();
+
+  [[nodiscard]] size_t session_count() const;
+
+  // -- protocol ----------------------------------------------------------------
+  /// What the runtime's backend supports, straight from
+  /// vpi::SimulatorInterface.
+  [[nodiscard]] rpc::Capabilities capabilities() const;
+  /// Registered command names (the `connect` catalogue), sorted.
+  [[nodiscard]] std::vector<std::string> command_names() const;
+  /// Registers or overrides a command handler (extension point; the
+  /// built-in catalogue is registered by the constructor).
+  void register_command(const std::string& name, Handler handler,
+                        Gate gate = Gate::None);
+
+  // -- runtime hook ------------------------------------------------------------
+  /// Called by the runtime's scheduler when a stop fires: broadcasts the
+  /// event to every attached client and blocks until one answers with an
+  /// execution command (Continue when no client is attached or the
+  /// manager is shutting down).
+  Command deliver_stop(rpc::StopEvent event);
+
+  struct ServiceStats {
+    uint64_t requests = 0;
+    uint64_t protocol_errors = 0;
+    uint64_t stops_broadcast = 0;
+  };
+  [[nodiscard]] ServiceStats service_stats() const;
+
+ private:
+  struct Entry {
+    std::unique_ptr<DebugSession> session;
+    std::thread thread;
+  };
+  struct CommandSpec {
+    Handler handler;
+    Gate gate = Gate::None;
+  };
+
+  void register_builtins();
+  void accept_loop();
+  void session_loop(DebugSession* session);
+  void dispatch(DebugSession& session, const std::string& text);
+  rpc::ResponseV2 execute(DebugSession& session, const rpc::RequestV2& request);
+  /// Post-disconnect cleanup: releases owned breakpoints/watches and frees
+  /// the simulation if it was waiting on the last client.
+  void cleanup_session(DebugSession& session);
+  /// Drops ownership references; removes runtime breakpoints whose
+  /// refcount reaches zero. Returns how many runtime breakpoints died.
+  size_t release_locations(const std::vector<Location>& locations);
+  /// Removes a session from the current stop's expected responders; once
+  /// every engaged recipient has answered or resigned, the simulation
+  /// auto-resumes with Continue (so a departed client can never hang a
+  /// stop, and a live one never has its stop stolen).
+  void resign_from_stop(uint64_t session_id);
+  void handle_execution(DebugSession& session, const rpc::RequestV2& request,
+                        rpc::ResponseV2& response, Command command);
+  /// Detach bookkeeping shared by `detach`, `disconnect`, and reader-loop
+  /// teardown.
+  size_t release_session_state(DebugSession& session);
+
+  runtime::Runtime* runtime_;
+
+  mutable std::mutex sessions_mutex_;
+  std::vector<Entry> entries_;
+  uint64_t next_session_id_ = 1;
+
+  std::map<std::string, CommandSpec> commands_;  // immutable after ctor
+
+  // Cross-session breakpoint refcounts (guarded by refs_mutex_).
+  std::mutex refs_mutex_;
+  std::map<Location, int> location_refs_;
+
+  // Stop/command handshake between the sim thread and session threads.
+  // The first execution command wins; pending_responders_ tracks which
+  // engaged sessions still owe an answer for the current stop.
+  std::mutex command_mutex_;
+  std::condition_variable command_ready_;
+  std::optional<Command> pending_command_;
+  bool waiting_for_command_ = false;
+  std::set<uint64_t> pending_responders_;
+
+  std::atomic<bool> shutting_down_{false};
+  std::unique_ptr<rpc::TcpServer> tcp_server_;
+  std::thread accept_thread_;
+
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> stops_broadcast_{0};
+};
+
+}  // namespace hgdb::session
+
+#endif  // HGDB_SESSION_SESSION_MANAGER_H

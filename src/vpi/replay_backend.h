@@ -33,6 +33,7 @@ class ReplayBackend final : public SimulatorInterface {
   uint64_t add_clock_callback(ClockCallback callback) override;
   void remove_clock_callback(uint64_t handle) override;
 
+  [[nodiscard]] const char* backend_kind() const override { return "replay"; }
   [[nodiscard]] uint64_t get_time() const override { return engine_.time(); }
   [[nodiscard]] bool supports_time_travel() const override { return true; }
   bool set_time(uint64_t time) override;

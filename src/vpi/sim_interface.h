@@ -48,6 +48,12 @@ class SimulatorInterface {
   virtual void remove_clock_callback(uint64_t handle) = 0;
 
   // -- optional ---------------------------------------------------------------
+  /// What kind of environment backs this interface: "live" for a running
+  /// simulator, "replay" for recorded traces. Advertised to debuggers via
+  /// the protocol-v2 capability handshake so clients stop guessing which
+  /// command families (set-value, time travel) can work.
+  [[nodiscard]] virtual const char* backend_kind() const { return "live"; }
+
   [[nodiscard]] virtual uint64_t get_time() const = 0;
   [[nodiscard]] virtual bool supports_time_travel() const { return false; }
   /// Rewinds (or advances) simulation time; returns false if unsupported

@@ -7,13 +7,16 @@
 
 namespace hgdb::waveform {
 
-/// The .wvx on-disk waveform index, version 1.
+/// The .wvx on-disk waveform index, version 2 (version-1 files remain
+/// readable).
 ///
 /// Layout (all integers little-endian, fixed width):
 ///
-///   [header: 32 bytes]
-///     u32 magic            "WVX1" (0x31585657)
-///     u32 version          1
+///   [header]
+///     u32 magic            "WVX1" (0x31585657; identifies the format, not
+///                          the version)
+///     u32 version          2 (1 for legacy files)
+///     u32 flags            v2 only: kWvxFlag* bits
 ///     u64 footer_offset    patched after the block region is written
 ///     u64 max_time
 ///     u64 signal_count
@@ -27,6 +30,7 @@ namespace hgdb::waveform {
 ///       u32 width
 ///       u64 block_count
 ///       per block: u64 start_time, u64 end_time, u64 file_offset, u32 count
+///                  [u32 crc32 when kWvxFlagBlockChecksums]
 ///
 /// The footer is small (O(signals + blocks)) and is the only part an
 /// IndexedWaveform keeps resident; block payloads load on demand through
@@ -34,9 +38,20 @@ namespace hgdb::waveform {
 /// cycle seek is a binary search over the directory followed by a binary
 /// search inside one block: O(log blocks + log block_capacity), no
 /// full-trace parse.
+///
+/// With kWvxFlagBlockChecksums set, every directory entry carries the
+/// CRC-32 (IEEE) of its raw on-disk payload; readers verify it when the
+/// block is first loaded (cache hits skip re-verification), so silent disk
+/// corruption surfaces as a clean "checksum mismatch" error naming the
+/// block instead of garbage waveform values.
 constexpr uint32_t kWvxMagic = 0x31585657;  // "WVX1"
-constexpr uint32_t kWvxVersion = 1;
-constexpr size_t kWvxHeaderSize = 32;
+constexpr uint32_t kWvxVersion = 2;         ///< written by IndexWriter
+constexpr uint32_t kWvxMinVersion = 1;      ///< oldest readable version
+constexpr size_t kWvxHeaderSizeV1 = 32;
+constexpr size_t kWvxHeaderSizeV2 = 36;
+
+/// Header flag bits (v2+).
+constexpr uint32_t kWvxFlagBlockChecksums = 1u << 0;
 
 /// Directory entry for one on-disk change block.
 struct BlockInfo {
@@ -44,6 +59,7 @@ struct BlockInfo {
   uint64_t end_time = 0;    ///< time of the last entry
   uint64_t file_offset = 0; ///< absolute offset of the first entry
   uint32_t count = 0;       ///< number of entries
+  uint32_t crc32 = 0;       ///< payload checksum (kWvxFlagBlockChecksums)
 };
 
 /// Resident metadata for one indexed signal.
@@ -64,6 +80,9 @@ struct IndexWriterOptions {
   /// blocks amortize directory size. 256 keeps a 32-bit signal's block
   /// at ~3 KiB.
   uint32_t block_capacity = 256;
+  /// Write a CRC-32 per block (kWvxFlagBlockChecksums). ~4 bytes per
+  /// block of overhead; on by default.
+  bool block_checksums = true;
 };
 
 }  // namespace hgdb::waveform

@@ -3,6 +3,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "common/crc32.h"
+
 namespace hgdb::waveform {
 
 namespace {
@@ -19,13 +21,17 @@ void put_u64(std::ofstream& out, uint64_t value) {
   out.write(bytes, 8);
 }
 
-void put_value(std::ofstream& out, const common::BitVector& value,
-               uint32_t value_bytes) {
+void append_u64(std::string& out, uint64_t value) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>(value >> (8 * i)));
+}
+
+void append_value(std::string& out, const common::BitVector& value,
+                  uint32_t value_bytes) {
   const auto& words = value.words();
   for (uint32_t byte = 0; byte < value_bytes; ++byte) {
     const size_t word = byte / 8;
     const uint64_t shifted = word < words.size() ? words[word] >> (8 * (byte % 8)) : 0;
-    out.put(static_cast<char>(shifted & 0xff));
+    out.push_back(static_cast<char>(shifted & 0xff));
   }
 }
 
@@ -40,6 +46,7 @@ IndexWriter::IndexWriter(const std::string& path, IndexWriterOptions options)
   // Header with a placeholder footer offset; patched in on_finish().
   put_u32(out_, kWvxMagic);
   put_u32(out_, kWvxVersion);
+  put_u32(out_, options_.block_checksums ? kWvxFlagBlockChecksums : 0);
   put_u64(out_, 0);  // footer_offset
   put_u64(out_, 0);  // max_time
   put_u64(out_, 0);  // signal_count
@@ -83,10 +90,17 @@ void IndexWriter::flush_block(size_t id) {
   block.end_time = pending.times.back();
   block.file_offset = static_cast<uint64_t>(out_.tellp());
   block.count = static_cast<uint32_t>(pending.times.size());
+  // Serialize through a buffer so the checksum covers exactly the bytes
+  // that land on disk.
+  buffer_.clear();
   for (size_t i = 0; i < pending.times.size(); ++i) {
-    put_u64(out_, pending.times[i]);
-    put_value(out_, pending.values[i], signal.value_bytes);
+    append_u64(buffer_, pending.times[i]);
+    append_value(buffer_, pending.values[i], signal.value_bytes);
   }
+  if (options_.block_checksums) {
+    block.crc32 = common::crc32(buffer_.data(), buffer_.size());
+  }
+  out_.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
   signal.blocks.push_back(block);
   pending.times.clear();
   pending.values.clear();
@@ -107,10 +121,11 @@ void IndexWriter::on_finish(uint64_t max_time) {
       put_u64(out_, block.end_time);
       put_u64(out_, block.file_offset);
       put_u32(out_, block.count);
+      if (options_.block_checksums) put_u32(out_, block.crc32);
     }
   }
-  // Patch the header.
-  out_.seekp(8);
+  // Patch the header (footer offset lives after magic+version+flags).
+  out_.seekp(12);
   put_u64(out_, footer_offset);
   put_u64(out_, max_time);
   put_u64(out_, signals_.size());

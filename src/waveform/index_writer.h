@@ -44,6 +44,7 @@ class IndexWriter final : public VcdEventSink {
   std::string path_;
   IndexWriterOptions options_;
   std::ofstream out_;
+  std::string buffer_;  ///< scratch for block serialization + checksum
   std::vector<IndexedSignal> signals_;
   std::vector<Pending> pending_;
   uint64_t blocks_written_ = 0;

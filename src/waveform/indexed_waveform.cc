@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/crc32.h"
+
 namespace hgdb::waveform {
 
 using common::BitVector;
@@ -77,10 +79,16 @@ IndexedWaveform::IndexedWaveform(const std::string& path, size_t cache_blocks)
     throw std::runtime_error("wvx: '" + path + "' is not a waveform index (bad magic)");
   }
   const uint32_t version = reader.u32();
-  if (version != kWvxVersion) {
+  if (version < kWvxMinVersion || version > kWvxVersion) {
     throw std::runtime_error("wvx: unsupported index version " +
                              std::to_string(version) + " in '" + path + "'");
   }
+  // v2 adds a flags word after the version; v1 files have none and no
+  // per-block checksums.
+  const uint32_t flags = version >= 2 ? reader.u32() : 0;
+  has_checksums_ = (flags & kWvxFlagBlockChecksums) != 0;
+  const uint64_t header_size =
+      version >= 2 ? kWvxHeaderSizeV2 : kWvxHeaderSizeV1;
   const uint64_t footer_offset = reader.u64();
   max_time_ = reader.u64();
   const uint64_t signal_count = reader.u64();
@@ -88,11 +96,11 @@ IndexedWaveform::IndexedWaveform(const std::string& path, size_t cache_blocks)
     throw std::runtime_error("wvx: '" + path +
                              "' was never finalized (missing footer)");
   }
-  if (footer_offset < kWvxHeaderSize || footer_offset > file_size) {
+  if (footer_offset < header_size || footer_offset > file_size) {
     corrupt(path_, "footer offset outside the file");
   }
-  // Every signal needs >= 16 footer bytes, every block 28: cheap a-priori
-  // caps so corrupt counts fail before any reserve/allocation.
+  // Every signal needs >= 16 footer bytes, every block >= 28: cheap
+  // a-priori caps so corrupt counts fail before any reserve/allocation.
   if (signal_count > (file_size - footer_offset) / 16) {
     corrupt(path_, "signal count exceeds footer size");
   }
@@ -121,8 +129,9 @@ IndexedWaveform::IndexedWaveform(const std::string& path, size_t cache_blocks)
       block.end_time = reader.u64();
       block.file_offset = reader.u64();
       block.count = reader.u32();
+      if (has_checksums_) block.crc32 = reader.u32();
       // Block payloads live strictly between the header and the footer.
-      if (block.count == 0 || block.file_offset < kWvxHeaderSize ||
+      if (block.count == 0 || block.file_offset < header_size ||
           block.file_offset > footer_offset ||
           static_cast<uint64_t>(block.count) * stride >
               footer_offset - block.file_offset) {
@@ -159,6 +168,16 @@ BlockCache::BlockPtr IndexedWaveform::load_block(size_t signal_index,
   file_.read(raw.data(), static_cast<std::streamsize>(raw.size()));
   if (static_cast<size_t>(file_.gcount()) != raw.size()) {
     throw std::runtime_error("wvx: truncated block in '" + path_ + "'");
+  }
+  // Integrity gate: verified once per load; cache hits skip it.
+  if (has_checksums_) {
+    const uint32_t actual = common::crc32(raw.data(), raw.size());
+    if (actual != info.crc32) {
+      throw std::runtime_error(
+          "wvx: checksum mismatch in '" + path_ + "' (signal '" +
+          signal.info.hier_name + "', block " + std::to_string(block_index) +
+          " at offset " + std::to_string(info.file_offset) + ")");
+    }
   }
 
   auto block = std::make_shared<BlockCache::Block>();
@@ -220,6 +239,22 @@ std::vector<uint64_t> IndexedWaveform::rising_edges(size_t index) const {
 CacheStats IndexedWaveform::cache_stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return cache_.stats();
+}
+
+std::optional<IndexedWaveform::BlockFault> IndexedWaveform::verify_blocks()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (size_t s = 0; s < signals_.size(); ++s) {
+    for (size_t b = 0; b < signals_[s].blocks.size(); ++b) {
+      try {
+        load_block(s, b);
+      } catch (const std::exception& error) {
+        return BlockFault{signals_[s].info.hier_name, b,
+                          signals_[s].blocks[b].file_offset, error.what()};
+      }
+    }
+  }
+  return std::nullopt;
 }
 
 }  // namespace hgdb::waveform

@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -51,6 +52,18 @@ class IndexedWaveform final : public WaveformSource {
   [[nodiscard]] CacheStats cache_stats() const;
   [[nodiscard]] size_t cache_capacity() const { return cache_.capacity(); }
   [[nodiscard]] uint64_t total_blocks() const { return total_blocks_; }
+  /// True when the file carries per-block CRC32s (format v2 flag).
+  [[nodiscard]] bool has_block_checksums() const { return has_checksums_; }
+
+  /// First unreadable/corrupt block, if any. Loads every block once
+  /// (through the cache), verifying checksums when present.
+  struct BlockFault {
+    std::string signal;
+    size_t block_index = 0;
+    uint64_t file_offset = 0;
+    std::string message;
+  };
+  [[nodiscard]] std::optional<BlockFault> verify_blocks() const;
 
  private:
   BlockCache::BlockPtr load_block(size_t signal_index, size_t block_index) const;
@@ -60,6 +73,7 @@ class IndexedWaveform final : public WaveformSource {
   std::map<std::string, size_t> by_name_;
   uint64_t max_time_ = 0;
   uint64_t total_blocks_ = 0;
+  bool has_checksums_ = false;
 
   mutable std::mutex mutex_;
   mutable std::ifstream file_;

@@ -1,0 +1,48 @@
+#include "waveform/wvx_verify.h"
+
+#include "waveform/indexed_waveform.h"
+
+namespace hgdb::waveform {
+
+VerifyResult verify_index(const std::string& path) {
+  VerifyResult result;
+  try {
+    // A small cache: verification touches every block exactly once, so
+    // residency would only waste memory.
+    IndexedWaveform waveform(path, /*cache_blocks=*/8);
+    result.checksummed = waveform.has_block_checksums();
+    result.signals = waveform.signal_count();
+    result.blocks = waveform.total_blocks();
+    if (auto fault = waveform.verify_blocks()) {
+      result.error = fault->message;
+      result.signal = fault->signal;
+      result.block_index = fault->block_index;
+      result.file_offset = fault->file_offset;
+      return result;
+    }
+    result.ok = true;
+  } catch (const std::exception& error) {
+    result.error = error.what();
+  }
+  return result;
+}
+
+std::string describe(const VerifyResult& result, const std::string& path) {
+  if (result.ok) {
+    std::string text = path + ": OK — " + std::to_string(result.signals) +
+                       " signal(s), " + std::to_string(result.blocks) +
+                       " block(s)";
+    text += result.checksummed ? ", all checksums verified"
+                               : " (no checksums; legacy v1 index)";
+    return text;
+  }
+  std::string text = path + ": CORRUPT — " + result.error;
+  if (!result.signal.empty()) {
+    text += "\nfirst corrupt block: signal '" + result.signal + "', block " +
+            std::to_string(result.block_index) + ", file offset " +
+            std::to_string(result.file_offset);
+  }
+  return text;
+}
+
+}  // namespace hgdb::waveform

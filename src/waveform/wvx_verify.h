@@ -1,0 +1,32 @@
+#ifndef HGDB_WAVEFORM_WVX_VERIFY_H
+#define HGDB_WAVEFORM_WVX_VERIFY_H
+
+#include <cstdint>
+#include <string>
+
+namespace hgdb::waveform {
+
+/// Result of an offline .wvx integrity check (`hgdb-cli wvx-verify`).
+struct VerifyResult {
+  bool ok = false;
+  bool checksummed = false;  ///< file carries per-block CRC32s
+  uint64_t signals = 0;
+  uint64_t blocks = 0;
+  /// When !ok: what went wrong. Structural errors (bad header/footer)
+  /// leave signal empty; block faults name the first corrupt block.
+  std::string error;
+  std::string signal;
+  uint64_t block_index = 0;
+  uint64_t file_offset = 0;
+};
+
+/// Opens `path` and reads every block, verifying checksums when present.
+/// Never throws: all failures are reported through the result.
+VerifyResult verify_index(const std::string& path);
+
+/// Human-readable one-paragraph rendering of a VerifyResult.
+std::string describe(const VerifyResult& result, const std::string& path);
+
+}  // namespace hgdb::waveform
+
+#endif  // HGDB_WAVEFORM_WVX_VERIFY_H

@@ -70,6 +70,100 @@ TEST(Protocol, UnknownTypeRejected) {
   EXPECT_THROW(parse_request("not json"), std::runtime_error);
 }
 
+TEST(Protocol, MalformedRequestsAlwaysThrowRuntimeError) {
+  // Hardening guarantee: missing fields, wrong types, truncated or
+  // non-object JSON — every failure mode is a std::runtime_error (never
+  // another exception type escaping into the service thread).
+  for (const char* text : {
+           "",
+           "{",
+           "[1,2]",
+           "\"str\"",
+           "null",
+           R"({"token":1})",                                // no type
+           R"({"type":5,"token":1})",                       // non-string type
+           R"({"type":"breakpoint","token":1})",            // no filename
+           R"({"type":"breakpoint","filename":3,"token":1})",
+           R"({"type":"breakpoint","filename":"a","line":"x","token":1})",
+           R"({"type":"breakpoint","filename":"a","action":"frobnicate"})",
+           R"({"type":"bp-location","token":1})",
+           R"({"type":"command","token":1})",               // no command
+           R"({"type":"command","command":"warp","token":1})",
+           R"({"type":"command","command":7,"token":1})",
+           R"({"type":"evaluation","token":1})",            // no expression
+           R"({"type":"evaluation","expression":1,"token":1})",
+           R"({"type":"evaluation","expression":"x","breakpoint_id":"y"})",
+           R"({"type":"evaluation","expression":"x","instance_name":9})",
+           R"({"token":"str","type":"debugger-info"})",     // bad token type
+       }) {
+    try {
+      parse_request(text);
+      FAIL() << "expected std::runtime_error for: " << text;
+    } catch (const std::runtime_error&) {
+      // expected
+    } catch (...) {
+      FAIL() << "wrong exception type for: " << text;
+    }
+  }
+}
+
+TEST(Protocol, TruncatedRequestPrefixesNeverCrash) {
+  Request request;
+  request.kind = Request::Kind::Breakpoint;
+  request.token = 3;
+  request.breakpoint.filename = "gen.cc";
+  request.breakpoint.line = 12;
+  request.breakpoint.condition = "sum > 4";
+  const std::string full = serialize_request(request);
+  for (size_t length = 0; length < full.size(); ++length) {
+    try {
+      parse_request(full.substr(0, length));
+      // Some prefixes may accidentally parse; only the exception type
+      // matters.
+    } catch (const std::runtime_error&) {
+    } catch (...) {
+      FAIL() << "wrong exception type at prefix length " << length;
+    }
+  }
+}
+
+TEST(Protocol, MalformedServerMessagesAlwaysThrowRuntimeError) {
+  for (const char* text : {
+           "",
+           "not json",
+           "[]",
+           R"({"token":1})",                           // no type
+           R"({"type":"mystery","token":1})",          // unknown type
+           R"({"type":"generic","token":1})",          // no status
+           R"({"type":"generic","token":1,"status":"perhaps"})",
+           R"({"type":"generic","token":"x","status":"success"})",
+           R"({"type":"stop","time":"later"})",
+           R"({"type":"stop","time":1,"frames":5})",
+           R"({"type":"stop","time":1,"frames":[42]})",
+           R"({"type":"stop","time":1,"frames":[{"locals":[]}]})",
+           R"({"type":"stop","time":1,"watches":{}})",
+       }) {
+    try {
+      parse_server_message(text);
+      FAIL() << "expected std::runtime_error for: " << text;
+    } catch (const std::runtime_error&) {
+    } catch (...) {
+      FAIL() << "wrong exception type for: " << text;
+    }
+  }
+}
+
+TEST(Protocol, OptionalFieldsStayOptional) {
+  // Absent optional fields default; only *present but ill-typed* ones
+  // throw. An external v1 client may omit column/condition/line.
+  const auto request =
+      parse_request(R"({"type":"breakpoint","filename":"a.cc","token":2})");
+  EXPECT_EQ(request.breakpoint.line, 0u);
+  EXPECT_EQ(request.breakpoint.column, 0u);
+  EXPECT_TRUE(request.breakpoint.condition.empty());
+  EXPECT_EQ(request.breakpoint.action, BreakpointRequest::Action::Add);
+}
+
 TEST(Protocol, GenericResponseRoundTrip) {
   GenericResponse response;
   response.token = 9;

@@ -1,4 +1,5 @@
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 
@@ -159,7 +160,11 @@ TEST(ReverseDebug, ForwardReExecutionAfterReverseIsConsistent) {
 class ReplayReverseTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = ::testing::TempDir() + "hgdb_reverse_replay.vcd";
+    // pid + test name: unique across concurrent ctest processes.
+    path_ = ::testing::TempDir() + "hgdb_reverse_replay_" +
+            std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".vcd";
     auto compiled = compile_design();
     data_ = compiled.symbols;
     sim::Simulator simulator(compiled.netlist);

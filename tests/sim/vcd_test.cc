@@ -1,6 +1,7 @@
 #include "sim/vcd_writer.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <fstream>
@@ -16,8 +17,11 @@ namespace {
 class VcdRoundTrip : public ::testing::Test {
  protected:
   void SetUp() override {
+    // pid + test name: unique across concurrent ctest processes.
     path_ = ::testing::TempDir() + "hgdb_vcd_test_" +
-            std::to_string(reinterpret_cast<uintptr_t>(this)) + ".vcd";
+            std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".vcd";
   }
   void TearDown() override { std::remove(path_.c_str()); }
 

@@ -1,4 +1,5 @@
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 
@@ -88,7 +89,11 @@ TEST(NativeBackend, TimeTravelRequiresCheckpoints) {
 class ReplayBackendTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = ::testing::TempDir() + "hgdb_replay_test.vcd";
+    // pid + test name: unique across concurrent ctest processes.
+    path_ = ::testing::TempDir() + "hgdb_replay_test_" +
+            std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".vcd";
     auto compiled = frontend::compile(ir::parse_circuit(kCounter));
     sim::Simulator simulator(compiled.netlist);
     simulator.set_value("Counter.enable", 1);

@@ -1,6 +1,7 @@
 #include "waveform/indexed_waveform.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <fstream>
@@ -40,8 +41,13 @@ std::string synthetic_vcd(size_t signals, size_t cycles) {
 class IndexedWaveformTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    const std::string stem = ::testing::TempDir() + "hgdb_index_test_" +
-                             std::to_string(reinterpret_cast<uintptr_t>(this));
+    // pid + test name: unique across the concurrent ctest processes that
+    // run this binary's cases in parallel (a `this` pointer is not — heap
+    // layout repeats across processes, deterministically so under ASan).
+    const std::string stem =
+        ::testing::TempDir() + "hgdb_index_test_" +
+        std::to_string(::getpid()) + "_" +
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
     vcd_path_ = stem + ".vcd";
     wvx_path_ = stem + ".wvx";
   }
@@ -217,10 +223,10 @@ TEST_F(IndexedWaveformTest, RejectsImplausibleFooterMetadata) {
   write_vcd("$var wire 4 ! x $end\n$enddefinitions $end\n#0\nb101 !\n");
   convert_vcd_to_index(vcd_path_, wvx_path_);
 
-  // Corrupt the signal-count field (header offset 24) to 2^60.
+  // Corrupt the signal-count field (v2 header offset 28) to 2^60.
   {
     std::fstream file(wvx_path_, std::ios::binary | std::ios::in | std::ios::out);
-    file.seekp(24);
+    file.seekp(28);
     const uint64_t absurd = uint64_t{1} << 60;
     file.write(reinterpret_cast<const char*>(&absurd), 8);
   }

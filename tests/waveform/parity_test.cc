@@ -3,6 +3,7 @@
 // dump — values, edges, the ReplayEngine cycle grid, and debugger-runtime
 // breakpoint behavior.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <memory>
@@ -42,8 +43,10 @@ end
 class SourceParityTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    const std::string stem = ::testing::TempDir() + "hgdb_parity_" +
-                             std::to_string(reinterpret_cast<uintptr_t>(this));
+    // pid + test name: unique across concurrent ctest processes.
+    const std::string stem =
+        ::testing::TempDir() + "hgdb_parity_" + std::to_string(::getpid()) +
+        "_" + ::testing::UnitTest::GetInstance()->current_test_info()->name();
     vcd_path_ = stem + ".vcd";
     wvx_path_ = stem + ".wvx";
 
@@ -136,8 +139,9 @@ TEST_F(SourceParityTest, OpenWaveformDispatchesOnExtension) {
 class RuntimeParityTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    const std::string stem = ::testing::TempDir() + "hgdb_rt_parity_" +
-                             std::to_string(reinterpret_cast<uintptr_t>(this));
+    const std::string stem =
+        ::testing::TempDir() + "hgdb_rt_parity_" + std::to_string(::getpid()) +
+        "_" + ::testing::UnitTest::GetInstance()->current_test_info()->name();
     vcd_path_ = stem + ".vcd";
     wvx_path_ = stem + ".wvx";
 
