@@ -38,8 +38,8 @@ BitVector::BitVector(uint32_t width, uint64_t value) : width_(width) {
 
 BitVector BitVector::from_words(uint32_t width, std::vector<uint64_t> words) {
   BitVector result(width, 0);
-  words.resize(words_for(width), 0);
-  result.words_ = std::move(words);
+  const size_t copy_words = std::min(words.size(), result.words_.size());
+  std::copy_n(words.begin(), copy_words, result.words_.begin());
   result.normalize();
   return result;
 }

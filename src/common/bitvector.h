@@ -1,12 +1,117 @@
 #ifndef HGDB_COMMON_BITVECTOR_H
 #define HGDB_COMMON_BITVECTOR_H
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace hgdb::common {
+
+namespace detail {
+
+/// Word storage for BitVector with a small-buffer optimization: values up
+/// to kInlineWords * 64 bits live inline with no heap allocation. The
+/// debugger's compiled expression engine evaluates conditions on every
+/// clock edge; with the dominant signal widths (<= 64 bits, occasionally
+/// <= 128) this keeps the whole hot loop allocation-free. Copy assignment
+/// reuses existing heap capacity, so scratch registers reused across
+/// evaluations never re-allocate either.
+class WordStore {
+ public:
+  static constexpr size_t kInlineWords = 2;
+
+  using iterator = uint64_t*;
+  using const_iterator = const uint64_t*;
+
+  WordStore() noexcept { inline_[0] = 0; }
+  explicit WordStore(size_t count, uint64_t fill = 0) { assign(count, fill); }
+
+  WordStore(const WordStore& other) { copy_from(other); }
+  WordStore& operator=(const WordStore& other) {
+    if (this != &other) copy_from(other);
+    return *this;
+  }
+  WordStore(WordStore&& other) noexcept { steal(other); }
+  WordStore& operator=(WordStore&& other) noexcept {
+    if (this != &other) {
+      release();
+      steal(other);
+    }
+    return *this;
+  }
+  ~WordStore() { release(); }
+
+  /// Resizes to `count` words, all set to `fill`. Reuses capacity.
+  void assign(size_t count, uint64_t fill) {
+    reserve(count);
+    size_ = static_cast<uint32_t>(count);
+    std::fill_n(data_, count, fill);
+  }
+
+  [[nodiscard]] size_t size() const { return size_; }
+  [[nodiscard]] uint64_t* data() { return data_; }
+  [[nodiscard]] const uint64_t* data() const { return data_; }
+  [[nodiscard]] iterator begin() { return data_; }
+  [[nodiscard]] iterator end() { return data_ + size_; }
+  [[nodiscard]] const_iterator begin() const { return data_; }
+  [[nodiscard]] const_iterator end() const { return data_ + size_; }
+  [[nodiscard]] uint64_t& back() { return data_[size_ - 1]; }
+  [[nodiscard]] uint64_t back() const { return data_[size_ - 1]; }
+  uint64_t& operator[](size_t index) { return data_[index]; }
+  uint64_t operator[](size_t index) const { return data_[index]; }
+
+  bool operator==(const WordStore& rhs) const {
+    return size_ == rhs.size_ && std::equal(begin(), end(), rhs.begin());
+  }
+  bool operator!=(const WordStore& rhs) const { return !(*this == rhs); }
+
+ private:
+  void reserve(size_t count) {
+    if (count <= capacity_) return;
+    // Allocate before freeing: a throwing new must leave *this intact.
+    uint64_t* grown = new uint64_t[count];
+    if (data_ != inline_) delete[] data_;
+    data_ = grown;
+    capacity_ = static_cast<uint32_t>(count);
+  }
+
+  void copy_from(const WordStore& other) {
+    reserve(other.size_);
+    size_ = other.size_;
+    std::copy_n(other.data_, other.size_, data_);
+  }
+
+  /// Leaves `other` valid: a one-word inline zero.
+  void steal(WordStore& other) noexcept {
+    if (other.data_ == other.inline_) {
+      data_ = inline_;
+      capacity_ = kInlineWords;
+      size_ = other.size_;
+      std::copy_n(other.inline_, other.size_, inline_);
+    } else {
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.data_ = other.inline_;
+      other.capacity_ = kInlineWords;
+    }
+    other.size_ = 1;
+    other.inline_[0] = 0;
+  }
+
+  void release() {
+    if (data_ != inline_) delete[] data_;
+  }
+
+  uint64_t* data_ = inline_;
+  uint32_t size_ = 1;
+  uint32_t capacity_ = kInlineWords;
+  uint64_t inline_[kInlineWords];
+};
+
+}  // namespace detail
 
 /// Arbitrary-width two-state (0/1) bit vector with value semantics.
 ///
@@ -19,6 +124,7 @@ namespace hgdb::common {
 ///  - width() >= 1
 ///  - storage is ceil(width/64) little-endian 64-bit words
 ///  - all bits above width() are zero ("normalized")
+///  - widths <= 128 bits are stored inline (no heap allocation)
 ///
 /// Arithmetic is modular in the result width. Unless documented otherwise,
 /// binary operations require equal operand widths (the compiler inserts
@@ -42,7 +148,7 @@ class BitVector {
 
   [[nodiscard]] uint32_t width() const { return width_; }
   [[nodiscard]] size_t num_words() const { return words_.size(); }
-  [[nodiscard]] const std::vector<uint64_t>& words() const { return words_; }
+  [[nodiscard]] const detail::WordStore& words() const { return words_; }
 
   /// Low 64 bits (truncating view).
   [[nodiscard]] uint64_t to_uint64() const { return words_[0]; }
@@ -63,6 +169,17 @@ class BitVector {
   void assign_uint64(uint64_t value) {
     words_[0] = value;
     for (size_t i = 1; i < words_.size(); ++i) words_[i] = 0;
+    normalize();
+  }
+
+  /// In-place re-initialization to `width` bits holding `value`, reusing
+  /// storage capacity. The compiled expression engine writes every
+  /// intermediate result through this, so steady-state evaluation never
+  /// allocates.
+  void reset(uint32_t width, uint64_t value = 0) {
+    width_ = width;
+    words_.assign((width + 63) / 64, 0);
+    words_[0] = value;
     normalize();
   }
 
@@ -132,7 +249,7 @@ class BitVector {
   [[nodiscard]] bool sign_bit() const { return bit(width_ - 1); }
 
   uint32_t width_;
-  std::vector<uint64_t> words_;
+  detail::WordStore words_;
 };
 
 }  // namespace hgdb::common

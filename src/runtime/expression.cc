@@ -1,6 +1,7 @@
 #include "runtime/expression.h"
 
 #include <cctype>
+#include <map>
 #include <stdexcept>
 #include <vector>
 
@@ -371,6 +372,7 @@ class Parser {
           }
           expect_punct(")");
           split_int_params(*node);
+          validate_call_arity(*node);
           return node;
         }
         node->kind = Node::Kind::Name;
@@ -408,6 +410,43 @@ class Parser {
     node.children.resize(node.children.size() - param_count);
   }
 
+  /// Rejects primitive calls with the wrong operand count. Without this
+  /// check a call like add(a) parses but indexes past the operand vector
+  /// at evaluation time.
+  static void validate_call_arity(const Node& node) {
+    size_t expected = 2;
+    switch (node.op) {
+      case PrimOp::Not: case PrimOp::Neg:
+      case PrimOp::AndR: case PrimOp::OrR: case PrimOp::XorR:
+      case PrimOp::AsUInt: case PrimOp::AsSInt: case PrimOp::AsClock:
+      case PrimOp::Bits: case PrimOp::Pad:
+      case PrimOp::Shl: case PrimOp::Shr:
+        expected = 1;
+        break;
+      case PrimOp::Mux:
+        expected = 3;
+        break;
+      default:
+        break;
+    }
+    size_t expected_params = 0;
+    if (node.op == PrimOp::Bits) expected_params = 2;
+    if (node.op == PrimOp::Pad || node.op == PrimOp::Shl ||
+        node.op == PrimOp::Shr) {
+      expected_params = 1;
+    }
+    if (node.children.size() != expected ||
+        node.int_params.size() != expected_params) {
+      throw std::invalid_argument(
+          "expression error: " + std::string(ir::prim_op_name(node.op)) +
+          " expects " + std::to_string(expected) + " operand(s)" +
+          (expected_params != 0
+               ? " and " + std::to_string(expected_params) +
+                     " integer parameter(s)"
+               : std::string{}));
+    }
+  }
+
   void expect_punct(const std::string& text) {
     if (lexer_.peek().kind != Token::Kind::Punct || lexer_.peek().text != text) {
       lexer_.fail("expected '" + text + "'");
@@ -427,6 +466,46 @@ struct Value {
   BitVector bits{1, 0};
   bool is_signed = false;
 };
+
+/// Result width of `op` over operand widths `w` (only the entries the op
+/// uses are read) and integer params. Shared by the interpreted walk and
+/// the compiled program so the two evaluators agree by construction.
+uint32_t result_width_for(PrimOp op, const uint32_t* w, const uint32_t* params) {
+  switch (op) {
+    case PrimOp::Add: case PrimOp::Sub: case PrimOp::Mul:
+    case PrimOp::Div: case PrimOp::Rem: case PrimOp::And:
+    case PrimOp::Or: case PrimOp::Xor:
+      return std::max(w[0], w[1]);
+    case PrimOp::Mux:
+      return std::max(w[1], w[2]);
+    case PrimOp::Not: case PrimOp::Neg:
+    case PrimOp::Dshl: case PrimOp::Dshr:
+    case PrimOp::AsUInt: case PrimOp::AsSInt: case PrimOp::AsClock:
+      return w[0];
+    case PrimOp::Cat:
+      return w[0] + w[1];
+    case PrimOp::Bits:
+      return params[0] - params[1] + 1;
+    case PrimOp::Shl: case PrimOp::Shr:
+      return w[0];
+    case PrimOp::Pad:
+      return params[0];
+    case PrimOp::Lt: case PrimOp::Leq: case PrimOp::Gt: case PrimOp::Geq:
+    case PrimOp::Eq: case PrimOp::Neq:
+    case PrimOp::AndR: case PrimOp::OrR: case PrimOp::XorR:
+      return 1;
+  }
+  return 1;
+}
+
+/// Signedness of an op result given the first operand's signedness; the
+/// second half of the shared semantics contract.
+bool result_signed_for(PrimOp op, bool sign0) {
+  return op == PrimOp::AsSInt ||
+         (sign0 && (op == PrimOp::Add || op == PrimOp::Sub ||
+                    op == PrimOp::Mul || op == PrimOp::Div ||
+                    op == PrimOp::Rem || op == PrimOp::Neg));
+}
 
 Value evaluate_node(const Node& node, const Expression::Resolver& resolver) {
   switch (node.kind) {
@@ -453,40 +532,12 @@ Value evaluate_node(const Node& node, const Expression::Resolver& resolver) {
       operand = {BitVector(1, operand.bits.to_bool() ? 1 : 0), false};
     }
   }
-  // Determine the result width.
-  uint32_t width = 1;
-  switch (node.op) {
-    case PrimOp::Add: case PrimOp::Sub: case PrimOp::Mul:
-    case PrimOp::Div: case PrimOp::Rem: case PrimOp::And:
-    case PrimOp::Or: case PrimOp::Xor:
-      width = std::max(operands[0].bits.width(), operands[1].bits.width());
-      break;
-    case PrimOp::Mux:
-      width = std::max(operands[1].bits.width(), operands[2].bits.width());
-      break;
-    case PrimOp::Not: case PrimOp::Neg:
-    case PrimOp::Dshl: case PrimOp::Dshr:
-    case PrimOp::AsUInt: case PrimOp::AsSInt: case PrimOp::AsClock:
-      width = operands[0].bits.width();
-      break;
-    case PrimOp::Cat:
-      width = operands[0].bits.width() + operands[1].bits.width();
-      break;
-    case PrimOp::Bits:
-      width = node.int_params[0] - node.int_params[1] + 1;
-      break;
-    case PrimOp::Shl: case PrimOp::Shr:
-      width = operands[0].bits.width();
-      break;
-    case PrimOp::Pad:
-      width = node.int_params[0];
-      break;
-    case PrimOp::Lt: case PrimOp::Leq: case PrimOp::Gt: case PrimOp::Geq:
-    case PrimOp::Eq: case PrimOp::Neq:
-    case PrimOp::AndR: case PrimOp::OrR: case PrimOp::XorR:
-      width = 1;
-      break;
+  uint32_t widths[3] = {1, 1, 1};
+  for (size_t i = 0; i < operands.size() && i < 3; ++i) {
+    widths[i] = operands[i].bits.width();
   }
+  const uint32_t width =
+      result_width_for(node.op, widths, node.int_params.data());
   std::vector<BitVector> bits;
   std::vector<bool> signs;
   bits.reserve(operands.size());
@@ -502,11 +553,7 @@ Value evaluate_node(const Node& node, const Expression::Resolver& resolver) {
   BitVector result = ir::eval_prim(node.op, bits, signs, node.int_params, width);
   if (result.width() != width) result = result.resize(width);
   const bool result_signed =
-      (node.op == PrimOp::AsSInt) ||
-      (!signs.empty() && signs[0] &&
-       (node.op == PrimOp::Add || node.op == PrimOp::Sub ||
-        node.op == PrimOp::Mul || node.op == PrimOp::Div ||
-        node.op == PrimOp::Rem || node.op == PrimOp::Neg));
+      result_signed_for(node.op, !signs.empty() && signs[0]);
   return {std::move(result), result_signed};
 }
 
@@ -524,6 +571,357 @@ BitVector Expression::evaluate(const Resolver& resolver) const {
 
 bool Expression::evaluate_bool(const Resolver& resolver) const {
   return evaluate(resolver).to_bool();
+}
+
+// ---------------------------------------------------------------------------
+// Compilation: AST -> flat register program
+// ---------------------------------------------------------------------------
+
+CompiledExpression Expression::compile() const {
+  CompiledExpression out;
+  std::map<std::string, uint32_t> slot_of;
+
+  struct Emitter {
+    CompiledExpression& out;
+    std::map<std::string, uint32_t>& slot_of;
+
+    uint32_t emit(const Node& node) {
+      switch (node.kind) {
+        case Node::Kind::Literal: {
+          out.literals_.push_back(
+              CompiledExpression::Value{node.literal, node.literal_signed});
+          return CompiledExpression::encode(CompiledExpression::Src::Literal,
+                                            out.literals_.size() - 1);
+        }
+        case Node::Kind::Name: {
+          auto [it, inserted] = slot_of.try_emplace(
+              node.name, static_cast<uint32_t>(out.symbols_.size()));
+          if (inserted) out.symbols_.push_back(node.name);
+          return CompiledExpression::encode(CompiledExpression::Src::Slot,
+                                            it->second);
+        }
+        case Node::Kind::Op:
+          break;
+      }
+      CompiledExpression::Instr instr;
+      instr.op = node.op;
+      instr.logical = node.logical;
+      instr.n_operands = static_cast<uint8_t>(node.children.size());
+      for (size_t i = 0; i < node.children.size(); ++i) {
+        instr.operands[i] = emit(*node.children[i]);
+      }
+      instr.n_params = static_cast<uint8_t>(node.int_params.size());
+      for (size_t i = 0; i < node.int_params.size(); ++i) {
+        instr.params[i] = node.int_params[i];
+      }
+      out.instrs_.push_back(instr);
+      return CompiledExpression::encode(CompiledExpression::Src::Reg,
+                                        out.instrs_.size() - 1);
+    }
+  };
+
+  out.root_ = Emitter{out, slot_of}.emit(*root_);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Compiled evaluation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr uint32_t kScalarWidth = 64;
+
+uint64_t mask_of(uint32_t width) {  // width in [1, 64]
+  return width >= kScalarWidth ? ~uint64_t{0}
+                               : (uint64_t{1} << width) - uint64_t{1};
+}
+
+/// Zero-/sign-extends a normalized `from_width`-bit value to `to_width`
+/// bits (both <= 64), truncating when narrower.
+uint64_t extend_to(uint64_t raw, uint32_t from_width, bool is_signed,
+                   uint32_t to_width) {
+  uint64_t value = raw;
+  if (is_signed && from_width < kScalarWidth &&
+      ((raw >> (from_width - 1)) & 1u) != 0) {
+    value |= ~uint64_t{0} << from_width;
+  }
+  return value & mask_of(to_width);
+}
+
+/// Reinterprets a normalized `width`-bit value as a signed 64-bit integer.
+int64_t as_signed(uint64_t raw, uint32_t width) {
+  if (width < kScalarWidth) {
+    const uint64_t sign = uint64_t{1} << (width - 1);
+    raw = (raw ^ sign) - sign;
+  }
+  return static_cast<int64_t>(raw);
+}
+
+/// Scalar (<= 64-bit) evaluation of one op, mirroring ir::eval_prim plus
+/// the interpreted walk's width/extension rules. `raw` values are
+/// normalized to their widths `w`. Returns false on a fault the
+/// interpreted path would report by throwing (bad slice, zero-width pad).
+bool eval_scalar(PrimOp op, const uint64_t* raw, const uint32_t* w,
+                 const bool* signs, const uint32_t* params, uint32_t width,
+                 uint64_t* out) {
+  const bool is_signed = signs[0];
+  switch (op) {
+    case PrimOp::Add:
+      *out = (extend_to(raw[0], w[0], signs[0], width) +
+              extend_to(raw[1], w[1], signs[1], width)) &
+             mask_of(width);
+      return true;
+    case PrimOp::Sub:
+      *out = (extend_to(raw[0], w[0], signs[0], width) -
+              extend_to(raw[1], w[1], signs[1], width)) &
+             mask_of(width);
+      return true;
+    case PrimOp::Mul:
+      *out = (extend_to(raw[0], w[0], signs[0], width) *
+              extend_to(raw[1], w[1], signs[1], width)) &
+             mask_of(width);
+      return true;
+    case PrimOp::Div: {
+      const uint64_t a = extend_to(raw[0], w[0], signs[0], width);
+      const uint64_t b = extend_to(raw[1], w[1], signs[1], width);
+      if (b == 0) {
+        *out = mask_of(width);
+      } else if (is_signed) {
+        const int64_t bs = as_signed(b, width);
+        // bs == -1 would overflow INT64_MIN / -1; -a is always defined.
+        *out = bs == -1 ? (uint64_t{0} - a) & mask_of(width)
+                        : static_cast<uint64_t>(as_signed(a, width) / bs) &
+                              mask_of(width);
+      } else {
+        *out = a / b;
+      }
+      return true;
+    }
+    case PrimOp::Rem: {
+      const uint64_t a = extend_to(raw[0], w[0], signs[0], width);
+      const uint64_t b = extend_to(raw[1], w[1], signs[1], width);
+      if (b == 0) {
+        *out = a;
+      } else if (is_signed) {
+        const int64_t bs = as_signed(b, width);
+        *out = bs == -1 ? 0
+                        : static_cast<uint64_t>(as_signed(a, width) % bs) &
+                              mask_of(width);
+      } else {
+        *out = a % b;
+      }
+      return true;
+    }
+    case PrimOp::Lt: case PrimOp::Leq: case PrimOp::Gt: case PrimOp::Geq:
+    case PrimOp::Eq: case PrimOp::Neq: {
+      const uint32_t common = std::max(w[0], w[1]);
+      const uint64_t a = extend_to(raw[0], w[0], signs[0], common);
+      const uint64_t b = extend_to(raw[1], w[1], signs[1], common);
+      bool result = false;
+      switch (op) {
+        case PrimOp::Lt:
+          result = is_signed ? as_signed(a, common) < as_signed(b, common)
+                             : a < b;
+          break;
+        case PrimOp::Leq:
+          result = is_signed ? as_signed(a, common) <= as_signed(b, common)
+                             : a <= b;
+          break;
+        case PrimOp::Gt:
+          result = is_signed ? as_signed(a, common) > as_signed(b, common)
+                             : a > b;
+          break;
+        case PrimOp::Geq:
+          result = is_signed ? as_signed(a, common) >= as_signed(b, common)
+                             : a >= b;
+          break;
+        case PrimOp::Eq: result = a == b; break;
+        case PrimOp::Neq: result = a != b; break;
+        default: break;
+      }
+      *out = result ? 1 : 0;
+      return true;
+    }
+    case PrimOp::And:
+      *out = extend_to(raw[0], w[0], signs[0], width) &
+             extend_to(raw[1], w[1], signs[1], width);
+      return true;
+    case PrimOp::Or:
+      *out = extend_to(raw[0], w[0], signs[0], width) |
+             extend_to(raw[1], w[1], signs[1], width);
+      return true;
+    case PrimOp::Xor:
+      *out = extend_to(raw[0], w[0], signs[0], width) ^
+             extend_to(raw[1], w[1], signs[1], width);
+      return true;
+    case PrimOp::Not:
+      *out = ~raw[0] & mask_of(w[0]);
+      return true;
+    case PrimOp::Neg:
+      *out = (uint64_t{0} - raw[0]) & mask_of(w[0]);
+      return true;
+    case PrimOp::AndR:
+      *out = raw[0] == mask_of(w[0]) ? 1 : 0;
+      return true;
+    case PrimOp::OrR:
+      *out = raw[0] != 0 ? 1 : 0;
+      return true;
+    case PrimOp::XorR:
+      *out = static_cast<uint64_t>(__builtin_popcountll(raw[0])) & 1u;
+      return true;
+    case PrimOp::Cat:
+      *out = (raw[0] << w[1]) | raw[1];
+      return true;
+    case PrimOp::Bits:
+      if (params[1] > params[0] || params[0] >= w[0]) return false;
+      *out = (raw[0] >> params[1]) & mask_of(params[0] - params[1] + 1);
+      return true;
+    case PrimOp::Shl:
+      *out = params[0] >= w[0] ? 0 : (raw[0] << params[0]) & mask_of(w[0]);
+      return true;
+    case PrimOp::Shr:
+      if (params[0] >= w[0]) {
+        *out = is_signed && ((raw[0] >> (w[0] - 1)) & 1u) ? mask_of(w[0]) : 0;
+      } else if (is_signed) {
+        *out = static_cast<uint64_t>(as_signed(raw[0], w[0]) >> params[0]) &
+               mask_of(w[0]);
+      } else {
+        *out = raw[0] >> params[0];
+      }
+      return true;
+    case PrimOp::Dshl:
+      *out = raw[1] >= w[0] ? 0 : (raw[0] << raw[1]) & mask_of(w[0]);
+      return true;
+    case PrimOp::Dshr:
+      if (raw[1] >= w[0]) {
+        *out = is_signed && ((raw[0] >> (w[0] - 1)) & 1u) ? mask_of(w[0]) : 0;
+      } else if (is_signed) {
+        *out = static_cast<uint64_t>(as_signed(raw[0], w[0]) >>
+                                     static_cast<uint32_t>(raw[1])) &
+               mask_of(w[0]);
+      } else {
+        *out = raw[0] >> raw[1];
+      }
+      return true;
+    case PrimOp::Pad:
+      if (params[0] == 0) return false;
+      *out = params[0] <= w[0] ? raw[0] & mask_of(params[0])
+                               : extend_to(raw[0], w[0], is_signed, params[0]);
+      return true;
+    case PrimOp::AsUInt: case PrimOp::AsSInt: case PrimOp::AsClock:
+      *out = raw[0];
+      return true;
+    case PrimOp::Mux: {
+      const uint32_t arm = raw[0] != 0 ? 1 : 2;
+      *out = extend_to(raw[arm], w[arm], signs[arm], width);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+const BitVector* CompiledExpression::evaluate(
+    const common::BitVector* const* slots, Scratch& scratch) const {
+  if (scratch.regs.size() < instrs_.size()) scratch.regs.resize(instrs_.size());
+
+  // Resolving an encoded operand yields (bits, signedness).
+  const auto view = [&](uint32_t operand) -> std::pair<const BitVector*, bool> {
+    const uint32_t index = operand & kIndexMask;
+    switch (static_cast<Src>(operand >> kSrcShift)) {
+      case Src::Reg: {
+        const Value& value = scratch.regs[index];
+        return {&value.bits, value.is_signed};
+      }
+      case Src::Slot:
+        return {slots[index], false};
+      case Src::Literal: {
+        const Value& value = literals_[index];
+        return {&value.bits, value.is_signed};
+      }
+    }
+    return {nullptr, false};
+  };
+
+  for (size_t pc = 0; pc < instrs_.size(); ++pc) {
+    const Instr& instr = instrs_[pc];
+    const BitVector* bits[3] = {nullptr, nullptr, nullptr};
+    bool signs[3] = {false, false, false};
+    uint64_t raw[3] = {0, 0, 0};
+    uint32_t widths[3] = {1, 1, 1};
+    bool scalar = true;
+    for (uint8_t i = 0; i < instr.n_operands; ++i) {
+      auto [operand_bits, operand_signed] = view(instr.operands[i]);
+      if (operand_bits == nullptr) return nullptr;  // unavailable slot
+      if (instr.logical) {
+        // Logical ops see 1-bit booleans regardless of operand width.
+        raw[i] = operand_bits->to_bool() ? 1 : 0;
+        widths[i] = 1;
+        signs[i] = false;
+        continue;
+      }
+      bits[i] = operand_bits;
+      signs[i] = operand_signed;
+      widths[i] = operand_bits->width();
+      if (widths[i] <= kScalarWidth) {
+        raw[i] = operand_bits->to_uint64();
+      } else {
+        scalar = false;
+      }
+    }
+
+    const uint32_t width = result_width_for(instr.op, widths, instr.params);
+    Value& reg = scratch.regs[pc];
+
+    if (scalar && width <= kScalarWidth) {
+      uint64_t result = 0;
+      if (!eval_scalar(instr.op, raw, widths, signs, instr.params, width,
+                       &result)) {
+        return nullptr;
+      }
+      reg.bits.reset(width, result);
+      reg.is_signed = result_signed_for(instr.op, signs[0]);
+      continue;
+    }
+
+    // Wide operands: route through the shared ir::eval_prim reference so
+    // multi-word semantics are defined in exactly one place. Rare on the
+    // hot path (conditions over >64-bit signals), so the copies and the
+    // exception guard are acceptable here. Logical instrs never land
+    // here: their operands coerce to 1-bit above, keeping them scalar.
+    scratch.wide_bits.clear();
+    scratch.wide_signs.clear();
+    std::vector<uint32_t> int_params(instr.params,
+                                     instr.params + instr.n_params);
+    for (uint8_t i = 0; i < instr.n_operands; ++i) {
+      scratch.wide_bits.push_back(*bits[i]);
+      scratch.wide_signs.push_back(signs[i]);
+    }
+    try {
+      if (instr.op == PrimOp::Mux) {
+        scratch.wide_bits[1] = scratch.wide_bits[1].resize(width, signs[1]);
+        scratch.wide_bits[2] = scratch.wide_bits[2].resize(width, signs[2]);
+      }
+      BitVector result = ir::eval_prim(instr.op, scratch.wide_bits,
+                                       scratch.wide_signs, int_params, width);
+      if (result.width() != width) result = result.resize(width);
+      reg.bits = std::move(result);
+      reg.is_signed = result_signed_for(instr.op, signs[0]);
+    } catch (const std::exception&) {
+      return nullptr;  // faults (bad slice, ...) degrade to "unavailable"
+    }
+  }
+
+  return view(root_).first;
+}
+
+int CompiledExpression::evaluate_bool(const common::BitVector* const* slots,
+                                      Scratch& scratch) const {
+  const BitVector* result = evaluate(slots, scratch);
+  if (result == nullptr) return -1;
+  return result->to_bool() ? 1 : 0;
 }
 
 }  // namespace hgdb::runtime

@@ -1,6 +1,7 @@
 #include "runtime/runtime.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "session/session_manager.h"
 
@@ -16,6 +17,13 @@ constexpr size_t kDefaultEvalThreads = 4;
 
 /// Renders a value the way the IDE variable pane shows it.
 std::string render(const BitVector& value) { return value.to_string(10); }
+
+uint64_t elapsed_ns(std::chrono::steady_clock::time_point since) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
 
 }  // namespace
 
@@ -90,6 +98,13 @@ void Runtime::attach() {
   pool_ = std::make_unique<ThreadPool>(
       options_.eval_threads != 0 ? options_.eval_threads : kDefaultEvalThreads);
 
+  {
+    // Arm time for every symbol-table enable condition: compile and
+    // slot-resolve them once, so the per-edge path never sees a string.
+    std::lock_guard lock(state_mutex_);
+    rebuild_plan_locked();
+  }
+
   callback_handle_ = interface_->add_clock_callback(
       [this](vpi::ClockEdge edge, uint64_t time) { on_clock_edge(edge, time); });
 }
@@ -111,6 +126,24 @@ std::vector<int64_t> Runtime::add_breakpoint(const std::string& filename,
   if (!condition.empty()) parsed = Expression::parse(condition);
 
   std::lock_guard lock(state_mutex_);
+  if (parsed) {
+    // Arm-time symbol validation: an unknown name in a user condition is a
+    // typed error now, not a silent never-fires (or a throw from inside
+    // the scheduler) later. Checked for every matching instance before any
+    // state changes so a failure arms nothing.
+    for (auto& bp : breakpoints_) {
+      if (bp.row.filename != filename || bp.row.line_num != line) continue;
+      for (const auto& name : parsed->names()) {
+        if (!resolve_binding(&bp, bp.row.instance_id, bp.instance_name, name,
+                             nullptr)) {
+          throw std::out_of_range("cannot resolve symbol '" + name +
+                                  "' in condition for " + filename + ":" +
+                                  std::to_string(line) + " (instance '" +
+                                  bp.instance_name + "')");
+        }
+      }
+    }
+  }
   std::vector<int64_t> inserted;
   for (auto& bp : breakpoints_) {
     if (bp.row.filename != filename || bp.row.line_num != line) continue;
@@ -122,7 +155,10 @@ std::vector<int64_t> Runtime::add_breakpoint(const std::string& filename,
     }
     inserted.push_back(bp.row.id);
   }
-  if (!inserted.empty()) any_inserted_.store(true, std::memory_order_release);
+  if (!inserted.empty()) {
+    any_inserted_.store(true, std::memory_order_release);
+    rebuild_plan_locked();
+  }
   return inserted;
 }
 
@@ -140,6 +176,7 @@ size_t Runtime::remove_breakpoint(const std::string& filename, uint32_t line) {
     any |= bp.inserted;
   }
   any_inserted_.store(any, std::memory_order_release);
+  if (removed != 0) rebuild_plan_locked();
   return removed;
 }
 
@@ -150,6 +187,7 @@ void Runtime::clear_breakpoints() {
     bp.condition.reset();
   }
   any_inserted_.store(false, std::memory_order_release);
+  rebuild_plan_locked();
 }
 
 size_t Runtime::inserted_count() const {
@@ -186,19 +224,32 @@ int64_t Runtime::add_watchpoint(const std::string& expression,
 
   Watchpoint wp{0, expression, std::move(parsed), instance_id, name,
                 std::nullopt};
+  // Everything below runs under state_mutex_: arm-time resolution talks to
+  // the backend's handle table, which the simulation thread reads through
+  // get_values() while evaluating batches.
+  std::lock_guard lock(state_mutex_);
+  // Arm-time symbol validation, same contract as conditional breakpoints:
+  // unknown names are a typed error at arm time, never a scheduler throw.
+  for (const auto& symbol : wp.expr.names()) {
+    if (!resolve_binding(nullptr, instance_id, name, symbol, nullptr)) {
+      throw std::out_of_range("cannot resolve symbol '" + symbol +
+                              "' in watch expression (instance '" + name +
+                              "')");
+    }
+  }
   // Baseline: the current value, so the watch fires on the next change
-  // rather than immediately. Unresolvable-now expressions baseline on the
-  // first successful evaluation instead.
+  // rather than immediately. Expressions that fault now (e.g. a bad bit
+  // slice) baseline on the first successful evaluation instead.
   try {
     wp.last = wp.expr.evaluate(instance_resolver(instance_id, name));
   } catch (const std::exception&) {
   }
 
-  std::lock_guard lock(state_mutex_);
   wp.id = next_watch_id_++;
   const int64_t id = wp.id;
   watchpoints_.push_back(std::move(wp));
   any_watch_.store(true, std::memory_order_release);
+  rebuild_plan_locked();
   return id;
 }
 
@@ -210,6 +261,7 @@ bool Runtime::remove_watchpoint(int64_t id) {
                      [id](const Watchpoint& wp) { return wp.id == id; }),
       watchpoints_.end());
   any_watch_.store(!watchpoints_.empty(), std::memory_order_release);
+  if (watchpoints_.size() != before) rebuild_plan_locked();
   return watchpoints_.size() != before;
 }
 
@@ -221,19 +273,49 @@ size_t Runtime::watchpoint_count() const {
 void Runtime::collect_watch_hits(std::vector<rpc::WatchHit>& hits) {
   std::lock_guard lock(state_mutex_);
   if (watchpoints_.empty()) return;
+  // Timestamp only when stats are on: clock reads are not free on the
+  // per-edge path the Fig. 5 overhead budget protects.
+  const auto t0 = options_.collect_stats
+                      ? std::chrono::steady_clock::now()
+                      : std::chrono::steady_clock::time_point{};
+
+  const bool compiled = options_.compiled_eval;
+  if (compiled) ensure_edge_values_locked();
 
   // Same batch path as breakpoint conditions: one parallel_for per edge.
-  std::vector<std::optional<BitVector>> current(watchpoints_.size());
-  pool_->parallel_for(watchpoints_.size(), [&](size_t i) {
+  // In compiled mode a watchpoint none of whose input signals changed
+  // since its last evaluation is skipped outright — its value cannot have
+  // changed, so it cannot fire.
+  const size_t count = watchpoints_.size();
+  std::vector<std::optional<BitVector>> current(count);
+  std::vector<uint8_t> evaluated(count, 0);
+  std::vector<uint8_t> skipped(count, 0);
+  pool_->parallel_for(count, [&](size_t i) {
     auto& wp = watchpoints_[i];
+    if (compiled && wp.compiled) {
+      if (wp.eval_serial != 0 && deps_serial(wp.dep_slots) <= wp.eval_serial) {
+        skipped[i] = 1;
+        return;
+      }
+      const BitVector* value = eval_predicate_value(*wp.compiled, plan_);
+      if (value != nullptr) current[i] = *value;
+      wp.eval_serial = plan_.serial;
+      evaluated[i] = 1;
+      return;
+    }
     try {
       current[i] =
           wp.expr.evaluate(instance_resolver(wp.instance_id, wp.instance_name));
     } catch (const std::exception&) {
       current[i] = std::nullopt;
     }
+    evaluated[i] = 1;
   });
-  for (size_t i = 0; i < watchpoints_.size(); ++i) {
+  uint64_t evaluated_count = 0;
+  uint64_t skipped_count = 0;
+  for (size_t i = 0; i < count; ++i) {
+    evaluated_count += evaluated[i];
+    skipped_count += skipped[i];
     if (!current[i]) continue;
     auto& wp = watchpoints_[i];
     if (wp.last && *wp.last != *current[i]) {
@@ -242,8 +324,12 @@ void Runtime::collect_watch_hits(std::vector<rpc::WatchHit>& hits) {
     }
     wp.last = std::move(current[i]);
   }
-  stats_.watchpoints_evaluated.fetch_add(watchpoints_.size(),
+  stats_.watchpoints_evaluated.fetch_add(evaluated_count,
                                          std::memory_order_relaxed);
+  stats_.dirty_skips.fetch_add(skipped_count, std::memory_order_relaxed);
+  if (options_.collect_stats) {
+    stats_.eval_ns.fetch_add(elapsed_ns(t0), std::memory_order_relaxed);
+  }
 }
 
 void Runtime::set_stop_handler(StopHandler handler) {
@@ -327,6 +413,227 @@ Expression::Resolver Runtime::instance_resolver(
 }
 
 // ---------------------------------------------------------------------------
+// compiled evaluation pipeline (parse -> compile -> slot resolution ->
+// batched fetch -> change-driven evaluation)
+// ---------------------------------------------------------------------------
+
+std::optional<Runtime::SlotBinding> Runtime::resolve_binding(
+    const Breakpoint* scope_bp, int64_t instance_id,
+    const std::string& instance_name, const std::string& name,
+    EvalPlan* plan) {
+  // A design signal becomes a plan slot (deduplicated by design name).
+  // With plan == nullptr only resolvability is checked.
+  auto design_slot = [&](const std::string& design_name)
+      -> std::optional<SlotBinding> {
+    auto handle = interface_->lookup_signal(design_name);
+    if (!handle) return std::nullopt;
+    SlotBinding binding;
+    if (plan != nullptr) {
+      auto [it, inserted] = plan->index.try_emplace(
+          design_name, static_cast<uint32_t>(plan->names.size()));
+      if (inserted) {
+        plan->names.push_back(design_name);
+        plan->handles.push_back(*handle);
+        plan->values.emplace_back();
+        plan->present.push_back(0);
+        plan->change_serial.push_back(0);
+      }
+      binding.plan_slot = static_cast<int32_t>(it->second);
+    } else {
+      binding.plan_slot = 0;  // placeholder: existence is all that matters
+    }
+    return binding;
+  };
+  // Non-RTL symbol-table variables are static strings: they fold to
+  // constants at arm time.
+  auto constant_of =
+      [](const std::string& text) -> std::optional<SlotBinding> {
+    try {
+      SlotBinding binding;
+      binding.is_constant = true;
+      binding.constant = BitVector::from_string(text);
+      return binding;
+    } catch (const std::exception&) {
+      return std::nullopt;  // malformed table entry: unresolvable
+    }
+  };
+
+  // Resolution order mirrors the interpreted resolvers exactly:
+  // 1. frame locals (breakpoint scope only)
+  if (scope_bp != nullptr) {
+    if (auto variable =
+            table_->resolve_scope_variable(scope_bp->row.id, name)) {
+      if (!variable->is_rtl) return constant_of(variable->value);
+      return design_slot(
+          to_design_name(instance_name + "." + variable->value));
+    }
+  }
+  // 2. generator (instance) variables
+  if (auto variable = table_->resolve_generator_variable(instance_id, name)) {
+    if (!variable->is_rtl) return constant_of(variable->value);
+    return design_slot(to_design_name(instance_name + "." + variable->value));
+  }
+  // 3. instance-relative RTL name
+  if (auto binding = design_slot(to_design_name(instance_name + "." + name))) {
+    return binding;
+  }
+  // 4. absolute hierarchical name
+  return design_slot(name);
+}
+
+Runtime::CompiledPredicate Runtime::bind_predicate(
+    const Expression& expr, const Breakpoint* scope_bp, int64_t instance_id,
+    const std::string& instance_name, EvalPlan* plan,
+    std::vector<uint32_t>* deps, bool require_resolved) {
+  CompiledPredicate predicate;
+  predicate.expr = expr.compile();
+  const auto& symbols = predicate.expr.symbols();
+  predicate.bindings.reserve(symbols.size());
+  for (const auto& symbol : symbols) {
+    auto binding =
+        resolve_binding(scope_bp, instance_id, instance_name, symbol, plan);
+    if (!binding) {
+      if (require_resolved) {
+        throw std::out_of_range("cannot resolve symbol '" + symbol + "'");
+      }
+      predicate.poisoned = true;
+      predicate.bindings.emplace_back();
+      continue;
+    }
+    if (!binding->is_constant && deps != nullptr) {
+      deps->push_back(static_cast<uint32_t>(binding->plan_slot));
+    }
+    predicate.bindings.push_back(std::move(*binding));
+  }
+  predicate.ptrs.resize(predicate.bindings.size());
+  return predicate;
+}
+
+void Runtime::rebuild_plan_locked() {
+  plan_ = EvalPlan{};
+  for (auto& bp : breakpoints_) {
+    bp.compiled_enable.reset();
+    bp.compiled_condition.reset();
+    bp.dep_slots.clear();
+    bp.eval_serial = 0;
+    bp.cached = 0;
+    if (!options_.compiled_eval) continue;
+    if (bp.enable) {
+      // Enables come from the symbol table; one referencing an
+      // optimized-away signal poisons the predicate (never hits), exactly
+      // like the interpreted resolver's unresolved-name exception did.
+      bp.compiled_enable =
+          bind_predicate(*bp.enable, &bp, bp.row.instance_id,
+                         bp.instance_name, &plan_, &bp.dep_slots, false);
+    }
+    if (bp.inserted && bp.condition) {
+      bp.compiled_condition =
+          bind_predicate(*bp.condition, &bp, bp.row.instance_id,
+                         bp.instance_name, &plan_, &bp.dep_slots, false);
+    }
+    std::sort(bp.dep_slots.begin(), bp.dep_slots.end());
+    bp.dep_slots.erase(std::unique(bp.dep_slots.begin(), bp.dep_slots.end()),
+                       bp.dep_slots.end());
+  }
+  for (auto& wp : watchpoints_) {
+    wp.compiled.reset();
+    wp.dep_slots.clear();
+    wp.eval_serial = 0;
+    if (!options_.compiled_eval) continue;
+    wp.compiled = bind_predicate(wp.expr, nullptr, wp.instance_id,
+                                 wp.instance_name, &plan_, &wp.dep_slots,
+                                 false);
+    std::sort(wp.dep_slots.begin(), wp.dep_slots.end());
+    wp.dep_slots.erase(std::unique(wp.dep_slots.begin(), wp.dep_slots.end()),
+                       wp.dep_slots.end());
+  }
+  values_stale_ = true;
+}
+
+void Runtime::ensure_edge_values_locked() {
+  if (edge_values_fresh_ && !values_stale_) return;
+  const size_t count = plan_.handles.size();
+  ++plan_.serial;  // even an empty fetch round advances the cache epoch
+  if (count != 0) {
+    plan_.incoming.resize(count);
+    plan_.incoming_present.assign(count, 0);
+    interface_->get_values(plan_.handles.data(), count, plan_.incoming.data(),
+                           plan_.incoming_present.data());
+    for (size_t i = 0; i < count; ++i) {
+      const bool was_present = plan_.present[i] != 0;
+      const bool now_present = plan_.incoming_present[i] != 0;
+      if (was_present != now_present ||
+          (now_present && plan_.values[i] != plan_.incoming[i])) {
+        plan_.change_serial[i] = plan_.serial;
+        plan_.present[i] = plan_.incoming_present[i];
+        if (now_present) std::swap(plan_.values[i], plan_.incoming[i]);
+      }
+    }
+    if (options_.collect_stats) {
+      stats_.batch_fetches.fetch_add(1, std::memory_order_relaxed);
+      stats_.batch_signals.fetch_add(count, std::memory_order_relaxed);
+    }
+  }
+  edge_values_fresh_ = true;
+  values_stale_ = false;
+}
+
+const BitVector* Runtime::eval_predicate_value(CompiledPredicate& predicate,
+                                               const EvalPlan& plan) {
+  if (predicate.poisoned) return nullptr;
+  for (size_t i = 0; i < predicate.bindings.size(); ++i) {
+    const SlotBinding& binding = predicate.bindings[i];
+    if (binding.is_constant) {
+      predicate.ptrs[i] = &binding.constant;
+    } else {
+      const auto slot = static_cast<size_t>(binding.plan_slot);
+      predicate.ptrs[i] =
+          plan.present[slot] != 0 ? &plan.values[slot] : nullptr;
+    }
+  }
+  return predicate.expr.evaluate(predicate.ptrs.data(), predicate.scratch);
+}
+
+int Runtime::eval_predicate(CompiledPredicate& predicate,
+                            const EvalPlan& plan) {
+  const BitVector* value = eval_predicate_value(predicate, plan);
+  if (value == nullptr) return -1;
+  return value->to_bool() ? 1 : 0;
+}
+
+uint64_t Runtime::deps_serial(const std::vector<uint32_t>& deps) const {
+  uint64_t serial = 0;
+  for (uint32_t slot : deps) {
+    serial = std::max(serial, plan_.change_serial[slot]);
+  }
+  return serial;
+}
+
+std::optional<BitVector> Runtime::evaluate_compiled(
+    const Expression& parsed, const Breakpoint* scope_bp, int64_t instance_id,
+    const std::string& instance_name) {
+  // One-off evaluation (protocol `evaluate`/`evaluate-batch`): same
+  // compile + slot-resolve + fetch pipeline as the scheduler, against a
+  // throwaway plan.
+  EvalPlan local;
+  CompiledPredicate predicate;
+  try {
+    predicate = bind_predicate(parsed, scope_bp, instance_id, instance_name,
+                               &local, nullptr, true);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  const size_t count = local.handles.size();
+  if (count != 0) {
+    interface_->get_values(local.handles.data(), count, local.values.data(),
+                           local.present.data());
+  }
+  const BitVector* value = eval_predicate_value(predicate, local);
+  if (value == nullptr) return std::nullopt;
+  return *value;
+}
+
+// ---------------------------------------------------------------------------
 // scheduler (Fig. 2)
 // ---------------------------------------------------------------------------
 
@@ -350,6 +657,13 @@ void Runtime::on_clock_edge(vpi::ClockEdge edge, uint64_t time) {
   if (pause_pending_.exchange(false)) {
     std::lock_guard lock(state_mutex_);
     mode_ = Mode::Step;
+  }
+
+  {
+    // A new edge invalidates the previous edge's fetched values; the first
+    // batch (or watchpoint sweep) that needs them re-fetches once.
+    std::lock_guard lock(state_mutex_);
+    edge_values_fresh_ = false;
   }
 
   // Watchpoints fire before the batch scan (forward execution only: a
@@ -453,6 +767,7 @@ void Runtime::on_clock_edge(vpi::ClockEdge edge, uint64_t time) {
       case Command::Detach:
         for (auto& bp : breakpoints_) bp.inserted = false;
         any_inserted_.store(false, std::memory_order_release);
+        rebuild_plan_locked();
         mode_ = Mode::Run;
         return;
     }
@@ -486,13 +801,70 @@ bool Runtime::rewind_one_cycle(uint64_t time) {
 void Runtime::evaluate_batch(const Batch& batch, bool respect_inserted,
                              std::vector<size_t>& hits) {
   std::lock_guard lock(state_mutex_);
-  std::vector<uint8_t> fired(batch.members.size(), 0);
-  size_t evaluated = 0;
+  const auto t0 = options_.collect_stats
+                      ? std::chrono::steady_clock::now()
+                      : std::chrono::steady_clock::time_point{};
+  const bool compiled = options_.compiled_eval;
+  if (compiled) ensure_edge_values_locked();
 
-  auto evaluate_member = [&](size_t position) {
+  const size_t count = batch.members.size();
+  std::vector<uint8_t> fired(count, 0);
+  std::vector<uint8_t> evaluated(count, 0);
+  std::vector<uint8_t> skipped(count, 0);
+
+  // Compiled fast path: flat programs over the pre-fetched value plan,
+  // with a change-driven cache — a member none of whose input signals
+  // changed since its last evaluation reuses the cached verdict.
+  auto evaluate_member_compiled = [&](size_t position) {
+    const size_t member = batch.members[position];
+    Breakpoint& bp = breakpoints_[member];
+    if (respect_inserted && !bp.inserted) return;
+    const bool need_cond =
+        respect_inserted && bp.compiled_condition.has_value();
+    const bool has_work = bp.compiled_enable.has_value() || need_cond;
+    if (bp.eval_serial == 0 || deps_serial(bp.dep_slots) > bp.eval_serial) {
+      bp.cached = 0;  // inputs changed: every cached verdict is stale
+    }
+    bool did_eval = false;
+    if ((bp.cached & kCacheHasEnable) == 0) {
+      // A faulting predicate (-1) behaves like the interpreted path's
+      // caught exception: the member does not hit.
+      const bool enable_true =
+          !bp.compiled_enable ||
+          eval_predicate(*bp.compiled_enable, plan_) == 1;
+      bp.cached |= kCacheHasEnable;
+      if (enable_true) bp.cached |= kCacheEnableTrue;
+      did_eval = bp.compiled_enable.has_value();
+    }
+    const bool enable_true = (bp.cached & kCacheEnableTrue) != 0;
+    bool cond_true = true;
+    if (enable_true && need_cond) {
+      if ((bp.cached & kCacheHasCond) == 0) {
+        const bool value = eval_predicate(*bp.compiled_condition, plan_) == 1;
+        bp.cached |= kCacheHasCond;
+        if (value) bp.cached |= kCacheCondTrue;
+        did_eval = true;
+      }
+      cond_true = (bp.cached & kCacheCondTrue) != 0;
+    }
+    bp.eval_serial = plan_.serial;
+    if (did_eval) {
+      evaluated[position] = 1;
+    } else if (has_work) {
+      skipped[position] = 1;
+    }
+    if (enable_true && (!need_cond || cond_true)) fired[position] = 1;
+  };
+
+  // Interpreted reference path: tree walk per member through the
+  // string-keyed resolver.
+  auto evaluate_member_interpreted = [&](size_t position) {
     const size_t member = batch.members[position];
     const Breakpoint& bp = breakpoints_[member];
     if (respect_inserted && !bp.inserted) return;
+    if (bp.enable || (respect_inserted && bp.condition)) {
+      evaluated[position] = 1;
+    }
     const auto resolver = breakpoint_resolver(bp);
     try {
       if (bp.enable && !bp.enable->evaluate_bool(resolver)) return;
@@ -508,14 +880,26 @@ void Runtime::evaluate_batch(const Batch& batch, bool respect_inserted,
   };
 
   // Fig. 2 step 2: evaluate the batch in parallel.
-  evaluated = batch.members.size();
-  pool_->parallel_for(batch.members.size(), evaluate_member);
+  if (compiled) {
+    pool_->parallel_for(count, evaluate_member_compiled);
+  } else {
+    pool_->parallel_for(count, evaluate_member_interpreted);
+  }
 
-  for (size_t position = 0; position < fired.size(); ++position) {
+  uint64_t evaluated_count = 0;
+  uint64_t skipped_count = 0;
+  for (size_t position = 0; position < count; ++position) {
+    evaluated_count += evaluated[position];
+    skipped_count += skipped[position];
     if (fired[position]) hits.push_back(batch.members[position]);
   }
   stats_.batches_evaluated.fetch_add(1, std::memory_order_relaxed);
-  stats_.conditions_evaluated.fetch_add(evaluated, std::memory_order_relaxed);
+  stats_.conditions_evaluated.fetch_add(evaluated_count,
+                                        std::memory_order_relaxed);
+  stats_.dirty_skips.fetch_add(skipped_count, std::memory_order_relaxed);
+  if (options_.collect_stats) {
+    stats_.eval_ns.fetch_add(elapsed_ns(t0), std::memory_order_relaxed);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -593,15 +977,29 @@ Runtime::Command Runtime::deliver_stop(StopEvent event) {
     std::lock_guard lock(handler_mutex_);
     handler = stop_handler_;
   }
-  if (handler) return handler(event);
-
-  session::SessionManager* service = nullptr;
-  {
-    std::lock_guard lock(service_mutex_);
-    service = service_.get();
+  Command command = Command::Continue;  // nobody is listening
+  bool delivered = false;
+  if (handler) {
+    command = handler(event);
+    delivered = true;
+  } else {
+    session::SessionManager* service = nullptr;
+    {
+      std::lock_guard lock(service_mutex_);
+      service = service_.get();
+    }
+    if (service) {
+      command = service->deliver_stop(std::move(event));
+      delivered = true;
+    }
   }
-  if (service) return service->deliver_stop(std::move(event));
-  return Command::Continue;  // nobody is listening
+  if (delivered) {
+    // The debugger may have forced signals or travelled in time while
+    // stopped; the pre-fetched edge values can no longer be trusted.
+    std::lock_guard lock(state_mutex_);
+    values_stale_ = true;
+  }
+  return command;
 }
 
 // ---------------------------------------------------------------------------
@@ -613,16 +1011,36 @@ std::optional<BitVector> Runtime::evaluate(const std::string& expression,
                                            const std::string& instance_name) {
   try {
     const Expression parsed = Expression::parse(expression);
-    Expression::Resolver resolver;
+    // Serialized with the scheduler: compiled one-off evaluation resolves
+    // names through the backend's handle table, which the simulation
+    // thread reads concurrently. Never held while blocked on a stop
+    // (deliver_stop runs lock-free), so client evaluates during a stop
+    // cannot deadlock.
+    std::lock_guard lock(state_mutex_);
+    const Breakpoint* scope_bp = nullptr;
+    int64_t instance_id = 0;
+    std::string scope_instance;
     if (breakpoint_id) {
       auto it = by_id_.find(*breakpoint_id);
       if (it == by_id_.end()) return std::nullopt;
-      resolver = breakpoint_resolver(breakpoints_[it->second]);
+      scope_bp = &breakpoints_[it->second];
+      instance_id = scope_bp->row.instance_id;
+      scope_instance = scope_bp->instance_name;
     } else {
       const auto instance = resolve_instance(instance_name);
       if (!instance) return std::nullopt;
-      resolver = instance_resolver(instance->first, instance->second);
+      instance_id = instance->first;
+      scope_instance = instance->second;
     }
+    if (options_.compiled_eval) {
+      // One-off `evaluate`/`evaluate-batch` requests ride the same
+      // compiled pipeline the scheduler runs, so the protocol exercises
+      // exactly the code the hot loop trusts.
+      return evaluate_compiled(parsed, scope_bp, instance_id, scope_instance);
+    }
+    const Expression::Resolver resolver =
+        scope_bp != nullptr ? breakpoint_resolver(*scope_bp)
+                            : instance_resolver(instance_id, scope_instance);
     return parsed.evaluate(resolver);
   } catch (const std::exception&) {
     return std::nullopt;
@@ -648,9 +1066,18 @@ bool Runtime::set_signal_value(const std::string& hier_name,
     }
     return interface_->set_value(name, value);
   };
-  if (try_name(hier_name)) return true;
-  const std::string mapped = to_design_name(hier_name);
-  return mapped != hier_name && try_name(mapped);
+  bool forced = try_name(hier_name);
+  if (!forced) {
+    const std::string mapped = to_design_name(hier_name);
+    forced = mapped != hier_name && try_name(mapped);
+  }
+  if (forced) {
+    // Invalidate the edge's pre-fetched values: the forced signal may feed
+    // an armed condition.
+    std::lock_guard lock(state_mutex_);
+    values_stale_ = true;
+  }
+  return forced;
 }
 
 Runtime::Stats Runtime::stats() const {
@@ -663,6 +1090,10 @@ Runtime::Stats Runtime::stats() const {
   out.watchpoints_evaluated =
       stats_.watchpoints_evaluated.load(std::memory_order_relaxed);
   out.stops = stats_.stops.load(std::memory_order_relaxed);
+  out.eval_ns = stats_.eval_ns.load(std::memory_order_relaxed);
+  out.dirty_skips = stats_.dirty_skips.load(std::memory_order_relaxed);
+  out.batch_fetches = stats_.batch_fetches.load(std::memory_order_relaxed);
+  out.batch_signals = stats_.batch_signals.load(std::memory_order_relaxed);
   return out;
 }
 

@@ -30,6 +30,15 @@ struct RuntimeOptions {
   size_t eval_threads = 0;
   /// Collect per-edge statistics (cheap counters).
   bool collect_stats = true;
+  /// Evaluate breakpoint/watchpoint conditions through the compiled
+  /// expression engine: symbols slot-resolved at arm time, the union of
+  /// referenced signals fetched once per edge through the backend's
+  /// batched-read entry point, and members whose inputs did not change
+  /// since the last edge skipped entirely. false falls back to the
+  /// interpreted tree walk per member — kept as the reference
+  /// implementation for differential testing and as the Fig. 5 bench
+  /// baseline.
+  bool compiled_eval = true;
 };
 
 /// The hgdb debugger runtime (the paper's central component, Fig. 1).
@@ -148,9 +157,21 @@ class Runtime {
     uint64_t clock_edges = 0;       ///< callbacks received
     uint64_t fast_path_exits = 0;   ///< edges with no work (Fig. 2 early exit)
     uint64_t batches_evaluated = 0; ///< breakpoint batches condition-checked
+    /// Breakpoint members whose expressions actually ran (members skipped
+    /// because they are not inserted, or reused from the dirty-set cache,
+    /// do not count).
     uint64_t conditions_evaluated = 0;
     uint64_t watchpoints_evaluated = 0;
     uint64_t stops = 0;             ///< stop events delivered
+    /// Nanoseconds spent evaluating conditions/watchpoints (batch bodies).
+    uint64_t eval_ns = 0;
+    /// Members/watchpoints skipped because none of their input signals
+    /// changed since their cached result (compiled mode only).
+    uint64_t dirty_skips = 0;
+    /// Batched signal-fetch rounds issued to the backend.
+    uint64_t batch_fetches = 0;
+    /// Signals read through the batched entry point, total.
+    uint64_t batch_signals = 0;
   };
   [[nodiscard]] Stats stats() const;
   [[nodiscard]] const vpi::HierarchyMapper* hierarchy_mapper() const {
@@ -165,6 +186,27 @@ class Runtime {
   [[nodiscard]] rpc::Frame build_frame(int64_t breakpoint_id);
 
  private:
+  /// How one expression symbol reads its value in steady state: either a
+  /// constant resolved from the symbol table at arm time, or a slot in the
+  /// per-edge fetched value plan. Neither set = unresolvable.
+  struct SlotBinding {
+    int32_t plan_slot = -1;
+    bool is_constant = false;
+    common::BitVector constant;
+  };
+
+  /// A compiled expression armed against the signal plan: symbols()[i]
+  /// reads through bindings[i]. `ptrs` and `scratch` are per-predicate
+  /// evaluation state — a batch member is evaluated by exactly one pool
+  /// thread, so no further synchronization is needed.
+  struct CompiledPredicate {
+    CompiledExpression expr;
+    std::vector<SlotBinding> bindings;
+    bool poisoned = false;  ///< some symbol unresolvable: evaluation fails
+    std::vector<const common::BitVector*> ptrs;
+    CompiledExpression::Scratch scratch;
+  };
+
   /// One schedulable breakpoint (a symbol-table row + parsed expressions).
   struct Breakpoint {
     symbols::BreakpointRow row;
@@ -172,6 +214,36 @@ class Runtime {
     std::optional<Expression> condition;  ///< user condition (inserted only)
     std::string instance_name;
     bool inserted = false;
+
+    // Compiled-mode state (rebuilt by rebuild_plan_locked).
+    std::optional<CompiledPredicate> compiled_enable;
+    std::optional<CompiledPredicate> compiled_condition;
+    std::vector<uint32_t> dep_slots;  ///< plan slots feeding either expr
+    // Change-driven cache: results computed at plan serial eval_serial
+    // stay valid while no dep slot changed since.
+    uint64_t eval_serial = 0;  ///< 0 = no cached result
+    uint8_t cached = 0;        ///< kCacheHasEnable | ... bit set
+  };
+
+  static constexpr uint8_t kCacheHasEnable = 1;
+  static constexpr uint8_t kCacheEnableTrue = 2;
+  static constexpr uint8_t kCacheHasCond = 4;
+  static constexpr uint8_t kCacheCondTrue = 8;
+
+  /// The per-edge batched-fetch plan: the union of design signals
+  /// referenced by armed breakpoints and watchpoints, each resolved to a
+  /// backend handle once at arm time and fetched once per edge.
+  struct EvalPlan {
+    std::vector<std::string> names;    ///< design names (debug/tests)
+    std::vector<uint64_t> handles;
+    std::vector<common::BitVector> values;
+    std::vector<uint8_t> present;
+    std::vector<uint64_t> change_serial;  ///< fetch serial of last change
+    // Reused fetch buffers (compare-and-commit against `values`).
+    std::vector<common::BitVector> incoming;
+    std::vector<uint8_t> incoming_present;
+    std::map<std::string, uint32_t> index;  ///< design name -> slot
+    uint64_t serial = 0;  ///< bumped on every committed fetch
   };
 
   /// Breakpoints sharing one source location (evaluated as a batch).
@@ -190,6 +262,11 @@ class Runtime {
     int64_t instance_id = 0;
     std::string instance_name;
     std::optional<common::BitVector> last;
+
+    // Compiled-mode state (rebuilt by rebuild_plan_locked).
+    std::optional<CompiledPredicate> compiled;
+    std::vector<uint32_t> dep_slots;
+    uint64_t eval_serial = 0;
   };
 
   enum class Mode : uint8_t {
@@ -218,6 +295,49 @@ class Runtime {
   Expression::Resolver breakpoint_resolver(const Breakpoint& bp) const;
   Expression::Resolver instance_resolver(int64_t instance_id,
                                          const std::string& instance_name) const;
+
+  // -- compiled evaluation pipeline -------------------------------------------
+  /// Arm-time symbol resolution: the slot analogue of the interpreted
+  /// resolvers. Returns the binding (constant or design-signal name) for
+  /// `name` in the given scope, or nullopt when unresolvable. `scope_bp`
+  /// nullptr = instance scope.
+  [[nodiscard]] std::optional<SlotBinding> resolve_binding(
+      const Breakpoint* scope_bp, int64_t instance_id,
+      const std::string& instance_name, const std::string& name,
+      EvalPlan* plan);
+  /// Compiles `expr` and resolves every symbol against `plan` (growing
+  /// it); appends the referenced plan slots to `deps`. When
+  /// `require_resolved`, throws std::out_of_range naming the first
+  /// unresolvable symbol (arm-time typed error); otherwise the predicate
+  /// is returned poisoned and never fires — matching the interpreted
+  /// behaviour for stale symbol-table enables.
+  CompiledPredicate bind_predicate(const Expression& expr,
+                                   const Breakpoint* scope_bp,
+                                   int64_t instance_id,
+                                   const std::string& instance_name,
+                                   EvalPlan* plan, std::vector<uint32_t>* deps,
+                                   bool require_resolved);
+  /// Rebuilds the whole plan (all enables + inserted conditions +
+  /// watchpoints) and resets the change-driven caches. Caller holds
+  /// state_mutex_.
+  void rebuild_plan_locked();
+  /// Fetches the plan's signals for this edge if not already fresh,
+  /// committing changed values and bumping their change serial. Caller
+  /// holds state_mutex_.
+  void ensure_edge_values_locked();
+  /// Evaluates a predicate against a plan's current values: -1
+  /// unavailable, 0 false, 1 true (non-const: uses per-predicate scratch).
+  static int eval_predicate(CompiledPredicate& predicate, const EvalPlan& plan);
+  /// Full value of a predicate (watchpoints); nullptr when unavailable.
+  static const common::BitVector* eval_predicate_value(
+      CompiledPredicate& predicate, const EvalPlan& plan);
+  /// Latest change serial across a dependency set.
+  [[nodiscard]] uint64_t deps_serial(const std::vector<uint32_t>& deps) const;
+  /// One-off compiled evaluation used by evaluate(): binds against a
+  /// throwaway plan and fetches its values immediately.
+  [[nodiscard]] std::optional<common::BitVector> evaluate_compiled(
+      const Expression& parsed, const Breakpoint* scope_bp,
+      int64_t instance_id, const std::string& instance_name);
   /// Resolves an instance scope: empty name = the top instance (the
   /// shortest hierarchical name). nullopt for an unknown name.
   [[nodiscard]] std::optional<std::pair<int64_t, std::string>>
@@ -248,6 +368,15 @@ class Runtime {
   std::vector<Watchpoint> watchpoints_;
   int64_t next_watch_id_ = 1;
 
+  // Compiled-evaluation state (guarded by state_mutex_).
+  EvalPlan plan_;
+  /// Values already fetched for the current edge; cleared at edge entry.
+  bool edge_values_fresh_ = false;
+  /// A stop was delivered or a mutator ran since the last fetch: the next
+  /// ensure_edge_values_locked() must re-fetch (a debugger may have forced
+  /// signals or travelled in time meanwhile).
+  bool values_stale_ = true;
+
   // Direct-mode stop delivery.
   std::mutex handler_mutex_;
   StopHandler stop_handler_;
@@ -266,6 +395,10 @@ class Runtime {
     std::atomic<uint64_t> conditions_evaluated{0};
     std::atomic<uint64_t> watchpoints_evaluated{0};
     std::atomic<uint64_t> stops{0};
+    std::atomic<uint64_t> eval_ns{0};
+    std::atomic<uint64_t> dirty_skips{0};
+    std::atomic<uint64_t> batch_fetches{0};
+    std::atomic<uint64_t> batch_signals{0};
   };
   mutable AtomicStats stats_;
 };

@@ -2,7 +2,8 @@
 
 namespace hgdb::runtime {
 
-ThreadPool::ThreadPool(size_t threads) {
+ThreadPool::ThreadPool(size_t threads, size_t serial_cutoff)
+    : serial_cutoff_(serial_cutoff) {
   if (threads == 0) threads = 1;
   // The caller is one of the threads; spawn the rest.
   workers_.reserve(threads - 1);
@@ -52,7 +53,7 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
-  if (workers_.empty() || n == 1) {
+  if (workers_.empty() || n <= serial_cutoff_) {
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }

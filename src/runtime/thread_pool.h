@@ -16,22 +16,32 @@ namespace hgdb::runtime {
 /// sequential evaluation with no synchronization overhead on the workers.
 class ThreadPool {
  public:
-  explicit ThreadPool(size_t threads);
+  /// Jobs with at most this many items run inline on the caller: waking
+  /// workers costs microseconds, which dwarfs a handful of compiled
+  /// condition evaluations. Single-breakpoint designs therefore never pay
+  /// wake-up latency on the clock-edge path.
+  static constexpr size_t kDefaultSerialCutoff = 4;
+
+  explicit ThreadPool(size_t threads,
+                      size_t serial_cutoff = kDefaultSerialCutoff);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   [[nodiscard]] size_t size() const { return workers_.size() + 1; }
+  [[nodiscard]] size_t serial_cutoff() const { return serial_cutoff_; }
 
   /// Runs fn(0) .. fn(n-1), partitioned over all threads; blocks until
-  /// every call returns. fn must be safe to call concurrently.
+  /// every call returns. fn must be safe to call concurrently. Jobs of at
+  /// most serial_cutoff() items are dispatched inline on the caller.
   void parallel_for(size_t n, const std::function<void(size_t)>& fn);
 
  private:
   void worker_loop();
 
   std::vector<std::thread> workers_;
+  size_t serial_cutoff_;
   std::mutex mutex_;
   std::condition_variable work_ready_;
   std::condition_variable work_done_;

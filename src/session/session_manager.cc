@@ -797,6 +797,13 @@ void SessionManager::register_builtins() {
     response.payload["watchpoints_evaluated"] =
         Json(stats.watchpoints_evaluated);
     response.payload["stops"] = Json(stats.stops);
+    // Compiled-evaluation pipeline counters: time spent in condition
+    // evaluation, members skipped by the change-driven cache, and batched
+    // signal-fetch traffic.
+    response.payload["eval_ns"] = Json(stats.eval_ns);
+    response.payload["dirty_skips"] = Json(stats.dirty_skips);
+    response.payload["batch_fetches"] = Json(stats.batch_fetches);
+    response.payload["batch_signals"] = Json(stats.batch_signals);
     response.payload["sessions"] = Json(static_cast<int64_t>(session_count()));
     response.payload["watchpoints"] =
         Json(static_cast<int64_t>(runtime_->watchpoint_count()));

@@ -60,4 +60,13 @@ std::optional<common::BitVector> ReplayEngine::value(
   return source_->value_at(*index, time_);
 }
 
+std::optional<size_t> ReplayEngine::signal_index(
+    const std::string& hier_name) const {
+  return source_->signal_index(hier_name);
+}
+
+common::BitVector ReplayEngine::value_at(size_t index) const {
+  return source_->value_at(index, time_);
+}
+
 }  // namespace hgdb::trace

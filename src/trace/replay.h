@@ -61,6 +61,12 @@ class ReplayEngine {
   // -- values ------------------------------------------------------------------
   [[nodiscard]] std::optional<common::BitVector> value(
       const std::string& hier_name) const;
+  /// Stable signal index for repeated reads (batched breakpoint fetch):
+  /// resolve the name once, then value_at() skips the name lookup.
+  [[nodiscard]] std::optional<size_t> signal_index(
+      const std::string& hier_name) const;
+  /// Value of signal `index` at the current cursor time.
+  [[nodiscard]] common::BitVector value_at(size_t index) const;
 
  private:
   std::shared_ptr<const waveform::WaveformSource> source_;

@@ -9,6 +9,21 @@ std::optional<common::BitVector> NativeBackend::get_value(
   return simulator_->value(*id);
 }
 
+std::optional<uint64_t> NativeBackend::lookup_signal(
+    const std::string& hier_name) {
+  auto id = simulator_->signal_id(hier_name);
+  if (!id) return std::nullopt;
+  return static_cast<uint64_t>(*id);
+}
+
+void NativeBackend::get_values(const uint64_t* handles, size_t count,
+                               common::BitVector* out, uint8_t* present) {
+  for (size_t i = 0; i < count; ++i) {
+    out[i] = simulator_->value(static_cast<uint32_t>(handles[i]));
+    present[i] = 1;
+  }
+}
+
 std::vector<std::string> NativeBackend::signal_names() const {
   std::vector<std::string> out;
   for (const auto& signal : simulator_->netlist().signals()) {

@@ -32,6 +32,14 @@ class NativeBackend final : public SimulatorInterface {
   bool set_value(const std::string& hier_name,
                  const common::BitVector& value) override;
 
+  /// Batched reads bypass the name table entirely: a handle is the
+  /// simulator's signal id, and get_values() copies straight out of the
+  /// value array.
+  [[nodiscard]] std::optional<uint64_t> lookup_signal(
+      const std::string& hier_name) override;
+  void get_values(const uint64_t* handles, size_t count,
+                  common::BitVector* out, uint8_t* present) override;
+
   [[nodiscard]] sim::Simulator& simulator() { return *simulator_; }
 
  private:

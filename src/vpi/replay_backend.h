@@ -39,6 +39,23 @@ class ReplayBackend final : public SimulatorInterface {
   bool set_time(uint64_t time) override;
   [[nodiscard]] bool supports_set_value() const override { return false; }
 
+  /// Batched reads resolve the waveform signal index once per armed name;
+  /// the per-edge fetch then seeks by index, skipping the name lookup the
+  /// scalar get_value() pays on every call.
+  [[nodiscard]] std::optional<uint64_t> lookup_signal(
+      const std::string& hier_name) override {
+    auto index = engine_.signal_index(hier_name);
+    if (!index) return std::nullopt;
+    return static_cast<uint64_t>(*index);
+  }
+  void get_values(const uint64_t* handles, size_t count,
+                  common::BitVector* out, uint8_t* present) override {
+    for (size_t i = 0; i < count; ++i) {
+      out[i] = engine_.value_at(static_cast<size_t>(handles[i]));
+      present[i] = 1;
+    }
+  }
+
   // -- replay driving -----------------------------------------------------------
   /// Advances one clock edge and fires callbacks; false at trace end.
   bool step_forward();

@@ -1,0 +1,38 @@
+#include "vpi/sim_interface.h"
+
+namespace hgdb::vpi {
+
+// Default batched-read fallback: handles index an internal name table and
+// every get_values() entry goes through the scalar get_value(). Backends
+// with a cheaper by-handle path (native simulator ids, waveform signal
+// indexes) override both methods.
+
+std::optional<uint64_t> SimulatorInterface::lookup_signal(
+    const std::string& hier_name) {
+  // Handles are stable for the backend's lifetime, so the same name must
+  // map to the same handle on re-arm (plan rebuilds re-resolve every
+  // symbol; without dedup the table would grow without bound).
+  auto it = batch_handles_.find(hier_name);
+  if (it != batch_handles_.end()) return it->second;
+  if (!get_value(hier_name).has_value()) return std::nullopt;
+  batch_names_.push_back(hier_name);
+  const uint64_t handle = batch_names_.size() - 1;
+  batch_handles_.emplace(hier_name, handle);
+  return handle;
+}
+
+void SimulatorInterface::get_values(const uint64_t* handles, size_t count,
+                                    common::BitVector* out, uint8_t* present) {
+  for (size_t i = 0; i < count; ++i) {
+    const uint64_t handle = handles[i];
+    if (handle >= batch_names_.size()) {
+      present[i] = 0;
+      continue;
+    }
+    auto value = get_value(batch_names_[handle]);
+    present[i] = value.has_value() ? 1 : 0;
+    if (value) out[i] = std::move(*value);
+  }
+}
+
+}  // namespace hgdb::vpi

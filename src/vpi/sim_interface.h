@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -66,6 +67,29 @@ class SimulatorInterface {
                          const common::BitVector& /*value*/) {
     return false;
   }
+
+  // -- batched reads (the compiled-breakpoint fast path) -----------------------
+  /// Resolves a hierarchical name to a stable opaque handle for batched
+  /// reads; nullopt when the signal is unknown. The debugger runtime calls
+  /// this once when a breakpoint or watchpoint is armed, so the per-edge
+  /// path never resolves strings. Handles stay valid for the lifetime of
+  /// the backend. The default implementation registers the name in an
+  /// internal table and serves get_values() through get_value(), so
+  /// backends that cannot batch need no changes.
+  [[nodiscard]] virtual std::optional<uint64_t> lookup_signal(
+      const std::string& hier_name);
+  /// Reads `count` signals in one call: out[i]/present[i] receive the
+  /// value and availability of handles[i]. Implementations should write
+  /// out[i] with copy-assignment (the caller reuses the buffers across
+  /// edges, which keeps the fetch allocation-free for small values).
+  virtual void get_values(const uint64_t* handles, size_t count,
+                          common::BitVector* out, uint8_t* present);
+
+ private:
+  /// Names registered by the default lookup_signal(), indexed by handle,
+  /// with the inverse map for handle-stable deduplication.
+  std::vector<std::string> batch_names_;
+  std::map<std::string, uint64_t> batch_handles_;
 };
 
 }  // namespace hgdb::vpi

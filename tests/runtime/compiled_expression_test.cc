@@ -1,0 +1,362 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "runtime/expression.h"
+
+namespace hgdb::runtime {
+namespace {
+
+using common::BitVector;
+
+// ---------------------------------------------------------------------------
+// Harness: evaluate one expression both ways and compare.
+// ---------------------------------------------------------------------------
+
+using Env = std::map<std::string, BitVector>;
+
+std::optional<BitVector> run_interpreted(const Expression& expr,
+                                         const Env& env) {
+  try {
+    return expr.evaluate(
+        [&](const std::string& name) -> std::optional<BitVector> {
+          auto it = env.find(name);
+          if (it == env.end()) return std::nullopt;
+          return it->second;
+        });
+  } catch (const std::exception&) {
+    return std::nullopt;  // faults (unresolved name, bad slice, ...)
+  }
+}
+
+std::optional<BitVector> run_compiled(const Expression& expr, const Env& env) {
+  const CompiledExpression compiled = expr.compile();
+  std::vector<const BitVector*> slots;
+  slots.reserve(compiled.symbols().size());
+  for (const auto& symbol : compiled.symbols()) {
+    auto it = env.find(symbol);
+    slots.push_back(it == env.end() ? nullptr : &it->second);
+  }
+  CompiledExpression::Scratch scratch;
+  const BitVector* result = compiled.evaluate(slots.data(), scratch);
+  if (result == nullptr) return std::nullopt;
+  return *result;
+}
+
+void expect_equivalent(const std::string& text, const Env& env) {
+  const Expression expr = Expression::parse(text);
+  const auto interpreted = run_interpreted(expr, env);
+  const auto compiled = run_compiled(expr, env);
+  ASSERT_EQ(interpreted.has_value(), compiled.has_value())
+      << text << " (interpreted "
+      << (interpreted ? "succeeded" : "faulted") << ", compiled "
+      << (compiled ? "succeeded" : "faulted") << ")";
+  if (interpreted) {
+    EXPECT_EQ(*interpreted, *compiled)
+        << text << ": interpreted " << interpreted->to_string(16) << "/"
+        << interpreted->width() << "b vs compiled "
+        << compiled->to_string(16) << "/" << compiled->width() << "b";
+  }
+}
+
+Env basic_env() {
+  Env env;
+  env.emplace("a", BitVector(8, 200));
+  env.emplace("b", BitVector(8, 3));
+  env.emplace("c", BitVector(16, 40000));
+  env.emplace("data[0]", BitVector(8, 5));
+  env.emplace("io.out.bits", BitVector(32, 0xdeadbeef));
+  env.emplace("narrow", BitVector(1, 1));
+  env.emplace("wide", BitVector::from_words(100, {0x123456789abcdef0ull,
+                                                  0xffffffffull}));
+  return env;
+}
+
+// ---------------------------------------------------------------------------
+// Directed cases
+// ---------------------------------------------------------------------------
+
+TEST(CompiledExpression, MatchesInterpretedOnDirectedCases) {
+  const Env env = basic_env();
+  const char* cases[] = {
+      "42",
+      "0x2a",
+      "UInt<16>(300)",
+      "SInt<8>(200)",
+      "a",
+      "a + b",
+      "a - b",
+      "a * b",
+      "a / b",
+      "a % b",
+      "a / 0",
+      "a % 0",
+      "a == 200 && b < 4",
+      "a != b || !narrow",
+      "(a >> 2) + (b << 1)",
+      "~a & 0xff",
+      "-b",
+      "data[0] % 2 == 1",
+      "io.out.bits > 100",
+      "a < b",
+      "a <= b",
+      "a > b",
+      "a >= b",
+      "a ^ b",
+      "a | b",
+      "a & b",
+      // IR call syntax over the full primitive set.
+      "add(a, b)",
+      "sub(a, b)",
+      "mul(a, b)",
+      "div(a, b)",
+      "rem(a, b)",
+      "and(a, b)",
+      "or(a, b)",
+      "xor(a, b)",
+      "not(a)",
+      "neg(a)",
+      "andr(a)",
+      "orr(a)",
+      "xorr(a)",
+      "cat(a, b)",
+      "bits(a, 7, 0)",
+      "bits(a, 3, 1)",
+      "bits(a, 9, 0)",   // hi >= width: fault in both engines
+      "bits(a, 1, 3)",   // lo > hi: fault in both engines
+      "pad(a, 16)",
+      "pad(c, 4)",
+      "shl(a, 3)",
+      "shr(a, 3)",
+      "shl(a, 200)",
+      "shr(a, 200)",
+      "dshl(a, b)",
+      "dshr(a, b)",
+      "dshl(a, c)",
+      "asUInt(a)",
+      "asSInt(a)",
+      "mux(narrow, a, c)",
+      "mux(b == 3, cat(a, b), pad(a, 16))",
+      // Signed propagation through arithmetic.
+      "SInt<8>(200) / SInt<8>(3)",
+      "SInt<8>(200) % SInt<8>(3)",
+      "SInt<8>(200) < SInt<8>(3)",
+      "SInt<8>(200) > b",
+      "asSInt(a) / b",
+      "shr(asSInt(a), 2)",
+      "dshr(asSInt(a), b)",
+      "pad(asSInt(a), 16)",
+      // Wide (>64-bit) operands exercise the eval_prim slow path.
+      "wide + wide",
+      "wide == wide",
+      "wide > c",
+      "bits(wide, 70, 3)",
+      "orr(wide)",
+      "andr(wide)",
+      "xorr(wide)",
+      "cat(wide, a)",
+      "pad(a, 100) + wide",
+      "mux(narrow, wide, c)",
+      "wide && narrow",
+      "!wide",
+      // The paper's listing condition shape.
+      "data[0] % 2 == 1 && a > 10",
+  };
+  for (const char* text : cases) {
+    SCOPED_TRACE(text);
+    expect_equivalent(text, env);
+  }
+}
+
+TEST(CompiledExpression, UnresolvedSlotReportsUnavailable) {
+  const Expression expr = Expression::parse("ghost + 1");
+  const auto compiled = run_compiled(expr, basic_env());
+  EXPECT_FALSE(compiled.has_value());
+}
+
+TEST(CompiledExpression, SymbolsDeduplicatedInSlotOrder) {
+  const CompiledExpression compiled =
+      Expression::parse("a + b * a + data[3]").compile();
+  EXPECT_EQ(compiled.symbols(),
+            (std::vector<std::string>{"a", "b", "data[3]"}));
+}
+
+TEST(CompiledExpression, ScratchReuseAcrossEvaluations) {
+  const Env env = basic_env();
+  const Expression expr = Expression::parse("(a + b) * 2 == c % 100");
+  const CompiledExpression compiled = expr.compile();
+  std::vector<const BitVector*> slots;
+  for (const auto& symbol : compiled.symbols()) {
+    slots.push_back(&env.at(symbol));
+  }
+  CompiledExpression::Scratch scratch;
+  const BitVector* first = compiled.evaluate(slots.data(), scratch);
+  ASSERT_NE(first, nullptr);
+  const BitVector expected = *first;
+  for (int i = 0; i < 100; ++i) {
+    const BitVector* again = compiled.evaluate(slots.data(), scratch);
+    ASSERT_NE(again, nullptr);
+    EXPECT_EQ(*again, expected);
+  }
+}
+
+TEST(CompiledExpression, CallArityIsValidatedAtParseTime) {
+  EXPECT_THROW(Expression::parse("add(a)"), std::invalid_argument);
+  EXPECT_THROW(Expression::parse("add(a, b, c)"), std::invalid_argument);
+  EXPECT_THROW(Expression::parse("not(a, b)"), std::invalid_argument);
+  EXPECT_THROW(Expression::parse("mux(a, b)"), std::invalid_argument);
+  EXPECT_THROW(Expression::parse("bits(a)"), std::invalid_argument);
+  EXPECT_THROW(Expression::parse("bits(a, 1)"), std::invalid_argument);
+  EXPECT_THROW(Expression::parse("pad(a)"), std::invalid_argument);
+  EXPECT_THROW(Expression::parse("shl(a)"), std::invalid_argument);
+  EXPECT_NO_THROW(Expression::parse("bits(a, 3, 1)"));
+  EXPECT_NO_THROW(Expression::parse("mux(a, b, c)"));
+}
+
+// ---------------------------------------------------------------------------
+// Differential fuzzing over the full grammar
+// ---------------------------------------------------------------------------
+
+class Fuzzer {
+ public:
+  explicit Fuzzer(uint32_t seed) : gen_(seed) {}
+
+  Env random_env() {
+    static const uint32_t kWidths[] = {1, 5, 8, 16, 32, 63, 64, 65, 100, 128};
+    Env env;
+    for (const char* name : kNames) {
+      const uint32_t width = kWidths[pick(std::size(kWidths))];
+      std::vector<uint64_t> words((width + 63) / 64);
+      for (auto& word : words) word = word_dist_(gen_);
+      env.emplace(name, BitVector::from_words(width, std::move(words)));
+    }
+    return env;
+  }
+
+  std::string expression(int depth) {
+    if (depth <= 0) return terminal();
+    switch (pick(8)) {
+      case 0:
+        return terminal();
+      case 1: {  // infix binary
+        static const char* kInfix[] = {"+", "-", "*", "/", "%", "&", "|",
+                                       "^", "==", "!=", "<", "<=", ">", ">=",
+                                       "&&", "||", "<<", ">>"};
+        return "(" + expression(depth - 1) + " " + kInfix[pick(std::size(kInfix))] +
+               " " + expression(depth - 1) + ")";
+      }
+      case 2: {  // unary
+        static const char* kUnary[] = {"!", "~", "-"};
+        return kUnary[pick(3)] + ("(" + expression(depth - 1) + ")");
+      }
+      case 3: {  // binary call
+        static const char* kCalls[] = {"add", "sub", "mul", "div", "rem",
+                                       "lt", "leq", "gt", "geq", "eq", "neq",
+                                       "and", "or", "xor", "cat", "dshl",
+                                       "dshr"};
+        return std::string(kCalls[pick(std::size(kCalls))]) + "(" +
+               expression(depth - 1) + ", " + expression(depth - 1) + ")";
+      }
+      case 4: {  // unary call
+        static const char* kCalls[] = {"not", "neg", "andr", "orr", "xorr",
+                                       "asUInt", "asSInt"};
+        return std::string(kCalls[pick(std::size(kCalls))]) + "(" +
+               expression(depth - 1) + ")";
+      }
+      case 5: {  // param call: bits / pad / shl / shr (params may fault)
+        switch (pick(4)) {
+          case 0: {
+            const uint32_t lo = pick(70);
+            const uint32_t hi = lo + pick(40);
+            return "bits(" + expression(depth - 1) + ", " +
+                   std::to_string(hi) + ", " + std::to_string(lo) + ")";
+          }
+          case 1:
+            return "pad(" + expression(depth - 1) + ", " +
+                   std::to_string(pick(130)) + ")";
+          case 2:
+            return "shl(" + expression(depth - 1) + ", " +
+                   std::to_string(pick(80)) + ")";
+          default:
+            return "shr(" + expression(depth - 1) + ", " +
+                   std::to_string(pick(80)) + ")";
+        }
+      }
+      case 6:
+        return "mux(" + expression(depth - 1) + ", " + expression(depth - 1) +
+               ", " + expression(depth - 1) + ")";
+      default:
+        return "(" + expression(depth - 1) + ")";
+    }
+  }
+
+ private:
+  static constexpr const char* kNames[] = {"a",       "b",          "c",
+                                           "data[0]", "io.out.bits", "wide"};
+
+  std::string terminal() {
+    switch (pick(5)) {
+      case 0:
+        return kNames[pick(std::size(kNames))];
+      case 1:
+        return std::to_string(pick(1000000));
+      case 2: {
+        const uint32_t width = 1 + pick(100);
+        return "UInt<" + std::to_string(width) + ">(" +
+               std::to_string(pick(100000)) + ")";
+      }
+      case 3: {
+        const uint32_t width = 1 + pick(64);
+        const int64_t value =
+            static_cast<int64_t>(pick(1000)) - 500;
+        return "SInt<" + std::to_string(width) + ">(" +
+               std::to_string(value) + ")";
+      }
+      default:
+        return "0x" + [this] {
+          static const char* kHex = "0123456789abcdef";
+          std::string digits;
+          const size_t count = 1 + pick(8);
+          for (size_t i = 0; i < count; ++i) digits.push_back(kHex[pick(16)]);
+          return digits;
+        }();
+    }
+  }
+
+  uint32_t pick(size_t bound) {
+    return static_cast<uint32_t>(gen_() % bound);
+  }
+
+  std::mt19937 gen_;
+  std::uniform_int_distribution<uint64_t> word_dist_;
+};
+
+TEST(CompiledExpressionFuzz, CompiledMatchesInterpreted) {
+  constexpr int kIterations = 4000;
+  Fuzzer fuzzer(20260728u);
+  for (int i = 0; i < kIterations; ++i) {
+    const Env env = fuzzer.random_env();
+    const std::string text = fuzzer.expression(1 + static_cast<int>(i % 4));
+    SCOPED_TRACE("iteration " + std::to_string(i) + ": " + text);
+    Expression expr = Expression::parse(text);
+    expect_equivalent(text, env);
+  }
+}
+
+TEST(CompiledExpressionFuzz, SecondSeedAndDeeperTrees) {
+  constexpr int kIterations = 1000;
+  Fuzzer fuzzer(0xC0FFEEu);
+  for (int i = 0; i < kIterations; ++i) {
+    const Env env = fuzzer.random_env();
+    const std::string text = fuzzer.expression(5);
+    SCOPED_TRACE("iteration " + std::to_string(i) + ": " + text);
+    expect_equivalent(text, env);
+  }
+}
+
+}  // namespace
+}  // namespace hgdb::runtime

@@ -306,5 +306,141 @@ TEST_F(RuntimeTest, HierarchicalEvaluatePerInstance) {
   EXPECT_EQ(runtime_->evaluate("acc", std::nullopt, "Top.w2")->to_uint64(), 12u);
 }
 
+// -- compiled evaluation pipeline ---------------------------------------------
+
+TEST_F(RuntimeTest, InterpretedModeMatchesCompiledStops) {
+  // Differential check at the scheduler level: the same scenario run
+  // through the interpreted reference path must stop identically.
+  for (const bool compiled : {true, false}) {
+    RuntimeOptions options;
+    options.compiled_eval = compiled;
+    build(kDemo, options);
+    ASSERT_FALSE(
+        runtime_->add_breakpoint("demo.cc", 7, "cycle_reg % 2 == 0").empty());
+    auto stops = run_collecting(8);
+    EXPECT_EQ(stops.size(), 4u) << "compiled=" << compiled;
+    build(kDemo, options);
+    ASSERT_FALSE(runtime_->add_breakpoint("demo.cc", 9).empty());
+    stops = run_collecting(8);
+    EXPECT_EQ(stops.size(), 5u) << "compiled=" << compiled;
+  }
+}
+
+TEST_F(RuntimeTest, ConditionsEvaluatedCountsActualEvaluations) {
+  // Line 7 has neither an enable nor a condition: nothing is evaluated,
+  // so the counter must stay zero even though the breakpoint hits.
+  runtime_->add_breakpoint("demo.cc", 7);
+  auto stops = run_collecting(5);
+  EXPECT_EQ(stops.size(), 5u);
+  EXPECT_EQ(runtime_->stats().conditions_evaluated, 0u);
+
+  // A condition over cycle_reg (changes every cycle) evaluates exactly
+  // once per edge — nothing double-counted for the non-inserted sibling
+  // batches.
+  build(kDemo);
+  runtime_->add_breakpoint("demo.cc", 7, "cycle_reg % 2 == 0");
+  run_collecting(8);
+  const auto stats = runtime_->stats();
+  EXPECT_EQ(stats.conditions_evaluated, 8u);
+  // The union of referenced signals is fetched through the batched entry
+  // point, at least once per edge (a mid-edge stop re-fetches).
+  EXPECT_GE(stats.batch_fetches, 8u);
+  EXPECT_GE(stats.batch_signals, stats.batch_fetches);
+}
+
+TEST_F(RuntimeTest, ChangeDrivenSkipOnSsaEnable) {
+  // Line 9's enable reads the SSA-precomputed when_cond0, which changes
+  // only twice in 8 cycles (0->1 at cycle 4): two evaluations, six reuses
+  // of the cached verdict — while still stopping on all 5 enabled cycles.
+  runtime_->add_breakpoint("demo.cc", 9);
+  auto stops = run_collecting(8);
+  EXPECT_EQ(stops.size(), 5u);
+  const auto stats = runtime_->stats();
+  EXPECT_EQ(stats.conditions_evaluated, 2u);
+  EXPECT_EQ(stats.dirty_skips, 6u);
+}
+
+TEST_F(RuntimeTest, DirtySetSkipsMembersWithUnchangedInputs) {
+  // bias is a constant port: after the first edge the condition's inputs
+  // never change again, so the compiled engine reuses the cached verdicts.
+  build(kMultiInstance);
+  ASSERT_EQ(runtime_->add_breakpoint("worker.cc", 3, "bias == 2").size(), 3u);
+  auto stops = run_collecting(8);
+  EXPECT_EQ(stops.size(), 8u);  // w1 fires every cycle
+  const auto stats = runtime_->stats();
+  EXPECT_EQ(stats.conditions_evaluated, 3u);   // once per instance
+  EXPECT_EQ(stats.dirty_skips, 3u * 7u);       // cached on the other 7 edges
+}
+
+TEST_F(RuntimeTest, EvalTimeIsTracked) {
+  runtime_->add_breakpoint("demo.cc", 9);
+  run_collecting(8);
+  EXPECT_GT(runtime_->stats().eval_ns, 0u);
+}
+
+TEST_F(RuntimeTest, UnknownSymbolInConditionThrowsAtArmTime) {
+  EXPECT_THROW(runtime_->add_breakpoint("demo.cc", 7, "ghost_signal > 1"),
+               std::out_of_range);
+  // Nothing was armed by the failed insertion.
+  EXPECT_EQ(runtime_->inserted_count(), 0u);
+  auto stops = run_collecting(4);
+  EXPECT_TRUE(stops.empty());
+}
+
+TEST_F(RuntimeTest, UnknownSymbolInWatchThrowsAtArmTime) {
+  EXPECT_THROW(runtime_->add_watchpoint("ghost_signal + 1"),
+               std::out_of_range);
+  EXPECT_EQ(runtime_->watchpoint_count(), 0u);
+}
+
+TEST_F(RuntimeTest, WatchpointDirtySkipStillFiresOnRealChanges) {
+  // cycle_reg changes every cycle; t mirrors it. The watch must fire per
+  // cycle in compiled mode exactly as the interpreted engine did.
+  const int64_t id = runtime_->add_watchpoint("cycle_reg");
+  ASSERT_GT(id, 0);
+  size_t watch_stops = 0;
+  runtime_->set_stop_handler([&](const rpc::StopEvent& event) {
+    watch_stops += event.watch_hits.size();
+    return Command::Continue;
+  });
+  simulator_->run(6);
+  EXPECT_GE(watch_stops, 5u);
+  EXPECT_GT(runtime_->stats().watchpoints_evaluated, 0u);
+}
+
+TEST_F(RuntimeTest, ConditionOverConstantWatchIsSkipped) {
+  // A watch over a constant generator input never re-evaluates after its
+  // first pass — and never fires.
+  build(kMultiInstance);
+  simulator_->run(1);  // settle: constant ports read 0 before the first eval
+  runtime_->add_watchpoint("bias", "Top.w1");
+  size_t watch_stops = 0;
+  runtime_->set_stop_handler([&](const rpc::StopEvent& event) {
+    watch_stops += event.watch_hits.size();
+    return Command::Continue;
+  });
+  simulator_->run(8);
+  EXPECT_EQ(watch_stops, 0u);
+  EXPECT_GT(runtime_->stats().dirty_skips, 0u);
+}
+
+TEST_F(RuntimeTest, EvaluateUsesCompiledPipeline) {
+  // One-off evaluation rides the compiled path by default; results must
+  // match the interpreted reference mode bit for bit.
+  simulator_->run(4);
+  const auto compiled_value =
+      runtime_->evaluate("cycle_reg * 2 + 1", std::nullopt);
+  ASSERT_TRUE(compiled_value.has_value());
+
+  RuntimeOptions options;
+  options.compiled_eval = false;
+  build(kDemo, options);
+  simulator_->run(4);
+  const auto interpreted_value =
+      runtime_->evaluate("cycle_reg * 2 + 1", std::nullopt);
+  ASSERT_TRUE(interpreted_value.has_value());
+  EXPECT_EQ(*compiled_value, *interpreted_value);
+}
+
 }  // namespace
 }  // namespace hgdb::runtime

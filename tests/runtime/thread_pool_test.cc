@@ -57,6 +57,30 @@ TEST(ThreadPool, ActuallyRunsConcurrently) {
   EXPECT_GT(thread_ids.size(), 1u);
 }
 
+TEST(ThreadPool, TinyBatchesDispatchInline) {
+  // Jobs at or below the serial cutoff run on the caller: no worker
+  // wake-up latency for single-breakpoint designs.
+  ThreadPool pool(4);
+  const auto caller = std::this_thread::get_id();
+  for (size_t n = 1; n <= pool.serial_cutoff(); ++n) {
+    size_t ran = 0;
+    pool.parallel_for(n, [&](size_t) {
+      EXPECT_EQ(std::this_thread::get_id(), caller);
+      ++ran;  // safe: inline dispatch is single-threaded by definition
+    });
+    EXPECT_EQ(ran, n);
+  }
+}
+
+TEST(ThreadPool, CustomSerialCutoff) {
+  ThreadPool pool(4, 16);
+  EXPECT_EQ(pool.serial_cutoff(), 16u);
+  const auto caller = std::this_thread::get_id();
+  pool.parallel_for(16, [&](size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
 TEST(ThreadPool, SingleThreadPoolRunsInCaller) {
   ThreadPool pool(1);
   const auto caller = std::this_thread::get_id();

@@ -259,6 +259,29 @@ TEST_F(SessionTest, StatsReportSessionsAndCounters) {
   EXPECT_EQ(stats.get_int("sessions"), 2);
   EXPECT_GE(stats.get_int("clock_edges"), 4);
   EXPECT_GE(stats.get_int("requests"), 1);
+  // Compiled-evaluation pipeline counters are part of the v2 payload.
+  EXPECT_TRUE(stats.contains("eval_ns"));
+  EXPECT_TRUE(stats.contains("dirty_skips"));
+  EXPECT_TRUE(stats.contains("batch_fetches"));
+  EXPECT_TRUE(stats.contains("batch_signals"));
+}
+
+TEST_F(SessionTest, UnknownConditionSymbolIsTypedArmTimeError) {
+  // The compiled engine resolves condition symbols when the breakpoint is
+  // armed; an unknown name is a typed protocol error, not a breakpoint
+  // that silently never fires.
+  EXPECT_TRUE(
+      client_a_->set_breakpoint("demo.cc", 7, "ghost_signal > 1").empty());
+  EXPECT_EQ(client_a_->last_error_code(), ErrorCode::NoSuchEntity);
+  // A resolvable condition still arms.
+  EXPECT_FALSE(
+      client_a_->set_breakpoint("demo.cc", 7, "cycle_reg > 1").empty());
+  EXPECT_EQ(client_a_->remove_breakpoint("demo.cc", 7), 1u);
+}
+
+TEST_F(SessionTest, UnknownWatchSymbolIsTypedArmTimeError) {
+  EXPECT_FALSE(client_a_->watch("ghost_signal + 1").has_value());
+  EXPECT_EQ(client_a_->last_error_code(), ErrorCode::NoSuchEntity);
 }
 
 TEST_F(SessionTest, MalformedInputGetsTypedErrorAndSessionSurvives) {
