@@ -5,9 +5,14 @@
 // live simulator process.
 //
 // Usage: hgdb-cli <workload> [--optimized] [--cycles N] [--replay vcd|wvx]
+//                 [--dap [port]]
 //        hgdb-cli wvx-verify <file.wvx>
 //   workload: multiply | mm | mt-matmul | vvadd | qsort | dhrystone |
 //             median | towers | spmv | mt-vvadd | fpu
+//
+// --dap additionally serves the Debug Adapter Protocol on loopback TCP
+// (0/omitted = ephemeral; the bound port is printed), so VSCode can
+// attach to the same simulation the REPL is debugging.
 //
 // The REPL speaks debug protocol v2 natively: it negotiates capabilities
 // at connect time (so reverse/jump availability is known up front) and
@@ -121,6 +126,10 @@ void run_repl(debugger::DebugClient& client, const std::atomic<bool>& done,
                      "pp <e1> ; <e2> ; ...    batched evaluation\n"
                      "watch <expr>            stop when the value changes\n"
                      "unwatch <id>            remove a watchpoint\n"
+                     "sub [N] <sig> [sig...]  stream value changes (every Nth"
+                     " event; default 1)\n"
+                     "unsub <id>              cancel a subscription\n"
+                     "vwait                   wait for the next value event\n"
                      "instances               list design instances\n"
                      "vars <instance>         list an instance's variables\n"
                      "frames                  show last stop\n"
@@ -234,6 +243,50 @@ void run_repl(debugger::DebugClient& client, const std::atomic<bool>& done,
         } else {
           std::cout << "error: " << client.last_error() << "\n";
         }
+      } else if (command == "sub") {
+        uint32_t decimation = 1;
+        std::vector<std::string> signals;
+        std::string word;
+        bool first = true;
+        while (input >> word) {
+          if (first && !word.empty() && word.size() <= 9 &&
+              word.find_first_not_of("0123456789") == std::string::npos) {
+            decimation = static_cast<uint32_t>(std::stoul(word));
+          } else {
+            signals.push_back(word);
+          }
+          first = false;
+        }
+        if (signals.empty()) {
+          std::cout << "usage: sub [N] <signal> [signal...]\n";
+        } else if (auto id = client.subscribe(signals, decimation)) {
+          std::cout << "subscription " << *id << " armed (1 of every "
+                    << decimation << " events)\n";
+        } else {
+          std::cout << "error: " << client.last_error() << "\n";
+        }
+      } else if (command == "unsub") {
+        int64_t id = 0;
+        input >> id;
+        if (client.unsubscribe(id)) {
+          std::cout << "subscription " << id << " removed\n";
+        } else {
+          std::cout << "error: " << client.last_error() << "\n";
+        }
+      } else if (command == "vwait") {
+        auto event = client.wait_values(std::chrono::milliseconds(2000));
+        if (event) {
+          std::cout << "values @" << event->time << " (sub "
+                    << event->subscription << "):\n";
+          for (const auto& change : event->changes) {
+            std::cout << "  " << change.signal << " = " << change.value
+                      << " (" << change.width << "b)\n";
+          }
+        } else if (done.load()) {
+          std::cout << finished_message << "\n";
+        } else {
+          std::cout << "(no value event within 2s)\n";
+        }
       } else if (command == "j") {
         uint64_t time = 0;
         input >> time;
@@ -310,10 +363,20 @@ struct TempFileRemover {
   }
 };
 
+/// Starts the DAP listener when requested and announces the port.
+void maybe_serve_dap(runtime::Runtime& runtime,
+                     std::optional<uint16_t> dap_port) {
+  if (!dap_port) return;
+  const uint16_t port = runtime.serve_dap(*dap_port);
+  std::cout << "DAP listener on 127.0.0.1:" << port
+            << " (VSCode: attach with \"debugServer\": " << port << ")\n";
+}
+
 /// Offline session: simulate once while dumping a trace, then debug the
 /// trace with the unified interface — the paper's replay flow end to end.
 int run_replay_cli(const std::string& name, bool debug_mode, uint64_t cycles,
-                   const std::string& format) {
+                   const std::string& format,
+                   std::optional<uint16_t> dap_port) {
   auto compiled = compile_workload(name, debug_mode);
 
   // Per-process paths: concurrent sessions must not clobber each other.
@@ -349,6 +412,7 @@ int run_replay_cli(const std::string& name, bool debug_mode, uint64_t cycles,
   symbols::MemorySymbolTable table(compiled.symbols);
   runtime::Runtime runtime(backend, table);
   runtime.attach();
+  maybe_serve_dap(runtime, dap_port);
 
   auto [client_channel, server_channel] = rpc::make_channel_pair();
   runtime.serve(std::move(server_channel));
@@ -378,7 +442,8 @@ int run_replay_cli(const std::string& name, bool debug_mode, uint64_t cycles,
   return 0;
 }
 
-int run_cli(const std::string& name, bool debug_mode, uint64_t cycles) {
+int run_cli(const std::string& name, bool debug_mode, uint64_t cycles,
+            std::optional<uint16_t> dap_port) {
   auto compiled = compile_workload(name, debug_mode);
   symbols::MemorySymbolTable table(compiled.symbols);
   std::cout << "compiled '" << name << "' (" << (debug_mode ? "debug" : "optimized")
@@ -390,6 +455,7 @@ int run_cli(const std::string& name, bool debug_mode, uint64_t cycles) {
   vpi::NativeBackend backend(simulator);
   runtime::Runtime runtime(backend, table);
   runtime.attach();
+  maybe_serve_dap(runtime, dap_port);
 
   auto [client_channel, server_channel] = rpc::make_channel_pair();
   runtime.serve(std::move(server_channel));
@@ -428,6 +494,7 @@ int main(int argc, char** argv) {
   std::string name = "vvadd";
   bool debug_mode = true;
   std::optional<uint64_t> cycles;
+  std::optional<uint16_t> dap_port;
   std::string replay_format;  // "", "vcd", or "wvx"
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -435,6 +502,18 @@ int main(int argc, char** argv) {
       debug_mode = false;
     } else if (arg == "--cycles" && i + 1 < argc) {
       cycles = std::stoull(argv[++i]);
+    } else if (arg == "--dap") {
+      // Optional port operand; omitted or 0 = ephemeral.
+      dap_port = 0;
+      if (i + 1 < argc && std::isdigit(static_cast<unsigned char>(
+                              argv[i + 1][0]))) {
+        const unsigned long port = std::stoul(argv[++i]);
+        if (port > 65535) {
+          std::cerr << "fatal: --dap port " << port << " out of range\n";
+          return 1;
+        }
+        dap_port = static_cast<uint16_t>(port);
+      }
     } else if (arg == "--replay" && i + 1 < argc) {
       replay_format = argv[++i];
       if (replay_format != "vcd" && replay_format != "wvx") {
@@ -449,9 +528,10 @@ int main(int argc, char** argv) {
     if (!replay_format.empty()) {
       // Replay dumps the whole run up front, so default to a modest trace.
       return run_replay_cli(name, debug_mode, cycles.value_or(4096),
-                            replay_format);
+                            replay_format, dap_port);
     }
-    return run_cli(name, debug_mode, cycles.value_or(uint64_t{1} << 20));
+    return run_cli(name, debug_mode, cycles.value_or(uint64_t{1} << 20),
+                   dap_port);
   } catch (const std::exception& error) {
     std::cerr << "fatal: " << error.what() << "\n";
     return 1;

@@ -67,6 +67,35 @@ rpc::GenericResponse DebugClient::transact_v1(Request request) {
   }
 }
 
+std::optional<ValueEvent> DebugClient::decode_values(const std::string& text) {
+  try {
+    const Json json = Json::parse(text);
+    if (!json.is_object() || !rpc::is_v2_envelope(json)) return std::nullopt;
+    if (json.get_string("type") != "event" ||
+        json.get_string("event") != "values") {
+      return std::nullopt;
+    }
+    auto payload = json.get("payload");
+    if (!payload || !payload->get().is_object()) return std::nullopt;
+    const Json& body = payload->get();
+    ValueEvent event;
+    event.subscription = body.get_int("subscription");
+    event.time = static_cast<uint64_t>(body.get_int("time"));
+    if (auto changes = body.get("changes")) {
+      for (const auto& entry : changes->get().as_array()) {
+        ValueEvent::Change change;
+        change.signal = entry.get_string("signal");
+        change.value = entry.get_string("value");
+        change.width = static_cast<uint32_t>(entry.get_int("width"));
+        event.changes.push_back(std::move(change));
+      }
+    }
+    return event;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
 ResponseV2 DebugClient::transact(const std::string& command, Json payload) {
   RequestV2 request;
   request.command = command;
@@ -80,6 +109,10 @@ ResponseV2 DebugClient::transact(const std::string& command, Json payload) {
     }
     if (auto stop = decode_stop(*message)) {
       stops_.push_back(std::move(*stop));
+      continue;
+    }
+    if (auto values = decode_values(*message)) {
+      values_.push_back(std::move(*values));
       continue;
     }
     ResponseV2 response;
@@ -248,7 +281,30 @@ std::optional<rpc::StopEvent> DebugClient::wait_stop(
     auto message = channel_->receive(timeout);
     if (!message) return std::nullopt;
     if (auto stop = decode_stop(*message)) return stop;
+    if (auto values = decode_values(*message)) {
+      values_.push_back(std::move(*values));
+      continue;
+    }
     // Stray response (e.g. after a timeout race): ignore.
+  }
+}
+
+std::optional<ValueEvent> DebugClient::wait_values(
+    std::optional<std::chrono::milliseconds> timeout) {
+  if (!values_.empty()) {
+    auto event = std::move(values_.front());
+    values_.pop_front();
+    return event;
+  }
+  while (true) {
+    auto message = channel_->receive(timeout);
+    if (!message) return std::nullopt;
+    if (auto values = decode_values(*message)) return values;
+    if (auto stop = decode_stop(*message)) {
+      stops_.push_back(std::move(*stop));
+      continue;
+    }
+    // Stray response: ignore.
   }
 }
 
@@ -347,6 +403,33 @@ bool DebugClient::unwatch(int64_t id) {
   Json payload = Json::object();
   payload["id"] = Json(id);
   return transact("unwatch", std::move(payload)).ok();
+}
+
+std::optional<int64_t> DebugClient::subscribe(
+    const std::vector<std::string>& signals, uint32_t decimation,
+    const std::string& instance) {
+  if (protocol_ == Protocol::V1) {
+    require_v2("subscribe");
+    return std::nullopt;
+  }
+  Json payload = Json::object();
+  Json list = Json::array();
+  for (const auto& signal : signals) list.push_back(Json(signal));
+  payload["signals"] = std::move(list);
+  if (decimation != 1) {
+    payload["decimation"] = Json(static_cast<int64_t>(decimation));
+  }
+  if (!instance.empty()) payload["instance_name"] = Json(instance);
+  auto response = transact("subscribe", std::move(payload));
+  if (!response.ok()) return std::nullopt;
+  return response.payload.get_int("id");
+}
+
+bool DebugClient::unsubscribe(int64_t id) {
+  if (protocol_ == Protocol::V1) return require_v2("unsubscribe");
+  Json payload = Json::object();
+  payload["id"] = Json(id);
+  return transact("unsubscribe", std::move(payload)).ok();
 }
 
 Json DebugClient::list_instances() {

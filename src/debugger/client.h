@@ -28,6 +28,18 @@ struct EvalResult {
   std::string reason;
 };
 
+/// One pushed value-change event from a `subscribe` stream.
+struct ValueEvent {
+  int64_t subscription = 0;
+  uint64_t time = 0;
+  struct Change {
+    std::string signal;
+    std::string value;
+    uint32_t width = 0;
+  };
+  std::vector<Change> changes;
+};
+
 /// Synchronous debugger client speaking the JSON debug protocol over any
 /// rpc::Channel (in-process pair, or TCP to a remote runtime). This is the
 /// programmatic equivalent of the paper's gdb-like debugger; the VSCode
@@ -97,6 +109,17 @@ class DebugClient {
   std::optional<int64_t> watch(const std::string& expression,
                                const std::string& instance = "");
   bool unwatch(int64_t id);
+  /// Subscribes to pushed value-change events for `signals` at the given
+  /// decimation (receive every Nth event); returns the subscription id.
+  /// Events arrive asynchronously and queue like stop events; drain them
+  /// with wait_values().
+  std::optional<int64_t> subscribe(const std::vector<std::string>& signals,
+                                   uint32_t decimation = 1,
+                                   const std::string& instance = "");
+  bool unsubscribe(int64_t id);
+  /// Blocks until the next value-change event (or timeout).
+  std::optional<ValueEvent> wait_values(
+      std::optional<std::chrono::milliseconds> timeout = std::nullopt);
   common::Json list_instances();
   common::Json list_variables(const std::string& instance);
   common::Json stats();
@@ -116,12 +139,15 @@ class DebugClient {
   /// Decodes a stop event in either wire format; nullopt if `text` is not
   /// a stop message.
   std::optional<rpc::StopEvent> decode_stop(const std::string& text);
+  /// Decodes a v2 "values" event; nullopt if `text` is something else.
+  std::optional<ValueEvent> decode_values(const std::string& text);
   /// Marks a v2-only call failed in V1 mode.
   bool require_v2(const char* what);
 
   std::unique_ptr<rpc::Channel> channel_;
   Protocol protocol_;
   std::deque<rpc::StopEvent> stops_;
+  std::deque<ValueEvent> values_;
   int64_t next_token_ = 1;
   std::string last_error_;
   rpc::ErrorCode last_error_code_ = rpc::ErrorCode::None;

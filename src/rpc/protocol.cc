@@ -210,6 +210,13 @@ Json frame_to_json(const Frame& frame) {
   f["column"] = Json(static_cast<int64_t>(frame.column));
   f["locals"] = frame.locals;
   f["generator"] = frame.generator;
+  if (!frame.matched_conditions.empty()) {
+    Json matched = Json::array();
+    for (const auto& condition : frame.matched_conditions) {
+      matched.push_back(Json(condition));
+    }
+    f["matched_conditions"] = std::move(matched);
+  }
   return f;
 }
 
@@ -233,6 +240,19 @@ Frame frame_from_json(const Json& f) {
       throw std::runtime_error("frame field 'generator' must be an object");
     }
     frame.generator = generator->get();
+  }
+  if (auto matched = f.get("matched_conditions")) {
+    if (!matched->get().is_array()) {
+      throw std::runtime_error(
+          "frame field 'matched_conditions' must be an array");
+    }
+    for (const auto& condition : matched->get().as_array()) {
+      if (!condition.is_string()) {
+        throw std::runtime_error(
+            "frame field 'matched_conditions' entries must be strings");
+      }
+      frame.matched_conditions.push_back(condition.as_string());
+    }
   }
   return frame;
 }

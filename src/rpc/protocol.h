@@ -106,6 +106,12 @@ struct Frame {
   common::Json locals = common::Json::object();
   /// Generator (instance) variables, same encoding.
   common::Json generator = common::Json::object();
+  /// User-condition texts that matched at this hit (empty for
+  /// unconditional stops). With per-session conditions refcounted on one
+  /// shared location, the session layer routes the stop only to sessions
+  /// whose own condition matched; omitted from the wire when empty so
+  /// existing clients see identical frames.
+  std::vector<std::string> matched_conditions;
 };
 
 /// A signal watchpoint that fired this cycle (protocol v2 `watch`): the
@@ -123,6 +129,11 @@ struct StopEvent {
   /// Watchpoint hits (empty for plain breakpoint stops; omitted from the
   /// wire format when empty so v1 clients never see the field).
   std::vector<WatchHit> watch_hits;
+  /// Session-layer routing metadata (never serialized): true when the stop
+  /// came from a run-mode inserted-breakpoint hit, i.e. the frames'
+  /// matched_conditions were actually evaluated. Only such stops are
+  /// condition-routed; step/pause/watch stops broadcast to every session.
+  bool condition_routed = false;
 };
 
 std::string serialize_response(const GenericResponse& response);

@@ -20,6 +20,7 @@ const char* error_code_name(ErrorCode code) {
     case ErrorCode::NoSuchEntity: return "no-such-entity";
     case ErrorCode::EvaluationFailed: return "evaluation-failed";
     case ErrorCode::InternalError: return "internal-error";
+    case ErrorCode::TooManySessions: return "too-many-sessions";
   }
   return "internal-error";
 }
@@ -34,6 +35,7 @@ ErrorCode error_code_from_name(std::string_view name) {
   if (name == "no-such-location") return ErrorCode::NoSuchLocation;
   if (name == "no-such-entity") return ErrorCode::NoSuchEntity;
   if (name == "evaluation-failed") return ErrorCode::EvaluationFailed;
+  if (name == "too-many-sessions") return ErrorCode::TooManySessions;
   return ErrorCode::InternalError;
 }
 

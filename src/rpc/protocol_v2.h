@@ -50,6 +50,7 @@ enum class ErrorCode : uint8_t {
   NoSuchEntity,           ///< unknown instance / watch id / signal
   EvaluationFailed,       ///< expression did not evaluate
   InternalError,          ///< handler raised an unexpected error
+  TooManySessions,        ///< SessionManager accept limit reached
 };
 
 /// Stable wire name, e.g. "unsupported-capability".

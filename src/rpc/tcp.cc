@@ -7,6 +7,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstring>
 #include <mutex>
 #include <stdexcept>
@@ -89,6 +90,83 @@ class SocketChannel final : public Channel {
   std::mutex receive_mutex_;
 };
 
+/// Raw duplex socket stream: no framing, reads return whatever the kernel
+/// delivers. Used by self-framing protocols (the DAP front end).
+///
+/// close() is called cross-thread by design (a server shutdown while the
+/// connection's reader blocks in recv), so it only ::shutdown()s — which
+/// is safe on a descriptor another thread is using and wakes the blocked
+/// recv — and the ::close() that would let the kernel reuse the fd number
+/// is deferred to the destructor, after the reader thread is gone.
+class SocketStream final : public ByteStream {
+ public:
+  explicit SocketStream(int fd) : fd_(fd) {}
+  ~SocketStream() override {
+    close();
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool send_bytes(std::string_view bytes) override {
+    std::lock_guard lock(send_mutex_);
+    if (closed_.load(std::memory_order_acquire)) return false;
+    size_t written = 0;
+    while (written < bytes.size()) {
+      const ssize_t n = ::send(fd_, bytes.data() + written,
+                               bytes.size() - written, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      written += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  std::optional<std::string> receive_some() override {
+    if (closed_.load(std::memory_order_acquire)) return std::nullopt;
+    char buffer[4096];
+    const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
+    if (n <= 0) return std::nullopt;
+    return std::string(buffer, static_cast<size_t>(n));
+  }
+
+  void close() override {
+    if (!closed_.exchange(true, std::memory_order_acq_rel)) {
+      ::shutdown(fd_, SHUT_RDWR);
+    }
+  }
+
+ private:
+  const int fd_;
+  std::atomic<bool> closed_{false};
+  std::mutex send_mutex_;
+};
+
+int accept_fd(int server_fd) {
+  if (server_fd < 0) return -1;
+  const int client = ::accept(server_fd, nullptr, nullptr);
+  if (client < 0) return -1;
+  const int enable = 1;
+  ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+  return client;
+}
+
+int connect_fd(const std::string& host, uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail("socket");
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &address.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("tcp: bad host '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&address), sizeof(address)) < 0) {
+    ::close(fd);
+    fail("connect");
+  }
+  const int enable = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+  return fd;
+}
+
 }  // namespace
 
 TcpServer::TcpServer(uint16_t port) {
@@ -114,12 +192,15 @@ TcpServer::TcpServer(uint16_t port) {
 TcpServer::~TcpServer() { close(); }
 
 std::unique_ptr<Channel> TcpServer::accept() {
-  if (fd_ < 0) return nullptr;
-  const int client = ::accept(fd_, nullptr, nullptr);
+  const int client = accept_fd(fd_);
   if (client < 0) return nullptr;
-  const int enable = 1;
-  ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
   return std::make_unique<SocketChannel>(client);
+}
+
+std::unique_ptr<ByteStream> TcpServer::accept_stream() {
+  const int client = accept_fd(fd_);
+  if (client < 0) return nullptr;
+  return std::make_unique<SocketStream>(client);
 }
 
 void TcpServer::close() {
@@ -131,22 +212,12 @@ void TcpServer::close() {
 }
 
 std::unique_ptr<Channel> tcp_connect(const std::string& host, uint16_t port) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) fail("socket");
-  sockaddr_in address{};
-  address.sin_family = AF_INET;
-  address.sin_port = htons(port);
-  if (::inet_pton(AF_INET, host.c_str(), &address.sin_addr) != 1) {
-    ::close(fd);
-    throw std::runtime_error("tcp: bad host '" + host + "'");
-  }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&address), sizeof(address)) < 0) {
-    ::close(fd);
-    fail("connect");
-  }
-  const int enable = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
-  return std::make_unique<SocketChannel>(fd);
+  return std::make_unique<SocketChannel>(connect_fd(host, port));
+}
+
+std::unique_ptr<ByteStream> tcp_connect_stream(const std::string& host,
+                                               uint16_t port) {
+  return std::make_unique<SocketStream>(connect_fd(host, port));
 }
 
 }  // namespace hgdb::rpc

@@ -3,11 +3,30 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 
 #include "rpc/channel.h"
 
 namespace hgdb::rpc {
+
+/// An unframed duplex byte stream. Protocols that carry their own framing
+/// (the DAP front end's `Content-Length` headers) run over this instead of
+/// the message-oriented Channel: reads return whatever bytes the transport
+/// delivers, with no message boundaries preserved.
+class ByteStream {
+ public:
+  virtual ~ByteStream() = default;
+
+  /// Writes the whole buffer; false once the peer is gone.
+  virtual bool send_bytes(std::string_view bytes) = 0;
+  /// Blocks for the next chunk of bytes (any size >= 1). nullopt on EOF or
+  /// when the stream is closed.
+  virtual std::optional<std::string> receive_some() = 0;
+  /// Closes the stream; a blocked receive_some wakes with nullopt.
+  virtual void close() = 0;
+};
 
 /// Loopback TCP transport with 4-byte big-endian length framing. This is
 /// the cross-process stand-in for the paper's WebSocket connection between
@@ -28,6 +47,10 @@ class TcpServer {
   /// Returns nullptr if the server was closed.
   std::unique_ptr<Channel> accept();
 
+  /// Like accept(), but hands back the raw byte stream (no length framing)
+  /// for protocols that frame themselves.
+  std::unique_ptr<ByteStream> accept_stream();
+
   void close();
 
  private:
@@ -37,6 +60,11 @@ class TcpServer {
 
 /// Connects to a TcpServer. Throws std::runtime_error on failure.
 std::unique_ptr<Channel> tcp_connect(const std::string& host, uint16_t port);
+
+/// Connects and returns the raw byte stream (self-framing protocols, e.g.
+/// a DAP client). Throws std::runtime_error on failure.
+std::unique_ptr<ByteStream> tcp_connect_stream(const std::string& host,
+                                               uint16_t port);
 
 }  // namespace hgdb::rpc
 

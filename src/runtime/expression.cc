@@ -521,6 +521,18 @@ Value evaluate_node(const Node& node, const Expression::Resolver& resolver) {
     case Node::Kind::Op:
       break;
   }
+  // Logical && / || short-circuit like the C expressions they mimic: the
+  // right operand is not evaluated (and cannot fault) when the left side
+  // decides the result. The compiled program mirrors this with a branch
+  // instruction, so the two engines stay differentially equivalent.
+  if (node.logical && node.children.size() == 2 &&
+      (node.op == PrimOp::And || node.op == PrimOp::Or)) {
+    const bool lhs = evaluate_node(*node.children[0], resolver).bits.to_bool();
+    if (node.op == PrimOp::And && !lhs) return {BitVector(1, 0), false};
+    if (node.op == PrimOp::Or && lhs) return {BitVector(1, 1), false};
+    const bool rhs = evaluate_node(*node.children[1], resolver).bits.to_bool();
+    return {BitVector(1, rhs ? 1 : 0), false};
+  }
   std::vector<Value> operands;
   operands.reserve(node.children.size());
   for (const auto& child : node.children) {
@@ -602,6 +614,38 @@ CompiledExpression Expression::compile() const {
         }
         case Node::Kind::Op:
           break;
+      }
+      // Logical && / ||: lower with a short-circuit branch between the two
+      // operand subprograms. Layout:
+      //   [lhs subprogram]
+      //   Branch  — left side decisive? write verdict into the combine's
+      //             register and jump past the right subprogram
+      //   [rhs subprogram]
+      //   Combine — the ordinary logical And/Or over both operands
+      if (node.logical && node.children.size() == 2 &&
+          (node.op == PrimOp::And || node.op == PrimOp::Or)) {
+        const uint32_t lhs = emit(*node.children[0]);
+        CompiledExpression::Instr branch;
+        branch.kind = CompiledExpression::Instr::Kind::Branch;
+        branch.op = node.op;
+        branch.n_operands = 1;
+        branch.operands[0] = lhs;
+        out.instrs_.push_back(branch);
+        const size_t branch_pc = out.instrs_.size() - 1;
+        const uint32_t rhs = emit(*node.children[1]);
+        CompiledExpression::Instr combine;
+        combine.op = node.op;
+        combine.logical = true;
+        combine.n_operands = 2;
+        combine.operands[0] = lhs;
+        combine.operands[1] = rhs;
+        out.instrs_.push_back(combine);
+        // Patch the branch with the combine's pc (operands[1] holds a raw
+        // instruction index, not an encoded operand).
+        out.instrs_[branch_pc].operands[1] =
+            static_cast<uint32_t>(out.instrs_.size() - 1);
+        return CompiledExpression::encode(CompiledExpression::Src::Reg,
+                                          out.instrs_.size() - 1);
       }
       CompiledExpression::Instr instr;
       instr.op = node.op;
@@ -847,6 +891,25 @@ const BitVector* CompiledExpression::evaluate(
 
   for (size_t pc = 0; pc < instrs_.size(); ++pc) {
     const Instr& instr = instrs_[pc];
+    ++scratch.ops_executed;
+    if (instr.kind == Instr::Kind::Branch) {
+      // Logical short-circuit: when the left operand decides a && / ||,
+      // write the verdict into the combine instruction's register and skip
+      // the right-hand subprogram (operands[1] is the combine's pc).
+      const auto [lhs_bits, lhs_signed] = view(instr.operands[0]);
+      (void)lhs_signed;
+      if (lhs_bits == nullptr) return nullptr;  // unavailable slot
+      const bool lhs = lhs_bits->to_bool();
+      const bool decisive = instr.op == PrimOp::And ? !lhs : lhs;
+      if (decisive) {
+        const size_t target = instr.operands[1];
+        Value& reg = scratch.regs[target];
+        reg.bits.reset(1, instr.op == PrimOp::Or ? 1 : 0);
+        reg.is_signed = false;
+        pc = target;  // loop increment moves past the combine
+      }
+      continue;
+    }
     const BitVector* bits[3] = {nullptr, nullptr, nullptr};
     bool signs[3] = {false, false, false};
     uint64_t raw[3] = {0, 0, 0};

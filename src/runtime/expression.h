@@ -105,6 +105,11 @@ class CompiledExpression {
     std::vector<Value> regs;
     std::vector<common::BitVector> wide_bits;
     std::vector<bool> wide_signs;
+    /// Instructions executed across all evaluate() calls with this
+    /// scratch. Logical short-circuiting (&&/||) skips the dead operand's
+    /// subprogram, which this counter makes observable (tests assert the
+    /// skip; the bench reports it).
+    uint64_t ops_executed = 0;
   };
 
   /// Referenced names in slot order: evaluate()'s slots[i] must point at
@@ -138,6 +143,14 @@ class CompiledExpression {
   }
 
   struct Instr {
+    /// Prim computes an IR primitive. Branch implements logical
+    /// short-circuit: emitted between the two operand subprograms of a
+    /// && / ||, it tests the left operand and — when the left side decides
+    /// the result — writes the 1-bit verdict straight into the combine
+    /// instruction's register (operands[1] names its pc) and jumps past
+    /// it, so the dead right-hand subprogram never executes.
+    enum class Kind : uint8_t { Prim, Branch };
+    Kind kind = Kind::Prim;
     ir::PrimOp op = ir::PrimOp::Add;
     bool logical = false;  ///< coerce operands to booleans first (&&, ||, !)
     uint8_t n_operands = 0;

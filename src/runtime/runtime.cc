@@ -147,12 +147,27 @@ std::vector<int64_t> Runtime::add_breakpoint(const std::string& filename,
   std::vector<int64_t> inserted;
   for (auto& bp : breakpoints_) {
     if (bp.row.filename != filename || bp.row.line_num != line) continue;
-    bp.inserted = true;
     if (parsed) {
-      bp.condition = Expression::parse(condition);
+      // One refcounted arm per distinct condition text: two sessions with
+      // different conditions on the same location coexist, and each hit
+      // records which conditions matched (stop routing).
+      auto it = std::find_if(bp.conditions.begin(), bp.conditions.end(),
+                             [&](const CondArm& arm) {
+                               return arm.text == condition;
+                             });
+      if (it == bp.conditions.end()) {
+        CondArm arm;
+        arm.text = condition;
+        arm.refs = 1;
+        arm.expr = Expression::parse(condition);
+        bp.conditions.push_back(std::move(arm));
+      } else {
+        ++it->refs;
+      }
     } else {
-      bp.condition.reset();
+      ++bp.uncond_refs;
     }
+    bp.inserted = true;
     inserted.push_back(bp.row.id);
   }
   if (!inserted.empty()) {
@@ -160,6 +175,43 @@ std::vector<int64_t> Runtime::add_breakpoint(const std::string& filename,
     rebuild_plan_locked();
   }
   return inserted;
+}
+
+size_t Runtime::release_breakpoint(const std::string& filename, uint32_t line,
+                                   const std::string& condition) {
+  std::lock_guard lock(state_mutex_);
+  size_t died = 0;
+  bool any = false;
+  bool changed = false;
+  for (auto& bp : breakpoints_) {
+    if (bp.row.filename == filename && bp.row.line_num == line &&
+        bp.inserted) {
+      if (condition.empty()) {
+        if (bp.uncond_refs > 0) {
+          --bp.uncond_refs;
+          changed = true;
+        }
+      } else {
+        auto it = std::find_if(bp.conditions.begin(), bp.conditions.end(),
+                               [&](const CondArm& arm) {
+                                 return arm.text == condition;
+                               });
+        if (it != bp.conditions.end() && --it->refs <= 0) {
+          bp.conditions.erase(it);
+          changed = true;
+        }
+      }
+      const bool still = bp.uncond_refs > 0 || !bp.conditions.empty();
+      if (!still) {
+        bp.inserted = false;
+        ++died;
+      }
+    }
+    any |= bp.inserted;
+  }
+  any_inserted_.store(any, std::memory_order_release);
+  if (changed || died != 0) rebuild_plan_locked();
+  return died;
 }
 
 size_t Runtime::remove_breakpoint(const std::string& filename, uint32_t line) {
@@ -171,7 +223,8 @@ size_t Runtime::remove_breakpoint(const std::string& filename, uint32_t line) {
         (line == 0 || bp.row.line_num == line)) {
       if (bp.inserted) ++removed;
       bp.inserted = false;
-      bp.condition.reset();
+      bp.uncond_refs = 0;
+      bp.conditions.clear();
     }
     any |= bp.inserted;
   }
@@ -184,7 +237,8 @@ void Runtime::clear_breakpoints() {
   std::lock_guard lock(state_mutex_);
   for (auto& bp : breakpoints_) {
     bp.inserted = false;
-    bp.condition.reset();
+    bp.uncond_refs = 0;
+    bp.conditions.clear();
   }
   any_inserted_.store(false, std::memory_order_release);
   rebuild_plan_locked();
@@ -335,6 +389,123 @@ void Runtime::collect_watch_hits(std::vector<rpc::WatchHit>& hits) {
 void Runtime::set_stop_handler(StopHandler handler) {
   std::lock_guard lock(handler_mutex_);
   stop_handler_ = std::move(handler);
+}
+
+// ---------------------------------------------------------------------------
+// value-change subscriptions (push event streams)
+// ---------------------------------------------------------------------------
+
+void Runtime::set_change_listener(ChangeListener listener) {
+  std::lock_guard lock(listener_mutex_);
+  change_listener_ = std::move(listener);
+}
+
+int64_t Runtime::add_signal_subscription(const std::vector<std::string>& names,
+                                         const std::string& instance_name) {
+  if (names.empty()) {
+    throw std::invalid_argument("subscription needs at least one signal");
+  }
+  const auto instance = resolve_instance(instance_name);
+  if (!instance) {
+    throw std::out_of_range("unknown instance '" + instance_name + "'");
+  }
+  Subscription sub;
+  sub.names = names;
+  sub.instance_id = instance->first;
+  sub.instance_name = instance->second;
+
+  std::lock_guard lock(state_mutex_);
+  // Arm-time validation, same contract as conditions/watches: an unknown
+  // name is a typed error now, never a silent dead stream.
+  for (const auto& name : sub.names) {
+    if (!resolve_binding(nullptr, sub.instance_id, sub.instance_name, name,
+                         nullptr)) {
+      throw std::out_of_range("cannot resolve signal '" + name +
+                              "' (instance '" + sub.instance_name + "')");
+    }
+  }
+  sub.id = next_subscription_id_++;
+  const int64_t id = sub.id;
+  subscriptions_.push_back(std::move(sub));
+  any_subs_.store(true, std::memory_order_release);
+  rebuild_plan_locked();
+  return id;
+}
+
+bool Runtime::remove_signal_subscription(int64_t id) {
+  std::lock_guard lock(state_mutex_);
+  const size_t before = subscriptions_.size();
+  subscriptions_.erase(
+      std::remove_if(subscriptions_.begin(), subscriptions_.end(),
+                     [id](const Subscription& sub) { return sub.id == id; }),
+      subscriptions_.end());
+  any_subs_.store(!subscriptions_.empty(), std::memory_order_release);
+  if (subscriptions_.size() != before) rebuild_plan_locked();
+  return subscriptions_.size() != before;
+}
+
+size_t Runtime::subscription_count() const {
+  std::lock_guard lock(state_mutex_);
+  return subscriptions_.size();
+}
+
+void Runtime::emit_subscription_events(uint64_t time) {
+  // Collect under the state lock, deliver outside it: the listener sends
+  // on client transports and may call back into the runtime.
+  struct Pending {
+    int64_t id;
+    std::vector<SignalChange> changes;
+  };
+  std::vector<Pending> pending;
+  {
+    std::lock_guard lock(state_mutex_);
+    if (subscriptions_.empty()) return;
+    ensure_edge_values_locked();
+    for (auto& sub : subscriptions_) {
+      std::vector<SignalChange> changes;
+      sub.last_values.resize(sub.names.size());
+      for (size_t i = 0; i < sub.names.size(); ++i) {
+        const int32_t slot = sub.slots.empty() ? -1 : sub.slots[i];
+        if (slot < 0) {
+          // Constant-folded symbol: the snapshot contract still holds —
+          // its (only) value is emitted once, then the entry stays silent.
+          if (!sub.last_values[i] && i < sub.constants.size() &&
+              sub.constants[i]) {
+            sub.last_values[i] = sub.constants[i];
+            changes.push_back(SignalChange{sub.names[i], *sub.constants[i]});
+          }
+          continue;
+        }
+        const auto index = static_cast<size_t>(slot);
+        if (plan_.present[index] == 0) continue;
+        if (plan_.change_serial[index] <= sub.last_serial) continue;
+        // The serial gate is the cheap filter; the value compare makes it
+        // exact across plan rebuilds (which reset the serials): only a
+        // signal whose value actually differs from the last report — or
+        // was never reported (the initial snapshot) — is emitted.
+        if (sub.last_values[i] &&
+            *sub.last_values[i] == plan_.values[index]) {
+          continue;
+        }
+        sub.last_values[i] = plan_.values[index];
+        changes.push_back(SignalChange{sub.names[i], plan_.values[index]});
+      }
+      sub.last_serial = plan_.serial;
+      if (!changes.empty()) {
+        pending.push_back(Pending{sub.id, std::move(changes)});
+      }
+    }
+  }
+  if (pending.empty()) return;
+  ChangeListener listener;
+  {
+    std::lock_guard lock(listener_mutex_);
+    listener = change_listener_;
+  }
+  if (!listener) return;
+  for (auto& entry : pending) {
+    listener(entry.id, time, entry.changes);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -513,10 +684,13 @@ void Runtime::rebuild_plan_locked() {
   plan_ = EvalPlan{};
   for (auto& bp : breakpoints_) {
     bp.compiled_enable.reset();
-    bp.compiled_condition.reset();
     bp.dep_slots.clear();
     bp.eval_serial = 0;
     bp.cached = 0;
+    for (auto& arm : bp.conditions) {
+      arm.compiled.reset();
+      arm.cached = 0;
+    }
     if (!options_.compiled_eval) continue;
     if (bp.enable) {
       // Enables come from the symbol table; one referencing an
@@ -526,10 +700,12 @@ void Runtime::rebuild_plan_locked() {
           bind_predicate(*bp.enable, &bp, bp.row.instance_id,
                          bp.instance_name, &plan_, &bp.dep_slots, false);
     }
-    if (bp.inserted && bp.condition) {
-      bp.compiled_condition =
-          bind_predicate(*bp.condition, &bp, bp.row.instance_id,
-                         bp.instance_name, &plan_, &bp.dep_slots, false);
+    if (bp.inserted) {
+      for (auto& arm : bp.conditions) {
+        arm.compiled =
+            bind_predicate(*arm.expr, &bp, bp.row.instance_id,
+                           bp.instance_name, &plan_, &bp.dep_slots, false);
+      }
     }
     std::sort(bp.dep_slots.begin(), bp.dep_slots.end());
     bp.dep_slots.erase(std::unique(bp.dep_slots.begin(), bp.dep_slots.end()),
@@ -546,6 +722,23 @@ void Runtime::rebuild_plan_locked() {
     std::sort(wp.dep_slots.begin(), wp.dep_slots.end());
     wp.dep_slots.erase(std::unique(wp.dep_slots.begin(), wp.dep_slots.end()),
                        wp.dep_slots.end());
+  }
+  // Subscribed signals join the same plan (and the same batched fetch) in
+  // either evaluation mode; their change events ride the plan serials.
+  for (auto& sub : subscriptions_) {
+    sub.slots.assign(sub.names.size(), -1);
+    sub.constants.assign(sub.names.size(), std::nullopt);
+    for (size_t i = 0; i < sub.names.size(); ++i) {
+      auto binding = resolve_binding(nullptr, sub.instance_id,
+                                     sub.instance_name, sub.names[i], &plan_);
+      if (!binding) continue;
+      if (binding->is_constant) {
+        sub.constants[i] = binding->constant;
+      } else {
+        sub.slots[i] = binding->plan_slot;
+      }
+    }
+    sub.last_serial = 0;  // next edge re-checks against last_values
   }
   values_stale_ = true;
 }
@@ -643,12 +836,14 @@ void Runtime::on_clock_edge(vpi::ClockEdge edge, uint64_t time) {
   if (edge != vpi::ClockEdge::Rising) return;
   stats_.clock_edges.fetch_add(1, std::memory_order_relaxed);
 
-  // Fast path first: nothing inserted, nothing watched, no pause requested,
-  // plain run mode. This branch is the entire per-cycle cost the paper
-  // measures in Fig. 5, so it is lock- and allocation-free.
+  // Fast path first: nothing inserted, nothing watched, nothing
+  // subscribed, no pause requested, plain run mode. This branch is the
+  // entire per-cycle cost the paper measures in Fig. 5, so it is lock- and
+  // allocation-free.
   if (mode_.load(std::memory_order_acquire) == Mode::Run &&
       !any_inserted_.load(std::memory_order_acquire) &&
       !any_watch_.load(std::memory_order_acquire) &&
+      !any_subs_.load(std::memory_order_acquire) &&
       !pause_pending_.load(std::memory_order_acquire)) {
     stats_.fast_path_exits.fetch_add(1, std::memory_order_relaxed);
     return;
@@ -664,6 +859,17 @@ void Runtime::on_clock_edge(vpi::ClockEdge edge, uint64_t time) {
     // batch (or watchpoint sweep) that needs them re-fetches once.
     std::lock_guard lock(state_mutex_);
     edge_values_fresh_ = false;
+  }
+
+  // Subscribed value-change streams push before anything can stop the
+  // cycle (forward execution only, like watchpoints): the events ride the
+  // same batched fetch the condition pipeline is about to reuse.
+  {
+    const Mode current = mode_.load(std::memory_order_acquire);
+    if (current != Mode::ReverseStep && current != Mode::ReverseContinue &&
+        any_subs_.load(std::memory_order_acquire)) {
+      emit_subscription_events(time);
+    }
   }
 
   // Watchpoints fire before the batch scan (forward execution only: a
@@ -714,6 +920,14 @@ void Runtime::on_clock_edge(vpi::ClockEdge edge, uint64_t time) {
     reverse_entry_ = false;
   }
 
+  // Run mode with no inserted breakpoints can only have been reached for
+  // watchpoints or subscriptions — both already handled. Skip the batch
+  // scan outright: subscribed-only edges cost one batched fetch, nothing
+  // more.
+  if (mode == Mode::Run && !any_inserted_.load(std::memory_order_acquire)) {
+    return;
+  }
+
   bool reverse = mode == Mode::ReverseStep || mode == Mode::ReverseContinue;
   if (reverse && !reverse_entry) {
     // A reverse command always enters a cycle through time travel; if we
@@ -736,7 +950,11 @@ void Runtime::on_clock_edge(vpi::ClockEdge edge, uint64_t time) {
       continue;
     }
 
-    const Command command = deliver_stop(make_stop_event(time, hits));
+    StopEvent stop = make_stop_event(time, hits);
+    // Inserted-breakpoint hits evaluated their condition arms: the session
+    // layer may route the stop by matched condition. Step stops broadcast.
+    stop.condition_routed = respect_inserted;
+    const Command command = deliver_stop(std::move(stop));
     std::lock_guard lock(state_mutex_);
     switch (command) {
       case Command::Continue:
@@ -765,7 +983,11 @@ void Runtime::on_clock_edge(vpi::ClockEdge edge, uint64_t time) {
         mode_ = Mode::Step;
         return;
       case Command::Detach:
-        for (auto& bp : breakpoints_) bp.inserted = false;
+        for (auto& bp : breakpoints_) {
+          bp.inserted = false;
+          bp.uncond_refs = 0;
+          bp.conditions.clear();
+        }
         any_inserted_.store(false, std::memory_order_release);
         rebuild_plan_locked();
         mode_ = Mode::Run;
@@ -814,16 +1036,18 @@ void Runtime::evaluate_batch(const Batch& batch, bool respect_inserted,
 
   // Compiled fast path: flat programs over the pre-fetched value plan,
   // with a change-driven cache — a member none of whose input signals
-  // changed since its last evaluation reuses the cached verdict.
+  // changed since its last evaluation reuses the cached verdicts (the
+  // enable's and every condition arm's).
   auto evaluate_member_compiled = [&](size_t position) {
     const size_t member = batch.members[position];
     Breakpoint& bp = breakpoints_[member];
     if (respect_inserted && !bp.inserted) return;
-    const bool need_cond =
-        respect_inserted && bp.compiled_condition.has_value();
+    const bool need_cond = respect_inserted && !bp.conditions.empty();
     const bool has_work = bp.compiled_enable.has_value() || need_cond;
     if (bp.eval_serial == 0 || deps_serial(bp.dep_slots) > bp.eval_serial) {
-      bp.cached = 0;  // inputs changed: every cached verdict is stale
+      // Inputs changed: every cached verdict is stale.
+      bp.cached = 0;
+      for (auto& arm : bp.conditions) arm.cached = 0;
     }
     bool did_eval = false;
     if ((bp.cached & kCacheHasEnable) == 0) {
@@ -837,15 +1061,26 @@ void Runtime::evaluate_batch(const Batch& batch, bool respect_inserted,
       did_eval = bp.compiled_enable.has_value();
     }
     const bool enable_true = (bp.cached & kCacheEnableTrue) != 0;
-    bool cond_true = true;
+    bool hit = enable_true;
     if (enable_true && need_cond) {
-      if ((bp.cached & kCacheHasCond) == 0) {
-        const bool value = eval_predicate(*bp.compiled_condition, plan_) == 1;
-        bp.cached |= kCacheHasCond;
-        if (value) bp.cached |= kCacheCondTrue;
-        did_eval = true;
+      // Every arm is evaluated (no early exit): the matched set routes the
+      // stop to exactly the sessions whose own condition fired.
+      bp.matched.clear();
+      bool any = bp.uncond_refs > 0;
+      for (auto& arm : bp.conditions) {
+        if ((arm.cached & kArmHasVerdict) == 0) {
+          const bool value =
+              arm.compiled && eval_predicate(*arm.compiled, plan_) == 1;
+          arm.cached = kArmHasVerdict;
+          if (value) arm.cached |= kArmTrue;
+          did_eval = true;
+        }
+        if ((arm.cached & kArmTrue) != 0) {
+          any = true;
+          bp.matched.push_back(arm.text);
+        }
       }
-      cond_true = (bp.cached & kCacheCondTrue) != 0;
+      hit = any;
     }
     bp.eval_serial = plan_.serial;
     if (did_eval) {
@@ -853,24 +1088,42 @@ void Runtime::evaluate_batch(const Batch& batch, bool respect_inserted,
     } else if (has_work) {
       skipped[position] = 1;
     }
-    if (enable_true && (!need_cond || cond_true)) fired[position] = 1;
+    // Step-mode hits bypass conditions: never leave a stale matched set
+    // behind for make_frame to pick up.
+    if (!need_cond) bp.matched.clear();
+    if (hit) fired[position] = 1;
   };
 
   // Interpreted reference path: tree walk per member through the
   // string-keyed resolver.
   auto evaluate_member_interpreted = [&](size_t position) {
     const size_t member = batch.members[position];
-    const Breakpoint& bp = breakpoints_[member];
+    Breakpoint& bp = breakpoints_[member];
     if (respect_inserted && !bp.inserted) return;
-    if (bp.enable || (respect_inserted && bp.condition)) {
+    const bool need_cond = respect_inserted && !bp.conditions.empty();
+    if (bp.enable || need_cond) {
       evaluated[position] = 1;
     }
     const auto resolver = breakpoint_resolver(bp);
+    if (!need_cond) bp.matched.clear();
     try {
       if (bp.enable && !bp.enable->evaluate_bool(resolver)) return;
-      if (respect_inserted && bp.condition &&
-          !bp.condition->evaluate_bool(resolver)) {
-        return;
+      if (need_cond) {
+        bp.matched.clear();
+        bool any = bp.uncond_refs > 0;
+        for (const auto& arm : bp.conditions) {
+          bool value = false;
+          try {
+            value = arm.expr && arm.expr->evaluate_bool(resolver);
+          } catch (const std::exception&) {
+            // This arm faults; other sessions' arms still decide.
+          }
+          if (value) {
+            any = true;
+            bp.matched.push_back(arm.text);
+          }
+        }
+        if (!any) return;
       }
       fired[position] = 1;
     } catch (const std::exception&) {
@@ -926,6 +1179,10 @@ Frame Runtime::make_frame(const Breakpoint& bp) {
   frame.filename = bp.row.filename;
   frame.line = bp.row.line_num;
   frame.column = bp.row.column_num;
+  // Which user conditions fired at this hit (set by evaluate_batch just
+  // before the stop): the session layer routes the stop to the sessions
+  // holding these arms.
+  if (!bp.conditions.empty()) frame.matched_conditions = bp.matched;
 
   // Locals: the scope variables recorded by SSA for this statement,
   // re-aggregated into nested objects on dotted names.
@@ -1113,6 +1370,10 @@ void Runtime::serve(std::unique_ptr<rpc::Channel> channel) {
 
 uint16_t Runtime::serve_tcp(uint16_t port) {
   return ensure_service()->listen_tcp(port);
+}
+
+uint16_t Runtime::serve_dap(uint16_t port) {
+  return ensure_service()->listen_dap(port);
 }
 
 void Runtime::stop_service() {

@@ -39,6 +39,10 @@ struct RuntimeOptions {
   /// implementation for differential testing and as the Fig. 5 bench
   /// baseline.
   bool compiled_eval = true;
+  /// Accept limit for the session layer: debugger clients (native or DAP)
+  /// beyond this count are rejected with a typed `too-many-sessions`
+  /// error. 0 = unlimited.
+  size_t max_sessions = 0;
 };
 
 /// The hgdb debugger runtime (the paper's central component, Fig. 1).
@@ -89,10 +93,22 @@ class Runtime {
   /// paper's concurrent "threads"). `condition` is an optional user
   /// expression evaluated in the breakpoint scope. Returns the inserted
   /// breakpoint ids (empty if the location has no breakpoint).
+  ///
+  /// Conditions are *refcounted per (location, condition) arm* rather than
+  /// last-insert-wins: each call adds one reference (empty condition = an
+  /// unconditional arm), the breakpoint fires when any armed condition
+  /// matches (or an unconditional arm exists), and each hit frame records
+  /// which condition texts matched so the session layer can route the stop
+  /// to exactly the sessions whose own condition fired.
   std::vector<int64_t> add_breakpoint(const std::string& filename, uint32_t line,
                                       const std::string& condition = "");
-  /// Removes breakpoints at a location (line 0 = whole file). Returns the
-  /// number removed.
+  /// Drops one reference from the (location, condition) arm added by
+  /// add_breakpoint. Returns how many breakpoints became fully un-armed
+  /// (their last reference died).
+  size_t release_breakpoint(const std::string& filename, uint32_t line,
+                            const std::string& condition = "");
+  /// Force-removes every arm at a location regardless of refcounts
+  /// (line 0 = whole file). Returns the number removed.
   size_t remove_breakpoint(const std::string& filename, uint32_t line);
   void clear_breakpoints();
   [[nodiscard]] size_t inserted_count() const;
@@ -117,6 +133,31 @@ class Runtime {
   bool remove_watchpoint(int64_t id);
   [[nodiscard]] size_t watchpoint_count() const;
 
+  // -- value-change subscriptions ----------------------------------------------
+  /// One signal's new value reported by a subscription: the name as the
+  /// subscriber wrote it, plus the post-edge value.
+  struct SignalChange {
+    std::string name;
+    common::BitVector value;
+  };
+  /// Called on the simulation thread once per rising edge and subscription
+  /// with the signals that changed since the subscription's last report
+  /// (change-serial driven — an edge where nothing changed emits nothing).
+  using ChangeListener = std::function<void(
+      int64_t subscription_id, uint64_t time,
+      const std::vector<SignalChange>& changes)>;
+  void set_change_listener(ChangeListener listener);
+  /// Subscribes to value changes of `names` (resolved in `instance_name`'s
+  /// scope; empty = top). The signals join the per-edge batched-fetch plan
+  /// — no extra per-edge fetch round — and change detection rides the
+  /// plan's change serials. The first edge after subscribing reports the
+  /// then-current values as an initial snapshot. Returns the subscription
+  /// id. Throws std::out_of_range on an unknown name or instance.
+  int64_t add_signal_subscription(const std::vector<std::string>& names,
+                                  const std::string& instance_name = "");
+  bool remove_signal_subscription(int64_t id);
+  [[nodiscard]] size_t subscription_count() const;
+
   // -- direct-mode control ---------------------------------------------------------
   void set_stop_handler(StopHandler handler);
   /// Requests a stop at the next statement boundary (protocol `pause`).
@@ -130,6 +171,10 @@ class Runtime {
   /// Listens on loopback TCP (0 = ephemeral) and accepts any number of
   /// clients; returns the bound port.
   uint16_t serve_tcp(uint16_t port = 0);
+  /// Listens for Debug Adapter Protocol clients (VSCode) on loopback TCP
+  /// (0 = ephemeral); returns the bound port. DAP sessions share the same
+  /// DebugService core as native-protocol clients.
+  uint16_t serve_dap(uint16_t port = 0);
   /// Disconnects every client and stops the accept loop.
   void stop_service();
   /// The session layer, if serve()/serve_tcp() started it (else nullptr).
@@ -174,6 +219,7 @@ class Runtime {
     uint64_t batch_signals = 0;
   };
   [[nodiscard]] Stats stats() const;
+  [[nodiscard]] const RuntimeOptions& options() const { return options_; }
   [[nodiscard]] const vpi::HierarchyMapper* hierarchy_mapper() const {
     return mapper_ ? &*mapper_ : nullptr;
   }
@@ -207,28 +253,43 @@ class Runtime {
     CompiledExpression::Scratch scratch;
   };
 
+  /// One refcounted user-condition arm on a breakpoint. Different sessions
+  /// can hold different conditions on the same source location; each arm
+  /// keeps its own parsed/compiled expression and change-driven verdict
+  /// cache, and a hit records which arms matched (stop routing).
+  struct CondArm {
+    std::string text;
+    int refs = 0;
+    std::optional<Expression> expr;
+    std::optional<CompiledPredicate> compiled;
+    uint8_t cached = 0;  ///< kArmHasVerdict | kArmTrue
+  };
+
   /// One schedulable breakpoint (a symbol-table row + parsed expressions).
   struct Breakpoint {
     symbols::BreakpointRow row;
-    std::optional<Expression> enable;     ///< nullopt = always enabled
-    std::optional<Expression> condition;  ///< user condition (inserted only)
+    std::optional<Expression> enable;  ///< nullopt = always enabled
     std::string instance_name;
-    bool inserted = false;
+    int uncond_refs = 0;          ///< unconditional arms (no user condition)
+    std::vector<CondArm> conditions;
+    bool inserted = false;        ///< any arm (uncond or conditional) held
 
     // Compiled-mode state (rebuilt by rebuild_plan_locked).
     std::optional<CompiledPredicate> compiled_enable;
-    std::optional<CompiledPredicate> compiled_condition;
-    std::vector<uint32_t> dep_slots;  ///< plan slots feeding either expr
+    std::vector<uint32_t> dep_slots;  ///< plan slots feeding any expr
     // Change-driven cache: results computed at plan serial eval_serial
     // stay valid while no dep slot changed since.
     uint64_t eval_serial = 0;  ///< 0 = no cached result
-    uint8_t cached = 0;        ///< kCacheHasEnable | ... bit set
+    uint8_t cached = 0;        ///< kCacheHasEnable | kCacheEnableTrue
+    /// Condition texts that matched at the last hit (scratch; written by
+    /// the evaluating pool thread, read by make_frame on the sim thread).
+    std::vector<std::string> matched;
   };
 
   static constexpr uint8_t kCacheHasEnable = 1;
   static constexpr uint8_t kCacheEnableTrue = 2;
-  static constexpr uint8_t kCacheHasCond = 4;
-  static constexpr uint8_t kCacheCondTrue = 8;
+  static constexpr uint8_t kArmHasVerdict = 1;
+  static constexpr uint8_t kArmTrue = 2;
 
   /// The per-edge batched-fetch plan: the union of design signals
   /// referenced by armed breakpoints and watchpoints, each resolved to a
@@ -269,6 +330,26 @@ class Runtime {
     uint64_t eval_serial = 0;
   };
 
+  /// An armed value-change subscription: requested names resolved to plan
+  /// slots at subscribe time (re-resolved whenever the plan rebuilds), with
+  /// the last reported fetch serial for change-driven emission.
+  struct Subscription {
+    int64_t id = 0;
+    std::vector<std::string> names;  ///< as the subscriber wrote them
+    int64_t instance_id = 0;
+    std::string instance_name;
+    std::vector<int32_t> slots;  ///< plan slot per name; -1 = constant
+    uint64_t last_serial = 0;    ///< plan serial of the last report
+    /// Last value reported per name; a plan rebuild (someone arming a
+    /// breakpoint) resets the serials, and this keeps that from emitting
+    /// spurious "changes" for signals whose value did not move. nullopt =
+    /// not reported yet (the initial snapshot).
+    std::vector<std::optional<common::BitVector>> last_values;
+    /// Arm-time value per name for symbols that fold to constants
+    /// (slot -1): emitted once as the initial snapshot, then silent.
+    std::vector<std::optional<common::BitVector>> constants;
+  };
+
   enum class Mode : uint8_t {
     Run,              ///< stop on inserted hits only
     Step,             ///< stop at the next enabled statement
@@ -277,6 +358,10 @@ class Runtime {
   };
 
   void on_clock_edge(vpi::ClockEdge edge, uint64_t time);
+  /// Emits value-change events for every armed subscription whose plan
+  /// slots changed since its last report (rides the same batched fetch and
+  /// change serials as the breakpoint pipeline).
+  void emit_subscription_events(uint64_t time);
   /// Scans batches in [start, end) in the given direction; returns true if
   /// the scan stopped (and the next scan position via *resume).
   bool scan_batches(uint64_t time, bool reverse, size_t start_index);
@@ -362,11 +447,19 @@ class Runtime {
   mutable std::mutex state_mutex_;
   std::atomic<bool> any_inserted_{false};
   std::atomic<bool> any_watch_{false};
+  std::atomic<bool> any_subs_{false};
   std::atomic<bool> pause_pending_{false};
   std::atomic<Mode> mode_{Mode::Run};
   bool reverse_entry_ = false;  ///< entered this cycle travelling backwards
   std::vector<Watchpoint> watchpoints_;
   int64_t next_watch_id_ = 1;
+  std::vector<Subscription> subscriptions_;
+  int64_t next_subscription_id_ = 1;
+
+  // Value-change delivery (guarded by listener_mutex_; invoked outside
+  // state_mutex_ so a listener may call back into the runtime).
+  std::mutex listener_mutex_;
+  ChangeListener change_listener_;
 
   // Compiled-evaluation state (guarded by state_mutex_).
   EvalPlan plan_;

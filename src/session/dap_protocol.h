@@ -1,0 +1,69 @@
+#ifndef HGDB_SESSION_DAP_PROTOCOL_H
+#define HGDB_SESSION_DAP_PROTOCOL_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/json.h"
+
+namespace hgdb::session::dap {
+
+/// Incremental decoder for the Debug Adapter Protocol's wire framing:
+///
+///   Content-Length: <bytes>\r\n
+///   [other-header: value\r\n ...]
+///   \r\n
+///   <bytes of JSON payload>
+///
+/// TCP preserves no message boundaries, so feed() accepts whatever chunk
+/// the socket delivered — half a header, three coalesced messages — and
+/// next() yields complete payloads as they become available. Malformed
+/// input (no Content-Length, a non-numeric length, an oversized header or
+/// body) throws std::runtime_error; the connection is expected to drop.
+class FrameCodec {
+ public:
+  /// Headers longer than this without a terminating blank line are a
+  /// protocol error (DAP headers are tens of bytes; 8 KiB is generous).
+  static constexpr size_t kMaxHeaderBytes = 8 * 1024;
+  /// Bodies beyond this are rejected (matches the TCP channel's cap).
+  static constexpr size_t kMaxBodyBytes = 64u << 20;
+
+  /// Appends raw transport bytes to the reassembly buffer.
+  void feed(std::string_view bytes) { buffer_.append(bytes); }
+
+  /// Extracts the next complete message payload, or nullopt when the
+  /// buffer holds only a partial message. Call repeatedly until nullopt —
+  /// one feed() can complete several coalesced messages.
+  std::optional<std::string> next();
+
+  /// Wraps a payload in the Content-Length framing.
+  static std::string encode(std::string_view payload);
+
+  [[nodiscard]] size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+};
+
+/// One decoded DAP request ({"type": "request", "seq": N, "command": ...,
+/// "arguments": {...}}). Throws std::runtime_error on anything else.
+struct Request {
+  int64_t seq = 0;
+  std::string command;
+  common::Json arguments = common::Json::object();
+};
+Request parse_request(const common::Json& message);
+
+/// Builders for the two runtime->client message kinds. `seq` is the
+/// server-side sequence counter, owned by the connection.
+common::Json make_response(int64_t seq, const Request& request, bool success,
+                           common::Json body = common::Json::object(),
+                           const std::string& message = "");
+common::Json make_event(int64_t seq, const std::string& event,
+                        common::Json body = common::Json::object());
+
+}  // namespace hgdb::session::dap
+
+#endif  // HGDB_SESSION_DAP_PROTOCOL_H

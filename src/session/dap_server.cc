@@ -1,0 +1,497 @@
+#include "session/dap_server.h"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "rpc/tcp.h"
+#include "session/dap_protocol.h"
+
+namespace hgdb::session {
+
+using common::Json;
+
+// ---------------------------------------------------------------------------
+// connection state
+// ---------------------------------------------------------------------------
+
+/// One DAP connection: the raw byte stream, the framing codec, and the
+/// stop-state tables that back stackTrace/scopes/variables. Registered as
+/// a DebugService client; deliver() renders pushed events as DAP events.
+struct DapServer::Connection final : public EventSink {
+  DapServer* server = nullptr;
+  DebugService* service = nullptr;
+  std::unique_ptr<rpc::ByteStream> stream;
+  ClientId client = 0;
+  bool rejected = false;  ///< session limit reached at accept time
+  std::thread thread;
+  std::atomic<bool> reapable{false};
+  bool close_requested = false;  ///< reader-thread only (disconnect)
+
+  // Sending: responses from the reader thread, events from the simulation
+  // thread; one mutex serializes both and the server seq counter.
+  std::mutex send_mutex;
+  int64_t next_seq = 1;
+
+  // The last stop, flattened into DAP reference tables. Guarded by
+  // state_mutex (written by deliver() on the sim thread, read by
+  // stackTrace/scopes/variables on the reader thread).
+  std::mutex state_mutex;
+  std::optional<rpc::StopEvent> last_stop;
+  struct FrameEntry {
+    rpc::Frame frame;
+    int64_t locals_ref = 0;
+    int64_t generator_ref = 0;
+  };
+  std::map<int64_t, FrameEntry> frames;   ///< frameId -> entry
+  std::map<int64_t, Json> variable_refs;  ///< variablesReference -> object
+  int64_t next_ref = 1;
+
+  // seq allocation and the socket write happen under one send_mutex hold:
+  // DAP requires server seq to be monotonically increasing on the wire,
+  // and the sim thread (events) races the reader thread (responses).
+  bool send_response(const dap::Request& request, bool success, Json body,
+                     const std::string& message = "") {
+    std::lock_guard lock(send_mutex);
+    const Json response = dap::make_response(next_seq++, request, success,
+                                             std::move(body), message);
+    return stream->send_bytes(dap::FrameCodec::encode(response.dump()));
+  }
+
+  bool send_event(const std::string& event, Json body) {
+    std::lock_guard lock(send_mutex);
+    const Json message = dap::make_event(next_seq++, event, std::move(body));
+    return stream->send_bytes(dap::FrameCodec::encode(message.dump()));
+  }
+
+  int64_t register_object(Json object) {
+    const int64_t ref = next_ref++;
+    variable_refs.emplace(ref, std::move(object));
+    return ref;
+  }
+
+  void index_stop(const rpc::StopEvent& stop) {
+    std::lock_guard lock(state_mutex);
+    last_stop = stop;
+    frames.clear();
+    variable_refs.clear();
+    next_ref = 1;
+    int64_t frame_id = 1;
+    for (const auto& frame : stop.frames) {
+      FrameEntry entry;
+      entry.frame = frame;
+      entry.locals_ref = register_object(frame.locals);
+      entry.generator_ref = register_object(frame.generator);
+      frames.emplace(frame_id++, std::move(entry));
+    }
+  }
+
+  bool deliver(const ServiceEvent& event) override {
+    switch (event.kind) {
+      case ServiceEvent::Kind::Stop: {
+        index_stop(event.stop);
+        Json body = Json::object();
+        // condition_routed marks run-mode inserted-breakpoint hits; step
+        // and pause stops carry frames too but must not claim to be
+        // breakpoints.
+        const char* reason = "step";
+        if (event.stop.condition_routed && !event.stop.frames.empty()) {
+          reason = "breakpoint";
+        } else if (!event.stop.watch_hits.empty()) {
+          reason = "data breakpoint";
+        }
+        body["reason"] = Json(reason);
+        body["allThreadsStopped"] = Json(true);
+        body["threadId"] =
+            Json(event.stop.frames.empty()
+                     ? int64_t{1}
+                     : event.stop.frames.front().instance_id + 1);
+        body["description"] =
+            Json("stopped at time " + std::to_string(event.stop.time));
+        return send_event("stopped", std::move(body));
+      }
+      case ServiceEvent::Kind::ValueChange: {
+        // Not part of the DAP standard; surfaced as a custom event so a
+        // VSCode extension can stream values without polling.
+        Json body = Json::object();
+        body["subscription"] =
+            Json(static_cast<int64_t>(event.value_change.subscription));
+        body["time"] = Json(static_cast<int64_t>(event.value_change.time));
+        Json changes = Json::array();
+        for (const auto& change : event.value_change.changes) {
+          Json entry = Json::object();
+          entry["signal"] = Json(change.signal);
+          entry["value"] = Json(change.value);
+          entry["width"] = Json(static_cast<int64_t>(change.width));
+          changes.push_back(std::move(entry));
+        }
+        body["changes"] = std::move(changes);
+        return send_event("hgdbValues", std::move(body));
+      }
+      case ServiceEvent::Kind::Lifecycle:
+        if (event.lifecycle == "shutdown") {
+          send_event("terminated", Json::object());
+        }
+        return true;
+    }
+    return true;
+  }
+};
+
+namespace {
+
+/// DAP line/column numbers are 1-based; the symbol table's columns may be
+/// 0 (unknown).
+int64_t dap_column(uint32_t column) { return column == 0 ? 1 : column; }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// server lifecycle
+// ---------------------------------------------------------------------------
+
+DapServer::DapServer(DebugService& service) : service_(&service) {}
+
+DapServer::~DapServer() { shutdown(); }
+
+uint16_t DapServer::listen(uint16_t port) {
+  std::lock_guard lock(connections_mutex_);
+  if (server_) return server_->port();
+  server_ = std::make_unique<rpc::TcpServer>(port);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return server_->port();
+}
+
+void DapServer::accept_loop() {
+  // server_ stays valid for the thread's lifetime: shutdown() joins this
+  // thread before resetting it.
+  while (!shutting_down_.load()) {
+    auto stream = server_->accept_stream();
+    if (!stream) break;
+    auto connection = std::make_unique<Connection>();
+    connection->server = this;
+    connection->service = service_;
+    connection->stream = std::move(stream);
+    try {
+      connection->client = service_->register_client("dap", connection.get());
+    } catch (const ServiceError&) {
+      // Session limit: answer the first request with a failure, then drop.
+      connection->rejected = true;
+    }
+    std::lock_guard lock(connections_mutex_);
+    if (shutting_down_.load()) {
+      if (!connection->rejected) {
+        service_->unregister_client(connection->client);
+      }
+      connection->stream->close();
+      break;
+    }
+    // Reap connections whose thread has fully finished.
+    for (auto it = connections_.begin(); it != connections_.end();) {
+      if ((*it)->reapable.load()) {
+        if ((*it)->thread.joinable()) (*it)->thread.join();
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    connections_.push_back(std::move(connection));
+    Connection* raw = connections_.back().get();
+    raw->thread = std::thread([this, raw] { connection_loop(raw); });
+  }
+}
+
+void DapServer::shutdown() {
+  shutting_down_.store(true);
+  {
+    std::lock_guard lock(connections_mutex_);
+    if (server_) server_->close();
+    for (auto& connection : connections_) connection->stream->close();
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::unique_ptr<Connection>> taken;
+  {
+    std::lock_guard lock(connections_mutex_);
+    taken.swap(connections_);
+    server_.reset();
+  }
+  for (auto& connection : taken) {
+    if (connection->thread.joinable()) connection->thread.join();
+  }
+  shutting_down_.store(false);  // server object is reusable
+}
+
+size_t DapServer::connection_count() const {
+  std::lock_guard lock(connections_mutex_);
+  size_t alive = 0;
+  for (const auto& connection : connections_) {
+    if (!connection->reapable.load()) ++alive;
+  }
+  return alive;
+}
+
+// ---------------------------------------------------------------------------
+// request dispatch
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Handles one DAP request against the service; returns the response body
+/// (success path) or throws (ServiceError -> failure response with the
+/// typed reason). `events` collects events to send after the response.
+Json handle_request(DapServer::Connection& connection, DebugService& service,
+                    const dap::Request& request,
+                    std::vector<std::pair<std::string, Json>>& events) {
+  using Command = DebugService::Command;
+  const ClientId client = connection.client;
+  const Json& args = request.arguments;
+  Json body = Json::object();
+
+  if (request.command == "initialize") {
+    const auto caps = service.capabilities();
+    body["supportsConfigurationDoneRequest"] = Json(true);
+    body["supportsConditionalBreakpoints"] = Json(true);
+    body["supportsEvaluateForHovers"] = Json(true);
+    body["supportsStepBack"] = Json(caps.time_travel);
+    // setVariable is not implemented yet (ROADMAP); never advertise a
+    // capability the adapter would answer with a failure.
+    body["supportsSetVariable"] = Json(false);
+    events.emplace_back("initialized", Json::object());
+    return body;
+  }
+  if (request.command == "launch" || request.command == "attach" ||
+      request.command == "configurationDone") {
+    // The simulation (or replay) is already running under the runtime;
+    // both launch and attach mean "start debugging it".
+    return body;
+  }
+  if (request.command == "setBreakpoints") {
+    auto source = args.get("source");
+    if (!source || !source->get().is_object()) {
+      throw std::runtime_error("setBreakpoints needs a source");
+    }
+    std::string path = source->get().get_string("path");
+    if (path.empty()) path = source->get().get_string("name");
+    // DAP semantics: the request *replaces* all breakpoints in the source.
+    service.disarm_breakpoint(client, path, 0);
+    Json results = Json::array();
+    if (auto requested = args.get("breakpoints")) {
+      for (const auto& entry : requested->get().as_array()) {
+        const auto line = static_cast<uint32_t>(entry.get_int("line"));
+        const std::string condition = entry.get_string("condition");
+        Json result = Json::object();
+        result["line"] = Json(static_cast<int64_t>(line));
+        try {
+          const auto ids = service.arm_breakpoint(
+              client, BreakpointSpec{path, line, condition});
+          result["verified"] = Json(true);
+          result["id"] = Json(ids.front());
+        } catch (const ServiceError& error) {
+          result["verified"] = Json(false);
+          result["message"] = Json(error.what());
+        }
+        results.push_back(std::move(result));
+      }
+    }
+    body["breakpoints"] = std::move(results);
+    return body;
+  }
+  if (request.command == "threads") {
+    Json threads = Json::array();
+    for (const auto& instance : service.instances()) {
+      Json thread = Json::object();
+      // The paper's concurrent "hardware threads" are design instances;
+      // DAP thread ids must be nonzero, hence the +1.
+      thread["id"] = Json(instance.id + 1);
+      thread["name"] = Json(instance.name);
+      threads.push_back(std::move(thread));
+    }
+    body["threads"] = std::move(threads);
+    return body;
+  }
+  if (request.command == "stackTrace") {
+    const int64_t thread_id = args.get_int("threadId");
+    Json stack = Json::array();
+    std::lock_guard lock(connection.state_mutex);
+    for (const auto& [frame_id, entry] : connection.frames) {
+      if (thread_id != 0 && entry.frame.instance_id + 1 != thread_id) continue;
+      Json frame = Json::object();
+      frame["id"] = Json(frame_id);
+      frame["name"] = Json(entry.frame.instance_name + " at " +
+                           entry.frame.filename + ":" +
+                           std::to_string(entry.frame.line));
+      Json source = Json::object();
+      source["name"] = Json(entry.frame.filename);
+      source["path"] = Json(entry.frame.filename);
+      frame["source"] = std::move(source);
+      frame["line"] = Json(static_cast<int64_t>(entry.frame.line));
+      frame["column"] = Json(dap_column(entry.frame.column));
+      stack.push_back(std::move(frame));
+    }
+    body["totalFrames"] = Json(static_cast<int64_t>(stack.size()));
+    body["stackFrames"] = std::move(stack);
+    return body;
+  }
+  if (request.command == "scopes") {
+    const int64_t frame_id = args.get_int("frameId");
+    std::lock_guard lock(connection.state_mutex);
+    auto it = connection.frames.find(frame_id);
+    if (it == connection.frames.end()) {
+      throw std::runtime_error("unknown frameId " + std::to_string(frame_id));
+    }
+    Json scopes = Json::array();
+    const std::pair<const char*, int64_t> entries[] = {
+        {"Locals", it->second.locals_ref},
+        {"Generator", it->second.generator_ref},
+    };
+    for (const auto& [name, ref] : entries) {
+      Json scope = Json::object();
+      scope["name"] = Json(name);
+      scope["variablesReference"] = Json(ref);
+      scope["expensive"] = Json(false);
+      scopes.push_back(std::move(scope));
+    }
+    body["scopes"] = std::move(scopes);
+    return body;
+  }
+  if (request.command == "variables") {
+    const int64_t ref = args.get_int("variablesReference");
+    std::lock_guard lock(connection.state_mutex);
+    auto it = connection.variable_refs.find(ref);
+    if (it == connection.variable_refs.end()) {
+      throw std::runtime_error("unknown variablesReference " +
+                               std::to_string(ref));
+    }
+    Json variables = Json::array();
+    // Copy: register_object below mutates the map we iterate.
+    const Json object = it->second;
+    for (const auto& [name, value] : object.as_object()) {
+      Json variable = Json::object();
+      variable["name"] = Json(name);
+      if (value.is_object()) {
+        // A reconstructed bundle: expandable via a child reference.
+        variable["value"] = Json("{...}");
+        variable["variablesReference"] =
+            Json(connection.register_object(value));
+      } else {
+        variable["value"] =
+            Json(value.is_string() ? value.as_string() : value.dump());
+        variable["variablesReference"] = Json(int64_t{0});
+      }
+      variables.push_back(std::move(variable));
+    }
+    body["variables"] = std::move(variables);
+    return body;
+  }
+  if (request.command == "evaluate") {
+    EvaluateSpec spec;
+    spec.expression = args.get_string("expression");
+    const int64_t frame_id = args.get_int("frameId");
+    if (frame_id != 0) {
+      std::lock_guard lock(connection.state_mutex);
+      auto it = connection.frames.find(frame_id);
+      if (it != connection.frames.end()) {
+        spec.breakpoint_id = it->second.frame.breakpoint_id;
+      }
+    }
+    const auto result = service.evaluate(spec);
+    body["result"] = Json(result.value);
+    body["variablesReference"] = Json(int64_t{0});
+    return body;
+  }
+  if (request.command == "continue") {
+    service.execute(client, Command::Continue);
+    body["allThreadsContinued"] = Json(true);
+    return body;
+  }
+  if (request.command == "next" || request.command == "stepIn" ||
+      request.command == "stepOut") {
+    // One statement of the emulated source program; hardware has no call
+    // stack to step into or out of, so all three map to step-over.
+    service.execute(client, Command::StepOver);
+    return body;
+  }
+  if (request.command == "stepBack") {
+    service.execute(client, Command::StepBack);
+    return body;
+  }
+  if (request.command == "reverseContinue") {
+    service.execute(client, Command::ReverseContinue);
+    return body;
+  }
+  if (request.command == "pause") {
+    service.execute(client, Command::Pause);
+    return body;
+  }
+  if (request.command == "disconnect") {
+    connection.close_requested = true;
+    return body;
+  }
+  throw std::runtime_error("unsupported command '" + request.command + "'");
+}
+
+}  // namespace
+
+void DapServer::connection_loop(Connection* connection) {
+  dap::FrameCodec codec;
+  bool drop = false;
+  while (!drop && !shutting_down_.load()) {
+    auto chunk = connection->stream->receive_some();
+    if (!chunk) break;  // peer closed (possibly mid-request)
+    codec.feed(*chunk);
+    while (true) {
+      std::optional<std::string> payload;
+      try {
+        payload = codec.next();
+      } catch (const std::exception&) {
+        drop = true;  // framing violation: drop the connection
+        break;
+      }
+      if (!payload) break;
+      dap::Request request;
+      try {
+        request = dap::parse_request(Json::parse(*payload));
+      } catch (const std::exception&) {
+        drop = true;  // not a DAP request: drop the connection
+        break;
+      }
+      bool sent = false;
+      std::vector<std::pair<std::string, Json>> events;
+      if (connection->rejected) {
+        connection->close_requested = true;
+        sent = connection->send_response(request, false, Json::object(),
+                                         "too-many-sessions");
+      } else {
+        service_->count_request();
+        try {
+          Json body = handle_request(*connection, *service_, request, events);
+          sent = connection->send_response(request, true, std::move(body));
+        } catch (const std::exception& error) {
+          service_->count_protocol_error();
+          sent = connection->send_response(request, false, Json::object(),
+                                           error.what());
+        }
+      }
+      if (!sent) {
+        drop = true;
+        break;
+      }
+      for (auto& [event, event_body] : events) {
+        connection->send_event(event, std::move(event_body));
+      }
+      if (connection->close_requested) {
+        drop = true;
+        break;
+      }
+    }
+  }
+  // Abrupt disconnects (mid-request included) release everything the
+  // client owned and resign it from a pending stop, so a vanished IDE can
+  // never hang the scheduler.
+  if (!connection->rejected) service_->unregister_client(connection->client);
+  connection->stream->close();
+  connection->reapable.store(true);
+}
+
+}  // namespace hgdb::session

@@ -1,0 +1,75 @@
+#ifndef HGDB_SESSION_DAP_SERVER_H
+#define HGDB_SESSION_DAP_SERVER_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "session/debug_service.h"
+
+namespace hgdb::rpc {
+class TcpServer;
+}  // namespace hgdb::rpc
+
+namespace hgdb::session {
+
+/// The Debug Adapter Protocol front end: accepts VSCode (or any DAP
+/// client) over loopback TCP with `Content-Length` framing and adapts the
+/// request set onto the DebugService core:
+///
+///   initialize            -> capability advertisement + `initialized`
+///   launch / attach       -> no-op success (the simulation already runs)
+///   setBreakpoints        -> disarm-then-arm per source, conditions kept
+///   configurationDone     -> no-op success
+///   threads               -> design instances (the paper's "hardware
+///                            threads": same line, different instance)
+///   stackTrace / scopes / variables
+///                         -> frames of the last stop, locals + generator
+///                            variables from the symbol table
+///   continue / next / stepIn / stepOut / stepBack / reverseContinue /
+///   pause                 -> execution commands through the stop handshake
+///   evaluate              -> expression evaluation in frame scope
+///   disconnect            -> releases the client's state
+///
+/// Stop events push as DAP `stopped` events through the client's
+/// EventSink; subscriptions surface as custom `hgdbValues` events. Every
+/// connection is one DebugService client, so DAP and native-protocol
+/// debuggers share breakpoint refcounts, stop routing, and the session
+/// limit.
+class DapServer {
+ public:
+  explicit DapServer(DebugService& service);
+  ~DapServer();
+
+  DapServer(const DapServer&) = delete;
+  DapServer& operator=(const DapServer&) = delete;
+
+  /// Binds loopback TCP (0 = ephemeral) and accepts clients until
+  /// shutdown; returns the bound port.
+  uint16_t listen(uint16_t port = 0);
+  /// Closes the listener and every connection; joins all threads.
+  void shutdown();
+
+  [[nodiscard]] size_t connection_count() const;
+
+  /// One DAP connection (implementation detail, defined in the .cc).
+  struct Connection;
+
+ private:
+  void accept_loop();
+  void connection_loop(Connection* connection);
+
+  DebugService* service_;
+  std::unique_ptr<rpc::TcpServer> server_;
+  std::thread accept_thread_;
+  mutable std::mutex connections_mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+  std::atomic<bool> shutting_down_{false};
+};
+
+}  // namespace hgdb::session
+
+#endif  // HGDB_SESSION_DAP_SERVER_H

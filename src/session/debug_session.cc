@@ -1,19 +1,15 @@
 #include "session/debug_session.h"
 
+#include "common/json.h"
+#include "rpc/protocol.h"
+#include "rpc/protocol_v2.h"
+
 namespace hgdb::session {
 
-DebugSession::DebugSession(uint64_t id, std::unique_ptr<rpc::Channel> channel)
+using common::Json;
+
+DebugSession::DebugSession(ClientId id, std::unique_ptr<rpc::Channel> channel)
     : id_(id), channel_(std::move(channel)) {}
-
-std::string DebugSession::client_name() const {
-  std::lock_guard lock(mutex_);
-  return client_name_;
-}
-
-void DebugSession::set_client_name(std::string name) {
-  std::lock_guard lock(mutex_);
-  client_name_ = std::move(name);
-}
 
 bool DebugSession::send(const std::string& text) {
   if (!alive()) return false;
@@ -26,63 +22,41 @@ bool DebugSession::send(const std::string& text) {
   }
 }
 
-void DebugSession::own_location(const Location& location) {
-  std::lock_guard lock(mutex_);
-  locations_.insert(location);
-}
-
-bool DebugSession::owns_location(const Location& location) const {
-  std::lock_guard lock(mutex_);
-  return locations_.count(location) != 0;
-}
-
-std::vector<Location> DebugSession::take_locations(const std::string& filename,
-                                                   uint32_t line) {
-  std::lock_guard lock(mutex_);
-  std::vector<Location> taken;
-  for (auto it = locations_.begin(); it != locations_.end();) {
-    if (it->first == filename && (line == 0 || it->second == line)) {
-      taken.push_back(*it);
-      it = locations_.erase(it);
-    } else {
-      ++it;
+bool DebugSession::deliver(const ServiceEvent& event) {
+  switch (event.kind) {
+    case ServiceEvent::Kind::Stop: {
+      const std::string text =
+          protocol_version() >= 2
+              ? rpc::serialize_event_v2(rpc::EventV2{
+                    "stop", rpc::stop_event_payload(event.stop)})
+              : rpc::serialize_stop_event(event.stop);
+      return send(text);
     }
+    case ServiceEvent::Kind::ValueChange: {
+      // v1 clients cannot subscribe, so nothing can reach them here; keep
+      // the guard anyway so a v1 session is never sent bytes it cannot
+      // parse.
+      if (protocol_version() < 2) return true;
+      Json payload = Json::object();
+      payload["subscription"] =
+          Json(static_cast<int64_t>(event.value_change.subscription));
+      payload["time"] = Json(static_cast<int64_t>(event.value_change.time));
+      Json changes = Json::array();
+      for (const auto& change : event.value_change.changes) {
+        Json entry = Json::object();
+        entry["signal"] = Json(change.signal);
+        entry["value"] = Json(change.value);
+        entry["width"] = Json(static_cast<int64_t>(change.width));
+        changes.push_back(std::move(entry));
+      }
+      payload["changes"] = std::move(changes);
+      return send(
+          rpc::serialize_event_v2(rpc::EventV2{"values", std::move(payload)}));
+    }
+    case ServiceEvent::Kind::Lifecycle:
+      return true;  // not part of the native wire format
   }
-  return taken;
-}
-
-std::vector<Location> DebugSession::take_all_locations() {
-  std::lock_guard lock(mutex_);
-  std::vector<Location> taken(locations_.begin(), locations_.end());
-  locations_.clear();
-  return taken;
-}
-
-size_t DebugSession::owned_location_count() const {
-  std::lock_guard lock(mutex_);
-  return locations_.size();
-}
-
-void DebugSession::own_watch(int64_t id) {
-  std::lock_guard lock(mutex_);
-  watches_.insert(id);
-}
-
-bool DebugSession::owns_watch(int64_t id) const {
-  std::lock_guard lock(mutex_);
-  return watches_.count(id) != 0;
-}
-
-bool DebugSession::disown_watch(int64_t id) {
-  std::lock_guard lock(mutex_);
-  return watches_.erase(id) != 0;
-}
-
-std::vector<int64_t> DebugSession::take_watches() {
-  std::lock_guard lock(mutex_);
-  std::vector<int64_t> taken(watches_.begin(), watches_.end());
-  watches_.clear();
-  return taken;
+  return true;
 }
 
 }  // namespace hgdb::session

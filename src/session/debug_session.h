@@ -4,43 +4,45 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
-#include <set>
 #include <string>
-#include <utility>
-#include <vector>
 
 #include "rpc/channel.h"
+#include "session/debug_service.h"
 
 namespace hgdb::session {
 
-/// A breakpoint source location owned by a session (filename + line).
-using Location = std::pair<std::string, uint32_t>;
-
-/// One attached debugger client: its transport endpoint, negotiated
-/// protocol version, and the breakpoint/watchpoint state it owns. Created
-/// and driven by SessionManager, which runs one reader thread per session;
-/// send() is safe from any thread (responses from the session thread, stop
-/// broadcasts from the simulation thread).
-class DebugSession {
+/// One attached native-protocol client: its transport endpoint and
+/// negotiated protocol version. Created and driven by SessionManager,
+/// which runs one reader thread per session; send() is safe from any
+/// thread (responses from the session thread, pushed events from the
+/// simulation thread).
+///
+/// All debugging state — breakpoint/watch ownership, engagement,
+/// subscriptions — lives in the DebugService client registry; the session
+/// is purely the transport + wire-format half, and receives pushed events
+/// as the client's EventSink (rendering them in the negotiated v1/v2 wire
+/// format).
+class DebugSession final : public EventSink {
  public:
-  DebugSession(uint64_t id, std::unique_ptr<rpc::Channel> channel);
+  DebugSession(ClientId id, std::unique_ptr<rpc::Channel> channel);
 
   DebugSession(const DebugSession&) = delete;
   DebugSession& operator=(const DebugSession&) = delete;
 
-  [[nodiscard]] uint64_t id() const { return id_; }
+  [[nodiscard]] ClientId id() const { return id_; }
 
   /// 1 until the first v2 envelope arrives on this session, then latched
-  /// to 2 — decides the wire format of responses and stop events.
+  /// to 2 — decides the wire format of responses and pushed events.
   [[nodiscard]] int protocol_version() const {
     return version_.load(std::memory_order_acquire);
   }
   void promote_to_v2() { version_.store(2, std::memory_order_release); }
 
-  [[nodiscard]] std::string client_name() const;
-  void set_client_name(std::string name);
+  /// Set when the service rejected the client (session limit): the first
+  /// request is answered with the stored error, then the session closes.
+  [[nodiscard]] bool rejected() const { return rejected_; }
+  void mark_rejected() { rejected_ = true; }
 
   // -- transport ---------------------------------------------------------------
   /// Thread-safe send; returns false (and marks the session dead) once the
@@ -55,18 +57,6 @@ class DebugSession {
   }
   void mark_dead() { alive_.store(false, std::memory_order_release); }
 
-  /// Engagement: whether this client is actively debugging (it armed a
-  /// breakpoint/watchpoint or issued an execution command) as opposed to
-  /// passively observing. Stop events broadcast to every session, but
-  /// only engaged sessions are *expected* to answer — the scheduler
-  /// auto-resumes once every engaged recipient has answered or departed,
-  /// so an idle observer can never hang the simulation.
-  [[nodiscard]] bool engaged() const {
-    return engaged_.load(std::memory_order_acquire);
-  }
-  void engage() { engaged_.store(true, std::memory_order_release); }
-  void disengage() { engaged_.store(false, std::memory_order_release); }
-
   /// Set by the `disconnect` handler: the reader loop exits after the
   /// response is flushed.
   std::atomic<bool> close_requested{false};
@@ -78,35 +68,19 @@ class DebugSession {
     return reapable_.load(std::memory_order_acquire);
   }
 
-  // -- breakpoint ownership ------------------------------------------------------
-  void own_location(const Location& location);
-  [[nodiscard]] bool owns_location(const Location& location) const;
-  /// Removes and returns the owned locations matching filename (+line;
-  /// line 0 = every owned location in the file).
-  std::vector<Location> take_locations(const std::string& filename,
-                                       uint32_t line);
-  /// Removes and returns every owned location.
-  std::vector<Location> take_all_locations();
-  [[nodiscard]] size_t owned_location_count() const;
-
-  // -- watchpoint ownership ------------------------------------------------------
-  void own_watch(int64_t id);
-  [[nodiscard]] bool owns_watch(int64_t id) const;
-  bool disown_watch(int64_t id);
-  std::vector<int64_t> take_watches();
+  // -- EventSink ---------------------------------------------------------------
+  /// Renders a pushed service event in this session's wire format and
+  /// sends it. Value-change events exist in v2 only (a v1 client cannot
+  /// subscribe); lifecycle events are not on the native wire.
+  bool deliver(const ServiceEvent& event) override;
 
  private:
-  const uint64_t id_;
+  const ClientId id_;
   std::unique_ptr<rpc::Channel> channel_;
   std::atomic<int> version_{1};
   std::atomic<bool> alive_{true};
-  std::atomic<bool> engaged_{false};
   std::atomic<bool> reapable_{false};
-
-  mutable std::mutex mutex_;
-  std::string client_name_;
-  std::set<Location> locations_;
-  std::set<int64_t> watches_;
+  bool rejected_ = false;
 };
 
 }  // namespace hgdb::session

@@ -4,18 +4,16 @@
 
 #include "rpc/tcp.h"
 #include "runtime/runtime.h"
+#include "session/dap_server.h"
 
 namespace hgdb::session {
 
-using common::BitVector;
 using common::Json;
 using rpc::ErrorCode;
 using rpc::RequestV2;
 using rpc::ResponseV2;
 
 namespace {
-
-std::string render(const BitVector& value) { return value.to_string(10); }
 
 // -- payload accessors --------------------------------------------------------
 // Throw std::invalid_argument, which execute() maps to invalid-payload; the
@@ -70,7 +68,8 @@ int64_t opt_int(const Json& payload, const char* key, int64_t fallback = 0) {
 
 }  // namespace
 
-SessionManager::SessionManager(runtime::Runtime& runtime) : runtime_(&runtime) {
+SessionManager::SessionManager(runtime::Runtime& runtime)
+    : runtime_(&runtime), service_(std::make_unique<DebugService>(runtime)) {
   register_builtins();
 }
 
@@ -85,6 +84,17 @@ uint64_t SessionManager::add_client(std::unique_ptr<rpc::Channel> channel) {
     channel->close();
     return 0;
   }
+  // Register with the typed core first: the session limit is enforced
+  // there, across native and DAP clients alike. A rejected client still
+  // gets a session whose first request is answered with the typed
+  // too-many-sessions error before the transport closes.
+  ClientId id = 0;
+  bool rejected = false;
+  try {
+    id = service_->register_client("client", nullptr, 1);
+  } catch (const ServiceError&) {
+    rejected = true;
+  }
   std::lock_guard lock(sessions_mutex_);
   // Reap sessions whose reader thread has fully finished (reapable() is
   // the thread's final statement, so this join cannot block on our locks).
@@ -96,10 +106,15 @@ uint64_t SessionManager::add_client(std::unique_ptr<rpc::Channel> channel) {
       ++it;
     }
   }
-  const uint64_t id = next_session_id_++;
-  entries_.push_back(Entry{
-      std::make_unique<DebugSession>(id, std::move(channel)), std::thread{}});
+  entries_.push_back(
+      Entry{std::make_unique<DebugSession>(id, std::move(channel)),
+            std::thread{}});
   DebugSession* session = entries_.back().session.get();
+  if (rejected) {
+    session->mark_rejected();
+  } else {
+    service_->set_client_sink(id, session);
+  }
   entries_.back().thread = std::thread([this, session] { session_loop(session); });
   return id;
 }
@@ -110,6 +125,12 @@ uint16_t SessionManager::listen_tcp(uint16_t port) {
   tcp_server_ = std::make_unique<rpc::TcpServer>(port);
   accept_thread_ = std::thread([this] { accept_loop(); });
   return tcp_server_->port();
+}
+
+uint16_t SessionManager::listen_dap(uint16_t port) {
+  std::lock_guard lock(sessions_mutex_);
+  if (!dap_server_) dap_server_ = std::make_unique<DapServer>(*service_);
+  return dap_server_->listen(port);
 }
 
 void SessionManager::accept_loop() {
@@ -126,17 +147,17 @@ void SessionManager::shutdown() {
   static std::mutex shutdown_mutex;
   std::lock_guard shutdown_lock(shutdown_mutex);
   shutting_down_.store(true);
+  // Wake a deliver_stop() waiting for a command: it sees the shutdown and
+  // releases the simulation with Continue.
+  service_->begin_shutdown();
+  std::unique_ptr<DapServer> dap;
   {
     std::lock_guard lock(sessions_mutex_);
     if (tcp_server_) tcp_server_->close();
     for (auto& entry : entries_) entry.session->close();
+    dap = std::move(dap_server_);
   }
-  {
-    // Wake a deliver_stop() waiting for a command: it sees shutting_down_
-    // and releases the simulation with Continue.
-    std::lock_guard lock(command_mutex_);
-    command_ready_.notify_all();
-  }
+  if (dap) dap->shutdown();
   if (accept_thread_.joinable()) accept_thread_.join();
   // Entry addresses are stable (unique_ptr) and the vector cannot grow
   // (add_client rejects while shutting_down_), so join index-wise without
@@ -159,21 +180,9 @@ void SessionManager::shutdown() {
     entries_.clear();
     tcp_server_.reset();
   }
-  {
-    std::lock_guard lock(refs_mutex_);
-    location_refs_.clear();
-  }
-  {
-    // The sim thread may still be parked inside deliver_stop():
-    // shutting_down_ satisfies its wake predicate, but it has to actually
-    // run and leave the handshake before the shared state is reset —
-    // resetting first would swallow its wakeup and park it forever.
-    std::unique_lock lock(command_mutex_);
-    command_ready_.notify_all();
-    command_ready_.wait(lock, [this] { return !waiting_for_command_; });
-    pending_command_.reset();
-    pending_responders_.clear();
-  }
+  // Waits for the sim thread to actually leave the stop handshake, then
+  // clears the shared state and re-arms the service for reuse.
+  service_->finish_shutdown();
   shutting_down_.store(false);  // manager is reusable
 }
 
@@ -204,40 +213,7 @@ void SessionManager::session_loop(DebugSession* session) {
 void SessionManager::cleanup_session(DebugSession& session) {
   session.mark_dead();
   session.close();
-  release_session_state(session);
-}
-
-size_t SessionManager::release_session_state(DebugSession& session) {
-  const size_t removed = release_locations(session.take_all_locations());
-  for (int64_t watch : session.take_watches()) {
-    runtime_->remove_watchpoint(watch);
-  }
-  // The departing client stops counting toward the current stop's
-  // expected responders: the simulation resumes once every engaged
-  // recipient has answered or left, and never sooner — so a crash can't
-  // hang a stop, and a remaining client's stop is never yanked away.
-  session.disengage();
-  resign_from_stop(session.id());
-  return removed;
-}
-
-size_t SessionManager::release_locations(const std::vector<Location>& locations) {
-  size_t removed = 0;
-  for (const auto& location : locations) {
-    bool remove_now = false;
-    {
-      std::lock_guard lock(refs_mutex_);
-      auto it = location_refs_.find(location);
-      if (it != location_refs_.end() && --it->second <= 0) {
-        location_refs_.erase(it);
-        remove_now = true;
-      }
-    }
-    if (remove_now) {
-      removed += runtime_->remove_breakpoint(location.first, location.second);
-    }
-  }
-  return removed;
+  if (!session.rejected()) service_->unregister_client(session.id());
 }
 
 // ---------------------------------------------------------------------------
@@ -245,13 +221,13 @@ size_t SessionManager::release_locations(const std::vector<Location>& locations)
 // ---------------------------------------------------------------------------
 
 void SessionManager::dispatch(DebugSession& session, const std::string& text) {
-  requests_.fetch_add(1, std::memory_order_relaxed);
+  service_->count_request();
 
   Json json;
   try {
     json = Json::parse(text);
   } catch (const std::exception& error) {
-    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    service_->count_protocol_error();
     ResponseV2 response;
     response.fail(ErrorCode::MalformedRequest,
                   std::string("malformed request: ") + error.what());
@@ -263,9 +239,12 @@ void SessionManager::dispatch(DebugSession& session, const std::string& text) {
 
   if (rpc::is_v2_envelope(json)) {
     session.promote_to_v2();
+    if (!session.rejected()) {
+      service_->set_client_protocol(session.id(), 2);
+    }
     auto decoded = rpc::decode_request_v2(json);
     if (!decoded.ok()) {
-      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      service_->count_protocol_error();
       ResponseV2 response;
       response.token = decoded.request.token;
       response.command = decoded.request.command;
@@ -284,7 +263,7 @@ void SessionManager::dispatch(DebugSession& session, const std::string& text) {
   try {
     v1 = rpc::parse_request(text);
   } catch (const std::exception& error) {
-    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    service_->count_protocol_error();
     ResponseV2 response;
     response.token = json.is_object() ? json.get_int("token") : 0;
     response.fail(ErrorCode::MalformedRequest, error.what());
@@ -301,9 +280,18 @@ ResponseV2 SessionManager::execute(DebugSession& session,
   response.command = request.command;
   response.token = request.token;
 
+  // A limit-rejected session answers everything with the typed error and
+  // closes; it owns nothing, so there is nothing to clean up.
+  if (session.rejected()) {
+    response.fail(ErrorCode::TooManySessions,
+                  "session limit reached; connection refused");
+    session.close_requested.store(true);
+    return response;
+  }
+
   auto it = commands_.find(request.command);
   if (it == commands_.end()) {
-    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    service_->count_protocol_error();
     response.fail(ErrorCode::UnknownCommand,
                   "unknown command '" + request.command + "'");
     return response;
@@ -327,6 +315,8 @@ ResponseV2 SessionManager::execute(DebugSession& session,
 
   try {
     it->second.handler(session, request, response);
+  } catch (const ServiceError& error) {
+    response.fail(error.code(), error.what());
   } catch (const std::invalid_argument& error) {
     response.fail(ErrorCode::InvalidPayload, error.what());
   } catch (const std::out_of_range& error) {
@@ -338,96 +328,22 @@ ResponseV2 SessionManager::execute(DebugSession& session,
 }
 
 // ---------------------------------------------------------------------------
-// stop delivery
+// stop delivery / execution commands
 // ---------------------------------------------------------------------------
 
 SessionManager::Command SessionManager::deliver_stop(rpc::StopEvent event) {
-  if (shutting_down_.load()) return Command::Continue;
-
-  // Serialize once per wire format; sessions pick theirs by negotiated
-  // version.
-  const std::string v1_text = rpc::serialize_stop_event(event);
-  const std::string v2_text = rpc::serialize_event_v2(
-      rpc::EventV2{"stop", rpc::stop_event_payload(event)});
-
-  // waiting_for_command_ must be visible before any client can answer, so
-  // the broadcast happens under command_mutex_.
-  std::unique_lock lock(command_mutex_);
-  pending_command_.reset();
-  pending_responders_.clear();
-  size_t delivered = 0;
-  {
-    std::lock_guard sessions_lock(sessions_mutex_);
-    for (auto& entry : entries_) {
-      auto& session = *entry.session;
-      if (!session.alive()) continue;
-      if (session.send(session.protocol_version() >= 2 ? v2_text : v1_text)) {
-        ++delivered;
-        // Only engaged clients owe an answer; passive observers receive
-        // the event but must not be able to park the simulation.
-        if (session.engaged()) pending_responders_.insert(session.id());
-      }
-    }
-  }
-  if (delivered == 0 || pending_responders_.empty()) {
-    return Command::Continue;  // nobody is expected to answer
-  }
-  stops_broadcast_.fetch_add(1, std::memory_order_relaxed);
-
-  waiting_for_command_ = true;
-  command_ready_.wait(lock, [this] {
-    return pending_command_.has_value() || shutting_down_.load();
-  });
-  waiting_for_command_ = false;
-  const Command command = pending_command_.value_or(Command::Continue);
-  pending_command_.reset();
-  pending_responders_.clear();
-  // Wake a shutdown() waiting for the sim thread to leave the handshake.
-  command_ready_.notify_all();
-  return command;
-}
-
-void SessionManager::resign_from_stop(uint64_t session_id) {
-  std::lock_guard lock(command_mutex_);
-  pending_responders_.erase(session_id);
-  if (waiting_for_command_ && !pending_command_ &&
-      pending_responders_.empty()) {
-    pending_command_ = Command::Continue;
-    command_ready_.notify_all();
-  }
+  return service_->deliver_stop(std::move(event));
 }
 
 void SessionManager::handle_execution(DebugSession& session,
                                       const RequestV2& request,
                                       ResponseV2& response, Command command) {
-  session.engage();
-  std::unique_lock lock(command_mutex_);
-  if (waiting_for_command_) {
-    if (pending_command_.has_value()) {
-      // Another client already answered this stop; first command wins
-      // rather than being silently overwritten.
-      response.fail(ErrorCode::InvalidState,
-                    "a resume command is already pending for this stop");
-      return;
-    }
-    if (command == Command::Jump) {
-      const auto time = static_cast<uint64_t>(want_int(request.payload, "time"));
-      if (!runtime_->sim_interface().set_time(time)) {
-        response.fail(ErrorCode::InvalidPayload,
-                      "time travel target out of range");
-        return;
-      }
-    }
-    pending_command_ = command;
-    command_ready_.notify_all();
-    return;
+  (void)response;
+  std::optional<uint64_t> time;
+  if (command == Command::Jump && request.payload.contains("time")) {
+    time = static_cast<uint64_t>(want_int(request.payload, "time"));
   }
-  lock.unlock();
-  if (command == Command::Pause) {
-    runtime_->request_pause();
-    return;
-  }
-  response.fail(ErrorCode::InvalidState, "simulation is not stopped");
+  service_->execute(session.id(), command, time);
 }
 
 // ---------------------------------------------------------------------------
@@ -435,12 +351,7 @@ void SessionManager::handle_execution(DebugSession& session,
 // ---------------------------------------------------------------------------
 
 rpc::Capabilities SessionManager::capabilities() const {
-  rpc::Capabilities caps;
-  auto& interface = runtime_->sim_interface();
-  caps.backend = interface.backend_kind();
-  caps.time_travel = interface.supports_time_travel();
-  caps.set_value = interface.supports_set_value();
-  return caps;
+  return service_->capabilities();
 }
 
 std::vector<std::string> SessionManager::command_names() const {
@@ -456,15 +367,18 @@ void SessionManager::register_command(const std::string& name, Handler handler,
 }
 
 SessionManager::ServiceStats SessionManager::service_stats() const {
-  ServiceStats stats;
-  stats.requests = requests_.load(std::memory_order_relaxed);
-  stats.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
-  stats.stops_broadcast = stops_broadcast_.load(std::memory_order_relaxed);
-  return stats;
+  const auto stats = service_->service_stats();
+  ServiceStats out;
+  out.requests = stats.requests;
+  out.protocol_errors = stats.protocol_errors;
+  out.stops_broadcast = stats.stops_broadcast;
+  return out;
 }
 
 // ---------------------------------------------------------------------------
-// built-in command catalogue
+// built-in command catalogue (the native v2 front end: each handler
+// decodes the JSON payload, calls the typed DebugService core, and renders
+// the result — byte-compatible with the pre-DebugService wire format)
 // ---------------------------------------------------------------------------
 
 void SessionManager::register_builtins() {
@@ -472,7 +386,8 @@ void SessionManager::register_builtins() {
   register_command("connect", [this](DebugSession& session,
                                      const RequestV2& request,
                                      ResponseV2& response) {
-    session.set_client_name(opt_string(request.payload, "client", "client"));
+    service_->set_client_name(
+        session.id(), opt_string(request.payload, "client", "client"));
     response.payload["session_id"] = Json(static_cast<int64_t>(session.id()));
     response.payload["server"] = Json("hgdb");
     response.payload["capabilities"] = capabilities().to_json();
@@ -484,7 +399,7 @@ void SessionManager::register_builtins() {
   register_command("disconnect", [this](DebugSession& session,
                                         const RequestV2&,
                                         ResponseV2& response) {
-    release_session_state(session);
+    service_->detach(session.id());
     session.close_requested.store(true);
     response.payload["disconnected"] = Json(true);
   });
@@ -493,25 +408,14 @@ void SessionManager::register_builtins() {
   register_command("breakpoint-add", [this](DebugSession& session,
                                             const RequestV2& request,
                                             ResponseV2& response) {
-    const std::string filename = want_string(request.payload, "filename");
-    const auto line = static_cast<uint32_t>(want_int(request.payload, "line"));
-    const std::string condition = opt_string(request.payload, "condition");
-    const auto ids = runtime_->add_breakpoint(filename, line, condition);
-    if (ids.empty()) {
-      response.fail(ErrorCode::NoSuchLocation, "no breakpoint at " + filename +
-                                                   ":" + std::to_string(line));
-      return;
-    }
+    BreakpointSpec spec;
+    spec.filename = want_string(request.payload, "filename");
+    spec.line = static_cast<uint32_t>(want_int(request.payload, "line"));
+    spec.condition = opt_string(request.payload, "condition");
+    const auto ids = service_->arm_breakpoint(session.id(), spec);
     Json json_ids = Json::array();
     for (int64_t id : ids) json_ids.push_back(Json(id));
     response.payload["ids"] = std::move(json_ids);
-    session.engage();  // armed a breakpoint: expected to answer stops
-    const Location location{filename, line};
-    if (!session.owns_location(location)) {
-      session.own_location(location);
-      std::lock_guard lock(refs_mutex_);
-      ++location_refs_[location];
-    }
   });
 
   register_command("breakpoint-remove", [this](DebugSession& session,
@@ -520,8 +424,8 @@ void SessionManager::register_builtins() {
     const std::string filename = want_string(request.payload, "filename");
     const auto line =
         static_cast<uint32_t>(opt_int(request.payload, "line", 0));
-    const auto taken = session.take_locations(filename, line);
-    const size_t removed = release_locations(taken);
+    const size_t removed =
+        service_->disarm_breakpoint(session.id(), filename, line);
     response.payload["removed"] = Json(static_cast<int64_t>(removed));
   });
 
@@ -529,13 +433,13 @@ void SessionManager::register_builtins() {
                                              const RequestV2&,
                                              ResponseV2& response) {
     Json list = Json::array();
-    for (const auto& bp : runtime_->inserted_breakpoints()) {
+    for (const auto& bp : service_->list_breakpoints(session.id())) {
       Json entry = Json::object();
       entry["id"] = Json(bp.id);
       entry["filename"] = Json(bp.filename);
       entry["line"] = Json(static_cast<int64_t>(bp.line));
-      entry["instance"] = Json(bp.instance_name);
-      entry["owned"] = Json(session.owns_location({bp.filename, bp.line}));
+      entry["instance"] = Json(bp.instance);
+      entry["owned"] = Json(bp.owned);
       list.push_back(std::move(entry));
     }
     response.payload["breakpoints"] = std::move(list);
@@ -547,16 +451,14 @@ void SessionManager::register_builtins() {
     const std::string filename = want_string(request.payload, "filename");
     const auto line =
         static_cast<uint32_t>(opt_int(request.payload, "line", 0));
-    const auto& table = runtime_->symbol_table();
     Json list = Json::array();
-    for (const auto& row : table.breakpoints_at(filename, line)) {
+    for (const auto& row : service_->breakpoint_locations(filename, line)) {
       Json entry = Json::object();
       entry["id"] = Json(row.id);
       entry["filename"] = Json(row.filename);
-      entry["line"] = Json(static_cast<int64_t>(row.line_num));
-      entry["column"] = Json(static_cast<int64_t>(row.column_num));
-      auto instance = table.instance(row.instance_id);
-      entry["instance"] = Json(instance ? instance->name : "");
+      entry["line"] = Json(static_cast<int64_t>(row.line));
+      entry["column"] = Json(static_cast<int64_t>(row.column));
+      entry["instance"] = Json(row.instance);
       list.push_back(std::move(entry));
     }
     response.payload["breakpoints"] = std::move(list);
@@ -592,28 +494,22 @@ void SessionManager::register_builtins() {
 
   register_command("detach", [this](DebugSession& session, const RequestV2&,
                                     ResponseV2& response) {
-    const size_t removed = release_session_state(session);
+    const size_t removed = service_->detach(session.id());
     response.payload["removed"] = Json(static_cast<int64_t>(removed));
   });
 
   // -- evaluation -------------------------------------------------------------
   register_command("evaluate", [this](DebugSession&, const RequestV2& request,
                                       ResponseV2& response) {
-    const std::string expression = want_string(request.payload, "expression");
-    std::optional<int64_t> breakpoint_id;
+    EvaluateSpec spec;
+    spec.expression = want_string(request.payload, "expression");
     if (request.payload.contains("breakpoint_id")) {
-      breakpoint_id = want_int(request.payload, "breakpoint_id");
+      spec.breakpoint_id = want_int(request.payload, "breakpoint_id");
     }
-    const std::string instance =
-        opt_string(request.payload, "instance_name");
-    auto value = runtime_->evaluate(expression, breakpoint_id, instance);
-    if (!value) {
-      response.fail(ErrorCode::EvaluationFailed,
-                    "cannot evaluate '" + expression + "'");
-      return;
-    }
-    response.payload["result"] = Json(render(*value));
-    response.payload["width"] = Json(static_cast<int64_t>(value->width()));
+    spec.instance_name = opt_string(request.payload, "instance_name");
+    const auto result = service_->evaluate(spec);
+    response.payload["result"] = Json(result.value);
+    response.payload["width"] = Json(static_cast<int64_t>(result.width));
   });
 
   register_command("evaluate-batch", [this](DebugSession&,
@@ -623,12 +519,11 @@ void SessionManager::register_builtins() {
     if (!expressions.is_array()) {
       throw std::invalid_argument("payload field 'expressions' must be an array");
     }
-    std::optional<int64_t> breakpoint_id;
+    EvaluateSpec spec;
     if (request.payload.contains("breakpoint_id")) {
-      breakpoint_id = want_int(request.payload, "breakpoint_id");
+      spec.breakpoint_id = want_int(request.payload, "breakpoint_id");
     }
-    const std::string instance =
-        opt_string(request.payload, "instance_name");
+    spec.instance_name = opt_string(request.payload, "instance_name");
     Json results = Json::array();
     int64_t errors = 0;
     for (const auto& item : expressions.as_array()) {
@@ -637,15 +532,15 @@ void SessionManager::register_builtins() {
       }
       Json result = Json::object();
       result["expression"] = item;
-      auto value = runtime_->evaluate(item.as_string(), breakpoint_id, instance);
-      if (value) {
+      spec.expression = item.as_string();
+      try {
+        const auto value = service_->evaluate(spec);
         result["status"] = Json("success");
-        result["value"] = Json(render(*value));
-        result["width"] = Json(static_cast<int64_t>(value->width()));
-      } else {
+        result["value"] = Json(value.value);
+        result["width"] = Json(static_cast<int64_t>(value.width));
+      } catch (const ServiceError& error) {
         result["status"] = Json("error");
-        result["reason"] =
-            Json("cannot evaluate '" + item.as_string() + "'");
+        result["reason"] = Json(error.what());
         ++errors;
       }
       results.push_back(std::move(result));
@@ -658,12 +553,10 @@ void SessionManager::register_builtins() {
   register_command("watch", [this](DebugSession& session,
                                    const RequestV2& request,
                                    ResponseV2& response) {
-    const std::string expression = want_string(request.payload, "expression");
-    const std::string instance =
-        opt_string(request.payload, "instance_name");
-    const int64_t id = runtime_->add_watchpoint(expression, instance);
-    session.engage();  // armed a watchpoint: expected to answer stops
-    session.own_watch(id);
+    WatchSpec spec;
+    spec.expression = want_string(request.payload, "expression");
+    spec.instance_name = opt_string(request.payload, "instance_name");
+    const int64_t id = service_->arm_watch(session.id(), spec);
     response.payload["id"] = Json(id);
   });
 
@@ -671,14 +564,39 @@ void SessionManager::register_builtins() {
                                      const RequestV2& request,
                                      ResponseV2& response) {
     const int64_t id = want_int(request.payload, "id");
-    if (!session.owns_watch(id)) {
-      response.fail(ErrorCode::NoSuchEntity,
-                    "watchpoint " + std::to_string(id) +
-                        " is not owned by this session");
-      return;
+    service_->disarm_watch(session.id(), id);
+    response.payload["removed"] = Json(true);
+  });
+
+  // -- subscriptions (push value-change streams) ------------------------------
+  register_command("subscribe", [this](DebugSession& session,
+                                       const RequestV2& request,
+                                       ResponseV2& response) {
+    SubscribeSpec spec;
+    const Json& signals = payload_field(request.payload, "signals");
+    if (!signals.is_array()) {
+      throw std::invalid_argument("payload field 'signals' must be an array");
     }
-    session.disown_watch(id);
-    runtime_->remove_watchpoint(id);
+    for (const auto& signal : signals.as_array()) {
+      if (!signal.is_string()) {
+        throw std::invalid_argument("'signals' entries must be strings");
+      }
+      spec.signals.push_back(signal.as_string());
+    }
+    spec.instance_name = opt_string(request.payload, "instance_name");
+    spec.decimation =
+        static_cast<uint32_t>(opt_int(request.payload, "decimation", 1));
+    const uint64_t id = service_->subscribe(session.id(), spec);
+    response.payload["id"] = Json(static_cast<int64_t>(id));
+    response.payload["decimation"] =
+        Json(static_cast<int64_t>(std::max<uint32_t>(1, spec.decimation)));
+  });
+
+  register_command("unsubscribe", [this](DebugSession& session,
+                                         const RequestV2& request,
+                                         ResponseV2& response) {
+    const int64_t id = want_int(request.payload, "id");
+    service_->unsubscribe(session.id(), static_cast<uint64_t>(id));
     response.payload["removed"] = Json(true);
   });
 
@@ -686,7 +604,7 @@ void SessionManager::register_builtins() {
   register_command("list-instances", [this](DebugSession&, const RequestV2&,
                                             ResponseV2& response) {
     Json list = Json::array();
-    for (const auto& row : runtime_->symbol_table().instances()) {
+    for (const auto& row : service_->instances()) {
       Json entry = Json::object();
       entry["id"] = Json(row.id);
       entry["name"] = Json(row.name);
@@ -700,39 +618,21 @@ void SessionManager::register_builtins() {
                                             ResponseV2& response) {
     if (request.payload.contains("breakpoint_id")) {
       const int64_t id = want_int(request.payload, "breakpoint_id");
-      rpc::Frame frame;
-      try {
-        frame = runtime_->build_frame(id);
-      } catch (const std::invalid_argument& error) {
-        response.fail(ErrorCode::NoSuchEntity, error.what());
-        return;
-      }
+      const rpc::Frame frame = service_->frame_variables(id);
       response.payload["locals"] = frame.locals;
       response.payload["generator"] = frame.generator;
       return;
     }
     const std::string instance =
         want_string(request.payload, "instance_name");
-    const auto& table = runtime_->symbol_table();
-    auto row = table.instance_by_name(instance);
-    if (!row) {
-      response.fail(ErrorCode::NoSuchEntity,
-                    "unknown instance '" + instance + "'");
-      return;
-    }
     Json list = Json::array();
-    for (const auto& variable : table.generator_variables(row->id)) {
+    for (const auto& variable : service_->variables(instance)) {
       Json entry = Json::object();
       entry["name"] = Json(variable.name);
       entry["rtl"] = Json(variable.is_rtl);
-      if (!variable.is_rtl) {
-        entry["value"] = Json(variable.value);
-      } else if (auto value =
-                     runtime_->read_instance_rtl(instance, variable.value)) {
-        entry["value"] = Json(render(*value));
-        entry["width"] = Json(static_cast<int64_t>(value->width()));
-      } else {
-        entry["value"] = Json("<unavailable>");
+      entry["value"] = Json(variable.value);
+      if (variable.width) {
+        entry["width"] = Json(static_cast<int64_t>(*variable.width));
       }
       list.push_back(std::move(entry));
     }
@@ -742,7 +642,7 @@ void SessionManager::register_builtins() {
   register_command("list-files", [this](DebugSession&, const RequestV2&,
                                         ResponseV2& response) {
     Json files = Json::array();
-    for (const auto& file : runtime_->symbol_table().files()) {
+    for (const auto& file : service_->files()) {
       files.push_back(Json(file));
     }
     response.payload["files"] = std::move(files);
@@ -764,7 +664,7 @@ void SessionManager::register_builtins() {
     response.payload["time"] =
         Json(static_cast<int64_t>(runtime_->sim_interface().get_time()));
     Json files = Json::array();
-    for (const auto& file : runtime_->symbol_table().files()) {
+    for (const auto& file : service_->files()) {
       files.push_back(Json(file));
     }
     response.payload["files"] = std::move(files);
@@ -772,17 +672,12 @@ void SessionManager::register_builtins() {
     response.payload["backend"] =
         Json(runtime_->sim_interface().backend_kind());
     Json sessions = Json::array();
-    {
-      std::lock_guard lock(sessions_mutex_);
-      for (const auto& entry : entries_) {
-        if (!entry.session->alive()) continue;
-        Json item = Json::object();
-        item["id"] = Json(static_cast<int64_t>(entry.session->id()));
-        item["client"] = Json(entry.session->client_name());
-        item["protocol"] =
-            Json(static_cast<int64_t>(entry.session->protocol_version()));
-        sessions.push_back(std::move(item));
-      }
+    for (const auto& client : service_->clients()) {
+      Json item = Json::object();
+      item["id"] = Json(static_cast<int64_t>(client.id));
+      item["client"] = Json(client.name);
+      item["protocol"] = Json(static_cast<int64_t>(client.protocol));
+      sessions.push_back(std::move(item));
     }
     response.payload["sessions"] = std::move(sessions);
   });
@@ -804,13 +699,18 @@ void SessionManager::register_builtins() {
     response.payload["dirty_skips"] = Json(stats.dirty_skips);
     response.payload["batch_fetches"] = Json(stats.batch_fetches);
     response.payload["batch_signals"] = Json(stats.batch_signals);
-    response.payload["sessions"] = Json(static_cast<int64_t>(session_count()));
+    response.payload["sessions"] =
+        Json(static_cast<int64_t>(service_->client_count()));
     response.payload["watchpoints"] =
         Json(static_cast<int64_t>(runtime_->watchpoint_count()));
-    const auto service = service_stats();
+    response.payload["subscriptions"] =
+        Json(static_cast<int64_t>(service_->subscription_count()));
+    const auto service = service_->service_stats();
     response.payload["requests"] = Json(service.requests);
     response.payload["protocol_errors"] = Json(service.protocol_errors);
     response.payload["stops_broadcast"] = Json(service.stops_broadcast);
+    response.payload["events_delivered"] = Json(service.events_delivered);
+    response.payload["events_decimated"] = Json(service.events_decimated);
   });
 
   // -- signal forcing ---------------------------------------------------------
@@ -819,20 +719,16 @@ void SessionManager::register_builtins() {
       [this](DebugSession&, const RequestV2& request, ResponseV2& response) {
         const std::string name = want_string(request.payload, "name");
         const Json& raw = payload_field(request.payload, "value");
-        BitVector value;
+        std::string value;
         if (raw.is_string()) {
-          value = BitVector::from_string(raw.as_string());
+          value = raw.as_string();
         } else if (raw.is_number()) {
-          value = BitVector::from_string(std::to_string(raw.as_int()));
+          value = std::to_string(raw.as_int());
         } else {
           throw std::invalid_argument(
               "payload field 'value' must be a string or number");
         }
-        if (!runtime_->set_signal_value(name, value)) {
-          response.fail(ErrorCode::NoSuchEntity,
-                        "cannot set '" + name + "'");
-          return;
-        }
+        service_->set_value(name, value);
         response.payload["set"] = Json(true);
       },
       Gate::SetValue);

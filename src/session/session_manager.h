@@ -2,20 +2,18 @@
 #define HGDB_SESSION_SESSION_MANAGER_H
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
-#include <optional>
-#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "rpc/protocol.h"
 #include "rpc/protocol_v2.h"
+#include "session/debug_service.h"
 #include "session/debug_session.h"
 
 namespace hgdb::rpc {
@@ -28,32 +26,32 @@ class Runtime;
 
 namespace hgdb::session {
 
-/// The multi-client service layer between debugger transports and the
-/// runtime's breakpoint engine (the "RPC-based debugging protocol" of the
-/// paper's Sec. 3.5, grown into protocol v2).
+class DapServer;
+
+/// The protocol front-end host between debugger transports and the
+/// wire-format-free DebugService core (the "RPC-based debugging protocol"
+/// of the paper's Sec. 3.5, grown into protocol v2 + DAP).
 ///
-/// Responsibilities:
-///  - hosts N concurrent DebugSessions over any rpc::Channel, plus a TCP
-///    accept loop (listen_tcp) for out-of-process debuggers;
-///  - dispatches requests through a *command registry*: adding a request
-///    family means registering a handler, not editing the runtime core;
-///  - gates commands on the backend's negotiated capabilities (`connect`
-///    handshake) and answers failures with typed error codes;
-///  - tracks breakpoint/watchpoint ownership per session (refcounted
-///    across sessions), so one client detaching never tears down
-///    another's breakpoints;
-///  - broadcasts stop events to every attached client and funnels the
-///    first resume command back to the waiting simulation thread;
-///  - keeps v1 clients working: messages without a "version" field are
-///    translated onto the v2 command namespace and answered in the v1
-///    wire format.
+/// The manager owns:
+///  - the DebugService — typed requests, push event sinks, per-client
+///    ownership, the stop handshake (see debug_service.h);
+///  - the *native* front end: N concurrent DebugSessions over any
+///    rpc::Channel plus a TCP accept loop (listen_tcp), dispatching v2
+///    JSON envelopes through a *command registry* whose handlers decode
+///    payloads and call the typed core — adding a request family means
+///    registering a handler, not editing the runtime core. v1 clients
+///    keep working through the translate shim, answered in the v1 wire
+///    format, byte-compatible with the pre-DebugService protocol;
+///  - the *DAP* front end (listen_dap): VSCode attaches over Content-
+///    Length framing, sharing the same core — breakpoint refcounts, stop
+///    routing, and the session limit span both protocols.
 class SessionManager {
  public:
   using Command = rpc::CommandRequest::Command;
   /// A command handler fills in `response` (already carrying the echoed
-  /// command/token). Throwing std::invalid_argument maps to
-  /// invalid-payload, std::out_of_range to no-such-entity, anything else
-  /// to internal-error.
+  /// command/token). Throwing ServiceError maps to its typed code;
+  /// std::invalid_argument to invalid-payload, std::out_of_range to
+  /// no-such-entity, anything else to internal-error.
   using Handler = std::function<void(DebugSession&, const rpc::RequestV2&,
                                      rpc::ResponseV2&)>;
 
@@ -66,16 +64,27 @@ class SessionManager {
   SessionManager(const SessionManager&) = delete;
   SessionManager& operator=(const SessionManager&) = delete;
 
+  /// The typed core shared by every front end.
+  [[nodiscard]] DebugService& service() { return *service_; }
+
   // -- clients -----------------------------------------------------------------
-  /// Attaches a client and starts its reader thread; returns the session id.
+  /// Attaches a native-protocol client and starts its reader thread;
+  /// returns the session id (0 when the client was rejected by the
+  /// session limit — it still receives a typed `too-many-sessions` answer
+  /// to its first request before the session closes).
   uint64_t add_client(std::unique_ptr<rpc::Channel> channel);
-  /// Binds loopback TCP (0 = ephemeral) and accepts clients until
+  /// Binds loopback TCP (0 = ephemeral) and accepts native clients until
   /// shutdown; returns the bound port.
   uint16_t listen_tcp(uint16_t port = 0);
-  /// Closes every session and the TCP listener; joins all threads. The
-  /// manager is reusable afterwards.
+  /// Binds loopback TCP for Debug Adapter Protocol clients (VSCode);
+  /// returns the bound port.
+  uint16_t listen_dap(uint16_t port = 0);
+  /// Closes every session (native and DAP) and the listeners; joins all
+  /// threads. The manager is reusable afterwards.
   void shutdown();
 
+  /// Attached native-protocol sessions (DAP connections excluded; the
+  /// DebugService counts every client).
   [[nodiscard]] size_t session_count() const;
 
   // -- protocol ----------------------------------------------------------------
@@ -90,10 +99,8 @@ class SessionManager {
                         Gate gate = Gate::None);
 
   // -- runtime hook ------------------------------------------------------------
-  /// Called by the runtime's scheduler when a stop fires: broadcasts the
-  /// event to every attached client and blocks until one answers with an
-  /// execution command (Continue when no client is attached or the
-  /// manager is shutting down).
+  /// Called by the runtime's scheduler when a stop fires; forwards to
+  /// DebugService::deliver_stop (routing + handshake).
   Command deliver_stop(rpc::StopEvent event);
 
   struct ServiceStats {
@@ -118,51 +125,25 @@ class SessionManager {
   void session_loop(DebugSession* session);
   void dispatch(DebugSession& session, const std::string& text);
   rpc::ResponseV2 execute(DebugSession& session, const rpc::RequestV2& request);
-  /// Post-disconnect cleanup: releases owned breakpoints/watches and frees
-  /// the simulation if it was waiting on the last client.
+  /// Post-disconnect cleanup: unregisters the client from the service
+  /// (releasing owned breakpoints/watches/subscriptions and resigning it
+  /// from a pending stop).
   void cleanup_session(DebugSession& session);
-  /// Drops ownership references; removes runtime breakpoints whose
-  /// refcount reaches zero. Returns how many runtime breakpoints died.
-  size_t release_locations(const std::vector<Location>& locations);
-  /// Removes a session from the current stop's expected responders; once
-  /// every engaged recipient has answered or resigned, the simulation
-  /// auto-resumes with Continue (so a departed client can never hang a
-  /// stop, and a live one never has its stop stolen).
-  void resign_from_stop(uint64_t session_id);
   void handle_execution(DebugSession& session, const rpc::RequestV2& request,
                         rpc::ResponseV2& response, Command command);
-  /// Detach bookkeeping shared by `detach`, `disconnect`, and reader-loop
-  /// teardown.
-  size_t release_session_state(DebugSession& session);
 
   runtime::Runtime* runtime_;
+  std::unique_ptr<DebugService> service_;
 
   mutable std::mutex sessions_mutex_;
   std::vector<Entry> entries_;
-  uint64_t next_session_id_ = 1;
 
   std::map<std::string, CommandSpec> commands_;  // immutable after ctor
-
-  // Cross-session breakpoint refcounts (guarded by refs_mutex_).
-  std::mutex refs_mutex_;
-  std::map<Location, int> location_refs_;
-
-  // Stop/command handshake between the sim thread and session threads.
-  // The first execution command wins; pending_responders_ tracks which
-  // engaged sessions still owe an answer for the current stop.
-  std::mutex command_mutex_;
-  std::condition_variable command_ready_;
-  std::optional<Command> pending_command_;
-  bool waiting_for_command_ = false;
-  std::set<uint64_t> pending_responders_;
 
   std::atomic<bool> shutting_down_{false};
   std::unique_ptr<rpc::TcpServer> tcp_server_;
   std::thread accept_thread_;
-
-  std::atomic<uint64_t> requests_{0};
-  std::atomic<uint64_t> protocol_errors_{0};
-  std::atomic<uint64_t> stops_broadcast_{0};
+  std::unique_ptr<DapServer> dap_server_;
 };
 
 }  // namespace hgdb::session

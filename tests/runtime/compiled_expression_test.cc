@@ -218,6 +218,91 @@ TEST(CompiledExpression, CallArityIsValidatedAtParseTime) {
 }
 
 // ---------------------------------------------------------------------------
+// Logical short-circuit (&& / ||)
+// ---------------------------------------------------------------------------
+
+/// Evaluates and returns (result, instructions executed) for one run.
+std::pair<std::optional<BitVector>, uint64_t> run_counted(
+    const std::string& text, const Env& env) {
+  const Expression expr = Expression::parse(text);
+  const CompiledExpression compiled = expr.compile();
+  std::vector<const BitVector*> slots;
+  for (const auto& symbol : compiled.symbols()) {
+    auto it = env.find(symbol);
+    slots.push_back(it == env.end() ? nullptr : &it->second);
+  }
+  CompiledExpression::Scratch scratch;
+  const BitVector* result = compiled.evaluate(slots.data(), scratch);
+  return {result ? std::optional<BitVector>(*result) : std::nullopt,
+          scratch.ops_executed};
+}
+
+TEST(CompiledExpressionShortCircuit, DeadOperandIsSkipped) {
+  Env env = basic_env();
+  env.emplace("zero", BitVector(1, 0));
+  env.emplace("one", BitVector(1, 1));
+
+  // && with a false left side: the expensive right operand never runs —
+  // visibly fewer instructions than the taken path.
+  const auto [and_false, and_false_ops] =
+      run_counted("zero && (a * a + b * b > c)", env);
+  ASSERT_TRUE(and_false.has_value());
+  EXPECT_FALSE(and_false->to_bool());
+  const auto [and_true, and_true_ops] =
+      run_counted("one && (a * a + b * b > c)", env);
+  ASSERT_TRUE(and_true.has_value());
+  EXPECT_LT(and_false_ops, and_true_ops);
+
+  // || mirrors with a true left side.
+  const auto [or_true, or_true_ops] =
+      run_counted("one || (a * a + b * b > c)", env);
+  ASSERT_TRUE(or_true.has_value());
+  EXPECT_TRUE(or_true->to_bool());
+  const auto [or_false, or_false_ops] =
+      run_counted("zero || (a * a + b * b > c)", env);
+  ASSERT_TRUE(or_false.has_value());
+  EXPECT_LT(or_true_ops, or_false_ops);
+}
+
+TEST(CompiledExpressionShortCircuit, DeadOperandFaultsAreUnobservable) {
+  // C semantics: the dead operand is not evaluated, so a fault (bad slice)
+  // or an unresolvable symbol in it cannot poison the result. Both engines
+  // must agree — the interpreted walk short-circuits identically.
+  Env env = basic_env();
+  env.emplace("zero", BitVector(1, 0));
+  env.emplace("one", BitVector(1, 1));
+  const char* cases[] = {
+      "zero && bits(a, 100, 0)",  // fault in the dead operand
+      "one || bits(a, 100, 0)",
+      "zero && ghost_signal",  // unresolved symbol in the dead operand
+      "one || ghost_signal",
+  };
+  for (const char* text : cases) {
+    SCOPED_TRACE(text);
+    expect_equivalent(text, env);
+    const auto [result, ops] = run_counted(text, env);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->to_bool(), std::string(text).find("||") !=
+                                     std::string::npos);
+  }
+  // The same fault in a LIVE operand still faults, in both engines.
+  expect_equivalent("one && bits(a, 100, 0)", env);
+  EXPECT_FALSE(run_counted("one && bits(a, 100, 0)", env).first.has_value());
+}
+
+TEST(CompiledExpressionShortCircuit, NestedChainsSkipTransitively) {
+  Env env = basic_env();
+  env.emplace("zero", BitVector(1, 0));
+  // The first false operand kills the whole right-hand spine.
+  const auto [result, ops] = run_counted(
+      "zero && ((a + b) * c > 100 && (c % 7 == 3 || a * b * c > 5))", env);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->to_bool());
+  // Branch + lhs-load + combine-skip: only a handful of instructions ran.
+  EXPECT_LE(ops, 3u);
+}
+
+// ---------------------------------------------------------------------------
 // Differential fuzzing over the full grammar
 // ---------------------------------------------------------------------------
 
@@ -353,6 +438,27 @@ TEST(CompiledExpressionFuzz, SecondSeedAndDeeperTrees) {
   for (int i = 0; i < kIterations; ++i) {
     const Env env = fuzzer.random_env();
     const std::string text = fuzzer.expression(5);
+    SCOPED_TRACE("iteration " + std::to_string(i) + ": " + text);
+    expect_equivalent(text, env);
+  }
+}
+
+TEST(CompiledExpressionFuzz, LogicalShortCircuitHeavy) {
+  // Random subexpressions (which may fault via bits()/pad() params or
+  // divide wildly) glued together with && / || : the short-circuit branch
+  // program and the short-circuiting interpreted walk must agree on every
+  // composition, including whether a dead-operand fault is observable.
+  constexpr int kIterations = 1500;
+  Fuzzer fuzzer(0x5C5C5C5Cu);
+  std::mt19937 gen(0x5C5C5C5Cu);
+  for (int i = 0; i < kIterations; ++i) {
+    const Env env = fuzzer.random_env();
+    std::string text = "(" + fuzzer.expression(2) + ")";
+    const int joins = 1 + static_cast<int>(gen() % 3);
+    for (int j = 0; j < joins; ++j) {
+      text += (gen() % 2 == 0) ? " && " : " || ";
+      text += "(" + fuzzer.expression(2) + ")";
+    }
     SCOPED_TRACE("iteration " + std::to_string(i) + ": " + text);
     expect_equivalent(text, env);
   }

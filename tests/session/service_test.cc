@@ -1,0 +1,329 @@
+// DebugService-era session semantics: per-session breakpoint conditions on
+// one shared location (refcounted, stop routed by matched condition), the
+// SessionManager accept limit, and push value-change subscriptions with
+// per-client decimation.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "debugger/client.h"
+#include "frontend/compile.h"
+#include "ir/parser.h"
+#include "rpc/tcp.h"
+#include "runtime/runtime.h"
+#include "session/session_manager.h"
+#include "sim/simulator.h"
+#include "symbols/symbol_table.h"
+#include "vpi/native_backend.h"
+
+namespace hgdb::session {
+namespace {
+
+using debugger::DebugClient;
+using rpc::ErrorCode;
+
+constexpr const char* kDesign = R"(circuit Svc
+  module Svc
+    input clock : Clock
+    output out : UInt<8>
+    reg cycle_reg : UInt<8> clock clock
+    connect cycle_reg = add(cycle_reg, UInt<8>(1)) @[svc.cc 5 1]
+    wire t : UInt<8> @[svc.cc 6 1]
+    connect t = add(cycle_reg, UInt<8>(7)) @[svc.cc 7 1]
+    connect out = t @[svc.cc 8 1]
+  end
+end
+)";
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { SetUpWithOptions(runtime::RuntimeOptions{}); }
+
+  void SetUpWithOptions(runtime::RuntimeOptions options) {
+    frontend::CompileOptions compile_options;
+    compile_options.debug_mode = true;
+    auto compiled =
+        frontend::compile(ir::parse_circuit(kDesign), compile_options);
+    table_ = std::make_unique<symbols::MemorySymbolTable>(compiled.symbols);
+    simulator_ = std::make_unique<sim::Simulator>(compiled.netlist);
+    backend_ = std::make_unique<vpi::NativeBackend>(*simulator_);
+    runtime_ =
+        std::make_unique<runtime::Runtime>(*backend_, *table_, options);
+    runtime_->attach();
+    port_ = runtime_->serve_tcp(0);
+  }
+
+  void TearDown() override {
+    if (sim_thread_.joinable()) sim_thread_.join();
+    runtime_->stop_service();
+  }
+
+  std::unique_ptr<DebugClient> connect_client(const std::string& name) {
+    auto client =
+        std::make_unique<DebugClient>(rpc::tcp_connect("127.0.0.1", port_));
+    if (!client->connect(name)) return client;  // caller checks the error
+    return client;
+  }
+
+  void run_async(uint64_t cycles) {
+    sim_thread_ = std::thread([this, cycles] {
+      while (simulator_->cycle() < cycles) simulator_->tick();
+    });
+  }
+
+  std::unique_ptr<symbols::MemorySymbolTable> table_;
+  std::unique_ptr<sim::Simulator> simulator_;
+  std::unique_ptr<vpi::NativeBackend> backend_;
+  std::unique_ptr<runtime::Runtime> runtime_;
+  uint16_t port_ = 0;
+  std::thread sim_thread_;
+};
+
+// -- per-session conditions on one shared location -----------------------------
+
+TEST_F(ServiceTest, EachSessionStopsOnlyOnItsOwnCondition) {
+  auto client_a = connect_client("client-a");
+  auto client_b = connect_client("client-b");
+
+  // Two conditions refcounted on the same source location: the last insert
+  // must NOT win — both arms stay live, and each stop routes only to the
+  // session whose own condition matched.
+  ASSERT_EQ(client_a->set_breakpoint("svc.cc", 7, "cycle_reg % 2 == 0").size(),
+            1u);
+  ASSERT_EQ(client_b->set_breakpoint("svc.cc", 7, "cycle_reg % 2 == 1").size(),
+            1u);
+
+  run_async(6);
+
+  // cycle_reg alternates parity every cycle, so the stops must alternate
+  // strictly between the two clients — whichever parity comes first.
+  DebugClient* previous = nullptr;
+  for (int round = 0; round < 4; ++round) {
+    auto stop = client_a->wait_stop(std::chrono::milliseconds(1500));
+    DebugClient* stopped = client_a.get();
+    DebugClient* other = client_b.get();
+    if (!stop) {
+      stop = client_b->wait_stop(std::chrono::milliseconds(4000));
+      stopped = client_b.get();
+      other = client_a.get();
+    }
+    ASSERT_TRUE(stop.has_value()) << "round " << round;
+    ASSERT_EQ(stop->frames.size(), 1u);
+    const bool is_a = stopped == client_a.get();
+    EXPECT_EQ(stop->frames[0].matched_conditions,
+              (std::vector<std::string>{is_a ? "cycle_reg % 2 == 0"
+                                             : "cycle_reg % 2 == 1"}))
+        << "round " << round;
+    auto parity =
+        stopped->evaluate("cycle_reg % 2", stop->frames[0].breakpoint_id);
+    ASSERT_TRUE(parity.has_value());
+    EXPECT_EQ(*parity, is_a ? "0" : "1") << "round " << round;
+    // The other session saw nothing for this stop.
+    EXPECT_FALSE(other->wait_stop(std::chrono::milliseconds(200)))
+        << "round " << round;
+    if (previous != nullptr) {
+      EXPECT_NE(previous, stopped) << "stops must alternate (round " << round
+                                   << ")";
+    }
+    previous = stopped;
+    ASSERT_TRUE(stopped->resume());
+  }
+
+  client_a->detach();
+  client_b->detach();
+}
+
+TEST_F(ServiceTest, ConditionArmsAreRefcountedIndependently) {
+  auto client_a = connect_client("client-a");
+  auto client_b = connect_client("client-b");
+
+  ASSERT_EQ(client_a->set_breakpoint("svc.cc", 7, "cycle_reg > 100").size(),
+            1u);
+  ASSERT_EQ(client_b->set_breakpoint("svc.cc", 7, "cycle_reg > 200").size(),
+            1u);
+  // A's removal drops only its own arm; the location stays inserted for B.
+  EXPECT_EQ(client_a->remove_breakpoint("svc.cc", 7), 0u);
+  EXPECT_EQ(client_b->info()["breakpoints"].size(), 1u);
+  // B's removal drops the last arm.
+  EXPECT_EQ(client_b->remove_breakpoint("svc.cc", 7), 1u);
+  EXPECT_EQ(client_b->info()["breakpoints"].size(), 0u);
+}
+
+// -- SessionManager accept limit ----------------------------------------------
+
+class SessionLimitTest : public ServiceTest {
+ protected:
+  void SetUp() override {
+    runtime::RuntimeOptions options;
+    options.max_sessions = 2;
+    SetUpWithOptions(options);
+  }
+};
+
+TEST_F(SessionLimitTest, RejectsClientsBeyondMaxSessionsWithTypedError) {
+  auto client_a = connect_client("client-a");
+  auto client_b = connect_client("client-b");
+  ASSERT_TRUE(client_a->capabilities().has_value());
+  ASSERT_TRUE(client_b->capabilities().has_value());
+
+  // Third client: accepted at the socket, rejected by the service — its
+  // first request is answered with the typed error, then the session ends.
+  auto client_c =
+      std::make_unique<DebugClient>(rpc::tcp_connect("127.0.0.1", port_));
+  EXPECT_FALSE(client_c->connect("client-c"));
+  EXPECT_EQ(client_c->last_error_code(), ErrorCode::TooManySessions);
+
+  // A slot frees once a client disconnects; a retry eventually succeeds
+  // (the reader thread unregisters shortly after the disconnect response).
+  ASSERT_TRUE(client_a->disconnect());
+  bool reconnected = false;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < deadline) {
+    auto retry =
+        std::make_unique<DebugClient>(rpc::tcp_connect("127.0.0.1", port_));
+    if (retry->connect("client-d")) {
+      reconnected = true;
+      retry->disconnect();
+      break;
+    }
+    EXPECT_EQ(retry->last_error_code(), ErrorCode::TooManySessions);
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_TRUE(reconnected);
+}
+
+// -- push value-change subscriptions -------------------------------------------
+
+TEST_F(ServiceTest, SubscriptionStreamsValueChangesWithoutStopping) {
+  auto client = connect_client("subscriber");
+  auto subscription = client->subscribe({"cycle_reg"});
+  ASSERT_TRUE(subscription.has_value());
+
+  constexpr uint64_t kCycles = 30;
+  run_async(kCycles);
+  sim_thread_.join();
+
+  size_t events = 0;
+  uint64_t last_time = 0;
+  std::string last_value;
+  while (auto event = client->wait_values(std::chrono::milliseconds(300))) {
+    ASSERT_EQ(event->subscription, *subscription);
+    ASSERT_EQ(event->changes.size(), 1u);
+    EXPECT_EQ(event->changes[0].signal, "cycle_reg");
+    EXPECT_GT(event->time, last_time);
+    last_time = event->time;
+    last_value = event->changes[0].value;
+    ++events;
+  }
+  // cycle_reg changes every cycle: one event per rising edge (the first
+  // doubles as the initial snapshot).
+  EXPECT_GE(events, kCycles - 2);
+  EXPECT_LE(events, kCycles + 2);
+  EXPECT_FALSE(last_value.empty());
+
+  // The stream never stopped the simulation.
+  const auto stats = client->stats();
+  EXPECT_EQ(stats.get_int("stops"), 0);
+  EXPECT_EQ(stats.get_int("subscriptions"), 1);
+  // No per-edge full re-fetch for subscribed-only signals: every batched
+  // fetch round read exactly the one subscribed signal.
+  EXPECT_GT(stats.get_int("batch_fetches"), 0);
+  EXPECT_EQ(stats.get_int("batch_signals"), stats.get_int("batch_fetches"));
+
+  EXPECT_TRUE(client->unsubscribe(*subscription));
+  client->disconnect();
+}
+
+TEST_F(ServiceTest, DecimationDeliversEveryNthEvent) {
+  auto client_full = connect_client("full-rate");
+  auto client_deci = connect_client("decimated");
+
+  auto sub_full = client_full->subscribe({"cycle_reg"}, 1);
+  auto sub_deci = client_deci->subscribe({"cycle_reg"}, 4);
+  ASSERT_TRUE(sub_full.has_value());
+  ASSERT_TRUE(sub_deci.has_value());
+
+  constexpr uint64_t kCycles = 40;
+  run_async(kCycles);
+  sim_thread_.join();
+
+  size_t full = 0;
+  while (client_full->wait_values(std::chrono::milliseconds(300))) ++full;
+  size_t decimated = 0;
+  while (client_deci->wait_values(std::chrono::milliseconds(300))) ++decimated;
+
+  // The decimated client sees ~1/4 of the stream the full-rate client sees.
+  EXPECT_GE(full, kCycles - 2);
+  EXPECT_GE(decimated, full / 4 - 2);
+  EXPECT_LE(decimated, full / 4 + 2);
+
+  const auto stats = client_full->stats();
+  EXPECT_GE(stats.get_int("events_delivered"),
+            static_cast<int64_t>(full + decimated));
+  EXPECT_GT(stats.get_int("events_decimated"), 0);
+
+  client_full->disconnect();
+  client_deci->disconnect();
+}
+
+TEST_F(ServiceTest, PlanRebuildDoesNotEmitSpuriousChanges) {
+  // "clock" reads as 1 at every rising edge, so after the initial
+  // snapshot the stream must stay silent — even across plan rebuilds
+  // (another client arming/removing a breakpoint resets the change
+  // serials, which must not masquerade as value changes).
+  auto subscriber = connect_client("subscriber");
+  auto other = connect_client("other");
+  auto subscription = subscriber->subscribe({"clock"});
+  ASSERT_TRUE(subscription.has_value());
+
+  run_async(5);
+  sim_thread_.join();
+  size_t events = 0;
+  std::string snapshot;
+  while (auto event =
+             subscriber->wait_values(std::chrono::milliseconds(300))) {
+    snapshot = event->changes.at(0).value;
+    ++events;
+  }
+  EXPECT_EQ(events, 1u);  // the initial snapshot only
+  EXPECT_EQ(snapshot, "1");
+
+  // Rebuild the fetch plan twice via an unrelated client, then run on.
+  ASSERT_EQ(other->set_breakpoint("svc.cc", 5).size(), 1u);
+  EXPECT_EQ(other->remove_breakpoint("svc.cc", 5), 1u);
+  sim_thread_ = std::thread([this] {
+    while (simulator_->cycle() < 10) simulator_->tick();
+  });
+  sim_thread_.join();
+  EXPECT_FALSE(subscriber->wait_values(std::chrono::milliseconds(300)))
+      << "plan rebuild re-reported an unchanged signal";
+
+  subscriber->disconnect();
+  other->disconnect();
+}
+
+TEST_F(ServiceTest, SubscribeUnknownSignalIsTypedError) {
+  auto client = connect_client("subscriber");
+  EXPECT_FALSE(client->subscribe({"ghost_signal"}).has_value());
+  EXPECT_EQ(client->last_error_code(), ErrorCode::NoSuchEntity);
+  client->disconnect();
+}
+
+TEST_F(ServiceTest, DisconnectDropsSubscriptions) {
+  auto client = connect_client("subscriber");
+  ASSERT_TRUE(client->subscribe({"cycle_reg"}).has_value());
+  EXPECT_EQ(runtime_->subscription_count(), 1u);
+  ASSERT_TRUE(client->disconnect());
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (runtime_->subscription_count() != 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_EQ(runtime_->subscription_count(), 0u);
+}
+
+}  // namespace
+}  // namespace hgdb::session

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Gate the fig5 bench against the committed baseline.
+
+Compares the compiled-vs-interpreted condition-evaluation speedups in a
+fresh BENCH_fig5.json run against bench/baselines/BENCH_fig5.json and
+fails (exit 1) when any tracked speedup dropped more than --max-drop
+(default 30%) below the baseline value. Speedups are ratios of the same
+two measurements taken in the same process, so they are far more stable
+across runner hardware than absolute ns/edge numbers — which is why the
+gate tracks them and not the raw timings.
+
+Usage:
+  check_bench_regression.py CURRENT.json BASELINE.json [--max-drop 0.30]
+"""
+
+import argparse
+import json
+import sys
+
+
+def tracked_speedups(report):
+    """(name, value) pairs of the speedups the gate protects."""
+    out = []
+    for scenario, data in sorted(report.get("condition_eval", {}).items()):
+        if isinstance(data, dict) and "speedup" in data:
+            out.append((f"condition_eval.{scenario}.speedup",
+                        float(data["speedup"])))
+    if "hot_speedup" in report:
+        out.append(("hot_speedup", float(report["hot_speedup"])))
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="freshly produced BENCH_fig5.json")
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("--max-drop", type=float, default=0.30,
+                        help="maximum allowed fractional drop below the "
+                             "baseline (default 0.30 = 30%%)")
+    args = parser.parse_args()
+
+    with open(args.current) as f:
+        current = json.load(f)
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    baseline_values = dict(tracked_speedups(baseline))
+    current_values = dict(tracked_speedups(current))
+    if not baseline_values:
+        print("error: baseline has no tracked speedups", file=sys.stderr)
+        return 2
+
+    failed = False
+    for name, base in sorted(baseline_values.items()):
+        if name not in current_values:
+            print(f"FAIL {name}: missing from the current report")
+            failed = True
+            continue
+        now = current_values[name]
+        floor = base * (1.0 - args.max_drop)
+        status = "ok" if now >= floor else "FAIL"
+        print(f"{status:>4} {name}: current {now:.2f}x vs baseline "
+              f"{base:.2f}x (floor {floor:.2f}x)")
+        if now < floor:
+            failed = True
+
+    if failed:
+        print(f"\nbench regression: a speedup dropped more than "
+              f"{args.max_drop:.0%} below bench/baselines/", file=sys.stderr)
+        return 1
+    print("\nall tracked speedups within the regression budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
