@@ -1,8 +1,9 @@
-// Production-scale offline debugging: dump a VCD once, convert it to the
-// .wvx waveform index, and debug the *index* with the same hgdb runtime —
-// identical breakpoints and time travel as examples/trace_replay, but the
-// trace never materializes in RAM: residency is bounded by the LRU block
-// cache regardless of dump size.
+// Production-scale offline debugging: dump the .wvx waveform index
+// straight from the simulator (no VCD text round-trip), then debug the
+// *index* with the same hgdb runtime — identical breakpoints and time
+// travel as examples/trace_replay, but the trace never materializes in
+// RAM: residency is bounded by the LRU block cache regardless of dump
+// size, and reads go through an mmap'd region when the platform allows.
 //
 // Run: build/examples/indexed_replay
 #include <cstdio>
@@ -23,31 +24,30 @@ using namespace hgdb;
 using Command = runtime::Runtime::Command;
 
 int main() {
-  const std::string vcd_path = "/tmp/hgdb_indexed_replay.vcd";
   const std::string wvx_path = "/tmp/hgdb_indexed_replay.wvx";
 
   // -- 1. "Overnight regression": simulate and dump; no debugger attached.
+  //       A .wvx path makes the VcdWriter stream the v3 index directly
+  //       (varint/delta blocks, alias dedup) — the only pass over the
+  //       trace; every later debug session opens in O(header + directory).
   frontend::CompileOptions options;
   options.debug_mode = true;
   auto compiled = frontend::compile(workloads::workload("towers").build(),
                                     options);
   {
     sim::Simulator simulator(compiled.netlist);
-    sim::VcdWriter writer(simulator, vcd_path);
+    sim::VcdWriter writer(simulator, wvx_path);
     writer.attach();
     simulator.run(400);
+    writer.finish();
   }
 
-  // -- 2. One-time conversion: stream the VCD into the on-disk block index.
-  //       On a production dump this is the only full pass over the trace;
-  //       every later debug session opens in O(header + directory).
-  waveform::IndexWriterOptions index_options;
-  index_options.block_capacity = 64;
-  waveform::convert_vcd_to_index(vcd_path, wvx_path, index_options);
-
-  // -- 3. Attach hgdb to the index through a small LRU cache (8 blocks).
-  auto source = std::make_shared<waveform::IndexedWaveform>(wvx_path, 8);
-  std::cout << "index: " << source->signal_count() << " signals, "
+  // -- 2. Attach hgdb to the index through a small LRU cache (8 blocks).
+  auto source = std::make_shared<waveform::IndexedWaveform>(
+      wvx_path, waveform::WaveformOpenOptions{/*cache_blocks=*/8});
+  std::cout << "index: format v" << source->version() << " ("
+            << source->codec_name() << " codec, " << source->io_kind()
+            << " reads), " << source->signal_count() << " signals, "
             << source->total_blocks() << " blocks on disk, cache capacity "
             << source->cache_capacity() << " blocks\n";
 
@@ -85,7 +85,6 @@ int main() {
             << stats.misses << " misses, peak resident " << stats.peak_resident
             << "/" << source->cache_capacity() << " blocks\n";
 
-  std::remove(vcd_path.c_str());
   std::remove(wvx_path.c_str());
   return 0;
 }

@@ -5,8 +5,10 @@
 // live simulator process.
 //
 // Usage: hgdb-cli <workload> [--optimized] [--cycles N] [--replay vcd|wvx]
-//                 [--dap [port]]
+//                 [--io auto|mmap|buffered] [--dap [port]]
 //        hgdb-cli wvx-verify <file.wvx>
+//        hgdb-cli wvx-convert <in.vcd> <out.wvx> [--v2] [--fixed-codec]
+//                 [--no-dedup] [--no-checksums] [--block-cap N]
 //   workload: multiply | mm | mt-matmul | vvadd | qsort | dhrystone |
 //             median | towers | spmv | mt-vvadd | fpu
 //
@@ -17,15 +19,23 @@
 // The REPL speaks debug protocol v2 natively: it negotiates capabilities
 // at connect time (so reverse/jump availability is known up front) and
 // exposes the v2 request families (watchpoints, hierarchy browsing,
-// batched evaluation, stats). `wvx-verify` checks a waveform index's
-// per-block checksums and reports the first corrupt block.
+// batched evaluation, stats).
+//
+// `wvx-verify` checks a waveform index (any format version), reporting
+// the version, block codec and alias table, verifying per-block checksums
+// and naming the first corrupt block with a typed fault class.
+// `wvx-convert` converts a VCD dump to the index offline; the flags pick
+// the on-disk version (v3 varint/delta + alias dedup by default, --v2 /
+// --fixed-codec / --no-dedup for the legacy layouts).
 //
 // With --replay the workload is first simulated to a trace dump, then the
 // same REPL attaches to the *trace* through the replay backend (paper
 // Sec. 3.3): identical commands, free time travel, no live simulator.
 // "vcd" debugs the dump through the in-memory trace::VcdTrace; "wvx"
-// converts it to the on-disk waveform index and debugs through
-// waveform::IndexedWaveform with LRU-bounded residency.
+// dumps the waveform index *directly* from the simulator (no VCD text
+// round-trip) and debugs through waveform::IndexedWaveform with
+// LRU-bounded residency; --io picks its storage backend (default: mmap
+// where available).
 #include <unistd.h>
 
 #include <atomic>
@@ -374,35 +384,40 @@ void maybe_serve_dap(runtime::Runtime& runtime,
 
 /// Offline session: simulate once while dumping a trace, then debug the
 /// trace with the unified interface — the paper's replay flow end to end.
+/// "wvx" dumps the waveform index directly from the simulator (no VCD
+/// text is ever written); "vcd" keeps the text dump + in-memory parse.
 int run_replay_cli(const std::string& name, bool debug_mode, uint64_t cycles,
-                   const std::string& format,
+                   const std::string& format, waveform::IoMode io_mode,
                    std::optional<uint16_t> dap_port) {
   auto compiled = compile_workload(name, debug_mode);
 
   // Per-process paths: concurrent sessions must not clobber each other.
   const std::string stem =
       "/tmp/hgdb_cli_replay." + std::to_string(::getpid());
-  const std::string vcd_path = stem + ".vcd";
-  const std::string wvx_path = stem + ".wvx";
-  TempFileRemover remover{{vcd_path, wvx_path}};
+  const std::string dump_path = stem + (format == "wvx" ? ".wvx" : ".vcd");
+  TempFileRemover remover{{dump_path}};
   {
     sim::Simulator simulator(compiled.netlist);
-    sim::VcdWriter writer(simulator, vcd_path);
+    sim::VcdWriter writer(simulator, dump_path);
     writer.attach();
     simulator.run(cycles);
+    writer.finish();
   }
 
   std::shared_ptr<waveform::WaveformSource> source;
   if (format == "wvx") {
-    waveform::convert_vcd_to_index(vcd_path, wvx_path);
-    auto indexed = std::make_shared<waveform::IndexedWaveform>(wvx_path);
-    std::cout << "indexed " << indexed->signal_count() << " signals into "
-              << indexed->total_blocks() << " blocks (" << wvx_path
-              << "); cache capacity " << indexed->cache_capacity()
-              << " blocks\n";
+    auto indexed = std::make_shared<waveform::IndexedWaveform>(
+        dump_path,
+        waveform::WaveformOpenOptions{waveform::kDefaultCacheBlocks, io_mode});
+    std::cout << "dumped " << indexed->signal_count() << " signals into "
+              << indexed->total_blocks() << " blocks (" << dump_path
+              << ", format v" << indexed->version() << ", "
+              << indexed->codec_name() << " codec, no VCD round-trip); "
+              << indexed->io_kind() << " reads, cache capacity "
+              << indexed->cache_capacity() << " blocks\n";
     source = std::move(indexed);
   } else {
-    source = std::make_shared<trace::VcdTrace>(trace::parse_vcd_file(vcd_path));
+    source = std::make_shared<trace::VcdTrace>(trace::parse_vcd_file(dump_path));
   }
   std::cout << "replaying " << cycles << " dumped cycles of '" << name
             << "' through the " << (format == "wvx" ? "indexed" : "in-memory")
@@ -481,6 +496,51 @@ int run_cli(const std::string& name, bool debug_mode, uint64_t cycles,
 
 }  // namespace
 
+int run_wvx_convert(int argc, char** argv) {
+  if (argc < 4) {
+    std::cerr << "usage: hgdb-cli wvx-convert <in.vcd> <out.wvx> [--v2] "
+                 "[--fixed-codec] [--no-dedup] [--no-checksums] "
+                 "[--block-cap N]\n";
+    return 2;
+  }
+  const std::string vcd_path = argv[2];
+  const std::string wvx_path = argv[3];
+  waveform::IndexWriterOptions options;
+  for (int i = 4; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--v2") {
+      options.version = 2;
+    } else if (arg == "--fixed-codec") {
+      options.delta_codec = false;
+    } else if (arg == "--no-dedup") {
+      options.dedup_aliases = false;
+    } else if (arg == "--no-checksums") {
+      options.block_checksums = false;
+    } else if (arg == "--block-cap" && i + 1 < argc) {
+      options.block_capacity = static_cast<uint32_t>(std::stoul(argv[++i]));
+    } else {
+      std::cerr << "fatal: unknown wvx-convert flag '" << arg << "'\n";
+      return 2;
+    }
+  }
+  const size_t signals = waveform::convert_vcd_to_index(vcd_path, wvx_path,
+                                                        options);
+  const auto result = waveform::verify_index(wvx_path);
+  if (!result.ok) {
+    std::cerr << "conversion produced a corrupt index:\n"
+              << waveform::describe(result, wvx_path) << "\n";
+    return 1;
+  }
+  std::cout << wvx_path << ": " << signals << " signal(s), " << result.blocks
+            << " block(s), format v" << result.version << ", " << result.codec
+            << " codec";
+  if (result.aliases != 0) {
+    std::cout << ", " << result.aliases << " alias(es) deduped";
+  }
+  std::cout << (result.checksummed ? ", checksummed" : "") << "\n";
+  return 0;
+}
+
 int main(int argc, char** argv) {
   if (argc >= 2 && std::string(argv[1]) == "wvx-verify") {
     if (argc < 3) {
@@ -491,17 +551,40 @@ int main(int argc, char** argv) {
     std::cout << waveform::describe(result, argv[2]) << "\n";
     return result.ok ? 0 : 1;
   }
+  if (argc >= 2 && std::string(argv[1]) == "wvx-convert") {
+    try {
+      return run_wvx_convert(argc, argv);
+    } catch (const std::exception& error) {
+      std::cerr << "fatal: " << error.what() << "\n";
+      return 1;
+    }
+  }
   std::string name = "vvadd";
   bool debug_mode = true;
   std::optional<uint64_t> cycles;
   std::optional<uint16_t> dap_port;
   std::string replay_format;  // "", "vcd", or "wvx"
+  waveform::IoMode io_mode = waveform::IoMode::kAuto;
+  bool io_mode_set = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--optimized") {
       debug_mode = false;
     } else if (arg == "--cycles" && i + 1 < argc) {
       cycles = std::stoull(argv[++i]);
+    } else if (arg == "--io" && i + 1 < argc) {
+      const std::string mode = argv[++i];
+      io_mode_set = true;
+      if (mode == "auto") {
+        io_mode = waveform::IoMode::kAuto;
+      } else if (mode == "mmap") {
+        io_mode = waveform::IoMode::kMmap;
+      } else if (mode == "buffered") {
+        io_mode = waveform::IoMode::kBuffered;
+      } else {
+        std::cerr << "fatal: --io expects auto, mmap or buffered\n";
+        return 1;
+      }
     } else if (arg == "--dap") {
       // Optional port operand; omitted or 0 = ephemeral.
       dap_port = 0;
@@ -524,11 +607,18 @@ int main(int argc, char** argv) {
       name = arg;
     }
   }
+  // --io picks the IndexedWaveform storage backend; only the indexed
+  // replay mode opens one, so anywhere else the flag would be a silent
+  // no-op the user believes took effect.
+  if (io_mode_set && replay_format != "wvx") {
+    std::cerr << "fatal: --io only applies to --replay wvx\n";
+    return 1;
+  }
   try {
     if (!replay_format.empty()) {
       // Replay dumps the whole run up front, so default to a modest trace.
       return run_replay_cli(name, debug_mode, cycles.value_or(4096),
-                            replay_format, dap_port);
+                            replay_format, io_mode, dap_port);
     }
     return run_cli(name, debug_mode, cycles.value_or(uint64_t{1} << 20),
                    dap_port);

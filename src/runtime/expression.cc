@@ -585,6 +585,52 @@ bool Expression::evaluate_bool(const Resolver& resolver) const {
   return evaluate(resolver).to_bool();
 }
 
+namespace {
+
+/// Canonical AST rendering: unambiguous (every node parenthesized and
+/// length-prefixed where needed) and independent of source spelling —
+/// whitespace, infix vs. call syntax, and literal radix all normalize
+/// away. Not meant to be pretty; meant to be a cache key.
+void render_key(const Node& node, std::string& out) {
+  switch (node.kind) {
+    case Node::Kind::Literal:
+      out += node.literal_signed ? "s" : "u";
+      out += std::to_string(node.literal.width());
+      out += "'";
+      out += node.literal.to_string(16);
+      return;
+    case Node::Kind::Name:
+      // Length prefix: names may contain any punctuation ('.', '[', ']').
+      out += "n";
+      out += std::to_string(node.name.size());
+      out += ":";
+      out += node.name;
+      return;
+    case Node::Kind::Op:
+      break;
+  }
+  out += node.logical ? "L(" : "(";
+  out += ir::prim_op_name(node.op);
+  for (uint32_t param : node.int_params) {
+    out += " #";
+    out += std::to_string(param);
+  }
+  for (const auto& child : node.children) {
+    out += " ";
+    render_key(*child, out);
+  }
+  out += ")";
+}
+
+}  // namespace
+
+std::string Expression::cache_key() const {
+  std::string out;
+  out.reserve(text_.size() + 16);
+  render_key(*root_, out);
+  return out;
+}
+
 // ---------------------------------------------------------------------------
 // Compilation: AST -> flat register program
 // ---------------------------------------------------------------------------

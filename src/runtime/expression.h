@@ -61,6 +61,13 @@ class Expression {
 
   [[nodiscard]] const std::string& text() const { return text_; }
 
+  /// Canonical rendering of the parsed AST, stable across textual
+  /// variations of one expression ("a&&b" == "a && b" == "and(a, b)" when
+  /// they parse to the same tree). The runtime keys its shared-program
+  /// cache on this, so N instances arming the same condition compile one
+  /// CompiledExpression instead of N identical ones.
+  [[nodiscard]] std::string cache_key() const;
+
   struct Node;  // implementation detail, defined in expression.cc
 
  private:

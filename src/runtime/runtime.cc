@@ -652,13 +652,36 @@ std::optional<Runtime::SlotBinding> Runtime::resolve_binding(
   return design_slot(name);
 }
 
+std::shared_ptr<const CompiledExpression> Runtime::compile_shared(
+    const Expression& expr, bool persist) {
+  // CSE across arms: N instances (or N sessions) arming the same condition
+  // share one flat program; only the slot maps are per-instance. The key
+  // is the normalized AST, so "a&&b" and "a && b" unify too. Only armed
+  // predicates persist: caching throwaway one-off evaluations would let a
+  // long-lived debug server grow the map without bound.
+  std::string key = expr.cache_key();
+  auto it = program_cache_.find(key);
+  if (it != program_cache_.end()) {
+    if (options_.collect_stats) {
+      stats_.program_cache_hits.fetch_add(1, std::memory_order_relaxed);
+    }
+    return it->second;
+  }
+  auto program = std::make_shared<const CompiledExpression>(expr.compile());
+  if (options_.collect_stats) {
+    stats_.programs_compiled.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (persist) program_cache_.emplace(std::move(key), program);
+  return program;
+}
+
 Runtime::CompiledPredicate Runtime::bind_predicate(
     const Expression& expr, const Breakpoint* scope_bp, int64_t instance_id,
     const std::string& instance_name, EvalPlan* plan,
-    std::vector<uint32_t>* deps, bool require_resolved) {
+    std::vector<uint32_t>* deps, bool require_resolved, bool persist_program) {
   CompiledPredicate predicate;
-  predicate.expr = expr.compile();
-  const auto& symbols = predicate.expr.symbols();
+  predicate.expr = compile_shared(expr, persist_program);
+  const auto& symbols = predicate.expr->symbols();
   predicate.bindings.reserve(symbols.size());
   for (const auto& symbol : symbols) {
     auto binding =
@@ -740,6 +763,14 @@ void Runtime::rebuild_plan_locked() {
     }
     sub.last_serial = 0;  // next edge re-checks against last_values
   }
+  // Drop programs no live predicate references (use_count 1 = only the
+  // cache holds it): arm/disarm churn on a long-lived server must not
+  // grow the cache monotonically. Everything above rebound first, so
+  // shared programs still in use survive the sweep.
+  for (auto it = program_cache_.begin(); it != program_cache_.end();) {
+    it = it->second.use_count() == 1 ? program_cache_.erase(it)
+                                     : std::next(it);
+  }
   values_stale_ = true;
 }
 
@@ -748,18 +779,38 @@ void Runtime::ensure_edge_values_locked() {
   const size_t count = plan_.handles.size();
   ++plan_.serial;  // even an empty fetch round advances the cache epoch
   if (count != 0) {
-    plan_.incoming.resize(count);
-    plan_.incoming_present.assign(count, 0);
-    interface_->get_values(plan_.handles.data(), count, plan_.incoming.data(),
-                           plan_.incoming_present.data());
-    for (size_t i = 0; i < count; ++i) {
-      const bool was_present = plan_.present[i] != 0;
-      const bool now_present = plan_.incoming_present[i] != 0;
-      if (was_present != now_present ||
-          (now_present && plan_.values[i] != plan_.incoming[i])) {
-        plan_.change_serial[i] = plan_.serial;
-        plan_.present[i] = plan_.incoming_present[i];
-        if (now_present) std::swap(plan_.values[i], plan_.incoming[i]);
+    // Zero-copy fast path: backends with stable storage (the native
+    // simulator's value array) hand back pointers; unchanged signals are
+    // compared in place and copied never, changed ones copy-assign into
+    // the plan (reusing capacity). The copying get_values() path remains
+    // for backends that must marshal (replay seeks, RPC).
+    plan_.views.resize(count);
+    if (interface_->get_value_views(plan_.handles.data(), count,
+                                    plan_.views.data())) {
+      for (size_t i = 0; i < count; ++i) {
+        const bool was_present = plan_.present[i] != 0;
+        const bool now_present = plan_.views[i] != nullptr;
+        if (was_present != now_present ||
+            (now_present && plan_.values[i] != *plan_.views[i])) {
+          plan_.change_serial[i] = plan_.serial;
+          plan_.present[i] = now_present ? 1 : 0;
+          if (now_present) plan_.values[i] = *plan_.views[i];
+        }
+      }
+    } else {
+      plan_.incoming.resize(count);
+      plan_.incoming_present.assign(count, 0);
+      interface_->get_values(plan_.handles.data(), count, plan_.incoming.data(),
+                             plan_.incoming_present.data());
+      for (size_t i = 0; i < count; ++i) {
+        const bool was_present = plan_.present[i] != 0;
+        const bool now_present = plan_.incoming_present[i] != 0;
+        if (was_present != now_present ||
+            (now_present && plan_.values[i] != plan_.incoming[i])) {
+          plan_.change_serial[i] = plan_.serial;
+          plan_.present[i] = plan_.incoming_present[i];
+          if (now_present) std::swap(plan_.values[i], plan_.incoming[i]);
+        }
       }
     }
     if (options_.collect_stats) {
@@ -784,7 +835,7 @@ const BitVector* Runtime::eval_predicate_value(CompiledPredicate& predicate,
           plan.present[slot] != 0 ? &plan.values[slot] : nullptr;
     }
   }
-  return predicate.expr.evaluate(predicate.ptrs.data(), predicate.scratch);
+  return predicate.expr->evaluate(predicate.ptrs.data(), predicate.scratch);
 }
 
 int Runtime::eval_predicate(CompiledPredicate& predicate,
@@ -812,7 +863,8 @@ std::optional<BitVector> Runtime::evaluate_compiled(
   CompiledPredicate predicate;
   try {
     predicate = bind_predicate(parsed, scope_bp, instance_id, instance_name,
-                               &local, nullptr, true);
+                               &local, nullptr, true,
+                               /*persist_program=*/false);
   } catch (const std::exception&) {
     return std::nullopt;
   }
@@ -1351,6 +1403,10 @@ Runtime::Stats Runtime::stats() const {
   out.dirty_skips = stats_.dirty_skips.load(std::memory_order_relaxed);
   out.batch_fetches = stats_.batch_fetches.load(std::memory_order_relaxed);
   out.batch_signals = stats_.batch_signals.load(std::memory_order_relaxed);
+  out.programs_compiled =
+      stats_.programs_compiled.load(std::memory_order_relaxed);
+  out.program_cache_hits =
+      stats_.program_cache_hits.load(std::memory_order_relaxed);
   return out;
 }
 

@@ -217,6 +217,11 @@ class Runtime {
     uint64_t batch_fetches = 0;
     /// Signals read through the batched entry point, total.
     uint64_t batch_signals = 0;
+    /// Expression programs actually lowered by compile().
+    uint64_t programs_compiled = 0;
+    /// Arms that reused a shared program from the normalized-AST cache
+    /// instead of recompiling (CSE across instances/sessions).
+    uint64_t program_cache_hits = 0;
   };
   [[nodiscard]] Stats stats() const;
   [[nodiscard]] const RuntimeOptions& options() const { return options_; }
@@ -242,11 +247,15 @@ class Runtime {
   };
 
   /// A compiled expression armed against the signal plan: symbols()[i]
-  /// reads through bindings[i]. `ptrs` and `scratch` are per-predicate
-  /// evaluation state — a batch member is evaluated by exactly one pool
-  /// thread, so no further synchronization is needed.
+  /// reads through bindings[i]. The *program* is shared: N instances
+  /// arming the same condition text hold one CompiledExpression (CSE via
+  /// the normalized-AST program cache) with per-instance slot maps
+  /// (`bindings`). `ptrs` and `scratch` are per-predicate evaluation
+  /// state — a batch member is evaluated by exactly one pool thread and
+  /// CompiledExpression::evaluate is const over the program, so no further
+  /// synchronization is needed.
   struct CompiledPredicate {
-    CompiledExpression expr;
+    std::shared_ptr<const CompiledExpression> expr;
     std::vector<SlotBinding> bindings;
     bool poisoned = false;  ///< some symbol unresolvable: evaluation fails
     std::vector<const common::BitVector*> ptrs;
@@ -303,6 +312,10 @@ class Runtime {
     // Reused fetch buffers (compare-and-commit against `values`).
     std::vector<common::BitVector> incoming;
     std::vector<uint8_t> incoming_present;
+    /// Zero-copy fetch buffer: pointers into the backend's value store
+    /// when it supports get_value_views (unchanged signals are compared in
+    /// place, copied never).
+    std::vector<const common::BitVector*> views;
     std::map<std::string, uint32_t> index;  ///< design name -> slot
     uint64_t serial = 0;  ///< bumped on every committed fetch
   };
@@ -396,12 +409,19 @@ class Runtime {
   /// unresolvable symbol (arm-time typed error); otherwise the predicate
   /// is returned poisoned and never fires — matching the interpreted
   /// behaviour for stale symbol-table enables.
+  /// Program lookup for bind_predicate: one shared CompiledExpression per
+  /// normalized AST (compiling on first sight). `persist` = false reuses a
+  /// cached program but never inserts — one-off protocol evaluations must
+  /// not grow the cache without bound. Caller holds state_mutex_.
+  std::shared_ptr<const CompiledExpression> compile_shared(
+      const Expression& expr, bool persist);
   CompiledPredicate bind_predicate(const Expression& expr,
                                    const Breakpoint* scope_bp,
                                    int64_t instance_id,
                                    const std::string& instance_name,
                                    EvalPlan* plan, std::vector<uint32_t>* deps,
-                                   bool require_resolved);
+                                   bool require_resolved,
+                                   bool persist_program = true);
   /// Rebuilds the whole plan (all enables + inserted conditions +
   /// watchpoints) and resets the change-driven caches. Caller holds
   /// state_mutex_.
@@ -463,6 +483,13 @@ class Runtime {
 
   // Compiled-evaluation state (guarded by state_mutex_).
   EvalPlan plan_;
+  /// Common-subexpression sharing: one compiled program per normalized
+  /// AST, shared by every arm of that condition (per-instance state lives
+  /// in the predicates, not the program). Keyed on Expression::cache_key()
+  /// so textual variations of one expression unify. Persistent across plan
+  /// rebuilds — programs depend only on the AST, never on bindings.
+  std::map<std::string, std::shared_ptr<const CompiledExpression>>
+      program_cache_;
   /// Values already fetched for the current edge; cleared at edge entry.
   bool edge_values_fresh_ = false;
   /// A stop was delivered or a mutator ran since the last fetch: the next
@@ -492,6 +519,8 @@ class Runtime {
     std::atomic<uint64_t> dirty_skips{0};
     std::atomic<uint64_t> batch_fetches{0};
     std::atomic<uint64_t> batch_signals{0};
+    std::atomic<uint64_t> programs_compiled{0};
+    std::atomic<uint64_t> program_cache_hits{0};
   };
   mutable AtomicStats stats_;
 };

@@ -699,6 +699,8 @@ void SessionManager::register_builtins() {
     response.payload["dirty_skips"] = Json(stats.dirty_skips);
     response.payload["batch_fetches"] = Json(stats.batch_fetches);
     response.payload["batch_signals"] = Json(stats.batch_signals);
+    response.payload["programs_compiled"] = Json(stats.programs_compiled);
+    response.payload["program_cache_hits"] = Json(stats.program_cache_hits);
     response.payload["sessions"] =
         Json(static_cast<int64_t>(service_->client_count()));
     response.payload["watchpoints"] =

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/strings.h"
+#include "waveform/index_writer.h"
 
 namespace hgdb::sim {
 
@@ -18,9 +19,9 @@ struct ScopeNode {
 
 }  // namespace
 
-VcdWriter::VcdWriter(Simulator& simulator, const std::string& path)
-    : simulator_(&simulator), out_(path) {
-  if (!out_) throw std::runtime_error("cannot open VCD file '" + path + "'");
+VcdWriter::VcdWriter(Simulator& simulator, const std::string& path,
+                     waveform::IndexWriterOptions index_options)
+    : simulator_(&simulator) {
   const auto& signals = simulator.netlist().signals();
   for (const auto& signal : signals) {
     if (signal.name.empty()) continue;  // temporaries are not traced
@@ -33,10 +34,47 @@ VcdWriter::VcdWriter(Simulator& simulator, const std::string& path)
   for (const auto& entry : entries_) {
     shadow_.emplace_back(simulator.netlist().signal(entry.signal_id).width, 0);
   }
+
+  if (waveform::is_wvx_path(path)) {
+    // Direct index emission: declare every traced signal to the sink up
+    // front (ids follow entries_ order), then sample() streams changes.
+    auto writer = std::make_unique<waveform::IndexWriter>(path, index_options);
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      const auto& signal = simulator.netlist().signal(entries_[i].signal_id);
+      waveform::SignalInfo info;
+      info.hier_name = signal.name;
+      info.width = signal.width;
+      writer->on_signal(i, info);
+    }
+    sink_ = std::move(writer);
+    return;
+  }
+
+  out_.open(path);
+  if (!out_) throw std::runtime_error("cannot open VCD file '" + path + "'");
   write_header();
 }
 
-VcdWriter::~VcdWriter() = default;
+VcdWriter::~VcdWriter() {
+  try {
+    finish();
+  } catch (...) {
+    // Destructor must not throw; an unreadable index is detected by the
+    // reader (missing footer).
+  }
+}
+
+void VcdWriter::finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (sink_ != nullptr) {
+    const uint64_t max_time =
+        last_time_ == ~uint64_t{0} ? simulator_->time() : last_time_;
+    sink_->on_finish(max_time);
+  } else if (out_.is_open()) {
+    out_.flush();
+  }
+}
 
 std::string VcdWriter::code_for(size_t index) {
   // Identifier codes use the printable range '!'..'~' (94 symbols).
@@ -84,6 +122,22 @@ void VcdWriter::write_header() {
 
 void VcdWriter::sample() {
   const uint64_t now = simulator_->time();
+
+  if (sink_ != nullptr) {
+    // Direct mode mirrors $dumpvars semantics: the first sample records
+    // every signal (initial values, including zeros), later samples only
+    // the changed ones.
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      const auto& value = simulator_->value(entries_[i].signal_id);
+      if (!first_sample_ && value == shadow_[i]) continue;
+      sink_->on_change(i, now, value);
+      shadow_[i] = value;
+    }
+    first_sample_ = false;
+    last_time_ = now;
+    return;
+  }
+
   bool wrote_time = false;
   auto ensure_time = [&] {
     if (!wrote_time) {

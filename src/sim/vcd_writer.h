@@ -2,23 +2,37 @@
 #define HGDB_SIM_VCD_WRITER_H
 
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "sim/simulator.h"
+#include "waveform/index_format.h"
+#include "waveform/index_sink.h"
 
 namespace hgdb::sim {
 
-/// Streams value changes of all named signals to a VCD file.
+/// Streams value changes of all named signals to a trace file.
+///
+/// Two output paths share one change-detection loop:
+///  - `.vcd` (anything not ending in ".wvx"): classic VCD text, readable
+///    by external viewers and by the chunked parser;
+///  - `.wvx`: the changes feed a waveform::IndexSink (an IndexWriter)
+///    directly, producing the indexed store with no intermediate VCD text
+///    round-trip — the native simulator's dump is written once, already
+///    seekable.
 ///
 /// The trace drives the paper's offline replay flow: hgdb can attach to a
-/// captured VCD instead of a live simulator and offer the same debugging
-/// interface, including reverse debugging (Sec. 3.3: "enable offline replay
-/// from captured trace").
+/// captured dump instead of a live simulator and offer the same debugging
+/// interface, including reverse debugging (Sec. 3.3: "enable offline
+/// replay from captured trace").
 class VcdWriter {
  public:
   /// Opens `path` and writes the header (hierarchy from dotted names).
-  VcdWriter(Simulator& simulator, const std::string& path);
+  /// A ".wvx" suffix selects direct index emission; `index_options`
+  /// controls that mode (ignored for VCD text).
+  VcdWriter(Simulator& simulator, const std::string& path,
+            waveform::IndexWriterOptions index_options = {});
   ~VcdWriter();
 
   VcdWriter(const VcdWriter&) = delete;
@@ -32,6 +46,14 @@ class VcdWriter {
   /// that samples automatically. Returns the callback handle.
   uint64_t attach();
 
+  /// Finalizes the dump. For `.wvx` this flushes pending blocks and writes
+  /// the footer; until then the index is unreadable. Idempotent; also runs
+  /// from the destructor. Throws on I/O failure (destructor swallows).
+  void finish();
+
+  /// True when this writer emits the indexed format directly.
+  [[nodiscard]] bool direct_index() const { return sink_ != nullptr; }
+
  private:
   struct Entry {
     uint32_t signal_id = 0;
@@ -42,10 +64,12 @@ class VcdWriter {
   static std::string code_for(size_t index);
 
   Simulator* simulator_;
-  std::ofstream out_;
+  std::ofstream out_;                           ///< VCD text mode
+  std::unique_ptr<waveform::IndexSink> sink_;   ///< direct .wvx mode
   std::vector<Entry> entries_;
   std::vector<common::BitVector> shadow_;
   bool first_sample_ = true;
+  bool finished_ = false;
   uint64_t last_time_ = ~uint64_t{0};
 };
 

@@ -62,7 +62,12 @@ std::optional<common::BitVector> ReplayEngine::value(
 
 std::optional<size_t> ReplayEngine::signal_index(
     const std::string& hier_name) const {
-  return source_->signal_index(hier_name);
+  // Canonicalize: aliased names resolve to the index owning the change
+  // stream, so repeated-read plans (the batched breakpoint fetch) and the
+  // block cache see one signal per net, not one per name.
+  auto index = source_->signal_index(hier_name);
+  if (!index) return std::nullopt;
+  return source_->canonical_index(*index);
 }
 
 common::BitVector ReplayEngine::value_at(size_t index) const {

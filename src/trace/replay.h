@@ -62,7 +62,9 @@ class ReplayEngine {
   [[nodiscard]] std::optional<common::BitVector> value(
       const std::string& hier_name) const;
   /// Stable signal index for repeated reads (batched breakpoint fetch):
-  /// resolve the name once, then value_at() skips the name lookup.
+  /// resolve the name once, then value_at() skips the name lookup. The
+  /// returned index is *canonical* — aliased names map to the one index
+  /// owning their shared change stream (WaveformSource::canonical_index).
   [[nodiscard]] std::optional<size_t> signal_index(
       const std::string& hier_name) const;
   /// Value of signal `index` at the current cursor time.

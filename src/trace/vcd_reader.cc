@@ -17,7 +17,7 @@ std::optional<size_t> VcdTrace::var_index(const std::string& name) const {
 }
 
 BitVector VcdTrace::value_at(size_t index, uint64_t time) const {
-  const auto& list = changes_[index];
+  const auto& list = changes_[canonical_[index]];
   // Last change with change.time <= time.
   auto it = std::upper_bound(
       list.begin(), list.end(), time,
@@ -29,7 +29,7 @@ BitVector VcdTrace::value_at(size_t index, uint64_t time) const {
 std::vector<uint64_t> VcdTrace::rising_edges(size_t index) const {
   std::vector<uint64_t> out;
   bool previous = false;
-  for (const auto& [time, value] : changes_[index]) {
+  for (const auto& [time, value] : changes_[canonical_[index]]) {
     const bool current = value.to_bool();
     if (current && !previous) out.push_back(time);
     previous = current;
@@ -59,6 +59,14 @@ class VcdTraceBuilder final : public waveform::VcdEventSink {
     trace_.by_name_.emplace(info.hier_name, id);
     trace_.vars_.push_back(info);
     trace_.changes_.emplace_back();
+    trace_.canonical_.push_back(id);
+  }
+
+  void on_alias(size_t id, size_t canonical_id) override {
+    // The alias serves the canonical signal's change list; its own stays
+    // empty (one stream's memory for the whole group).
+    trace_.canonical_[id] = trace_.canonical_[canonical_id];
+    ++trace_.alias_count_;
   }
 
   void on_change(size_t id, uint64_t time, const BitVector& value) override {
@@ -86,11 +94,11 @@ VcdTrace parse_vcd_file(const std::string& path) {
 }
 
 std::shared_ptr<waveform::WaveformSource> open_waveform(const std::string& path,
-                                                        size_t cache_blocks) {
-  const bool indexed =
-      path.size() >= 4 && path.compare(path.size() - 4, 4, ".wvx") == 0;
-  if (indexed) {
-    return std::make_shared<waveform::IndexedWaveform>(path, cache_blocks);
+                                                        size_t cache_blocks,
+                                                        waveform::IoMode io_mode) {
+  if (waveform::is_wvx_path(path)) {
+    return std::make_shared<waveform::IndexedWaveform>(
+        path, waveform::WaveformOpenOptions{cache_blocks, io_mode});
   }
   return std::make_shared<VcdTrace>(parse_vcd_file(path));
 }

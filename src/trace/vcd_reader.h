@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/bitvector.h"
+#include "waveform/storage_backend.h"
 #include "waveform/waveform_source.h"
 
 namespace hgdb::trace {
@@ -24,6 +25,9 @@ using VcdVar = waveform::SignalInfo;
 /// the VCD carries the design hierarchy but no definition information, so
 /// the debugger matches symbol-table instance names onto it by substring
 /// matching. X/Z values are mapped to 0 (the runtime is two-state).
+/// Id-code aliases (several $var names on one net) share a single change
+/// list through a canonical-id indirection — N aliased names cost one
+/// stream's memory, not N.
 /// For production-scale dumps use waveform::IndexedWaveform, which answers
 /// the same WaveformSource queries from an on-disk block index.
 class VcdTrace final : public waveform::WaveformSource {
@@ -41,6 +45,9 @@ class VcdTrace final : public waveform::WaveformSource {
       const std::string& hier_name) const override {
     return var_index(hier_name);
   }
+  [[nodiscard]] size_t canonical_index(size_t index) const override {
+    return canonical_[index];
+  }
 
   /// Value of variable `index` at `time` (last change at or before `time`;
   /// zero before the first change).
@@ -50,14 +57,19 @@ class VcdTrace final : public waveform::WaveformSource {
   /// Times at which the variable transitions 0 -> nonzero.
   [[nodiscard]] std::vector<uint64_t> rising_edges(size_t index) const override;
 
-  /// Change list (time, value), sorted by time.
+  /// Change list (time, value), sorted by time — the canonical signal's
+  /// list for aliased indexes.
   [[nodiscard]] const std::vector<std::pair<uint64_t, common::BitVector>>&
   changes(size_t index) const {
-    return changes_[index];
+    return changes_[canonical_[index]];
   }
 
+  /// Signals sharing another signal's change list.
+  [[nodiscard]] size_t alias_count() const { return alias_count_; }
+
   /// Rough resident footprint of the change lists in bytes (bench proxy
-  /// for comparing against the indexed store's bounded cache).
+  /// for comparing against the indexed store's bounded cache). Aliased
+  /// streams are counted once — they are stored once.
   [[nodiscard]] size_t resident_bytes() const;
 
  private:
@@ -65,6 +77,8 @@ class VcdTrace final : public waveform::WaveformSource {
   std::vector<VcdVar> vars_;
   std::map<std::string, size_t> by_name_;
   std::vector<std::vector<std::pair<uint64_t, common::BitVector>>> changes_;
+  std::vector<size_t> canonical_;  ///< change-list owner per signal
+  size_t alias_count_ = 0;
   uint64_t max_time_ = 0;
 };
 
@@ -75,11 +89,12 @@ VcdTrace parse_vcd(std::string_view text);
 VcdTrace parse_vcd_file(const std::string& path);
 
 /// Opens a waveform by file type: ".wvx" -> waveform::IndexedWaveform
-/// (on-disk index, LRU-bounded residency), anything else -> in-memory
-/// VcdTrace parse.
+/// (on-disk index, LRU-bounded residency; `io_mode` picks the storage
+/// backend), anything else -> in-memory VcdTrace parse.
 std::shared_ptr<waveform::WaveformSource> open_waveform(
     const std::string& path,
-    size_t cache_blocks = waveform::kDefaultCacheBlocks);
+    size_t cache_blocks = waveform::kDefaultCacheBlocks,
+    waveform::IoMode io_mode = waveform::IoMode::kAuto);
 
 }  // namespace hgdb::trace
 

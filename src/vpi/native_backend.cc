@@ -24,6 +24,17 @@ void NativeBackend::get_values(const uint64_t* handles, size_t count,
   }
 }
 
+bool NativeBackend::get_value_views(const uint64_t* handles, size_t count,
+                                    const common::BitVector** out) {
+  // Handles are simulator signal ids (validated at lookup_signal time);
+  // the value array is stable while the simulator sits in a callback, so
+  // pointers into it are safe for the whole edge.
+  for (size_t i = 0; i < count; ++i) {
+    out[i] = &simulator_->value(static_cast<uint32_t>(handles[i]));
+  }
+  return true;
+}
+
 std::vector<std::string> NativeBackend::signal_names() const {
   std::vector<std::string> out;
   for (const auto& signal : simulator_->netlist().signals()) {

@@ -34,11 +34,14 @@ class NativeBackend final : public SimulatorInterface {
 
   /// Batched reads bypass the name table entirely: a handle is the
   /// simulator's signal id, and get_values() copies straight out of the
-  /// value array.
+  /// value array — or, via get_value_views(), hands back stable pointers
+  /// into it so the caller copies nothing at all.
   [[nodiscard]] std::optional<uint64_t> lookup_signal(
       const std::string& hier_name) override;
   void get_values(const uint64_t* handles, size_t count,
                   common::BitVector* out, uint8_t* present) override;
+  [[nodiscard]] bool get_value_views(const uint64_t* handles, size_t count,
+                                     const common::BitVector** out) override;
 
   [[nodiscard]] sim::Simulator& simulator() { return *simulator_; }
 

@@ -84,6 +84,21 @@ class SimulatorInterface {
   /// edges, which keeps the fetch allocation-free for small values).
   virtual void get_values(const uint64_t* handles, size_t count,
                           common::BitVector* out, uint8_t* present);
+  /// Zero-copy variant: out[i] receives a pointer into the backend's own
+  /// value store for handles[i] (nullptr when unavailable) instead of a
+  /// copy. Pointers stay valid — and their pointees stable — until the
+  /// simulation next advances, which under the zero-delay callback
+  /// contract means for the duration of the current clock-edge callback.
+  /// Returns false when the backend cannot expose stable storage (replay
+  /// recomputes values per seek; RPC backends marshal) — callers then fall
+  /// back to the copying get_values(). The native backend returns direct
+  /// pointers into the simulator's value array, so a fetch round over N
+  /// unchanged signals copies nothing.
+  [[nodiscard]] virtual bool get_value_views(
+      const uint64_t* /*handles*/, size_t /*count*/,
+      const common::BitVector** /*out*/) {
+    return false;
+  }
 
  private:
   /// Names registered by the default lookup_signal(), indexed by handle,

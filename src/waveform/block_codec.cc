@@ -1,0 +1,234 @@
+#include "waveform/block_codec.h"
+
+#include "waveform/index_format.h"
+
+namespace hgdb::waveform {
+
+using common::BitVector;
+
+void append_varint(std::string& out, uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  out.push_back(static_cast<char>(value));
+}
+
+uint32_t varint_size(uint64_t value) {
+  uint32_t bytes = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++bytes;
+  }
+  return bytes;
+}
+
+uint64_t read_varint(const uint8_t** cursor, const uint8_t* end) {
+  uint64_t out = 0;
+  const uint8_t* p = *cursor;
+  // Bounded shifts: a u64 spans at most 10 LEB128 bytes, and the 10th may
+  // carry only bit 0 with no continuation — anything else is rejected
+  // before the shift, so corrupt payloads can never reach UB territory.
+  for (uint32_t shift = 0; shift < 64; shift += 7) {
+    if (p >= end) {
+      throw WvxError(WvxFault::kTruncatedBlock,
+                     "wvx: truncated varint in block payload");
+    }
+    const uint8_t byte = *p++;
+    if (shift == 63 && (byte & 0xfe) != 0) {
+      throw WvxError(WvxFault::kCorrupt, "wvx: overlong varint in block");
+    }
+    out |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *cursor = p;
+      return out;
+    }
+  }
+  throw WvxError(WvxFault::kCorrupt, "wvx: overlong varint in block");
+}
+
+namespace {
+
+/// Little-endian value bytes of a BitVector, `value_bytes` wide.
+void append_value_bytes(std::string& out, const BitVector& value,
+                        uint32_t value_bytes) {
+  const auto& words = value.words();
+  for (uint32_t byte = 0; byte < value_bytes; ++byte) {
+    const size_t word = byte / 8;
+    const uint64_t shifted =
+        word < words.size() ? words[word] >> (8 * (byte % 8)) : 0;
+    out.push_back(static_cast<char>(shifted & 0xff));
+  }
+}
+
+BitVector value_from_bytes(const uint8_t* bytes, uint32_t value_bytes,
+                           uint32_t width) {
+  std::vector<uint64_t> words((width + 63) / 64, 0);
+  for (uint32_t byte = 0; byte < value_bytes; ++byte) {
+    words[byte / 8] |= static_cast<uint64_t>(bytes[byte]) << (8 * (byte % 8));
+  }
+  return BitVector::from_words(width, std::move(words));
+}
+
+[[noreturn]] void truncated() {
+  throw WvxError(WvxFault::kTruncatedBlock,
+                 "wvx: block payload shorter than its entry count");
+}
+
+// ---------------------------------------------------------------------------
+// fixed codec (v1/v2)
+// ---------------------------------------------------------------------------
+
+class FixedBlockCodec final : public BlockCodec {
+ public:
+  [[nodiscard]] const char* name() const override { return "fixed"; }
+
+  void encode(const uint64_t* times, const BitVector* values, size_t count,
+              uint32_t width, std::string& out) const override {
+    const uint32_t value_bytes = wvx_value_bytes(width);
+    for (size_t i = 0; i < count; ++i) {
+      uint64_t time = times[i];
+      for (int b = 0; b < 8; ++b) {
+        out.push_back(static_cast<char>(time & 0xff));
+        time >>= 8;
+      }
+      append_value_bytes(out, values[i], value_bytes);
+    }
+  }
+
+  void decode(const char* payload, size_t payload_bytes, uint32_t count,
+              uint32_t width, DecodedBlock& out) const override {
+    out.clear();
+    out.reserve(count);
+    const uint32_t value_bytes = wvx_value_bytes(width);
+    const uint64_t stride = wvx_entry_stride(width);
+    if (payload_bytes < stride * count) truncated();
+    if (payload_bytes > stride * count) {
+      throw WvxError(WvxFault::kCorrupt,
+                     "wvx: block payload larger than its entry count");
+    }
+    const auto* base = reinterpret_cast<const uint8_t*>(payload);
+    for (uint32_t entry = 0; entry < count; ++entry) {
+      const uint8_t* p = base + entry * stride;
+      uint64_t time = 0;
+      for (int b = 7; b >= 0; --b) time = (time << 8) | p[b];
+      out.emplace_back(time, value_from_bytes(p + 8, value_bytes, width));
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// delta codec (v3)
+// ---------------------------------------------------------------------------
+
+enum : uint8_t {
+  kTagRepeat = 0,  ///< value equals the previous entry's
+  kTagXor = 1,     ///< varint of value XOR previous (width <= 64)
+  kTagRaw = 2,     ///< raw little-endian value bytes
+};
+
+class DeltaBlockCodec final : public BlockCodec {
+ public:
+  [[nodiscard]] const char* name() const override { return "delta"; }
+
+  void encode(const uint64_t* times, const BitVector* values, size_t count,
+              uint32_t width, std::string& out) const override {
+    const uint32_t value_bytes = wvx_value_bytes(width);
+    const bool narrow = width <= 64;
+    uint64_t prev_time = 0;
+    uint64_t prev_word = 0;       // narrow: previous value as a word
+    const BitVector* prev = nullptr;  // wide: previous value
+    for (size_t i = 0; i < count; ++i) {
+      append_varint(out, times[i] - prev_time);
+      prev_time = times[i];
+      const BitVector& value = values[i];
+      if (narrow) {
+        const uint64_t word = value.to_uint64();
+        const uint64_t diff = word ^ prev_word;
+        if (diff == 0) {
+          out.push_back(static_cast<char>(kTagRepeat));
+        } else if (varint_size(diff) <= value_bytes) {
+          out.push_back(static_cast<char>(kTagXor));
+          append_varint(out, diff);
+        } else {
+          out.push_back(static_cast<char>(kTagRaw));
+          append_value_bytes(out, value, value_bytes);
+        }
+        prev_word = word;
+      } else {
+        if (prev != nullptr ? value == *prev : value.is_zero()) {
+          out.push_back(static_cast<char>(kTagRepeat));
+        } else {
+          out.push_back(static_cast<char>(kTagRaw));
+          append_value_bytes(out, value, value_bytes);
+        }
+        prev = &value;
+      }
+    }
+  }
+
+  void decode(const char* payload, size_t payload_bytes, uint32_t count,
+              uint32_t width, DecodedBlock& out) const override {
+    out.clear();
+    out.reserve(count);
+    const uint32_t value_bytes = wvx_value_bytes(width);
+    const bool narrow = width <= 64;
+    const auto* p = reinterpret_cast<const uint8_t*>(payload);
+    const uint8_t* end = p + payload_bytes;
+    uint64_t time = 0;
+    uint64_t prev_word = 0;
+    BitVector prev(width, 0);
+    for (uint32_t entry = 0; entry < count; ++entry) {
+      time += read_varint(&p, end);
+      if (p >= end) truncated();
+      const uint8_t tag = *p++;
+      switch (tag) {
+        case kTagRepeat:
+          break;
+        case kTagXor: {
+          if (!narrow) {
+            throw WvxError(WvxFault::kCorrupt,
+                           "wvx: xor-tagged entry on a wide signal");
+          }
+          prev_word ^= read_varint(&p, end);
+          prev.assign_uint64(prev_word);
+          break;
+        }
+        case kTagRaw: {
+          if (static_cast<size_t>(end - p) < value_bytes) truncated();
+          prev = value_from_bytes(p, value_bytes, width);
+          if (narrow) prev_word = prev.to_uint64();
+          p += value_bytes;
+          break;
+        }
+        default:
+          throw WvxError(WvxFault::kCorrupt,
+                         "wvx: unknown value tag " + std::to_string(tag) +
+                             " in block payload");
+      }
+      out.emplace_back(time, prev);
+    }
+    if (p != end) {
+      throw WvxError(WvxFault::kCorrupt,
+                     "wvx: trailing bytes after the last block entry");
+    }
+  }
+};
+
+}  // namespace
+
+const BlockCodec& fixed_codec() {
+  static const FixedBlockCodec codec;
+  return codec;
+}
+
+const BlockCodec& delta_codec() {
+  static const DeltaBlockCodec codec;
+  return codec;
+}
+
+const BlockCodec& codec_for_flags(uint32_t flags) {
+  return (flags & kWvxFlagDeltaCodec) != 0 ? delta_codec() : fixed_codec();
+}
+
+}  // namespace hgdb::waveform

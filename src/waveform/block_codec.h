@@ -1,0 +1,69 @@
+#ifndef HGDB_WAVEFORM_BLOCK_CODEC_H
+#define HGDB_WAVEFORM_BLOCK_CODEC_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bitvector.h"
+
+namespace hgdb::waveform {
+
+/// A decoded change block: (time, value), sorted by time. Identical to
+/// BlockCache::Block — the codec produces exactly what the cache stores.
+using DecodedBlock = std::vector<std::pair<uint64_t, common::BitVector>>;
+
+// -- varint (unsigned LEB128) -------------------------------------------------
+void append_varint(std::string& out, uint64_t value);
+/// Bytes append_varint would emit (1..10).
+[[nodiscard]] uint32_t varint_size(uint64_t value);
+/// Reads one varint, advancing *cursor. Throws WvxError(kTruncatedBlock)
+/// past `end` or on an overlong (> 10 byte) encoding.
+[[nodiscard]] uint64_t read_varint(const uint8_t** cursor, const uint8_t* end);
+
+/// The block-payload encoding seam of the waveform store. The writer, the
+/// reader and the verifier all serialize/deserialize change blocks through
+/// this interface, so an encoding can change without touching any of them.
+///
+/// Implementations must be stateless across blocks: every block decodes
+/// independently of its neighbours (random access through the directory).
+class BlockCodec {
+ public:
+  virtual ~BlockCodec() = default;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Appends the encoding of `count` (time, value) changes of a
+  /// `width`-bit signal onto `out`. Times are nondecreasing.
+  virtual void encode(const uint64_t* times, const common::BitVector* values,
+                      size_t count, uint32_t width,
+                      std::string& out) const = 0;
+
+  /// Decodes exactly `count` entries from `payload` into `out`
+  /// (cleared first). Throws WvxError(kTruncatedBlock / kCorrupt) when the
+  /// payload is shorter than the entries claim or trailing bytes remain.
+  virtual void decode(const char* payload, size_t payload_bytes,
+                      uint32_t count, uint32_t width,
+                      DecodedBlock& out) const = 0;
+};
+
+/// v1/v2 layout (and v3 without kWvxFlagDeltaCodec): `count` fixed-stride
+/// entries of u64 time + ceil(width/8) little-endian value bytes.
+[[nodiscard]] const BlockCodec& fixed_codec();
+
+/// v3 layout: per entry a varint time delta (absolute for the first
+/// entry), then a value tag byte and its payload:
+///   0  repeat — same value as the previous entry (zero for the first)
+///   1  varint of value XOR previous (widths <= 64 only)
+///   2  raw ceil(width/8) little-endian bytes
+/// Near-sequential times collapse to 1-byte deltas and small bit flips to
+/// 2-3 byte entries, which is where the v3 size win comes from.
+[[nodiscard]] const BlockCodec& delta_codec();
+
+/// Codec selection for a file: delta when the flag says so, else fixed.
+[[nodiscard]] const BlockCodec& codec_for_flags(uint32_t flags);
+
+}  // namespace hgdb::waveform
+
+#endif  // HGDB_WAVEFORM_BLOCK_CODEC_H

@@ -1,0 +1,20 @@
+#include "waveform/index_format.h"
+
+namespace hgdb::waveform {
+
+const char* to_string(WvxFault fault) {
+  switch (fault) {
+    case WvxFault::kNotFound: return "not-found";
+    case WvxFault::kBadMagic: return "bad-magic";
+    case WvxFault::kBadVersion: return "unsupported-version";
+    case WvxFault::kNeverFinalized: return "never-finalized";
+    case WvxFault::kTruncatedDirectory: return "truncated-directory";
+    case WvxFault::kTruncatedBlock: return "truncated-block";
+    case WvxFault::kCorrupt: return "corrupt-metadata";
+    case WvxFault::kChecksum: return "checksum-mismatch";
+    case WvxFault::kIo: return "io-error";
+  }
+  return "unknown";
+}
+
+}  // namespace hgdb::waveform

@@ -2,42 +2,59 @@
 #define HGDB_WAVEFORM_INDEX_FORMAT_H
 
 #include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "waveform/waveform_source.h"
 
 namespace hgdb::waveform {
 
-/// The .wvx on-disk waveform index, version 2 (version-1 files remain
-/// readable).
+/// The .wvx on-disk waveform index, version 3 (version-1 and -2 files
+/// remain readable).
 ///
-/// Layout (all integers little-endian, fixed width):
+/// Layout (all integers little-endian; "varint" = unsigned LEB128):
 ///
-///   [header]
+///   [header, 36 bytes (32 in v1, which has no flags word)]
 ///     u32 magic            "WVX1" (0x31585657; identifies the format, not
 ///                          the version)
-///     u32 version          2 (1 for legacy files)
-///     u32 flags            v2 only: kWvxFlag* bits
+///     u32 version          3 (2 / 1 for legacy files)
+///     u32 flags            kWvxFlag* bits (v2+)
 ///     u64 footer_offset    patched after the block region is written
 ///     u64 max_time
 ///     u64 signal_count
 ///   [block region]
-///     Per-signal columnar change blocks, interleaved in write order. One
-///     block is `count` fixed-stride entries for a single signal:
-///       u64 time, then ceil(width/8) value bytes (little-endian).
+///     Per-signal change blocks, interleaved in write order, encoded by the
+///     file's block codec:
+///       fixed codec (v1/v2, and v3 without kWvxFlagDeltaCodec): `count`
+///         fixed-stride entries — u64 time, then ceil(width/8) value bytes.
+///       delta codec (v3 with kWvxFlagDeltaCodec): `count` variable-size
+///         entries — varint time delta (first entry: absolute time), then a
+///         value tag byte (0 = repeat previous value, 1 = varint of
+///         value XOR previous, 2 = raw ceil(width/8) bytes) and its
+///         payload. "Previous value" starts at zero per block, so blocks
+///         decode independently.
 ///   [footer: signal table + block directory]
 ///     per signal:
 ///       u32 name_len, name bytes
 ///       u32 width
-///       u64 block_count
-///       per block: u64 start_time, u64 end_time, u64 file_offset, u32 count
+///       u32 canonical        [v3 only] index of the signal owning the
+///                            change stream; == own index when canonical.
+///                            Aliased signals (canonical != self) carry no
+///                            directory of their own.
+///       u64 block_count      [only when canonical]
+///       per block: u64 start_time, u64 end_time, u64 file_offset,
+///                  u32 count,
+///                  [u32 payload_bytes in v3 — variable-size codecs],
 ///                  [u32 crc32 when kWvxFlagBlockChecksums]
 ///
 /// The footer is small (O(signals + blocks)) and is the only part an
 /// IndexedWaveform keeps resident; block payloads load on demand through
-/// the LRU cache. The directory per signal is sorted by start_time, so a
+/// the LRU cache, served by a pluggable StorageBackend (buffered pread or
+/// an mmap view). The directory per signal is sorted by start_time, so a
 /// cycle seek is a binary search over the directory followed by a binary
-/// search inside one block: O(log blocks + log block_capacity), no
-/// full-trace parse.
+/// search inside one decoded block: O(log blocks + log block_capacity),
+/// no full-trace parse.
 ///
 /// With kWvxFlagBlockChecksums set, every directory entry carries the
 /// CRC-32 (IEEE) of its raw on-disk payload; readers verify it when the
@@ -45,20 +62,59 @@ namespace hgdb::waveform {
 /// corruption surfaces as a clean "checksum mismatch" error naming the
 /// block instead of garbage waveform values.
 constexpr uint32_t kWvxMagic = 0x31585657;  // "WVX1"
-constexpr uint32_t kWvxVersion = 2;         ///< written by IndexWriter
+constexpr uint32_t kWvxVersion = 3;         ///< written by IndexWriter
 constexpr uint32_t kWvxMinVersion = 1;      ///< oldest readable version
 constexpr size_t kWvxHeaderSizeV1 = 32;
-constexpr size_t kWvxHeaderSizeV2 = 36;
+constexpr size_t kWvxHeaderSizeV2 = 36;  ///< also the v3 header size
 
 /// Header flag bits (v2+).
 constexpr uint32_t kWvxFlagBlockChecksums = 1u << 0;
+/// Block payloads use the varint/delta codec (v3+; clear = fixed codec).
+constexpr uint32_t kWvxFlagDeltaCodec = 1u << 1;
+
+/// What went wrong with a .wvx file — every reader-side failure carries
+/// one of these so tools (wvx-verify, the CLI) can report a typed message
+/// instead of a generic parse error.
+enum class WvxFault : uint8_t {
+  kNotFound,        ///< file missing / unreadable
+  kBadMagic,        ///< not a waveform index at all
+  kBadVersion,      ///< version outside [kWvxMinVersion, kWvxVersion]
+  kNeverFinalized,  ///< writer died before the footer (footer_offset == 0)
+  kTruncatedDirectory,  ///< EOF inside the signal table / block directory
+  kTruncatedBlock,      ///< EOF inside a block payload
+  kCorrupt,             ///< implausible metadata (bounds, counts, widths)
+  kChecksum,            ///< block CRC32 mismatch
+  kIo,                  ///< read/map syscall failure
+};
+
+[[nodiscard]] const char* to_string(WvxFault fault);
+
+/// True when `path` names a waveform index by extension — the one
+/// dispatch rule shared by the readers (trace::open_waveform) and the
+/// writers (sim::VcdWriter's direct-emission mode).
+[[nodiscard]] inline bool is_wvx_path(const std::string& path) {
+  return path.size() >= 4 && path.compare(path.size() - 4, 4, ".wvx") == 0;
+}
+
+/// The exception every .wvx reader path throws: a std::runtime_error (so
+/// existing catch sites keep working) that also carries the typed fault.
+class WvxError : public std::runtime_error {
+ public:
+  WvxError(WvxFault fault, const std::string& message)
+      : std::runtime_error(message), fault_(fault) {}
+  [[nodiscard]] WvxFault fault() const { return fault_; }
+
+ private:
+  WvxFault fault_;
+};
 
 /// Directory entry for one on-disk change block.
 struct BlockInfo {
   uint64_t start_time = 0;  ///< time of the first entry
   uint64_t end_time = 0;    ///< time of the last entry
-  uint64_t file_offset = 0; ///< absolute offset of the first entry
+  uint64_t file_offset = 0; ///< absolute offset of the encoded payload
   uint32_t count = 0;       ///< number of entries
+  uint32_t payload_bytes = 0;  ///< encoded size (v3; derived for v1/v2)
   uint32_t crc32 = 0;       ///< payload checksum (kWvxFlagBlockChecksums)
 };
 
@@ -66,10 +122,13 @@ struct BlockInfo {
 struct IndexedSignal {
   SignalInfo info;
   uint32_t value_bytes = 0;  ///< ceil(width/8): per-entry value payload
-  std::vector<BlockInfo> blocks;
+  /// Index of the signal owning the change stream (alias dedup); equals
+  /// the signal's own index when it is canonical.
+  size_t canonical = 0;
+  std::vector<BlockInfo> blocks;  ///< empty for aliased signals
 };
 
-/// Bytes of one on-disk entry for a signal of `width` bits.
+/// Bytes of one on-disk entry for a signal of `width` bits (fixed codec).
 constexpr uint32_t wvx_value_bytes(uint32_t width) { return (width + 7) / 8; }
 constexpr uint64_t wvx_entry_stride(uint32_t width) {
   return 8 + wvx_value_bytes(width);
@@ -83,6 +142,16 @@ struct IndexWriterOptions {
   /// Write a CRC-32 per block (kWvxFlagBlockChecksums). ~4 bytes per
   /// block of overhead; on by default.
   bool block_checksums = true;
+  /// On-disk format version to emit: 3 (default) or 2 for tooling that
+  /// must interoperate with older readers.
+  uint32_t version = kWvxVersion;
+  /// v3 only: encode blocks with the varint/delta codec. false falls back
+  /// to the fixed-stride codec inside a v3 container.
+  bool delta_codec = true;
+  /// v3 only: store one change stream per id-code alias group and record
+  /// the aliases in the signal table (canonical indirection). v2 files
+  /// duplicate the stream per alias, as they always did.
+  bool dedup_aliases = true;
 };
 
 }  // namespace hgdb::waveform

@@ -1,0 +1,41 @@
+#ifndef HGDB_WAVEFORM_INDEX_SINK_H
+#define HGDB_WAVEFORM_INDEX_SINK_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bitvector.h"
+#include "waveform/waveform_source.h"
+
+namespace hgdb::waveform {
+
+/// Consumer of an ordered trace-event stream: the write-path seam of the
+/// waveform subsystem. Two producers feed it — the chunked VCD parser
+/// (VcdEventSink extends this interface) and sim::VcdWriter, which emits
+/// native-simulator dumps straight into an IndexWriter, skipping the
+/// intermediate VCD text round-trip entirely.
+///
+/// Contract: signal ids are dense, 0-based, in declaration order, and all
+/// on_signal()/on_alias() calls precede the first on_change(). Change
+/// times are nondecreasing per signal. Aliased declarations (several names
+/// sharing one change stream) are announced via on_alias(); changes are
+/// reported once, against the canonical (first-declared) id only.
+class IndexSink {
+ public:
+  virtual ~IndexSink() = default;
+
+  /// A signal declaration.
+  virtual void on_signal(size_t /*id*/, const SignalInfo& /*info*/) {}
+  /// `id` shares `canonical_id`'s change stream (id > canonical_id; both
+  /// already declared via on_signal). No on_change() ever names `id`.
+  virtual void on_alias(size_t /*id*/, size_t /*canonical_id*/) {}
+  /// One value change of a canonical signal.
+  virtual void on_change(size_t id, uint64_t time,
+                         const common::BitVector& value) = 0;
+  /// End of input; `max_time` is the largest time seen.
+  virtual void on_finish(uint64_t /*max_time*/) {}
+};
+
+}  // namespace hgdb::waveform
+
+#endif  // HGDB_WAVEFORM_INDEX_SINK_H

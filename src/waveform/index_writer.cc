@@ -21,20 +21,6 @@ void put_u64(std::ofstream& out, uint64_t value) {
   out.write(bytes, 8);
 }
 
-void append_u64(std::string& out, uint64_t value) {
-  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>(value >> (8 * i)));
-}
-
-void append_value(std::string& out, const common::BitVector& value,
-                  uint32_t value_bytes) {
-  const auto& words = value.words();
-  for (uint32_t byte = 0; byte < value_bytes; ++byte) {
-    const size_t word = byte / 8;
-    const uint64_t shifted = word < words.size() ? words[word] >> (8 * (byte % 8)) : 0;
-    out.push_back(static_cast<char>(shifted & 0xff));
-  }
-}
-
 }  // namespace
 
 IndexWriter::IndexWriter(const std::string& path, IndexWriterOptions options)
@@ -43,10 +29,24 @@ IndexWriter::IndexWriter(const std::string& path, IndexWriterOptions options)
     throw std::runtime_error("wvx: cannot open '" + path + "' for writing");
   }
   if (options_.block_capacity == 0) options_.block_capacity = 1;
+  if (options_.version != 2 && options_.version != kWvxVersion) {
+    throw std::invalid_argument("wvx: writer supports versions 2 and " +
+                                std::to_string(kWvxVersion) + ", not " +
+                                std::to_string(options_.version));
+  }
+  if (options_.version < 3) {
+    // The v2 container has neither a codec flag nor an alias table.
+    options_.delta_codec = false;
+    options_.dedup_aliases = false;
+  }
+  codec_ = options_.delta_codec ? &delta_codec() : &fixed_codec();
+  uint32_t flags = 0;
+  if (options_.block_checksums) flags |= kWvxFlagBlockChecksums;
+  if (options_.delta_codec) flags |= kWvxFlagDeltaCodec;
   // Header with a placeholder footer offset; patched in on_finish().
   put_u32(out_, kWvxMagic);
-  put_u32(out_, kWvxVersion);
-  put_u32(out_, options_.block_checksums ? kWvxFlagBlockChecksums : 0);
+  put_u32(out_, options_.version);
+  put_u32(out_, flags);
   put_u64(out_, 0);  // footer_offset
   put_u64(out_, 0);  // max_time
   put_u64(out_, 0);  // signal_count
@@ -64,8 +64,31 @@ void IndexWriter::on_signal(size_t id, const SignalInfo& info) {
   IndexedSignal signal;
   signal.info = info;
   signal.value_bytes = wvx_value_bytes(info.width);
+  signal.canonical = id;
   signals_.push_back(std::move(signal));
   pending_.emplace_back();
+  fanout_.emplace_back();
+}
+
+void IndexWriter::on_alias(size_t id, size_t canonical_id) {
+  if (id >= signals_.size() || canonical_id >= id) {
+    throw std::runtime_error("wvx: bad alias declaration");
+  }
+  if (signals_[id].info.width != signals_[canonical_id].info.width) {
+    // Not a pure alias: sharing a stream would serve wrong-width values.
+    // Producers (the VCD parser) don't group these, but guard anyway.
+    throw std::runtime_error("wvx: alias width mismatch for '" +
+                             signals_[id].info.hier_name + "'");
+  }
+  if (options_.dedup_aliases) {
+    // One change stream for the whole group: the alias points at the
+    // canonical signal and owns no blocks.
+    signals_[id].canonical = signals_[canonical_id].canonical;
+    ++aliases_deduped_;
+  } else {
+    // Legacy layout: duplicate the stream per aliased name.
+    fanout_[signals_[canonical_id].canonical].push_back(id);
+  }
 }
 
 void IndexWriter::on_change(size_t id, uint64_t time,
@@ -79,6 +102,7 @@ void IndexWriter::on_change(size_t id, uint64_t time,
   pending.times.push_back(time);
   pending.values.push_back(value);
   if (pending.times.size() >= options_.block_capacity) flush_block(id);
+  for (size_t alias : fanout_[id]) on_change(alias, time, value);
 }
 
 void IndexWriter::flush_block(size_t id) {
@@ -93,10 +117,9 @@ void IndexWriter::flush_block(size_t id) {
   // Serialize through a buffer so the checksum covers exactly the bytes
   // that land on disk.
   buffer_.clear();
-  for (size_t i = 0; i < pending.times.size(); ++i) {
-    append_u64(buffer_, pending.times[i]);
-    append_value(buffer_, pending.values[i], signal.value_bytes);
-  }
+  codec_->encode(pending.times.data(), pending.values.data(),
+                 pending.times.size(), signal.info.width, buffer_);
+  block.payload_bytes = static_cast<uint32_t>(buffer_.size());
   if (options_.block_checksums) {
     block.crc32 = common::crc32(buffer_.data(), buffer_.size());
   }
@@ -110,17 +133,24 @@ void IndexWriter::flush_block(size_t id) {
 void IndexWriter::on_finish(uint64_t max_time) {
   for (size_t id = 0; id < signals_.size(); ++id) flush_block(id);
   const uint64_t footer_offset = static_cast<uint64_t>(out_.tellp());
-  for (const auto& signal : signals_) {
+  const bool v3 = options_.version >= 3;
+  for (size_t id = 0; id < signals_.size(); ++id) {
+    const auto& signal = signals_[id];
     put_u32(out_, static_cast<uint32_t>(signal.info.hier_name.size()));
     out_.write(signal.info.hier_name.data(),
                static_cast<std::streamsize>(signal.info.hier_name.size()));
     put_u32(out_, signal.info.width);
+    if (v3) {
+      put_u32(out_, static_cast<uint32_t>(signal.canonical));
+      if (signal.canonical != id) continue;  // aliases carry no directory
+    }
     put_u64(out_, signal.blocks.size());
     for (const auto& block : signal.blocks) {
       put_u64(out_, block.start_time);
       put_u64(out_, block.end_time);
       put_u64(out_, block.file_offset);
       put_u32(out_, block.count);
+      if (v3) put_u32(out_, block.payload_bytes);
       if (options_.block_checksums) put_u32(out_, block.crc32);
     }
   }

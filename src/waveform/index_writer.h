@@ -5,15 +5,22 @@
 #include <string>
 #include <vector>
 
+#include "waveform/block_codec.h"
 #include "waveform/index_format.h"
 #include "waveform/vcd_stream_parser.h"
 
 namespace hgdb::waveform {
 
-/// Builds a .wvx index file from a stream of VCD events. Used as the sink
-/// of a VcdStreamParser, so VCD -> index conversion never materializes the
-/// trace: resident state is one partially-filled block per signal plus the
-/// growing (small) directory.
+/// Builds a .wvx index file from an ordered trace-event stream (IndexSink).
+/// Two producers feed it: a VcdStreamParser (VCD -> index conversion, which
+/// never materializes the trace — resident state is one partially-filled
+/// block per signal plus the growing, small directory) and sim::VcdWriter's
+/// direct dump path (simulator -> index, no intermediate VCD text).
+///
+/// The on-disk version and block encoding are options: v3 (default) with
+/// the varint/delta codec and alias dedup, or v2/fixed for compatibility
+/// with older readers. Blocks are serialized through the BlockCodec seam,
+/// so the writer never touches entry layout itself.
 class IndexWriter final : public VcdEventSink {
  public:
   explicit IndexWriter(const std::string& path, IndexWriterOptions options = {});
@@ -22,8 +29,9 @@ class IndexWriter final : public VcdEventSink {
   IndexWriter(const IndexWriter&) = delete;
   IndexWriter& operator=(const IndexWriter&) = delete;
 
-  // -- VcdEventSink -------------------------------------------------------------
+  // -- IndexSink / VcdEventSink -------------------------------------------------
   void on_signal(size_t id, const SignalInfo& info) override;
+  void on_alias(size_t id, size_t canonical_id) override;
   void on_change(size_t id, uint64_t time,
                  const common::BitVector& value) override;
   void on_finish(uint64_t max_time) override;
@@ -32,6 +40,9 @@ class IndexWriter final : public VcdEventSink {
   [[nodiscard]] bool finished() const { return finished_; }
   [[nodiscard]] size_t signal_count() const { return signals_.size(); }
   [[nodiscard]] uint64_t blocks_written() const { return blocks_written_; }
+  /// Signals stored as references into another signal's change stream.
+  [[nodiscard]] size_t aliases_deduped() const { return aliases_deduped_; }
+  [[nodiscard]] const IndexWriterOptions& options() const { return options_; }
 
  private:
   struct Pending {
@@ -43,11 +54,16 @@ class IndexWriter final : public VcdEventSink {
 
   std::string path_;
   IndexWriterOptions options_;
+  const BlockCodec* codec_;
   std::ofstream out_;
   std::string buffer_;  ///< scratch for block serialization + checksum
   std::vector<IndexedSignal> signals_;
   std::vector<Pending> pending_;
+  /// v2 / no-dedup mode: per canonical id, the alias ids whose streams the
+  /// writer fans the changes out to (the legacy duplicate layout).
+  std::vector<std::vector<size_t>> fanout_;
   uint64_t blocks_written_ = 0;
+  size_t aliases_deduped_ = 0;
   bool finished_ = false;
 };
 

@@ -1,7 +1,6 @@
 #include "waveform/indexed_waveform.h"
 
 #include <algorithm>
-#include <stdexcept>
 
 #include "common/crc32.h"
 
@@ -11,47 +10,50 @@ using common::BitVector;
 
 namespace {
 
-class Reader {
+/// Bounds-checked little-endian parser over an in-memory footer image.
+/// Running past the end means the writer died mid-footer (or the file was
+/// cut): a typed truncated-directory fault, not a generic parse error.
+class MemReader {
  public:
-  Reader(std::ifstream& in, const std::string& path) : in_(in), path_(path) {}
+  MemReader(const uint8_t* data, size_t size, const std::string& path)
+      : p_(data), end_(data + size), path_(path) {}
 
   uint32_t u32() {
-    unsigned char bytes[4];
-    read(bytes, 4);
+    need(4);
     uint32_t out = 0;
-    for (int i = 3; i >= 0; --i) out = (out << 8) | bytes[i];
+    for (int i = 3; i >= 0; --i) out = (out << 8) | p_[i];
+    p_ += 4;
     return out;
   }
 
   uint64_t u64() {
-    unsigned char bytes[8];
-    read(bytes, 8);
+    need(8);
     uint64_t out = 0;
-    for (int i = 7; i >= 0; --i) out = (out << 8) | bytes[i];
+    for (int i = 7; i >= 0; --i) out = (out << 8) | p_[i];
+    p_ += 8;
     return out;
   }
 
   std::string str(size_t length) {
-    std::string out(length, '\0');
-    read(out.data(), length);
+    need(length);
+    std::string out(reinterpret_cast<const char*>(p_), length);
+    p_ += length;
     return out;
   }
 
-  void read(void* dst, size_t bytes) {
-    in_.read(static_cast<char*>(dst), static_cast<std::streamsize>(bytes));
-    if (static_cast<size_t>(in_.gcount()) != bytes) {
-      throw std::runtime_error("wvx: truncated index file '" + path_ + "'");
+ private:
+  void need(size_t bytes) {
+    if (static_cast<size_t>(end_ - p_) < bytes) {
+      throw WvxError(WvxFault::kTruncatedDirectory,
+                     "wvx: truncated signal directory in '" + path_ +
+                         "' (footer ends mid-entry)");
     }
   }
 
- private:
-  std::ifstream& in_;
+  const uint8_t* p_;
+  const uint8_t* end_;
   const std::string& path_;
 };
-
-}  // namespace
-
-namespace {
 
 /// Sanity bounds for untrusted on-disk metadata: a corrupt or crafted
 /// index must fail with a clean error, not an unchecked huge allocation.
@@ -59,88 +61,141 @@ constexpr uint32_t kMaxSignalWidth = 1u << 20;   // 1M bits
 constexpr uint32_t kMaxNameLength = 1u << 16;
 
 [[noreturn]] void corrupt(const std::string& path, const std::string& what) {
-  throw std::runtime_error("wvx: corrupt index '" + path + "': " + what);
+  throw WvxError(WvxFault::kCorrupt,
+                 "wvx: corrupt index '" + path + "': " + what);
 }
 
 }  // namespace
 
 IndexedWaveform::IndexedWaveform(const std::string& path, size_t cache_blocks)
+    : IndexedWaveform(path, WaveformOpenOptions{cache_blocks, IoMode::kAuto}) {}
+
+IndexedWaveform::IndexedWaveform(const std::string& path,
+                                 const WaveformOpenOptions& options)
     : path_(path),
-      file_(path, std::ios::binary),
-      cache_(cache_blocks) {
-  if (!file_) {
-    throw std::runtime_error("wvx: cannot open index file '" + path + "'");
+      storage_(open_storage(path, options.io_mode)),
+      cache_(options.cache_blocks) {
+  const uint64_t file_size = storage_->size();
+  if (file_size < kWvxHeaderSizeV1) {
+    throw WvxError(WvxFault::kBadMagic,
+                   "wvx: '" + path + "' is not a waveform index (too small)");
   }
-  file_.seekg(0, std::ios::end);
-  const uint64_t file_size = static_cast<uint64_t>(file_.tellg());
-  file_.seekg(0);
-  Reader reader(file_, path_);
-  if (reader.u32() != kWvxMagic) {
-    throw std::runtime_error("wvx: '" + path + "' is not a waveform index (bad magic)");
+  // Header: magic + version first, the rest depends on the version.
+  std::string scratch;
+  {
+    const auto* head = reinterpret_cast<const uint8_t*>(
+        storage_->view(0, kWvxHeaderSizeV1, scratch));
+    MemReader reader(head, kWvxHeaderSizeV1, path_);
+    if (reader.u32() != kWvxMagic) {
+      throw WvxError(WvxFault::kBadMagic,
+                     "wvx: '" + path + "' is not a waveform index (bad magic)");
+    }
+    version_ = reader.u32();
   }
-  const uint32_t version = reader.u32();
-  if (version < kWvxMinVersion || version > kWvxVersion) {
-    throw std::runtime_error("wvx: unsupported index version " +
-                             std::to_string(version) + " in '" + path + "'");
+  if (version_ < kWvxMinVersion || version_ > kWvxVersion) {
+    throw WvxError(WvxFault::kBadVersion,
+                   "wvx: unsupported index version " +
+                       std::to_string(version_) + " in '" + path + "'");
   }
-  // v2 adds a flags word after the version; v1 files have none and no
-  // per-block checksums.
-  const uint32_t flags = version >= 2 ? reader.u32() : 0;
-  has_checksums_ = (flags & kWvxFlagBlockChecksums) != 0;
+  // v2+ adds a flags word after the version; v1 files have none, no
+  // per-block checksums and the fixed codec.
   const uint64_t header_size =
-      version >= 2 ? kWvxHeaderSizeV2 : kWvxHeaderSizeV1;
+      version_ >= 2 ? kWvxHeaderSizeV2 : kWvxHeaderSizeV1;
+  if (file_size < header_size) {
+    throw WvxError(WvxFault::kTruncatedDirectory,
+                   "wvx: '" + path + "' ends inside the header");
+  }
+  const auto* head = reinterpret_cast<const uint8_t*>(
+      storage_->view(8, header_size - 8, scratch));
+  MemReader reader(head, header_size - 8, path_);
+  const uint32_t flags = version_ >= 2 ? reader.u32() : 0;
+  has_checksums_ = (flags & kWvxFlagBlockChecksums) != 0;
+  codec_ = &codec_for_flags(flags);
   const uint64_t footer_offset = reader.u64();
   max_time_ = reader.u64();
   const uint64_t signal_count = reader.u64();
   if (footer_offset == 0) {
-    throw std::runtime_error("wvx: '" + path +
-                             "' was never finalized (missing footer)");
+    throw WvxError(WvxFault::kNeverFinalized,
+                   "wvx: '" + path +
+                       "' was never finalized (missing footer)");
   }
   if (footer_offset < header_size || footer_offset > file_size) {
     corrupt(path_, "footer offset outside the file");
   }
-  // Every signal needs >= 16 footer bytes, every block >= 28: cheap
-  // a-priori caps so corrupt counts fail before any reserve/allocation.
-  if (signal_count > (file_size - footer_offset) / 16) {
+
+  // The footer is small (O(signals + blocks)): read it whole, parse from
+  // memory. Cheap a-priori caps so corrupt counts fail before any
+  // allocation: every v1/v2 signal entry needs >= 16 footer bytes; in v3
+  // an *alias* entry can be as small as 13 (name_len + 1-char name +
+  // width + canonical, no directory).
+  const uint64_t footer_size = file_size - footer_offset;
+  const bool v3 = version_ >= 3;
+  if (signal_count > footer_size / (v3 ? 13 : 16)) {
     corrupt(path_, "signal count exceeds footer size");
   }
-  const uint64_t max_total_blocks = (file_size - footer_offset) / 28;
-  file_.seekg(static_cast<std::streamoff>(footer_offset));
+  const uint64_t max_total_blocks = footer_size / 28;
+  std::string footer_scratch;
+  const auto* footer = reinterpret_cast<const uint8_t*>(storage_->view(
+      footer_offset, static_cast<size_t>(footer_size), footer_scratch));
+  MemReader dir(footer, static_cast<size_t>(footer_size), path_);
   signals_.reserve(signal_count);
   for (uint64_t i = 0; i < signal_count; ++i) {
     IndexedSignal signal;
-    const uint32_t name_len = reader.u32();
+    const uint32_t name_len = dir.u32();
     if (name_len > kMaxNameLength) corrupt(path_, "oversized signal name");
-    signal.info.hier_name = reader.str(name_len);
-    signal.info.width = reader.u32();
+    signal.info.hier_name = dir.str(name_len);
+    signal.info.width = dir.u32();
     if (signal.info.width == 0 || signal.info.width > kMaxSignalWidth) {
       corrupt(path_, "implausible signal width");
     }
     signal.value_bytes = wvx_value_bytes(signal.info.width);
+    signal.canonical = i;
+    if (v3) {
+      const uint32_t canonical = dir.u32();
+      if (canonical > i) corrupt(path_, "alias points forward");
+      signal.canonical = canonical;
+      if (canonical != i) {
+        if (signals_[canonical].canonical != canonical) {
+          corrupt(path_, "alias of an alias");
+        }
+        ++alias_count_;
+        // emplace (first wins) to match VcdTrace's duplicate-name
+        // resolution.
+        by_name_.emplace(signal.info.hier_name, signals_.size());
+        signals_.push_back(std::move(signal));
+        continue;  // aliases carry no directory of their own
+      }
+    }
     const uint64_t stride = wvx_entry_stride(signal.info.width);
-    const uint64_t block_count = reader.u64();
+    const uint64_t block_count = dir.u64();
     if (total_blocks_ + block_count > max_total_blocks) {
       corrupt(path_, "block count exceeds footer size");
     }
     signal.blocks.reserve(block_count);
     for (uint64_t b = 0; b < block_count; ++b) {
       BlockInfo block;
-      block.start_time = reader.u64();
-      block.end_time = reader.u64();
-      block.file_offset = reader.u64();
-      block.count = reader.u32();
-      if (has_checksums_) block.crc32 = reader.u32();
+      block.start_time = dir.u64();
+      block.end_time = dir.u64();
+      block.file_offset = dir.u64();
+      block.count = dir.u32();
+      // v3 directories record the encoded size (variable-size codecs);
+      // v1/v2 blocks are fixed-stride, so the size is derived. u64 math
+      // throughout: a corrupt count must not truncate through the cast.
+      const uint64_t payload =
+          v3 ? dir.u32() : static_cast<uint64_t>(block.count) * stride;
+      if (has_checksums_) block.crc32 = dir.u32();
       // Block payloads live strictly between the header and the footer.
-      if (block.count == 0 || block.file_offset < header_size ||
+      if (block.count == 0 || payload == 0 ||
+          block.file_offset < header_size ||
           block.file_offset > footer_offset ||
-          static_cast<uint64_t>(block.count) * stride >
-              footer_offset - block.file_offset) {
+          payload > footer_offset - block.file_offset ||
+          payload > UINT32_MAX) {
         corrupt(path_, "block outside the data region");
       }
+      block.payload_bytes = static_cast<uint32_t>(payload);
       signal.blocks.push_back(block);
     }
     total_blocks_ += block_count;
-    // emplace (first wins) to match VcdTrace's duplicate-name resolution.
     by_name_.emplace(signal.info.hier_name, signals_.size());
     signals_.push_back(std::move(signal));
   }
@@ -155,53 +210,39 @@ std::optional<size_t> IndexedWaveform::signal_index(
 
 BlockCache::BlockPtr IndexedWaveform::load_block(size_t signal_index,
                                                  size_t block_index) const {
-  // Caller holds mutex_.
+  // Caller holds mutex_ and passes a *canonical* signal index, so aliased
+  // names share cache entries as well as on-disk blocks.
   const BlockCache::Key key{static_cast<uint32_t>(signal_index),
                             static_cast<uint32_t>(block_index)};
   if (auto cached = cache_.lookup(key)) return cached;
 
   const auto& signal = signals_[signal_index];
   const auto& info = signal.blocks[block_index];
-  const uint64_t stride = wvx_entry_stride(signal.info.width);
-  std::vector<char> raw(static_cast<size_t>(info.count) * stride);
-  file_.seekg(static_cast<std::streamoff>(info.file_offset));
-  file_.read(raw.data(), static_cast<std::streamsize>(raw.size()));
-  if (static_cast<size_t>(file_.gcount()) != raw.size()) {
-    throw std::runtime_error("wvx: truncated block in '" + path_ + "'");
-  }
+  const char* payload = storage_->view(info.file_offset, info.payload_bytes,
+                                       scratch_);
   // Integrity gate: verified once per load; cache hits skip it.
   if (has_checksums_) {
-    const uint32_t actual = common::crc32(raw.data(), raw.size());
+    const uint32_t actual = common::crc32(payload, info.payload_bytes);
     if (actual != info.crc32) {
-      throw std::runtime_error(
+      throw WvxError(
+          WvxFault::kChecksum,
           "wvx: checksum mismatch in '" + path_ + "' (signal '" +
-          signal.info.hier_name + "', block " + std::to_string(block_index) +
-          " at offset " + std::to_string(info.file_offset) + ")");
+              signal.info.hier_name + "', block " +
+              std::to_string(block_index) + " at offset " +
+              std::to_string(info.file_offset) + ")");
     }
   }
 
   auto block = std::make_shared<BlockCache::Block>();
-  block->reserve(info.count);
-  const uint32_t width = signal.info.width;
-  const size_t num_words = (width + 63) / 64;
-  for (uint32_t entry = 0; entry < info.count; ++entry) {
-    const unsigned char* base =
-        reinterpret_cast<const unsigned char*>(raw.data()) + entry * stride;
-    uint64_t time = 0;
-    for (int i = 7; i >= 0; --i) time = (time << 8) | base[i];
-    std::vector<uint64_t> words(num_words, 0);
-    for (uint32_t byte = 0; byte < signal.value_bytes; ++byte) {
-      words[byte / 8] |= static_cast<uint64_t>(base[8 + byte]) << (8 * (byte % 8));
-    }
-    block->emplace_back(time, BitVector::from_words(width, std::move(words)));
-  }
+  codec_->decode(payload, info.payload_bytes, info.count, signal.info.width,
+                 *block);
   cache_.insert(key, block);
   return block;
 }
 
 BitVector IndexedWaveform::value_at(size_t index, uint64_t time) const {
   std::lock_guard<std::mutex> lock(mutex_);
-  const auto& signal = signals_[index];
+  const auto& signal = signals_[signals_[index].canonical];
   const auto& directory = signal.blocks;
   // Last block whose first entry is at or before `time`.
   auto it = std::upper_bound(
@@ -210,7 +251,7 @@ BitVector IndexedWaveform::value_at(size_t index, uint64_t time) const {
   if (it == directory.begin()) return BitVector(signal.info.width, 0);
   const size_t block_index =
       static_cast<size_t>(std::distance(directory.begin(), it)) - 1;
-  auto block = load_block(index, block_index);
+  auto block = load_block(signals_[index].canonical, block_index);
   // Last entry with entry.time <= time. For a well-formed index the first
   // entry equals start_time so one always exists; a corrupt directory whose
   // start_time understates the payload must not walk before begin().
@@ -223,10 +264,11 @@ BitVector IndexedWaveform::value_at(size_t index, uint64_t time) const {
 
 std::vector<uint64_t> IndexedWaveform::rising_edges(size_t index) const {
   std::lock_guard<std::mutex> lock(mutex_);
+  const size_t canonical = signals_[index].canonical;
   std::vector<uint64_t> out;
   bool previous = false;
-  for (size_t b = 0; b < signals_[index].blocks.size(); ++b) {
-    auto block = load_block(index, b);
+  for (size_t b = 0; b < signals_[canonical].blocks.size(); ++b) {
+    auto block = load_block(canonical, b);
     for (const auto& [time, value] : *block) {
       const bool current = value.to_bool();
       if (current && !previous) out.push_back(time);
@@ -245,12 +287,18 @@ std::optional<IndexedWaveform::BlockFault> IndexedWaveform::verify_blocks()
     const {
   std::lock_guard<std::mutex> lock(mutex_);
   for (size_t s = 0; s < signals_.size(); ++s) {
+    if (signals_[s].canonical != s) continue;  // stream verified once
     for (size_t b = 0; b < signals_[s].blocks.size(); ++b) {
       try {
         load_block(s, b);
+      } catch (const WvxError& error) {
+        return BlockFault{signals_[s].info.hier_name, b,
+                          signals_[s].blocks[b].file_offset, error.fault(),
+                          error.what()};
       } catch (const std::exception& error) {
         return BlockFault{signals_[s].info.hier_name, b,
-                          signals_[s].blocks[b].file_offset, error.what()};
+                          signals_[s].blocks[b].file_offset, WvxFault::kIo,
+                          error.what()};
       }
     }
   }

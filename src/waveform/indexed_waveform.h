@@ -1,7 +1,6 @@
 #ifndef HGDB_WAVEFORM_INDEXED_WAVEFORM_H
 #define HGDB_WAVEFORM_INDEXED_WAVEFORM_H
 
-#include <fstream>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -10,27 +9,45 @@
 #include <vector>
 
 #include "waveform/block_cache.h"
+#include "waveform/block_codec.h"
 #include "waveform/index_format.h"
+#include "waveform/storage_backend.h"
 #include "waveform/waveform_source.h"
 
 namespace hgdb::waveform {
 
-/// WaveformSource over a .wvx index file. Opening reads only the 32-byte
-/// header and the footer (signal table + block directory); change payloads
-/// stream in on demand through an LRU block cache, so the resident set is
-/// bounded by `cache_blocks` regardless of trace size. A cycle seek is
-/// O(log blocks + log block_capacity).
+/// Reader-side knobs: cache size and I/O strategy.
+struct WaveformOpenOptions {
+  size_t cache_blocks = kDefaultCacheBlocks;
+  /// kAuto maps the file when the platform supports it (hot blocks skip
+  /// the read syscall; the OS page cache evicts cold ones) and falls back
+  /// to buffered positional reads otherwise.
+  IoMode io_mode = IoMode::kAuto;
+};
+
+/// WaveformSource over a .wvx index file (v1, v2 or v3). Opening reads
+/// only the header and the footer (signal table + block directory); change
+/// payloads stream in on demand through an LRU block cache, fetched by a
+/// pluggable StorageBackend and decoded by the file's BlockCodec. The
+/// resident set is bounded by `cache_blocks` regardless of trace size. A
+/// cycle seek is O(log blocks + log block_capacity).
 ///
-/// Thread-safe for concurrent queries (one mutex around the cache + file
-/// handle; the debugger runtime evaluates breakpoint batches from a pool).
+/// v3 alias dedup: signals declared as id-code aliases share one change
+/// stream on disk and one set of cache entries in memory — queries on any
+/// aliased name are served through the canonical signal's directory.
+///
+/// Thread-safe for concurrent queries (one mutex around the cache + read
+/// scratch; the debugger runtime evaluates breakpoint batches from a
+/// pool).
 class IndexedWaveform final : public WaveformSource {
  public:
   static constexpr size_t kDefaultCacheBlocks = waveform::kDefaultCacheBlocks;
 
-  /// Throws std::runtime_error on missing file, bad magic/version, or a
-  /// truncated (unfinished) index.
+  /// Throws WvxError (a std::runtime_error) on missing file, bad
+  /// magic/version, a truncated (unfinished) index, or corrupt metadata.
   explicit IndexedWaveform(const std::string& path,
                            size_t cache_blocks = kDefaultCacheBlocks);
+  IndexedWaveform(const std::string& path, const WaveformOpenOptions& options);
 
   // -- WaveformSource -----------------------------------------------------------
   [[nodiscard]] size_t signal_count() const override { return signals_.size(); }
@@ -39,6 +56,9 @@ class IndexedWaveform final : public WaveformSource {
   }
   [[nodiscard]] std::optional<size_t> signal_index(
       const std::string& hier_name) const override;
+  [[nodiscard]] size_t canonical_index(size_t index) const override {
+    return signals_[index].canonical;
+  }
   [[nodiscard]] uint64_t max_time() const override { return max_time_; }
   [[nodiscard]] common::BitVector value_at(size_t index,
                                            uint64_t time) const override;
@@ -46,13 +66,23 @@ class IndexedWaveform final : public WaveformSource {
 
   // -- introspection ------------------------------------------------------------
   [[nodiscard]] const std::string& path() const { return path_; }
+  /// Directory of the signal's change stream (the canonical signal's, for
+  /// aliases).
   [[nodiscard]] const std::vector<BlockInfo>& blocks(size_t index) const {
-    return signals_[index].blocks;
+    return signals_[signals_[index].canonical].blocks;
   }
   [[nodiscard]] CacheStats cache_stats() const;
   [[nodiscard]] size_t cache_capacity() const { return cache_.capacity(); }
   [[nodiscard]] uint64_t total_blocks() const { return total_blocks_; }
-  /// True when the file carries per-block CRC32s (format v2 flag).
+  /// On-disk format version of the opened file (1, 2 or 3).
+  [[nodiscard]] uint32_t version() const { return version_; }
+  /// Block encoding in use ("fixed" / "delta").
+  [[nodiscard]] const char* codec_name() const { return codec_->name(); }
+  /// I/O strategy actually in use ("buffered" / "mmap").
+  [[nodiscard]] const char* io_kind() const { return storage_->kind(); }
+  /// Signals that are aliases of another signal's change stream.
+  [[nodiscard]] size_t alias_count() const { return alias_count_; }
+  /// True when the file carries per-block CRC32s (format v2+ flag).
   [[nodiscard]] bool has_block_checksums() const { return has_checksums_; }
 
   /// First unreadable/corrupt block, if any. Loads every block once
@@ -61,6 +91,7 @@ class IndexedWaveform final : public WaveformSource {
     std::string signal;
     size_t block_index = 0;
     uint64_t file_offset = 0;
+    WvxFault fault = WvxFault::kIo;
     std::string message;
   };
   [[nodiscard]] std::optional<BlockFault> verify_blocks() const;
@@ -73,10 +104,14 @@ class IndexedWaveform final : public WaveformSource {
   std::map<std::string, size_t> by_name_;
   uint64_t max_time_ = 0;
   uint64_t total_blocks_ = 0;
+  uint32_t version_ = 0;
+  size_t alias_count_ = 0;
   bool has_checksums_ = false;
+  const BlockCodec* codec_ = nullptr;
 
   mutable std::mutex mutex_;
-  mutable std::ifstream file_;
+  mutable std::unique_ptr<StorageBackend> storage_;
+  mutable std::string scratch_;  ///< buffered-read landing zone
   mutable BlockCache cache_;
 };
 

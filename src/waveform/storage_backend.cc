@@ -1,0 +1,154 @@
+#include "waveform/storage_backend.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "waveform/index_format.h"
+
+namespace hgdb::waveform {
+
+const char* to_string(IoMode mode) {
+  switch (mode) {
+    case IoMode::kAuto: return "auto";
+    case IoMode::kBuffered: return "buffered";
+    case IoMode::kMmap: return "mmap";
+  }
+  return "unknown";
+}
+
+namespace {
+
+[[noreturn]] void fail(WvxFault fault, const std::string& path,
+                       const std::string& what) {
+  throw WvxError(fault, "wvx: " + what + " '" + path + "'" +
+                            (errno != 0 ? std::string(": ") + std::strerror(errno)
+                                        : std::string()));
+}
+
+void check_range(uint64_t offset, size_t length, uint64_t file_size,
+                 const std::string& path) {
+  if (offset > file_size || length > file_size - offset) {
+    throw WvxError(WvxFault::kTruncatedBlock,
+                   "wvx: read of " + std::to_string(length) + " bytes at " +
+                       std::to_string(offset) + " past end of '" + path +
+                       "' (" + std::to_string(file_size) + " bytes)");
+  }
+}
+
+/// Owns the descriptor; both backends read through it (mmap keeps it only
+/// for the mapping's lifetime bookkeeping — the map survives a close, but
+/// holding the fd keeps semantics obvious and cheap).
+class FdOwner {
+ public:
+  explicit FdOwner(int fd) : fd_(fd) {}
+  ~FdOwner() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  FdOwner(const FdOwner&) = delete;
+  FdOwner& operator=(const FdOwner&) = delete;
+  [[nodiscard]] int get() const { return fd_; }
+
+ private:
+  int fd_;
+};
+
+class BufferedStorage final : public StorageBackend {
+ public:
+  BufferedStorage(int fd, uint64_t size, std::string path)
+      : fd_(fd), size_(size), path_(std::move(path)) {}
+
+  [[nodiscard]] const char* kind() const override { return "buffered"; }
+  [[nodiscard]] uint64_t size() const override { return size_; }
+
+  const char* view(uint64_t offset, size_t length,
+                   std::string& scratch) override {
+    check_range(offset, length, size_, path_);
+    scratch.resize(length);
+    size_t done = 0;
+    while (done < length) {
+      const ssize_t got =
+          ::pread(fd_.get(), scratch.data() + done, length - done,
+                  static_cast<off_t>(offset + done));
+      if (got < 0) {
+        if (errno == EINTR) continue;
+        fail(WvxFault::kIo, path_, "read failed for");
+      }
+      if (got == 0) {  // file shrank underneath us
+        errno = 0;
+        fail(WvxFault::kTruncatedBlock, path_, "unexpected EOF in");
+      }
+      done += static_cast<size_t>(got);
+    }
+    return scratch.data();
+  }
+
+ private:
+  FdOwner fd_;
+  uint64_t size_;
+  std::string path_;
+};
+
+class MmapStorage final : public StorageBackend {
+ public:
+  MmapStorage(int fd, uint64_t size, std::string path, const char* base)
+      : fd_(fd), size_(size), path_(std::move(path)), base_(base) {}
+
+  ~MmapStorage() override {
+    ::munmap(const_cast<char*>(base_), static_cast<size_t>(size_));
+  }
+
+  [[nodiscard]] const char* kind() const override { return "mmap"; }
+  [[nodiscard]] uint64_t size() const override { return size_; }
+
+  const char* view(uint64_t offset, size_t length,
+                   std::string& /*scratch*/) override {
+    check_range(offset, length, size_, path_);
+    return base_ + offset;
+  }
+
+ private:
+  FdOwner fd_;
+  uint64_t size_;
+  std::string path_;
+  const char* base_;
+};
+
+}  // namespace
+
+std::unique_ptr<StorageBackend> open_storage(const std::string& path,
+                                             IoMode mode) {
+  errno = 0;
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) fail(WvxFault::kNotFound, path, "cannot open index file");
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    fail(WvxFault::kIo, path, "cannot stat");
+  }
+  const auto size = static_cast<uint64_t>(st.st_size);
+
+  // An empty file cannot be mapped; the buffered backend reports the
+  // truncation through the normal header-read path instead.
+  if (mode != IoMode::kBuffered && size != 0) {
+    void* base = ::mmap(nullptr, static_cast<size_t>(size), PROT_READ,
+                        MAP_PRIVATE, fd, 0);
+    if (base != MAP_FAILED) {
+      return std::make_unique<MmapStorage>(fd, size, path,
+                                           static_cast<const char*>(base));
+    }
+    if (mode == IoMode::kMmap) {
+      ::close(fd);
+      fail(WvxFault::kIo, path, "mmap failed for");
+    }
+    // kAuto: fall through to buffered.
+  }
+  errno = 0;
+  return std::make_unique<BufferedStorage>(fd, size, path);
+}
+
+}  // namespace hgdb::waveform

@@ -1,0 +1,57 @@
+#ifndef HGDB_WAVEFORM_STORAGE_BACKEND_H
+#define HGDB_WAVEFORM_STORAGE_BACKEND_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace hgdb::waveform {
+
+/// How an IndexedWaveform reads its file.
+enum class IoMode : uint8_t {
+  kAuto,      ///< mmap when the platform supports it, else buffered
+  kBuffered,  ///< positional reads (pread) into caller buffers
+  kMmap,      ///< one read-only mapping; views are pointers into it
+};
+
+[[nodiscard]] const char* to_string(IoMode mode);
+
+/// Read-side I/O seam of the waveform store. The reader, the verifier and
+/// the cache-miss path are all written against this interface, so the I/O
+/// strategy can change without touching any of them:
+///
+///  - BufferedStorage  pread() into a caller-owned scratch buffer — one
+///                     syscall per cold block, no address-space cost.
+///  - MmapStorage      the whole file mapped read-only; view() is pointer
+///                     arithmetic, hot blocks skip the read syscall and
+///                     the OS page cache handles eviction for cold ones.
+///
+/// Implementations are safe for concurrent view() calls on distinct
+/// scratch buffers (pread is positionless; the mapping is immutable).
+class StorageBackend {
+ public:
+  virtual ~StorageBackend() = default;
+
+  /// Which strategy this backend implements ("buffered" / "mmap").
+  [[nodiscard]] virtual const char* kind() const = 0;
+  [[nodiscard]] virtual uint64_t size() const = 0;
+
+  /// `length` bytes starting at `offset`. Zero-copy backends return a
+  /// pointer into their mapping and leave `scratch` untouched; copying
+  /// backends fill `scratch` and return scratch.data(). The pointer stays
+  /// valid until the backend is destroyed (mmap) or `scratch` is next
+  /// modified (buffered). Throws WvxError (kTruncatedBlock / kIo) when the
+  /// range extends past EOF or the read fails.
+  virtual const char* view(uint64_t offset, size_t length,
+                           std::string& scratch) = 0;
+};
+
+/// Opens `path` read-only with the requested strategy. kAuto resolves to
+/// mmap where available (empty files fall back to buffered: mmap of zero
+/// bytes is ill-defined). Throws WvxError (kNotFound / kIo).
+std::unique_ptr<StorageBackend> open_storage(const std::string& path,
+                                             IoMode mode = IoMode::kAuto);
+
+}  // namespace hgdb::waveform
+
+#endif  // HGDB_WAVEFORM_STORAGE_BACKEND_H

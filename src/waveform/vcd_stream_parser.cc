@@ -161,10 +161,19 @@ void VcdStreamParser::handle_directive_end() {
     full += args_[3];
     info.hier_name = std::move(full);
     const size_t id = widths_.size();
-    // Aliases: every $var sharing this id code receives the change stream.
-    code_to_ids_[args_[2]].push_back(id);
+    // Aliases: every $var sharing one id code names the same net. The
+    // first declaration is the canonical owner of the change stream;
+    // later ones with the same width are announced as aliases and never
+    // receive on_change(). A re-declaration at a *different* width is not
+    // a pure alias (its values re-parse at its own width), so it keeps
+    // the legacy per-declaration fan-out instead of sharing the stream.
+    auto& ids = code_to_ids_[args_[2]];
+    ids.push_back(id);
     widths_.push_back(info.width);
     sink_->on_signal(id, info);
+    if (ids.size() > 1 && info.width == widths_[ids.front()]) {
+      sink_->on_alias(id, ids.front());
+    }
   } else if (directive_ == "enddefinitions") {
     in_definitions_ = false;
     sink_->on_definitions_done();
@@ -202,8 +211,16 @@ void VcdStreamParser::emit_change(const std::string& code,
   if (it == code_to_ids_.end()) {
     malformed("unknown id code '" + code + "'");
   }
-  for (size_t id : it->second) {
+  // One change per code for the canonical id and its same-width aliases
+  // (announced at declaration time; they share the canonical stream).
+  // Mismatched-width re-declarations were not grouped, so they receive
+  // their own change, parsed at their own width — the legacy fan-out.
+  const auto& ids = it->second;
+  const uint32_t canonical_width = widths_[ids.front()];
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const size_t id = ids[i];
     const uint32_t width = widths_[id];
+    if (i != 0 && width == canonical_width) continue;  // alias: deduped
     if (scalar) {
       sink_->on_change(id, now_, BitVector(width, bit_of(scalar_char) ? 1 : 0));
     } else {

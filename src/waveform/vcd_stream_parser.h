@@ -8,30 +8,29 @@
 #include <vector>
 
 #include "common/bitvector.h"
+#include "waveform/index_sink.h"
 #include "waveform/waveform_source.h"
 
 namespace hgdb::waveform {
 
 /// Receives parse events from VcdStreamParser. Signal ids are dense,
 /// 0-based, in declaration order. Identifier-code aliases (multiple $var
-/// declarations sharing one id code) are resolved by the parser: one VCD
-/// value change fans out into one on_change() per aliased signal.
-class VcdEventSink {
+/// declarations sharing one id code) are announced via on_alias(); one VCD
+/// value change is reported exactly once, against the canonical
+/// (first-declared) id of its code — sinks that store per-signal streams
+/// dedupe by construction instead of materializing N copies.
+///
+/// Adds the VCD-specific structural events (definitions boundary, #time
+/// markers) on top of the transport-agnostic IndexSink consumer that the
+/// direct simulator write path also feeds. X/Z value digits map to 0 (the
+/// runtime is two-state); real (`r`) and string (`s`) changes are skipped,
+/// never reported.
+class VcdEventSink : public IndexSink {
  public:
-  virtual ~VcdEventSink() = default;
-
-  /// A $var declaration. Called during the definitions section.
-  virtual void on_signal(size_t /*id*/, const SignalInfo& /*info*/) {}
   /// $enddefinitions reached.
   virtual void on_definitions_done() {}
   /// A #<time> marker (monotonically nondecreasing in well-formed dumps).
   virtual void on_time(uint64_t /*time*/) {}
-  /// One value change. X/Z map to 0 (the runtime is two-state); real (`r`)
-  /// and string (`s`) changes are skipped, never reported.
-  virtual void on_change(size_t id, uint64_t time,
-                         const common::BitVector& value) = 0;
-  /// End of input; `max_time` is the largest #time seen.
-  virtual void on_finish(uint64_t /*max_time*/) {}
 };
 
 /// Incremental VCD parser: feed() accepts arbitrary chunk boundaries (mid

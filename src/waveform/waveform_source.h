@@ -42,6 +42,13 @@ class WaveformSource {
   [[nodiscard]] virtual const SignalInfo& signal(size_t index) const = 0;
   [[nodiscard]] virtual std::optional<size_t> signal_index(
       const std::string& hier_name) const = 0;
+  /// Index of the signal owning `index`'s change stream. Aliased names
+  /// (several $var declarations sharing one net) map to one canonical
+  /// index so callers caching per-signal state (replay fetch plans, block
+  /// caches) dedupe storage; non-aliased signals return themselves.
+  [[nodiscard]] virtual size_t canonical_index(size_t index) const {
+    return index;
+  }
   [[nodiscard]] virtual uint64_t max_time() const = 0;
 
   /// Value of signal `index` at `time`: last change at or before `time`,

@@ -4,16 +4,24 @@
 #include <cstdint>
 #include <string>
 
+#include "waveform/index_format.h"
+
 namespace hgdb::waveform {
 
 /// Result of an offline .wvx integrity check (`hgdb-cli wvx-verify`).
 struct VerifyResult {
   bool ok = false;
   bool checksummed = false;  ///< file carries per-block CRC32s
+  uint32_t version = 0;      ///< on-disk format version (0 = unreadable)
+  std::string codec;         ///< block codec ("fixed" / "delta"; "" = unreadable)
   uint64_t signals = 0;
   uint64_t blocks = 0;
-  /// When !ok: what went wrong. Structural errors (bad header/footer)
-  /// leave signal empty; block faults name the first corrupt block.
+  uint64_t aliases = 0;  ///< signals sharing another signal's stream (v3)
+  /// When !ok: the typed fault class (truncated-directory, checksum-
+  /// mismatch, ...) and what went wrong. Structural errors (bad
+  /// header/footer) leave `signal` empty; block faults name the first
+  /// corrupt block.
+  WvxFault fault = WvxFault::kCorrupt;
   std::string error;
   std::string signal;
   uint64_t block_index = 0;

@@ -148,6 +148,28 @@ TEST(Expression, EvaluateBoolOnWideValues) {
   EXPECT_FALSE(Expression::parse("a").evaluate_bool(env({{"a", 0}})));
 }
 
+TEST(Expression, CacheKeyNormalizesSpelling) {
+  // Textual variations of one AST share a key (the CSE program cache
+  // unifies them)...
+  EXPECT_EQ(Expression::parse("a && b").cache_key(),
+            Expression::parse("a&&b").cache_key());
+  EXPECT_EQ(Expression::parse("x + 10").cache_key(),
+            Expression::parse("x + 0xa").cache_key());
+  EXPECT_EQ(Expression::parse("and(a, b)").cache_key(),
+            Expression::parse("a & b").cache_key());
+  // ...while different trees never collide.
+  EXPECT_NE(Expression::parse("a && b").cache_key(),
+            Expression::parse("a || b").cache_key());
+  EXPECT_NE(Expression::parse("a && b").cache_key(),
+            Expression::parse("a & b").cache_key());  // logical vs bitwise
+  EXPECT_NE(Expression::parse("a").cache_key(),
+            Expression::parse("ab").cache_key());
+  EXPECT_NE(Expression::parse("x + 10").cache_key(),
+            Expression::parse("x + UInt<32>(10)").cache_key());  // widths
+  EXPECT_NE(Expression::parse("bits(x, 3, 1)").cache_key(),
+            Expression::parse("bits(x, 3, 2)").cache_key());  // params
+}
+
 class ExpressionGolden
     : public ::testing::TestWithParam<std::tuple<const char*, uint64_t>> {};
 

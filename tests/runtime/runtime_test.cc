@@ -442,5 +442,77 @@ TEST_F(RuntimeTest, EvaluateUsesCompiledPipeline) {
   EXPECT_EQ(*compiled_value, *interpreted_value);
 }
 
+TEST_F(RuntimeTest, IdenticalConditionsShareOneCompiledProgram) {
+  // Three instances arm the same condition text: one program, three slot
+  // maps (CSE keyed on the normalized AST). Behavior is unchanged — every
+  // instance still evaluates against its own bias/acc bindings.
+  build(kMultiInstance);
+  ASSERT_EQ(runtime_->add_breakpoint("worker.cc", 3, "acc % 2 == 0").size(),
+            3u);
+  const auto armed = runtime_->stats();
+  // The shared condition lowered exactly once; the enable-free location
+  // compiles nothing else for it.
+  EXPECT_EQ(armed.programs_compiled, 1u);
+  EXPECT_EQ(armed.program_cache_hits, 2u);
+
+  // A different spelling of the same expression is still one program...
+  runtime_->add_breakpoint("worker.cc", 4, "acc%2==0");
+  EXPECT_EQ(runtime_->stats().programs_compiled, 1u);
+  // ...while a genuinely different condition compiles a new one.
+  runtime_->remove_breakpoint("worker.cc", 4);
+  runtime_->add_breakpoint("worker.cc", 4, "acc % 2 == 1");
+  EXPECT_EQ(runtime_->stats().programs_compiled, 2u);
+
+  // Per-instance evaluation still fires independently and correctly.
+  std::vector<std::string> hit_instances;
+  runtime_->set_stop_handler([&](const rpc::StopEvent& event) {
+    for (const auto& frame : event.frames) {
+      hit_instances.push_back(frame.instance_name);
+    }
+    return Command::Continue;
+  });
+  simulator_->run(4);
+  EXPECT_FALSE(hit_instances.empty());
+}
+
+TEST_F(RuntimeTest, ProgramCacheShedsUnreferencedPrograms) {
+  // Arm/disarm churn on a long-lived server must not grow the program
+  // cache monotonically: a removed condition's program is swept on the
+  // next plan rebuild, so re-arming it compiles afresh.
+  build(kMultiInstance);
+  runtime_->add_breakpoint("worker.cc", 3, "acc > 1");
+  EXPECT_EQ(runtime_->stats().programs_compiled, 1u);
+  runtime_->remove_breakpoint("worker.cc", 3);  // rebuild sweeps the program
+  runtime_->add_breakpoint("worker.cc", 3, "acc > 1");
+  EXPECT_EQ(runtime_->stats().programs_compiled, 2u);
+  // A program still referenced by another live arm survives the sweep.
+  runtime_->add_breakpoint("worker.cc", 4, "acc > 1");
+  runtime_->remove_breakpoint("worker.cc", 3);
+  runtime_->add_breakpoint("worker.cc", 3, "acc > 1");
+  EXPECT_EQ(runtime_->stats().programs_compiled, 2u);
+}
+
+TEST_F(RuntimeTest, SharedProgramsMatchInterpretedVerdicts) {
+  // Differential check: the CSE-shared compiled path and the interpreted
+  // reference produce identical stop grids on the multi-instance design.
+  auto run_stops = [&](bool compiled_eval) {
+    RuntimeOptions options;
+    options.compiled_eval = compiled_eval;
+    build(kMultiInstance, options);
+    runtime_->add_breakpoint("worker.cc", 3, "acc > 4");
+    std::vector<std::pair<uint64_t, size_t>> stops;
+    runtime_->set_stop_handler([&](const rpc::StopEvent& event) {
+      stops.emplace_back(event.time, event.frames.size());
+      return Command::Continue;
+    });
+    simulator_->run(8);
+    return stops;
+  };
+  const auto compiled = run_stops(true);
+  const auto interpreted = run_stops(false);
+  ASSERT_FALSE(compiled.empty());
+  EXPECT_EQ(compiled, interpreted);
+}
+
 }  // namespace
 }  // namespace hgdb::runtime

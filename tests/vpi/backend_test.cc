@@ -38,6 +38,60 @@ TEST(NativeBackend, GetValueByHierName) {
   EXPECT_FALSE(backend.get_value("Counter.nope").has_value());
 }
 
+TEST(NativeBackend, ZeroCopyViewsPointIntoTheValueStore) {
+  auto compiled = frontend::compile(ir::parse_circuit(kCounter));
+  sim::Simulator simulator(compiled.netlist);
+  NativeBackend backend(simulator);
+  simulator.set_value("Counter.enable", 1);
+  simulator.run(5);
+
+  const uint64_t handles[] = {*backend.lookup_signal("Counter.out"),
+                              *backend.lookup_signal("Counter.enable")};
+  const common::BitVector* views[2] = {nullptr, nullptr};
+  ASSERT_TRUE(backend.get_value_views(handles, 2, views));
+  ASSERT_NE(views[0], nullptr);
+  ASSERT_NE(views[1], nullptr);
+  // Zero-copy means the pointers ARE the simulator's storage, not copies.
+  EXPECT_EQ(views[0],
+            &simulator.value(static_cast<uint32_t>(handles[0])));
+  EXPECT_EQ(views[0]->to_uint64(), 5u);
+  EXPECT_EQ(views[1]->to_uint64(), 1u);
+  // ... so advancing the simulation updates the pointee in place.
+  simulator.run(2);
+  EXPECT_EQ(views[0]->to_uint64(), 7u);
+  // The copying path agrees with the views.
+  common::BitVector out[2];
+  uint8_t present[2] = {0, 0};
+  backend.get_values(handles, 2, out, present);
+  EXPECT_EQ(out[0], *views[0]);
+  EXPECT_EQ(out[1], *views[1]);
+}
+
+TEST(NativeBackend, ReplayAndDefaultBackendsDeclineViews) {
+  // The base-class default must return false so the runtime falls back to
+  // the copying fetch (replay recomputes values per seek).
+  class MinimalBackend final : public SimulatorInterface {
+   public:
+    [[nodiscard]] std::optional<common::BitVector> get_value(
+        const std::string&) override {
+      return common::BitVector(8, 1);
+    }
+    [[nodiscard]] std::vector<std::string> signal_names() const override {
+      return {};
+    }
+    [[nodiscard]] std::vector<std::string> clock_names() const override {
+      return {};
+    }
+    uint64_t add_clock_callback(ClockCallback) override { return 0; }
+    void remove_clock_callback(uint64_t) override {}
+    [[nodiscard]] uint64_t get_time() const override { return 0; }
+  };
+  MinimalBackend backend;
+  const uint64_t handle = *backend.lookup_signal("anything");
+  const common::BitVector* view = nullptr;
+  EXPECT_FALSE(backend.get_value_views(&handle, 1, &view));
+}
+
 TEST(NativeBackend, HierarchyAndClockQueries) {
   auto compiled = frontend::compile(ir::parse_circuit(kCounter));
   sim::Simulator simulator(compiled.netlist);

@@ -1,0 +1,457 @@
+// Format-compatibility suite for the layered storage engine: v1/v2
+// fixtures must keep opening, verifying and replaying bit-identically
+// through the new codec layer; v3 must dedupe aliases and shrink the
+// file; both storage backends (buffered / mmap) must answer identically.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <random>
+
+#include "trace/replay.h"
+#include "trace/vcd_reader.h"
+#include "waveform/block_codec.h"
+#include "waveform/index_writer.h"
+#include "waveform/indexed_waveform.h"
+#include "waveform/storage_backend.h"
+#include "waveform/wvx_verify.h"
+
+namespace hgdb::waveform {
+namespace {
+
+uint64_t file_size(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  return static_cast<uint64_t>(in.tellg());
+}
+
+/// Mixed-width synthetic VCD; `alias_ratio` of the vars are re-declared
+/// names of earlier ones (shared id codes), like heavily aliased nets in
+/// real dumps.
+std::string synthetic_vcd(size_t signals, size_t cycles, size_t aliases) {
+  std::string out = "$scope module top $end\n$var wire 1 ck clk $end\n";
+  for (size_t i = 0; i < signals; ++i) {
+    const uint32_t width = i % 3 == 2 ? 80 : (i % 3 == 1 ? 32 : 8);
+    out += "$var wire " + std::to_string(width) + " c" + std::to_string(i) +
+           " sig" + std::to_string(i) + " $end\n";
+  }
+  for (size_t a = 0; a < aliases; ++a) {
+    const size_t target = a % signals;
+    const uint32_t width = target % 3 == 2 ? 80 : (target % 3 == 1 ? 32 : 8);
+    out += "$var wire " + std::to_string(width) + " c" + std::to_string(target) +
+           " alias" + std::to_string(a) + " $end\n";
+  }
+  out += "$upscope $end\n$enddefinitions $end\n";
+  std::mt19937_64 rng(21);
+  for (size_t t = 0; t < cycles; ++t) {
+    out += "#" + std::to_string(2 * t) + "\n1ck\n";
+    for (size_t i = 0; i < signals; ++i) {
+      if (rng() % 3 != 0 && t != 0) continue;
+      const uint64_t value = rng();
+      std::string bits = "b";
+      for (int bit = 31; bit >= 0; --bit) bits += ((value >> bit) & 1) ? '1' : '0';
+      out += bits + " c" + std::to_string(i) + "\n";
+    }
+    out += "#" + std::to_string(2 * t + 1) + "\n0ck\n";
+  }
+  return out;
+}
+
+class FormatCompatTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    stem_ = ::testing::TempDir() + "hgdb_compat_" + std::to_string(::getpid()) +
+            "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    vcd_path_ = stem_ + ".vcd";
+  }
+
+  void TearDown() override {
+    std::remove(vcd_path_.c_str());
+    for (const auto& path : produced_) std::remove(path.c_str());
+  }
+
+  void write_vcd(const std::string& text) {
+    std::ofstream out(vcd_path_);
+    out << text;
+  }
+
+  /// Converts vcd_path_ with `options`, tracking the file for cleanup.
+  std::string convert(const std::string& tag, IndexWriterOptions options) {
+    const std::string path = stem_ + "." + tag + ".wvx";
+    convert_vcd_to_index(vcd_path_, path, options);
+    produced_.push_back(path);
+    return path;
+  }
+
+  /// Every signal/time query must agree with the in-memory trace.
+  void expect_parity(const IndexedWaveform& indexed, const trace::VcdTrace& trace) {
+    ASSERT_EQ(indexed.signal_count(), trace.signal_count());
+    EXPECT_EQ(indexed.max_time(), trace.max_time());
+    for (size_t i = 0; i < trace.signal_count(); ++i) {
+      EXPECT_EQ(indexed.signal(i).hier_name, trace.signal(i).hier_name);
+      for (uint64_t t = 0; t <= trace.max_time() + 1; t += 3) {
+        ASSERT_EQ(indexed.value_at(i, t), trace.value_at(i, t))
+            << trace.signal(i).hier_name << " at " << t;
+      }
+      EXPECT_EQ(indexed.rising_edges(i), trace.rising_edges(i));
+    }
+  }
+
+  std::string stem_, vcd_path_;
+  std::vector<std::string> produced_;
+};
+
+TEST_F(FormatCompatTest, V2FilesStillOpenVerifyAndReplayIdentically) {
+  write_vcd(synthetic_vcd(6, 60, 0));
+  auto trace = trace::parse_vcd_file(vcd_path_);
+
+  IndexWriterOptions v2;
+  v2.version = 2;
+  v2.block_capacity = 16;
+  const auto v2_path = convert("v2", v2);
+  IndexedWaveform indexed(v2_path);
+  EXPECT_EQ(indexed.version(), 2u);
+  EXPECT_STREQ(indexed.codec_name(), "fixed");
+  expect_parity(indexed, trace);
+
+  const auto result = verify_index(v2_path);
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.version, 2u);
+  EXPECT_EQ(result.codec, "fixed");
+  EXPECT_TRUE(result.checksummed);
+
+  // And a v2 trace replays on the full engine, byte-for-byte with memory.
+  trace::ReplayEngine engine(std::make_shared<IndexedWaveform>(v2_path));
+  trace::ReplayEngine memory_engine(
+      std::make_shared<trace::VcdTrace>(std::move(trace)));
+  EXPECT_EQ(engine.edges(), memory_engine.edges());
+}
+
+TEST_F(FormatCompatTest, V1FixtureStillOpensAndReplays) {
+  // Hand-crafted version-1 fixture: 32-byte header, no flags, fixed
+  // codec, one 8-bit signal with a 2-entry block.
+  const std::string path = stem_ + ".v1.wvx";
+  produced_.push_back(path);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    auto u32 = [&](uint32_t value) {
+      for (int i = 0; i < 4; ++i) out.put(static_cast<char>(value >> (8 * i)));
+    };
+    auto u64 = [&](uint64_t value) {
+      for (int i = 0; i < 8; ++i) out.put(static_cast<char>(value >> (8 * i)));
+    };
+    u32(kWvxMagic);
+    u32(1);
+    u64(32 + 18);  // footer offset
+    u64(9);        // max_time
+    u64(1);        // signal_count
+    u64(0);
+    out.put(static_cast<char>(0x2a));
+    u64(9);
+    out.put(static_cast<char>(0x55));
+    u32(1);
+    out.put('x');
+    u32(8);
+    u64(1);
+    u64(0);
+    u64(9);
+    u64(32);
+    u32(2);
+  }
+  IndexedWaveform indexed(path);
+  EXPECT_EQ(indexed.version(), 1u);
+  EXPECT_STREQ(indexed.codec_name(), "fixed");
+  EXPECT_FALSE(indexed.has_block_checksums());
+  EXPECT_EQ(indexed.value_at(0, 0).to_uint64(), 0x2au);
+  EXPECT_EQ(indexed.value_at(0, 9).to_uint64(), 0x55u);
+
+  const auto result = verify_index(path);
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.version, 1u);
+}
+
+TEST_F(FormatCompatTest, V3DefaultsToDeltaCodecAndMatchesV2BitForBit) {
+  write_vcd(synthetic_vcd(8, 120, 0));
+  auto trace = trace::parse_vcd_file(vcd_path_);
+
+  IndexWriterOptions v2;
+  v2.version = 2;
+  const auto v2_path = convert("v2", v2);
+  const auto v3_path = convert("v3", IndexWriterOptions{});
+
+  IndexedWaveform two(v2_path), three(v3_path);
+  EXPECT_EQ(three.version(), 3u);
+  EXPECT_STREQ(three.codec_name(), "delta");
+  expect_parity(two, trace);
+  expect_parity(three, trace);
+
+  // The varint/delta encoding must be materially smaller on this
+  // near-sequential mixed-width traffic.
+  EXPECT_LT(file_size(v3_path), file_size(v2_path));
+}
+
+TEST_F(FormatCompatTest, V3FixedCodecContainerIsAlsoReadable) {
+  write_vcd(synthetic_vcd(4, 40, 0));
+  auto trace = trace::parse_vcd_file(vcd_path_);
+  IndexWriterOptions options;
+  options.delta_codec = false;
+  const auto path = convert("v3fixed", options);
+  IndexedWaveform indexed(path);
+  EXPECT_EQ(indexed.version(), 3u);
+  EXPECT_STREQ(indexed.codec_name(), "fixed");
+  expect_parity(indexed, trace);
+}
+
+TEST_F(FormatCompatTest, AliasDedupKeepsParityAndShrinksTheFile) {
+  // Heavy aliasing: 3 extra names per net. Queries through every aliased
+  // name must match the in-memory backend exactly, while the dedup file
+  // stores one stream per net.
+  write_vcd(synthetic_vcd(6, 80, 18));
+  auto trace = trace::parse_vcd_file(vcd_path_);
+  EXPECT_EQ(trace.alias_count(), 18u);
+
+  const auto dedup_path = convert("dedup", IndexWriterOptions{});
+  IndexWriterOptions no_dedup;
+  no_dedup.dedup_aliases = false;
+  const auto dup_path = convert("dup", no_dedup);
+
+  IndexedWaveform deduped(dedup_path), duplicated(dup_path);
+  EXPECT_EQ(deduped.alias_count(), 18u);
+  EXPECT_EQ(duplicated.alias_count(), 0u);
+  expect_parity(deduped, trace);
+  expect_parity(duplicated, trace);
+
+  // Aliased queries resolve to the canonical signal's stream and share
+  // its cache entries.
+  auto canonical = deduped.signal_index("top.sig0");
+  auto alias = deduped.signal_index("top.alias0");
+  ASSERT_TRUE(canonical && alias);
+  EXPECT_EQ(deduped.canonical_index(*alias), *canonical);
+  EXPECT_EQ(deduped.value_at(*alias, 33), deduped.value_at(*canonical, 33));
+
+  // Dedup must save real space: 18 duplicated streams vs. 18 footer rows.
+  EXPECT_LT(file_size(dedup_path), file_size(dup_path) * 3 / 4);
+
+  const auto result = verify_index(dedup_path);
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.aliases, 18u);
+}
+
+TEST_F(FormatCompatTest, InMemoryTraceDedupesAliasStorageToo) {
+  write_vcd(synthetic_vcd(4, 60, 12));
+  auto aliased = trace::parse_vcd_file(vcd_path_);
+
+  write_vcd(synthetic_vcd(4, 60, 0));
+  auto plain = trace::parse_vcd_file(vcd_path_);
+
+  // 12 aliased names add footer entries but no change-list memory.
+  EXPECT_EQ(aliased.alias_count(), 12u);
+  EXPECT_EQ(aliased.resident_bytes(), plain.resident_bytes());
+  // Aliased and canonical names answer identically.
+  auto a = aliased.var_index("top.alias0");
+  auto c = aliased.var_index("top.sig0");
+  ASSERT_TRUE(a && c);
+  EXPECT_EQ(aliased.canonical_index(*a), *c);
+  EXPECT_EQ(aliased.value_at(*a, 17), aliased.value_at(*c, 17));
+  EXPECT_EQ(&aliased.changes(*a), &aliased.changes(*c));
+}
+
+TEST_F(FormatCompatTest, MmapAndBufferedBackendsAnswerIdentically) {
+  write_vcd(synthetic_vcd(6, 100, 6));
+  const auto path = convert("io", IndexWriterOptions{});
+
+  IndexedWaveform mapped(path, WaveformOpenOptions{8, IoMode::kMmap});
+  IndexedWaveform buffered(path, WaveformOpenOptions{8, IoMode::kBuffered});
+  EXPECT_STREQ(mapped.io_kind(), "mmap");
+  EXPECT_STREQ(buffered.io_kind(), "buffered");
+
+  std::mt19937_64 rng(5);
+  for (int i = 0; i < 300; ++i) {
+    const size_t signal = rng() % mapped.signal_count();
+    const uint64_t time = rng() % (mapped.max_time() + 1);
+    ASSERT_EQ(mapped.value_at(signal, time), buffered.value_at(signal, time));
+  }
+  // Both stay LRU-bounded.
+  EXPECT_LE(mapped.cache_stats().peak_resident, mapped.cache_capacity());
+  EXPECT_LE(buffered.cache_stats().peak_resident, buffered.cache_capacity());
+}
+
+TEST_F(FormatCompatTest, TruncatedDirectoryFailsWithTypedFault) {
+  write_vcd(synthetic_vcd(3, 30, 0));
+  const auto path = convert("trunc", IndexWriterOptions{});
+
+  // Cut the last 5 bytes: the footer now ends mid-directory-entry, which
+  // must surface as the typed truncated-directory fault, not a generic
+  // parse error.
+  const uint64_t size = file_size(path);
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes(static_cast<size_t>(size), '\0');
+  in.read(bytes.data(), static_cast<std::streamsize>(size));
+  in.close();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(size - 5));
+  }
+
+  try {
+    IndexedWaveform indexed(path);
+    FAIL() << "expected WvxError";
+  } catch (const WvxError& error) {
+    EXPECT_EQ(error.fault(), WvxFault::kTruncatedDirectory);
+    EXPECT_NE(std::string(error.what()).find("truncated signal directory"),
+              std::string::npos);
+  }
+
+  const auto result = verify_index(path);
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.fault, WvxFault::kTruncatedDirectory);
+  EXPECT_NE(describe(result, path).find("truncated-directory"),
+            std::string::npos);
+}
+
+TEST_F(FormatCompatTest, AliasHeavyShortNameFilesPassTheFooterSanityCap) {
+  // Alias footer entries are only 12 + name_len bytes; with one-char
+  // unscoped names the a-priori signal-count cap must not misclassify a
+  // valid writer output as corrupt.
+  std::string vcd = "$var wire 8 d a $end\n";
+  const std::string aliases = "bcdefghijklmnop";
+  for (char name : aliases) {
+    vcd += std::string("$var wire 8 d ") + name + " $end\n";
+  }
+  vcd += "$enddefinitions $end\n#0\nb101 d\n#5\nb111 d\n";
+  write_vcd(vcd);
+  const auto path = convert("short", IndexWriterOptions{});
+  IndexedWaveform indexed(path);
+  EXPECT_EQ(indexed.signal_count(), 1 + aliases.size());
+  EXPECT_EQ(indexed.alias_count(), aliases.size());
+  EXPECT_EQ(indexed.value_at(*indexed.signal_index("p"), 5).to_uint64(), 7u);
+  EXPECT_TRUE(verify_index(path).ok);
+}
+
+TEST_F(FormatCompatTest, VerifyReportsVersionAndCodec) {
+  write_vcd(synthetic_vcd(2, 20, 2));
+  const auto path = convert("report", IndexWriterOptions{});
+  const auto result = verify_index(path);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.version, 3u);
+  EXPECT_EQ(result.codec, "delta");
+  EXPECT_EQ(result.aliases, 2u);
+  const std::string text = describe(result, path);
+  EXPECT_NE(text.find("format v3"), std::string::npos);
+  EXPECT_NE(text.find("delta codec"), std::string::npos);
+}
+
+TEST(BlockCodecs, VarintRoundTripAndBounds) {
+  std::string buffer;
+  const uint64_t values[] = {0, 1, 127, 128, 300, 1u << 20, ~uint64_t{0}};
+  for (uint64_t value : values) {
+    buffer.clear();
+    append_varint(buffer, value);
+    EXPECT_EQ(buffer.size(), varint_size(value));
+    const auto* p = reinterpret_cast<const uint8_t*>(buffer.data());
+    const auto* end = p + buffer.size();
+    EXPECT_EQ(read_varint(&p, end), value);
+    EXPECT_EQ(p, end);
+  }
+  // Truncated varint throws the typed fault.
+  buffer.assign(1, '\x80');
+  const auto* p = reinterpret_cast<const uint8_t*>(buffer.data());
+  EXPECT_THROW((void)read_varint(&p, p + 1), WvxError);
+  // Overlong encodings (a run of continuation bytes past the 10-byte u64
+  // maximum, or a 10th byte carrying more than bit 0) are rejected before
+  // any out-of-range shift can happen.
+  buffer.assign(11, '\x80');
+  p = reinterpret_cast<const uint8_t*>(buffer.data());
+  EXPECT_THROW((void)read_varint(&p, p + buffer.size()), WvxError);
+  buffer.assign(9, '\x80');
+  buffer += '\x02';  // shift 63 with payload > 1
+  p = reinterpret_cast<const uint8_t*>(buffer.data());
+  EXPECT_THROW((void)read_varint(&p, p + buffer.size()), WvxError);
+  buffer.assign(9, '\x81');
+  buffer += '\x01';  // bit set at every 7th position + bit 63: legal
+  p = reinterpret_cast<const uint8_t*>(buffer.data());
+  EXPECT_EQ(read_varint(&p, p + buffer.size()), 0x8102040810204081ull);
+}
+
+TEST(BlockCodecs, DeltaRoundTripsMixedWidths) {
+  std::mt19937_64 rng(3);
+  for (uint32_t width : {1u, 8u, 17u, 32u, 64u, 80u, 130u}) {
+    std::vector<uint64_t> times;
+    std::vector<common::BitVector> values;
+    uint64_t t = 1000;
+    for (int i = 0; i < 200; ++i) {
+      t += rng() % 3;  // nondecreasing incl. same-time glitches
+      times.push_back(t);
+      common::BitVector value(width, rng());
+      if (width > 64 && rng() % 2 == 0) value.set_bit(width - 1, true);
+      if (rng() % 4 == 0 && !values.empty()) value = values.back();  // runs
+      values.push_back(std::move(value));
+    }
+    std::string encoded;
+    delta_codec().encode(times.data(), values.data(), values.size(), width,
+                         encoded);
+    DecodedBlock decoded;
+    delta_codec().decode(encoded.data(), encoded.size(),
+                         static_cast<uint32_t>(values.size()), width, decoded);
+    ASSERT_EQ(decoded.size(), values.size()) << "width " << width;
+    for (size_t i = 0; i < values.size(); ++i) {
+      EXPECT_EQ(decoded[i].first, times[i]);
+      EXPECT_EQ(decoded[i].second, values[i]) << "width " << width << " @" << i;
+    }
+    // Fixed codec agrees with itself too, and delta is never larger on
+    // this clustered traffic.
+    std::string fixed;
+    fixed_codec().encode(times.data(), values.data(), values.size(), width,
+                         fixed);
+    EXPECT_LT(encoded.size(), fixed.size()) << "width " << width;
+  }
+}
+
+TEST(BlockCodecs, DecodeRejectsCorruptPayloads) {
+  std::vector<uint64_t> times{1, 2};
+  std::vector<common::BitVector> values{common::BitVector(8, 3),
+                                        common::BitVector(8, 200)};
+  std::string encoded;
+  delta_codec().encode(times.data(), values.data(), 2, 8, encoded);
+  DecodedBlock out;
+  // Truncation: chop the tail.
+  EXPECT_THROW(
+      delta_codec().decode(encoded.data(), encoded.size() - 1, 2, 8, out),
+      WvxError);
+  // Trailing garbage after the last entry.
+  std::string padded = encoded + '\x00';
+  EXPECT_THROW(delta_codec().decode(padded.data(), padded.size(), 2, 8, out),
+               WvxError);
+  // Unknown value tag.
+  std::string bad = encoded;
+  bad[1] = '\x7f';
+  EXPECT_THROW(delta_codec().decode(bad.data(), bad.size(), 2, 8, out),
+               WvxError);
+}
+
+TEST(StorageBackends, OpenModesAndTypedErrors) {
+  EXPECT_THROW((void)open_storage("/nonexistent/trace.wvx", IoMode::kAuto),
+               WvxError);
+  const std::string path = ::testing::TempDir() + "hgdb_storage_" +
+                           std::to_string(::getpid()) + ".bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "0123456789";
+  }
+  auto buffered = open_storage(path, IoMode::kBuffered);
+  auto mapped = open_storage(path, IoMode::kMmap);
+  EXPECT_STREQ(buffered->kind(), "buffered");
+  EXPECT_STREQ(mapped->kind(), "mmap");
+  EXPECT_EQ(buffered->size(), 10u);
+  std::string scratch;
+  EXPECT_EQ(std::string(buffered->view(2, 3, scratch), 3), "234");
+  EXPECT_EQ(std::string(mapped->view(2, 3, scratch), 3), "234");
+  // Reads past EOF are typed truncation faults, not garbage.
+  EXPECT_THROW((void)buffered->view(8, 4, scratch), WvxError);
+  EXPECT_THROW((void)mapped->view(8, 4, scratch), WvxError);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hgdb::waveform

@@ -21,6 +21,9 @@ class Collector : public VcdEventSink {
     EXPECT_EQ(id, signals.size());
     signals.push_back(info);
   }
+  void on_alias(size_t id, size_t canonical_id) override {
+    aliases.emplace_back(id, canonical_id);
+  }
   void on_definitions_done() override { definitions_done = true; }
   void on_time(uint64_t time) override { times.push_back(time); }
   void on_change(size_t id, uint64_t time,
@@ -30,6 +33,7 @@ class Collector : public VcdEventSink {
   void on_finish(uint64_t max) override { max_time = max; }
 
   std::vector<SignalInfo> signals;
+  std::vector<std::pair<size_t, size_t>> aliases;
   std::vector<uint64_t> times;
   std::vector<Change> changes;
   bool definitions_done = false;
@@ -106,24 +110,55 @@ TEST(VcdStreamParser, RaggedChunkBoundariesMatch) {
   }
 }
 
-TEST(VcdStreamParser, AliasedIdCodesFanOut) {
-  // Two $var declarations share id code '!': both signals must receive the
-  // change stream (common in real dumps where a net has several names).
+TEST(VcdStreamParser, AliasedIdCodesShareOneStream) {
+  // Three $var declarations share id code '!' (common in real dumps where
+  // a net has several names): both aliases are announced against the
+  // first-declared (canonical) signal, and the change is reported exactly
+  // once — sinks dedupe storage by construction.
   Collector sink;
   VcdStreamParser::parse_text(
       "$scope module top $end\n"
       "$var wire 4 ! a $end\n"
       "$var wire 4 ! b_alias $end\n"
+      "$var wire 4 ! c_alias $end\n"
       "$upscope $end\n"
       "$enddefinitions $end\n"
       "#0\nb1010 !\n",
       sink);
-  ASSERT_EQ(sink.signals.size(), 2u);
+  ASSERT_EQ(sink.signals.size(), 3u);
+  ASSERT_EQ(sink.aliases.size(), 2u);
+  EXPECT_EQ(sink.aliases[0], (std::pair<size_t, size_t>{1, 0}));
+  EXPECT_EQ(sink.aliases[1], (std::pair<size_t, size_t>{2, 0}));
+  ASSERT_EQ(sink.changes.size(), 1u);
+  EXPECT_EQ(sink.changes[0].id, 0u);
+  EXPECT_EQ(sink.changes[0].value.to_uint64(), 0b1010u);
+}
+
+TEST(VcdStreamParser, MismatchedWidthRedeclarationsKeepFanOut) {
+  // A re-declaration at a different width is not a pure alias: its values
+  // re-parse at its own width, so it keeps its own change stream (the
+  // legacy behavior) and no on_alias is announced for it.
+  Collector sink;
+  VcdStreamParser::parse_text(
+      "$var wire 8 ! data $end\n"
+      "$var wire 1 ! data_bit $end\n"
+      "$var wire 8 ! data_alias $end\n"
+      "$enddefinitions $end\n"
+      "#0\nb10100000 !\n",
+      sink);
+  ASSERT_EQ(sink.signals.size(), 3u);
+  // Only the same-width re-declaration aliased.
+  ASSERT_EQ(sink.aliases.size(), 1u);
+  EXPECT_EQ(sink.aliases[0], (std::pair<size_t, size_t>{2, 0}));
+  // The canonical and the mismatched-width signal each got a change, at
+  // their own widths.
   ASSERT_EQ(sink.changes.size(), 2u);
   EXPECT_EQ(sink.changes[0].id, 0u);
+  EXPECT_EQ(sink.changes[0].value.width(), 8u);
+  EXPECT_EQ(sink.changes[0].value.to_uint64(), 0b10100000u);
   EXPECT_EQ(sink.changes[1].id, 1u);
-  EXPECT_EQ(sink.changes[0].value.to_uint64(), 0b1010u);
-  EXPECT_EQ(sink.changes[1].value.to_uint64(), 0b1010u);
+  EXPECT_EQ(sink.changes[1].value.width(), 1u);
+  EXPECT_EQ(sink.changes[1].value.to_uint64(), 0u);  // low bit of the vector
 }
 
 TEST(VcdStreamParser, RealAndStringChangesAreSkipped) {

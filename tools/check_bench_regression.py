@@ -1,13 +1,19 @@
 #!/usr/bin/env python3
-"""Gate the fig5 bench against the committed baseline.
+"""Gate a bench JSON report against its committed baseline.
 
-Compares the compiled-vs-interpreted condition-evaluation speedups in a
-fresh BENCH_fig5.json run against bench/baselines/BENCH_fig5.json and
-fails (exit 1) when any tracked speedup dropped more than --max-drop
-(default 30%) below the baseline value. Speedups are ratios of the same
-two measurements taken in the same process, so they are far more stable
-across runner hardware than absolute ns/edge numbers — which is why the
-gate tracks them and not the raw timings.
+Compares the tracked ratios of a fresh bench run against the matching
+file under bench/baselines/ and fails (exit 1) when any ratio dropped
+more than --max-drop (default 30%) below the baseline value. Tracked
+ratios are in-process comparisons of the same two measurements (speedups,
+size savings, backend-vs-backend seek ratios), so they are far more
+stable across runner hardware than absolute timings — which is why the
+gate tracks them and not the raw numbers.
+
+Two report shapes are understood:
+  - fig5 (BENCH_fig5.json): condition_eval.*.speedup + hot_speedup;
+  - any report carrying a top-level "gates" object of name -> ratio
+    (BENCH_waveform.json: open_vs_parse_speedup, v3_size_savings,
+    mmap_vs_buffered_seek).
 
 Usage:
   check_bench_regression.py CURRENT.json BASELINE.json [--max-drop 0.30]
@@ -19,7 +25,7 @@ import sys
 
 
 def tracked_speedups(report):
-    """(name, value) pairs of the speedups the gate protects."""
+    """(name, value) pairs of the ratios the gate protects."""
     out = []
     for scenario, data in sorted(report.get("condition_eval", {}).items()):
         if isinstance(data, dict) and "speedup" in data:
@@ -27,6 +33,9 @@ def tracked_speedups(report):
                         float(data["speedup"])))
     if "hot_speedup" in report:
         out.append(("hot_speedup", float(report["hot_speedup"])))
+    for name, value in sorted(report.get("gates", {}).items()):
+        if isinstance(value, (int, float)):
+            out.append((f"gates.{name}", float(value)))
     return out
 
 
