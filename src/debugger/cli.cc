@@ -40,12 +40,14 @@
 
 #include <atomic>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <thread>
 
 #include "debugger/client.h"
 #include "frontend/compile.h"
+#include "obs/metrics.h"
 #include "runtime/runtime.h"
 #include "sim/simulator.h"
 #include "sim/vcd_writer.h"
@@ -136,8 +138,8 @@ void run_repl(debugger::DebugClient& client, const std::atomic<bool>& done,
                      "pp <e1> ; <e2> ; ...    batched evaluation\n"
                      "watch <expr>            stop when the value changes\n"
                      "unwatch <id>            remove a watchpoint\n"
-                     "sub [N] <sig> [sig...]  stream value changes (every Nth"
-                     " event; default 1)\n"
+                     "sub [N] [@T] <sig>...   stream value changes (every Nth"
+                     " event; @T = min sim-time between events)\n"
                      "unsub <id>              cancel a subscription\n"
                      "vwait                   wait for the next value event\n"
                      "instances               list design instances\n"
@@ -145,6 +147,10 @@ void run_repl(debugger::DebugClient& client, const std::atomic<bool>& done,
                      "frames                  show last stop\n"
                      "info / files / stats    runtime info / source files /"
                      " counters\n"
+                     "metrics                 Prometheus exposition of the"
+                     " runtime's registry\n"
+                     "trace start|stop|dump <file>  control the span recorder"
+                     " / write Perfetto JSON\n"
                      "caps                    negotiated capabilities\n"
                      "q                       quit\n";
       } else if (command == "b" || command == "d") {
@@ -255,6 +261,7 @@ void run_repl(debugger::DebugClient& client, const std::atomic<bool>& done,
         }
       } else if (command == "sub") {
         uint32_t decimation = 1;
+        uint64_t min_interval = 0;
         std::vector<std::string> signals;
         std::string word;
         bool first = true;
@@ -262,16 +269,25 @@ void run_repl(debugger::DebugClient& client, const std::atomic<bool>& done,
           if (first && !word.empty() && word.size() <= 9 &&
               word.find_first_not_of("0123456789") == std::string::npos) {
             decimation = static_cast<uint32_t>(std::stoul(word));
+          } else if (signals.empty() && word.size() > 1 && word[0] == '@' &&
+                     word.find_first_not_of("0123456789", 1) ==
+                         std::string::npos) {
+            min_interval = std::stoull(word.substr(1));
           } else {
             signals.push_back(word);
           }
           first = false;
         }
         if (signals.empty()) {
-          std::cout << "usage: sub [N] <signal> [signal...]\n";
-        } else if (auto id = client.subscribe(signals, decimation)) {
+          std::cout << "usage: sub [N] [@T] <signal> [signal...]\n";
+        } else if (auto id =
+                       client.subscribe(signals, decimation, "", min_interval)) {
           std::cout << "subscription " << *id << " armed (1 of every "
-                    << decimation << " events)\n";
+                    << decimation << " events";
+          if (min_interval != 0) {
+            std::cout << ", >= " << min_interval << " sim-time apart";
+          }
+          std::cout << ")\n";
         } else {
           std::cout << "error: " << client.last_error() << "\n";
         }
@@ -329,6 +345,47 @@ void run_repl(debugger::DebugClient& client, const std::atomic<bool>& done,
         }
       } else if (command == "stats") {
         print_json(client.stats(), 1);
+      } else if (command == "metrics") {
+        const std::string text = client.metrics();
+        if (text.empty()) {
+          std::cout << "error: " << client.last_error() << "\n";
+        } else {
+          std::cout << text;
+        }
+      } else if (command == "trace") {
+        std::string action;
+        input >> action;
+        if (action == "start" || action == "stop" || action == "clear" ||
+            action == "status") {
+          const auto status = client.trace_control(action);
+          if (client.last_error_code() != rpc::ErrorCode::None) {
+            std::cout << "error: " << client.last_error() << "\n";
+          } else {
+            print_json(status, 1);
+          }
+        } else if (action == "dump") {
+          std::string path;
+          input >> path;
+          if (path.empty()) {
+            std::cout << "usage: trace dump <file>\n";
+            continue;
+          }
+          const std::string json = client.trace_dump();
+          if (json.empty()) {
+            std::cout << "error: " << client.last_error() << "\n";
+            continue;
+          }
+          std::ofstream out(path, std::ios::binary | std::ios::trunc);
+          if (!out) {
+            std::cout << "cannot open " << path << "\n";
+            continue;
+          }
+          out << json;
+          std::cout << "wrote " << json.size() << " bytes to " << path
+                    << " (load in ui.perfetto.dev or chrome://tracing)\n";
+        } else {
+          std::cout << "usage: trace start|stop|clear|status|dump <file>\n";
+        }
       } else if (command == "caps") {
         print_capabilities(client);
       } else if (command == "frames") {
@@ -425,7 +482,9 @@ int run_replay_cli(const std::string& name, bool debug_mode, uint64_t cycles,
 
   vpi::ReplayBackend backend{trace::ReplayEngine(std::move(source))};
   symbols::MemorySymbolTable table(compiled.symbols);
-  runtime::Runtime runtime(backend, table);
+  runtime::RuntimeOptions runtime_options;
+  runtime_options.metrics = &obs::MetricsRegistry::global();
+  runtime::Runtime runtime(backend, table, runtime_options);
   runtime.attach();
   maybe_serve_dap(runtime, dap_port);
 
@@ -468,7 +527,9 @@ int run_cli(const std::string& name, bool debug_mode, uint64_t cycles,
   sim::Simulator simulator(compiled.netlist);
   simulator.enable_checkpoints(true);
   vpi::NativeBackend backend(simulator);
-  runtime::Runtime runtime(backend, table);
+  runtime::RuntimeOptions runtime_options;
+  runtime_options.metrics = &obs::MetricsRegistry::global();
+  runtime::Runtime runtime(backend, table, runtime_options);
   runtime.attach();
   maybe_serve_dap(runtime, dap_port);
 

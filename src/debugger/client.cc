@@ -407,7 +407,7 @@ bool DebugClient::unwatch(int64_t id) {
 
 std::optional<int64_t> DebugClient::subscribe(
     const std::vector<std::string>& signals, uint32_t decimation,
-    const std::string& instance) {
+    const std::string& instance, uint64_t min_interval) {
   if (protocol_ == Protocol::V1) {
     require_v2("subscribe");
     return std::nullopt;
@@ -418,6 +418,9 @@ std::optional<int64_t> DebugClient::subscribe(
   payload["signals"] = std::move(list);
   if (decimation != 1) {
     payload["decimation"] = Json(static_cast<int64_t>(decimation));
+  }
+  if (min_interval != 0) {
+    payload["min_interval"] = Json(min_interval);
   }
   if (!instance.empty()) payload["instance_name"] = Json(instance);
   auto response = transact("subscribe", std::move(payload));
@@ -460,6 +463,50 @@ Json DebugClient::stats() {
     return Json::object();
   }
   return transact("stats", Json::object()).payload;
+}
+
+std::string DebugClient::metrics() {
+  if (protocol_ == Protocol::V1) {
+    require_v2("metrics");
+    return "";
+  }
+  auto response = transact("metrics", Json::object());
+  if (!response.ok()) return "";
+  return response.payload.get_string("text");
+}
+
+Json DebugClient::metrics_json() {
+  if (protocol_ == Protocol::V1) {
+    require_v2("metrics");
+    return Json::object();
+  }
+  Json payload = Json::object();
+  payload["format"] = Json("json");
+  auto response = transact("metrics", std::move(payload));
+  if (auto metrics = response.payload.get("metrics")) return metrics->get();
+  return Json::object();
+}
+
+Json DebugClient::trace_control(const std::string& action) {
+  if (protocol_ == Protocol::V1) {
+    require_v2("trace");
+    return Json::object();
+  }
+  Json payload = Json::object();
+  payload["action"] = Json(action);
+  return transact("trace", std::move(payload)).payload;
+}
+
+std::string DebugClient::trace_dump() {
+  if (protocol_ == Protocol::V1) {
+    require_v2("trace");
+    return "";
+  }
+  Json payload = Json::object();
+  payload["action"] = Json("dump");
+  auto response = transact("trace", std::move(payload));
+  if (!response.ok()) return "";
+  return response.payload.get_string("json");
 }
 
 bool DebugClient::set_value(const std::string& name, const std::string& value) {

@@ -115,7 +115,8 @@ class DebugClient {
   /// with wait_values().
   std::optional<int64_t> subscribe(const std::vector<std::string>& signals,
                                    uint32_t decimation = 1,
-                                   const std::string& instance = "");
+                                   const std::string& instance = "",
+                                   uint64_t min_interval = 0);
   bool unsubscribe(int64_t id);
   /// Blocks until the next value-change event (or timeout).
   std::optional<ValueEvent> wait_values(
@@ -123,6 +124,16 @@ class DebugClient {
   common::Json list_instances();
   common::Json list_variables(const std::string& instance);
   common::Json stats();
+  /// Prometheus text exposition of the server's metrics registry (empty
+  /// string on failure).
+  std::string metrics();
+  /// Structured metrics snapshot ({"counters", "gauges", "histograms"}).
+  common::Json metrics_json();
+  /// Trace-recorder control: action is start|stop|clear|status; returns
+  /// the status payload (enabled/recorded/dropped/capacity).
+  common::Json trace_control(const std::string& action);
+  /// Fetches the buffered spans as chrome://tracing / Perfetto JSON text.
+  std::string trace_dump();
   bool set_value(const std::string& name, const std::string& value);
 
   /// Reason of the last failed request.

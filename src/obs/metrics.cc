@@ -1,0 +1,198 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace hgdb::obs {
+
+using common::Json;
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Upper bound of the bucket holding the q-quantile sample (0 when empty);
+/// rank = ceil(q * count), clamped to at least the first sample.
+uint64_t bucket_quantile(const std::array<uint64_t, Histogram::kBuckets>& b,
+                         uint64_t count, double q) {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(q * static_cast<double>(count) + 0.999999));
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+    cumulative += b[i];
+    if (cumulative >= rank) return Histogram::bucket_upper_bound(i);
+  }
+  return Histogram::bucket_upper_bound(Histogram::kBuckets - 1);
+}
+
+}  // namespace
+
+uint64_t Histogram::percentile(double q) const {
+  const Snapshot snap = snapshot();
+  return bucket_quantile(snap.buckets, snap.count, q);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot snap;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    snap.count += snap.buckets[i];
+  }
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.p50 = bucket_quantile(snap.buckets, snap.count, 0.50);
+  snap.p95 = bucket_quantile(snap.buckets, snap.count, 0.95);
+  snap.p99 = bucket_quantile(snap.buckets, snap.count, 0.99);
+  return snap;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry instance;
+  return instance;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard guard(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard guard(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard guard(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::remove(std::string_view name) {
+  std::lock_guard guard(mutex_);
+  if (auto it = counters_.find(name); it != counters_.end()) {
+    counters_.erase(it);
+  }
+  if (auto it = gauges_.find(name); it != gauges_.end()) {
+    gauges_.erase(it);
+  }
+  if (auto it = histograms_.find(name); it != histograms_.end()) {
+    histograms_.erase(it);
+  }
+}
+
+size_t MetricsRegistry::size() const {
+  std::lock_guard guard(mutex_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+namespace {
+
+/// `runtime.clock-edges` -> `hgdb_runtime_clock_edges`.
+std::string prometheus_name(const std::string& name) {
+  std::string out = "hgdb_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void append_u64(std::string& out, uint64_t v) { out += std::to_string(v); }
+
+}  // namespace
+
+std::string MetricsRegistry::render_prometheus() const {
+  std::lock_guard guard(mutex_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    const std::string prom = prometheus_name(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " ";
+    append_u64(out, counter->value());
+    out += "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    const std::string prom = prometheus_name(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " " + std::to_string(gauge->value()) + "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const std::string prom = prometheus_name(name);
+    const auto snap = histogram->snapshot();
+    out += "# TYPE " + prom + " histogram\n";
+    uint64_t cumulative = 0;
+    // Cumulative `le` series; buckets past the last occupied one carry no
+    // information beyond +Inf, so stop there to keep the page readable.
+    size_t last = 0;
+    for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+      if (snap.buckets[i] != 0) last = i;
+    }
+    for (size_t i = 0; i <= last && i + 1 < Histogram::kBuckets; ++i) {
+      cumulative += snap.buckets[i];
+      out += prom + "_bucket{le=\"";
+      append_u64(out, Histogram::bucket_upper_bound(i));
+      out += "\"} ";
+      append_u64(out, cumulative);
+      out += "\n";
+    }
+    out += prom + "_bucket{le=\"+Inf\"} ";
+    append_u64(out, snap.count);
+    out += "\n" + prom + "_sum ";
+    append_u64(out, snap.sum);
+    out += "\n" + prom + "_count ";
+    append_u64(out, snap.count);
+    out += "\n";
+  }
+  return out;
+}
+
+Json MetricsRegistry::snapshot_json() const {
+  std::lock_guard guard(mutex_);
+  Json counters = Json::object();
+  for (const auto& [name, counter] : counters_) {
+    counters[name] = Json(counter->value());
+  }
+  Json gauges = Json::object();
+  for (const auto& [name, gauge] : gauges_) {
+    gauges[name] = Json(gauge->value());
+  }
+  Json histograms = Json::object();
+  for (const auto& [name, histogram] : histograms_) {
+    const auto snap = histogram->snapshot();
+    Json entry = Json::object();
+    entry["count"] = Json(snap.count);
+    entry["sum"] = Json(snap.sum);
+    entry["p50"] = Json(snap.p50);
+    entry["p95"] = Json(snap.p95);
+    entry["p99"] = Json(snap.p99);
+    histograms[name] = std::move(entry);
+  }
+  Json out = Json::object();
+  out["counters"] = std::move(counters);
+  out["gauges"] = std::move(gauges);
+  out["histograms"] = std::move(histograms);
+  return out;
+}
+
+}  // namespace hgdb::obs

@@ -1,0 +1,164 @@
+#ifndef HGDB_OBS_METRICS_H
+#define HGDB_OBS_METRICS_H
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/json.h"
+
+namespace hgdb::obs {
+
+/// Monotonic event counter. Increments are single relaxed atomic adds so
+/// the sim-thread hot path (Runtime::on_clock_edge and friends) can bump
+/// them without locks or fences — the same discipline the runtime's
+/// original AtomicStats used to keep Fig. 5's <5% overhead budget.
+class Counter {
+ public:
+  void add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Instantaneous signed level (resident blocks, attached sessions, ...).
+/// Unlike a Counter it may go down; exposition renders it as a gauge.
+class Gauge {
+ public:
+  void set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket latency histogram with power-of-two bucket boundaries.
+///
+/// Bucket i counts samples whose value fits in i bits: bucket 0 holds the
+/// value 0, bucket i (i >= 1) holds [2^(i-1), 2^i). With kBuckets = 40
+/// the top finite boundary is 2^39 ns ≈ 550 s; larger samples land in the
+/// last bucket. Recording is one relaxed fetch_add on the bucket plus sum
+/// and count — wait-free, no locks, safe from any number of threads.
+///
+/// Quantiles are answered from the bucket counts: percentile(q) returns
+/// the upper bound of the first bucket at which the cumulative count
+/// reaches q, i.e. an upper estimate with power-of-two resolution. That
+/// is plenty for latency SLO work (p99 of 2^14 vs 2^15 ns is the signal;
+/// sub-bucket precision is not).
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 40;
+
+  void record(uint64_t value) {
+    buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] uint64_t sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+
+  /// Upper bound (inclusive) of the values bucket i accepts.
+  static constexpr uint64_t bucket_upper_bound(size_t i) {
+    if (i == 0) return 0;
+    if (i + 1 >= kBuckets) return UINT64_MAX;
+    return (uint64_t{1} << i) - 1;
+  }
+
+  /// q in [0, 1]; returns the upper bound of the bucket containing the
+  /// q-quantile sample (0 when empty).
+  [[nodiscard]] uint64_t percentile(double q) const;
+
+  struct Snapshot {
+    std::array<uint64_t, kBuckets> buckets{};
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t p50 = 0;
+    uint64_t p95 = 0;
+    uint64_t p99 = 0;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+  static size_t bucket_index(uint64_t value) {
+    const size_t idx = static_cast<size_t>(std::bit_width(value));
+    return idx < kBuckets ? idx : kBuckets - 1;
+  }
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> count_{0};
+};
+
+/// Name-keyed registry of counters, gauges and histograms — the one place
+/// the debug stack's telemetry lives (ROADMAP items 2 and 5 both start
+/// with "measure it").
+///
+/// Lookup (`counter("runtime.clock_edges")`) takes a mutex and is meant
+/// for wiring time: components resolve their metrics once, keep the
+/// returned reference (addresses are stable for the registry's lifetime
+/// unless removed), and update through it lock-free afterwards.
+///
+/// `global()` is the process-wide instance used by the CLI and by code
+/// with no natural owner (waveform readers); the Runtime defaults to a
+/// private registry so that side-by-side runtimes (tests, bench A/B
+/// cells) never share counts unless explicitly given one.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  static MetricsRegistry& global();
+
+  /// Get-or-create. The reference stays valid until remove(name) or the
+  /// registry dies. Dotted lower-case names ("session.requests").
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Drops a metric (any kind). Only for ephemeral names — e.g. the
+  /// per-subscription drop counters released at unsubscribe. References
+  /// obtained earlier for that name are invalidated.
+  void remove(std::string_view name);
+
+  /// Prometheus text exposition (metric names prefixed `hgdb_`, dots
+  /// mapped to underscores; histogram buckets as cumulative `le` series).
+  [[nodiscard]] std::string render_prometheus() const;
+
+  /// JSON snapshot for the v2 `metrics` command / DAP custom request:
+  /// {"counters": {...}, "gauges": {...},
+  ///  "histograms": {name: {count, sum, p50, p95, p99}}}.
+  [[nodiscard]] common::Json snapshot_json() const;
+
+  /// Number of registered metrics (all kinds).
+  [[nodiscard]] size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  // node-based maps: values never move, so hot-path references are stable.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace hgdb::obs
+
+#endif  // HGDB_OBS_METRICS_H

@@ -21,14 +21,23 @@ namespace {
 }
 
 /// Blocking socket channel with 4-byte big-endian length prefixes.
+///
+/// close() is called cross-thread (a session reader's cleanup racing the
+/// manager's shutdown), so it only ::shutdown()s the socket — safe on a
+/// descriptor another thread is blocked in, and it wakes that recv. The
+/// ::close() that would let the kernel reuse the fd number waits for the
+/// destructor; the fd value itself never changes.
 class SocketChannel final : public Channel {
  public:
   explicit SocketChannel(int fd) : fd_(fd) {}
-  ~SocketChannel() override { close(); }
+  ~SocketChannel() override {
+    close();
+    ::close(fd_);
+  }
 
   void send(std::string message) override {
     std::lock_guard lock(send_mutex_);
-    if (fd_ < 0) throw std::runtime_error("tcp: send on closed channel");
+    if (closed()) throw std::runtime_error("tcp: send on closed channel");
     const uint32_t length = htonl(static_cast<uint32_t>(message.size()));
     write_all(reinterpret_cast<const char*>(&length), sizeof(length));
     write_all(message.data(), message.size());
@@ -37,7 +46,7 @@ class SocketChannel final : public Channel {
   std::optional<std::string> receive(
       std::optional<std::chrono::milliseconds> timeout) override {
     std::lock_guard lock(receive_mutex_);
-    if (fd_ < 0) return std::nullopt;
+    if (closed()) return std::nullopt;
     if (timeout) {
       pollfd pfd{fd_, POLLIN, 0};
       const int rc = ::poll(&pfd, 1, static_cast<int>(timeout->count()));
@@ -56,14 +65,14 @@ class SocketChannel final : public Channel {
   }
 
   void close() override {
-    if (fd_ >= 0) {
+    if (!closed_.exchange(true, std::memory_order_acq_rel)) {
       ::shutdown(fd_, SHUT_RDWR);
-      ::close(fd_);
-      fd_ = -1;
     }
   }
 
-  [[nodiscard]] bool closed() const override { return fd_ < 0; }
+  [[nodiscard]] bool closed() const override {
+    return closed_.load(std::memory_order_acquire);
+  }
 
  private:
   void write_all(const char* data, size_t size) {
@@ -85,7 +94,8 @@ class SocketChannel final : public Channel {
     return true;
   }
 
-  int fd_;
+  const int fd_;
+  std::atomic<bool> closed_{false};
   std::mutex send_mutex_;
   std::mutex receive_mutex_;
 };
@@ -189,7 +199,10 @@ TcpServer::TcpServer(uint16_t port) {
   port_ = ntohs(address.sin_port);
 }
 
-TcpServer::~TcpServer() { close(); }
+TcpServer::~TcpServer() {
+  close();
+  if (fd_ >= 0) ::close(fd_);
+}
 
 std::unique_ptr<Channel> TcpServer::accept() {
   const int client = accept_fd(fd_);
@@ -203,11 +216,12 @@ std::unique_ptr<ByteStream> TcpServer::accept_stream() {
   return std::make_unique<SocketStream>(client);
 }
 
+// Called cross-thread while an accept loop is parked in ::accept on the
+// same descriptor: only ::shutdown here (wakes the accept with an error);
+// the destructor does the ::close once no other thread can hold the fd.
 void TcpServer::close() {
-  if (fd_ >= 0) {
+  if (!closed_.exchange(true, std::memory_order_acq_rel)) {
     ::shutdown(fd_, SHUT_RDWR);
-    ::close(fd_);
-    fd_ = -1;
   }
 }
 

@@ -1,6 +1,7 @@
 #ifndef HGDB_RPC_TCP_H
 #define HGDB_RPC_TCP_H
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -54,7 +55,8 @@ class TcpServer {
   void close();
 
  private:
-  int fd_ = -1;
+  int fd_ = -1;     // immutable after the constructor; closed in ~TcpServer
+  std::atomic<bool> closed_{false};
   uint16_t port_ = 0;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/trace.h"
 #include "session/session_manager.h"
 
 namespace hgdb::runtime {
@@ -29,7 +30,32 @@ uint64_t elapsed_ns(std::chrono::steady_clock::time_point since) {
 
 Runtime::Runtime(vpi::SimulatorInterface& interface,
                  const symbols::SymbolTable& table, RuntimeOptions options)
-    : interface_(&interface), table_(&table), options_(options) {}
+    : interface_(&interface), table_(&table), options_(options) {
+  if (options_.metrics != nullptr) {
+    metrics_ = options_.metrics;
+  } else {
+    metrics_owned_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = metrics_owned_.get();
+  }
+  // Resolve every hot-path counter once; after this the per-edge cost is a
+  // relaxed fetch_add, identical to the pre-registry AtomicStats.
+  stats_.clock_edges = &metrics_->counter("runtime.clock_edges");
+  stats_.fast_path_exits = &metrics_->counter("runtime.fast_path_exits");
+  stats_.batches_evaluated = &metrics_->counter("runtime.batches_evaluated");
+  stats_.conditions_evaluated =
+      &metrics_->counter("runtime.conditions_evaluated");
+  stats_.watchpoints_evaluated =
+      &metrics_->counter("runtime.watchpoints_evaluated");
+  stats_.stops = &metrics_->counter("runtime.stops");
+  stats_.eval_ns = &metrics_->counter("runtime.eval_ns");
+  stats_.dirty_skips = &metrics_->counter("runtime.dirty_skips");
+  stats_.batch_fetches = &metrics_->counter("runtime.batch_fetches");
+  stats_.batch_signals = &metrics_->counter("runtime.batch_signals");
+  stats_.programs_compiled = &metrics_->counter("runtime.programs_compiled");
+  stats_.program_cache_hits =
+      &metrics_->counter("runtime.program_cache_hits");
+  stats_.batch_eval_ns = &metrics_->histogram("runtime.batch_eval_ns");
+}
 
 Runtime::~Runtime() {
   stop_service();
@@ -378,11 +404,15 @@ void Runtime::collect_watch_hits(std::vector<rpc::WatchHit>& hits) {
     }
     wp.last = std::move(current[i]);
   }
-  stats_.watchpoints_evaluated.fetch_add(evaluated_count,
-                                         std::memory_order_relaxed);
-  stats_.dirty_skips.fetch_add(skipped_count, std::memory_order_relaxed);
+  stats_.watchpoints_evaluated->add(evaluated_count);
+  stats_.dirty_skips->add(skipped_count);
+  if (skipped_count != 0) {
+    HGDB_TRACE_INSTANT("runtime", "dirty_skips", skipped_count);
+  }
   if (options_.collect_stats) {
-    stats_.eval_ns.fetch_add(elapsed_ns(t0), std::memory_order_relaxed);
+    const uint64_t elapsed = elapsed_ns(t0);
+    stats_.eval_ns->add(elapsed);
+    stats_.batch_eval_ns->record(elapsed);
   }
 }
 
@@ -663,13 +693,13 @@ std::shared_ptr<const CompiledExpression> Runtime::compile_shared(
   auto it = program_cache_.find(key);
   if (it != program_cache_.end()) {
     if (options_.collect_stats) {
-      stats_.program_cache_hits.fetch_add(1, std::memory_order_relaxed);
+      stats_.program_cache_hits->add(1);
     }
     return it->second;
   }
   auto program = std::make_shared<const CompiledExpression>(expr.compile());
   if (options_.collect_stats) {
-    stats_.programs_compiled.fetch_add(1, std::memory_order_relaxed);
+    stats_.programs_compiled->add(1);
   }
   if (persist) program_cache_.emplace(std::move(key), program);
   return program;
@@ -779,6 +809,8 @@ void Runtime::ensure_edge_values_locked() {
   const size_t count = plan_.handles.size();
   ++plan_.serial;  // even an empty fetch round advances the cache epoch
   if (count != 0) {
+    HGDB_TRACE_SPAN_VAR(fetch_span, "runtime", "batch_fetch");
+    fetch_span.set_arg(count);
     // Zero-copy fast path: backends with stable storage (the native
     // simulator's value array) hand back pointers; unchanged signals are
     // compared in place and copied never, changed ones copy-assign into
@@ -814,8 +846,8 @@ void Runtime::ensure_edge_values_locked() {
       }
     }
     if (options_.collect_stats) {
-      stats_.batch_fetches.fetch_add(1, std::memory_order_relaxed);
-      stats_.batch_signals.fetch_add(count, std::memory_order_relaxed);
+      stats_.batch_fetches->add(1);
+      stats_.batch_signals->add(count);
     }
   }
   edge_values_fresh_ = true;
@@ -886,7 +918,7 @@ void Runtime::on_clock_edge(vpi::ClockEdge edge, uint64_t time) {
   // All values are stable at both edges under zero-delay simulation; one
   // pass per cycle at the rising edge is sufficient (Sec. 3).
   if (edge != vpi::ClockEdge::Rising) return;
-  stats_.clock_edges.fetch_add(1, std::memory_order_relaxed);
+  stats_.clock_edges->add(1);
 
   // Fast path first: nothing inserted, nothing watched, nothing
   // subscribed, no pause requested, plain run mode. This branch is the
@@ -897,9 +929,13 @@ void Runtime::on_clock_edge(vpi::ClockEdge edge, uint64_t time) {
       !any_watch_.load(std::memory_order_acquire) &&
       !any_subs_.load(std::memory_order_acquire) &&
       !pause_pending_.load(std::memory_order_acquire)) {
-    stats_.fast_path_exits.fetch_add(1, std::memory_order_relaxed);
+    stats_.fast_path_exits->add(1);
     return;
   }
+
+  // Everything below is the non-fast-path edge work (Fig. 2 steps 1-4);
+  // one span brackets the whole dispatch when tracing is on.
+  HGDB_TRACE_SPAN("runtime", "edge_dispatch");
 
   if (pause_pending_.exchange(false)) {
     std::lock_guard lock(state_mutex_);
@@ -936,7 +972,7 @@ void Runtime::on_clock_edge(vpi::ClockEdge edge, uint64_t time) {
         StopEvent event;
         event.time = time;
         event.watch_hits = std::move(watch_hits);
-        stats_.stops.fetch_add(1, std::memory_order_relaxed);
+        stats_.stops->add(1);
         const Command command = deliver_stop(std::move(event));
         std::lock_guard lock(state_mutex_);
         switch (command) {
@@ -1075,6 +1111,8 @@ bool Runtime::rewind_one_cycle(uint64_t time) {
 void Runtime::evaluate_batch(const Batch& batch, bool respect_inserted,
                              std::vector<size_t>& hits) {
   std::lock_guard lock(state_mutex_);
+  HGDB_TRACE_SPAN_VAR(eval_span, "runtime", "evaluate_batch");
+  eval_span.set_arg(batch.members.size());
   const auto t0 = options_.collect_stats
                       ? std::chrono::steady_clock::now()
                       : std::chrono::steady_clock::time_point{};
@@ -1198,12 +1236,16 @@ void Runtime::evaluate_batch(const Batch& batch, bool respect_inserted,
     skipped_count += skipped[position];
     if (fired[position]) hits.push_back(batch.members[position]);
   }
-  stats_.batches_evaluated.fetch_add(1, std::memory_order_relaxed);
-  stats_.conditions_evaluated.fetch_add(evaluated_count,
-                                        std::memory_order_relaxed);
-  stats_.dirty_skips.fetch_add(skipped_count, std::memory_order_relaxed);
+  stats_.batches_evaluated->add(1);
+  stats_.conditions_evaluated->add(evaluated_count);
+  stats_.dirty_skips->add(skipped_count);
+  if (skipped_count != 0) {
+    HGDB_TRACE_INSTANT("runtime", "dirty_skips", skipped_count);
+  }
   if (options_.collect_stats) {
-    stats_.eval_ns.fetch_add(elapsed_ns(t0), std::memory_order_relaxed);
+    const uint64_t elapsed = elapsed_ns(t0);
+    stats_.eval_ns->add(elapsed);
+    stats_.batch_eval_ns->record(elapsed);
   }
 }
 
@@ -1219,7 +1261,7 @@ StopEvent Runtime::make_stop_event(uint64_t time,
   for (size_t member : hits) {
     event.frames.push_back(make_frame(breakpoints_[member]));
   }
-  stats_.stops.fetch_add(1, std::memory_order_relaxed);
+  stats_.stops->add(1);
   return event;
 }
 
@@ -1391,22 +1433,18 @@ bool Runtime::set_signal_value(const std::string& hier_name,
 
 Runtime::Stats Runtime::stats() const {
   Stats out;
-  out.clock_edges = stats_.clock_edges.load(std::memory_order_relaxed);
-  out.fast_path_exits = stats_.fast_path_exits.load(std::memory_order_relaxed);
-  out.batches_evaluated = stats_.batches_evaluated.load(std::memory_order_relaxed);
-  out.conditions_evaluated =
-      stats_.conditions_evaluated.load(std::memory_order_relaxed);
-  out.watchpoints_evaluated =
-      stats_.watchpoints_evaluated.load(std::memory_order_relaxed);
-  out.stops = stats_.stops.load(std::memory_order_relaxed);
-  out.eval_ns = stats_.eval_ns.load(std::memory_order_relaxed);
-  out.dirty_skips = stats_.dirty_skips.load(std::memory_order_relaxed);
-  out.batch_fetches = stats_.batch_fetches.load(std::memory_order_relaxed);
-  out.batch_signals = stats_.batch_signals.load(std::memory_order_relaxed);
-  out.programs_compiled =
-      stats_.programs_compiled.load(std::memory_order_relaxed);
-  out.program_cache_hits =
-      stats_.program_cache_hits.load(std::memory_order_relaxed);
+  out.clock_edges = stats_.clock_edges->value();
+  out.fast_path_exits = stats_.fast_path_exits->value();
+  out.batches_evaluated = stats_.batches_evaluated->value();
+  out.conditions_evaluated = stats_.conditions_evaluated->value();
+  out.watchpoints_evaluated = stats_.watchpoints_evaluated->value();
+  out.stops = stats_.stops->value();
+  out.eval_ns = stats_.eval_ns->value();
+  out.dirty_skips = stats_.dirty_skips->value();
+  out.batch_fetches = stats_.batch_fetches->value();
+  out.batch_signals = stats_.batch_signals->value();
+  out.programs_compiled = stats_.programs_compiled->value();
+  out.program_cache_hits = stats_.program_cache_hits->value();
   return out;
 }
 

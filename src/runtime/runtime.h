@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "rpc/channel.h"
 #include "rpc/protocol.h"
 #include "runtime/expression.h"
@@ -43,6 +44,12 @@ struct RuntimeOptions {
   /// beyond this count are rejected with a typed `too-many-sessions`
   /// error. 0 = unlimited.
   size_t max_sessions = 0;
+  /// Registry the runtime's counters and latency histograms live in.
+  /// nullptr = the runtime creates a private registry, so side-by-side
+  /// runtimes (tests, bench A/B cells) never mix counts. The CLI passes
+  /// &obs::MetricsRegistry::global() to unify runtime, session and
+  /// waveform metrics on one exposition page.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// The hgdb debugger runtime (the paper's central component, Fig. 1).
@@ -224,6 +231,10 @@ class Runtime {
     uint64_t program_cache_hits = 0;
   };
   [[nodiscard]] Stats stats() const;
+  /// The registry backing stats(): all `runtime.*` counters plus the
+  /// `runtime.batch_eval_ns` latency histogram. The session layer adds its
+  /// `session.*` metrics here too, so one snapshot covers the stack.
+  [[nodiscard]] obs::MetricsRegistry& metrics() const { return *metrics_; }
   [[nodiscard]] const RuntimeOptions& options() const { return options_; }
   [[nodiscard]] const vpi::HierarchyMapper* hierarchy_mapper() const {
     return mapper_ ? &*mapper_ : nullptr;
@@ -505,24 +516,30 @@ class Runtime {
   std::mutex service_mutex_;
   std::unique_ptr<session::SessionManager> service_;
 
-  // Monotonic counters; written from the sim thread on the hot path, so
-  // they are relaxed atomics rather than lock-protected (the fast path must
-  // stay allocation- and lock-free to keep Fig. 5's <5% overhead).
-  struct AtomicStats {
-    std::atomic<uint64_t> clock_edges{0};
-    std::atomic<uint64_t> fast_path_exits{0};
-    std::atomic<uint64_t> batches_evaluated{0};
-    std::atomic<uint64_t> conditions_evaluated{0};
-    std::atomic<uint64_t> watchpoints_evaluated{0};
-    std::atomic<uint64_t> stops{0};
-    std::atomic<uint64_t> eval_ns{0};
-    std::atomic<uint64_t> dirty_skips{0};
-    std::atomic<uint64_t> batch_fetches{0};
-    std::atomic<uint64_t> batch_signals{0};
-    std::atomic<uint64_t> programs_compiled{0};
-    std::atomic<uint64_t> program_cache_hits{0};
+  // Monotonic counters, written from the sim thread on the hot path. They
+  // live in the obs::MetricsRegistry (relaxed atomics, never locks — the
+  // fast path must stay allocation- and lock-free to keep Fig. 5's <5%
+  // overhead) and are resolved once here at construction so the per-edge
+  // cost is exactly what AtomicStats used to be: one relaxed fetch_add.
+  struct RuntimeCounters {
+    obs::Counter* clock_edges = nullptr;
+    obs::Counter* fast_path_exits = nullptr;
+    obs::Counter* batches_evaluated = nullptr;
+    obs::Counter* conditions_evaluated = nullptr;
+    obs::Counter* watchpoints_evaluated = nullptr;
+    obs::Counter* stops = nullptr;
+    obs::Counter* eval_ns = nullptr;
+    obs::Counter* dirty_skips = nullptr;
+    obs::Counter* batch_fetches = nullptr;
+    obs::Counter* batch_signals = nullptr;
+    obs::Counter* programs_compiled = nullptr;
+    obs::Counter* program_cache_hits = nullptr;
+    /// Per-batch evaluation latency (the same intervals eval_ns sums).
+    obs::Histogram* batch_eval_ns = nullptr;
   };
-  mutable AtomicStats stats_;
+  std::unique_ptr<obs::MetricsRegistry> metrics_owned_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  RuntimeCounters stats_;
 };
 
 }  // namespace hgdb::runtime

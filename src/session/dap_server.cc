@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/trace.h"
 #include "rpc/tcp.h"
 #include "session/dap_protocol.h"
 
@@ -254,9 +255,10 @@ Json handle_request(DapServer::Connection& connection, DebugService& service,
     body["supportsConditionalBreakpoints"] = Json(true);
     body["supportsEvaluateForHovers"] = Json(true);
     body["supportsStepBack"] = Json(caps.time_travel);
-    // setVariable is not implemented yet (ROADMAP); never advertise a
-    // capability the adapter would answer with a failure.
-    body["supportsSetVariable"] = Json(false);
+    // setVariable routes through DebugService::set_value, so advertise
+    // exactly what the backend can do (replay backends cannot force
+    // signals; a live simulator can).
+    body["supportsSetVariable"] = Json(caps.set_value);
     events.emplace_back("initialized", Json::object());
     return body;
   }
@@ -424,6 +426,69 @@ Json handle_request(DapServer::Connection& connection, DebugService& service,
     service.execute(client, Command::Pause);
     return body;
   }
+  if (request.command == "setVariable") {
+    if (!service.capabilities().set_value) {
+      throw std::runtime_error("backend ('" + service.capabilities().backend +
+                               "') does not support set-value");
+    }
+    const int64_t ref = args.get_int("variablesReference");
+    const std::string name = args.get_string("name");
+    const std::string value = args.get_string("value");
+    if (name.empty()) throw std::runtime_error("setVariable needs a name");
+    // Scope the variable through the frame owning this reference: scope
+    // variables resolve as <instance>.<name> first, then as a bare
+    // (absolute) hierarchical name.
+    std::string instance;
+    {
+      std::lock_guard lock(connection.state_mutex);
+      for (const auto& [frame_id, entry] : connection.frames) {
+        if (entry.locals_ref == ref || entry.generator_ref == ref) {
+          instance = entry.frame.instance_name;
+          break;
+        }
+      }
+    }
+    bool set = false;
+    if (!instance.empty()) {
+      try {
+        service.set_value(instance + "." + name, value);
+        set = true;
+      } catch (const ServiceError&) {
+        // fall through to the bare name
+      }
+    }
+    if (!set) service.set_value(name, value);
+    // Read back through the evaluator so the IDE shows the value the
+    // simulator actually took (width-truncated, base-normalized).
+    std::string rendered = value;
+    try {
+      EvaluateSpec spec;
+      spec.expression = name;
+      spec.instance_name = instance;
+      rendered = service.evaluate(spec).value;
+    } catch (const std::exception&) {
+      // echo the requested value when read-back is unavailable
+    }
+    {
+      // Keep the cached stop tables coherent for later `variables`
+      // requests against the same reference.
+      std::lock_guard lock(connection.state_mutex);
+      auto it = connection.variable_refs.find(ref);
+      if (it != connection.variable_refs.end() && it->second.is_object()) {
+        it->second[name] = Json(rendered);
+      }
+    }
+    body["value"] = Json(rendered);
+    body["variablesReference"] = Json(int64_t{0});
+    return body;
+  }
+  if (request.command == "hgdbMetrics") {
+    // Custom request: the unified registry snapshot plus the Prometheus
+    // text page, so IDE extensions can render either.
+    body["metrics"] = service.metrics().snapshot_json();
+    body["prometheus"] = Json(service.metrics().render_prometheus());
+    return body;
+  }
   if (request.command == "disconnect") {
     connection.close_requested = true;
     return body;
@@ -464,6 +529,16 @@ void DapServer::connection_loop(Connection* connection) {
                                          "too-many-sessions");
       } else {
         service_->count_request();
+        service_->metrics()
+            .counter("session.dap.command." + request.command)
+            .add(1);
+#if HGDB_OBS_SPANS_ENABLED
+        auto& trace_recorder = obs::TraceRecorder::global();
+        obs::TraceSpan dispatch_span(
+            trace_recorder, "dap",
+            trace_recorder.enabled() ? trace_recorder.intern(request.command)
+                                     : "dispatch");
+#endif
         try {
           Json body = handle_request(*connection, *service_, request, events);
           sent = connection->send_response(request, true, std::move(body));

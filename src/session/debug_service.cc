@@ -1,7 +1,9 @@
 #include "session/debug_service.h"
 
 #include <algorithm>
+#include <chrono>
 
+#include "obs/trace.h"
 #include "runtime/runtime.h"
 
 namespace hgdb::session {
@@ -16,6 +18,14 @@ std::string render(const BitVector& value) { return value.to_string(10); }
 }  // namespace
 
 DebugService::DebugService(runtime::Runtime& runtime) : runtime_(&runtime) {
+  auto& registry = runtime_->metrics();
+  requests_ = &registry.counter("session.requests");
+  protocol_errors_ = &registry.counter("session.protocol_errors");
+  stops_broadcast_ = &registry.counter("session.stops_broadcast");
+  events_delivered_ = &registry.counter("session.events_delivered");
+  events_decimated_ = &registry.counter("session.events_decimated");
+  events_dropped_ = &registry.counter("session.events_dropped");
+  stop_handshake_ns_ = &registry.histogram("session.stop_handshake_ns");
   runtime_->set_change_listener(
       [this](int64_t subscription_id, uint64_t time,
              const std::vector<runtime::Runtime::SignalChange>& changes) {
@@ -278,7 +288,11 @@ size_t DebugService::release_client_state_locked(ClientState& client) {
   client.watches.clear();
   for (uint64_t subscription : client.subscriptions) {
     runtime_->remove_signal_subscription(static_cast<int64_t>(subscription));
-    subscriptions_.erase(subscription);
+    if (auto sub = subscriptions_.find(subscription);
+        sub != subscriptions_.end()) {
+      remove_subscription_metric_locked(sub->second);
+      subscriptions_.erase(sub);
+    }
   }
   client.subscriptions.clear();
   client.engaged = false;
@@ -424,6 +438,12 @@ uint64_t DebugService::subscribe(ClientId id, const SubscribeSpec& spec) {
   state.id = key;
   state.client = id;
   state.decimation = std::max<uint32_t>(1, spec.decimation);
+  state.min_interval = spec.min_interval;
+  if (state.min_interval != 0) {
+    state.dropped = &metrics().counter("session.subscription." +
+                                       std::to_string(key) +
+                                       ".events_dropped");
+  }
   subscriptions_.emplace(key, state);
   return key;
 }
@@ -437,7 +457,11 @@ void DebugService::unsubscribe(ClientId id, uint64_t subscription_id) {
                          "subscription " + std::to_string(subscription_id) +
                              " is not owned by this session");
     }
-    subscriptions_.erase(subscription_id);
+    if (auto sub = subscriptions_.find(subscription_id);
+        sub != subscriptions_.end()) {
+      remove_subscription_metric_locked(sub->second);
+      subscriptions_.erase(sub);
+    }
   }
   runtime_->remove_signal_subscription(static_cast<int64_t>(subscription_id));
 }
@@ -465,19 +489,38 @@ void DebugService::handle_value_changes(
   // but never misses the snapshot of a mostly-static signal.
   const uint64_t seen = state.events_seen++;
   if (seen % state.decimation != 0) {
-    events_decimated_.fetch_add(1, std::memory_order_relaxed);
+    events_decimated_->add(1);
+    return;
+  }
+  // Server-side min-interval throttle, applied after decimation: a burst
+  // of changes inside the window collapses to the first one. The initial
+  // snapshot always passes (a mostly-static signal must still surface).
+  if (state.min_interval != 0 && state.delivered_any &&
+      time < state.last_delivered_time + state.min_interval) {
+    events_dropped_->add(1);
+    if (state.dropped != nullptr) state.dropped->add(1);
     return;
   }
   auto client = clients_.find(state.client);
   if (client == clients_.end() || client->second.sink == nullptr) return;
+  HGDB_TRACE_SPAN("session", "event_fanout");
   ServiceEvent event;
   event.kind = ServiceEvent::Kind::ValueChange;
   event.value_change.subscription = key;
   event.value_change.time = time;
   event.value_change.changes = std::move(changes);
   if (client->second.sink->deliver(event)) {
-    events_delivered_.fetch_add(1, std::memory_order_relaxed);
+    events_delivered_->add(1);
+    state.delivered_any = true;
+    state.last_delivered_time = time;
   }
+}
+
+void DebugService::remove_subscription_metric_locked(
+    const SubscriptionState& state) {
+  if (state.dropped == nullptr) return;
+  metrics().remove("session.subscription." + std::to_string(state.id) +
+                   ".events_dropped");
 }
 
 // ---------------------------------------------------------------------------
@@ -486,12 +529,17 @@ void DebugService::handle_value_changes(
 
 DebugService::ServiceStats DebugService::service_stats() const {
   ServiceStats stats;
-  stats.requests = requests_.load(std::memory_order_relaxed);
-  stats.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
-  stats.stops_broadcast = stops_broadcast_.load(std::memory_order_relaxed);
-  stats.events_delivered = events_delivered_.load(std::memory_order_relaxed);
-  stats.events_decimated = events_decimated_.load(std::memory_order_relaxed);
+  stats.requests = requests_->value();
+  stats.protocol_errors = protocol_errors_->value();
+  stats.stops_broadcast = stops_broadcast_->value();
+  stats.events_delivered = events_delivered_->value();
+  stats.events_decimated = events_decimated_->value();
+  stats.events_dropped = events_dropped_->value();
   return stats;
+}
+
+obs::MetricsRegistry& DebugService::metrics() const {
+  return runtime_->metrics();
 }
 
 // ---------------------------------------------------------------------------
@@ -526,6 +574,11 @@ bool DebugService::stop_relevant(const ClientState& client,
 
 DebugService::Command DebugService::deliver_stop(rpc::StopEvent event) {
   if (shutting_down_.load()) return Command::Continue;
+  // The stop handshake is the paper's interactive-latency path: broadcast
+  // to the relevant sinks, park the sim thread, wake on the first
+  // execution command. Span + histogram measure exactly that interval.
+  HGDB_TRACE_SPAN("session", "stop_handshake");
+  const auto handshake_t0 = std::chrono::steady_clock::now();
 
   ServiceEvent service_event;
   service_event.kind = ServiceEvent::Kind::Stop;
@@ -553,7 +606,7 @@ DebugService::Command DebugService::deliver_stop(rpc::StopEvent event) {
   if (delivered == 0 || pending_responders_.empty()) {
     return Command::Continue;  // nobody is expected to answer
   }
-  stops_broadcast_.fetch_add(1, std::memory_order_relaxed);
+  stops_broadcast_->add(1);
 
   waiting_for_command_ = true;
   command_ready_.wait(lock, [this] {
@@ -566,6 +619,10 @@ DebugService::Command DebugService::deliver_stop(rpc::StopEvent event) {
   // Wake a finish_shutdown() waiting for the sim thread to leave the
   // handshake.
   command_ready_.notify_all();
+  stop_handshake_ns_->record(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - handshake_t0)
+          .count()));
   return command;
 }
 

@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "rpc/protocol.h"
 #include "rpc/protocol_v2.h"
 
@@ -104,6 +105,11 @@ struct SubscribeSpec {
   /// Deliver every Nth change event of this subscription (client-chosen
   /// decimation; 1 = every event). 0 is clamped to 1.
   uint32_t decimation = 1;
+  /// Server-side rate limit in simulation-time units: after a delivered
+  /// event at time T, events with time < T + min_interval are dropped
+  /// (counted per subscription as events_dropped). 0 = no throttle.
+  /// Applied after decimation; the initial snapshot always passes.
+  uint64_t min_interval = 0;
 };
 
 // -- events pushed through the sink -------------------------------------------
@@ -252,14 +258,16 @@ class DebugService {
     uint64_t requests = 0;
     uint64_t protocol_errors = 0;
     uint64_t stops_broadcast = 0;
-    uint64_t events_delivered = 0;  ///< value-change events after decimation
+    uint64_t events_delivered = 0;  ///< value-change events after filtering
     uint64_t events_decimated = 0;  ///< suppressed by decimation
+    uint64_t events_dropped = 0;    ///< suppressed by min-interval throttling
   };
-  void count_request() { requests_.fetch_add(1, std::memory_order_relaxed); }
-  void count_protocol_error() {
-    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-  }
+  void count_request() { requests_->add(1); }
+  void count_protocol_error() { protocol_errors_->add(1); }
   [[nodiscard]] ServiceStats service_stats() const;
+  /// The runtime's registry; all `session.*` metrics live here next to
+  /// the `runtime.*` ones, so one exposition page covers the stack.
+  [[nodiscard]] obs::MetricsRegistry& metrics() const;
 
   // -- runtime hooks -----------------------------------------------------------
   /// Called by the runtime's scheduler when a stop fires: routes the event
@@ -298,7 +306,18 @@ class DebugService {
     ClientId client = 0;
     uint32_t decimation = 1;
     uint64_t events_seen = 0;
+    /// Minimum sim-time gap between delivered events (0 = off).
+    uint64_t min_interval = 0;
+    uint64_t last_delivered_time = 0;
+    bool delivered_any = false;
+    /// Registry counter `session.subscription.<id>.events_dropped`
+    /// (removed from the registry at unsubscribe/release). Null when
+    /// min_interval is 0.
+    obs::Counter* dropped = nullptr;
   };
+  /// Drops the per-subscription registry counter (caller holds
+  /// clients_mutex_).
+  void remove_subscription_metric_locked(const SubscriptionState& state);
 
   /// True when `client` should receive this stop: non-owners and
   /// non-condition-routed stops broadcast; owners of a stopped location
@@ -337,11 +356,16 @@ class DebugService {
 
   std::atomic<bool> shutting_down_{false};
 
-  std::atomic<uint64_t> requests_{0};
-  std::atomic<uint64_t> protocol_errors_{0};
-  std::atomic<uint64_t> stops_broadcast_{0};
-  std::atomic<uint64_t> events_delivered_{0};
-  std::atomic<uint64_t> events_decimated_{0};
+  // Service counters, resolved once from the runtime's MetricsRegistry
+  // (relaxed-atomic adds; same hot-path discipline as the runtime's).
+  obs::Counter* requests_ = nullptr;
+  obs::Counter* protocol_errors_ = nullptr;
+  obs::Counter* stops_broadcast_ = nullptr;
+  obs::Counter* events_delivered_ = nullptr;
+  obs::Counter* events_decimated_ = nullptr;
+  obs::Counter* events_dropped_ = nullptr;
+  /// Stop-to-command-latency histogram (`session.stop_handshake_ns`).
+  obs::Histogram* stop_handshake_ns_ = nullptr;
 };
 
 }  // namespace hgdb::session

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/trace.h"
 #include "rpc/tcp.h"
 #include "runtime/runtime.h"
 #include "session/dap_server.h"
@@ -296,6 +297,17 @@ ResponseV2 SessionManager::execute(DebugSession& session,
                   "unknown command '" + request.command + "'");
     return response;
   }
+  if (it->second.count != nullptr) it->second.count->add(1);
+#if HGDB_OBS_SPANS_ENABLED
+  // Span named after the command itself (interned: the catalogue is a
+  // small fixed set). Brackets gating + handler, i.e. the whole dispatch.
+  auto& trace_recorder = obs::TraceRecorder::global();
+  obs::TraceSpan dispatch_span(
+      trace_recorder,
+      "session",
+      trace_recorder.enabled() ? trace_recorder.intern(request.command)
+                               : "dispatch");
+#endif
 
   if (it->second.gate != Gate::None) {
     const auto caps = capabilities();
@@ -363,7 +375,9 @@ std::vector<std::string> SessionManager::command_names() const {
 
 void SessionManager::register_command(const std::string& name, Handler handler,
                                       Gate gate) {
-  commands_[name] = CommandSpec{std::move(handler), gate};
+  commands_[name] = CommandSpec{
+      std::move(handler), gate,
+      &service_->metrics().counter("session.command." + name)};
 }
 
 SessionManager::ServiceStats SessionManager::service_stats() const {
@@ -586,10 +600,14 @@ void SessionManager::register_builtins() {
     spec.instance_name = opt_string(request.payload, "instance_name");
     spec.decimation =
         static_cast<uint32_t>(opt_int(request.payload, "decimation", 1));
+    // Server-side rate limit (sim-time units), applied after decimation.
+    spec.min_interval =
+        static_cast<uint64_t>(opt_int(request.payload, "min_interval", 0));
     const uint64_t id = service_->subscribe(session.id(), spec);
     response.payload["id"] = Json(static_cast<int64_t>(id));
     response.payload["decimation"] =
         Json(static_cast<int64_t>(std::max<uint32_t>(1, spec.decimation)));
+    response.payload["min_interval"] = Json(spec.min_interval);
   });
 
   register_command("unsubscribe", [this](DebugSession& session,
@@ -713,6 +731,70 @@ void SessionManager::register_builtins() {
     response.payload["stops_broadcast"] = Json(service.stops_broadcast);
     response.payload["events_delivered"] = Json(service.events_delivered);
     response.payload["events_decimated"] = Json(service.events_decimated);
+    response.payload["events_dropped"] = Json(service.events_dropped);
+    // Latency quantiles from the registry histograms (power-of-two bucket
+    // upper bounds, see obs::Histogram).
+    auto& registry = service_->metrics();
+    Json latency = Json::object();
+    for (const char* name :
+         {"runtime.batch_eval_ns", "session.stop_handshake_ns"}) {
+      const auto snap = registry.histogram(name).snapshot();
+      Json entry = Json::object();
+      entry["count"] = Json(snap.count);
+      entry["p50"] = Json(snap.p50);
+      entry["p95"] = Json(snap.p95);
+      entry["p99"] = Json(snap.p99);
+      latency[name] = std::move(entry);
+    }
+    response.payload["latency"] = std::move(latency);
+  });
+
+  // -- observability ----------------------------------------------------------
+  register_command("metrics", [this](DebugSession&, const RequestV2& request,
+                                     ResponseV2& response) {
+    // Prometheus text exposition by default; format=json returns the
+    // structured snapshot (counters/gauges/histogram quantiles).
+    const std::string format =
+        opt_string(request.payload, "format", "prometheus");
+    auto& registry = service_->metrics();
+    if (format == "json") {
+      response.payload["metrics"] = registry.snapshot_json();
+    } else if (format == "prometheus") {
+      response.payload["text"] = Json(registry.render_prometheus());
+    } else {
+      throw std::invalid_argument(
+          "payload field 'format' must be 'prometheus' or 'json'");
+    }
+  });
+
+  register_command("trace", [](DebugSession&, const RequestV2& request,
+                               ResponseV2& response) {
+    auto& recorder = obs::TraceRecorder::global();
+    const std::string action = want_string(request.payload, "action");
+    if (action == "start") {
+      recorder.start();
+    } else if (action == "stop") {
+      recorder.stop();
+    } else if (action == "clear") {
+      recorder.clear();
+    } else if (action == "dump") {
+      // chrome://tracing / Perfetto JSON as a string payload; the client
+      // writes it to a file.
+      response.payload["json"] = Json(recorder.export_chrome_json());
+    } else if (action != "status") {
+      throw std::invalid_argument(
+          "payload field 'action' must be start|stop|clear|status|dump");
+    }
+    response.payload["enabled"] = Json(recorder.enabled());
+    response.payload["recorded"] = Json(recorder.recorded());
+    response.payload["dropped"] = Json(recorder.dropped());
+    response.payload["capacity"] =
+        Json(static_cast<int64_t>(recorder.capacity()));
+#if HGDB_OBS_SPANS_ENABLED
+    response.payload["spans_compiled"] = Json(true);
+#else
+    response.payload["spans_compiled"] = Json(false);
+#endif
   });
 
   // -- signal forcing ---------------------------------------------------------

@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "rpc/protocol.h"
 #include "rpc/protocol_v2.h"
 #include "session/debug_service.h"
@@ -118,6 +119,9 @@ class SessionManager {
   struct CommandSpec {
     Handler handler;
     Gate gate = Gate::None;
+    /// Per-command request count (`session.command.<name>` in the
+    /// registry), resolved at registration.
+    obs::Counter* count = nullptr;
   };
 
   void register_builtins();

@@ -12,8 +12,20 @@
 
 namespace hgdb::waveform {
 
-/// Cache effectiveness counters. `peak_resident` is the bench's residency
-/// proxy: it must never exceed the configured capacity.
+/// Cache effectiveness counters, split by lifetime semantics:
+///
+///  - *monotonic* (never reset, survive clear()): `hits`, `misses`,
+///    `evictions` count lifetime events; `peak_resident` is the lifetime
+///    residency high-water mark (the bench's residency proxy: it must
+///    never exceed the configured capacity). These feed monotonic
+///    counters in the obs::MetricsRegistry.
+///  - *instantaneous* (snapshot of now): `resident` is the current block
+///    count; clear() resets it to 0. It maps to a registry gauge.
+///
+/// clear() drops residency without touching the monotonic fields —
+/// dropping N blocks in a reset is deliberately *not* counted as N
+/// evictions, because `evictions` measures capacity pressure, which a
+/// reset is not.
 struct CacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
@@ -67,6 +79,10 @@ class BlockCache {
     }
   }
 
+  /// Drops every resident block. Lifetime counters (hits/misses/
+  /// evictions/peak_resident) are left intact — only the instantaneous
+  /// `resident` resets; see CacheStats for the monotonic/instantaneous
+  /// split.
   void clear() {
     lru_.clear();
     index_.clear();

@@ -1,8 +1,10 @@
 #include "waveform/indexed_waveform.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/crc32.h"
+#include "obs/trace.h"
 
 namespace hgdb::waveform {
 
@@ -74,7 +76,14 @@ IndexedWaveform::IndexedWaveform(const std::string& path,
                                  const WaveformOpenOptions& options)
     : path_(path),
       storage_(open_storage(path, options.io_mode)),
-      cache_(options.cache_blocks) {
+      cache_(options.cache_blocks),
+      obs_(std::make_unique<ObsMetrics>()) {
+  auto& registry = obs::MetricsRegistry::global();
+  obs_->hits = &registry.counter("waveform.block_cache.hits");
+  obs_->misses = &registry.counter("waveform.block_cache.misses");
+  obs_->evictions = &registry.counter("waveform.block_cache.evictions");
+  obs_->resident = &registry.gauge("waveform.block_cache.resident");
+  obs_->load_ns = &registry.histogram("waveform.block_load_ns");
   const uint64_t file_size = storage_->size();
   if (file_size < kWvxHeaderSizeV1) {
     throw WvxError(WvxFault::kBadMagic,
@@ -214,29 +223,49 @@ BlockCache::BlockPtr IndexedWaveform::load_block(size_t signal_index,
   // names share cache entries as well as on-disk blocks.
   const BlockCache::Key key{static_cast<uint32_t>(signal_index),
                             static_cast<uint32_t>(block_index)};
-  if (auto cached = cache_.lookup(key)) return cached;
+  if (auto cached = cache_.lookup(key)) {
+    obs_->hits->add(1);
+    return cached;
+  }
+  obs_->misses->add(1);
+  const auto t0 = std::chrono::steady_clock::now();
 
   const auto& signal = signals_[signal_index];
   const auto& info = signal.blocks[block_index];
-  const char* payload = storage_->view(info.file_offset, info.payload_bytes,
-                                       scratch_);
-  // Integrity gate: verified once per load; cache hits skip it.
-  if (has_checksums_) {
-    const uint32_t actual = common::crc32(payload, info.payload_bytes);
-    if (actual != info.crc32) {
-      throw WvxError(
-          WvxFault::kChecksum,
-          "wvx: checksum mismatch in '" + path_ + "' (signal '" +
-              signal.info.hier_name + "', block " +
-              std::to_string(block_index) + " at offset " +
-              std::to_string(info.file_offset) + ")");
+  const char* payload;
+  {
+    HGDB_TRACE_SPAN_VAR(read_span, "wvx", "block_read");
+    read_span.set_arg(info.payload_bytes);
+    payload = storage_->view(info.file_offset, info.payload_bytes, scratch_);
+    // Integrity gate: verified once per load; cache hits skip it.
+    if (has_checksums_) {
+      const uint32_t actual = common::crc32(payload, info.payload_bytes);
+      if (actual != info.crc32) {
+        throw WvxError(
+            WvxFault::kChecksum,
+            "wvx: checksum mismatch in '" + path_ + "' (signal '" +
+                signal.info.hier_name + "', block " +
+                std::to_string(block_index) + " at offset " +
+                std::to_string(info.file_offset) + ")");
+      }
     }
   }
 
   auto block = std::make_shared<BlockCache::Block>();
-  codec_->decode(payload, info.payload_bytes, info.count, signal.info.width,
-                 *block);
+  {
+    HGDB_TRACE_SPAN_VAR(decode_span, "wvx", "block_decode");
+    decode_span.set_arg(info.count);
+    codec_->decode(payload, info.payload_bytes, info.count, signal.info.width,
+                   *block);
+  }
+  const uint64_t before_evictions = cache_.stats().evictions;
   cache_.insert(key, block);
+  obs_->evictions->add(cache_.stats().evictions - before_evictions);
+  obs_->resident->set(static_cast<int64_t>(cache_.stats().resident));
+  obs_->load_ns->record(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count()));
   return block;
 }
 

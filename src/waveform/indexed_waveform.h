@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "waveform/block_cache.h"
 #include "waveform/block_codec.h"
 #include "waveform/index_format.h"
@@ -99,6 +100,18 @@ class IndexedWaveform final : public WaveformSource {
  private:
   BlockCache::BlockPtr load_block(size_t signal_index, size_t block_index) const;
 
+  /// Global-registry mirrors of the per-instance CacheStats, resolved
+  /// once at open. Readers have no natural owner with a registry, so the
+  /// `waveform.*` metrics aggregate across every open index in the
+  /// process; per-instance numbers stay available via cache_stats().
+  struct ObsMetrics {
+    obs::Counter* hits = nullptr;
+    obs::Counter* misses = nullptr;
+    obs::Counter* evictions = nullptr;
+    obs::Gauge* resident = nullptr;
+    obs::Histogram* load_ns = nullptr;  ///< miss-path read+decode latency
+  };
+
   std::string path_;
   std::vector<IndexedSignal> signals_;
   std::map<std::string, size_t> by_name_;
@@ -113,6 +126,7 @@ class IndexedWaveform final : public WaveformSource {
   mutable std::unique_ptr<StorageBackend> storage_;
   mutable std::string scratch_;  ///< buffered-read landing zone
   mutable BlockCache cache_;
+  std::unique_ptr<ObsMetrics> obs_;
 };
 
 }  // namespace hgdb::waveform

@@ -1,0 +1,234 @@
+// MetricsRegistry semantics: lock-free counter/gauge/histogram updates,
+// power-of-two bucket quantiles, multi-thread conservation (run under
+// TSan in CI), Prometheus text exposition, and the JSON snapshot the v2
+// `metrics` command serves.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "obs/metrics.h"
+
+namespace hgdb::obs {
+namespace {
+
+TEST(Counter, AddsAndReads) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.add();
+  counter.add(41);
+  EXPECT_EQ(counter.value(), 42u);
+}
+
+TEST(Gauge, MovesBothDirections) {
+  Gauge gauge;
+  gauge.set(10);
+  gauge.add(-3);
+  EXPECT_EQ(gauge.value(), 7);
+  gauge.set(-1);
+  EXPECT_EQ(gauge.value(), -1);
+}
+
+// -- histogram buckets ---------------------------------------------------------
+
+TEST(Histogram, BucketIndexIsBitWidth) {
+  EXPECT_EQ(Histogram::bucket_index(0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(1), 1u);
+  EXPECT_EQ(Histogram::bucket_index(2), 2u);
+  EXPECT_EQ(Histogram::bucket_index(3), 2u);
+  EXPECT_EQ(Histogram::bucket_index(4), 3u);
+  EXPECT_EQ(Histogram::bucket_index(1023), 10u);
+  EXPECT_EQ(Histogram::bucket_index(1024), 11u);
+  // Everything past the finite boundaries collapses into the last bucket.
+  EXPECT_EQ(Histogram::bucket_index(UINT64_MAX), Histogram::kBuckets - 1);
+}
+
+TEST(Histogram, BucketUpperBoundsArePowerOfTwoMinusOne) {
+  EXPECT_EQ(Histogram::bucket_upper_bound(0), 0u);
+  EXPECT_EQ(Histogram::bucket_upper_bound(1), 1u);
+  EXPECT_EQ(Histogram::bucket_upper_bound(2), 3u);
+  EXPECT_EQ(Histogram::bucket_upper_bound(10), 1023u);
+  EXPECT_EQ(Histogram::bucket_upper_bound(Histogram::kBuckets - 1),
+            UINT64_MAX);
+}
+
+TEST(Histogram, PercentilesReturnBucketUpperBounds) {
+  Histogram histogram;
+  EXPECT_EQ(histogram.percentile(0.99), 0u);  // empty
+
+  // 98 fast samples and 2 slow outliers: p50/p95 stay in the fast bucket,
+  // p99 lands on the outliers' bucket boundary.
+  for (int i = 0; i < 98; ++i) histogram.record(100);    // bucket 7, ub 127
+  histogram.record(5000);                                // bucket 13
+  histogram.record(6000);                                // bucket 13, ub 8191
+  EXPECT_EQ(histogram.count(), 100u);
+  EXPECT_EQ(histogram.sum(), 98u * 100 + 5000 + 6000);
+  EXPECT_EQ(histogram.percentile(0.50), 127u);
+  EXPECT_EQ(histogram.percentile(0.95), 127u);
+  EXPECT_EQ(histogram.percentile(0.99), 8191u);
+
+  const auto snapshot = histogram.snapshot();
+  EXPECT_EQ(snapshot.count, 100u);
+  EXPECT_EQ(snapshot.buckets[7], 98u);
+  EXPECT_EQ(snapshot.buckets[13], 2u);
+  EXPECT_EQ(snapshot.p50, 127u);
+  EXPECT_EQ(snapshot.p99, 8191u);
+}
+
+TEST(Histogram, ZeroValuesLandInBucketZero) {
+  Histogram histogram;
+  histogram.record(0);
+  histogram.record(0);
+  EXPECT_EQ(histogram.snapshot().buckets[0], 2u);
+  EXPECT_EQ(histogram.percentile(0.99), 0u);
+}
+
+// The concurrency contract: record() from N threads loses nothing. Run
+// under -fsanitize=thread in the CI TSan job, this also proves the
+// relaxed-atomic scheme is race-free.
+TEST(Histogram, ConcurrentRecordingConservesEverySample) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  Histogram histogram;
+  Counter counter;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, &counter, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        histogram.record(static_cast<uint64_t>(t * 1000 + (i % 7)));
+        counter.add();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(counter.value(), uint64_t{kThreads} * kPerThread);
+  const auto snapshot = histogram.snapshot();
+  EXPECT_EQ(snapshot.count, uint64_t{kThreads} * kPerThread);
+  uint64_t bucket_total = 0;
+  for (const uint64_t bucket : snapshot.buckets) bucket_total += bucket;
+  EXPECT_EQ(bucket_total, snapshot.count);  // every sample is in a bucket
+
+  uint64_t expected_sum = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      expected_sum += static_cast<uint64_t>(t * 1000 + (i % 7));
+    }
+  }
+  EXPECT_EQ(snapshot.sum, expected_sum);
+}
+
+// -- registry ------------------------------------------------------------------
+
+TEST(MetricsRegistry, GetOrCreateReturnsStableReferences) {
+  MetricsRegistry registry;
+  Counter& first = registry.counter("runtime.clock_edges");
+  first.add(5);
+  // Crowd the map; the earlier reference must stay valid (node-based map).
+  for (int i = 0; i < 100; ++i) {
+    registry.counter("filler." + std::to_string(i));
+  }
+  Counter& again = registry.counter("runtime.clock_edges");
+  EXPECT_EQ(&first, &again);
+  EXPECT_EQ(first.value(), 5u);
+  EXPECT_EQ(registry.size(), 101u);
+}
+
+TEST(MetricsRegistry, RemoveDropsTheMetric) {
+  MetricsRegistry registry;
+  registry.counter("session.subscription.7.events_dropped").add(3);
+  EXPECT_EQ(registry.size(), 1u);
+  registry.remove("session.subscription.7.events_dropped");
+  EXPECT_EQ(registry.size(), 0u);
+  // Re-creating starts from zero: the old instance is gone.
+  EXPECT_EQ(registry.counter("session.subscription.7.events_dropped").value(),
+            0u);
+}
+
+/// Parses a Prometheus text page into {metric line -> value} plus the set
+/// of `# TYPE` declarations — the shape any scraper depends on.
+struct ParsedExposition {
+  std::map<std::string, std::string> types;   // name -> counter/gauge/histogram
+  std::map<std::string, double> samples;      // full sample key -> value
+};
+
+ParsedExposition parse_exposition(const std::string& text) {
+  ParsedExposition parsed;
+  std::istringstream input(text);
+  std::string line;
+  while (std::getline(input, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream fields(line.substr(7));
+      std::string name, type;
+      fields >> name >> type;
+      parsed.types[name] = type;
+      continue;
+    }
+    EXPECT_NE(line[0], '#') << "unexpected comment: " << line;
+    // "name{labels} value" or "name value"
+    const size_t space = line.rfind(' ');
+    if (space == std::string::npos) {
+      ADD_FAILURE() << "malformed sample line: " << line;
+      continue;
+    }
+    parsed.samples[line.substr(0, space)] =
+        std::stod(line.substr(space + 1));
+  }
+  return parsed;
+}
+
+TEST(MetricsRegistry, PrometheusExpositionParsesBackCorrectly) {
+  MetricsRegistry registry;
+  registry.counter("runtime.clock_edges").add(1234);
+  registry.gauge("waveform.block_cache.resident").set(-2);
+  Histogram& histogram = registry.histogram("runtime.batch_eval_ns");
+  histogram.record(3);    // bucket 2 (le 3)
+  histogram.record(100);  // bucket 7 (le 127)
+  histogram.record(100);
+
+  const auto parsed = parse_exposition(registry.render_prometheus());
+
+  EXPECT_EQ(parsed.types.at("hgdb_runtime_clock_edges"), "counter");
+  EXPECT_EQ(parsed.types.at("hgdb_waveform_block_cache_resident"), "gauge");
+  EXPECT_EQ(parsed.types.at("hgdb_runtime_batch_eval_ns"), "histogram");
+
+  EXPECT_EQ(parsed.samples.at("hgdb_runtime_clock_edges"), 1234);
+  EXPECT_EQ(parsed.samples.at("hgdb_waveform_block_cache_resident"), -2);
+
+  // Histogram buckets are cumulative and close with +Inf == _count.
+  EXPECT_EQ(parsed.samples.at("hgdb_runtime_batch_eval_ns_bucket{le=\"3\"}"),
+            1);
+  EXPECT_EQ(parsed.samples.at("hgdb_runtime_batch_eval_ns_bucket{le=\"127\"}"),
+            3);
+  EXPECT_EQ(
+      parsed.samples.at("hgdb_runtime_batch_eval_ns_bucket{le=\"+Inf\"}"), 3);
+  EXPECT_EQ(parsed.samples.at("hgdb_runtime_batch_eval_ns_count"), 3);
+  EXPECT_EQ(parsed.samples.at("hgdb_runtime_batch_eval_ns_sum"), 203);
+}
+
+TEST(MetricsRegistry, SnapshotJsonRoundTripsThroughTheParser) {
+  MetricsRegistry registry;
+  registry.counter("session.requests").add(7);
+  registry.gauge("waveform.block_cache.resident").set(4);
+  registry.histogram("session.stop_handshake_ns").record(100);
+
+  // dump -> parse round trip: what the v2 `metrics` command and the DAP
+  // custom request put on the wire must decode to the same numbers.
+  common::Json decoded = common::Json::parse(registry.snapshot_json().dump());
+  EXPECT_EQ(decoded["counters"].get_int("session.requests"), 7);
+  EXPECT_EQ(decoded["gauges"].get_int("waveform.block_cache.resident"), 4);
+  common::Json histogram = decoded["histograms"]["session.stop_handshake_ns"];
+  EXPECT_EQ(histogram.get_int("count"), 1);
+  EXPECT_EQ(histogram.get_int("sum"), 100);
+  EXPECT_EQ(histogram.get_int("p50"), 127);  // bucket 7 upper bound
+}
+
+}  // namespace
+}  // namespace hgdb::obs

@@ -1,0 +1,216 @@
+// TraceRecorder semantics: the lock-free span ring (wrap-around keeps the
+// newest window), RAII spans, interned dynamic names, concurrent writers
+// (exercised under TSan in CI), and the chrome://tracing / Perfetto JSON
+// export parsed back through the project's own JSON parser.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "obs/trace.h"
+
+namespace hgdb::obs {
+namespace {
+
+TEST(TraceRecorder, StoppedRecorderRecordsNothing) {
+  TraceRecorder recorder(64);
+  ASSERT_FALSE(recorder.enabled());
+  {
+    TraceSpan span(recorder, "runtime", "edge_dispatch");
+    span.set_arg(12);
+  }
+  recorder.record_instant("runtime", "dirty_skips", true, 3);
+  // record_instant is unconditional at the recorder level (the macro does
+  // the enabled check), so only the span was suppressed.
+  EXPECT_EQ(recorder.snapshot().size(), 1u);
+  recorder.clear();
+
+  recorder.start();
+  { TraceSpan span(recorder, "runtime", "edge_dispatch"); }
+  recorder.stop();
+  EXPECT_EQ(recorder.snapshot().size(), 1u);
+}
+
+TEST(TraceRecorder, SpansAndInstantsCarryTheirFields) {
+  TraceRecorder recorder(64);
+  recorder.start();
+  {
+    TraceSpan span(recorder, "session", "stop_handshake");
+    span.set_arg(42);
+  }
+  recorder.record_instant("runtime", "dirty_skips", true, 7);
+  recorder.stop();
+
+  const auto events = recorder.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+
+  const TraceEvent& span = events[0];
+  EXPECT_STREQ(span.category, "session");
+  EXPECT_STREQ(span.name, "stop_handshake");
+  EXPECT_EQ(span.phase, 'X');
+  EXPECT_TRUE(span.has_arg);
+  EXPECT_EQ(span.arg, 42u);
+
+  const TraceEvent& instant = events[1];
+  EXPECT_EQ(instant.phase, 'i');
+  EXPECT_EQ(instant.dur_ns, 0u);
+  EXPECT_EQ(instant.arg, 7u);
+  EXPECT_GE(instant.ts_ns, span.ts_ns);  // write order preserved
+}
+
+TEST(TraceRecorder, RingWrapKeepsTheNewestWindow) {
+  TraceRecorder recorder(8);
+  recorder.start();
+  std::vector<std::string> names;
+  names.reserve(20);
+  for (int i = 0; i < 20; ++i) {
+    names.push_back("event_" + std::to_string(i));
+    recorder.record_instant("test", recorder.intern(names.back()));
+  }
+  recorder.stop();
+
+  EXPECT_EQ(recorder.recorded(), 20u);
+  EXPECT_EQ(recorder.dropped(), 12u);  // 20 written - 8 slots
+  const auto events = recorder.snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  // A debugger trace wants the most recent window: 12..19 survive.
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_STREQ(events[i].name, ("event_" + std::to_string(12 + i)).c_str());
+  }
+}
+
+TEST(TraceRecorder, ClearDiscardsEventsButKeepsLifetimeTotal) {
+  TraceRecorder recorder(8);
+  recorder.start();
+  recorder.record_instant("test", "a");
+  recorder.record_instant("test", "b");
+  recorder.clear();
+  EXPECT_TRUE(recorder.snapshot().empty());
+  EXPECT_EQ(recorder.dropped(), 0u);
+  EXPECT_EQ(recorder.recorded(), 2u);  // monotonic, like the counters
+  recorder.record_instant("test", "c");
+  ASSERT_EQ(recorder.snapshot().size(), 1u);
+  EXPECT_STREQ(recorder.snapshot()[0].name, "c");
+}
+
+TEST(TraceRecorder, InternReturnsOneStablePointerPerString) {
+  TraceRecorder recorder(8);
+  const std::string dynamic = std::string("eval") + "uate";
+  const char* first = recorder.intern(dynamic);
+  const char* second = recorder.intern("evaluate");
+  EXPECT_EQ(first, second);
+  EXPECT_STREQ(first, "evaluate");
+}
+
+// Concurrent writers on the lock-free ring: every ticket is claimed once,
+// nothing tears. Run under -fsanitize=thread in CI.
+TEST(TraceRecorder, ConcurrentWritersLoseNoTickets) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  TraceRecorder recorder(1 << 12);
+  recorder.start();
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&recorder] {
+      for (int i = 0; i < kPerThread; ++i) {
+        TraceSpan span(recorder, "test", "worker_span");
+        span.set_arg(static_cast<uint64_t>(i));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  recorder.stop();
+
+  EXPECT_EQ(recorder.recorded(), uint64_t{kThreads} * kPerThread);
+  const auto events = recorder.snapshot();
+  // The ring ends full, minus a best-effort allowance: a writer stalled
+  // for a whole lap can republish an old ticket's seq into a slot a newer
+  // ticket already finished, and snapshot() skips such slots. At most one
+  // slot per thread can be lost that way.
+  EXPECT_GE(events.size(), (size_t{1} << 12) - kThreads);
+  EXPECT_LE(events.size(), size_t{1} << 12);
+  for (const TraceEvent& event : events) {
+    EXPECT_STREQ(event.name, "worker_span");
+    EXPECT_EQ(event.phase, 'X');
+  }
+}
+
+// -- chrome://tracing JSON -----------------------------------------------------
+
+TEST(TraceRecorder, ChromeJsonRoundTripsThroughTheParser) {
+  TraceRecorder recorder(64);
+  recorder.start();
+  {
+    TraceSpan span(recorder, "wvx", "block_read");
+    span.set_arg(4096);
+  }
+  recorder.record_instant("runtime", "dirty_skips", true, 5);
+  recorder.stop();
+
+  const std::string json = recorder.export_chrome_json();
+  common::Json decoded = common::Json::parse(json);
+
+  EXPECT_EQ(decoded.get_string("displayTimeUnit"), "ns");
+  common::Json& events = decoded["traceEvents"];
+  ASSERT_EQ(events.size(), 2u);
+
+  // Trace-event-format fields Perfetto's importer requires: complete
+  // events carry ph:"X" with ts+dur in microseconds; instants ph:"i"
+  // with a scope.
+  common::Json span = events.at(0);
+  EXPECT_EQ(span.get_string("ph"), "X");
+  EXPECT_EQ(span.get_string("cat"), "wvx");
+  EXPECT_EQ(span.get_string("name"), "block_read");
+  EXPECT_TRUE(span.contains("ts"));
+  EXPECT_TRUE(span.contains("dur"));
+  EXPECT_TRUE(span.contains("pid"));
+  EXPECT_TRUE(span.contains("tid"));
+  EXPECT_EQ(span["args"].get_int("value"), 4096);
+
+  common::Json instant = events.at(1);
+  EXPECT_EQ(instant.get_string("ph"), "i");
+  EXPECT_EQ(instant.get_string("s"), "t");
+  EXPECT_EQ(instant["args"].get_int("value"), 5);
+
+  // Sorted by timestamp (Perfetto tolerates unsorted input, humans
+  // reading the JSON do not).
+  EXPECT_LE(span["ts"].as_double(), instant["ts"].as_double());
+}
+
+TEST(TraceRecorder, EmptyRecorderExportsAnEmptyTraceArray) {
+  TraceRecorder recorder(8);
+  common::Json decoded = common::Json::parse(recorder.export_chrome_json());
+  EXPECT_EQ(decoded["traceEvents"].size(), 0u);
+}
+
+#if HGDB_OBS_SPANS_ENABLED
+TEST(TraceMacros, WriteToTheGlobalRecorderOnlyWhileStarted) {
+  TraceRecorder& global = TraceRecorder::global();
+  global.clear();
+  const uint64_t before = global.recorded();
+  {
+    HGDB_TRACE_SPAN("test", "macro_span");
+    HGDB_TRACE_SPAN_VAR(named, "test", "macro_named");
+    named.set_arg(1);
+    HGDB_TRACE_INSTANT("test", "macro_instant", 2);
+  }
+  EXPECT_EQ(global.recorded(), before);  // recorder stopped: all no-ops
+
+  global.start();
+  {
+    HGDB_TRACE_SPAN_VAR(named, "test", "macro_named");
+    named.set_arg(1);
+    HGDB_TRACE_INSTANT("test", "macro_instant", 2);
+  }
+  global.stop();
+  EXPECT_EQ(global.recorded(), before + 2);
+  global.clear();
+}
+#endif
+
+}  // namespace
+}  // namespace hgdb::obs

@@ -262,6 +262,110 @@ TEST_F(DapNativeTest, ScriptedSessionEndToEnd) {
   run_scripted_session(port_, [this] { run_async(8); }, "live");
 }
 
+TEST_F(DapNativeTest, SetVariableWritesThroughTheTypedServicePath) {
+  DapClient client(port_);
+  Json response = client.request("initialize");
+  ASSERT_TRUE(response.get_bool("success"));
+  // The native backend supports set-value, so the capability is on.
+  EXPECT_TRUE(response["body"].get_bool("supportsSetVariable"));
+  client.wait_event("initialized");
+
+  ASSERT_TRUE(client.request("setBreakpoints", breakpoint_args("dap.cc", 7))
+                  .get_bool("success"));
+  ASSERT_TRUE(client.request("attach").get_bool("success"));
+  ASSERT_TRUE(client.request("configurationDone").get_bool("success"));
+
+  run_async(4);
+  Json stopped = client.wait_event("stopped");
+  const int64_t thread_id = stopped["body"].get_int("threadId");
+
+  Json args = Json::object();
+  args["threadId"] = Json(thread_id);
+  response = client.request("stackTrace", std::move(args));
+  ASSERT_TRUE(response.get_bool("success"));
+  const int64_t frame_id =
+      response["body"]["stackFrames"].at(0).get_int("id");
+
+  args = Json::object();
+  args["frameId"] = Json(frame_id);
+  response = client.request("scopes", std::move(args));
+  ASSERT_TRUE(response.get_bool("success"));
+  const int64_t generator_ref =
+      response["body"]["scopes"].at(1).get_int("variablesReference");
+
+  // Write the register through the scope reference; the response echoes
+  // the value the simulator actually took (evaluator read-back).
+  args = Json::object();
+  args["variablesReference"] = Json(generator_ref);
+  args["name"] = Json("cycle_reg");
+  args["value"] = Json("77");
+  response = client.request("setVariable", std::move(args));
+  ASSERT_TRUE(response.get_bool("success"));
+  EXPECT_EQ(response["body"].get_string("value"), "77");
+  EXPECT_EQ(response["body"].get_int("variablesReference"), 0);
+
+  // The evaluator sees the forced value in the stopped frame, and the
+  // cached variables table for the same reference is coherent.
+  args = Json::object();
+  args["expression"] = Json("cycle_reg");
+  args["frameId"] = Json(frame_id);
+  response = client.request("evaluate", std::move(args));
+  ASSERT_TRUE(response.get_bool("success"));
+  EXPECT_EQ(response["body"].get_string("result"), "77");
+
+  args = Json::object();
+  args["variablesReference"] = Json(generator_ref);
+  response = client.request("variables", std::move(args));
+  ASSERT_TRUE(response.get_bool("success"));
+  bool found = false;
+  for (const auto& variable : response["body"]["variables"].as_array()) {
+    if (variable.get_string("name") == "cycle_reg") {
+      EXPECT_EQ(variable.get_string("value"), "77");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+
+  // A name that resolves nowhere fails with a DAP error response, not a
+  // dropped connection.
+  args = Json::object();
+  args["variablesReference"] = Json(generator_ref);
+  args["name"] = Json("no_such_signal");
+  args["value"] = Json("1");
+  response = client.request("setVariable", std::move(args));
+  EXPECT_FALSE(response.get_bool("success"));
+
+  ASSERT_TRUE(client.request("continue").get_bool("success"));
+  client.wait_event("stopped");
+  ASSERT_TRUE(client.request("continue").get_bool("success"));
+  ASSERT_TRUE(client.request("disconnect").get_bool("success"));
+}
+
+TEST_F(DapNativeTest, HgdbMetricsCustomRequestServesTheRegistry) {
+  DapClient client(port_);
+  ASSERT_TRUE(client.request("initialize").get_bool("success"));
+
+  run_async(6);
+  sim_thread_.join();
+
+  Json response = client.request("hgdbMetrics");
+  ASSERT_TRUE(response.get_bool("success"));
+  // Both renderings of the same registry: the JSON snapshot for
+  // programmatic consumers and the Prometheus page for scrapers.
+  EXPECT_GE(response["body"]["metrics"]["counters"].get_int(
+                "runtime.clock_edges"),
+            6);
+  const std::string prometheus = response["body"].get_string("prometheus");
+  EXPECT_NE(prometheus.find("# TYPE hgdb_runtime_clock_edges counter"),
+            std::string::npos);
+  // The DAP dispatcher counts its own commands into the same registry.
+  EXPECT_GE(response["body"]["metrics"]["counters"].get_int(
+                "session.dap.command.initialize"),
+            1);
+
+  client.request("disconnect");
+}
+
 TEST_F(DapNativeTest, SplitAndCoalescedFramesOverTcp) {
   DapClient client(port_);
 

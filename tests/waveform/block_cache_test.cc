@@ -1,0 +1,62 @@
+// CacheStats lifetime semantics: hits/misses/evictions/peak_resident are
+// monotonic (they feed registry counters and must survive a reset);
+// `resident` is instantaneous and is the only field clear() touches.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "waveform/block_cache.h"
+
+namespace hgdb::waveform {
+namespace {
+
+BlockCache::BlockPtr make_block() {
+  return std::make_shared<const BlockCache::Block>();
+}
+
+TEST(BlockCache, CountsHitsMissesAndCapacityEvictions) {
+  BlockCache cache(2);
+  EXPECT_EQ(cache.lookup({0, 0}), nullptr);  // miss
+  cache.insert({0, 0}, make_block());
+  cache.insert({0, 1}, make_block());
+  EXPECT_NE(cache.lookup({0, 0}), nullptr);  // hit
+  cache.insert({0, 2}, make_block());        // evicts LRU {0,1}
+
+  const CacheStats& stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.resident, 2u);
+  EXPECT_EQ(stats.peak_resident, 2u);
+}
+
+TEST(BlockCache, ClearResetsResidencyButKeepsLifetimeCounters) {
+  BlockCache cache(2);
+  cache.insert({0, 0}, make_block());
+  cache.insert({0, 1}, make_block());
+  cache.insert({0, 2}, make_block());        // 1 capacity eviction
+  EXPECT_NE(cache.lookup({0, 2}), nullptr);  // 1 hit
+  EXPECT_EQ(cache.lookup({9, 9}), nullptr);  // 1 miss
+
+  cache.clear();
+
+  const CacheStats& stats = cache.stats();
+  EXPECT_EQ(cache.resident(), 0u);
+  EXPECT_EQ(stats.resident, 0u);
+  // Monotonic fields survive: the reset did not erase history, and the
+  // 2 blocks dropped by clear() are NOT counted as evictions (evictions
+  // measures capacity pressure, which a reset is not).
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.peak_resident, 2u);
+
+  // The cache keeps working after a reset: re-inserting counts normally.
+  cache.insert({0, 0}, make_block());
+  EXPECT_NE(cache.lookup({0, 0}), nullptr);
+  EXPECT_EQ(cache.stats().hits, 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+}  // namespace
+}  // namespace hgdb::waveform
