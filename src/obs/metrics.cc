@@ -58,7 +58,7 @@ MetricsRegistry& MetricsRegistry::global() {
 }
 
 Counter& MetricsRegistry::counter(std::string_view name) {
-  std::lock_guard guard(mutex_);
+  common::LockGuard guard(mutex_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -68,7 +68,7 @@ Counter& MetricsRegistry::counter(std::string_view name) {
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
-  std::lock_guard guard(mutex_);
+  common::LockGuard guard(mutex_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -77,7 +77,7 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
 }
 
 Histogram& MetricsRegistry::histogram(std::string_view name) {
-  std::lock_guard guard(mutex_);
+  common::LockGuard guard(mutex_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
@@ -87,7 +87,7 @@ Histogram& MetricsRegistry::histogram(std::string_view name) {
 }
 
 void MetricsRegistry::remove(std::string_view name) {
-  std::lock_guard guard(mutex_);
+  common::LockGuard guard(mutex_);
   if (auto it = counters_.find(name); it != counters_.end()) {
     counters_.erase(it);
   }
@@ -100,7 +100,7 @@ void MetricsRegistry::remove(std::string_view name) {
 }
 
 size_t MetricsRegistry::size() const {
-  std::lock_guard guard(mutex_);
+  common::LockGuard guard(mutex_);
   return counters_.size() + gauges_.size() + histograms_.size();
 }
 
@@ -123,7 +123,7 @@ void append_u64(std::string& out, uint64_t v) { out += std::to_string(v); }
 }  // namespace
 
 std::string MetricsRegistry::render_prometheus() const {
-  std::lock_guard guard(mutex_);
+  common::LockGuard guard(mutex_);
   std::string out;
   for (const auto& [name, counter] : counters_) {
     const std::string prom = prometheus_name(name);
@@ -168,7 +168,7 @@ std::string MetricsRegistry::render_prometheus() const {
 }
 
 Json MetricsRegistry::snapshot_json() const {
-  std::lock_guard guard(mutex_);
+  common::LockGuard guard(mutex_);
   Json counters = Json::object();
   for (const auto& [name, counter] : counters_) {
     counters[name] = Json(counter->value());

@@ -7,11 +7,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/checked_mutex.h"
 #include "common/json.h"
 
 namespace hgdb::obs {
@@ -152,11 +152,14 @@ class MetricsRegistry {
   [[nodiscard]] size_t size() const;
 
  private:
-  mutable std::mutex mutex_;
+  mutable common::ObsMutex mutex_{"obs::registry"};
   // node-based maps: values never move, so hot-path references are stable.
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      HGDB_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      HGDB_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      HGDB_GUARDED_BY(mutex_);
 };
 
 }  // namespace hgdb::obs

@@ -83,7 +83,7 @@ void TraceRecorder::record_instant(const char* category, const char* name,
 }
 
 const char* TraceRecorder::intern(std::string_view text) {
-  std::lock_guard guard(intern_mutex_);
+  common::LockGuard guard(intern_mutex_);
   auto it = interned_.find(text);
   if (it == interned_.end()) it = interned_.emplace(text).first;
   return it->c_str();

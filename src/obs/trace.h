@@ -5,11 +5,12 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/checked_mutex.h"
 
 /// Compile-time master switch for span instrumentation. The build defines
 /// HGDB_OBS_SPANS_ENABLED=0 (cmake -DHGDB_OBS_SPANS=OFF) to make every
@@ -132,8 +133,8 @@ class TraceRecorder {
   std::atomic<bool> enabled_{false};
   std::chrono::steady_clock::time_point origin_;
 
-  std::mutex intern_mutex_;
-  std::set<std::string, std::less<>> interned_;
+  common::ObsMutex intern_mutex_{"obs::intern"};
+  std::set<std::string, std::less<>> interned_ HGDB_GUARDED_BY(intern_mutex_);
 };
 
 /// RAII complete-span helper: samples the clock at construction when the

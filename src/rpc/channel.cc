@@ -2,8 +2,9 @@
 
 #include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <stdexcept>
+
+#include "common/checked_mutex.h"
 
 namespace hgdb::rpc {
 
@@ -11,14 +12,14 @@ namespace {
 
 /// Shared state of one direction of an in-process pipe.
 struct Queue {
-  std::mutex mutex;
-  std::condition_variable ready;
-  std::deque<std::string> messages;
-  bool closed = false;
+  common::RpcMutex mutex{"rpc::queue"};
+  std::condition_variable_any ready;
+  std::deque<std::string> messages HGDB_GUARDED_BY(mutex);
+  bool closed HGDB_GUARDED_BY(mutex) = false;
 
   void push(std::string message) {
     {
-      std::lock_guard lock(mutex);
+      common::LockGuard lock(mutex);
       if (closed) throw std::runtime_error("channel closed");
       messages.push_back(std::move(message));
     }
@@ -26,12 +27,17 @@ struct Queue {
   }
 
   std::optional<std::string> pop(std::optional<std::chrono::milliseconds> timeout) {
-    std::unique_lock lock(mutex);
-    auto has_data = [this] { return !messages.empty() || closed; };
+    common::UniqueLock lock(mutex);
     if (timeout) {
-      if (!ready.wait_for(lock, *timeout, has_data)) return std::nullopt;
+      const auto deadline = std::chrono::steady_clock::now() + *timeout;
+      while (messages.empty() && !closed) {
+        if (ready.wait_until(lock, deadline) == std::cv_status::timeout) {
+          break;
+        }
+      }
+      if (messages.empty() && !closed) return std::nullopt;  // timed out
     } else {
-      ready.wait(lock, has_data);
+      while (messages.empty() && !closed) ready.wait(lock);
     }
     if (messages.empty()) return std::nullopt;  // closed and drained
     std::string message = std::move(messages.front());
@@ -41,7 +47,7 @@ struct Queue {
 
   void close() {
     {
-      std::lock_guard lock(mutex);
+      common::LockGuard lock(mutex);
       closed = true;
     }
     ready.notify_all();
@@ -68,7 +74,7 @@ class PairedChannel final : public Channel {
   }
 
   [[nodiscard]] bool closed() const override {
-    std::lock_guard lock(incoming_->mutex);
+    common::LockGuard lock(incoming_->mutex);
     return incoming_->closed && incoming_->messages.empty();
   }
 

@@ -9,8 +9,9 @@
 
 #include <atomic>
 #include <cstring>
-#include <mutex>
 #include <stdexcept>
+
+#include "common/checked_mutex.h"
 
 namespace hgdb::rpc {
 
@@ -36,7 +37,7 @@ class SocketChannel final : public Channel {
   }
 
   void send(std::string message) override {
-    std::lock_guard lock(send_mutex_);
+    common::LockGuard lock(send_mutex_);
     if (closed()) throw std::runtime_error("tcp: send on closed channel");
     const uint32_t length = htonl(static_cast<uint32_t>(message.size()));
     write_all(reinterpret_cast<const char*>(&length), sizeof(length));
@@ -45,7 +46,7 @@ class SocketChannel final : public Channel {
 
   std::optional<std::string> receive(
       std::optional<std::chrono::milliseconds> timeout) override {
-    std::lock_guard lock(receive_mutex_);
+    common::LockGuard lock(receive_mutex_);
     if (closed()) return std::nullopt;
     if (timeout) {
       pollfd pfd{fd_, POLLIN, 0};
@@ -96,8 +97,8 @@ class SocketChannel final : public Channel {
 
   const int fd_;
   std::atomic<bool> closed_{false};
-  std::mutex send_mutex_;
-  std::mutex receive_mutex_;
+  common::RpcMutex send_mutex_{"tcp::channel_send"};
+  common::RpcMutex receive_mutex_{"tcp::channel_receive"};
 };
 
 /// Raw duplex socket stream: no framing, reads return whatever the kernel
@@ -117,7 +118,7 @@ class SocketStream final : public ByteStream {
   }
 
   bool send_bytes(std::string_view bytes) override {
-    std::lock_guard lock(send_mutex_);
+    common::LockGuard lock(send_mutex_);
     if (closed_.load(std::memory_order_acquire)) return false;
     size_t written = 0;
     while (written < bytes.size()) {
@@ -146,7 +147,7 @@ class SocketStream final : public ByteStream {
  private:
   const int fd_;
   std::atomic<bool> closed_{false};
-  std::mutex send_mutex_;
+  common::RpcMutex send_mutex_{"tcp::stream_send"};
 };
 
 int accept_fd(int server_fd) {

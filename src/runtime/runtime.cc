@@ -127,7 +127,7 @@ void Runtime::attach() {
   {
     // Arm time for every symbol-table enable condition: compile and
     // slot-resolve them once, so the per-edge path never sees a string.
-    std::lock_guard lock(state_mutex_);
+    common::LockGuard lock(state_mutex_);
     rebuild_plan_locked();
   }
 
@@ -151,7 +151,7 @@ std::vector<int64_t> Runtime::add_breakpoint(const std::string& filename,
   std::optional<Expression> parsed;
   if (!condition.empty()) parsed = Expression::parse(condition);
 
-  std::lock_guard lock(state_mutex_);
+  common::LockGuard lock(state_mutex_);
   if (parsed) {
     // Arm-time symbol validation: an unknown name in a user condition is a
     // typed error now, not a silent never-fires (or a throw from inside
@@ -205,7 +205,7 @@ std::vector<int64_t> Runtime::add_breakpoint(const std::string& filename,
 
 size_t Runtime::release_breakpoint(const std::string& filename, uint32_t line,
                                    const std::string& condition) {
-  std::lock_guard lock(state_mutex_);
+  common::LockGuard lock(state_mutex_);
   size_t died = 0;
   bool any = false;
   bool changed = false;
@@ -241,7 +241,7 @@ size_t Runtime::release_breakpoint(const std::string& filename, uint32_t line,
 }
 
 size_t Runtime::remove_breakpoint(const std::string& filename, uint32_t line) {
-  std::lock_guard lock(state_mutex_);
+  common::LockGuard lock(state_mutex_);
   size_t removed = 0;
   bool any = false;
   for (auto& bp : breakpoints_) {
@@ -260,7 +260,7 @@ size_t Runtime::remove_breakpoint(const std::string& filename, uint32_t line) {
 }
 
 void Runtime::clear_breakpoints() {
-  std::lock_guard lock(state_mutex_);
+  common::LockGuard lock(state_mutex_);
   for (auto& bp : breakpoints_) {
     bp.inserted = false;
     bp.uncond_refs = 0;
@@ -271,14 +271,14 @@ void Runtime::clear_breakpoints() {
 }
 
 size_t Runtime::inserted_count() const {
-  std::lock_guard lock(state_mutex_);
+  common::LockGuard lock(state_mutex_);
   return static_cast<size_t>(
       std::count_if(breakpoints_.begin(), breakpoints_.end(),
                     [](const Breakpoint& bp) { return bp.inserted; }));
 }
 
 std::vector<Runtime::InsertedBreakpoint> Runtime::inserted_breakpoints() const {
-  std::lock_guard lock(state_mutex_);
+  common::LockGuard lock(state_mutex_);
   std::vector<InsertedBreakpoint> out;
   for (const auto& bp : breakpoints_) {
     if (!bp.inserted) continue;
@@ -307,7 +307,7 @@ int64_t Runtime::add_watchpoint(const std::string& expression,
   // Everything below runs under state_mutex_: arm-time resolution talks to
   // the backend's handle table, which the simulation thread reads through
   // get_values() while evaluating batches.
-  std::lock_guard lock(state_mutex_);
+  common::LockGuard lock(state_mutex_);
   // Arm-time symbol validation, same contract as conditional breakpoints:
   // unknown names are a typed error at arm time, never a scheduler throw.
   for (const auto& symbol : wp.expr.names()) {
@@ -334,7 +334,7 @@ int64_t Runtime::add_watchpoint(const std::string& expression,
 }
 
 bool Runtime::remove_watchpoint(int64_t id) {
-  std::lock_guard lock(state_mutex_);
+  common::LockGuard lock(state_mutex_);
   const size_t before = watchpoints_.size();
   watchpoints_.erase(
       std::remove_if(watchpoints_.begin(), watchpoints_.end(),
@@ -346,12 +346,12 @@ bool Runtime::remove_watchpoint(int64_t id) {
 }
 
 size_t Runtime::watchpoint_count() const {
-  std::lock_guard lock(state_mutex_);
+  common::LockGuard lock(state_mutex_);
   return watchpoints_.size();
 }
 
 void Runtime::collect_watch_hits(std::vector<rpc::WatchHit>& hits) {
-  std::lock_guard lock(state_mutex_);
+  common::LockGuard lock(state_mutex_);
   if (watchpoints_.empty()) return;
   // Timestamp only when stats are on: clock reads are not free on the
   // per-edge path the Fig. 5 overhead budget protects.
@@ -371,6 +371,8 @@ void Runtime::collect_watch_hits(std::vector<rpc::WatchHit>& hits) {
   std::vector<uint8_t> evaluated(count, 0);
   std::vector<uint8_t> skipped(count, 0);
   pool_->parallel_for(count, [&](size_t i) {
+    // Fork/join: the sim thread holds state_mutex_ until the job drains.
+    state_mutex_.assert_held();
     auto& wp = watchpoints_[i];
     if (compiled && wp.compiled) {
       if (wp.eval_serial != 0 && deps_serial(wp.dep_slots) <= wp.eval_serial) {
@@ -417,7 +419,7 @@ void Runtime::collect_watch_hits(std::vector<rpc::WatchHit>& hits) {
 }
 
 void Runtime::set_stop_handler(StopHandler handler) {
-  std::lock_guard lock(handler_mutex_);
+  common::LockGuard lock(handler_mutex_);
   stop_handler_ = std::move(handler);
 }
 
@@ -426,7 +428,7 @@ void Runtime::set_stop_handler(StopHandler handler) {
 // ---------------------------------------------------------------------------
 
 void Runtime::set_change_listener(ChangeListener listener) {
-  std::lock_guard lock(listener_mutex_);
+  common::LockGuard lock(listener_mutex_);
   change_listener_ = std::move(listener);
 }
 
@@ -444,7 +446,7 @@ int64_t Runtime::add_signal_subscription(const std::vector<std::string>& names,
   sub.instance_id = instance->first;
   sub.instance_name = instance->second;
 
-  std::lock_guard lock(state_mutex_);
+  common::LockGuard lock(state_mutex_);
   // Arm-time validation, same contract as conditions/watches: an unknown
   // name is a typed error now, never a silent dead stream.
   for (const auto& name : sub.names) {
@@ -463,7 +465,7 @@ int64_t Runtime::add_signal_subscription(const std::vector<std::string>& names,
 }
 
 bool Runtime::remove_signal_subscription(int64_t id) {
-  std::lock_guard lock(state_mutex_);
+  common::LockGuard lock(state_mutex_);
   const size_t before = subscriptions_.size();
   subscriptions_.erase(
       std::remove_if(subscriptions_.begin(), subscriptions_.end(),
@@ -475,7 +477,7 @@ bool Runtime::remove_signal_subscription(int64_t id) {
 }
 
 size_t Runtime::subscription_count() const {
-  std::lock_guard lock(state_mutex_);
+  common::LockGuard lock(state_mutex_);
   return subscriptions_.size();
 }
 
@@ -488,7 +490,7 @@ void Runtime::emit_subscription_events(uint64_t time) {
   };
   std::vector<Pending> pending;
   {
-    std::lock_guard lock(state_mutex_);
+    common::LockGuard lock(state_mutex_);
     if (subscriptions_.empty()) return;
     ensure_edge_values_locked();
     for (auto& sub : subscriptions_) {
@@ -529,7 +531,7 @@ void Runtime::emit_subscription_events(uint64_t time) {
   if (pending.empty()) return;
   ChangeListener listener;
   {
-    std::lock_guard lock(listener_mutex_);
+    common::LockGuard lock(listener_mutex_);
     listener = change_listener_;
   }
   if (!listener) return;
@@ -938,14 +940,14 @@ void Runtime::on_clock_edge(vpi::ClockEdge edge, uint64_t time) {
   HGDB_TRACE_SPAN("runtime", "edge_dispatch");
 
   if (pause_pending_.exchange(false)) {
-    std::lock_guard lock(state_mutex_);
+    common::LockGuard lock(state_mutex_);
     mode_ = Mode::Step;
   }
 
   {
     // A new edge invalidates the previous edge's fetched values; the first
     // batch (or watchpoint sweep) that needs them re-fetches once.
-    std::lock_guard lock(state_mutex_);
+    common::LockGuard lock(state_mutex_);
     edge_values_fresh_ = false;
   }
 
@@ -974,7 +976,7 @@ void Runtime::on_clock_edge(vpi::ClockEdge edge, uint64_t time) {
         event.watch_hits = std::move(watch_hits);
         stats_.stops->add(1);
         const Command command = deliver_stop(std::move(event));
-        std::lock_guard lock(state_mutex_);
+        common::LockGuard lock(state_mutex_);
         switch (command) {
           case Command::Continue:
             mode_ = Mode::Run;
@@ -1002,7 +1004,7 @@ void Runtime::on_clock_edge(vpi::ClockEdge edge, uint64_t time) {
   Mode mode;
   bool reverse_entry;
   {
-    std::lock_guard lock(state_mutex_);
+    common::LockGuard lock(state_mutex_);
     mode = mode_;
     reverse_entry = reverse_entry_;
     reverse_entry_ = false;
@@ -1021,7 +1023,7 @@ void Runtime::on_clock_edge(vpi::ClockEdge edge, uint64_t time) {
     // A reverse command always enters a cycle through time travel; if we
     // land here (e.g. rewind unsupported), degrade to forward stepping.
     reverse = false;
-    std::lock_guard lock(state_mutex_);
+    common::LockGuard lock(state_mutex_);
     mode_ = mode = Mode::Step;
   }
 
@@ -1043,7 +1045,7 @@ void Runtime::on_clock_edge(vpi::ClockEdge edge, uint64_t time) {
     // layer may route the stop by matched condition. Step stops broadcast.
     stop.condition_routed = respect_inserted;
     const Command command = deliver_stop(std::move(stop));
-    std::lock_guard lock(state_mutex_);
+    common::LockGuard lock(state_mutex_);
     switch (command) {
       case Command::Continue:
         mode_ = Mode::Run;
@@ -1088,14 +1090,14 @@ void Runtime::on_clock_edge(vpi::ClockEdge edge, uint64_t time) {
   // Reverse scan exhausted this cycle: hop to the previous cycle if the
   // backend supports time travel (Fig. 2 "*Reverse time").
   if (rewind_one_cycle(time)) {
-    std::lock_guard lock(state_mutex_);
+    common::LockGuard lock(state_mutex_);
     reverse_entry_ = true;
     return;
   }
   // Beginning of recorded history: report an empty stop so the debugger
   // knows reverse execution bottomed out, then resume forward stepping.
   const Command command = deliver_stop(StopEvent{time, {}, {}});
-  std::lock_guard lock(state_mutex_);
+  common::LockGuard lock(state_mutex_);
   mode_ = command == Command::Continue ? Mode::Run : Mode::Step;
 }
 
@@ -1110,7 +1112,7 @@ bool Runtime::rewind_one_cycle(uint64_t time) {
 
 void Runtime::evaluate_batch(const Batch& batch, bool respect_inserted,
                              std::vector<size_t>& hits) {
-  std::lock_guard lock(state_mutex_);
+  common::LockGuard lock(state_mutex_);
   HGDB_TRACE_SPAN_VAR(eval_span, "runtime", "evaluate_batch");
   eval_span.set_arg(batch.members.size());
   const auto t0 = options_.collect_stats
@@ -1129,6 +1131,8 @@ void Runtime::evaluate_batch(const Batch& batch, bool respect_inserted,
   // changed since its last evaluation reuses the cached verdicts (the
   // enable's and every condition arm's).
   auto evaluate_member_compiled = [&](size_t position) {
+    // Fork/join: the sim thread holds state_mutex_ until the job drains.
+    state_mutex_.assert_held();
     const size_t member = batch.members[position];
     Breakpoint& bp = breakpoints_[member];
     if (respect_inserted && !bp.inserted) return;
@@ -1187,6 +1191,7 @@ void Runtime::evaluate_batch(const Batch& batch, bool respect_inserted,
   // Interpreted reference path: tree walk per member through the
   // string-keyed resolver.
   auto evaluate_member_interpreted = [&](size_t position) {
+    state_mutex_.assert_held();
     const size_t member = batch.members[position];
     Breakpoint& bp = breakpoints_[member];
     if (respect_inserted && !bp.inserted) return;
@@ -1325,7 +1330,7 @@ Frame Runtime::build_frame(int64_t breakpoint_id) {
 Runtime::Command Runtime::deliver_stop(StopEvent event) {
   StopHandler handler;
   {
-    std::lock_guard lock(handler_mutex_);
+    common::LockGuard lock(handler_mutex_);
     handler = stop_handler_;
   }
   Command command = Command::Continue;  // nobody is listening
@@ -1336,7 +1341,7 @@ Runtime::Command Runtime::deliver_stop(StopEvent event) {
   } else {
     session::SessionManager* service = nullptr;
     {
-      std::lock_guard lock(service_mutex_);
+      common::LockGuard lock(service_mutex_);
       service = service_.get();
     }
     if (service) {
@@ -1347,7 +1352,7 @@ Runtime::Command Runtime::deliver_stop(StopEvent event) {
   if (delivered) {
     // The debugger may have forced signals or travelled in time while
     // stopped; the pre-fetched edge values can no longer be trusted.
-    std::lock_guard lock(state_mutex_);
+    common::LockGuard lock(state_mutex_);
     values_stale_ = true;
   }
   return command;
@@ -1367,7 +1372,7 @@ std::optional<BitVector> Runtime::evaluate(const std::string& expression,
     // thread reads concurrently. Never held while blocked on a stop
     // (deliver_stop runs lock-free), so client evaluates during a stop
     // cannot deadlock.
-    std::lock_guard lock(state_mutex_);
+    common::LockGuard lock(state_mutex_);
     const Breakpoint* scope_bp = nullptr;
     int64_t instance_id = 0;
     std::string scope_instance;
@@ -1425,7 +1430,7 @@ bool Runtime::set_signal_value(const std::string& hier_name,
   if (forced) {
     // Invalidate the edge's pre-fetched values: the forced signal may feed
     // an armed condition.
-    std::lock_guard lock(state_mutex_);
+    common::LockGuard lock(state_mutex_);
     values_stale_ = true;
   }
   return forced;
@@ -1453,7 +1458,7 @@ Runtime::Stats Runtime::stats() const {
 // ---------------------------------------------------------------------------
 
 session::SessionManager* Runtime::ensure_service() {
-  std::lock_guard lock(service_mutex_);
+  common::LockGuard lock(service_mutex_);
   if (!service_) service_ = std::make_unique<session::SessionManager>(*this);
   return service_.get();
 }
@@ -1473,14 +1478,14 @@ uint16_t Runtime::serve_dap(uint16_t port) {
 void Runtime::stop_service() {
   session::SessionManager* service = nullptr;
   {
-    std::lock_guard lock(service_mutex_);
+    common::LockGuard lock(service_mutex_);
     service = service_.get();
   }
   if (service) service->shutdown();
 }
 
 session::SessionManager* Runtime::session_manager() {
-  std::lock_guard lock(service_mutex_);
+  common::LockGuard lock(service_mutex_);
   return service_.get();
 }
 

@@ -4,12 +4,12 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/checked_mutex.h"
 #include "obs/metrics.h"
 #include "rpc/channel.h"
 #include "rpc/protocol.h"
@@ -413,7 +413,7 @@ class Runtime {
   [[nodiscard]] std::optional<SlotBinding> resolve_binding(
       const Breakpoint* scope_bp, int64_t instance_id,
       const std::string& instance_name, const std::string& name,
-      EvalPlan* plan);
+      EvalPlan* plan) HGDB_REQUIRES(state_mutex_);
   /// Compiles `expr` and resolves every symbol against `plan` (growing
   /// it); appends the referenced plan slots to `deps`. When
   /// `require_resolved`, throws std::out_of_range naming the first
@@ -423,24 +423,23 @@ class Runtime {
   /// Program lookup for bind_predicate: one shared CompiledExpression per
   /// normalized AST (compiling on first sight). `persist` = false reuses a
   /// cached program but never inserts — one-off protocol evaluations must
-  /// not grow the cache without bound. Caller holds state_mutex_.
+  /// not grow the cache without bound.
   std::shared_ptr<const CompiledExpression> compile_shared(
-      const Expression& expr, bool persist);
+      const Expression& expr, bool persist) HGDB_REQUIRES(state_mutex_);
   CompiledPredicate bind_predicate(const Expression& expr,
                                    const Breakpoint* scope_bp,
                                    int64_t instance_id,
                                    const std::string& instance_name,
                                    EvalPlan* plan, std::vector<uint32_t>* deps,
                                    bool require_resolved,
-                                   bool persist_program = true);
+                                   bool persist_program = true)
+      HGDB_REQUIRES(state_mutex_);
   /// Rebuilds the whole plan (all enables + inserted conditions +
-  /// watchpoints) and resets the change-driven caches. Caller holds
-  /// state_mutex_.
-  void rebuild_plan_locked();
+  /// watchpoints) and resets the change-driven caches.
+  void rebuild_plan_locked() HGDB_REQUIRES(state_mutex_);
   /// Fetches the plan's signals for this edge if not already fresh,
-  /// committing changed values and bumping their change serial. Caller
-  /// holds state_mutex_.
-  void ensure_edge_values_locked();
+  /// committing changed values and bumping their change serial.
+  void ensure_edge_values_locked() HGDB_REQUIRES(state_mutex_);
   /// Evaluates a predicate against a plan's current values: -1
   /// unavailable, 0 false, 1 true (non-const: uses per-predicate scratch).
   static int eval_predicate(CompiledPredicate& predicate, const EvalPlan& plan);
@@ -448,12 +447,14 @@ class Runtime {
   static const common::BitVector* eval_predicate_value(
       CompiledPredicate& predicate, const EvalPlan& plan);
   /// Latest change serial across a dependency set.
-  [[nodiscard]] uint64_t deps_serial(const std::vector<uint32_t>& deps) const;
+  [[nodiscard]] uint64_t deps_serial(const std::vector<uint32_t>& deps) const
+      HGDB_REQUIRES(state_mutex_);
   /// One-off compiled evaluation used by evaluate(): binds against a
   /// throwaway plan and fetches its values immediately.
   [[nodiscard]] std::optional<common::BitVector> evaluate_compiled(
       const Expression& parsed, const Breakpoint* scope_bp,
-      int64_t instance_id, const std::string& instance_name);
+      int64_t instance_id, const std::string& instance_name)
+      HGDB_REQUIRES(state_mutex_);
   /// Resolves an instance scope: empty name = the top instance (the
   /// shortest hierarchical name). nullopt for an unknown name.
   [[nodiscard]] std::optional<std::pair<int64_t, std::string>>
@@ -474,47 +475,52 @@ class Runtime {
   std::optional<uint64_t> callback_handle_;
   std::unique_ptr<ThreadPool> pool_;
 
-  // Scheduler state (sim thread + service threads).
-  mutable std::mutex state_mutex_;
+  // Scheduler state (sim thread + service threads). Pool workers inside
+  // ThreadPool::parallel_for access the guarded members under the *parent*
+  // thread's hold (fork/join: the parent blocks until the job drains) and
+  // assert the capability via state_mutex_.assert_held().
+  mutable common::StateMutex state_mutex_{"runtime::state"};
   std::atomic<bool> any_inserted_{false};
   std::atomic<bool> any_watch_{false};
   std::atomic<bool> any_subs_{false};
   std::atomic<bool> pause_pending_{false};
   std::atomic<Mode> mode_{Mode::Run};
-  bool reverse_entry_ = false;  ///< entered this cycle travelling backwards
-  std::vector<Watchpoint> watchpoints_;
-  int64_t next_watch_id_ = 1;
-  std::vector<Subscription> subscriptions_;
-  int64_t next_subscription_id_ = 1;
+  /// entered this cycle travelling backwards
+  bool reverse_entry_ HGDB_GUARDED_BY(state_mutex_) = false;
+  std::vector<Watchpoint> watchpoints_ HGDB_GUARDED_BY(state_mutex_);
+  int64_t next_watch_id_ HGDB_GUARDED_BY(state_mutex_) = 1;
+  std::vector<Subscription> subscriptions_ HGDB_GUARDED_BY(state_mutex_);
+  int64_t next_subscription_id_ HGDB_GUARDED_BY(state_mutex_) = 1;
 
-  // Value-change delivery (guarded by listener_mutex_; invoked outside
-  // state_mutex_ so a listener may call back into the runtime).
-  std::mutex listener_mutex_;
-  ChangeListener change_listener_;
+  // Value-change delivery (invoked outside state_mutex_ so a listener may
+  // call back into the runtime).
+  common::ListenerMutex listener_mutex_{"runtime::listener"};
+  ChangeListener change_listener_ HGDB_GUARDED_BY(listener_mutex_);
 
-  // Compiled-evaluation state (guarded by state_mutex_).
-  EvalPlan plan_;
+  // Compiled-evaluation state.
+  EvalPlan plan_ HGDB_GUARDED_BY(state_mutex_);
   /// Common-subexpression sharing: one compiled program per normalized
   /// AST, shared by every arm of that condition (per-instance state lives
   /// in the predicates, not the program). Keyed on Expression::cache_key()
   /// so textual variations of one expression unify. Persistent across plan
   /// rebuilds — programs depend only on the AST, never on bindings.
   std::map<std::string, std::shared_ptr<const CompiledExpression>>
-      program_cache_;
+      program_cache_ HGDB_GUARDED_BY(state_mutex_);
   /// Values already fetched for the current edge; cleared at edge entry.
-  bool edge_values_fresh_ = false;
+  bool edge_values_fresh_ HGDB_GUARDED_BY(state_mutex_) = false;
   /// A stop was delivered or a mutator ran since the last fetch: the next
   /// ensure_edge_values_locked() must re-fetch (a debugger may have forced
   /// signals or travelled in time meanwhile).
-  bool values_stale_ = true;
+  bool values_stale_ HGDB_GUARDED_BY(state_mutex_) = true;
 
   // Direct-mode stop delivery.
-  std::mutex handler_mutex_;
-  StopHandler stop_handler_;
+  common::ListenerMutex handler_mutex_{"runtime::handler"};
+  StopHandler stop_handler_ HGDB_GUARDED_BY(handler_mutex_);
 
   // Multi-client session layer (created lazily by serve()/serve_tcp()).
-  std::mutex service_mutex_;
-  std::unique_ptr<session::SessionManager> service_;
+  common::ServiceMutex service_mutex_{"runtime::service"};
+  std::unique_ptr<session::SessionManager> service_
+      HGDB_GUARDED_BY(service_mutex_);
 
   // Monotonic counters, written from the sim thread on the hot path. They
   // live in the obs::MetricsRegistry (relaxed atomics, never locks — the

@@ -14,7 +14,7 @@ ThreadPool::ThreadPool(size_t threads, size_t serial_cutoff)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    common::LockGuard lock(mutex_);
     shutdown_ = true;
   }
   work_ready_.notify_all();
@@ -27,10 +27,10 @@ void ThreadPool::worker_loop() {
     const std::function<void(size_t)>* job = nullptr;
     size_t job_size = 0;
     {
-      std::unique_lock lock(mutex_);
-      work_ready_.wait(lock, [&] {
-        return shutdown_ || generation_ != seen_generation;
-      });
+      common::UniqueLock lock(mutex_);
+      while (!shutdown_ && generation_ == seen_generation) {
+        work_ready_.wait(lock);
+      }
       if (shutdown_) return;
       seen_generation = generation_;
       job = job_;
@@ -45,7 +45,7 @@ void ThreadPool::worker_loop() {
       // Notify under the mutex: otherwise the caller can check the
       // predicate (active == 1), lose this notify before blocking, and
       // sleep forever — the textbook lost-wakeup race.
-      std::lock_guard lock(mutex_);
+      common::LockGuard lock(mutex_);
       work_done_.notify_one();
     }
   }
@@ -58,7 +58,7 @@ void ThreadPool::parallel_for(size_t n, const std::function<void(size_t)>& fn) {
     return;
   }
   {
-    std::lock_guard lock(mutex_);
+    common::LockGuard lock(mutex_);
     job_ = &fn;
     job_size_ = n;
     next_index_.store(0, std::memory_order_relaxed);
@@ -72,10 +72,10 @@ void ThreadPool::parallel_for(size_t n, const std::function<void(size_t)>& fn) {
     if (index >= n) break;
     fn(index);
   }
-  std::unique_lock lock(mutex_);
-  work_done_.wait(lock, [&] {
-    return active_workers_.load(std::memory_order_acquire) == 0;
-  });
+  common::UniqueLock lock(mutex_);
+  while (active_workers_.load(std::memory_order_acquire) != 0) {
+    work_done_.wait(lock);
+  }
   job_ = nullptr;
 }
 

@@ -4,9 +4,10 @@
 #include <atomic>
 #include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/checked_mutex.h"
 
 namespace hgdb::runtime {
 
@@ -42,15 +43,15 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   size_t serial_cutoff_;
-  std::mutex mutex_;
-  std::condition_variable work_ready_;
-  std::condition_variable work_done_;
-  const std::function<void(size_t)>* job_ = nullptr;
-  size_t job_size_ = 0;
-  uint64_t generation_ = 0;
+  common::PoolMutex mutex_{"pool::work"};
+  std::condition_variable_any work_ready_;
+  std::condition_variable_any work_done_;
+  const std::function<void(size_t)>* job_ HGDB_GUARDED_BY(mutex_) = nullptr;
+  size_t job_size_ HGDB_GUARDED_BY(mutex_) = 0;
+  uint64_t generation_ HGDB_GUARDED_BY(mutex_) = 0;
   std::atomic<size_t> next_index_{0};
   std::atomic<size_t> active_workers_{0};
-  bool shutdown_ = false;
+  bool shutdown_ HGDB_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace hgdb::runtime

@@ -32,48 +32,50 @@ struct DapServer::Connection final : public EventSink {
 
   // Sending: responses from the reader thread, events from the simulation
   // thread; one mutex serializes both and the server seq counter.
-  std::mutex send_mutex;
-  int64_t next_seq = 1;
+  common::TransportMutex send_mutex{"dap::connection_send"};
+  int64_t next_seq HGDB_GUARDED_BY(send_mutex) = 1;
 
-  // The last stop, flattened into DAP reference tables. Guarded by
-  // state_mutex (written by deliver() on the sim thread, read by
-  // stackTrace/scopes/variables on the reader thread).
-  std::mutex state_mutex;
-  std::optional<rpc::StopEvent> last_stop;
+  // The last stop, flattened into DAP reference tables (written by
+  // deliver() on the sim thread, read by stackTrace/scopes/variables on
+  // the reader thread).
+  common::TransportMutex state_mutex{"dap::connection_state"};
+  std::optional<rpc::StopEvent> last_stop HGDB_GUARDED_BY(state_mutex);
   struct FrameEntry {
     rpc::Frame frame;
     int64_t locals_ref = 0;
     int64_t generator_ref = 0;
   };
-  std::map<int64_t, FrameEntry> frames;   ///< frameId -> entry
-  std::map<int64_t, Json> variable_refs;  ///< variablesReference -> object
-  int64_t next_ref = 1;
+  /// frameId -> entry
+  std::map<int64_t, FrameEntry> frames HGDB_GUARDED_BY(state_mutex);
+  /// variablesReference -> object
+  std::map<int64_t, Json> variable_refs HGDB_GUARDED_BY(state_mutex);
+  int64_t next_ref HGDB_GUARDED_BY(state_mutex) = 1;
 
   // seq allocation and the socket write happen under one send_mutex hold:
   // DAP requires server seq to be monotonically increasing on the wire,
   // and the sim thread (events) races the reader thread (responses).
   bool send_response(const dap::Request& request, bool success, Json body,
                      const std::string& message = "") {
-    std::lock_guard lock(send_mutex);
+    common::LockGuard lock(send_mutex);
     const Json response = dap::make_response(next_seq++, request, success,
                                              std::move(body), message);
     return stream->send_bytes(dap::FrameCodec::encode(response.dump()));
   }
 
   bool send_event(const std::string& event, Json body) {
-    std::lock_guard lock(send_mutex);
+    common::LockGuard lock(send_mutex);
     const Json message = dap::make_event(next_seq++, event, std::move(body));
     return stream->send_bytes(dap::FrameCodec::encode(message.dump()));
   }
 
-  int64_t register_object(Json object) {
+  int64_t register_object(Json object) HGDB_REQUIRES(state_mutex) {
     const int64_t ref = next_ref++;
     variable_refs.emplace(ref, std::move(object));
     return ref;
   }
 
   void index_stop(const rpc::StopEvent& stop) {
-    std::lock_guard lock(state_mutex);
+    common::LockGuard lock(state_mutex);
     last_stop = stop;
     frames.clear();
     variable_refs.clear();
@@ -157,7 +159,7 @@ DapServer::DapServer(DebugService& service) : service_(&service) {}
 DapServer::~DapServer() { shutdown(); }
 
 uint16_t DapServer::listen(uint16_t port) {
-  std::lock_guard lock(connections_mutex_);
+  common::LockGuard lock(connections_mutex_);
   if (server_) return server_->port();
   server_ = std::make_unique<rpc::TcpServer>(port);
   accept_thread_ = std::thread([this] { accept_loop(); });
@@ -180,7 +182,7 @@ void DapServer::accept_loop() {
       // Session limit: answer the first request with a failure, then drop.
       connection->rejected = true;
     }
-    std::lock_guard lock(connections_mutex_);
+    common::LockGuard lock(connections_mutex_);
     if (shutting_down_.load()) {
       if (!connection->rejected) {
         service_->unregister_client(connection->client);
@@ -206,14 +208,14 @@ void DapServer::accept_loop() {
 void DapServer::shutdown() {
   shutting_down_.store(true);
   {
-    std::lock_guard lock(connections_mutex_);
+    common::LockGuard lock(connections_mutex_);
     if (server_) server_->close();
     for (auto& connection : connections_) connection->stream->close();
   }
   if (accept_thread_.joinable()) accept_thread_.join();
   std::vector<std::unique_ptr<Connection>> taken;
   {
-    std::lock_guard lock(connections_mutex_);
+    common::LockGuard lock(connections_mutex_);
     taken.swap(connections_);
     server_.reset();
   }
@@ -224,7 +226,7 @@ void DapServer::shutdown() {
 }
 
 size_t DapServer::connection_count() const {
-  std::lock_guard lock(connections_mutex_);
+  common::LockGuard lock(connections_mutex_);
   size_t alive = 0;
   for (const auto& connection : connections_) {
     if (!connection->reapable.load()) ++alive;
@@ -315,7 +317,7 @@ Json handle_request(DapServer::Connection& connection, DebugService& service,
   if (request.command == "stackTrace") {
     const int64_t thread_id = args.get_int("threadId");
     Json stack = Json::array();
-    std::lock_guard lock(connection.state_mutex);
+    common::LockGuard lock(connection.state_mutex);
     for (const auto& [frame_id, entry] : connection.frames) {
       if (thread_id != 0 && entry.frame.instance_id + 1 != thread_id) continue;
       Json frame = Json::object();
@@ -337,7 +339,7 @@ Json handle_request(DapServer::Connection& connection, DebugService& service,
   }
   if (request.command == "scopes") {
     const int64_t frame_id = args.get_int("frameId");
-    std::lock_guard lock(connection.state_mutex);
+    common::LockGuard lock(connection.state_mutex);
     auto it = connection.frames.find(frame_id);
     if (it == connection.frames.end()) {
       throw std::runtime_error("unknown frameId " + std::to_string(frame_id));
@@ -359,7 +361,7 @@ Json handle_request(DapServer::Connection& connection, DebugService& service,
   }
   if (request.command == "variables") {
     const int64_t ref = args.get_int("variablesReference");
-    std::lock_guard lock(connection.state_mutex);
+    common::LockGuard lock(connection.state_mutex);
     auto it = connection.variable_refs.find(ref);
     if (it == connection.variable_refs.end()) {
       throw std::runtime_error("unknown variablesReference " +
@@ -391,7 +393,7 @@ Json handle_request(DapServer::Connection& connection, DebugService& service,
     spec.expression = args.get_string("expression");
     const int64_t frame_id = args.get_int("frameId");
     if (frame_id != 0) {
-      std::lock_guard lock(connection.state_mutex);
+      common::LockGuard lock(connection.state_mutex);
       auto it = connection.frames.find(frame_id);
       if (it != connection.frames.end()) {
         spec.breakpoint_id = it->second.frame.breakpoint_id;
@@ -440,7 +442,7 @@ Json handle_request(DapServer::Connection& connection, DebugService& service,
     // (absolute) hierarchical name.
     std::string instance;
     {
-      std::lock_guard lock(connection.state_mutex);
+      common::LockGuard lock(connection.state_mutex);
       for (const auto& [frame_id, entry] : connection.frames) {
         if (entry.locals_ref == ref || entry.generator_ref == ref) {
           instance = entry.frame.instance_name;
@@ -472,7 +474,7 @@ Json handle_request(DapServer::Connection& connection, DebugService& service,
     {
       // Keep the cached stop tables coherent for later `variables`
       // requests against the same reference.
-      std::lock_guard lock(connection.state_mutex);
+      common::LockGuard lock(connection.state_mutex);
       auto it = connection.variable_refs.find(ref);
       if (it != connection.variable_refs.end() && it->second.is_object()) {
         it->second[name] = Json(rendered);

@@ -4,10 +4,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/checked_mutex.h"
 #include "session/debug_service.h"
 
 namespace hgdb::rpc {
@@ -65,8 +65,9 @@ class DapServer {
   DebugService* service_;
   std::unique_ptr<rpc::TcpServer> server_;
   std::thread accept_thread_;
-  mutable std::mutex connections_mutex_;
-  std::vector<std::unique_ptr<Connection>> connections_;
+  mutable common::ConnectionsMutex connections_mutex_{"dap::connections"};
+  std::vector<std::unique_ptr<Connection>> connections_
+      HGDB_GUARDED_BY(connections_mutex_);
   std::atomic<bool> shutting_down_{false};
 };
 

@@ -96,7 +96,7 @@ uint64_t SessionManager::add_client(std::unique_ptr<rpc::Channel> channel) {
   } catch (const ServiceError&) {
     rejected = true;
   }
-  std::lock_guard lock(sessions_mutex_);
+  common::LockGuard lock(sessions_mutex_);
   // Reap sessions whose reader thread has fully finished (reapable() is
   // the thread's final statement, so this join cannot block on our locks).
   for (auto it = entries_.begin(); it != entries_.end();) {
@@ -121,7 +121,7 @@ uint64_t SessionManager::add_client(std::unique_ptr<rpc::Channel> channel) {
 }
 
 uint16_t SessionManager::listen_tcp(uint16_t port) {
-  std::lock_guard lock(sessions_mutex_);
+  common::LockGuard lock(sessions_mutex_);
   if (tcp_server_) return tcp_server_->port();
   tcp_server_ = std::make_unique<rpc::TcpServer>(port);
   accept_thread_ = std::thread([this] { accept_loop(); });
@@ -129,7 +129,7 @@ uint16_t SessionManager::listen_tcp(uint16_t port) {
 }
 
 uint16_t SessionManager::listen_dap(uint16_t port) {
-  std::lock_guard lock(sessions_mutex_);
+  common::LockGuard lock(sessions_mutex_);
   if (!dap_server_) dap_server_ = std::make_unique<DapServer>(*service_);
   return dap_server_->listen(port);
 }
@@ -145,15 +145,17 @@ void SessionManager::accept_loop() {
 }
 
 void SessionManager::shutdown() {
-  static std::mutex shutdown_mutex;
-  std::lock_guard shutdown_lock(shutdown_mutex);
+  // Serializes overlapping shutdown() calls (e.g. an explicit stop racing
+  // the destructor); outermost rank in the hierarchy.
+  static common::LifecycleMutex shutdown_mutex{"session::lifecycle"};
+  common::LockGuard shutdown_lock(shutdown_mutex);
   shutting_down_.store(true);
   // Wake a deliver_stop() waiting for a command: it sees the shutdown and
   // releases the simulation with Continue.
   service_->begin_shutdown();
   std::unique_ptr<DapServer> dap;
   {
-    std::lock_guard lock(sessions_mutex_);
+    common::LockGuard lock(sessions_mutex_);
     if (tcp_server_) tcp_server_->close();
     for (auto& entry : entries_) entry.session->close();
     dap = std::move(dap_server_);
@@ -165,19 +167,19 @@ void SessionManager::shutdown() {
   // holding sessions_mutex_ — the exiting threads need it for cleanup.
   size_t count = 0;
   {
-    std::lock_guard lock(sessions_mutex_);
+    common::LockGuard lock(sessions_mutex_);
     count = entries_.size();
   }
   for (size_t i = 0; i < count; ++i) {
     std::thread* thread = nullptr;
     {
-      std::lock_guard lock(sessions_mutex_);
+      common::LockGuard lock(sessions_mutex_);
       thread = &entries_[i].thread;
     }
     if (thread->joinable()) thread->join();
   }
   {
-    std::lock_guard lock(sessions_mutex_);
+    common::LockGuard lock(sessions_mutex_);
     entries_.clear();
     tcp_server_.reset();
   }
@@ -188,7 +190,7 @@ void SessionManager::shutdown() {
 }
 
 size_t SessionManager::session_count() const {
-  std::lock_guard lock(sessions_mutex_);
+  common::LockGuard lock(sessions_mutex_);
   size_t alive = 0;
   for (const auto& entry : entries_) {
     if (entry.session->alive()) ++alive;

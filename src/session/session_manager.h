@@ -6,11 +6,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/checked_mutex.h"
 #include "obs/metrics.h"
 #include "rpc/protocol.h"
 #include "rpc/protocol_v2.h"
@@ -139,8 +139,8 @@ class SessionManager {
   runtime::Runtime* runtime_;
   std::unique_ptr<DebugService> service_;
 
-  mutable std::mutex sessions_mutex_;
-  std::vector<Entry> entries_;
+  mutable common::SessionsMutex sessions_mutex_{"session::sessions"};
+  std::vector<Entry> entries_ HGDB_GUARDED_BY(sessions_mutex_);
 
   std::map<std::string, CommandSpec> commands_;  // immutable after ctor
 

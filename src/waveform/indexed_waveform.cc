@@ -219,8 +219,8 @@ std::optional<size_t> IndexedWaveform::signal_index(
 
 BlockCache::BlockPtr IndexedWaveform::load_block(size_t signal_index,
                                                  size_t block_index) const {
-  // Caller holds mutex_ and passes a *canonical* signal index, so aliased
-  // names share cache entries as well as on-disk blocks.
+  // HGDB_REQUIRES(mutex_): the caller passes a *canonical* signal index,
+  // so aliased names share cache entries as well as on-disk blocks.
   const BlockCache::Key key{static_cast<uint32_t>(signal_index),
                             static_cast<uint32_t>(block_index)};
   if (auto cached = cache_.lookup(key)) {
@@ -270,7 +270,7 @@ BlockCache::BlockPtr IndexedWaveform::load_block(size_t signal_index,
 }
 
 BitVector IndexedWaveform::value_at(size_t index, uint64_t time) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::LockGuard lock(mutex_);
   const auto& signal = signals_[signals_[index].canonical];
   const auto& directory = signal.blocks;
   // Last block whose first entry is at or before `time`.
@@ -292,7 +292,7 @@ BitVector IndexedWaveform::value_at(size_t index, uint64_t time) const {
 }
 
 std::vector<uint64_t> IndexedWaveform::rising_edges(size_t index) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::LockGuard lock(mutex_);
   const size_t canonical = signals_[index].canonical;
   std::vector<uint64_t> out;
   bool previous = false;
@@ -308,13 +308,13 @@ std::vector<uint64_t> IndexedWaveform::rising_edges(size_t index) const {
 }
 
 CacheStats IndexedWaveform::cache_stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::LockGuard lock(mutex_);
   return cache_.stats();
 }
 
 std::optional<IndexedWaveform::BlockFault> IndexedWaveform::verify_blocks()
     const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::LockGuard lock(mutex_);
   for (size_t s = 0; s < signals_.size(); ++s) {
     if (signals_[s].canonical != s) continue;  // stream verified once
     for (size_t b = 0; b < signals_[s].blocks.size(); ++b) {

@@ -3,11 +3,11 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/checked_mutex.h"
 #include "obs/metrics.h"
 #include "waveform/block_cache.h"
 #include "waveform/block_codec.h"
@@ -98,7 +98,8 @@ class IndexedWaveform final : public WaveformSource {
   [[nodiscard]] std::optional<BlockFault> verify_blocks() const;
 
  private:
-  BlockCache::BlockPtr load_block(size_t signal_index, size_t block_index) const;
+  BlockCache::BlockPtr load_block(size_t signal_index, size_t block_index) const
+      HGDB_REQUIRES(mutex_);
 
   /// Global-registry mirrors of the per-instance CacheStats, resolved
   /// once at open. Readers have no natural owner with a registry, so the
@@ -122,10 +123,11 @@ class IndexedWaveform final : public WaveformSource {
   bool has_checksums_ = false;
   const BlockCodec* codec_ = nullptr;
 
-  mutable std::mutex mutex_;
-  mutable std::unique_ptr<StorageBackend> storage_;
-  mutable std::string scratch_;  ///< buffered-read landing zone
-  mutable BlockCache cache_;
+  mutable common::WaveformMutex mutex_{"waveform::reader"};
+  mutable std::unique_ptr<StorageBackend> storage_ HGDB_GUARDED_BY(mutex_);
+  /// buffered-read landing zone
+  mutable std::string scratch_ HGDB_GUARDED_BY(mutex_);
+  mutable BlockCache cache_ HGDB_GUARDED_BY(mutex_);
   std::unique_ptr<ObsMetrics> obs_;
 };
 

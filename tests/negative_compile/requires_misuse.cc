@@ -1,0 +1,37 @@
+// Negative-compile fixture: touching HGDB_GUARDED_BY state without the
+// lock, and calling an HGDB_REQUIRES method without holding its mutex,
+// must BOTH fail under `clang -Werror=thread-safety`. CMake registers
+// this file with WILL_FAIL: the test passes when the compile errors out.
+//
+// If this file ever compiles cleanly under clang, the annotation macros
+// have rotted into no-ops — which is exactly the regression this guards.
+
+#include "common/checked_mutex.h"
+
+namespace {
+
+class Account {
+ public:
+  void deposit(int amount) {
+    balance_ += amount;  // guarded_by violation: mutex_ not held
+  }
+
+  void audited_adjust(int amount) HGDB_REQUIRES(mutex_) { balance_ += amount; }
+
+  void adjust_without_lock() {
+    audited_adjust(1);  // requires_capability violation: caller holds nothing
+  }
+
+ private:
+  hgdb::common::StateMutex mutex_{"test::account"};
+  int balance_ HGDB_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.deposit(1);
+  account.adjust_without_lock();
+  return 0;
+}
