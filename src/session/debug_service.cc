@@ -47,7 +47,7 @@ DebugService::~DebugService() { runtime_->set_change_listener(nullptr); }
 
 ClientId DebugService::register_client(const std::string& name,
                                        EventSink* sink, int protocol) {
-  std::lock_guard lock(clients_mutex_);
+  common::LockGuard lock(clients_mutex_);
   const size_t limit = runtime_->options().max_sessions;
   if (limit != 0 && clients_.size() >= limit) {
     throw ServiceError(ErrorCode::TooManySessions,
@@ -67,7 +67,10 @@ ClientId DebugService::register_client(const std::string& name,
 size_t DebugService::unregister_client(ClientId id) {
   size_t removed = 0;
   {
-    std::lock_guard lock(clients_mutex_);
+    // delivery_mutex_ first: wait out any sink delivery in flight, so the
+    // caller may destroy the sink the moment this returns.
+    common::LockGuard delivery(delivery_mutex_);
+    common::LockGuard lock(clients_mutex_);
     auto it = clients_.find(id);
     if (it == clients_.end()) return 0;
     removed = release_client_state_locked(it->second);
@@ -91,27 +94,30 @@ DebugService::ClientState& DebugService::client_at(ClientId id) {
 }
 
 void DebugService::set_client_name(ClientId id, const std::string& name) {
-  std::lock_guard lock(clients_mutex_);
+  common::LockGuard lock(clients_mutex_);
   client_at(id).name = name;
 }
 
 void DebugService::set_client_protocol(ClientId id, int protocol) {
-  std::lock_guard lock(clients_mutex_);
+  common::LockGuard lock(clients_mutex_);
   client_at(id).protocol = protocol;
 }
 
 void DebugService::set_client_sink(ClientId id, EventSink* sink) {
-  std::lock_guard lock(clients_mutex_);
+  // Swapping the sink must also wait out an in-flight delivery to the old
+  // one (same lifetime contract as unregister_client).
+  common::LockGuard delivery(delivery_mutex_);
+  common::LockGuard lock(clients_mutex_);
   client_at(id).sink = sink;
 }
 
 size_t DebugService::client_count() const {
-  std::lock_guard lock(clients_mutex_);
+  common::LockGuard lock(clients_mutex_);
   return clients_.size();
 }
 
 std::vector<ClientView> DebugService::clients() const {
-  std::lock_guard lock(clients_mutex_);
+  common::LockGuard lock(clients_mutex_);
   std::vector<ClientView> views;
   views.reserve(clients_.size());
   for (const auto& [id, client] : clients_) {
@@ -150,7 +156,7 @@ std::vector<int64_t> DebugService::arm_breakpoint(ClientId id,
   }
   const auto key =
       std::make_pair(Location{spec.filename, spec.line}, spec.condition);
-  std::lock_guard lock(clients_mutex_);
+  common::LockGuard lock(clients_mutex_);
   ClientState& client = client_at(id);
   engage_locked(client);  // armed a breakpoint: expected to answer stops
   if (!client.arms.insert(key).second) {
@@ -166,7 +172,7 @@ size_t DebugService::disarm_breakpoint(ClientId id,
                                        uint32_t line) {
   std::vector<std::pair<Location, std::string>> taken;
   {
-    std::lock_guard lock(clients_mutex_);
+    common::LockGuard lock(clients_mutex_);
     ClientState& client = client_at(id);
     for (auto it = client.arms.begin(); it != client.arms.end();) {
       const auto& [location, condition] = *it;
@@ -189,7 +195,7 @@ size_t DebugService::disarm_breakpoint(ClientId id,
 std::vector<BreakpointView> DebugService::list_breakpoints(ClientId id) const {
   std::vector<BreakpointView> views;
   const auto inserted = runtime_->inserted_breakpoints();
-  std::lock_guard lock(clients_mutex_);
+  common::LockGuard lock(clients_mutex_);
   auto it = clients_.find(id);
   for (const auto& bp : inserted) {
     bool owned = false;
@@ -232,10 +238,10 @@ std::vector<LocationView> DebugService::breakpoint_locations(
 void DebugService::execute(ClientId id, Command command,
                            std::optional<uint64_t> time) {
   {
-    std::lock_guard lock(clients_mutex_);
+    common::LockGuard lock(clients_mutex_);
     engage_locked(client_at(id));
   }
-  std::unique_lock lock(command_mutex_);
+  common::UniqueLock lock(command_mutex_);
   if (waiting_for_command_) {
     if (pending_command_.has_value()) {
       // Another client already answered this stop; first command wins
@@ -268,7 +274,7 @@ void DebugService::execute(ClientId id, Command command,
 size_t DebugService::detach(ClientId id) {
   size_t removed = 0;
   {
-    std::lock_guard lock(clients_mutex_);
+    common::LockGuard lock(clients_mutex_);
     removed = release_client_state_locked(client_at(id));
   }
   resign_from_stop(id);
@@ -322,7 +328,7 @@ int64_t DebugService::arm_watch(ClientId id, const WatchSpec& spec) {
   } catch (const std::out_of_range& error) {
     throw ServiceError(ErrorCode::NoSuchEntity, error.what());
   }
-  std::lock_guard lock(clients_mutex_);
+  common::LockGuard lock(clients_mutex_);
   ClientState& client = client_at(id);
   engage_locked(client);  // armed a watchpoint: expected to answer stops
   client.watches.insert(watch_id);
@@ -331,7 +337,7 @@ int64_t DebugService::arm_watch(ClientId id, const WatchSpec& spec) {
 
 void DebugService::disarm_watch(ClientId id, int64_t watch_id) {
   {
-    std::lock_guard lock(clients_mutex_);
+    common::LockGuard lock(clients_mutex_);
     ClientState& client = client_at(id);
     if (client.watches.erase(watch_id) == 0) {
       throw ServiceError(ErrorCode::NoSuchEntity,
@@ -421,7 +427,7 @@ uint64_t DebugService::subscribe(ClientId id, const SubscribeSpec& spec) {
   // callback blocks on this mutex until the state is recorded. Safe
   // lock-order-wise because the runtime never holds its state mutex while
   // invoking the listener.
-  std::lock_guard lock(clients_mutex_);
+  common::LockGuard lock(clients_mutex_);
   ClientState& client = client_at(id);
   int64_t subscription_id = 0;
   try {
@@ -450,7 +456,7 @@ uint64_t DebugService::subscribe(ClientId id, const SubscribeSpec& spec) {
 
 void DebugService::unsubscribe(ClientId id, uint64_t subscription_id) {
   {
-    std::lock_guard lock(clients_mutex_);
+    common::LockGuard lock(clients_mutex_);
     ClientState& client = client_at(id);
     if (client.subscriptions.erase(subscription_id) == 0) {
       throw ServiceError(ErrorCode::NoSuchEntity,
@@ -467,7 +473,7 @@ void DebugService::unsubscribe(ClientId id, uint64_t subscription_id) {
 }
 
 size_t DebugService::subscription_count() const {
-  std::lock_guard lock(clients_mutex_);
+  common::LockGuard lock(clients_mutex_);
   return subscriptions_.size();
 }
 
@@ -475,44 +481,54 @@ void DebugService::handle_value_changes(
     int64_t subscription_id, uint64_t time,
     std::vector<ServiceEvent::ValueChange::Change> changes) {
   const uint64_t key = static_cast<uint64_t>(subscription_id);
-  // Delivery happens under clients_mutex_ (like deliver_stop): the sink
-  // object is owned by a front end that destroys it only after
-  // unregister_client returns, and unregister_client needs this mutex —
-  // so the sink cannot die mid-deliver.
-  std::lock_guard lock(clients_mutex_);
-  auto it = subscriptions_.find(key);
-  if (it == subscriptions_.end()) return;
-  SubscriptionState& state = it->second;
-  // Client-chosen decimation: the first event (the initial snapshot) is
-  // always delivered, then every Nth change event — a client at
-  // decimation N receives ~1/N of the stream regardless of burstiness,
-  // but never misses the snapshot of a mostly-static signal.
-  const uint64_t seen = state.events_seen++;
-  if (seen % state.decimation != 0) {
-    events_decimated_->add(1);
-    return;
+  // delivery_mutex_ — not clients_mutex_ — brackets the sink call: the
+  // sink stays alive because unregister_client waits on delivery_mutex_
+  // before letting the front end destroy it, while clients_mutex_ stays
+  // free so a slow (or re-entrant) sink cannot block service traffic.
+  common::LockGuard delivery(delivery_mutex_);
+  EventSink* sink = nullptr;
+  {
+    common::LockGuard lock(clients_mutex_);
+    auto it = subscriptions_.find(key);
+    if (it == subscriptions_.end()) return;
+    SubscriptionState& state = it->second;
+    // Client-chosen decimation: the first event (the initial snapshot) is
+    // always delivered, then every Nth change event — a client at
+    // decimation N receives ~1/N of the stream regardless of burstiness,
+    // but never misses the snapshot of a mostly-static signal.
+    const uint64_t seen = state.events_seen++;
+    if (seen % state.decimation != 0) {
+      events_decimated_->add(1);
+      return;
+    }
+    // Server-side min-interval throttle, applied after decimation: a burst
+    // of changes inside the window collapses to the first one. The initial
+    // snapshot always passes (a mostly-static signal must still surface).
+    if (state.min_interval != 0 && state.delivered_any &&
+        time < state.last_delivered_time + state.min_interval) {
+      events_dropped_->add(1);
+      if (state.dropped != nullptr) state.dropped->add(1);
+      return;
+    }
+    auto client = clients_.find(state.client);
+    if (client == clients_.end() || client->second.sink == nullptr) return;
+    sink = client->second.sink;
   }
-  // Server-side min-interval throttle, applied after decimation: a burst
-  // of changes inside the window collapses to the first one. The initial
-  // snapshot always passes (a mostly-static signal must still surface).
-  if (state.min_interval != 0 && state.delivered_any &&
-      time < state.last_delivered_time + state.min_interval) {
-    events_dropped_->add(1);
-    if (state.dropped != nullptr) state.dropped->add(1);
-    return;
-  }
-  auto client = clients_.find(state.client);
-  if (client == clients_.end() || client->second.sink == nullptr) return;
   HGDB_TRACE_SPAN("session", "event_fanout");
   ServiceEvent event;
   event.kind = ServiceEvent::Kind::ValueChange;
   event.value_change.subscription = key;
   event.value_change.time = time;
   event.value_change.changes = std::move(changes);
-  if (client->second.sink->deliver(event)) {
+  if (sink->deliver(event)) {
     events_delivered_->add(1);
-    state.delivered_any = true;
-    state.last_delivered_time = time;
+    // Re-find under the lock: the subscription may have been dropped
+    // while the sink ran.
+    common::LockGuard lock(clients_mutex_);
+    if (auto it = subscriptions_.find(key); it != subscriptions_.end()) {
+      it->second.delivered_any = true;
+      it->second.last_delivered_time = time;
+    }
   }
 }
 
@@ -585,21 +601,42 @@ DebugService::Command DebugService::deliver_stop(rpc::StopEvent event) {
   service_event.stop = std::move(event);
 
   // waiting_for_command_ must be visible before any client can answer, so
-  // the broadcast happens under command_mutex_.
-  std::unique_lock lock(command_mutex_);
+  // the broadcast happens under command_mutex_ — held without release all
+  // the way into the wait, which is what closes the window between a
+  // client seeing the event and the handshake being armed.
+  common::UniqueLock lock(command_mutex_);
   pending_command_.reset();
   pending_responders_.clear();
   size_t delivered = 0;
   {
-    std::lock_guard clients_lock(clients_mutex_);
-    for (auto& [id, client] : clients_) {
-      if (client.sink == nullptr) continue;
-      if (!stop_relevant(client, service_event.stop)) continue;
-      if (client.sink->deliver(service_event)) {
+    // Snapshot the relevant sinks under clients_mutex_, then deliver with
+    // only command_mutex_ + delivery_mutex_ held: a slow or re-entrant
+    // sink must not block the client table (and may query the service).
+    // delivery_mutex_ keeps every snapshotted sink alive through the loop
+    // (unregister_client waits on it) and is released before parking, so
+    // a departing client can still resign from the stop.
+    common::LockGuard delivery(delivery_mutex_);
+    struct Target {
+      ClientId id = 0;
+      EventSink* sink = nullptr;
+      bool engaged = false;
+    };
+    std::vector<Target> targets;
+    {
+      common::LockGuard clients_lock(clients_mutex_);
+      targets.reserve(clients_.size());
+      for (auto& [id, client] : clients_) {
+        if (client.sink == nullptr) continue;
+        if (!stop_relevant(client, service_event.stop)) continue;
+        targets.push_back(Target{id, client.sink, client.engaged});
+      }
+    }
+    for (const auto& target : targets) {
+      if (target.sink->deliver(service_event)) {
         ++delivered;
         // Only engaged clients owe an answer; passive observers receive
         // the event but must not be able to park the simulation.
-        if (client.engaged) pending_responders_.insert(id);
+        if (target.engaged) pending_responders_.insert(target.id);
       }
     }
   }
@@ -609,9 +646,9 @@ DebugService::Command DebugService::deliver_stop(rpc::StopEvent event) {
   stops_broadcast_->add(1);
 
   waiting_for_command_ = true;
-  command_ready_.wait(lock, [this] {
-    return pending_command_.has_value() || shutting_down_.load();
-  });
+  while (!pending_command_.has_value() && !shutting_down_.load()) {
+    command_ready_.wait(lock);
+  }
   waiting_for_command_ = false;
   const Command command = pending_command_.value_or(Command::Continue);
   pending_command_.reset();
@@ -627,7 +664,7 @@ DebugService::Command DebugService::deliver_stop(rpc::StopEvent event) {
 }
 
 void DebugService::resign_from_stop(ClientId id) {
-  std::lock_guard lock(command_mutex_);
+  common::LockGuard lock(command_mutex_);
   pending_responders_.erase(id);
   if (waiting_for_command_ && !pending_command_ &&
       pending_responders_.empty()) {
@@ -642,7 +679,7 @@ void DebugService::resign_from_stop(ClientId id) {
 
 void DebugService::begin_shutdown() {
   shutting_down_.store(true);
-  std::lock_guard lock(command_mutex_);
+  common::LockGuard lock(command_mutex_);
   command_ready_.notify_all();
 }
 
@@ -652,14 +689,18 @@ void DebugService::finish_shutdown() {
     // shutting_down_ satisfies its wake predicate, but it has to actually
     // run and leave the handshake before the shared state is reset —
     // resetting first would swallow its wakeup and park it forever.
-    std::unique_lock lock(command_mutex_);
+    common::UniqueLock lock(command_mutex_);
     command_ready_.notify_all();
-    command_ready_.wait(lock, [this] { return !waiting_for_command_; });
+    while (waiting_for_command_) command_ready_.wait(lock);
     pending_command_.reset();
     pending_responders_.clear();
   }
   {
-    std::lock_guard lock(clients_mutex_);
+    // delivery_mutex_ too: a value-change delivery racing the shutdown
+    // must fully drain before the client table (and the sinks' owners)
+    // are torn down.
+    common::LockGuard delivery(delivery_mutex_);
+    common::LockGuard lock(clients_mutex_);
     for (auto& [id, client] : clients_) {
       release_client_state_locked(client);
     }

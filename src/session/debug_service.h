@@ -6,7 +6,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <stdexcept>
@@ -14,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/checked_mutex.h"
 #include "obs/metrics.h"
 #include "rpc/protocol.h"
 #include "rpc/protocol_v2.h"
@@ -315,9 +315,9 @@ class DebugService {
     /// min_interval is 0.
     obs::Counter* dropped = nullptr;
   };
-  /// Drops the per-subscription registry counter (caller holds
-  /// clients_mutex_).
-  void remove_subscription_metric_locked(const SubscriptionState& state);
+  /// Drops the per-subscription registry counter.
+  void remove_subscription_metric_locked(const SubscriptionState& state)
+      HGDB_REQUIRES(clients_mutex_);
 
   /// True when `client` should receive this stop: non-owners and
   /// non-condition-routed stops broadcast; owners of a stopped location
@@ -325,13 +325,17 @@ class DebugService {
   /// matched set.
   static bool stop_relevant(const ClientState& client,
                             const rpc::StopEvent& event);
-  void engage_locked(ClientState& client) { client.engaged = true; }
-  ClientState& client_at(ClientId id);  ///< throws NoSuchEntity (caller locks)
+  void engage_locked(ClientState& client) HGDB_REQUIRES(clients_mutex_) {
+    client.engaged = true;
+  }
+  /// Throws NoSuchEntity for unknown ids.
+  ClientState& client_at(ClientId id) HGDB_REQUIRES(clients_mutex_);
   /// Removes a client from the current stop's expected responders; once
   /// every engaged recipient has answered or resigned, the simulation
   /// auto-resumes with Continue.
   void resign_from_stop(ClientId id);
-  size_t release_client_state_locked(ClientState& client);
+  size_t release_client_state_locked(ClientState& client)
+      HGDB_REQUIRES(clients_mutex_);
   /// Runtime change-listener callback (rendered): applies the
   /// per-subscription decimation and forwards to the owning client's sink.
   void handle_value_changes(
@@ -340,19 +344,28 @@ class DebugService {
 
   runtime::Runtime* runtime_;
 
-  mutable std::mutex clients_mutex_;
-  std::map<ClientId, ClientState> clients_;
-  ClientId next_client_id_ = 1;
-  std::map<uint64_t, SubscriptionState> subscriptions_;
+  // Brackets every sink->deliver() call. Sink callbacks run under this
+  // mutex with clients_mutex_ *released*, so a slow or re-entrant sink
+  // cannot block attach/arm/subscribe traffic — and may call back into
+  // the service. Sink lifetime is still guaranteed: unregister_client
+  // acquires delivery_mutex_ before removing the client, so once it
+  // returns no deliver() can be in flight on the departing sink.
+  common::DeliveryMutex delivery_mutex_{"session::delivery"};
+
+  mutable common::ClientsMutex clients_mutex_{"session::clients"};
+  std::map<ClientId, ClientState> clients_ HGDB_GUARDED_BY(clients_mutex_);
+  ClientId next_client_id_ HGDB_GUARDED_BY(clients_mutex_) = 1;
+  std::map<uint64_t, SubscriptionState> subscriptions_
+      HGDB_GUARDED_BY(clients_mutex_);
 
   // Stop/command handshake between the sim thread and front-end threads.
   // The first execution command wins; pending_responders_ tracks which
   // engaged clients still owe an answer for the current stop.
-  std::mutex command_mutex_;
-  std::condition_variable command_ready_;
-  std::optional<Command> pending_command_;
-  bool waiting_for_command_ = false;
-  std::set<ClientId> pending_responders_;
+  common::CommandMutex command_mutex_{"session::command"};
+  std::condition_variable_any command_ready_;
+  std::optional<Command> pending_command_ HGDB_GUARDED_BY(command_mutex_);
+  bool waiting_for_command_ HGDB_GUARDED_BY(command_mutex_) = false;
+  std::set<ClientId> pending_responders_ HGDB_GUARDED_BY(command_mutex_);
 
   std::atomic<bool> shutting_down_{false};
 

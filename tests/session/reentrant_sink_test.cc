@@ -1,0 +1,145 @@
+// Regression tests for sink callbacks running outside clients_mutex_: an
+// EventSink whose deliver() calls back into the DebugService (to render a
+// richer event, or just to poll state) used to deadlock — stop broadcast
+// and value-change fan-out both held clients_mutex_ across deliver(). The
+// fix brackets deliveries with the dedicated delivery_mutex_ instead; in
+// rank-checked builds a regression aborts immediately (clients -> clients
+// is an equal-rank acquisition), in release builds it would hang.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "frontend/compile.h"
+#include "ir/parser.h"
+#include "runtime/runtime.h"
+#include "session/debug_service.h"
+#include "session/session_manager.h"
+#include "sim/simulator.h"
+#include "symbols/symbol_table.h"
+#include "vpi/native_backend.h"
+
+namespace hgdb::session {
+namespace {
+
+constexpr const char* kDesign = R"(circuit Reent
+  module Reent
+    input clock : Clock
+    output out : UInt<8>
+    reg cycle_reg : UInt<8> clock clock
+    connect cycle_reg = add(cycle_reg, UInt<8>(1)) @[reent.cc 5 1]
+    wire t : UInt<8> @[reent.cc 6 1]
+    connect t = add(cycle_reg, UInt<8>(7)) @[reent.cc 7 1]
+    connect out = t @[reent.cc 8 1]
+  end
+end
+)";
+
+class ReentrantSinkTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    frontend::CompileOptions compile_options;
+    compile_options.debug_mode = true;
+    auto compiled =
+        frontend::compile(ir::parse_circuit(kDesign), compile_options);
+    table_ = std::make_unique<symbols::MemorySymbolTable>(compiled.symbols);
+    simulator_ = std::make_unique<sim::Simulator>(compiled.netlist);
+    backend_ = std::make_unique<vpi::NativeBackend>(*simulator_);
+    runtime_ = std::make_unique<runtime::Runtime>(*backend_, *table_,
+                                                  runtime::RuntimeOptions{});
+    runtime_->attach();
+    // Instantiate the session layer without any transport client; the
+    // tests talk to the DebugService core directly.
+    runtime_->serve_tcp(0);
+    service_ = &runtime_->session_manager()->service();
+  }
+
+  void TearDown() override { runtime_->stop_service(); }
+
+  std::unique_ptr<symbols::MemorySymbolTable> table_;
+  std::unique_ptr<sim::Simulator> simulator_;
+  std::unique_ptr<vpi::NativeBackend> backend_;
+  std::unique_ptr<runtime::Runtime> runtime_;
+  DebugService* service_ = nullptr;
+};
+
+/// Calls back into the service from inside deliver() — the pattern a front
+/// end uses when rendering an event needs service state.
+struct ReentrantSink final : EventSink {
+  DebugService* service = nullptr;
+  ClientId self = 0;
+  std::atomic<int> stops{0};        ///< pending (consumed by the test loop)
+  std::atomic<int> total_stops{0};
+  std::atomic<int> value_changes{0};
+  std::atomic<size_t> observed_clients{0};
+
+  bool deliver(const ServiceEvent& event) override {
+    // Both probes take clients_mutex_ inside the service.
+    observed_clients.store(service->client_count());
+    (void)service->list_breakpoints(self);
+    if (event.kind == ServiceEvent::Kind::Stop) {
+      total_stops.fetch_add(1);
+      stops.fetch_add(1);
+    }
+    if (event.kind == ServiceEvent::Kind::ValueChange) {
+      value_changes.fetch_add(1);
+    }
+    return true;
+  }
+};
+
+TEST_F(ReentrantSinkTest, ValueChangeSinkMayCallBackIntoService) {
+  ReentrantSink sink;
+  sink.service = service_;
+  sink.self = service_->register_client("reentrant", &sink);
+
+  SubscribeSpec spec;
+  spec.signals = {"cycle_reg"};
+  service_->subscribe(sink.self, spec);
+
+  // Value-change fan-out happens synchronously on the simulation thread
+  // (this one): a deadlock regression would hang right here.
+  for (int i = 0; i < 5; ++i) simulator_->tick();
+
+  EXPECT_GE(sink.value_changes.load(), 1);
+  EXPECT_GE(sink.observed_clients.load(), 1u);
+  service_->unregister_client(sink.self);
+}
+
+TEST_F(ReentrantSinkTest, StopBroadcastSinkMayCallBackIntoService) {
+  ReentrantSink sink;
+  sink.service = service_;
+  sink.self = service_->register_client("reentrant", &sink);
+
+  const auto ids =
+      service_->arm_breakpoint(sink.self, BreakpointSpec{"reent.cc", 5, ""});
+  ASSERT_FALSE(ids.empty());
+
+  std::atomic<bool> done{false};
+  std::thread sim([&] {
+    for (int i = 0; i < 3; ++i) simulator_->tick();
+    done.store(true);
+  });
+  // The breakpoint hits on the first edge; the sim thread parks in the
+  // stop handshake after deliver() — which re-entered the service — has
+  // returned. Answer each stop until the run completes. (tick() cannot
+  // finish while a stop is parked, so `done` implies nothing is pending.)
+  while (!done.load()) {
+    if (sink.stops.exchange(0) > 0) {
+      try {
+        service_->execute(sink.self, DebugService::Command::Continue);
+      } catch (const ServiceError&) {
+        // The stop may already have resolved (shutdown/continue race).
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  sim.join();
+  EXPECT_GE(sink.total_stops.load(), 1);
+  EXPECT_GE(sink.observed_clients.load(), 1u);
+  service_->unregister_client(sink.self);
+}
+
+}  // namespace
+}  // namespace hgdb::session
