@@ -419,8 +419,15 @@ void Runtime::collect_watch_hits(std::vector<rpc::WatchHit>& hits) {
 }
 
 void Runtime::set_stop_handler(StopHandler handler) {
-  common::LockGuard lock(handler_mutex_);
-  stop_handler_ = std::move(handler);
+  StopHandler retired;
+  {
+    common::LockGuard lock(handler_mutex_);
+    retired = std::move(stop_handler_);
+    stop_handler_ = std::move(handler);
+  }
+  // `retired` (and everything it captured) dies here, outside
+  // handler_mutex_: a handler owning resources whose teardown re-enters
+  // the runtime must not deadlock against the slot lock.
 }
 
 // ---------------------------------------------------------------------------
@@ -428,8 +435,15 @@ void Runtime::set_stop_handler(StopHandler handler) {
 // ---------------------------------------------------------------------------
 
 void Runtime::set_change_listener(ChangeListener listener) {
-  common::LockGuard lock(listener_mutex_);
-  change_listener_ = std::move(listener);
+  ChangeListener retired;
+  {
+    common::LockGuard lock(listener_mutex_);
+    retired = std::move(change_listener_);
+    change_listener_ = std::move(listener);
+  }
+  // As in set_stop_handler: the replaced listener's destructor runs with
+  // listener_mutex_ released, so a capture that re-enters the runtime
+  // (DebugService resetting the listener in its own teardown) is safe.
 }
 
 int64_t Runtime::add_signal_subscription(const std::vector<std::string>& names,

@@ -1,0 +1,131 @@
+// Regression tests for the callback-slot setters: replacing the stop
+// handler or change listener used to destroy the *previous* std::function
+// while still holding the slot mutex. A callback owning a resource whose
+// destructor re-enters the runtime (the session layer resetting its
+// listener during teardown does exactly this) would then self-deadlock —
+// or, in rank-checked builds, abort on the equal-rank re-acquisition.
+// The setters now swap under the lock and let the retired callback die
+// after release.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+
+#include "frontend/compile.h"
+#include "ir/parser.h"
+#include "runtime/runtime.h"
+#include "sim/simulator.h"
+#include "symbols/symbol_table.h"
+#include "vpi/native_backend.h"
+
+namespace hgdb::runtime {
+namespace {
+
+constexpr const char* kDesign = R"(circuit Slot
+  module Slot
+    input clock : Clock
+    output out : UInt<8>
+    reg cycle_reg : UInt<8> clock clock
+    connect cycle_reg = add(cycle_reg, UInt<8>(1)) @[slot.cc 5 1]
+    connect out = cycle_reg @[slot.cc 6 1]
+  end
+end
+)";
+
+class CallbackSlotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    frontend::CompileOptions compile_options;
+    compile_options.debug_mode = true;
+    auto compiled =
+        frontend::compile(ir::parse_circuit(kDesign), compile_options);
+    table_ = std::make_unique<symbols::MemorySymbolTable>(compiled.symbols);
+    simulator_ = std::make_unique<sim::Simulator>(compiled.netlist);
+    backend_ = std::make_unique<vpi::NativeBackend>(*simulator_);
+    runtime_ = std::make_unique<Runtime>(*backend_, *table_,
+                                         RuntimeOptions{});
+    runtime_->attach();
+  }
+
+  std::unique_ptr<symbols::MemorySymbolTable> table_;
+  std::unique_ptr<sim::Simulator> simulator_;
+  std::unique_ptr<vpi::NativeBackend> backend_;
+  std::unique_ptr<Runtime> runtime_;
+};
+
+/// Captured by a callback; its destructor re-enters the runtime through
+/// the same setter that is destroying it.
+struct HandlerResetter {
+  Runtime* runtime;
+  explicit HandlerResetter(Runtime* r) : runtime(r) {}
+  ~HandlerResetter() {
+    if (runtime != nullptr) runtime->set_stop_handler({});
+  }
+};
+
+struct ListenerResetter {
+  Runtime* runtime;
+  explicit ListenerResetter(Runtime* r) : runtime(r) {}
+  ~ListenerResetter() {
+    if (runtime != nullptr) runtime->set_change_listener({});
+  }
+};
+
+using Changes = std::vector<Runtime::SignalChange>;
+
+TEST_F(CallbackSlotTest, ReplacingStopHandlerRunsOldDestructorUnlocked) {
+  auto resetter = std::make_shared<HandlerResetter>(runtime_.get());
+  runtime_->set_stop_handler(
+      [resetter](const rpc::StopEvent&) { return Runtime::Command::Continue; });
+  resetter.reset();  // the handler now holds the last reference
+
+  // Replacing the handler destroys the old one, whose captured resetter
+  // calls set_stop_handler again. With the old locking this deadlocked
+  // (aborted under rank checks) right here.
+  runtime_->set_stop_handler(
+      [](const rpc::StopEvent&) { return Runtime::Command::Continue; });
+
+  // The slot still works after the re-entrant replacement.
+  int stops = 0;
+  runtime_->set_stop_handler([&stops](const rpc::StopEvent&) {
+    ++stops;
+    return Runtime::Command::Continue;
+  });
+  runtime_->add_breakpoint("slot.cc", 5, "");
+  simulator_->tick();
+  EXPECT_GE(stops, 1);
+}
+
+TEST_F(CallbackSlotTest, ReplacingChangeListenerRunsOldDestructorUnlocked) {
+  auto resetter = std::make_shared<ListenerResetter>(runtime_.get());
+  runtime_->set_change_listener(
+      [resetter](int64_t, uint64_t, const Changes&) {});
+  resetter.reset();
+
+  runtime_->set_change_listener([](int64_t, uint64_t, const Changes&) {});
+
+  int batches = 0;
+  runtime_->set_change_listener(
+      [&batches](int64_t, uint64_t, const Changes&) { ++batches; });
+  ASSERT_GT(runtime_->add_signal_subscription({"cycle_reg"}), 0);
+  simulator_->tick();
+  EXPECT_GE(batches, 1);
+}
+
+TEST_F(CallbackSlotTest, ClearingSlotsDestroysCallbacksOutsideLock) {
+  auto handler_resetter = std::make_shared<HandlerResetter>(runtime_.get());
+  auto listener_resetter = std::make_shared<ListenerResetter>(runtime_.get());
+  runtime_->set_stop_handler([handler_resetter](const rpc::StopEvent&) {
+    return Runtime::Command::Continue;
+  });
+  runtime_->set_change_listener(
+      [listener_resetter](int64_t, uint64_t, const Changes&) {});
+  handler_resetter.reset();
+  listener_resetter.reset();
+  // Clearing both slots triggers both re-entrant destructors.
+  runtime_->set_stop_handler({});
+  runtime_->set_change_listener({});
+}
+
+}  // namespace
+}  // namespace hgdb::runtime
