@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Repo-local concurrency lint — the cheap, compiler-independent half of
+the static-analysis gate (the expensive half is clang's -Wthread-safety,
+which needs clang and runs in CI).
+
+Rules enforced over src/:
+
+  1. Every method whose name ends in `_locked` must carry an
+     HGDB_REQUIRES annotation on its declaration. The suffix is the
+     human-facing convention; the annotation is what the analysis
+     actually checks — this rule keeps the two from drifting apart.
+
+  2. No raw `std::mutex` / `std::lock_guard` / `std::unique_lock` /
+     `std::scoped_lock` (or a bare `#include <mutex>`) outside
+     src/common/checked_mutex.h. Raw mutexes are invisible to both the
+     thread-safety analysis and the rank checker.
+
+  3. No HGDB_NO_THREAD_SAFETY_ANALYSIS under src/runtime or src/session.
+     Those trees are the zero-suppression core; escapes belong in the
+     leaf layers, with a comment, or nowhere.
+
+Exit status 0 when clean; 1 with one `file:line: message` per violation
+otherwise. Run from the repo root: `python3 tools/lint.py`.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+# The only file allowed to spell std::mutex: it wraps it.
+RAW_MUTEX_ALLOWED = {SRC / "common" / "checked_mutex.h"}
+
+# Trees where suppression escapes are banned outright.
+NO_SUPPRESSION_TREES = (SRC / "runtime", SRC / "session")
+
+RAW_MUTEX_RE = re.compile(
+    r"std::(?:mutex|recursive_mutex|timed_mutex|shared_mutex|"
+    r"lock_guard|unique_lock|scoped_lock|shared_lock)\b"
+)
+RAW_INCLUDE_RE = re.compile(r'#\s*include\s*<(?:mutex|shared_mutex)>')
+# A `_locked(` occurrence that looks like a declaration or definition
+# (not a call site): return type or qualifier before the name.
+LOCKED_DECL_RE = re.compile(
+    r"^\s*(?:[\w:<>,&*\s]+?[&*\s])([a-zA-Z_]\w*_locked)\s*\("
+)
+SUPPRESS_RE = re.compile(r"\bHGDB_NO_THREAD_SAFETY_ANALYSIS\b")
+
+
+def strip_comments(line: str) -> str:
+    """Drops // comments; good enough for the patterns we scan for."""
+    return line.split("//", 1)[0]
+
+
+def statement_after(lines: list[str], index: int) -> str:
+    """Joins from `lines[index]` to the end of the statement (`;` or `{`)."""
+    collected: list[str] = []
+    for line in lines[index:index + 8]:
+        code = strip_comments(line)
+        collected.append(code)
+        if ";" in code or "{" in code:
+            break
+    return " ".join(collected)
+
+
+def check_file(path: Path) -> list[str]:
+    violations: list[str] = []
+    rel = path.relative_to(REPO_ROOT)
+    lines = path.read_text(encoding="utf-8").splitlines()
+    in_no_suppression_tree = any(
+        path.is_relative_to(tree) for tree in NO_SUPPRESSION_TREES
+    )
+    for i, raw_line in enumerate(lines):
+        line_no = i + 1
+        code = strip_comments(raw_line)
+
+        if path not in RAW_MUTEX_ALLOWED:
+            if RAW_MUTEX_RE.search(code):
+                violations.append(
+                    f"{rel}:{line_no}: raw {RAW_MUTEX_RE.search(code).group(0)}"
+                    " — use the annotated types from common/checked_mutex.h"
+                )
+            if RAW_INCLUDE_RE.search(code):
+                violations.append(
+                    f"{rel}:{line_no}: bare #include <mutex> — include"
+                    ' "common/checked_mutex.h" instead'
+                )
+
+        if in_no_suppression_tree and SUPPRESS_RE.search(code):
+            violations.append(
+                f"{rel}:{line_no}: HGDB_NO_THREAD_SAFETY_ANALYSIS is banned"
+                " under src/runtime and src/session (zero-suppression core)"
+            )
+
+        match = LOCKED_DECL_RE.match(code)
+        if match and path.suffix == ".h":
+            statement = statement_after(lines, i)
+            if "HGDB_REQUIRES" not in statement:
+                violations.append(
+                    f"{rel}:{line_no}: {match.group(1)}() follows the _locked"
+                    " convention but has no HGDB_REQUIRES annotation"
+                )
+    return violations
+
+
+def main() -> int:
+    files = sorted(
+        p for p in SRC.rglob("*")
+        if p.suffix in {".h", ".cc", ".cpp", ".hpp"} and p.is_file()
+    )
+    all_violations: list[str] = []
+    for path in files:
+        all_violations.extend(check_file(path))
+    for violation in all_violations:
+        print(violation)
+    if all_violations:
+        print(f"\nlint: {len(all_violations)} violation(s) in src/",
+              file=sys.stderr)
+        return 1
+    print(f"lint: {len(files)} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
