@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "waveform/storage_backend.h"
 #include "waveform/waveform_source.h"
 
 namespace hgdb::waveform {
@@ -152,6 +153,10 @@ struct IndexWriterOptions {
   /// the aliases in the signal table (canonical indirection). v2 files
   /// duplicate the stream per alias, as they always did.
   bool dedup_aliases = true;
+  /// Write strategy (see WriteBackend): kAuto maps the output read-write
+  /// where the platform allows — appends become memcpys and the header
+  /// back-patch never seeks — and falls back to positional writes.
+  IoMode io_mode = IoMode::kAuto;
 };
 
 }  // namespace hgdb::waveform

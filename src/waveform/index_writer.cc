@@ -4,30 +4,32 @@
 #include <stdexcept>
 
 #include "common/crc32.h"
+#include "waveform/storage_backend.h"
 
 namespace hgdb::waveform {
 
 namespace {
 
-void put_u32(std::ofstream& out, uint32_t value) {
+void put_u32(WriteBackend& out, uint32_t value) {
   char bytes[4];
   for (int i = 0; i < 4; ++i) bytes[i] = static_cast<char>(value >> (8 * i));
-  out.write(bytes, 4);
+  out.append(bytes, 4);
 }
 
-void put_u64(std::ofstream& out, uint64_t value) {
+void put_u64(WriteBackend& out, uint64_t value) {
   char bytes[8];
   for (int i = 0; i < 8; ++i) bytes[i] = static_cast<char>(value >> (8 * i));
-  out.write(bytes, 8);
+  out.append(bytes, 8);
+}
+
+void put_u64_at(char* dest, uint64_t value) {
+  for (int i = 0; i < 8; ++i) dest[i] = static_cast<char>(value >> (8 * i));
 }
 
 }  // namespace
 
 IndexWriter::IndexWriter(const std::string& path, IndexWriterOptions options)
-    : path_(path), options_(options), out_(path, std::ios::binary | std::ios::trunc) {
-  if (!out_) {
-    throw std::runtime_error("wvx: cannot open '" + path + "' for writing");
-  }
+    : path_(path), options_(options) {
   if (options_.block_capacity == 0) options_.block_capacity = 1;
   if (options_.version != 2 && options_.version != kWvxVersion) {
     throw std::invalid_argument("wvx: writer supports versions 2 and " +
@@ -40,16 +42,20 @@ IndexWriter::IndexWriter(const std::string& path, IndexWriterOptions options)
     options_.dedup_aliases = false;
   }
   codec_ = options_.delta_codec ? &delta_codec() : &fixed_codec();
+  // open_write_storage throws WvxError; keep the historical error type
+  // for callers that catch runtime_error on open failures (WvxError
+  // derives from it).
+  out_ = open_write_storage(path, options_.io_mode);
   uint32_t flags = 0;
   if (options_.block_checksums) flags |= kWvxFlagBlockChecksums;
   if (options_.delta_codec) flags |= kWvxFlagDeltaCodec;
   // Header with a placeholder footer offset; patched in on_finish().
-  put_u32(out_, kWvxMagic);
-  put_u32(out_, options_.version);
-  put_u32(out_, flags);
-  put_u64(out_, 0);  // footer_offset
-  put_u64(out_, 0);  // max_time
-  put_u64(out_, 0);  // signal_count
+  put_u32(*out_, kWvxMagic);
+  put_u32(*out_, options_.version);
+  put_u32(*out_, flags);
+  put_u64(*out_, 0);  // footer_offset
+  put_u64(*out_, 0);  // max_time
+  put_u64(*out_, 0);  // signal_count
 }
 
 IndexWriter::~IndexWriter() {
@@ -112,7 +118,7 @@ void IndexWriter::flush_block(size_t id) {
   BlockInfo block;
   block.start_time = pending.times.front();
   block.end_time = pending.times.back();
-  block.file_offset = static_cast<uint64_t>(out_.tellp());
+  block.file_offset = out_->offset();
   block.count = static_cast<uint32_t>(pending.times.size());
   // Serialize through a buffer so the checksum covers exactly the bytes
   // that land on disk.
@@ -123,7 +129,7 @@ void IndexWriter::flush_block(size_t id) {
   if (options_.block_checksums) {
     block.crc32 = common::crc32(buffer_.data(), buffer_.size());
   }
-  out_.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+  out_->append(buffer_.data(), buffer_.size());
   signal.blocks.push_back(block);
   pending.times.clear();
   pending.values.clear();
@@ -132,36 +138,35 @@ void IndexWriter::flush_block(size_t id) {
 
 void IndexWriter::on_finish(uint64_t max_time) {
   for (size_t id = 0; id < signals_.size(); ++id) flush_block(id);
-  const uint64_t footer_offset = static_cast<uint64_t>(out_.tellp());
+  const uint64_t footer_offset = out_->offset();
   const bool v3 = options_.version >= 3;
   for (size_t id = 0; id < signals_.size(); ++id) {
     const auto& signal = signals_[id];
-    put_u32(out_, static_cast<uint32_t>(signal.info.hier_name.size()));
-    out_.write(signal.info.hier_name.data(),
-               static_cast<std::streamsize>(signal.info.hier_name.size()));
-    put_u32(out_, signal.info.width);
+    put_u32(*out_, static_cast<uint32_t>(signal.info.hier_name.size()));
+    out_->append(signal.info.hier_name.data(), signal.info.hier_name.size());
+    put_u32(*out_, signal.info.width);
     if (v3) {
-      put_u32(out_, static_cast<uint32_t>(signal.canonical));
+      put_u32(*out_, static_cast<uint32_t>(signal.canonical));
       if (signal.canonical != id) continue;  // aliases carry no directory
     }
-    put_u64(out_, signal.blocks.size());
+    put_u64(*out_, signal.blocks.size());
     for (const auto& block : signal.blocks) {
-      put_u64(out_, block.start_time);
-      put_u64(out_, block.end_time);
-      put_u64(out_, block.file_offset);
-      put_u32(out_, block.count);
-      if (v3) put_u32(out_, block.payload_bytes);
-      if (options_.block_checksums) put_u32(out_, block.crc32);
+      put_u64(*out_, block.start_time);
+      put_u64(*out_, block.end_time);
+      put_u64(*out_, block.file_offset);
+      put_u32(*out_, block.count);
+      if (v3) put_u32(*out_, block.payload_bytes);
+      if (options_.block_checksums) put_u32(*out_, block.crc32);
     }
   }
-  // Patch the header (footer offset lives after magic+version+flags).
-  out_.seekp(12);
-  put_u64(out_, footer_offset);
-  put_u64(out_, max_time);
-  put_u64(out_, signals_.size());
-  out_.flush();
-  if (!out_) throw std::runtime_error("wvx: write failed for '" + path_ + "'");
-  out_.close();
+  // Patch the header (footer offset lives after magic+version+flags) in
+  // one positional write; the backend never moves its append cursor.
+  char patch[24];
+  put_u64_at(patch, footer_offset);
+  put_u64_at(patch + 8, max_time);
+  put_u64_at(patch + 16, signals_.size());
+  out_->write_at(12, patch, sizeof(patch));
+  out_->finish();  // throws WvxError(kIo) if anything failed to land
   finished_ = true;
 }
 

@@ -1,7 +1,7 @@
 #ifndef HGDB_WAVEFORM_INDEX_WRITER_H
 #define HGDB_WAVEFORM_INDEX_WRITER_H
 
-#include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -55,7 +55,8 @@ class IndexWriter final : public VcdEventSink {
   std::string path_;
   IndexWriterOptions options_;
   const BlockCodec* codec_;
-  std::ofstream out_;
+  /// I/O strategy behind the block/directory writes (options_.io_mode).
+  std::unique_ptr<WriteBackend> out_;
   std::string buffer_;  ///< scratch for block serialization + checksum
   std::vector<IndexedSignal> signals_;
   std::vector<Pending> pending_;

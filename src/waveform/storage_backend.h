@@ -52,6 +52,51 @@ class StorageBackend {
 std::unique_ptr<StorageBackend> open_storage(const std::string& path,
                                              IoMode mode = IoMode::kAuto);
 
+/// Write-side I/O seam — the mirror of StorageBackend for producers. The
+/// IndexWriter appends block payloads and the directory through this
+/// interface and patches the fixed-position header at the end, so the
+/// write strategy is selectable per file:
+///
+///  - BufferedWriteStorage  positional pwrite() per call — no address-
+///                          space cost, write syscall per block.
+///  - MmapWriteStorage      the file grown in chunks (ftruncate) and
+///                          mapped read-write; append is a memcpy, the
+///                          header patch never needs a seek, and finish()
+///                          trims the file back to its logical size.
+///
+/// Implementations serialize internally (one annotated mutex), so a
+/// producer may append from a worker while another thread polls offset().
+/// Bytes are durable in page cache after finish(); like the ofstream path
+/// this replaces, no fsync is issued.
+class WriteBackend {
+ public:
+  virtual ~WriteBackend() = default;
+
+  /// Which strategy this backend implements ("buffered" / "mmap").
+  [[nodiscard]] virtual const char* kind() const = 0;
+  /// Current append position == logical bytes written so far.
+  [[nodiscard]] virtual uint64_t offset() const = 0;
+
+  /// Appends `length` bytes at the current offset. Throws WvxError(kIo).
+  virtual void append(const char* data, size_t length) = 0;
+
+  /// Overwrites `length` bytes at an absolute position without moving the
+  /// append offset (header back-patching). The range must lie within the
+  /// bytes already appended. Throws WvxError(kIo).
+  virtual void write_at(uint64_t offset, const char* data, size_t length) = 0;
+
+  /// Flushes, trims the file to offset() bytes and closes it. Must be the
+  /// last call; throws WvxError(kIo) if any write failed to land.
+  virtual void finish() = 0;
+};
+
+/// Creates/truncates `path` for writing with the requested strategy.
+/// kAuto resolves to mmap where available, else buffered; kMmap throws
+/// WvxError(kIo) when mapping is unsupported. Throws WvxError(kIo) when
+/// the file cannot be created.
+std::unique_ptr<WriteBackend> open_write_storage(const std::string& path,
+                                                 IoMode mode = IoMode::kAuto);
+
 }  // namespace hgdb::waveform
 
 #endif  // HGDB_WAVEFORM_STORAGE_BACKEND_H

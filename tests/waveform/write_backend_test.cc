@@ -1,0 +1,151 @@
+// WriteBackend seam: the mmap write path must produce the same bytes as
+// the buffered one (the reader can't tell how a file was written), grow
+// past its initial chunk correctly, trim the growth slack on finish(),
+// and reject patches outside the appended range.
+#include "waveform/storage_backend.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <random>
+#include <string>
+
+#include "waveform/index_writer.h"
+#include "waveform/indexed_waveform.h"
+
+namespace hgdb::waveform {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+/// Same generator as index_test.cc: deterministic, includes >64-bit lanes.
+std::string synthetic_vcd(size_t signals, size_t cycles) {
+  std::string out = "$scope module top $end\n$var wire 1 ck clk $end\n";
+  for (size_t i = 0; i < signals; ++i) {
+    const uint32_t width = i % 3 == 2 ? 80 : 16;
+    out += "$var wire " + std::to_string(width) + " c" + std::to_string(i) +
+           " sig" + std::to_string(i) + " $end\n";
+  }
+  out += "$upscope $end\n$enddefinitions $end\n";
+  std::mt19937_64 rng(11);
+  for (size_t t = 0; t < cycles; ++t) {
+    out += "#" + std::to_string(2 * t) + "\n1ck\n";
+    for (size_t i = 0; i < signals; ++i) {
+      if (rng() % 3 != 0 && t != 0) continue;
+      const uint64_t value = rng();
+      std::string bits = "b";
+      for (int bit = 63; bit >= 0; --bit)
+        bits += ((value >> bit) & 1) ? '1' : '0';
+      out += bits + " c" + std::to_string(i) + "\n";
+    }
+    out += "#" + std::to_string(2 * t + 1) + "\n0ck\n";
+  }
+  return out;
+}
+
+class WriteBackendTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    stem_ = ::testing::TempDir() + "hgdb_write_backend_" +
+            std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+  }
+  void TearDown() override {
+    for (const auto& path : cleanup_) std::remove(path.c_str());
+  }
+
+  std::string path(const std::string& suffix) {
+    cleanup_.push_back(stem_ + suffix);
+    return cleanup_.back();
+  }
+
+  std::string stem_;
+  std::vector<std::string> cleanup_;
+};
+
+TEST_F(WriteBackendTest, AppendOffsetAndPatchRoundTrip) {
+  for (IoMode mode : {IoMode::kBuffered, IoMode::kMmap}) {
+    SCOPED_TRACE(to_string(mode));
+    const auto file = path(std::string(".") + to_string(mode));
+    auto backend = open_write_storage(file, mode);
+    EXPECT_STREQ(backend->kind(), to_string(mode));
+    EXPECT_EQ(backend->offset(), 0u);
+    backend->append("placeholder-", 12);
+    backend->append("payload", 7);
+    EXPECT_EQ(backend->offset(), 19u);
+    backend->write_at(0, "header-patch", 12);
+    backend->finish();
+    EXPECT_EQ(read_file(file), "header-patchpayload");
+  }
+}
+
+TEST_F(WriteBackendTest, MmapGrowsPastInitialChunkAndTrimsSlack) {
+  const auto file = path(".grow");
+  auto backend = open_write_storage(file, IoMode::kMmap);
+  // Push well past the initial chunk so the grow/remap path runs at
+  // least twice; a stale mapping after remap would corrupt or crash.
+  const std::string block(64 * 1024, 'x');
+  const size_t kBlocks =
+      3 * (1 << 20) / block.size() + 1;  // > 3 MiB total
+  for (size_t i = 0; i < kBlocks; ++i) {
+    backend->append(block.data(), block.size());
+  }
+  const uint64_t logical = backend->offset();
+  EXPECT_EQ(logical, kBlocks * block.size());
+  backend->write_at(logical - 4, "tail", 4);
+  backend->finish();
+  // finish() must truncate the chunk slack: on-disk size == logical size.
+  const std::string contents = read_file(file);
+  ASSERT_EQ(contents.size(), logical);
+  EXPECT_EQ(contents.substr(logical - 4), "tail");
+}
+
+TEST_F(WriteBackendTest, PatchPastLogicalEndThrows) {
+  for (IoMode mode : {IoMode::kBuffered, IoMode::kMmap}) {
+    SCOPED_TRACE(to_string(mode));
+    auto backend =
+        open_write_storage(path(std::string(".oob.") + to_string(mode)), mode);
+    backend->append("abc", 3);
+    EXPECT_THROW(backend->write_at(2, "xy", 2), WvxError);
+    EXPECT_THROW(backend->write_at(4, "x", 1), WvxError);
+    backend->write_at(0, "xyz", 3);  // exactly the appended range is fine
+    backend->finish();
+  }
+}
+
+TEST_F(WriteBackendTest, MmapWrittenIndexIsByteIdenticalToBuffered) {
+  const auto vcd = path(".vcd");
+  {
+    std::ofstream out(vcd);
+    out << synthetic_vcd(6, 200);
+  }
+  const auto buffered_wvx = path(".buf.wvx");
+  const auto mmap_wvx = path(".map.wvx");
+  IndexWriterOptions buffered_options;
+  buffered_options.io_mode = IoMode::kBuffered;
+  IndexWriterOptions mmap_options;
+  mmap_options.io_mode = IoMode::kMmap;
+  convert_vcd_to_index(vcd, buffered_wvx, buffered_options);
+  convert_vcd_to_index(vcd, mmap_wvx, mmap_options);
+
+  const std::string buffered_bytes = read_file(buffered_wvx);
+  ASSERT_FALSE(buffered_bytes.empty());
+  EXPECT_EQ(buffered_bytes, read_file(mmap_wvx));
+
+  // And the mmap-written file round-trips through the reader.
+  IndexedWaveform waveform(mmap_wvx);
+  EXPECT_GT(waveform.signal_count(), 0u);
+  const auto index = waveform.signal_index("top.sig0");
+  ASSERT_TRUE(index.has_value());
+  EXPECT_FALSE(waveform.verify_blocks().has_value());
+  EXPECT_GT(waveform.value_at(*index, 100).width(), 0u);
+}
+
+}  // namespace
+}  // namespace hgdb::waveform
