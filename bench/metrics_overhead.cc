@@ -13,7 +13,10 @@
 //   span_stopped    + one RAII TraceSpan per iteration, recorder stopped
 //   span_recording  + the same span with the recorder started (ring wraps)
 // plus the registry's exposition cost (render + snapshot on a populated
-// registry, informational).
+// registry, informational), and a lock-acquisition pair comparing a raw
+// std::mutex against common::CheckedMutex — in release builds (rank
+// checks compiled out) the two must cost the same, which is the
+// annotated type's zero-overhead claim made falsifiable.
 //
 // Output: one JSON object on stdout (and to $HGDB_BENCH_JSON when set).
 // The "gates" object carries in-process ratios (plain-loop cost over
@@ -32,6 +35,9 @@
 #include <fstream>
 #include <string>
 
+#include <mutex>
+
+#include "common/checked_mutex.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -109,6 +115,19 @@ int main() {
     return step(s);
   });
 
+  // Uncontended lock/unlock around the same work unit: the annotated
+  // mutex against the std::mutex it claims to compile down to.
+  std::mutex raw_mutex;
+  const double std_mutex_ns = time_ns_per_op(iters, reps, [&](uint64_t s) {
+    const std::lock_guard<std::mutex> lock(raw_mutex);
+    return step(s);
+  });
+  common::StateMutex checked_mutex{"bench::state"};
+  const double checked_mutex_ns = time_ns_per_op(iters, reps, [&](uint64_t s) {
+    const common::LockGuard lock(checked_mutex);
+    return step(s);
+  });
+
   recorder.start();
   const double span_recording_ns = time_ns_per_op(iters, reps, [&](uint64_t s) {
     obs::TraceSpan span(recorder, "bench", "step");
@@ -149,6 +168,10 @@ int main() {
   // Recording cost is gated against the stopped span, not the plain
   // loop: it pays two clock reads + a ring write by design.
   const double recording_vs_stopped = span_stopped_ns / span_recording_ns;
+  // Clamped for the same reason as span_stopped_keep: CheckedMutex cannot
+  // beat the std::mutex it wraps; above-1 readings are scheduler noise.
+  const double checked_mutex_keep =
+      std::min(1.0, std_mutex_ns / checked_mutex_ns);
 
   char buffer[2048];
   const int written = std::snprintf(
@@ -157,21 +180,25 @@ int main() {
       "  \"config\": {\"iters\": %llu, \"reps\": %llu},\n"
       "  \"ns_per_op\": {\"plain\": %.3f, \"counter\": %.3f, "
       "\"histogram\": %.3f, \"span_stopped\": %.3f, "
-      "\"span_recording\": %.3f},\n"
+      "\"span_recording\": %.3f, \"std_mutex\": %.3f, "
+      "\"checked_mutex\": %.3f},\n"
       "  \"exposition\": {\"metrics\": %zu, \"prometheus_bytes\": %zu, "
       "\"render_us\": %.1f, \"snapshot_bytes\": %zu, "
       "\"snapshot_us\": %.1f},\n"
       "  \"recorder\": {\"recorded\": %llu, \"dropped\": %llu},\n"
       "  \"gates\": {\"counter_keep\": %.3f, \"histogram_keep\": %.3f, "
-      "\"span_stopped_keep\": %.3f, \"recording_vs_stopped\": %.3f}\n"
+      "\"span_stopped_keep\": %.3f, \"recording_vs_stopped\": %.3f, "
+      "\"checked_mutex_keep\": %.3f}\n"
       "}\n",
       static_cast<unsigned long long>(iters),
       static_cast<unsigned long long>(reps), plain_ns, counter_ns,
-      histogram_ns, span_stopped_ns, span_recording_ns, registry.size(),
+      histogram_ns, span_stopped_ns, span_recording_ns, std_mutex_ns,
+      checked_mutex_ns, registry.size(),
       prometheus.size(), render_us, snapshot.size(), snapshot_us,
       static_cast<unsigned long long>(recorder.recorded()),
       static_cast<unsigned long long>(recorder.dropped()), counter_keep,
-      histogram_keep, span_stopped_keep, recording_vs_stopped);
+      histogram_keep, span_stopped_keep, recording_vs_stopped,
+      checked_mutex_keep);
   if (written < 0 || static_cast<size_t>(written) >= sizeof(buffer)) {
     std::fprintf(stderr, "report did not fit\n");
     return 1;
@@ -191,5 +218,16 @@ int main() {
                  span_stopped_ns, plain_ns);
     return 1;
   }
+#if !HGDB_CHECK_LOCK_RANKS
+  // Hard zero-overhead floor (release builds only — with rank checks
+  // compiled in, the bookkeeping is supposed to cost something): the
+  // annotated mutex must stay within 1.5x + 2 ns of the raw one.
+  if (checked_mutex_ns > std_mutex_ns * 1.5 + 2.0) {
+    std::fprintf(stderr,
+                 "CheckedMutex not free in release: %.3f ns vs %.3f ns raw\n",
+                 checked_mutex_ns, std_mutex_ns);
+    return 1;
+  }
+#endif
   return 0;
 }
