@@ -55,6 +55,9 @@ enum class LockRank : int {
   kSessionTransport = 35,   ///< Per-connection protocol state + socket writes
   kWaveform = 30,           ///< Waveform reader cache / writer backend
   kObs = 20,                ///< MetricsRegistry map, trace string interning
+  kRpcWriter = 15,          ///< EventWriter target queues (above kRpc: the
+                            ///< in-process flush path sends through a
+                            ///< Channel, whose queues lock at kRpc)
   kRpc = 10,                ///< Channel queues, socket send/receive
 };
 
@@ -73,6 +76,7 @@ enum class LockRank : int {
     case LockRank::kSessionTransport: return "session::transport";
     case LockRank::kWaveform: return "waveform";
     case LockRank::kObs: return "obs";
+    case LockRank::kRpcWriter: return "rpc::writer";
     case LockRank::kRpc: return "rpc";
   }
   return "?";
@@ -83,7 +87,7 @@ enum class LockRank : int {
 namespace detail {
 
 /// Per-thread record of held CheckedMutexes, innermost last. Fixed-size:
-/// the hierarchy is 14 ranks deep and equal ranks never nest, so a depth
+/// the hierarchy is 15 ranks deep and equal ranks never nest, so a depth
 /// past 16 is itself a discipline bug worth aborting on.
 struct HeldLocks {
   static constexpr int kMaxDepth = 16;
@@ -289,6 +293,7 @@ using PoolMutex = CheckedMutex<LockRank::kRuntimePool>;
 using TransportMutex = CheckedMutex<LockRank::kSessionTransport>;
 using WaveformMutex = CheckedMutex<LockRank::kWaveform>;
 using ObsMutex = CheckedMutex<LockRank::kObs>;
+using WriterMutex = CheckedMutex<LockRank::kRpcWriter>;
 using RpcMutex = CheckedMutex<LockRank::kRpc>;
 
 }  // namespace hgdb::common

@@ -445,7 +445,7 @@ void maybe_serve_dap(runtime::Runtime& runtime,
 /// text is ever written); "vcd" keeps the text dump + in-memory parse.
 int run_replay_cli(const std::string& name, bool debug_mode, uint64_t cycles,
                    const std::string& format, waveform::IoMode io_mode,
-                   std::optional<uint16_t> dap_port) {
+                   std::optional<uint16_t> dap_port, bool binary_events) {
   auto compiled = compile_workload(name, debug_mode);
 
   // Per-process paths: concurrent sessions must not clobber each other.
@@ -491,7 +491,7 @@ int run_replay_cli(const std::string& name, bool debug_mode, uint64_t cycles,
   auto [client_channel, server_channel] = rpc::make_channel_pair();
   runtime.serve(std::move(server_channel));
   debugger::DebugClient client(std::move(client_channel));
-  client.connect("hgdb-cli");
+  client.connect("hgdb-cli", binary_events);
   print_capabilities(client);
 
   std::atomic<bool> done{false};
@@ -517,7 +517,7 @@ int run_replay_cli(const std::string& name, bool debug_mode, uint64_t cycles,
 }
 
 int run_cli(const std::string& name, bool debug_mode, uint64_t cycles,
-            std::optional<uint16_t> dap_port) {
+            std::optional<uint16_t> dap_port, bool binary_events) {
   auto compiled = compile_workload(name, debug_mode);
   symbols::MemorySymbolTable table(compiled.symbols);
   std::cout << "compiled '" << name << "' (" << (debug_mode ? "debug" : "optimized")
@@ -536,7 +536,7 @@ int run_cli(const std::string& name, bool debug_mode, uint64_t cycles,
   auto [client_channel, server_channel] = rpc::make_channel_pair();
   runtime.serve(std::move(server_channel));
   debugger::DebugClient client(std::move(client_channel));
-  client.connect("hgdb-cli");
+  client.connect("hgdb-cli", binary_events);
   print_capabilities(client);
 
   std::atomic<bool> done{false};
@@ -627,6 +627,7 @@ int main(int argc, char** argv) {
   std::string replay_format;  // "", "vcd", or "wvx"
   waveform::IoMode io_mode = waveform::IoMode::kAuto;
   bool io_mode_set = false;
+  bool binary_events = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--optimized") {
@@ -658,6 +659,10 @@ int main(int argc, char** argv) {
         }
         dap_port = static_cast<uint16_t>(port);
       }
+    } else if (arg == "--binary-events") {
+      // Opt in to binary event framing: pushed stop/value events arrive
+      // as length-prefixed frames instead of JSON.
+      binary_events = true;
     } else if (arg == "--replay" && i + 1 < argc) {
       replay_format = argv[++i];
       if (replay_format != "vcd" && replay_format != "wvx") {
@@ -679,10 +684,10 @@ int main(int argc, char** argv) {
     if (!replay_format.empty()) {
       // Replay dumps the whole run up front, so default to a modest trace.
       return run_replay_cli(name, debug_mode, cycles.value_or(4096),
-                            replay_format, io_mode, dap_port);
+                            replay_format, io_mode, dap_port, binary_events);
     }
     return run_cli(name, debug_mode, cycles.value_or(uint64_t{1} << 20),
-                   dap_port);
+                   dap_port, binary_events);
   } catch (const std::exception& error) {
     std::cerr << "fatal: " << error.what() << "\n";
     return 1;

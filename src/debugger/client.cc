@@ -67,6 +67,79 @@ rpc::GenericResponse DebugClient::transact_v1(Request request) {
   }
 }
 
+std::optional<rpc::BreakpointChangeEvent> DebugClient::decode_breakpoint_change(
+    const std::string& text) {
+  try {
+    const Json json = Json::parse(text);
+    if (!json.is_object() || !rpc::is_v2_envelope(json)) return std::nullopt;
+    if (json.get_string("type") != "event" ||
+        json.get_string("event") != "breakpoint-changed") {
+      return std::nullopt;
+    }
+    auto payload = json.get("payload");
+    if (!payload || !payload->get().is_object()) return std::nullopt;
+    const Json& body = payload->get();
+    rpc::BreakpointChangeEvent event;
+    event.action = body.get_string("action");
+    event.filename = body.get_string("filename");
+    event.line = static_cast<uint32_t>(body.get_int("line"));
+    event.condition = body.get_string("condition");
+    event.client = static_cast<uint64_t>(body.get_int("client"));
+    return event;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+bool DebugClient::absorb_event(const std::string& message) {
+  if (rpc::is_event_frame(message)) {
+    try {
+      auto decoded = rpc::decode_event_frame(message);
+      switch (decoded.kind) {
+        case rpc::FrameKind::Stop:
+          stops_.push_back(std::move(decoded.stop));
+          break;
+        case rpc::FrameKind::ValueChange: {
+          ValueEvent event;
+          event.subscription =
+              static_cast<int64_t>(decoded.value_change.subscription);
+          event.time = decoded.value_change.time;
+          for (auto& change : decoded.value_change.changes) {
+            event.changes.push_back(ValueEvent::Change{
+                std::move(change.signal), std::move(change.value),
+                change.width});
+          }
+          values_.push_back(std::move(event));
+          break;
+        }
+        case rpc::FrameKind::Lifecycle:
+          last_lifecycle_ = std::move(decoded.lifecycle);
+          break;
+        case rpc::FrameKind::BreakpointChanged:
+          breakpoint_changes_.push_back(std::move(decoded.breakpoint_change));
+          break;
+      }
+    } catch (const std::exception&) {
+      // Malformed frame: swallow — a response can never start with the
+      // frame magic, so this was a pushed event beyond repair.
+    }
+    return true;
+  }
+  if (auto stop = decode_stop(message)) {
+    stops_.push_back(std::move(*stop));
+    return true;
+  }
+  if (auto values = decode_values(message)) {
+    values_.push_back(std::move(*values));
+    return true;
+  }
+  if (auto change = decode_breakpoint_change(message)) {
+    breakpoint_changes_.push_back(std::move(*change));
+    return true;
+  }
+  return false;
+}
+
 std::optional<ValueEvent> DebugClient::decode_values(const std::string& text) {
   try {
     const Json json = Json::parse(text);
@@ -107,14 +180,7 @@ ResponseV2 DebugClient::transact(const std::string& command, Json payload) {
     if (!message) {
       throw std::runtime_error("debug channel closed");
     }
-    if (auto stop = decode_stop(*message)) {
-      stops_.push_back(std::move(*stop));
-      continue;
-    }
-    if (auto values = decode_values(*message)) {
-      values_.push_back(std::move(*values));
-      continue;
-    }
+    if (absorb_event(*message)) continue;
     ResponseV2 response;
     try {
       auto server_message = rpc::parse_server_message_v2(*message);
@@ -146,15 +212,17 @@ bool DebugClient::require_v2(const char* what) {
 // handshake
 // ---------------------------------------------------------------------------
 
-bool DebugClient::connect(const std::string& client_name) {
+bool DebugClient::connect(const std::string& client_name, bool binary_events) {
   if (protocol_ == Protocol::V1) return require_v2("connect");
   Json payload = Json::object();
   payload["client"] = Json(client_name);
+  if (binary_events) payload["binary_events"] = Json(true);
   auto response = transact("connect", std::move(payload));
   if (!response.ok()) return false;
   if (auto caps = response.payload.get("capabilities")) {
     capabilities_ = rpc::Capabilities::from_json(caps->get());
   }
+  binary_events_ = response.payload.get_bool("binary_events");
   return true;
 }
 
@@ -272,39 +340,45 @@ bool DebugClient::disconnect() {
 
 std::optional<rpc::StopEvent> DebugClient::wait_stop(
     std::optional<std::chrono::milliseconds> timeout) {
-  if (!stops_.empty()) {
-    auto stop = std::move(stops_.front());
-    stops_.pop_front();
-    return stop;
-  }
   while (true) {
+    if (!stops_.empty()) {
+      auto stop = std::move(stops_.front());
+      stops_.pop_front();
+      return stop;
+    }
     auto message = channel_->receive(timeout);
     if (!message) return std::nullopt;
-    if (auto stop = decode_stop(*message)) return stop;
-    if (auto values = decode_values(*message)) {
-      values_.push_back(std::move(*values));
-      continue;
-    }
-    // Stray response (e.g. after a timeout race): ignore.
+    // Other event kinds queue for their own waiters; stray responses
+    // (e.g. after a timeout race) are ignored.
+    absorb_event(*message);
   }
 }
 
 std::optional<ValueEvent> DebugClient::wait_values(
     std::optional<std::chrono::milliseconds> timeout) {
-  if (!values_.empty()) {
-    auto event = std::move(values_.front());
-    values_.pop_front();
-    return event;
-  }
   while (true) {
+    if (!values_.empty()) {
+      auto event = std::move(values_.front());
+      values_.pop_front();
+      return event;
+    }
     auto message = channel_->receive(timeout);
     if (!message) return std::nullopt;
-    if (auto values = decode_values(*message)) return values;
-    if (auto stop = decode_stop(*message)) {
-      stops_.push_back(std::move(*stop));
-      continue;
+    absorb_event(*message);
+  }
+}
+
+std::optional<rpc::BreakpointChangeEvent> DebugClient::wait_breakpoint_change(
+    std::optional<std::chrono::milliseconds> timeout) {
+  while (true) {
+    if (!breakpoint_changes_.empty()) {
+      auto event = std::move(breakpoint_changes_.front());
+      breakpoint_changes_.pop_front();
+      return event;
     }
-    // Stray response: ignore.
+    auto message = channel_->receive(timeout);
+    if (!message) return std::nullopt;
+    absorb_event(*message);
   }
 }
 

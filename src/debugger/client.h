@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "rpc/channel.h"
+#include "rpc/event_frame.h"
 #include "rpc/protocol.h"
 #include "rpc/protocol_v2.h"
 
@@ -64,10 +65,17 @@ class DebugClient {
   // -- handshake (v2) ------------------------------------------------------------
   /// Negotiates capabilities with the runtime. Optional but recommended:
   /// afterwards capabilities() says whether jump/reverse/set-value can work.
-  bool connect(const std::string& client_name = "hgdb-client");
+  /// With `binary_events` the client asks for the binary event framing:
+  /// pushed events then arrive as length-prefixed frames (decoded
+  /// transparently — wait_stop()/wait_values() behave identically) while
+  /// requests and responses stay JSON v2.
+  bool connect(const std::string& client_name = "hgdb-client",
+               bool binary_events = false);
   [[nodiscard]] const std::optional<rpc::Capabilities>& capabilities() const {
     return capabilities_;
   }
+  /// True once the runtime confirmed the binary-events opt-in.
+  [[nodiscard]] bool binary_events() const { return binary_events_; }
 
   // -- breakpoints --------------------------------------------------------------
   /// Returns the inserted breakpoint ids (empty + error reason on failure).
@@ -121,6 +129,15 @@ class DebugClient {
   /// Blocks until the next value-change event (or timeout).
   std::optional<ValueEvent> wait_values(
       std::optional<std::chrono::milliseconds> timeout = std::nullopt);
+  /// Blocks until another attached session arms or disarms a breakpoint
+  /// on a shared location (pushed "breakpoint-changed" events; v2 only).
+  std::optional<rpc::BreakpointChangeEvent> wait_breakpoint_change(
+      std::optional<std::chrono::milliseconds> timeout = std::nullopt);
+  /// The most recent lifecycle notice ("shutdown", ...) pushed on a
+  /// binary-events session; empty when none arrived.
+  [[nodiscard]] const std::string& last_lifecycle() const {
+    return last_lifecycle_;
+  }
   common::Json list_instances();
   common::Json list_variables(const std::string& instance);
   common::Json stats();
@@ -152,6 +169,12 @@ class DebugClient {
   std::optional<rpc::StopEvent> decode_stop(const std::string& text);
   /// Decodes a v2 "values" event; nullopt if `text` is something else.
   std::optional<ValueEvent> decode_values(const std::string& text);
+  /// Decodes a v2 "breakpoint-changed" event; nullopt otherwise.
+  std::optional<rpc::BreakpointChangeEvent> decode_breakpoint_change(
+      const std::string& text);
+  /// Queues `message` if it is a pushed event (binary frame or JSON);
+  /// returns false when it is something else (e.g. a response).
+  bool absorb_event(const std::string& message);
   /// Marks a v2-only call failed in V1 mode.
   bool require_v2(const char* what);
 
@@ -159,10 +182,13 @@ class DebugClient {
   Protocol protocol_;
   std::deque<rpc::StopEvent> stops_;
   std::deque<ValueEvent> values_;
+  std::deque<rpc::BreakpointChangeEvent> breakpoint_changes_;
+  std::string last_lifecycle_;
   int64_t next_token_ = 1;
   std::string last_error_;
   rpc::ErrorCode last_error_code_ = rpc::ErrorCode::None;
   std::optional<rpc::Capabilities> capabilities_;
+  bool binary_events_ = false;
 };
 
 }  // namespace hgdb::debugger

@@ -31,6 +31,13 @@ class Channel {
   /// Closes this endpoint; pending receives wake with nullopt.
   virtual void close() = 0;
   [[nodiscard]] virtual bool closed() const = 0;
+
+  /// The underlying socket descriptor, or -1 for in-process transports.
+  /// The async event writer uses it to bypass send() with coalesced
+  /// non-blocking scatter writes; once a session goes binary, *all*
+  /// outbound traffic must route through that single writer (two writers
+  /// on one fd would interleave and corrupt the framing).
+  [[nodiscard]] virtual int native_handle() const { return -1; }
 };
 
 /// Creates a connected in-process channel pair (A's sends appear at B and

@@ -1,0 +1,284 @@
+#include "rpc/event_frame.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace hgdb::rpc {
+
+namespace detail {
+
+void append_u32(std::string& out, uint32_t value) {
+  char bytes[4];
+  bytes[0] = static_cast<char>(value & 0xff);
+  bytes[1] = static_cast<char>((value >> 8) & 0xff);
+  bytes[2] = static_cast<char>((value >> 16) & 0xff);
+  bytes[3] = static_cast<char>((value >> 24) & 0xff);
+  out.append(bytes, sizeof(bytes));
+}
+
+void append_u64(std::string& out, uint64_t value) {
+  append_u32(out, static_cast<uint32_t>(value & 0xffffffffu));
+  append_u32(out, static_cast<uint32_t>(value >> 32));
+}
+
+void append_str(std::string& out, std::string_view value) {
+  append_u32(out, static_cast<uint32_t>(value.size()));
+  out.append(value.data(), value.size());
+}
+
+}  // namespace detail
+
+namespace {
+
+using detail::append_str;
+using detail::append_u32;
+using detail::append_u64;
+
+void append_i64(std::string& out, int64_t value) {
+  append_u64(out, static_cast<uint64_t>(value));
+}
+
+/// Body-level reader; every accessor throws on truncation so a corrupt
+/// frame surfaces as one error instead of garbage fields.
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  uint32_t u32() {
+    need(4);
+    const auto* p = reinterpret_cast<const unsigned char*>(bytes_.data() + pos_);
+    pos_ += 4;
+    return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+  }
+
+  uint64_t u64() {
+    const uint64_t lo = u32();
+    const uint64_t hi = u32();
+    return lo | (hi << 32);
+  }
+
+  int64_t i64() { return static_cast<int64_t>(u64()); }
+
+  std::string str() {
+    const uint32_t len = u32();
+    need(len);
+    std::string out(bytes_.substr(pos_, len));
+    pos_ += len;
+    return out;
+  }
+
+  [[nodiscard]] bool done() const { return pos_ == bytes_.size(); }
+
+ private:
+  void need(size_t count) const {
+    if (bytes_.size() - pos_ < count) {
+      throw std::runtime_error("truncated binary event frame");
+    }
+  }
+
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+/// Builds the fixed frame preamble into an OutboundFrame header:
+/// u32 BE total length placeholder + magic/version/kind/flags.
+OutboundFrame start_frame(FrameKind kind) {
+  OutboundFrame frame;
+  frame.header[4] = kEventFrameMagic;
+  frame.header[5] = kEventFrameVersion;
+  frame.header[6] = static_cast<uint8_t>(kind);
+  frame.header[7] = 0;  // flags, reserved
+  frame.header_size = 8;
+  return frame;
+}
+
+/// Patches the big-endian length prefix once header and body sizes are
+/// final: length counts everything after the 4-byte prefix itself.
+void seal_frame(OutboundFrame& frame) {
+  const auto length =
+      static_cast<uint32_t>(frame.header_size - 4 + frame.body.size());
+  frame.header[0] = static_cast<uint8_t>((length >> 24) & 0xff);
+  frame.header[1] = static_cast<uint8_t>((length >> 16) & 0xff);
+  frame.header[2] = static_cast<uint8_t>((length >> 8) & 0xff);
+  frame.header[3] = static_cast<uint8_t>(length & 0xff);
+}
+
+}  // namespace
+
+std::string OutboundFrame::channel_message() const {
+  std::string out;
+  out.reserve(size());
+  if (header_size > 4) {
+    out.append(reinterpret_cast<const char*>(header.data()) + 4,
+               header_size - 4);
+  }
+  if (body) out.append(body.bytes());
+  return out;
+}
+
+SharedFrame encode_stop_body(const StopEvent& event) {
+  std::string out;
+  out.reserve(256);
+  append_u64(out, event.time);
+  append_u32(out, static_cast<uint32_t>(event.frames.size()));
+  for (const auto& frame : event.frames) {
+    append_i64(out, frame.breakpoint_id);
+    append_i64(out, frame.instance_id);
+    append_str(out, frame.instance_name);
+    append_str(out, frame.filename);
+    append_u32(out, frame.line);
+    append_u32(out, frame.column);
+    append_str(out, frame.locals.dump());
+    append_str(out, frame.generator.dump());
+    append_u32(out, static_cast<uint32_t>(frame.matched_conditions.size()));
+    for (const auto& condition : frame.matched_conditions) {
+      append_str(out, condition);
+    }
+  }
+  append_u32(out, static_cast<uint32_t>(event.watch_hits.size()));
+  for (const auto& hit : event.watch_hits) {
+    append_i64(out, hit.id);
+    append_str(out, hit.expression);
+    append_str(out, hit.old_value);
+    append_str(out, hit.new_value);
+  }
+  // condition_routed is delivery-local state, never serialized — the JSON
+  // path omits it too, keeping the two wire forms field-equivalent.
+  return SharedFrame::take(std::move(out));
+}
+
+SharedFrame encode_lifecycle_body(std::string_view reason) {
+  std::string out;
+  append_str(out, reason);
+  return SharedFrame::take(std::move(out));
+}
+
+SharedFrame encode_breakpoint_change_body(const BreakpointChangeEvent& event) {
+  std::string out;
+  append_str(out, event.action);
+  append_str(out, event.filename);
+  append_u32(out, event.line);
+  append_str(out, event.condition);
+  append_u64(out, event.client);
+  return SharedFrame::take(std::move(out));
+}
+
+OutboundFrame make_event_frame(FrameKind kind, SharedFrame body) {
+  OutboundFrame frame = start_frame(kind);
+  frame.body = std::move(body);
+  seal_frame(frame);
+  return frame;
+}
+
+OutboundFrame make_value_change_frame(uint64_t subscription,
+                                      SharedFrame body) {
+  OutboundFrame frame = start_frame(FrameKind::ValueChange);
+  for (int i = 0; i < 8; ++i) {
+    frame.header[frame.header_size++] =
+        static_cast<uint8_t>((subscription >> (8 * i)) & 0xff);
+  }
+  frame.body = std::move(body);
+  seal_frame(frame);
+  return frame;
+}
+
+OutboundFrame make_text_frame(std::string text) {
+  OutboundFrame frame;
+  frame.header_size = 4;
+  frame.body = SharedFrame::take(std::move(text));
+  seal_frame(frame);
+  return frame;
+}
+
+bool is_event_frame(std::string_view message) {
+  return !message.empty() &&
+         static_cast<uint8_t>(message[0]) == kEventFrameMagic;
+}
+
+DecodedEventFrame decode_event_frame(std::string_view message) {
+  if (message.size() < 4 ||
+      static_cast<uint8_t>(message[0]) != kEventFrameMagic) {
+    throw std::runtime_error("not a binary event frame");
+  }
+  if (static_cast<uint8_t>(message[1]) != kEventFrameVersion) {
+    throw std::runtime_error("unsupported binary event frame version");
+  }
+  DecodedEventFrame decoded;
+  const auto kind = static_cast<uint8_t>(message[2]);
+  Reader reader(message.substr(4));
+  switch (kind) {
+    case static_cast<uint8_t>(FrameKind::Stop): {
+      decoded.kind = FrameKind::Stop;
+      decoded.stop.time = reader.u64();
+      const uint32_t frame_count = reader.u32();
+      decoded.stop.frames.reserve(frame_count);
+      for (uint32_t i = 0; i < frame_count; ++i) {
+        Frame frame;
+        frame.breakpoint_id = reader.i64();
+        frame.instance_id = reader.i64();
+        frame.instance_name = reader.str();
+        frame.filename = reader.str();
+        frame.line = reader.u32();
+        frame.column = reader.u32();
+        frame.locals = common::Json::parse(reader.str());
+        frame.generator = common::Json::parse(reader.str());
+        const uint32_t matched = reader.u32();
+        frame.matched_conditions.reserve(matched);
+        for (uint32_t j = 0; j < matched; ++j) {
+          frame.matched_conditions.push_back(reader.str());
+        }
+        decoded.stop.frames.push_back(std::move(frame));
+      }
+      const uint32_t watch_count = reader.u32();
+      decoded.stop.watch_hits.reserve(watch_count);
+      for (uint32_t i = 0; i < watch_count; ++i) {
+        WatchHit hit;
+        hit.id = reader.i64();
+        hit.expression = reader.str();
+        hit.old_value = reader.str();
+        hit.new_value = reader.str();
+        decoded.stop.watch_hits.push_back(std::move(hit));
+      }
+      break;
+    }
+    case static_cast<uint8_t>(FrameKind::ValueChange): {
+      decoded.kind = FrameKind::ValueChange;
+      decoded.value_change.subscription = reader.u64();
+      decoded.value_change.time = reader.u64();
+      const uint32_t count = reader.u32();
+      decoded.value_change.changes.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        DecodedEventFrame::ValueChange::Change change;
+        change.signal = reader.str();
+        change.value = reader.str();
+        change.width = reader.u32();
+        decoded.value_change.changes.push_back(std::move(change));
+      }
+      break;
+    }
+    case static_cast<uint8_t>(FrameKind::Lifecycle): {
+      decoded.kind = FrameKind::Lifecycle;
+      decoded.lifecycle = reader.str();
+      break;
+    }
+    case static_cast<uint8_t>(FrameKind::BreakpointChanged): {
+      decoded.kind = FrameKind::BreakpointChanged;
+      decoded.breakpoint_change.action = reader.str();
+      decoded.breakpoint_change.filename = reader.str();
+      decoded.breakpoint_change.line = reader.u32();
+      decoded.breakpoint_change.condition = reader.str();
+      decoded.breakpoint_change.client = reader.u64();
+      break;
+    }
+    default:
+      throw std::runtime_error("unknown binary event frame kind");
+  }
+  if (!reader.done()) {
+    throw std::runtime_error("trailing bytes in binary event frame");
+  }
+  return decoded;
+}
+
+}  // namespace hgdb::rpc

@@ -1,0 +1,155 @@
+#ifndef HGDB_RPC_EVENT_WRITER_H
+#define HGDB_RPC_EVENT_WRITER_H
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/checked_mutex.h"
+#include "common/thread_annotations.h"
+#include "obs/metrics.h"
+#include "rpc/event_frame.h"
+
+namespace hgdb::rpc {
+
+/// Async batched event writer: per-target bounded outbound queues drained
+/// by one poll() readiness loop that coalesces queued frames into single
+/// scatter writes.
+///
+/// The producer side (the simulation / delivery thread) never touches a
+/// socket: enqueue() is a bounded push under the writer mutex plus a wake
+/// write. The loop thread flushes each target with non-blocking
+/// sendmsg(iov[]) until EAGAIN, then polls the still-pending fds for
+/// POLLOUT — one stalled subscriber parks *its own queue* against its own
+/// socket buffer while every other target keeps draining.
+///
+/// Slow-client policy: a queue is bounded by frames and bytes
+/// (EventWriterOptions). An enqueue that would exceed either bound drops
+/// the frame (newest-dropped), bumps the shared `rpc.writer.events_dropped`
+/// counter, and — when `disconnect_on_overflow` — marks the target dead
+/// and fires its on_dead callback. Responses are enqueued with
+/// `force = true`: they are request-paced, so they bypass the bound
+/// rather than vanish mid-handshake.
+///
+/// Locking: one WriterMutex (rank rpc::writer, 15) guards the target
+/// table and all queues. Flushes run *with the mutex held* — the socket
+/// path is non-blocking by construction (MSG_DONTWAIT) and the in-process
+/// channel fallback is a fast queue push at rank rpc (10), a legal
+/// acquisition under 15 — which makes remove_target() trivially safe: no
+/// fd or callback can be in use once it returns. on_dead callbacks are
+/// deferred and run with the mutex released.
+class EventWriter {
+ public:
+  struct Options {
+    /// Per-target queue bound in frames; 0 = unbounded (not recommended).
+    size_t max_queue_frames = 1024;
+    /// Per-target queue bound in bytes (headers + shared-body sizes).
+    size_t max_queue_bytes = 8u << 20;
+    /// Kill a target on overflow instead of silently thinning its stream.
+    bool disconnect_on_overflow = false;
+    /// Registry for queue-depth / drop metrics; nullptr disables them.
+    obs::MetricsRegistry* metrics = nullptr;
+  };
+
+  /// One delivery endpoint. Exactly one of `fd` / `send` carries the
+  /// bytes: a real socket flushes via sendmsg on `fd`; an in-process
+  /// channel (fd < 0) flushes via `send`, which receives the Channel
+  /// message (no 4-byte length prefix — the channel re-frames) and
+  /// returns false when the peer is gone. `send` must be fast and
+  /// non-blocking: it is called with the writer mutex held.
+  struct Target {
+    int fd = -1;
+    std::function<bool(std::string_view)> send;
+    /// Fired (off-lock, on the writer thread) when the target dies:
+    /// write error, send() failure, or overflow disconnect. Keep it
+    /// minimal — mark the session dead and close its channel; never call
+    /// back into the service layer.
+    std::function<void()> on_dead;
+    /// Per-front-end byte counter, bumped by flushed bytes. Optional.
+    obs::Counter* bytes_sent = nullptr;
+  };
+
+  enum class Enqueue : uint8_t {
+    Queued,   ///< accepted, will flush asynchronously
+    Dropped,  ///< bounded queue full — frame sacrificed per policy
+    Dead,     ///< target already dead or removed
+  };
+
+  explicit EventWriter(const Options& options);
+  ~EventWriter();
+
+  EventWriter(const EventWriter&) = delete;
+  EventWriter& operator=(const EventWriter&) = delete;
+
+  /// Registers a delivery endpoint; starts the loop thread on first use.
+  /// Returns the id enqueue()/remove_target() address it by.
+  uint64_t add_target(Target target) HGDB_EXCLUDES(mutex_);
+
+  /// Queues a frame for a target. `force` bypasses the queue bound
+  /// (responses / handshake traffic — request-paced, must not vanish).
+  Enqueue enqueue(uint64_t id, OutboundFrame frame, bool force = false)
+      HGDB_EXCLUDES(mutex_);
+
+  /// Unregisters a target and discards its queue. On return the writer
+  /// holds no reference to the target's fd or callbacks. Idempotent.
+  void remove_target(uint64_t id) HGDB_EXCLUDES(mutex_);
+
+ private:
+  struct Pending {
+    OutboundFrame frame;
+    size_t offset = 0;  ///< bytes of `frame` already written (fd targets)
+  };
+
+  struct TargetState {
+    int fd = -1;
+    std::function<bool(std::string_view)> send;
+    std::function<void()> on_dead;
+    obs::Counter* bytes_sent = nullptr;
+    std::deque<Pending> queue;
+    size_t queued_bytes = 0;
+    bool dead = false;
+  };
+
+  void loop();
+  /// Flushes every target with pending frames; targets that error are
+  /// marked dead and their on_dead moved into `deferred`.
+  void flush_all_locked(std::vector<std::function<void()>>& deferred)
+      HGDB_REQUIRES(mutex_);
+  /// Writes as much of one fd-target's queue as the socket accepts,
+  /// coalescing up to kMaxIov spans per sendmsg. Returns false on a dead
+  /// socket (caller marks the target dead).
+  bool flush_fd_locked(TargetState& target) HGDB_REQUIRES(mutex_);
+  bool flush_channel_locked(TargetState& target) HGDB_REQUIRES(mutex_);
+  void mark_dead_locked(TargetState& target,
+                        std::vector<std::function<void()>>& deferred)
+      HGDB_REQUIRES(mutex_);
+  void wake();
+
+  const size_t max_queue_frames_;
+  const size_t max_queue_bytes_;
+  const bool disconnect_on_overflow_;
+  // Resolved from the registry in the constructor (the registry map locks
+  // at rank obs, *above* the writer mutex — never resolve under mutex_).
+  // Counter::add / Histogram::record themselves are lock-free, so
+  // recording under mutex_ is fine.
+  obs::Counter* events_dropped_ = nullptr;
+  obs::Histogram* queue_depth_ = nullptr;
+
+  common::WriterMutex mutex_{"rpc::writer"};
+  std::map<uint64_t, TargetState> targets_ HGDB_GUARDED_BY(mutex_);
+  uint64_t next_id_ HGDB_GUARDED_BY(mutex_) = 1;
+  bool thread_started_ HGDB_GUARDED_BY(mutex_) = false;
+
+  std::atomic<bool> stop_{false};
+  int wake_pipe_[2] = {-1, -1};
+  std::thread thread_;
+};
+
+}  // namespace hgdb::rpc
+
+#endif  // HGDB_RPC_EVENT_WRITER_H

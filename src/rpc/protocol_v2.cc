@@ -50,6 +50,7 @@ Json Capabilities::to_json() const {
   json["multi_client"] = Json(multi_client);
   json["watchpoints"] = Json(watchpoints);
   json["batch_eval"] = Json(batch_eval);
+  json["binary_events"] = Json(binary_events);
   return json;
 }
 
@@ -63,6 +64,7 @@ Capabilities Capabilities::from_json(const Json& json) {
   caps.multi_client = json.get_bool("multi_client", true);
   caps.watchpoints = json.get_bool("watchpoints", true);
   caps.batch_eval = json.get_bool("batch_eval", true);
+  caps.binary_events = json.get_bool("binary_events");
   return caps;
 }
 

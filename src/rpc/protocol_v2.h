@@ -71,6 +71,8 @@ struct Capabilities {
   bool multi_client = true;      ///< concurrent sessions share the runtime
   bool watchpoints = true;       ///< watch/unwatch commands
   bool batch_eval = true;        ///< evaluate-batch command
+  bool binary_events = true;     ///< connect {"binary_events": true} switches
+                                 ///< pushed events to binary frames
 
   [[nodiscard]] common::Json to_json() const;
   static Capabilities from_json(const common::Json& json);

@@ -50,6 +50,17 @@ struct RuntimeOptions {
   /// &obs::MetricsRegistry::global() to unify runtime, session and
   /// waveform metrics on one exposition page.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Per-client outbound event-queue bound (frames) for binary-events
+  /// clients. When a subscriber stops reading, its queue fills to this
+  /// bound and further events are *dropped* (counted in
+  /// `rpc.writer.events_dropped`) — the simulation thread never blocks on
+  /// a slow socket. Responses bypass the bound (request-paced).
+  size_t event_queue_frames = 1024;
+  /// Companion byte bound for the same queue (whichever trips first).
+  size_t event_queue_bytes = 8u << 20;
+  /// Disconnect a binary-events client on queue overflow instead of
+  /// thinning its event stream.
+  bool disconnect_slow_clients = false;
 };
 
 /// The hgdb debugger runtime (the paper's central component, Fig. 1).

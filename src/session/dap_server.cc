@@ -34,6 +34,10 @@ struct DapServer::Connection final : public EventSink {
   // thread; one mutex serializes both and the server seq counter.
   common::TransportMutex send_mutex{"dap::connection_send"};
   int64_t next_seq HGDB_GUARDED_BY(send_mutex) = 1;
+  /// `session.dap.bytes_sent` in the unified registry (per-front-end
+  /// fan-out observability); Counter::add is lock-free, safe under
+  /// send_mutex.
+  obs::Counter* bytes_sent = nullptr;
 
   // The last stop, flattened into DAP reference tables (written by
   // deliver() on the sim thread, read by stackTrace/scopes/variables on
@@ -59,13 +63,19 @@ struct DapServer::Connection final : public EventSink {
     common::LockGuard lock(send_mutex);
     const Json response = dap::make_response(next_seq++, request, success,
                                              std::move(body), message);
-    return stream->send_bytes(dap::FrameCodec::encode(response.dump()));
+    return send_encoded(dap::FrameCodec::encode(response.dump()));
   }
 
   bool send_event(const std::string& event, Json body) {
     common::LockGuard lock(send_mutex);
     const Json message = dap::make_event(next_seq++, event, std::move(body));
-    return stream->send_bytes(dap::FrameCodec::encode(message.dump()));
+    return send_encoded(dap::FrameCodec::encode(message.dump()));
+  }
+
+  bool send_encoded(const std::string& encoded) HGDB_REQUIRES(send_mutex) {
+    if (!stream->send_bytes(encoded)) return false;
+    if (bytes_sent != nullptr) bytes_sent->add(encoded.size());
+    return true;
   }
 
   int64_t register_object(Json object) HGDB_REQUIRES(state_mutex) {
@@ -137,6 +147,19 @@ struct DapServer::Connection final : public EventSink {
           send_event("terminated", Json::object());
         }
         return true;
+      case ServiceEvent::Kind::BreakpointChanged: {
+        // Another attached session armed or disarmed a shared location;
+        // surfaced as a custom event so the IDE can refresh its gutter.
+        Json body = Json::object();
+        body["action"] = Json(event.breakpoint_change.action);
+        body["filename"] = Json(event.breakpoint_change.filename);
+        body["line"] =
+            Json(static_cast<int64_t>(event.breakpoint_change.line));
+        body["condition"] = Json(event.breakpoint_change.condition);
+        body["client"] =
+            Json(static_cast<int64_t>(event.breakpoint_change.client));
+        return send_event("hgdbBreakpointChanged", std::move(body));
+      }
     }
     return true;
   }
@@ -176,6 +199,7 @@ void DapServer::accept_loop() {
     connection->server = this;
     connection->service = service_;
     connection->stream = std::move(stream);
+    connection->bytes_sent = &service_->metrics().counter("session.dap.bytes_sent");
     try {
       connection->client = service_->register_client("dap", connection.get());
     } catch (const ServiceError&) {

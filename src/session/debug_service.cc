@@ -25,6 +25,7 @@ DebugService::DebugService(runtime::Runtime& runtime) : runtime_(&runtime) {
   events_delivered_ = &registry.counter("session.events_delivered");
   events_decimated_ = &registry.counter("session.events_decimated");
   events_dropped_ = &registry.counter("session.events_dropped");
+  breakpoint_changes_ = &registry.counter("session.breakpoint_changes");
   stop_handshake_ns_ = &registry.histogram("session.stop_handshake_ns");
   runtime_->set_change_listener(
       [this](int64_t subscription_id, uint64_t time,
@@ -111,6 +112,14 @@ void DebugService::set_client_sink(ClientId id, EventSink* sink) {
   client_at(id).sink = sink;
 }
 
+void DebugService::set_client_binary(ClientId id, bool binary) {
+  // delivery_mutex_ first, like set_client_sink: a fan-out snapshotting
+  // binary flags must not race the switch mid-delivery.
+  common::LockGuard delivery(delivery_mutex_);
+  common::LockGuard lock(clients_mutex_);
+  client_at(id).binary = binary;
+}
+
 size_t DebugService::client_count() const {
   common::LockGuard lock(clients_mutex_);
   return clients_.size();
@@ -156,13 +165,23 @@ std::vector<int64_t> DebugService::arm_breakpoint(ClientId id,
   }
   const auto key =
       std::make_pair(Location{spec.filename, spec.line}, spec.condition);
-  common::LockGuard lock(clients_mutex_);
-  ClientState& client = client_at(id);
-  engage_locked(client);  // armed a breakpoint: expected to answer stops
-  if (!client.arms.insert(key).second) {
-    // The client already held this exact arm; undo the duplicate runtime
-    // reference so its ref count stays one-per-owner.
-    runtime_->release_breakpoint(spec.filename, spec.line, spec.condition);
+  bool fresh_arm = false;
+  {
+    common::LockGuard lock(clients_mutex_);
+    ClientState& client = client_at(id);
+    engage_locked(client);  // armed a breakpoint: expected to answer stops
+    fresh_arm = client.arms.insert(key).second;
+    if (!fresh_arm) {
+      // The client already held this exact arm; undo the duplicate runtime
+      // reference so its ref count stays one-per-owner.
+      runtime_->release_breakpoint(spec.filename, spec.line, spec.condition);
+    }
+  }
+  // Outside the client table lock: the fan-out takes delivery_mutex_ and
+  // re-enters clients_mutex_ itself. A re-arm of an already-held location
+  // changes nothing, so the other sessions hear nothing.
+  if (fresh_arm) {
+    notify_breakpoint_change(id, "armed", key.first, key.second);
   }
   return ids;
 }
@@ -188,6 +207,7 @@ size_t DebugService::disarm_breakpoint(ClientId id,
   for (const auto& [location, condition] : taken) {
     removed +=
         runtime_->release_breakpoint(location.first, location.second, condition);
+    notify_breakpoint_change(id, "disarmed", location, condition);
   }
   return removed;
 }
@@ -487,6 +507,7 @@ void DebugService::handle_value_changes(
   // free so a slow (or re-entrant) sink cannot block service traffic.
   common::LockGuard delivery(delivery_mutex_);
   EventSink* sink = nullptr;
+  bool binary = false;
   {
     common::LockGuard lock(clients_mutex_);
     auto it = subscriptions_.find(key);
@@ -513,6 +534,7 @@ void DebugService::handle_value_changes(
     auto client = clients_.find(state.client);
     if (client == clients_.end() || client->second.sink == nullptr) return;
     sink = client->second.sink;
+    binary = client->second.binary;
   }
   HGDB_TRACE_SPAN("session", "event_fanout");
   ServiceEvent event;
@@ -520,6 +542,10 @@ void DebugService::handle_value_changes(
   event.value_change.subscription = key;
   event.value_change.time = time;
   event.value_change.changes = std::move(changes);
+  if (binary) {
+    event.binary_body =
+        rpc::encode_value_change_body(time, event.value_change.changes);
+  }
   if (sink->deliver(event)) {
     events_delivered_->add(1);
     // Re-find under the lock: the subscription may have been dropped
@@ -556,6 +582,51 @@ DebugService::ServiceStats DebugService::service_stats() const {
 
 obs::MetricsRegistry& DebugService::metrics() const {
   return runtime_->metrics();
+}
+
+// ---------------------------------------------------------------------------
+// cross-client notifications
+// ---------------------------------------------------------------------------
+
+void DebugService::notify_breakpoint_change(ClientId actor,
+                                            const std::string& action,
+                                            const Location& location,
+                                            const std::string& condition) {
+  // Same bracket discipline as the other fan-outs: snapshot the recipients
+  // under clients_mutex_, deliver under delivery_mutex_ only.
+  common::LockGuard delivery(delivery_mutex_);
+  struct Target {
+    EventSink* sink = nullptr;
+    bool binary = false;
+  };
+  std::vector<Target> targets;
+  bool any_binary = false;
+  {
+    common::LockGuard lock(clients_mutex_);
+    for (auto& [id, client] : clients_) {
+      // The editing session already knows; v1 clients have no event
+      // vocabulary for this (the v1 wire only carries stops).
+      if (id == actor || client.sink == nullptr || client.protocol < 2) {
+        continue;
+      }
+      targets.push_back(Target{client.sink, client.binary});
+      any_binary |= client.binary;
+    }
+  }
+  if (targets.empty()) return;
+  ServiceEvent event;
+  event.kind = ServiceEvent::Kind::BreakpointChanged;
+  event.breakpoint_change.action = action;
+  event.breakpoint_change.filename = location.first;
+  event.breakpoint_change.line = location.second;
+  event.breakpoint_change.condition = condition;
+  event.breakpoint_change.client = actor;
+  if (any_binary) {
+    event.binary_body = rpc::encode_breakpoint_change_body(event.breakpoint_change);
+  }
+  for (const auto& target : targets) {
+    if (target.sink->deliver(event)) breakpoint_changes_->add(1);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -620,16 +691,25 @@ DebugService::Command DebugService::deliver_stop(rpc::StopEvent event) {
       ClientId id = 0;
       EventSink* sink = nullptr;
       bool engaged = false;
+      bool binary = false;
     };
     std::vector<Target> targets;
+    bool any_binary = false;
     {
       common::LockGuard clients_lock(clients_mutex_);
       targets.reserve(clients_.size());
       for (auto& [id, client] : clients_) {
         if (client.sink == nullptr) continue;
         if (!stop_relevant(client, service_event.stop)) continue;
-        targets.push_back(Target{id, client.sink, client.engaged});
+        targets.push_back(Target{id, client.sink, client.engaged, client.binary});
+        any_binary |= client.binary;
       }
+    }
+    // Serialize once: every binary subscriber shares this encoding (its
+    // sink enqueues a refcount bump, not a render). JSON clients keep the
+    // per-client render path inside their sinks.
+    if (any_binary) {
+      service_event.binary_body = rpc::encode_stop_body(service_event.stop);
     }
     for (const auto& target : targets) {
       if (target.sink->deliver(service_event)) {

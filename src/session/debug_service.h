@@ -15,6 +15,7 @@
 
 #include "common/checked_mutex.h"
 #include "obs/metrics.h"
+#include "rpc/event_frame.h"
 #include "rpc/protocol.h"
 #include "rpc/protocol_v2.h"
 
@@ -117,7 +118,7 @@ struct SubscribeSpec {
 /// One event pushed from the runtime to a client. Kind selects which
 /// member is meaningful.
 struct ServiceEvent {
-  enum class Kind : uint8_t { Stop, ValueChange, Lifecycle };
+  enum class Kind : uint8_t { Stop, ValueChange, Lifecycle, BreakpointChanged };
 
   struct ValueChange {
     uint64_t subscription = 0;
@@ -134,6 +135,14 @@ struct ServiceEvent {
   rpc::StopEvent stop;        ///< Kind::Stop
   ValueChange value_change;   ///< Kind::ValueChange
   std::string lifecycle;      ///< Kind::Lifecycle ("shutdown")
+  /// Kind::BreakpointChanged: another client edited a shared location.
+  rpc::BreakpointChangeEvent breakpoint_change;
+  /// Serialize-once body for binary-events sinks: filled by the service
+  /// before fan-out when any recipient is binary, so N binary subscribers
+  /// share one encoding (a refcount bump each) instead of re-rendering.
+  /// Unset when no binary recipient exists; a binary sink receiving an
+  /// unset body (a direct deliver in tests) encodes on demand.
+  rpc::SharedFrame binary_body;
 };
 
 /// The push half of the service API: the runtime delivers stop,
@@ -192,6 +201,10 @@ class DebugService {
   /// Attaches the sink after registration (front ends whose sink object
   /// needs the client id first). Events fired in between are dropped.
   void set_client_sink(ClientId id, EventSink* sink);
+  /// Marks the client as a binary-events subscriber: fan-out serializes
+  /// hot events once into ServiceEvent::binary_body for it (and every
+  /// other binary client) instead of per-client JSON rendering.
+  void set_client_binary(ClientId id, bool binary);
   [[nodiscard]] size_t client_count() const;
   [[nodiscard]] std::vector<ClientView> clients() const;
 
@@ -269,6 +282,16 @@ class DebugService {
   /// the `runtime.*` ones, so one exposition page covers the stack.
   [[nodiscard]] obs::MetricsRegistry& metrics() const;
 
+  // -- cross-client notifications ----------------------------------------------
+  /// Pushes a `breakpoint-changed` event to every *other* attached v2+
+  /// session when `actor` arms or disarms a shared location (action
+  /// "armed" / "disarmed"). Fired by arm_breakpoint/disarm_breakpoint for
+  /// explicit protocol commands only — implicit releases at detach or
+  /// disconnect do not notify. The caller must hold no service locks.
+  void notify_breakpoint_change(ClientId actor, const std::string& action,
+                                const Location& location,
+                                const std::string& condition);
+
   // -- runtime hooks -----------------------------------------------------------
   /// Called by the runtime's scheduler when a stop fires: routes the event
   /// to the relevant clients' sinks (condition-routed stops reach only the
@@ -294,6 +317,7 @@ class DebugService {
     int protocol = 2;
     EventSink* sink = nullptr;
     bool engaged = false;  ///< expected to answer stops
+    bool binary = false;   ///< receives events as binary frames
     /// Owned breakpoint arms: one entry per (location, condition) this
     /// client holds ("" = unconditional).
     std::set<std::pair<Location, std::string>> arms;
@@ -377,6 +401,9 @@ class DebugService {
   obs::Counter* events_delivered_ = nullptr;
   obs::Counter* events_decimated_ = nullptr;
   obs::Counter* events_dropped_ = nullptr;
+  /// `session.breakpoint_changes`: breakpoint-changed events delivered to
+  /// non-actor sessions.
+  obs::Counter* breakpoint_changes_ = nullptr;
   /// Stop-to-command-latency histogram (`session.stop_handshake_ns`).
   obs::Histogram* stop_handshake_ns_ = nullptr;
 };

@@ -7,7 +7,9 @@
 #include <optional>
 #include <string>
 
+#include "obs/metrics.h"
 #include "rpc/channel.h"
+#include "rpc/event_writer.h"
 #include "session/debug_service.h"
 
 namespace hgdb::session {
@@ -22,7 +24,7 @@ namespace hgdb::session {
 /// subscriptions — lives in the DebugService client registry; the session
 /// is purely the transport + wire-format half, and receives pushed events
 /// as the client's EventSink (rendering them in the negotiated v1/v2 wire
-/// format).
+/// format, or enqueuing binary frames once the client opted in).
 class DebugSession final : public EventSink {
  public:
   DebugSession(ClientId id, std::unique_ptr<rpc::Channel> channel);
@@ -46,7 +48,9 @@ class DebugSession final : public EventSink {
 
   // -- transport ---------------------------------------------------------------
   /// Thread-safe send; returns false (and marks the session dead) once the
-  /// peer is gone.
+  /// peer is gone. Once the session is in binary-events mode this routes
+  /// through the async writer too — a second direct writer on the same fd
+  /// would interleave with event frames and corrupt the framing.
   bool send(const std::string& text);
   /// Blocking receive on the session's reader thread.
   std::optional<std::string> receive() { return channel_->receive(); }
@@ -68,19 +72,56 @@ class DebugSession final : public EventSink {
     return reapable_.load(std::memory_order_acquire);
   }
 
+  // -- binary events -----------------------------------------------------------
+  /// Switches this session to binary event frames: pushed events (and all
+  /// later sends) enqueue onto `writer` target `target` instead of
+  /// blocking on the channel. Called once, from the session's own reader
+  /// thread (the `connect` handler), before any event can observe it.
+  void enable_binary_events(rpc::EventWriter* writer, uint64_t target) {
+    writer_ = writer;
+    writer_target_.store(target, std::memory_order_release);
+  }
+  [[nodiscard]] bool binary_events() const {
+    return writer_target_.load(std::memory_order_acquire) != 0;
+  }
+  [[nodiscard]] uint64_t writer_target() const {
+    return writer_target_.load(std::memory_order_acquire);
+  }
+  /// The channel's socket descriptor (-1 for in-process channels).
+  [[nodiscard]] int native_handle() const { return channel_->native_handle(); }
+  /// Direct channel send, bypassing the writer: the EventWriter's
+  /// fallback flush path for in-process channels, and the pre-binary
+  /// send() body. Returns false once the peer is gone.
+  bool send_on_channel(const std::string& text);
+  /// Counter for bytes written on the channel path (socket-path bytes are
+  /// accounted by the writer's Target). Optional.
+  void set_bytes_counter(obs::Counter* counter) { bytes_sent_ = counter; }
+
   // -- EventSink ---------------------------------------------------------------
   /// Renders a pushed service event in this session's wire format and
   /// sends it. Value-change events exist in v2 only (a v1 client cannot
-  /// subscribe); lifecycle events are not on the native wire.
+  /// subscribe); lifecycle events reach binary sessions as frames but are
+  /// not on the native JSON wire.
   bool deliver(const ServiceEvent& event) override;
 
  private:
+  /// Queues a frame on the writer; Dead marks the session dead. Dropped
+  /// returns true — the client stays attached, the event was sacrificed
+  /// by the slow-client policy (and counted).
+  bool enqueue(rpc::OutboundFrame frame, bool force);
+
   const ClientId id_;
   std::unique_ptr<rpc::Channel> channel_;
   std::atomic<int> version_{1};
   std::atomic<bool> alive_{true};
   std::atomic<bool> reapable_{false};
   bool rejected_ = false;
+  /// Binary-events plumbing: writer_ is written before the release-store
+  /// of writer_target_, and only ever read after an acquire-load sees the
+  /// target — the usual publish pattern, no lock needed.
+  rpc::EventWriter* writer_ = nullptr;
+  std::atomic<uint64_t> writer_target_{0};
+  obs::Counter* bytes_sent_ = nullptr;
 };
 
 }  // namespace hgdb::session

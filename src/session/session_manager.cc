@@ -67,10 +67,28 @@ int64_t opt_int(const Json& payload, const char* key, int64_t fallback = 0) {
   return field->get().as_int();
 }
 
+bool opt_bool(const Json& payload, const char* key, bool fallback = false) {
+  auto field = payload.get(key);
+  if (!field) return fallback;
+  if (!field->get().is_bool()) {
+    throw std::invalid_argument(std::string("payload field '") + key +
+                                "' must be a boolean");
+  }
+  return field->get().as_bool();
+}
+
 }  // namespace
 
 SessionManager::SessionManager(runtime::Runtime& runtime)
     : runtime_(&runtime), service_(std::make_unique<DebugService>(runtime)) {
+  rpc::EventWriter::Options writer_options;
+  writer_options.max_queue_frames = runtime.options().event_queue_frames;
+  writer_options.max_queue_bytes = runtime.options().event_queue_bytes;
+  writer_options.disconnect_on_overflow =
+      runtime.options().disconnect_slow_clients;
+  writer_options.metrics = &runtime.metrics();
+  event_writer_ = std::make_unique<rpc::EventWriter>(writer_options);
+  native_bytes_sent_ = &runtime.metrics().counter("session.native.bytes_sent");
   register_builtins();
 }
 
@@ -111,6 +129,7 @@ uint64_t SessionManager::add_client(std::unique_ptr<rpc::Channel> channel) {
       Entry{std::make_unique<DebugSession>(id, std::move(channel)),
             std::thread{}});
   DebugSession* session = entries_.back().session.get();
+  session->set_bytes_counter(native_bytes_sent_);
   if (rejected) {
     session->mark_rejected();
   } else {
@@ -216,7 +235,39 @@ void SessionManager::session_loop(DebugSession* session) {
 void SessionManager::cleanup_session(DebugSession& session) {
   session.mark_dead();
   session.close();
+  // Unhook the writer target before the service forgets the client: once
+  // remove_target returns, the writer holds no reference to this session's
+  // fd or callbacks, so the Entry can be reaped safely.
+  if (session.binary_events()) {
+    event_writer_->remove_target(session.writer_target());
+  }
   if (!session.rejected()) service_->unregister_client(session.id());
+}
+
+void SessionManager::enable_binary_events(DebugSession& session) {
+  rpc::EventWriter::Target target;
+  target.fd = session.native_handle();
+  DebugSession* raw = &session;
+  if (target.fd < 0) {
+    // In-process channel: no socket to scatter-write, flush through the
+    // channel's (fast, non-blocking) queue push instead.
+    target.send = [raw](std::string_view message) {
+      return raw->send_on_channel(std::string(message));
+    };
+  }
+  // Keep this minimal and service-free: mark the session dead and close
+  // its channel — the shutdown() wakes the blocked reader thread, which
+  // runs cleanup_session (unregistering the client) on its own stack.
+  target.on_dead = [raw] {
+    raw->mark_dead();
+    raw->close();
+  };
+  // fd targets account bytes in the writer; channel targets already count
+  // inside send_on_channel — setting both would double-count.
+  if (target.fd >= 0) target.bytes_sent = native_bytes_sent_;
+  const uint64_t writer_id = event_writer_->add_target(std::move(target));
+  session.enable_binary_events(event_writer_.get(), writer_id);
+  service_->set_client_binary(session.id(), true);
 }
 
 // ---------------------------------------------------------------------------
@@ -404,8 +455,16 @@ void SessionManager::register_builtins() {
                                      ResponseV2& response) {
     service_->set_client_name(
         session.id(), opt_string(request.payload, "client", "client"));
+    // Capability opt-in: after this response, pushed events arrive as
+    // binary frames (the command channel stays JSON v2). Idempotent on
+    // reconnect-style repeated `connect`s.
+    if (opt_bool(request.payload, "binary_events") &&
+        !session.binary_events()) {
+      enable_binary_events(session);
+    }
     response.payload["session_id"] = Json(static_cast<int64_t>(session.id()));
     response.payload["server"] = Json("hgdb");
+    response.payload["binary_events"] = Json(session.binary_events());
     response.payload["capabilities"] = capabilities().to_json();
     Json commands = Json::array();
     for (const auto& name : command_names()) commands.push_back(Json(name));

@@ -12,6 +12,7 @@
 
 #include "common/checked_mutex.h"
 #include "obs/metrics.h"
+#include "rpc/event_writer.h"
 #include "rpc/protocol.h"
 #include "rpc/protocol_v2.h"
 #include "session/debug_service.h"
@@ -135,9 +136,20 @@ class SessionManager {
   void cleanup_session(DebugSession& session);
   void handle_execution(DebugSession& session, const rpc::RequestV2& request,
                         rpc::ResponseV2& response, Command command);
+  /// Registers the session's transport as an EventWriter target and flips
+  /// the session + service to binary-events mode (the `connect`
+  /// capability opt-in). Runs on the session's own reader thread.
+  void enable_binary_events(DebugSession& session);
 
   runtime::Runtime* runtime_;
   std::unique_ptr<DebugService> service_;
+  /// Async event writer shared by every binary-events session. Declared
+  /// before entries_ so it outlives the sessions during destruction
+  /// (targets are removed in cleanup_session before a session dies).
+  std::unique_ptr<rpc::EventWriter> event_writer_;
+  /// `session.native.bytes_sent`: bytes written by the native front end
+  /// (channel path and writer path both account here).
+  obs::Counter* native_bytes_sent_ = nullptr;
 
   mutable common::SessionsMutex sessions_mutex_{"session::sessions"};
   std::vector<Entry> entries_ HGDB_GUARDED_BY(sessions_mutex_);

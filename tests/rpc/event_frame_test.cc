@@ -1,0 +1,233 @@
+// Binary event framing: frame assembly, binary <-> JSON equivalence for
+// every event kind, and decoder robustness against malformed input.
+#include "rpc/event_frame.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "rpc/protocol.h"
+
+namespace hgdb::rpc {
+namespace {
+
+using common::Json;
+
+StopEvent sample_stop() {
+  StopEvent stop;
+  stop.time = 123456789;
+  stop.condition_routed = true;  // local routing flag: never on the wire
+  Frame frame;
+  frame.breakpoint_id = 42;
+  frame.instance_id = 7;
+  frame.instance_name = "top.dut";
+  frame.filename = "design.py";
+  frame.line = 91;
+  frame.column = 5;
+  frame.locals = Json::parse(R"({"a": "1", "b": {"c": "2"}})");
+  frame.generator = Json::parse(R"({"state": "IDLE"})");
+  frame.matched_conditions = {"a == 1", "b.c > 0"};
+  stop.frames.push_back(frame);
+  Frame second;
+  second.breakpoint_id = 43;
+  second.instance_id = 8;
+  second.instance_name = "top.dut2";
+  second.filename = "design.py";
+  second.line = 92;
+  second.column = 0;
+  second.locals = Json::object();
+  second.generator = Json::object();
+  stop.frames.push_back(second);
+  WatchHit hit;
+  hit.id = 3;
+  hit.expression = "counter + 1";
+  hit.old_value = "4";
+  hit.new_value = "5";
+  stop.watch_hits.push_back(hit);
+  return stop;
+}
+
+std::string wire_message(const OutboundFrame& frame) {
+  // What the peer's Channel::receive() hands back after stripping the
+  // 4-byte length prefix.
+  return frame.channel_message();
+}
+
+// -- frame layout --------------------------------------------------------------
+
+TEST(EventFrameTest, FrameCarriesMagicVersionAndKind) {
+  auto frame =
+      make_event_frame(FrameKind::Lifecycle, encode_lifecycle_body("shutdown"));
+  const std::string message = wire_message(frame);
+  ASSERT_GE(message.size(), 4u);
+  EXPECT_EQ(static_cast<uint8_t>(message[0]), kEventFrameMagic);
+  EXPECT_EQ(static_cast<uint8_t>(message[1]), kEventFrameVersion);
+  EXPECT_EQ(static_cast<uint8_t>(message[2]),
+            static_cast<uint8_t>(FrameKind::Lifecycle));
+  EXPECT_EQ(static_cast<uint8_t>(message[3]), 0u);  // flags reserved
+  EXPECT_TRUE(is_event_frame(message));
+}
+
+TEST(EventFrameTest, LengthPrefixMatchesSocketFraming) {
+  auto frame = make_event_frame(FrameKind::Stop, encode_stop_body(sample_stop()));
+  const std::string message = wire_message(frame);
+  // The inline header holds the big-endian length of everything after it.
+  const uint32_t length = (static_cast<uint32_t>(frame.header[0]) << 24) |
+                          (static_cast<uint32_t>(frame.header[1]) << 16) |
+                          (static_cast<uint32_t>(frame.header[2]) << 8) |
+                          static_cast<uint32_t>(frame.header[3]);
+  EXPECT_EQ(length, message.size());
+  EXPECT_EQ(frame.size(), message.size() + 4);
+}
+
+TEST(EventFrameTest, JsonTextCanNeverLookLikeAFrame) {
+  EXPECT_FALSE(is_event_frame(R"({"type": "event"})"));
+  EXPECT_FALSE(is_event_frame(""));
+  EXPECT_FALSE(is_event_frame("[1, 2]"));
+}
+
+TEST(EventFrameTest, TextFrameWrapsJsonVerbatim) {
+  const std::string text = R"({"type": "response", "status": "success"})";
+  auto frame = make_text_frame(text);
+  EXPECT_EQ(wire_message(frame), text);
+  EXPECT_EQ(frame.header_size, 4u);  // length-only header
+  EXPECT_FALSE(is_event_frame(wire_message(frame)));
+}
+
+// -- binary <-> JSON equivalence ----------------------------------------------
+
+TEST(EventFrameTest, StopRoundTripMatchesJsonRendering) {
+  const StopEvent original = sample_stop();
+  auto frame = make_event_frame(FrameKind::Stop, encode_stop_body(original));
+
+  const auto decoded = decode_event_frame(wire_message(frame));
+  ASSERT_EQ(decoded.kind, FrameKind::Stop);
+  // The JSON path every legacy client takes, decoded back to the struct.
+  const StopEvent via_json = stop_event_fields(stop_event_payload(original));
+
+  ASSERT_EQ(decoded.stop.frames.size(), via_json.frames.size());
+  EXPECT_EQ(decoded.stop.time, via_json.time);
+  for (size_t i = 0; i < via_json.frames.size(); ++i) {
+    const auto& binary = decoded.stop.frames[i];
+    const auto& json = via_json.frames[i];
+    EXPECT_EQ(binary.breakpoint_id, json.breakpoint_id) << "frame " << i;
+    EXPECT_EQ(binary.instance_id, json.instance_id) << "frame " << i;
+    EXPECT_EQ(binary.instance_name, json.instance_name) << "frame " << i;
+    EXPECT_EQ(binary.filename, json.filename) << "frame " << i;
+    EXPECT_EQ(binary.line, json.line) << "frame " << i;
+    EXPECT_EQ(binary.column, json.column) << "frame " << i;
+    EXPECT_EQ(binary.locals.dump(), json.locals.dump()) << "frame " << i;
+    EXPECT_EQ(binary.generator.dump(), json.generator.dump()) << "frame " << i;
+    EXPECT_EQ(binary.matched_conditions, json.matched_conditions)
+        << "frame " << i;
+  }
+  ASSERT_EQ(decoded.stop.watch_hits.size(), via_json.watch_hits.size());
+  for (size_t i = 0; i < via_json.watch_hits.size(); ++i) {
+    EXPECT_EQ(decoded.stop.watch_hits[i].id, via_json.watch_hits[i].id);
+    EXPECT_EQ(decoded.stop.watch_hits[i].expression,
+              via_json.watch_hits[i].expression);
+    EXPECT_EQ(decoded.stop.watch_hits[i].old_value,
+              via_json.watch_hits[i].old_value);
+    EXPECT_EQ(decoded.stop.watch_hits[i].new_value,
+              via_json.watch_hits[i].new_value);
+  }
+}
+
+TEST(EventFrameTest, ValueChangeRoundTripKeepsPerClientSubscription) {
+  struct Change {
+    std::string signal;
+    std::string value;
+    uint32_t width = 0;
+  };
+  const std::vector<Change> changes = {{"top.a", "15", 8},
+                                       {"top.b", "xz01", 4}};
+  // One shared body, two subscribers with different subscription ids —
+  // the id lives in the per-client prefix, not the body.
+  auto body = encode_value_change_body(987654321, changes);
+  auto frame_a = make_value_change_frame(11, body);
+  auto frame_b = make_value_change_frame(22, body);
+  EXPECT_EQ(&frame_a.body.bytes(), &frame_b.body.bytes());  // zero-copy share
+
+  for (const auto& [frame, subscription] :
+       {std::pair{frame_a, uint64_t{11}}, std::pair{frame_b, uint64_t{22}}}) {
+    const auto decoded = decode_event_frame(wire_message(frame));
+    ASSERT_EQ(decoded.kind, FrameKind::ValueChange);
+    EXPECT_EQ(decoded.value_change.subscription, subscription);
+    EXPECT_EQ(decoded.value_change.time, 987654321u);
+    ASSERT_EQ(decoded.value_change.changes.size(), changes.size());
+    for (size_t i = 0; i < changes.size(); ++i) {
+      EXPECT_EQ(decoded.value_change.changes[i].signal, changes[i].signal);
+      EXPECT_EQ(decoded.value_change.changes[i].value, changes[i].value);
+      EXPECT_EQ(decoded.value_change.changes[i].width, changes[i].width);
+    }
+  }
+}
+
+TEST(EventFrameTest, LifecycleRoundTrip) {
+  auto frame =
+      make_event_frame(FrameKind::Lifecycle, encode_lifecycle_body("shutdown"));
+  const auto decoded = decode_event_frame(wire_message(frame));
+  ASSERT_EQ(decoded.kind, FrameKind::Lifecycle);
+  EXPECT_EQ(decoded.lifecycle, "shutdown");
+}
+
+TEST(EventFrameTest, BreakpointChangeRoundTrip) {
+  BreakpointChangeEvent event;
+  event.action = "armed";
+  event.filename = "svc.cc";
+  event.line = 7;
+  event.condition = "cycle_reg % 2 == 0";
+  event.client = 3;
+  auto frame = make_event_frame(FrameKind::BreakpointChanged,
+                                encode_breakpoint_change_body(event));
+  const auto decoded = decode_event_frame(wire_message(frame));
+  ASSERT_EQ(decoded.kind, FrameKind::BreakpointChanged);
+  EXPECT_EQ(decoded.breakpoint_change.action, event.action);
+  EXPECT_EQ(decoded.breakpoint_change.filename, event.filename);
+  EXPECT_EQ(decoded.breakpoint_change.line, event.line);
+  EXPECT_EQ(decoded.breakpoint_change.condition, event.condition);
+  EXPECT_EQ(decoded.breakpoint_change.client, event.client);
+}
+
+// -- decoder robustness --------------------------------------------------------
+
+TEST(EventFrameTest, TruncatedFrameThrows) {
+  auto frame = make_event_frame(FrameKind::Stop, encode_stop_body(sample_stop()));
+  const std::string message = wire_message(frame);
+  for (const size_t keep : {size_t{0}, size_t{3}, size_t{5}, message.size() / 2,
+                            message.size() - 1}) {
+    EXPECT_THROW(decode_event_frame(message.substr(0, keep)),
+                 std::runtime_error)
+        << "kept " << keep << " bytes";
+  }
+}
+
+TEST(EventFrameTest, TrailingBytesThrow) {
+  auto frame =
+      make_event_frame(FrameKind::Lifecycle, encode_lifecycle_body("pause"));
+  EXPECT_THROW(decode_event_frame(wire_message(frame) + "x"),
+               std::runtime_error);
+}
+
+TEST(EventFrameTest, WrongMagicOrVersionOrKindThrows) {
+  auto frame =
+      make_event_frame(FrameKind::Lifecycle, encode_lifecycle_body("pause"));
+  std::string message = wire_message(frame);
+
+  std::string bad_magic = message;
+  bad_magic[0] = '{';
+  EXPECT_THROW(decode_event_frame(bad_magic), std::runtime_error);
+
+  std::string bad_version = message;
+  bad_version[1] = 99;
+  EXPECT_THROW(decode_event_frame(bad_version), std::runtime_error);
+
+  std::string bad_kind = message;
+  bad_kind[2] = 77;
+  EXPECT_THROW(decode_event_frame(bad_kind), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hgdb::rpc

@@ -13,7 +13,13 @@ Two report shapes are understood:
   - fig5 (BENCH_fig5.json): condition_eval.*.speedup + hot_speedup;
   - any report carrying a top-level "gates" object of name -> ratio
     (BENCH_waveform.json: open_vs_parse_speedup, v3_size_savings,
-    mmap_vs_buffered_seek).
+    mmap_vs_buffered_seek; BENCH_fanout.json: binary_fanout_speedup).
+
+Reports may also carry a top-level "ceilings" object of name -> absolute
+upper bound (e.g. a p99 latency in ms). Ceilings gate in the opposite
+direction and with no drop budget: the run fails when the current value
+exceeds the committed baseline value. Use them for quantities where
+"bigger" is strictly worse and the committed bound is already generous.
 
 Usage:
   check_bench_regression.py CURRENT.json BASELINE.json [--max-drop 0.30]
@@ -36,6 +42,15 @@ def tracked_speedups(report):
     for name, value in sorted(report.get("gates", {}).items()):
         if isinstance(value, (int, float)):
             out.append((f"gates.{name}", float(value)))
+    return out
+
+
+def tracked_ceilings(report):
+    """(name, value) pairs of the absolute upper bounds the gate protects."""
+    out = []
+    for name, value in sorted(report.get("ceilings", {}).items()):
+        if isinstance(value, (int, float)):
+            out.append((f"ceilings.{name}", float(value)))
     return out
 
 
@@ -73,11 +88,25 @@ def main():
         if now < floor:
             failed = True
 
+    baseline_ceilings = dict(tracked_ceilings(baseline))
+    current_ceilings = dict(tracked_ceilings(current))
+    for name, bound in sorted(baseline_ceilings.items()):
+        if name not in current_ceilings:
+            print(f"FAIL {name}: missing from the current report")
+            failed = True
+            continue
+        now = current_ceilings[name]
+        status = "ok" if now <= bound else "FAIL"
+        print(f"{status:>4} {name}: current {now:.3f} vs ceiling {bound:.3f}")
+        if now > bound:
+            failed = True
+
     if failed:
         print(f"\nbench regression: a speedup dropped more than "
-              f"{args.max_drop:.0%} below bench/baselines/", file=sys.stderr)
+              f"{args.max_drop:.0%} below bench/baselines/ or a ceiling "
+              f"was exceeded", file=sys.stderr)
         return 1
-    print("\nall tracked speedups within the regression budget")
+    print("\nall tracked speedups and ceilings within the regression budget")
     return 0
 
 
