@@ -192,6 +192,13 @@ OutboundFrame make_text_frame(std::string text) {
   return frame;
 }
 
+OutboundFrame make_raw_frame(std::string bytes) {
+  OutboundFrame frame;
+  frame.header_size = 0;  // the bytes carry their own framing
+  frame.body = SharedFrame::take(std::move(bytes));
+  return frame;
+}
+
 bool is_event_frame(std::string_view message) {
   return !message.empty() &&
          static_cast<uint8_t>(message[0]) == kEventFrameMagic;

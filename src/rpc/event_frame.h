@@ -141,6 +141,11 @@ OutboundFrame make_value_change_frame(uint64_t subscription, SharedFrame body);
 /// Wraps JSON text (a response or a legacy event) for a binary session's
 /// queue: length-only header, text as body.
 OutboundFrame make_text_frame(std::string text);
+/// Wraps already-framed bytes for a writer queue verbatim — no length
+/// prefix at all. For transports with their own framing (the DAP front
+/// end's Content-Length messages) that still need the writer's bounded
+/// queues and non-blocking flush.
+OutboundFrame make_raw_frame(std::string bytes);
 
 // -- client-side decode -------------------------------------------------------
 

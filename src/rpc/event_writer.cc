@@ -102,6 +102,23 @@ void EventWriter::remove_target(uint64_t id) {
   targets_.erase(id);
 }
 
+bool EventWriter::drain(uint64_t id, std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  wake();
+  while (true) {
+    {
+      const common::LockGuard lock(mutex_);
+      auto it = targets_.find(id);
+      if (it == targets_.end() || it->second.dead) return false;
+      if (it->second.queue.empty()) return true;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    // The loop thread flushes as fast as the socket accepts; polling here
+    // (off-lock) is a teardown-only cost.
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
 void EventWriter::wake() {
   const char byte = 0;
   // Full pipe means a wake is already pending — that is all we need.

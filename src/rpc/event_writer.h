@@ -2,6 +2,7 @@
 #define HGDB_RPC_EVENT_WRITER_H
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -98,6 +99,14 @@ class EventWriter {
   /// Unregisters a target and discards its queue. On return the writer
   /// holds no reference to the target's fd or callbacks. Idempotent.
   void remove_target(uint64_t id) HGDB_EXCLUDES(mutex_);
+
+  /// Blocks until the target's queue is empty, the target is dead or
+  /// unknown, or `timeout` elapses; true when the queue fully flushed.
+  /// Teardown helper: a session's final response (disconnect ack,
+  /// session-limit rejection) is still queued when the reader thread
+  /// reaches cleanup, and remove_target would discard it.
+  bool drain(uint64_t id, std::chrono::milliseconds timeout)
+      HGDB_EXCLUDES(mutex_);
 
  private:
   struct Pending {

@@ -115,6 +115,7 @@ class SocketChannel final : public Channel {
 class SocketStream final : public ByteStream {
  public:
   explicit SocketStream(int fd) : fd_(fd) {}
+  [[nodiscard]] int native_handle() const override { return fd_; }
   ~SocketStream() override {
     close();
     if (fd_ >= 0) ::close(fd_);

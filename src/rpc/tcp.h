@@ -37,6 +37,10 @@ class ByteStream {
   virtual std::optional<std::string> receive_some() = 0;
   /// Closes the stream; a blocked receive_some wakes with nullopt.
   virtual void close() = 0;
+  /// The underlying socket descriptor, or -1 for non-socket streams. Like
+  /// Channel::native_handle, this lets the async event writer own the fd's
+  /// outbound side with coalesced non-blocking writes.
+  [[nodiscard]] virtual int native_handle() const { return -1; }
 };
 
 /// Loopback TCP transport with 4-byte big-endian length framing. This is

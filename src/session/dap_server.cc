@@ -1,5 +1,6 @@
 #include "session/dap_server.h"
 
+#include <chrono>
 #include <map>
 #include <optional>
 #include <string>
@@ -24,6 +25,11 @@ struct DapServer::Connection final : public EventSink {
   DapServer* server = nullptr;
   DebugService* service = nullptr;
   std::unique_ptr<rpc::ByteStream> stream;
+  /// The shared async writer; every outbound byte of this connection
+  /// enqueues on `writer_target` (the socket fd registered at accept), so
+  /// the reader and simulation threads never write the socket directly.
+  rpc::EventWriter* writer = nullptr;
+  uint64_t writer_target = 0;
   ClientId client = 0;
   bool rejected = false;  ///< session limit reached at accept time
   std::thread thread;
@@ -31,13 +37,11 @@ struct DapServer::Connection final : public EventSink {
   bool close_requested = false;  ///< reader-thread only (disconnect)
 
   // Sending: responses from the reader thread, events from the simulation
-  // thread; one mutex serializes both and the server seq counter.
+  // thread; one mutex serializes seq allocation + enqueue so server seq
+  // stays monotonically increasing on the wire (the enqueue itself is a
+  // bounded non-blocking push at a lower lock rank).
   common::TransportMutex send_mutex{"dap::connection_send"};
   int64_t next_seq HGDB_GUARDED_BY(send_mutex) = 1;
-  /// `session.dap.bytes_sent` in the unified registry (per-front-end
-  /// fan-out observability); Counter::add is lock-free, safe under
-  /// send_mutex.
-  obs::Counter* bytes_sent = nullptr;
 
   // The last stop, flattened into DAP reference tables (written by
   // deliver() on the sim thread, read by stackTrace/scopes/variables on
@@ -55,27 +59,44 @@ struct DapServer::Connection final : public EventSink {
   std::map<int64_t, Json> variable_refs HGDB_GUARDED_BY(state_mutex);
   int64_t next_ref HGDB_GUARDED_BY(state_mutex) = 1;
 
-  // seq allocation and the socket write happen under one send_mutex hold:
-  // DAP requires server seq to be monotonically increasing on the wire,
-  // and the sim thread (events) races the reader thread (responses).
+  // seq allocation and the enqueue happen under one send_mutex hold: DAP
+  // requires server seq to be monotonically increasing on the wire, and
+  // the sim thread (events) races the reader thread (responses). A
+  // dropped event leaves a seq gap, which DAP clients tolerate (seq is
+  // unique/increasing, not dense).
   bool send_response(const dap::Request& request, bool success, Json body,
                      const std::string& message = "") {
     common::LockGuard lock(send_mutex);
     const Json response = dap::make_response(next_seq++, request, success,
                                              std::move(body), message);
-    return send_encoded(dap::FrameCodec::encode(response.dump()));
+    // force: responses are request-paced, they bypass the event bound.
+    return send_encoded(dap::FrameCodec::encode(response.dump()),
+                        /*force=*/true);
   }
 
   bool send_event(const std::string& event, Json body) {
     common::LockGuard lock(send_mutex);
     const Json message = dap::make_event(next_seq++, event, std::move(body));
-    return send_encoded(dap::FrameCodec::encode(message.dump()));
+    return send_encoded(dap::FrameCodec::encode(message.dump()),
+                        /*force=*/false);
   }
 
-  bool send_encoded(const std::string& encoded) HGDB_REQUIRES(send_mutex) {
-    if (!stream->send_bytes(encoded)) return false;
-    if (bytes_sent != nullptr) bytes_sent->add(encoded.size());
-    return true;
+  bool send_encoded(const std::string& encoded, bool force)
+      HGDB_REQUIRES(send_mutex) {
+    // The Content-Length message carries its own framing, so it rides the
+    // writer as a raw frame; byte accounting lives in the writer target.
+    switch (writer->enqueue(writer_target, rpc::make_raw_frame(encoded),
+                            force)) {
+      case rpc::EventWriter::Enqueue::Queued:
+        return true;
+      case rpc::EventWriter::Enqueue::Dropped:
+        // Slow-client policy: the event is sacrificed (and counted), the
+        // connection stays attached.
+        return true;
+      case rpc::EventWriter::Enqueue::Dead:
+        return false;
+    }
+    return false;
   }
 
   int64_t register_object(Json object) HGDB_REQUIRES(state_mutex) {
@@ -177,7 +198,8 @@ int64_t dap_column(uint32_t column) { return column == 0 ? 1 : column; }
 // server lifecycle
 // ---------------------------------------------------------------------------
 
-DapServer::DapServer(DebugService& service) : service_(&service) {}
+DapServer::DapServer(DebugService& service, rpc::EventWriter& writer)
+    : service_(&service), writer_(&writer) {}
 
 DapServer::~DapServer() { shutdown(); }
 
@@ -199,7 +221,25 @@ void DapServer::accept_loop() {
     connection->server = this;
     connection->service = service_;
     connection->stream = std::move(stream);
-    connection->bytes_sent = &service_->metrics().counter("session.dap.bytes_sent");
+    connection->writer = writer_;
+    // Register the writer target before the service can deliver anything:
+    // the sink attaches inside register_client below, and the first event
+    // must already find the async path.
+    {
+      rpc::EventWriter::Target target;
+      // accept_stream always hands back a socket, so the fd path carries
+      // the bytes; there is no Target::send fallback here on purpose — a
+      // ByteStream::send_bytes under the writer mutex would block, which
+      // that callback's contract (and hgdb-analyze) forbids.
+      target.fd = connection->stream->native_handle();
+      Connection* raw = connection.get();
+      // Minimal and service-free: closing the stream wakes the blocked
+      // reader thread, which unregisters the client on its own stack.
+      target.on_dead = [raw] { raw->stream->close(); };
+      target.bytes_sent =
+          &service_->metrics().counter("session.dap.bytes_sent");
+      connection->writer_target = writer_->add_target(std::move(target));
+    }
     try {
       connection->client = service_->register_client("dap", connection.get());
     } catch (const ServiceError&) {
@@ -211,6 +251,7 @@ void DapServer::accept_loop() {
       if (!connection->rejected) {
         service_->unregister_client(connection->client);
       }
+      writer_->remove_target(connection->writer_target);
       connection->stream->close();
       break;
     }
@@ -587,6 +628,11 @@ void DapServer::connection_loop(Connection* connection) {
       }
     }
   }
+  // The final response (disconnect ack, limit rejection) may still sit in
+  // the writer queue; give it a bounded chance to flush, then unhook the
+  // target so the writer holds no reference to this connection's fd.
+  writer_->drain(connection->writer_target, std::chrono::milliseconds(1000));
+  writer_->remove_target(connection->writer_target);
   // Abrupt disconnects (mid-request included) release everything the
   // client owned and resign it from a pending stop, so a vanished IDE can
   // never hang the scheduler.

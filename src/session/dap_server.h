@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/checked_mutex.h"
+#include "rpc/event_writer.h"
 #include "session/debug_service.h"
 
 namespace hgdb::rpc {
@@ -41,7 +42,13 @@ namespace hgdb::session {
 /// limit.
 class DapServer {
  public:
-  explicit DapServer(DebugService& service);
+  /// `writer` carries every connection's outbound bytes: responses
+  /// enqueue with force (request-paced), events under the bounded
+  /// slow-client policy — the DAP twin of the native front end's
+  /// single-writer invariant, so a stalled IDE can never block the
+  /// delivery thread on a socket write. The writer must outlive the
+  /// server (SessionManager declares it first).
+  DapServer(DebugService& service, rpc::EventWriter& writer);
   ~DapServer();
 
   DapServer(const DapServer&) = delete;
@@ -63,6 +70,7 @@ class DapServer {
   void connection_loop(Connection* connection);
 
   DebugService* service_;
+  rpc::EventWriter* writer_;
   std::unique_ptr<rpc::TcpServer> server_;
   std::thread accept_thread_;
   mutable common::ConnectionsMutex connections_mutex_{"dap::connections"};

@@ -25,12 +25,24 @@ bool DebugSession::send_on_channel(const std::string& text) {
 }
 
 bool DebugSession::send(const std::string& text) {
-  if (binary_events()) {
+  if (has_writer()) {
     // force: responses are request-paced, they bypass the event-queue
     // bound rather than vanish mid-handshake.
     return enqueue(rpc::make_text_frame(text), /*force=*/true);
   }
   return send_on_channel(text);
+}
+
+bool DebugSession::send_event(const std::string& text) {
+  if (has_writer()) {
+    return enqueue(rpc::make_text_frame(text), /*force=*/false);
+  }
+  // No writer target means no bounded queue to absorb back-pressure, and a
+  // synchronous channel send here would stall the fan-out loop (sinks run
+  // under the service's delivery lock). Shed the event instead — the
+  // SessionManager attaches the writer before the sink is registered, so
+  // this branch is unreachable in production wiring.
+  return false;
 }
 
 bool DebugSession::enqueue(rpc::OutboundFrame frame, bool force) {
@@ -68,7 +80,7 @@ bool DebugSession::deliver(const ServiceEvent& event) {
               ? rpc::serialize_event_v2(rpc::EventV2{
                     "stop", rpc::stop_event_payload(event.stop)})
               : rpc::serialize_stop_event(event.stop);
-      return send(text);
+      return send_event(text);
     }
     case ServiceEvent::Kind::ValueChange: {
       // v1 clients cannot subscribe, so nothing can reach them here; keep
@@ -99,7 +111,7 @@ bool DebugSession::deliver(const ServiceEvent& event) {
         changes.push_back(std::move(entry));
       }
       payload["changes"] = std::move(changes);
-      return send(
+      return send_event(
           rpc::serialize_event_v2(rpc::EventV2{"values", std::move(payload)}));
     }
     case ServiceEvent::Kind::Lifecycle:
@@ -129,7 +141,7 @@ bool DebugSession::deliver(const ServiceEvent& event) {
       payload["condition"] = Json(event.breakpoint_change.condition);
       payload["client"] =
           Json(static_cast<int64_t>(event.breakpoint_change.client));
-      return send(rpc::serialize_event_v2(
+      return send_event(rpc::serialize_event_v2(
           rpc::EventV2{"breakpoint-changed", std::move(payload)}));
     }
   }

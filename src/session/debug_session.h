@@ -47,11 +47,17 @@ class DebugSession final : public EventSink {
   void mark_rejected() { rejected_ = true; }
 
   // -- transport ---------------------------------------------------------------
-  /// Thread-safe send; returns false (and marks the session dead) once the
-  /// peer is gone. Once the session is in binary-events mode this routes
-  /// through the async writer too — a second direct writer on the same fd
-  /// would interleave with event frames and corrupt the framing.
+  /// Thread-safe send for responses; returns false (and marks the session
+  /// dead) once the peer is gone. With a writer attached this enqueues
+  /// with force=true (responses are request-paced, they must not vanish
+  /// mid-handshake) — a second direct writer on the same fd would
+  /// interleave with event frames and corrupt the framing.
   bool send(const std::string& text);
+  /// Thread-safe send for pushed events: same routing as send() but
+  /// subject to the bounded-queue slow-client policy (force=false), so a
+  /// stalled JSON subscriber sheds events instead of blocking the
+  /// delivery thread.
+  bool send_event(const std::string& text);
   /// Blocking receive on the session's reader thread.
   std::optional<std::string> receive() { return channel_->receive(); }
   void close() { channel_->close(); }
@@ -72,17 +78,27 @@ class DebugSession final : public EventSink {
     return reapable_.load(std::memory_order_acquire);
   }
 
-  // -- binary events -----------------------------------------------------------
-  /// Switches this session to binary event frames: pushed events (and all
-  /// later sends) enqueue onto `writer` target `target` instead of
-  /// blocking on the channel. Called once, from the session's own reader
-  /// thread (the `connect` handler), before any event can observe it.
-  void enable_binary_events(rpc::EventWriter* writer, uint64_t target) {
+  // -- async writer / binary events --------------------------------------------
+  /// Routes all outbound traffic through `writer` target `target`: events
+  /// enqueue under the bounded slow-client policy, responses with force.
+  /// Called once per session by the manager, before the reader thread
+  /// starts and before the service sink is attached, so every send and
+  /// every delivered event observes it.
+  void attach_writer(rpc::EventWriter* writer, uint64_t target) {
     writer_ = writer;
     writer_target_.store(target, std::memory_order_release);
   }
-  [[nodiscard]] bool binary_events() const {
+  [[nodiscard]] bool has_writer() const {
     return writer_target_.load(std::memory_order_acquire) != 0;
+  }
+  /// Switches pushed events to the compact binary frame encoding (the
+  /// `connect {"binary_events": true}` capability opt-in). Transport
+  /// routing is unchanged — the writer carries JSON sessions too.
+  void enable_binary_events() {
+    binary_.store(true, std::memory_order_release);
+  }
+  [[nodiscard]] bool binary_events() const {
+    return binary_.load(std::memory_order_acquire);
   }
   [[nodiscard]] uint64_t writer_target() const {
     return writer_target_.load(std::memory_order_acquire);
@@ -90,8 +106,9 @@ class DebugSession final : public EventSink {
   /// The channel's socket descriptor (-1 for in-process channels).
   [[nodiscard]] int native_handle() const { return channel_->native_handle(); }
   /// Direct channel send, bypassing the writer: the EventWriter's
-  /// fallback flush path for in-process channels, and the pre-binary
-  /// send() body. Returns false once the peer is gone.
+  /// fallback flush path for in-process channels, and the send() body for
+  /// sessions with no writer attached (direct-construction tests).
+  /// Returns false once the peer is gone.
   bool send_on_channel(const std::string& text);
   /// Counter for bytes written on the channel path (socket-path bytes are
   /// accounted by the writer's Target). Optional.
@@ -115,6 +132,7 @@ class DebugSession final : public EventSink {
   std::atomic<int> version_{1};
   std::atomic<bool> alive_{true};
   std::atomic<bool> reapable_{false};
+  std::atomic<bool> binary_{false};
   bool rejected_ = false;
   /// Binary-events plumbing: writer_ is written before the release-store
   /// of writer_target_, and only ever read after an acquire-load sees the

@@ -130,6 +130,9 @@ uint64_t SessionManager::add_client(std::unique_ptr<rpc::Channel> channel) {
             std::thread{}});
   DebugSession* session = entries_.back().session.get();
   session->set_bytes_counter(native_bytes_sent_);
+  // Writer before sink: the first delivered event must already see the
+  // async path, or it would fall back to a blocking channel send.
+  attach_writer(*session);
   if (rejected) {
     session->mark_rejected();
   } else {
@@ -149,7 +152,9 @@ uint16_t SessionManager::listen_tcp(uint16_t port) {
 
 uint16_t SessionManager::listen_dap(uint16_t port) {
   common::LockGuard lock(sessions_mutex_);
-  if (!dap_server_) dap_server_ = std::make_unique<DapServer>(*service_);
+  if (!dap_server_) {
+    dap_server_ = std::make_unique<DapServer>(*service_, *event_writer_);
+  }
   return dap_server_->listen(port);
 }
 
@@ -233,18 +238,25 @@ void SessionManager::session_loop(DebugSession* session) {
 }
 
 void SessionManager::cleanup_session(DebugSession& session) {
+  // The session's final response (disconnect ack, limit rejection) may
+  // still sit in the writer queue; give it a bounded chance to flush
+  // before the close tears the transport down.
+  if (session.has_writer()) {
+    event_writer_->drain(session.writer_target(),
+                         std::chrono::milliseconds(1000));
+  }
   session.mark_dead();
   session.close();
   // Unhook the writer target before the service forgets the client: once
   // remove_target returns, the writer holds no reference to this session's
   // fd or callbacks, so the Entry can be reaped safely.
-  if (session.binary_events()) {
+  if (session.has_writer()) {
     event_writer_->remove_target(session.writer_target());
   }
   if (!session.rejected()) service_->unregister_client(session.id());
 }
 
-void SessionManager::enable_binary_events(DebugSession& session) {
+void SessionManager::attach_writer(DebugSession& session) {
   rpc::EventWriter::Target target;
   target.fd = session.native_handle();
   DebugSession* raw = &session;
@@ -266,7 +278,11 @@ void SessionManager::enable_binary_events(DebugSession& session) {
   // inside send_on_channel — setting both would double-count.
   if (target.fd >= 0) target.bytes_sent = native_bytes_sent_;
   const uint64_t writer_id = event_writer_->add_target(std::move(target));
-  session.enable_binary_events(event_writer_.get(), writer_id);
+  session.attach_writer(event_writer_.get(), writer_id);
+}
+
+void SessionManager::enable_binary_events(DebugSession& session) {
+  session.enable_binary_events();
   service_->set_client_binary(session.id(), true);
 }
 

@@ -136,8 +136,13 @@ class SessionManager {
   void cleanup_session(DebugSession& session);
   void handle_execution(DebugSession& session, const rpc::RequestV2& request,
                         rpc::ResponseV2& response, Command command);
-  /// Registers the session's transport as an EventWriter target and flips
-  /// the session + service to binary-events mode (the `connect`
+  /// Registers the session's transport as an EventWriter target: every
+  /// session — JSON and binary alike — sends through the async writer, so
+  /// pushed events always ride the bounded-queue slow-client policy and
+  /// no per-client blocking send remains on the event path. Called from
+  /// add_client before the reader thread starts.
+  void attach_writer(DebugSession& session);
+  /// Flips the session + service to binary event frames (the `connect`
   /// capability opt-in). Runs on the session's own reader thread.
   void enable_binary_events(DebugSession& session);
 

@@ -1,0 +1,28 @@
+// hgdb-analyze seeded-violation fixture: blocking syscalls issued while a
+// CheckedMutex is held. Parsed by the analyzer's self-test, never compiled
+// (the directory is excluded from the test glob, like tests/negative_compile).
+
+#include <sys/socket.h>
+
+#include "common/checked_mutex.h"
+
+namespace fixture_direct {
+
+class BadSender {
+ public:
+  void push(const char* data, int len) {
+    const common::LockGuard lock(send_mutex_);
+    ::send(fd_, data, len, 0);  // EXPECT-FINDING: blocking-under-lock
+  }
+
+  void persist(const char* data, int len) {
+    const common::LockGuard lock(send_mutex_);
+    ::pwrite(fd_, data, len, 0);  // EXPECT-FINDING: blocking-under-lock
+  }
+
+ private:
+  int fd_ = -1;
+  common::SessionsMutex send_mutex_{"fixture_direct::send"};
+};
+
+}  // namespace fixture_direct

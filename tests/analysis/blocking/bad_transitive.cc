@@ -1,0 +1,49 @@
+// hgdb-analyze seeded-violation fixture: the blocking primitive hides one
+// or two calls away, including behind a virtual dispatch. The checker must
+// propagate may-block through the call graph, not just match direct calls.
+
+#include <unistd.h>
+
+#include "common/checked_mutex.h"
+
+namespace fixture_transitive {
+
+class FlushTarget {
+ public:
+  virtual ~FlushTarget() = default;
+  virtual void flush_now() = 0;
+};
+
+class DiskTarget : public FlushTarget {
+ public:
+  void flush_now() override {
+    ::fsync(fd_);  // blocks, with no lock of its own: fine here
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+class BadFlusher {
+ public:
+  void write_helper(const char* data, int len) {
+    ::write(fd_, data, len);
+  }
+
+  void flush_all(const char* data, int len) {
+    const common::LockGuard lock(state_mutex_);
+    write_helper(data, len);  // EXPECT-FINDING: blocking-under-lock
+  }
+
+  void flush_virtual() {
+    const common::LockGuard lock(state_mutex_);
+    target_->flush_now();  // EXPECT-FINDING: blocking-under-lock
+  }
+
+ private:
+  int fd_ = -1;
+  FlushTarget* target_ = nullptr;
+  common::StateMutex state_mutex_{"fixture_transitive::state"};
+};
+
+}  // namespace fixture_transitive

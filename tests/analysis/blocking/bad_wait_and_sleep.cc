@@ -1,0 +1,42 @@
+// hgdb-analyze seeded-violation fixture: condition-variable waits that do
+// NOT release every held lock, sleeps under a lock, and a blocking call
+// reached from an HGDB_REQUIRES-annotated function (lock held at entry).
+
+#include <sys/socket.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <thread>
+
+#include "common/checked_mutex.h"
+
+namespace fixture_wait {
+
+class BadWaiter {
+ public:
+  void wait_holding_two() {
+    const common::LockGuard outer(table_mutex_);
+    common::UniqueLock lock(signal_mutex_);
+    // releases signal_mutex_ but keeps table_mutex_ across the park:
+    ready_.wait(lock);  // EXPECT-FINDING: blocking-under-lock
+  }
+
+  void nap_under_lock() {
+    const common::LockGuard lock(table_mutex_);
+    // EXPECT-FINDING: blocking-under-lock
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  void drain_locked(int fd) HGDB_REQUIRES(table_mutex_) {
+    char buffer[64];
+    // EXPECT-FINDING: blocking-under-lock
+    ::recv(fd, buffer, sizeof(buffer), 0);
+  }
+
+ private:
+  std::condition_variable_any ready_;
+  common::ClientsMutex table_mutex_{"fixture_wait::table"};
+  common::RpcMutex signal_mutex_{"fixture_wait::signal"};
+};
+
+}  // namespace fixture_wait

@@ -1,0 +1,41 @@
+// hgdb-analyze seeded-violation fixture: user-supplied callables invoked
+// while a lock is held — std::function members, parameters, and EventSink
+// style observer interfaces.
+
+#include <functional>
+#include <string>
+
+#include "common/checked_mutex.h"
+
+namespace fixture_callback {
+
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual bool deliver(const std::string& event) = 0;
+};
+
+class BadNotifier {
+ public:
+  void notify(int value) {
+    const common::LockGuard lock(listeners_mutex_);
+    on_change_(value);  // EXPECT-FINDING: callback-under-lock
+  }
+
+  void fan_out(const std::string& event) {
+    const common::LockGuard lock(listeners_mutex_);
+    sink_->deliver(event);  // EXPECT-FINDING: callback-under-lock
+  }
+
+  void run_handler(const std::function<void()>& handler) {
+    const common::LockGuard lock(listeners_mutex_);
+    handler();  // EXPECT-FINDING: callback-under-lock
+  }
+
+ private:
+  EventSink* sink_ = nullptr;
+  std::function<void(int)> on_change_;
+  common::ListenerMutex listeners_mutex_{"fixture_callback::listeners"};
+};
+
+}  // namespace fixture_callback

@@ -1,0 +1,47 @@
+// hgdb-analyze good-pattern fixture for callback-under-lock: snapshot
+// under the lock, invoke outside it; documented delivery brackets and
+// callable contracts from model.json are not findings.
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "common/checked_mutex.h"
+
+namespace fixture_callback_good {
+
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual bool deliver(const std::string& event) = 0;
+};
+
+class GoodNotifier {
+ public:
+  // the canonical shape: move the callable out under the lock, call it off
+  // the lock
+  void notify(int value) {
+    std::function<void(int)> snapshot;
+    {
+      const common::LockGuard lock(listeners_mutex_);
+      snapshot = on_change_;
+    }
+    snapshot(value);
+  }
+
+  // "session::delivery" is the documented sink bracket (model.json
+  // callback_checker.lock_allowlist): this lock exists to keep the sink
+  // alive through the call
+  void fan_out(const std::string& event) {
+    const common::LockGuard lock(delivery_mutex_);
+    sink_->deliver(event);
+  }
+
+ private:
+  EventSink* sink_ = nullptr;
+  std::function<void(int)> on_change_;
+  common::ListenerMutex listeners_mutex_{"fixture_callback_good::listeners"};
+  common::DeliveryMutex delivery_mutex_{"session::delivery"};
+};
+
+}  // namespace fixture_callback_good

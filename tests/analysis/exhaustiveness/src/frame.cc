@@ -1,0 +1,36 @@
+// exhaustiveness fixture: FrameKind with one enumerator the decode switch
+// misses, one with no equivalence-test coverage, and one ghost case the
+// enum no longer declares.
+
+#include <cstdint>
+
+namespace fixture_frame {
+
+enum class FrameKind : uint8_t {
+  Stop = 1,
+  Data = 2,
+  Extra = 3,
+};
+
+struct Decoded {
+  FrameKind kind;
+};
+
+bool decode(uint8_t raw, Decoded& out) {
+  switch (raw) {
+    case static_cast<uint8_t>(FrameKind::Stop): {
+      out.kind = FrameKind::Stop;
+      return true;
+    }
+    case static_cast<uint8_t>(FrameKind::Data): {
+      out.kind = FrameKind::Data;
+      return true;
+    }
+    case static_cast<uint8_t>(FrameKind::Ghost): {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace fixture_frame

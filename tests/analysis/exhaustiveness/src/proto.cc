@@ -1,0 +1,33 @@
+// exhaustiveness fixture implementation: one enum value with no
+// error_code_name case, one wire name missing from the README table, and
+// metric registrations (one documented, one prefix-form, one not).
+
+namespace fixture_proto {
+
+enum class ErrorCode : int {
+  None = 0,
+  BadInput,
+  NotDocumented,
+  WithoutCase,
+};
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::None: return "none";
+    case ErrorCode::BadInput: return "bad-input";
+    case ErrorCode::NotDocumented: return "not-documented";
+  }
+  return "?";
+}
+
+struct Registry {
+  void* counter(const char* name) { return nullptr; }
+};
+
+void register_metrics(Registry& registry) {
+  registry.counter("fixture.documented");
+  registry.counter("fixture.command.");
+  registry.counter("fixture.undocumented");
+}
+
+}  // namespace fixture_proto

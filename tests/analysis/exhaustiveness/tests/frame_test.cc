@@ -1,0 +1,7 @@
+// exhaustiveness fixture: equivalence-test coverage marker file. Covers
+// Stop and Data; the third enumerator has no coverage and must be flagged.
+
+void equivalence_coverage() {
+  (void)fixture_frame::FrameKind::Stop;
+  (void)fixture_frame::FrameKind::Data;
+}

@@ -1,0 +1,45 @@
+// Fuzz harness for the DAP Content-Length codec: feed() accepts arbitrary
+// TCP chunks; next() yields payloads, resyncs past leading garbage, or
+// throws std::runtime_error (the documented drop-the-connection path).
+// Anything else — a crash, an ASan report, a different exception type, an
+// infinite loop — is a bug. The input is also split at its midpoint to
+// exercise the partial-header/partial-body resume paths every run.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string_view>
+
+#include "session/dap_protocol.h"
+
+namespace {
+
+void drain(hgdb::session::dap::FrameCodec& codec) {
+  try {
+    while (codec.next().has_value()) {
+    }
+  } catch (const std::runtime_error&) {
+    // malformed framing: the documented failure mode
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view bytes(reinterpret_cast<const char*>(data), size);
+
+  hgdb::session::dap::FrameCodec whole;
+  whole.feed(bytes);
+  drain(whole);
+
+  hgdb::session::dap::FrameCodec split;
+  split.feed(bytes.substr(0, size / 2));
+  drain(split);
+  split.feed(bytes.substr(size / 2));
+  drain(split);
+  return 0;
+}
+
+#ifndef HGDB_FUZZ_LIBFUZZER
+#include "standalone_driver.h"
+int main(int argc, char** argv) { return hgdb_fuzz_replay(argc, argv); }
+#endif

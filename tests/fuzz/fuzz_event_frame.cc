@@ -1,0 +1,34 @@
+// Fuzz harness for rpc::decode_event_frame: the binary event-frame
+// decoder consumes bytes straight off the wire, so its contract is
+// "decode successfully or throw std::runtime_error" — any other escape
+// (crash, ASan report, a different exception type) is a bug.
+//
+// Built two ways:
+//   - libFuzzer (clang, -fsanitize=fuzzer,address, -DHGDB_FUZZ_LIBFUZZER):
+//     the CI fuzz-smoke job explores from the committed corpus.
+//   - standalone (any compiler): main() replays the corpus files given as
+//     argv, making the seeds a ctest regression suite.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string_view>
+
+#include "rpc/event_frame.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view message(reinterpret_cast<const char*>(data), size);
+  // is_event_frame must never throw, on any input
+  (void)hgdb::rpc::is_event_frame(message);
+  try {
+    const auto decoded = hgdb::rpc::decode_event_frame(message);
+    (void)decoded;
+  } catch (const std::runtime_error&) {
+    // malformed/truncated input: the documented failure mode
+  }
+  return 0;
+}
+
+#ifndef HGDB_FUZZ_LIBFUZZER
+#include "standalone_driver.h"
+int main(int argc, char** argv) { return hgdb_fuzz_replay(argc, argv); }
+#endif

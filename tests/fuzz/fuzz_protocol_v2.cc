@@ -1,0 +1,21 @@
+// Fuzz harness for rpc::parse_request_v2: the v2 envelope parser is the
+// first thing that touches untrusted session input, and its contract is
+// total — every input yields a DecodedRequestV2 (with an error code for
+// garbage), never an exception or a crash.
+
+#include <cstdint>
+#include <string>
+
+#include "rpc/protocol_v2.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  const auto decoded = hgdb::rpc::parse_request_v2(text);
+  (void)decoded;
+  return 0;
+}
+
+#ifndef HGDB_FUZZ_LIBFUZZER
+#include "standalone_driver.h"
+int main(int argc, char** argv) { return hgdb_fuzz_replay(argc, argv); }
+#endif

@@ -1,0 +1,139 @@
+// Seed-corpus generator: emits one file per interesting wire shape into
+// the corpus directories, using the real encoders so seeds stay valid as
+// the formats evolve. Run manually after a wire-format change:
+//
+//   cmake --build build --target fuzz_make_corpus
+//   ./build/tests/fuzz_make_corpus tests/fuzz/corpus
+//
+// The generated files are committed; ctest replays them (standalone
+// driver) and the CI fuzz-smoke job mutates from them (libFuzzer).
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "rpc/event_frame.h"
+#include "session/dap_protocol.h"
+
+namespace {
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    std::exit(1);
+  }
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+struct Change {
+  std::string signal;
+  std::string value;
+  uint32_t width = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: " << argv[0] << " <corpus-root>\n";
+    return 2;
+  }
+  const std::string root = argv[1];
+  using namespace hgdb::rpc;
+
+  // -- event_frame: one seed per FrameKind plus edge shapes ----------------
+  {
+    const std::string dir = root + "/event_frame/";
+    StopEvent stop;
+    stop.time = 1234;
+    Frame frame;
+    frame.breakpoint_id = 7;
+    frame.instance_id = 3;
+    frame.instance_name = "top.dut";
+    frame.filename = "design.sv";
+    frame.line = 42;
+    frame.column = 8;
+    frame.matched_conditions.push_back("a == b");
+    stop.frames.push_back(frame);
+    WatchHit hit;
+    hit.id = 9;
+    hit.expression = "counter";
+    hit.old_value = "4";
+    hit.new_value = "5";
+    stop.watch_hits.push_back(hit);
+    const std::string stop_bytes =
+        make_event_frame(FrameKind::Stop, encode_stop_body(stop))
+            .channel_message();
+    write_file(dir + "stop", stop_bytes);
+
+    write_file(dir + "stop_empty",
+               make_event_frame(FrameKind::Stop, encode_stop_body(StopEvent{}))
+                   .channel_message());
+
+    const std::vector<Change> changes = {{"top.clk", "1", 1},
+                                         {"top.bus", "3735928559", 32}};
+    write_file(dir + "value_change",
+               make_value_change_frame(
+                   11, encode_value_change_body(5678, changes))
+                   .channel_message());
+
+    write_file(dir + "lifecycle",
+               make_event_frame(FrameKind::Lifecycle,
+                                encode_lifecycle_body("simulation-done"))
+                   .channel_message());
+
+    BreakpointChangeEvent bp;
+    bp.action = "armed";
+    bp.filename = "design.sv";
+    bp.line = 42;
+    bp.condition = "a == b";
+    bp.client = 2;
+    write_file(dir + "breakpoint_changed",
+               make_event_frame(FrameKind::BreakpointChanged,
+                                encode_breakpoint_change_body(bp))
+                   .channel_message());
+
+    // truncated body: exercises every Reader bounds check
+    write_file(dir + "stop_truncated",
+               stop_bytes.substr(0, stop_bytes.size() / 2));
+  }
+
+  // -- protocol_v2: envelopes the session parser must survive -------------
+  {
+    const std::string dir = root + "/protocol_v2/";
+    write_file(dir + "request",
+               R"({"hgdb": 2, "id": 1, "command": "evaluate",)"
+               R"( "payload": {"expression": "a + b"}})");
+    write_file(dir + "no_payload",
+               R"({"hgdb": 2, "id": 2, "command": "info"})");
+    write_file(dir + "bad_version", R"({"hgdb": 99, "id": 3})");
+    write_file(dir + "not_object", R"([1, 2, 3])");
+    write_file(dir + "not_json", "hello, world");
+    write_file(dir + "empty", "");
+    write_file(dir + "nested",
+               R"({"hgdb": 2, "id": 4, "command": "subscribe",)"
+               R"( "payload": {"signals": ["a", "b"], "decimation": 10}})");
+  }
+
+  // -- dap_codec: Content-Length framings -----------------------------------
+  {
+    const std::string dir = root + "/dap_codec/";
+    using hgdb::session::dap::FrameCodec;
+    write_file(dir + "single",
+               FrameCodec::encode(R"({"seq": 1, "type": "request"})"));
+    write_file(dir + "coalesced",
+               FrameCodec::encode(R"({"seq": 1})") +
+                   FrameCodec::encode(R"({"seq": 2})"));
+    write_file(dir + "empty_payload", FrameCodec::encode(""));
+    write_file(dir + "garbage_then_frame",
+               "HTTP/1.1 200 OK\r\n\r\n" + FrameCodec::encode(R"({"s":3})"));
+    write_file(dir + "bad_length", "Content-Length: banana\r\n\r\n{}");
+    write_file(dir + "huge_length", "Content-Length: 4294967295\r\n\r\n{}");
+    write_file(dir + "truncated", "Content-Length: 100\r\n\r\n{\"partial\":");
+  }
+
+  std::cout << "seed corpus written under " << root << "\n";
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Standalone replay driver for the fuzz harnesses: when a harness is
+// built without libFuzzer (plain g++, the default toolchain), main()
+// replays every file passed on the command line through
+// LLVMFuzzerTestOneInput. ctest points this at the committed seed corpus,
+// so the corpus doubles as a parser regression suite on every build.
+
+#ifndef HGDB_TESTS_FUZZ_STANDALONE_DRIVER_H
+#define HGDB_TESTS_FUZZ_STANDALONE_DRIVER_H
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+inline int hgdb_fuzz_replay(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <corpus-file>...\n", argv[0]);
+    return 2;
+  }
+  int replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot open corpus file %s\n", argv[i]);
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string bytes = buffer.str();
+    LLVMFuzzerTestOneInput(
+        reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size());
+    ++replayed;
+  }
+  std::printf("replayed %d corpus file(s)\n", replayed);
+  return 0;
+}
+
+#endif  // HGDB_TESTS_FUZZ_STANDALONE_DRIVER_H

@@ -267,6 +267,44 @@ TEST_F(SlowClientTest, StalledBinarySubscriberNeverBlocksTheStopPath) {
   EXPECT_GT(healthy_received.load(), kEvents / 2);
 }
 
+TEST_F(SlowClientTest, StalledJsonSubscriberNeverBlocksTheStopPath) {
+  // Same storm as the binary case, but both observers stay on the legacy
+  // JSON wire: since the JSON event path rides the same async writer, a
+  // stalled JSON client sheds events from its bounded queue instead of
+  // parking the delivery thread on its full socket.
+  auto healthy = connect_client("healthy-json");
+  auto stalled = connect_client("stalled-json");
+
+  std::atomic<int> healthy_received{0};
+  std::thread drain([&] {
+    while (healthy->wait_stop(std::chrono::milliseconds(1500))) {
+      healthy_received.fetch_add(1);
+    }
+  });
+
+  auto& service = runtime_->session_manager()->service();
+  constexpr int kEvents = 2000;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kEvents; ++i) {
+    service.deliver_stop(make_stop(static_cast<uint64_t>(i), 16 * 1024));
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  drain.join();
+
+  // Before the fix this storm blocked in ::send on the stalled client's
+  // full socket buffer inside the delivery bracket; the generous bound
+  // only guards against re-introducing that hang.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(),
+            30);
+  EXPECT_GT(
+      runtime_->metrics().counter("rpc.writer.events_dropped").value(), 0u);
+  // Drop, not disconnect: both JSON clients stay attached, and the healthy
+  // one kept receiving events throughout.
+  EXPECT_EQ(runtime_->session_manager()->session_count(), 2u);
+  EXPECT_GT(healthy_received.load(), kEvents / 2);
+}
+
 class DisconnectOnOverflowTest : public FanoutTest {
  protected:
   void SetUp() override {
@@ -283,9 +321,11 @@ TEST_F(DisconnectOnOverflowTest, OverflowDisconnectsWhenConfigured) {
   auto stalled = connect_client("stalled", /*binary=*/true);
   ASSERT_EQ(runtime_->session_manager()->session_count(), 2u);
 
-  // The JSON control client still rides the blocking channel path, so it
-  // must keep reading or *it* would head-of-line-block the storm below —
-  // that legacy coupling is exactly what binary sessions escape.
+  // The JSON control client rides the same bounded writer queues as the
+  // binary one, so it can never head-of-line-block the storm — but with
+  // disconnect_on_overflow armed it must keep reading or the overflow
+  // policy would disconnect *it* too, and this test wants the stalled
+  // client to be the one that dies.
   std::atomic<bool> storm_done{false};
   std::thread drain([&] {
     while (!storm_done.load()) {

@@ -1,0 +1,975 @@
+"""C++ code model for hgdb-analyze.
+
+A dependency-free front end that turns the project's C++ sources into a
+semantic model the checkers can traverse: function definitions with their
+call sites, the lock scopes (LockGuard / UniqueLock / HGDB_REQUIRES)
+active at each call, class member types for receiver resolution, the
+CheckedMutex rank table, enums, and suppression comments.
+
+This is deliberately not a full C++ parser. It is a tokenizer plus a
+scope-tracking scanner tuned to this repository's style (enforced by
+clang-format and tools/lint.py): one class per brace block, annotated
+mutex types from common/checked_mutex.h, guard objects declared as
+`common::LockGuard name(mutex_expr)`. The seeded-violation corpus under
+tests/analysis pins down exactly what the model must understand; a parser
+regression fails those fixtures like any code regression.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Optional
+
+# ---------------------------------------------------------------------------
+# tokenizer
+# ---------------------------------------------------------------------------
+
+TOKEN_RE = re.compile(
+    r"""
+      (?P<ws>\s+)
+    | (?P<raw>R"(?P<delim>[^ ()\\\n]*)\((?:.|\n)*?\)(?P=delim)")
+    | (?P<comment>//[^\n]*|/\*(?:.|\n)*?\*/)
+    | (?P<string>"(?:[^"\\\n]|\\.)*"|'(?:[^'\\\n]|\\.)*')
+    | (?P<number>\.?[0-9](?:[\w.']|[eEpP][+-])*)
+    | (?P<ident>[A-Za-z_]\w*)
+    | (?P<punct>::|->|\+\+|--|<<=|>>=|<=|>=|==|!=|&&|\|\||[-+*/%^&|!~<>]=
+        |<<|>>|\.\.\.|[-+*/%^&|!~=?:;,.()\[\]{}<>\#@\\])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass
+class Token:
+    kind: str  # ws | comment | string | number | ident | punct | raw
+    text: str
+    line: int
+
+
+def tokenize(text: str) -> tuple[list[Token], list[Token]]:
+    """Returns (significant tokens, comment tokens)."""
+    tokens: list[Token] = []
+    comments: list[Token] = []
+    line = 1
+    pos = 0
+    n = len(text)
+    while pos < n:
+        match = TOKEN_RE.match(text, pos)
+        if not match:  # unknown byte: skip it
+            if text[pos] == "\n":
+                line += 1
+            pos += 1
+            continue
+        kind = match.lastgroup if match.lastgroup != "raw" else "string"
+        if match.lastgroup == "delim":
+            kind = "string"
+        chunk = match.group(0)
+        if kind == "comment":
+            comments.append(Token(kind, chunk, line))
+        elif kind != "ws":
+            # Preprocessor directives: swallow to end of line (with
+            # continuations) so macros don't confuse the scope scanner.
+            if chunk == "#":
+                end = pos
+                while end < n:
+                    nl = text.find("\n", end)
+                    if nl < 0:
+                        end = n
+                        break
+                    if text[nl - 1] == "\\":
+                        end = nl + 1
+                        continue
+                    end = nl
+                    break
+                line += text.count("\n", pos, end)
+                pos = end
+                continue
+            if kind == "punct" and chunk == ">>":
+                # split the shift so nested template closers (`set<pair<..>>`)
+                # balance angle-depth tracking; shifts are rare in the
+                # positions where angle depth matters (declarations)
+                tokens.append(Token(kind, ">", line))
+                tokens.append(Token(kind, ">", line))
+            else:
+                tokens.append(Token(kind, chunk, line))
+        line += chunk.count("\n")
+        pos = match.end()
+    return tokens, comments
+
+
+# ---------------------------------------------------------------------------
+# model data types
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MutexDecl:
+    owner: str  # class short name, or "<local>" / "<file>"
+    name: str  # member / variable name
+    alias: str  # e.g. SessionsMutex (or CheckedMutex<...>)
+    label: str  # the constructor's string argument, e.g. "session::sessions"
+    rank: Optional[int]
+    file: str
+    line: int
+
+
+@dataclass
+class HeldLock:
+    """A lock held at a call site, before checker-side resolution."""
+
+    expr: str  # raw mutex expression, e.g. "mutex_" or "connection.state_mutex"
+    guard_var: str  # guard object name ("" for HGDB_REQUIRES seeding)
+    via: str  # "guard" | "requires"
+    line: int  # acquisition line
+
+
+@dataclass
+class CallSite:
+    leaf: str  # final callee name
+    receiver: str  # receiver expression ("" for free calls)
+    receiver_kind: str  # "member-or-local" | "qualified" | "global" | "expr" | ""
+    qualifier: str  # for qualified calls: "std::this_thread", "dap::FrameCodec"
+    line: int
+    args: str  # flattened top-level argument text
+    held: list[HeldLock]
+    in_lambda: bool
+
+
+@dataclass
+class FunctionInfo:
+    qualname: str  # context-qualified, e.g. hgdb::rpc::EventWriter::enqueue
+    key: str  # Class::name or name (resolution key)
+    cls: str  # owning class short name, "" for free functions
+    name: str
+    file: str
+    line: int
+    requires: list[str] = field(default_factory=list)  # HGDB_REQUIRES exprs
+    calls: list[CallSite] = field(default_factory=list)
+    params: dict[str, str] = field(default_factory=dict)
+    locals: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class ClassInfo:
+    name: str
+    qualname: str
+    bases: list[str] = field(default_factory=list)
+    members: dict[str, str] = field(default_factory=dict)  # name -> type text
+    mutexes: dict[str, MutexDecl] = field(default_factory=dict)
+    # function-name -> HGDB_REQUIRES exprs taken from in-class prototypes
+    # (out-of-line definitions do not repeat the annotation)
+    prototype_requires: dict[str, list[str]] = field(default_factory=dict)
+    file: str = ""
+    line: int = 0
+
+
+@dataclass
+class Suppression:
+    file: str
+    line: int
+    checkers: list[str]
+    justification: str
+    used: bool = False
+
+
+@dataclass
+class CodeModel:
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    by_method: dict[str, list[str]] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    aliases: dict[str, str] = field(default_factory=dict)  # using X = rhs
+    enums: dict[str, list[str]] = field(default_factory=dict)
+    mutex_ranks: dict[str, int] = field(default_factory=dict)  # alias -> rank
+    mutex_decls: list[MutexDecl] = field(default_factory=list)
+    suppressions: list[Suppression] = field(default_factory=list)
+    files: list[str] = field(default_factory=list)
+
+    def add_function(self, fn: FunctionInfo) -> None:
+        # Later definitions win (headers are parsed before sources, and a
+        # re-parse of the same file replaces in place).
+        self.functions[f"{fn.file}:{fn.line}:{fn.key}"] = fn
+        self.by_method.setdefault(fn.name, []).append(f"{fn.file}:{fn.line}:{fn.key}")
+
+    def functions_named(self, key: str) -> list[FunctionInfo]:
+        """All definitions whose Class::name (or free name) matches."""
+        out = []
+        for fn in self.functions.values():
+            if fn.key == key:
+                out.append(fn)
+        return out
+
+    def methods_named(self, name: str) -> list[FunctionInfo]:
+        return [self.functions[k] for k in self.by_method.get(name, [])]
+
+
+# ---------------------------------------------------------------------------
+# parsing helpers
+# ---------------------------------------------------------------------------
+
+KEYWORDS_NOT_CALLS = {
+    "if", "for", "while", "switch", "return", "sizeof", "catch", "throw",
+    "alignof", "decltype", "static_assert", "new", "delete", "case", "else",
+    "do", "noexcept", "assert",
+}
+
+CAST_KEYWORDS = {"static_cast", "dynamic_cast", "const_cast",
+                 "reinterpret_cast"}
+
+SPECIFIER_TOKENS = {"const", "noexcept", "override", "final", "mutable",
+                    "constexpr", "inline", "explicit", "virtual", "static",
+                    "volatile"}
+
+GUARD_TYPES = {"LockGuard", "UniqueLock"}
+
+TYPE_START_EXCLUDE = {
+    "return", "if", "for", "while", "switch", "case", "break", "continue",
+    "throw", "delete", "else", "do", "goto", "using", "typedef", "public",
+    "private", "protected", "new", "try", "catch",
+}
+
+SUPPRESS_RE = re.compile(
+    r"hgdb-analyze:\s*suppress\(([\w\-, ]+)\)\s*(?:--\s*(.*))?")
+
+
+def _skip_balanced_back(tokens: list[Token], j: int, close: str,
+                        open_: str) -> int:
+    """j points at `close`; returns index of matching `open_`."""
+    depth = 0
+    while j >= 0:
+        t = tokens[j].text
+        if t == close:
+            depth += 1
+        elif t == open_:
+            depth -= 1
+            if depth == 0:
+                return j
+        j -= 1
+    return 0
+
+
+def _skip_balanced_fwd(tokens: list[Token], i: int, open_: str,
+                       close: str) -> int:
+    """i points at `open_`; returns index just past matching `close`."""
+    depth = 0
+    n = len(tokens)
+    while i < n:
+        t = tokens[i].text
+        if t == open_:
+            depth += 1
+        elif t == close:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        i += 1
+    return n
+
+
+class FileParser:
+    """Parses one file's tokens into the shared CodeModel."""
+
+    def __init__(self, path: str, tokens: list[Token], model: CodeModel):
+        self.path = path
+        self.toks = tokens
+        self.model = model
+
+    # -- declarations --------------------------------------------------------
+
+    def parse(self) -> None:
+        self.parse_scope(0, len(self.toks), [], [])
+
+    def parse_scope(self, i: int, end: int, namespaces: list[str],
+                    classes: list[ClassInfo]) -> int:
+        while i < end and self.toks[i].text != "}":
+            i = self.parse_declaration(i, end, namespaces, classes)
+        return i + 1  # past '}'
+
+    def parse_declaration(self, i: int, end: int, namespaces: list[str],
+                          classes: list[ClassInfo]) -> int:
+        toks0 = self.toks
+        # strip access-specifier labels so `private: struct X {` classifies
+        # X's block correctly
+        while i + 1 < end and toks0[i].text in ("public", "private",
+                                                "protected") and \
+                toks0[i + 1].text == ":":
+            i += 2
+        if i >= end or toks0[i].text == "}":
+            return i
+        decl_start = i
+        pdepth = 0
+        toks = self.toks
+        while i < end:
+            t = toks[i].text
+            if t in "([":
+                pdepth += 1
+            elif t in ")]":
+                pdepth -= 1
+            elif pdepth == 0 and t == ";":
+                self.finish_member_decl(decl_start, i, classes)
+                return i + 1
+            elif pdepth == 0 and t == "{":
+                return self.classify_block(decl_start, i, end, namespaces,
+                                           classes)
+            i += 1
+        return end
+
+    def classify_block(self, start: int, brace: int, end: int,
+                       namespaces: list[str],
+                       classes: list[ClassInfo]) -> int:
+        toks = self.toks
+        decl = toks[start:brace]
+        # strip a leading template<...> introducer
+        if decl and decl[0].text == "template":
+            j = start
+            while j < brace and toks[j].text != "<":
+                j += 1
+            depth = 0
+            while j < brace:
+                if toks[j].text == "<":
+                    depth += 1
+                elif j < brace and toks[j].text == ">":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                j += 1
+            start = j + 1
+            decl = toks[start:brace]
+        if not decl:
+            # bare block
+            return self.parse_scope(brace + 1, end, namespaces, classes)
+        head = decl[0].text
+        if head == "namespace":
+            names = [t.text for t in decl[1:] if t.kind == "ident"]
+            i = self.parse_scope(brace + 1, end, namespaces + names, classes)
+            return i
+        if head == "extern":
+            return self.parse_scope(brace + 1, end, namespaces, classes)
+        if head == "enum":
+            return self.parse_enum(decl, brace, end)
+        if head in ("class", "struct", "union") and self.is_class_head(decl):
+            return self.parse_class(decl, brace, end, namespaces, classes)
+        # function definition or brace-initialised member
+        if self.looks_like_function(decl):
+            return self.parse_function(start, brace, end, namespaces, classes)
+        # brace-initialised member: consume the initialiser, keep reading
+        # until the terminating ';'
+        i = _skip_balanced_fwd(toks, brace, "{", "}")
+        pdepth = 0
+        while i < end:
+            t = toks[i].text
+            if t in "([{":
+                pdepth += 1
+            elif t in ")]}":
+                pdepth -= 1
+            elif pdepth == 0 and t == ";":
+                self.finish_member_decl(start, i, classes, init_brace=brace)
+                return i + 1
+            i += 1
+        return end
+
+    def is_class_head(self, decl: list[Token]) -> bool:
+        # `class X final : public Y` — a class head never contains '(' at
+        # top level ('struct Foo bar(...)' would be a function).
+        depth = 0
+        for t in decl:
+            if t.text == "(":
+                return False
+            if t.text == "<":
+                depth += 1
+            elif t.text == ">":
+                depth -= 1
+        return True
+
+    def looks_like_function(self, decl: list[Token]) -> bool:
+        """True when the '{' terminating `decl` opens a function body."""
+        j = len(decl) - 1
+        toks = decl
+        # skip trailing specifiers, macro annotations and a ctor init list
+        while j >= 0:
+            t = toks[j].text
+            if toks[j].kind == "ident" and (t in SPECIFIER_TOKENS
+                                            or t.startswith("HGDB_")):
+                j -= 1
+                continue
+            if t == ")":
+                open_idx = _skip_balanced_back(toks, j, ")", "(")
+                prev = open_idx - 1
+                if prev >= 0 and toks[prev].kind == "ident" and \
+                        toks[prev].text.startswith("HGDB_"):
+                    j = prev - 1  # macro annotation group
+                    continue
+                return True  # parameter list (or last init-list entry after
+                # which only `{` follows — both mean "function")
+            if t == "}":  # brace init in a ctor init list, e.g. b_{2}
+                j = _skip_balanced_back(toks, j, "}", "{") - 1
+                continue
+            if t in (",", ":"):
+                j -= 1
+                continue
+            if toks[j].kind in ("ident", "number", "string"):
+                # part of an init-list argument or a member name; look for a
+                # ')' further left only when a ':' init list is plausible
+                j -= 1
+                continue
+            if t in (">", "<", "::", "&", "*", "]", "["):
+                j -= 1
+                continue
+            return False
+        return False
+
+    def parse_enum(self, decl: list[Token], brace: int, end: int) -> int:
+        idents = [t.text for t in decl if t.kind == "ident"
+                  and t.text not in ("enum", "class", "struct")]
+        name = idents[0] if idents else "<anon>"
+        close = _skip_balanced_fwd(self.toks, brace, "{", "}")
+        values = []
+        depth = 0
+        expect = True
+        for t in self.toks[brace + 1:close - 1]:
+            if t.text in "([{<":
+                depth += 1
+            elif t.text in ")]}>":
+                depth -= 1
+            elif depth == 0 and t.text == ",":
+                expect = True
+            elif depth == 0 and expect and t.kind == "ident":
+                values.append(t.text)
+                expect = False
+        self.model.enums[name] = values
+        i = close
+        if i < end and self.toks[i].text == ";":
+            i += 1
+        return i
+
+    def parse_class(self, decl: list[Token], brace: int, end: int,
+                    namespaces: list[str],
+                    classes: list[ClassInfo]) -> int:
+        name = ""
+        bases: list[str] = []
+        j = 1
+        while j < len(decl):
+            t = decl[j]
+            if t.kind == "ident" and t.text not in SPECIFIER_TOKENS and \
+                    not t.text.startswith("HGDB_") and not t.text.startswith("["):
+                name = t.text
+                j += 1
+                break
+            j += 1
+        # bases: identifier chains after ':'
+        seen_colon = False
+        chain: list[str] = []
+        for t in decl[j:]:
+            if t.text == ":":
+                seen_colon = True
+                continue
+            if not seen_colon:
+                continue
+            if t.kind == "ident" and t.text not in ("public", "private",
+                                                    "protected", "virtual"):
+                chain.append(t.text)
+            elif t.text == "::":
+                continue
+            elif t.text == ",":
+                if chain:
+                    bases.append(chain[-1])
+                chain = []
+        if chain:
+            bases.append(chain[-1])
+        info = self.model.classes.get(name)
+        if info is None:
+            info = ClassInfo(name=name,
+                             qualname="::".join(namespaces + [name]),
+                             file=self.path, line=decl[0].line)
+            self.model.classes[name] = info
+        info.bases = bases or info.bases
+        i = self.parse_scope(brace + 1, end, namespaces, classes + [info])
+        if i < end and self.toks[i].text == ";":
+            i += 1
+        return i
+
+    # -- member declarations -------------------------------------------------
+
+    def finish_member_decl(self, start: int, semi: int,
+                           classes: list[ClassInfo],
+                           init_brace: Optional[int] = None) -> None:
+        toks = self.toks[start:semi]
+        if not toks:
+            return
+        head = toks[0].text
+        if head == "using":
+            # using X = rhs;
+            if len(toks) >= 3 and toks[2].text == "=":
+                self.model.aliases[toks[1].text] = " ".join(
+                    t.text for t in toks[3:])
+            return
+        if head in ("friend", "typedef", "public", "private", "protected",
+                    "template", "enum", "class", "struct"):
+            return
+        cls = classes[-1] if classes else None
+        # in-class function prototype: record HGDB_REQUIRES for the
+        # out-of-line definition
+        texts = [t.text for t in toks]
+        if cls is not None and "(" in texts:
+            req = self.extract_requires(toks)
+            fname = self.decl_function_name(toks)
+            if fname:
+                if req:
+                    cls.prototype_requires.setdefault(fname, []).extend(req)
+                # `std::function<...> name;` members still fall through below
+                if not self.is_data_member(toks):
+                    return
+        if cls is None:
+            # file-scope variable (e.g. a global mutex); only mutexes matter
+            self.maybe_record_mutex(toks, None, init_brace, start, semi)
+            return
+        # data member: name is the last identifier before '=', '{' or
+        # HGDB_ macro; type is everything before it
+        self.record_data_member(toks, cls, init_brace, start, semi)
+
+    def is_data_member(self, toks: list[Token]) -> bool:
+        """Distinguish `std::function<bool(int)> send;` from a prototype."""
+        # A data member's '(' tokens all sit inside template angles or a
+        # brace/paren initialiser that follows the member name.
+        depth = 0
+        for t in toks:
+            if t.text == "<":
+                depth += 1
+            elif t.text == ">":
+                depth -= 1
+            elif t.text == "(" and depth == 0:
+                return False
+        return True
+
+    def decl_function_name(self, toks: list[Token]) -> str:
+        depth = 0
+        for idx, t in enumerate(toks):
+            if t.text == "<":
+                depth += 1
+            elif t.text == ">":
+                depth -= 1
+            elif t.text == "(" and depth == 0:
+                j = idx - 1
+                if j >= 0 and toks[j].kind == "ident":
+                    return toks[j].text
+                return ""
+        return ""
+
+    def record_data_member(self, toks: list[Token], cls: ClassInfo,
+                           init_brace: Optional[int], start: int,
+                           semi: int) -> None:
+        name_idx = -1
+        depth = 0
+        for idx, t in enumerate(toks):
+            if t.text in "<([":
+                depth += 1
+            elif t.text in ">)]":
+                depth -= 1
+            elif depth == 0 and t.text in ("=", "{"):
+                break
+            elif depth == 0 and t.kind == "ident" and \
+                    not t.text.startswith("HGDB_") and \
+                    t.text not in SPECIFIER_TOKENS:
+                name_idx = idx
+        if name_idx <= 0:
+            return
+        name = toks[name_idx].text
+        type_text = " ".join(t.text for t in toks[:name_idx]
+                             if t.text not in SPECIFIER_TOKENS)
+        cls.members[name] = type_text
+        self.maybe_record_mutex(toks, cls, init_brace, start, semi)
+
+    def maybe_record_mutex(self, toks: list[Token], cls: Optional[ClassInfo],
+                           init_brace: Optional[int], start: int,
+                           semi: int) -> None:
+        texts = [t.text for t in toks]
+        alias = None
+        for t in texts:
+            if t in self.model.mutex_ranks or t == "CheckedMutex":
+                alias = t
+                break
+        if alias is None:
+            return
+        # the declaration's string literal is the mutex label
+        label = ""
+        for t in self.toks[start:semi + 1]:
+            if t.kind == "string" and t.text.startswith('"'):
+                label = t.text.strip('"')
+                break
+        name = ""
+        depth = 0
+        for idx, t in enumerate(toks):
+            if t.text in "<([{":
+                depth += 1
+            elif t.text in ">)]}":
+                depth -= 1
+            elif depth == 0 and t.kind == "ident" and \
+                    t.text not in SPECIFIER_TOKENS and \
+                    not t.text.startswith("HGDB_") and \
+                    t.text != alias and t.text not in ("common",):
+                name = t.text
+        if not name:
+            return
+        decl = MutexDecl(owner=cls.name if cls else "<file>", name=name,
+                         alias=alias, label=label,
+                         rank=self.model.mutex_ranks.get(alias),
+                         file=self.path, line=toks[0].line)
+        self.model.mutex_decls.append(decl)
+        if cls is not None:
+            cls.mutexes[name] = decl
+
+    def extract_requires(self, toks: list[Token]) -> list[str]:
+        out = []
+        i = 0
+        while i < len(toks):
+            if toks[i].kind == "ident" and toks[i].text == "HGDB_REQUIRES" \
+                    and i + 1 < len(toks) and toks[i + 1].text == "(":
+                j = i + 1
+                depth = 0
+                expr: list[str] = []
+                while j < len(toks):
+                    if toks[j].text == "(":
+                        depth += 1
+                        if depth == 1:
+                            j += 1
+                            continue
+                    elif toks[j].text == ")":
+                        depth -= 1
+                        if depth == 0:
+                            break
+                    expr.append(toks[j].text)
+                    j += 1
+                out.append("".join(expr))
+                i = j
+            i += 1
+        return out
+
+    # -- function bodies -----------------------------------------------------
+
+    def parse_function(self, start: int, brace: int, end: int,
+                       namespaces: list[str],
+                       classes: list[ClassInfo]) -> int:
+        toks = self.toks
+        decl = toks[start:brace]
+        # locate the parameter-list '(' — the first top-level '(' preceded
+        # by an identifier
+        depth = 0
+        paren = -1
+        for idx in range(len(decl)):
+            t = decl[idx].text
+            if t == "<" and idx > 0 and decl[idx - 1].kind == "ident":
+                depth += 1
+            elif t == ">" and depth > 0:
+                depth -= 1
+            elif t == "(" and depth == 0:
+                if idx > 0 and (decl[idx - 1].kind == "ident"
+                                or decl[idx - 1].text == "~"):
+                    paren = idx
+                    break
+        if paren <= 0:
+            return self.parse_scope(brace + 1, end, namespaces, classes)
+        # name chain backwards from the '('
+        j = paren - 1
+        chain: list[str] = []
+        while j >= 0:
+            t = decl[j]
+            if t.kind == "ident" or t.text == "~":
+                chain.append(t.text)
+                j -= 1
+                if j >= 0 and decl[j].text == "::":
+                    chain.append("::")
+                    j -= 1
+                    continue
+                break
+            break
+        chain.reverse()
+        parts = [p for p in chain if p != "::"]
+        if not parts or parts[-1] == "operator":
+            return self.parse_scope(brace + 1, end, namespaces, classes)
+        name = parts[-1]
+        cls = ""
+        if len(parts) >= 2:
+            cls = parts[-2]
+        elif classes:
+            cls = classes[-1].name
+        key = f"{cls}::{name}" if cls else name
+        fn = FunctionInfo(
+            qualname="::".join(namespaces + ([cls] if cls else []) + [name]),
+            key=key, cls=cls, name=name, file=self.path,
+            line=decl[0].line)
+        fn.requires = self.extract_requires(decl)
+        # parameters: split at top-level ','
+        pend = _skip_balanced_fwd(decl, paren, "(", ")") - 1
+        pdepth = 0
+        current: list[Token] = []
+        params: list[list[Token]] = []
+        for t in decl[paren + 1:pend]:
+            if t.text in "<([{":
+                pdepth += 1
+            elif t.text in ">)]}":
+                pdepth -= 1
+            if pdepth == 0 and t.text == ",":
+                params.append(current)
+                current = []
+            else:
+                current.append(t)
+        if current:
+            params.append(current)
+        for p in params:
+            idents = [t for t in p if t.kind == "ident"
+                      and t.text not in SPECIFIER_TOKENS]
+            if len(idents) >= 2:
+                pname = idents[-1].text
+                ptype = " ".join(t.text for t in p[:-1])
+                fn.params[pname] = ptype
+        i = self.parse_body(brace, end, fn)
+        self.model.add_function(fn)
+        return i
+
+    def parse_body(self, brace: int, end: int, fn: FunctionInfo) -> int:
+        toks = self.toks
+        i = brace + 1
+        depth = 1
+        guards: list[dict] = []
+        lambda_depths: list[tuple[int, list[dict]]] = []
+        prev_significant = "{"
+        while i < end and depth > 0:
+            t = toks[i]
+            text = t.text
+            if text == "{":
+                depth += 1
+                i += 1
+                prev_significant = text
+                continue
+            if text == "}":
+                depth -= 1
+                guards = [g for g in guards if g["depth"] < depth + 1]
+                while lambda_depths and depth < lambda_depths[-1][0]:
+                    guards = lambda_depths.pop()[1]
+                i += 1
+                prev_significant = text
+                continue
+            if text == "[" and prev_significant in (
+                    "(", ",", "=", "return", "{", ";", "&&", "||", "?", ":"):
+                # lambda introducer: body runs later, under the *caller's*
+                # locks, not the locks active at the definition site
+                close = _skip_balanced_fwd(toks, i, "[", "]")
+                j = close
+                if j < end and toks[j].text == "(":
+                    j = _skip_balanced_fwd(toks, j, "(", ")")
+                while j < end and toks[j].kind == "ident" and (
+                        toks[j].text in SPECIFIER_TOKENS
+                        or toks[j].text == "->"):
+                    j += 1
+                # skip a trailing return type
+                while j < end and toks[j].text not in ("{", ";", ")", ","):
+                    j += 1
+                if j < end and toks[j].text == "{":
+                    lambda_depths.append((depth + 1, guards))
+                    guards = []
+                    depth += 1
+                    i = j + 1
+                    prev_significant = "{"
+                    continue
+                i = close
+                prev_significant = "]"
+                continue
+            if t.kind == "ident":
+                # guard declaration: [const] [common::]LockGuard name(expr)
+                if text in GUARD_TYPES and i + 1 < end and \
+                        toks[i + 1].kind == "ident" and \
+                        i + 2 < end and toks[i + 2].text in ("(", "{"):
+                    var = toks[i + 1].text
+                    opener = toks[i + 2].text
+                    closer = ")" if opener == "(" else "}"
+                    close = _skip_balanced_fwd(toks, i + 2, opener, closer)
+                    expr = "".join(x.text for x in toks[i + 3:close - 1])
+                    guards.append({"var": var, "expr": expr, "depth": depth,
+                                   "active": True, "line": t.line})
+                    fn.locals[var] = text
+                    i = close
+                    prev_significant = closer
+                    continue
+                # guard.unlock() / guard.lock()
+                if text in ("unlock", "lock") and i >= 2 and \
+                        toks[i - 1].text == "." and \
+                        toks[i - 2].kind == "ident" and \
+                        i + 1 < end and toks[i + 1].text == "(":
+                    var = toks[i - 2].text
+                    for g in guards:
+                        if g["var"] == var:
+                            g["active"] = text == "lock"
+                    i += 1
+                    prev_significant = text
+                    continue
+                # local mutex declaration (e.g. static LifecycleMutex m{"x"})
+                if text in self.model.mutex_ranks and i + 1 < end and \
+                        toks[i + 1].kind == "ident" and i + 2 < end and \
+                        toks[i + 2].text in ("(", "{"):
+                    var = toks[i + 1].text
+                    opener = toks[i + 2].text
+                    closer = ")" if opener == "(" else "}"
+                    close = _skip_balanced_fwd(toks, i + 2, opener, closer)
+                    label = ""
+                    for x in toks[i + 2:close]:
+                        if x.kind == "string":
+                            label = x.text.strip('"')
+                            break
+                    self.model.mutex_decls.append(MutexDecl(
+                        owner="<local>", name=var, alias=text, label=label,
+                        rank=self.model.mutex_ranks.get(text),
+                        file=self.path, line=t.line))
+                    fn.locals[var] = text
+                    i = close
+                    prev_significant = closer
+                    continue
+                # local typed declaration: Type[*&] name [=({;]
+                if prev_significant in (";", "{", "}") and \
+                        text not in TYPE_START_EXCLUDE and \
+                        text not in KEYWORDS_NOT_CALLS:
+                    consumed = self.try_local_decl(i, end, fn)
+                    if consumed > 0:
+                        # fall through to normal scanning of the same tokens
+                        pass
+                # call site: ident followed by '('
+                if i + 1 < end and toks[i + 1].text == "(" and \
+                        text not in KEYWORDS_NOT_CALLS and \
+                        text not in CAST_KEYWORDS and \
+                        text not in GUARD_TYPES:
+                    site = self.make_call_site(i, end, fn, guards,
+                                               bool(lambda_depths))
+                    if site is not None:
+                        fn.calls.append(site)
+            prev_significant = text
+            i += 1
+        return i
+
+    def try_local_decl(self, i: int, end: int, fn: FunctionInfo) -> int:
+        """Best-effort `Type name = ...` / `Type name;` local declaration."""
+        toks = self.toks
+        j = i
+        depth = 0
+        type_toks: list[str] = []
+        last_ident = ""
+        while j < end and j - i < 24:
+            t = toks[j]
+            if t.text == "<":
+                depth += 1
+            elif t.text == ">":
+                depth -= 1
+            elif depth == 0 and t.text in ("=", ";", "{"):
+                if last_ident and type_toks[:-1]:
+                    fn.locals[last_ident] = " ".join(type_toks[:-1])
+                    return j - i
+                return 0
+            elif depth == 0 and t.text in ("(", ")", ".", "->", ",", "[",
+                                           "]"):
+                return 0
+            if t.kind == "ident":
+                if t.text in SPECIFIER_TOKENS:
+                    j += 1
+                    continue
+                last_ident = t.text
+            type_toks.append(t.text)
+            j += 1
+        return 0
+
+    def make_call_site(self, i: int, end: int, fn: FunctionInfo,
+                       guards: list[dict],
+                       in_lambda: bool) -> Optional[CallSite]:
+        toks = self.toks
+        leaf = toks[i].text
+        # walk the receiver chain backwards
+        j = i - 1
+        receiver_parts: list[str] = []
+        qualifier_parts: list[str] = []
+        kind = ""
+        while j >= 0:
+            sep = toks[j].text
+            if sep == "::":
+                k = j - 1
+                if k >= 0 and toks[k].kind == "ident":
+                    qualifier_parts.append(toks[k].text)
+                    j = k - 1
+                    continue
+                kind = "global"  # ::send(
+                break
+            if sep in (".", "->"):
+                k = j - 1
+                if k >= 0 and toks[k].text == ")":
+                    # method on a call result: unresolvable receiver
+                    kind = "expr"
+                    break
+                if k >= 0 and toks[k].text == "]":
+                    kind = "expr"
+                    break
+                if k >= 0 and toks[k].kind == "ident":
+                    receiver_parts.append(sep)
+                    receiver_parts.append(toks[k].text)
+                    j = k - 1
+                    continue
+                kind = "expr"
+                break
+            break
+        qualifier_parts.reverse()
+        receiver_parts.reverse()
+        receiver = "".join(receiver_parts[:-1]) if receiver_parts else ""
+        if not kind:
+            if qualifier_parts:
+                kind = "qualified"
+            elif receiver:
+                kind = "member-or-local"
+        held = [HeldLock(expr=g["expr"], guard_var=g["var"], via="guard",
+                         line=g["line"]) for g in guards if g["active"]]
+        # argument text (top level only)
+        close = _skip_balanced_fwd(toks, i + 1, "(", ")")
+        args = " ".join(t.text for t in toks[i + 2:close - 1][:48])
+        return CallSite(leaf=leaf, receiver=receiver, receiver_kind=kind,
+                        qualifier="::".join(qualifier_parts), line=toks[i].line,
+                        args=args, held=held, in_lambda=in_lambda)
+
+
+# ---------------------------------------------------------------------------
+# entry points
+# ---------------------------------------------------------------------------
+
+
+def load_mutex_ranks(checked_mutex_header: str) -> dict[str, int]:
+    """alias -> rank, parsed from common/checked_mutex.h."""
+    with open(checked_mutex_header, "r", encoding="utf-8") as f:
+        text = f.read()
+    rank_values = {}
+    for m in re.finditer(r"(k\w+)\s*=\s*(\d+)", text):
+        rank_values[m.group(1)] = int(m.group(2))
+    ranks = {}
+    for m in re.finditer(
+            r"using\s+(\w+)\s*=\s*CheckedMutex<LockRank::(k\w+)>", text):
+        if m.group(2) in rank_values:
+            ranks[m.group(1)] = rank_values[m.group(2)]
+    return ranks
+
+
+def parse_suppressions(path: str, comments: list[Token],
+                       model: CodeModel) -> None:
+    for c in comments:
+        m = SUPPRESS_RE.search(c.text)
+        if m:
+            checkers = [x.strip() for x in m.group(1).split(",") if x.strip()]
+            model.suppressions.append(Suppression(
+                file=path, line=c.line, checkers=checkers,
+                justification=(m.group(2) or "").strip()))
+
+
+def build_model(paths: list[str], mutex_ranks: dict[str, int]) -> CodeModel:
+    model = CodeModel()
+    model.mutex_ranks = dict(mutex_ranks)
+    for path in paths:
+        try:
+            with open(path, "r", encoding="utf-8", errors="replace") as f:
+                text = f.read()
+        except OSError:
+            continue
+        tokens, comments = tokenize(text)
+        parse_suppressions(path, comments, model)
+        FileParser(path, tokens, model).parse()
+        model.files.append(path)
+    return model

@@ -19,6 +19,16 @@ Rules enforced over src/:
      Those trees are the zero-suppression core; escapes belong in the
      leaf layers, with a comment, or nowhere.
 
+  4. No `hgdb-analyze: suppress(...)` waivers under src/session or
+     src/rpc — the analyzer suppression budget there is zero. A finding
+     in those trees gets fixed or becomes a reviewed model.json
+     contract, never a per-line waiver.
+
+  5. Every metric-name literal registered via `.counter("...")` /
+     `.histogram("...")` / `.gauge("...")` must appear in the README
+     metric catalogue (delegated to the hgdb-analyze exhaustiveness
+     checker, so the lint and the analyzer can never disagree).
+
 Exit status 0 when clean; 1 with one `file:line: message` per violation
 otherwise. Run from the repo root: `python3 tools/lint.py`.
 """
@@ -38,6 +48,10 @@ RAW_MUTEX_ALLOWED = {SRC / "common" / "checked_mutex.h"}
 # Trees where suppression escapes are banned outright.
 NO_SUPPRESSION_TREES = (SRC / "runtime", SRC / "session")
 
+# Trees where the hgdb-analyze suppression budget is zero: findings get
+# fixed or promoted to model.json contracts, never waived per-line.
+ANALYZE_ZERO_BUDGET_TREES = (SRC / "session", SRC / "rpc")
+
 RAW_MUTEX_RE = re.compile(
     r"std::(?:mutex|recursive_mutex|timed_mutex|shared_mutex|"
     r"lock_guard|unique_lock|scoped_lock|shared_lock)\b"
@@ -49,6 +63,7 @@ LOCKED_DECL_RE = re.compile(
     r"^\s*(?:[\w:<>,&*\s]+?[&*\s])([a-zA-Z_]\w*_locked)\s*\("
 )
 SUPPRESS_RE = re.compile(r"\bHGDB_NO_THREAD_SAFETY_ANALYSIS\b")
+ANALYZE_SUPPRESS_RE = re.compile(r"hgdb-analyze:\s*suppress\s*\(")
 
 
 def strip_comments(line: str) -> str:
@@ -74,6 +89,9 @@ def check_file(path: Path) -> list[str]:
     in_no_suppression_tree = any(
         path.is_relative_to(tree) for tree in NO_SUPPRESSION_TREES
     )
+    in_zero_budget_tree = any(
+        path.is_relative_to(tree) for tree in ANALYZE_ZERO_BUDGET_TREES
+    )
     for i, raw_line in enumerate(lines):
         line_no = i + 1
         code = strip_comments(raw_line)
@@ -96,6 +114,14 @@ def check_file(path: Path) -> list[str]:
                 " under src/runtime and src/session (zero-suppression core)"
             )
 
+        # Scan the raw line: the waiver is itself a comment.
+        if in_zero_budget_tree and ANALYZE_SUPPRESS_RE.search(raw_line):
+            violations.append(
+                f"{rel}:{line_no}: hgdb-analyze suppression — the budget"
+                " under src/session and src/rpc is zero; fix the finding"
+                " or promote it to a model.json contract"
+            )
+
         match = LOCKED_DECL_RE.match(code)
         if match and path.suffix == ".h":
             statement = statement_after(lines, i)
@@ -107,6 +133,27 @@ def check_file(path: Path) -> list[str]:
     return violations
 
 
+def check_metric_literals(files: list[Path]) -> list[str]:
+    """Rule 5: delegate metric-name validation to the hgdb-analyze
+    exhaustiveness checker — same regex, same README-catalogue parser, so
+    the two tools cannot drift apart."""
+    sys.path.insert(0, str(REPO_ROOT / "tools" / "analyze"))
+    import checkers  # noqa: E402  (repo-local, dependency-free)
+
+    class _StubModel:
+        """check_metrics() only reads .files off the model."""
+        def __init__(self, paths: list[str]):
+            self.files = paths
+
+    checker = checkers.ExhaustivenessChecker(
+        _StubModel([str(p) for p in files]), {}, str(REPO_ROOT))
+    return [
+        f"{finding.file}:{finding.line}: {finding.message}"
+        f" (README § Metric catalogue)"
+        for finding in checker.check_metrics()
+    ]
+
+
 def main() -> int:
     files = sorted(
         p for p in SRC.rglob("*")
@@ -115,6 +162,7 @@ def main() -> int:
     all_violations: list[str] = []
     for path in files:
         all_violations.extend(check_file(path))
+    all_violations.extend(check_metric_literals(files))
     for violation in all_violations:
         print(violation)
     if all_violations:
