@@ -3,18 +3,24 @@
 // path needs for production-size dumps; cf. Goeders & Wilton's trace-based
 // HLS debugging, where the waveform store is the bottleneck).
 //
-// The harness synthesizes a VCD of configurable size (with id-code
-// aliases, like real dumps), then compares:
+// The harness synthesizes a multi-scope VCD of configurable size (with
+// id-code aliases, like real dumps), then compares:
 //   in_memory     trace::VcdTrace — full parse, O(trace) resident
 //   indexed v2    fixed-stride codec, duplicated alias streams (legacy)
-//   indexed v3    varint/delta codec + alias dedup (current writer)
+//   indexed v3    varint/delta codec + alias dedup
+//   indexed v4    per-signal codec (RLE auto-selected for clock-likes)
+//   sharded v4    per-scope shard files, converted at --jobs 1/2/4
 //   buffered/mmap the two StorageBackends answering identical random seeks
 //
 // Expected shape: indexed open time orders of magnitude below the full
-// parse; the v3 file >= 30% smaller than v2 on the same dump; mmap-backed
-// random block reads no slower than buffered; peak resident blocks never
-// above the LRU capacity. Exit is nonzero on any parity mismatch or LRU
-// bound violation, so the bench doubles as a stress check.
+// parse; the v3 file >= 30% smaller than v2 on the same dump; the RLE
+// stream for the clock >= 5x smaller than v3's delta stream; mmap-backed
+// random block reads no slower than buffered; parallel sharded convert
+// >= 2.5x faster at 4 jobs than 1 (enforced only on machines with >= 4
+// hardware threads — on smaller runners the honest number is ~1x and is
+// reported, not gated); peak resident blocks never above the LRU
+// capacity. Exit is nonzero on any parity mismatch, LRU bound violation,
+// or failed absolute gate, so the bench doubles as a stress check.
 //
 // Output: one JSON object on stdout (and to $HGDB_BENCH_JSON when set).
 // The "gates" object carries the ratios tools/check_bench_regression.py
@@ -22,7 +28,7 @@
 // Environment: HGDB_WVX_SIGNALS (default 40), HGDB_WVX_ALIASES (10),
 //              HGDB_WVX_CYCLES (20000), HGDB_WVX_SEEKS (2000),
 //              HGDB_WVX_CACHE (32, in blocks), HGDB_WVX_BLOCK_CAP (256),
-//              HGDB_BENCH_JSON (optional output path).
+//              HGDB_WVX_SCOPES (4), HGDB_BENCH_JSON (optional output path).
 #include <algorithm>
 #include <chrono>
 #include <cinttypes>
@@ -30,11 +36,15 @@
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <string_view>
 #include <vector>
+
+#include <thread>
 
 #include "trace/vcd_reader.h"
 #include "waveform/index_writer.h"
 #include "waveform/indexed_waveform.h"
+#include "waveform/sharded_writer.h"
 
 namespace {
 
@@ -67,25 +77,37 @@ struct Rng {
 };
 
 /// Streams a synthetic VCD to disk: one clock plus `signals` data signals
-/// of mixed widths, `aliases` re-declared names sharing earlier id codes,
+/// of mixed widths spread round-robin over `scopes` top-level modules
+/// (so the sharded converter has real scope structure to split on),
+/// `aliases` re-declared names sharing earlier id codes in a trailing
+/// `mirror` scope (cross-scope aliasing, like a netlist's port hookups),
 /// `cycles` clock periods, ~25% change probability per signal per cycle.
 /// Returns the number of value changes written (excluding clock).
 uint64_t write_synthetic_vcd(const std::string& path, uint64_t signals,
-                             uint64_t aliases, uint64_t cycles) {
+                             uint64_t aliases, uint64_t cycles,
+                             uint64_t scopes) {
   std::ofstream out(path, std::ios::trunc);
   const uint32_t widths[] = {1, 8, 32, 80};
-  out << "$timescale 1ns $end\n$scope module bench $end\n";
-  out << "$var wire 1 ck clock $end\n";
-  for (uint64_t i = 0; i < signals; ++i) {
-    out << "$var wire " << widths[i % 4] << " c" << i << " sig" << i
-        << " [" << widths[i % 4] - 1 << ":0] $end\n";
+  out << "$timescale 1ns $end\n";
+  for (uint64_t s = 0; s < scopes; ++s) {
+    out << "$scope module mod" << s << " $end\n";
+    if (s == 0) out << "$var wire 1 ck clock $end\n";
+    for (uint64_t i = s; i < signals; i += scopes) {
+      out << "$var wire " << widths[i % 4] << " c" << i << " sig" << i
+          << " [" << widths[i % 4] - 1 << ":0] $end\n";
+    }
+    out << "$upscope $end\n";
   }
-  for (uint64_t a = 0; a < aliases; ++a) {
-    const uint64_t target = a % signals;
-    out << "$var wire " << widths[target % 4] << " c" << target << " alias"
-        << a << " [" << widths[target % 4] - 1 << ":0] $end\n";
+  if (aliases > 0) {
+    out << "$scope module mirror $end\n";
+    for (uint64_t a = 0; a < aliases; ++a) {
+      const uint64_t target = a % signals;
+      out << "$var wire " << widths[target % 4] << " c" << target << " alias"
+          << a << " [" << widths[target % 4] - 1 << ":0] $end\n";
+    }
+    out << "$upscope $end\n";
   }
-  out << "$upscope $end\n$enddefinitions $end\n";
+  out << "$enddefinitions $end\n";
 
   Rng rng{0x9e3779b97f4a7c15ull};
   uint64_t changes = 0;
@@ -134,12 +156,16 @@ int main() {
   const uint64_t seeks = env_or("HGDB_WVX_SEEKS", 2000);
   const size_t cache_blocks = env_or("HGDB_WVX_CACHE", 32);
   const uint32_t block_cap = static_cast<uint32_t>(env_or("HGDB_WVX_BLOCK_CAP", 256));
+  const uint64_t scopes =
+      std::max<uint64_t>(1, env_or("HGDB_WVX_SCOPES", 4));
 
   const std::string vcd_path = "/tmp/hgdb_bench_waveform.vcd";
   const std::string v2_path = "/tmp/hgdb_bench_waveform.v2.wvx";
   const std::string v3_path = "/tmp/hgdb_bench_waveform.v3.wvx";
+  const std::string v4_path = "/tmp/hgdb_bench_waveform.v4.wvx";
 
-  const uint64_t changes = write_synthetic_vcd(vcd_path, signals, aliases, cycles);
+  const uint64_t changes =
+      write_synthetic_vcd(vcd_path, signals, aliases, cycles, scopes);
 
   // -- in-memory backend: full-text parse ----------------------------------------
   auto t0 = Clock::now();
@@ -156,13 +182,43 @@ int main() {
   const double convert_v2_ms = ms_since(t0);
 
   waveform::IndexWriterOptions v3_options;
+  v3_options.version = 3;  // the file default is v4 now; keep v3 tracked
   v3_options.block_capacity = block_cap;
   t0 = Clock::now();
   waveform::convert_vcd_to_index(vcd_path, v3_path, v3_options);
   const double convert_v3_ms = ms_since(t0);
 
+  // v4: per-signal codec selection (the clock's toggle stream goes RLE).
+  waveform::IndexWriterOptions v4_options;
+  v4_options.block_capacity = block_cap;
+  t0 = Clock::now();
+  waveform::convert_vcd_to_index(vcd_path, v4_path, v4_options);
+  const double convert_v4_ms = ms_since(t0);
+
+  // Sharded v4 convert at 1/2/4 jobs: same dump, per-scope shard files,
+  // parser thread feeding per-shard writer workers. Shard layout — and
+  // therefore byte content — is independent of the job count, so the
+  // wall-clock ratio isolates the pipeline overlap.
+  const uint32_t job_steps[] = {1, 2, 4};
+  double sharded_ms[3] = {0, 0, 0};
+  uint32_t shard_count = 0;
+  for (int step = 0; step < 3; ++step) {
+    waveform::ShardedConvertOptions sharded_options;
+    sharded_options.index.block_capacity = block_cap;
+    sharded_options.jobs = job_steps[step];
+    const std::string path =
+        "/tmp/hgdb_bench_waveform.jobs" + std::to_string(job_steps[step]) +
+        ".wvx";
+    t0 = Clock::now();
+    const auto sharded_result =
+        waveform::convert_vcd_to_sharded_index(vcd_path, path, sharded_options);
+    sharded_ms[step] = ms_since(t0);
+    shard_count = sharded_result.shards;
+  }
+
   const uint64_t v2_bytes = file_bytes(v2_path);
   const uint64_t v3_bytes = file_bytes(v3_path);
+  const uint64_t v4_bytes = file_bytes(v4_path);
   // The clock contributes 2 changes per cycle on top of the data changes.
   const uint64_t total_changes = changes + 2 * cycles;
 
@@ -188,6 +244,38 @@ int main() {
   waveform::IndexedWaveform v2_indexed(
       v2_path, waveform::WaveformOpenOptions{cache_blocks,
                                              waveform::IoMode::kBuffered});
+  waveform::IndexedWaveform v4_indexed(
+      v4_path, waveform::WaveformOpenOptions{cache_blocks,
+                                             waveform::IoMode::kBuffered});
+  // The 4-job manifest; one shared cache budget across every shard.
+  waveform::IndexedWaveform sharded(
+      "/tmp/hgdb_bench_waveform.jobs4.wvx",
+      waveform::WaveformOpenOptions{cache_blocks, waveform::IoMode::kBuffered});
+  // Sharded global signal order differs from declaration order; map
+  // through hierarchical names once.
+  std::vector<size_t> sharded_index(trace.signal_count());
+  for (size_t i = 0; i < trace.signal_count(); ++i) {
+    const auto mapped_index = sharded.signal_index(trace.signal(i).hier_name);
+    if (!mapped_index) {
+      std::fprintf(stderr, "sharded index is missing signal '%s'\n",
+                   trace.signal(i).hier_name.c_str());
+      return 1;
+    }
+    sharded_index[i] = *mapped_index;
+  }
+
+  // Per-codec clock stream cost: v3 encodes the clock with delta varints,
+  // v4 auto-selects RLE for it. Signal 0 is the clock in declaration
+  // order (single-file indexes keep that order).
+  auto payload_sum = [](const std::vector<waveform::BlockInfo>& blocks) {
+    uint64_t sum = 0;
+    for (const auto& block : blocks) sum += block.payload_bytes;
+    return sum;
+  };
+  const uint64_t clock_delta_bytes = payload_sum(buffered.blocks(0));
+  const uint64_t clock_rle_bytes = payload_sum(v4_indexed.blocks(0));
+  const bool clock_is_rle =
+      std::string_view(v4_indexed.signal_codec_name(0)) == "rle";
 
   // -- random cycle seeks, answered by every backend -----------------------------
   Rng rng{0xdeadbeefcafef00dull};
@@ -218,7 +306,9 @@ int main() {
     const auto expected = trace.value_at(signal, time);
     if (expected != buffered.value_at(signal, time) ||
         expected != mapped.value_at(signal, time) ||
-        expected != v2_indexed.value_at(signal, time)) {
+        expected != v2_indexed.value_at(signal, time) ||
+        expected != v4_indexed.value_at(signal, time) ||
+        expected != sharded.value_at(sharded_index[signal], time)) {
       ++mismatches;
     }
   }
@@ -244,14 +334,44 @@ int main() {
   const double mmap_vs_buffered =
       mmap_seek_ms > 0 ? buffered_seek_ms / mmap_seek_ms : 0.0;
   const double open_vs_parse = open_ms > 0 ? parse_ms / open_ms : 0.0;
+  const double convert_parallel_speedup =
+      sharded_ms[2] > 0 ? sharded_ms[0] / sharded_ms[2] : 0.0;
+  const double rle_clock_compression =
+      clock_rle_bytes > 0 ? static_cast<double>(clock_delta_bytes) /
+                                static_cast<double>(clock_rle_bytes)
+                          : 0.0;
 
-  char json[4096];
+  // Absolute criteria. The RLE ratio is a property of the encodings, so
+  // it holds on any machine; the pipeline speedup needs real cores to
+  // overlap on, so it is enforced only where >= 4 hardware threads exist
+  // (elsewhere the honest ~1x is reported and regression-tracked, not
+  // thresholded).
+  bool gates_ok = true;
+  if (!clock_is_rle || rle_clock_compression < 5.0) {
+    std::fprintf(stderr,
+                 "GATE FAIL: clock stream codec '%s', rle compression %.1fx "
+                 "(need auto-selected rle and >= 5x vs delta)\n",
+                 v4_indexed.signal_codec_name(0), rle_clock_compression);
+    gates_ok = false;
+  }
+  if (std::thread::hardware_concurrency() >= 4 &&
+      convert_parallel_speedup < 2.5) {
+    std::fprintf(stderr,
+                 "GATE FAIL: sharded convert speedup %.2fx at 4 jobs "
+                 "(need >= 2.5x on this %u-thread machine)\n",
+                 convert_parallel_speedup,
+                 std::thread::hardware_concurrency());
+    gates_ok = false;
+  }
+
+  char json[8192];
   std::snprintf(
       json, sizeof(json),
       "{\n"
       "  \"config\": {\"signals\": %" PRIu64 ", \"aliases\": %" PRIu64
       ", \"cycles\": %" PRIu64 ", \"changes\": %" PRIu64
-      ", \"seeks\": %" PRIu64 ", \"cache_blocks\": %zu, \"block_capacity\": %u},\n"
+      ", \"seeks\": %" PRIu64 ", \"cache_blocks\": %zu, \"block_capacity\": %u"
+      ", \"scopes\": %" PRIu64 ", \"hardware_threads\": %u},\n"
       "  \"in_memory\": {\"parse_ms\": %.2f, \"resident_bytes\": %zu, "
       "\"seek_us_avg\": %.3f},\n"
       "  \"indexed_v2\": {\"convert_ms\": %.2f, \"file_bytes\": %" PRIu64
@@ -263,13 +383,20 @@ int main() {
       "    \"total_blocks\": %" PRIu64 ", \"aliases_deduped\": %zu, "
       "\"cache\": {\"hits\": %" PRIu64 ", \"misses\": %" PRIu64
       ", \"evictions\": %" PRIu64 ", \"peak_resident\": %zu, \"capacity\": %zu}},\n"
+      "  \"indexed_v4\": {\"convert_ms\": %.2f, \"file_bytes\": %" PRIu64
+      ", \"bytes_per_change\": %.2f, \"clock_codec\": \"%s\",\n"
+      "    \"clock_delta_payload_bytes\": %" PRIu64
+      ", \"clock_rle_payload_bytes\": %" PRIu64 "},\n"
+      "  \"sharded\": {\"shards\": %u, \"convert_jobs1_ms\": %.2f, "
+      "\"convert_jobs2_ms\": %.2f, \"convert_jobs4_ms\": %.2f},\n"
       "  \"gates\": {\"open_vs_parse_speedup\": %.1f, "
-      "\"v3_size_savings\": %.3f, \"mmap_vs_buffered_seek\": %.2f},\n"
+      "\"v3_size_savings\": %.3f, \"mmap_vs_buffered_seek\": %.2f, "
+      "\"convert_parallel_speedup\": %.2f, \"rle_clock_compression\": %.1f},\n"
       "  \"parity_mismatches\": %" PRIu64 ",\n"
       "  \"lru_bounded\": %s\n"
       "}\n",
       signals, aliases, cycles, changes, seeks, cache_blocks, block_cap,
-      parse_ms, trace_resident,
+      scopes, std::thread::hardware_concurrency(), parse_ms, trace_resident,
       memory_seek_ms * 1000.0 / static_cast<double>(seeks), convert_v2_ms,
       v2_bytes, static_cast<double>(v2_bytes) / static_cast<double>(total_changes),
       v2_seek_ms * 1000.0 / static_cast<double>(seeks), convert_v3_ms,
@@ -278,8 +405,13 @@ int main() {
       mmap_seek_ms * 1000.0 / static_cast<double>(seeks), indexed_resident,
       buffered.total_blocks(), buffered.alias_count(), stats.hits,
       stats.misses, stats.evictions, stats.peak_resident,
-      buffered.cache_capacity(), open_vs_parse, v3_size_savings,
-      mmap_vs_buffered, mismatches, lru_bounded ? "true" : "false");
+      buffered.cache_capacity(), convert_v4_ms, v4_bytes,
+      static_cast<double>(v4_bytes) / static_cast<double>(total_changes),
+      v4_indexed.signal_codec_name(0), clock_delta_bytes, clock_rle_bytes,
+      shard_count, sharded_ms[0], sharded_ms[1], sharded_ms[2],
+      open_vs_parse, v3_size_savings, mmap_vs_buffered,
+      convert_parallel_speedup, rle_clock_compression, mismatches,
+      lru_bounded ? "true" : "false");
 
   std::fputs(json, stdout);
   if (const char* json_path = std::getenv("HGDB_BENCH_JSON")) {
@@ -290,6 +422,15 @@ int main() {
   std::remove(vcd_path.c_str());
   std::remove(v2_path.c_str());
   std::remove(v3_path.c_str());
-  if (mismatches != 0 || !lru_bounded) return 1;
+  std::remove(v4_path.c_str());
+  for (const uint32_t jobs : job_steps) {
+    const std::string stem =
+        "/tmp/hgdb_bench_waveform.jobs" + std::to_string(jobs);
+    std::remove((stem + ".wvx").c_str());
+    for (uint32_t k = 0; k < shard_count; ++k) {
+      std::remove((stem + ".shard" + std::to_string(k) + ".wvx").c_str());
+    }
+  }
+  if (mismatches != 0 || !lru_bounded || !gates_ok) return 1;
   return 0;
 }

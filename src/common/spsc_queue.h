@@ -1,0 +1,102 @@
+#ifndef HGDB_COMMON_SPSC_QUEUE_H
+#define HGDB_COMMON_SPSC_QUEUE_H
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace hgdb::common {
+
+/// Bounded single-producer / single-consumer ring. The waveform convert
+/// pipeline's hand-off: the VCD parser thread pushes routed changes, one
+/// writer worker pops them. Exactly one thread may call push()/close()
+/// and exactly one may call pop() — the ring needs no mutex then, just an
+/// acquire/release pair per transfer (head_ and tail_ each have a single
+/// writer), which TSan accepts and which keeps the per-change cost to two
+/// atomic ops.
+///
+/// Backpressure is spin-then-yield on both sides: a full queue stalls the
+/// producer (bounding memory no matter how far the parser runs ahead), an
+/// empty one stalls the consumer. Slots are recycled with std::swap so a
+/// popped element donates its heap capacity (string payloads) back to the
+/// ring instead of freeing it.
+///
+/// close() may be called by either side: the producer to signal
+/// end-of-stream (consumer drains, then pop() returns false), or the
+/// consumer to refuse further work after a failure (push() returns false
+/// and the producer collects the error out of band). closed_ is the only
+/// flag both threads write; it is monotonic, so a relaxed race on "who
+/// closed first" is harmless.
+template <typename T>
+class SpscQueue {
+ public:
+  /// `capacity` is rounded up to a power of two (mask indexing).
+  explicit SpscQueue(size_t capacity) {
+    size_t rounded = 1;
+    while (rounded < capacity) rounded <<= 1;
+    ring_.resize(rounded);
+    mask_ = rounded - 1;
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  /// Moves `item` into the ring, blocking while full. Returns false (item
+  /// untouched) once the queue is closed.
+  bool push(T& item) {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    size_t spins = 0;
+    while (true) {
+      if (closed_.load(std::memory_order_acquire)) return false;
+      const size_t head = head_.load(std::memory_order_acquire);
+      if (tail - head <= mask_) break;
+      if (++spins > kSpinLimit) std::this_thread::yield();
+    }
+    std::swap(ring_[tail & mask_], item);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Moves the next element into `out`, blocking while empty. Returns
+  /// false only when the queue is closed *and* drained.
+  bool pop(T& out) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    size_t spins = 0;
+    while (true) {
+      const size_t tail = tail_.load(std::memory_order_acquire);
+      if (head != tail) break;
+      if (closed_.load(std::memory_order_acquire) &&
+          tail_.load(std::memory_order_acquire) == head) {
+        return false;
+      }
+      if (++spins > kSpinLimit) std::this_thread::yield();
+    }
+    std::swap(out, ring_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  void close() { closed_.store(true, std::memory_order_release); }
+  [[nodiscard]] bool closed() const {
+    return closed_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] size_t capacity() const { return mask_ + 1; }
+
+ private:
+  static constexpr size_t kSpinLimit = 64;
+
+  std::vector<T> ring_;
+  size_t mask_ = 0;
+  /// Consumer cursor and producer cursor; monotonically increasing, ring
+  /// position is cursor & mask_. Padded apart so the two single-writer
+  /// cache lines don't false-share.
+  alignas(64) std::atomic<size_t> head_{0};
+  alignas(64) std::atomic<size_t> tail_{0};
+  alignas(64) std::atomic<bool> closed_{false};
+};
+
+}  // namespace hgdb::common
+
+#endif  // HGDB_COMMON_SPSC_QUEUE_H

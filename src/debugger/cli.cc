@@ -4,11 +4,13 @@
 // an IDE would use; the simulation runs on a background thread like a
 // live simulator process.
 //
-// Usage: hgdb-cli <workload> [--optimized] [--cycles N] [--replay vcd|wvx]
-//                 [--io auto|mmap|buffered] [--dap [port]]
+// Usage: hgdb-cli <workload> [--optimized] [--cycles N]
+//                 [--replay vcd|wvx|<dump-path>] [--io auto|mmap|buffered]
+//                 [--dap [port]]
 //        hgdb-cli wvx-verify <file.wvx>
-//        hgdb-cli wvx-convert <in.vcd> <out.wvx> [--v2] [--fixed-codec]
-//                 [--no-dedup] [--no-checksums] [--block-cap N]
+//        hgdb-cli wvx-convert <in.vcd> <out.wvx> [--v2] [--v3]
+//                 [--fixed-codec] [--no-dedup] [--no-checksums]
+//                 [--block-cap N] [--jobs N] [--shard-by scope|none]
 //   workload: multiply | mm | mt-matmul | vvadd | qsort | dhrystone |
 //             median | towers | spmv | mt-vvadd | fpu
 //
@@ -25,8 +27,12 @@
 // the version, block codec and alias table, verifying per-block checksums
 // and naming the first corrupt block with a typed fault class.
 // `wvx-convert` converts a VCD dump to the index offline; the flags pick
-// the on-disk version (v3 varint/delta + alias dedup by default, --v2 /
-// --fixed-codec / --no-dedup for the legacy layouts).
+// the on-disk version (v4 per-signal codec auto-selection by default,
+// --v3 / --v2 / --fixed-codec / --no-dedup for the older layouts).
+// --shard-by scope splits the output into per-scope shard files behind a
+// manifest; --jobs N (default: hardware concurrency) runs the conversion
+// pipeline with N writer workers — shard content is byte-identical for
+// every jobs value.
 //
 // With --replay the workload is first simulated to a trace dump, then the
 // same REPL attaches to the *trace* through the replay backend (paper
@@ -35,7 +41,9 @@
 // dumps the waveform index *directly* from the simulator (no VCD text
 // round-trip) and debugs through waveform::IndexedWaveform with
 // LRU-bounded residency; --io picks its storage backend (default: mmap
-// where available).
+// where available). An existing .vcd/.wvx path (single-file or shard
+// manifest — they are opened the same way) skips the simulation and
+// replays that dump directly.
 #include <unistd.h>
 
 #include <atomic>
@@ -57,6 +65,7 @@
 #include "vpi/replay_backend.h"
 #include "waveform/index_writer.h"
 #include "waveform/indexed_waveform.h"
+#include "waveform/sharded_writer.h"
 #include "waveform/wvx_verify.h"
 #include "workloads/workloads.h"
 
@@ -442,18 +451,26 @@ void maybe_serve_dap(runtime::Runtime& runtime,
 /// Offline session: simulate once while dumping a trace, then debug the
 /// trace with the unified interface — the paper's replay flow end to end.
 /// "wvx" dumps the waveform index directly from the simulator (no VCD
-/// text is ever written); "vcd" keeps the text dump + in-memory parse.
+/// text is ever written); "vcd" keeps the text dump + in-memory parse. An
+/// existing dump path (.vcd, .wvx single file or .wvx shard manifest)
+/// skips the simulation and replays that dump as-is.
 int run_replay_cli(const std::string& name, bool debug_mode, uint64_t cycles,
                    const std::string& format, waveform::IoMode io_mode,
                    std::optional<uint16_t> dap_port, bool binary_events) {
   auto compiled = compile_workload(name, debug_mode);
 
-  // Per-process paths: concurrent sessions must not clobber each other.
-  const std::string stem =
-      "/tmp/hgdb_cli_replay." + std::to_string(::getpid());
-  const std::string dump_path = stem + (format == "wvx" ? ".wvx" : ".vcd");
-  TempFileRemover remover{{dump_path}};
-  {
+  const bool existing_dump = format != "vcd" && format != "wvx";
+  const bool wvx =
+      existing_dump ? waveform::is_wvx_path(format) : format == "wvx";
+  std::string dump_path;
+  TempFileRemover remover;
+  if (existing_dump) {
+    dump_path = format;  // the user's file; never simulated, never removed
+  } else {
+    // Per-process paths: concurrent sessions must not clobber each other.
+    dump_path = "/tmp/hgdb_cli_replay." + std::to_string(::getpid()) +
+                (wvx ? ".wvx" : ".vcd");
+    remover.paths.push_back(dump_path);
     sim::Simulator simulator(compiled.netlist);
     sim::VcdWriter writer(simulator, dump_path);
     writer.attach();
@@ -462,23 +479,32 @@ int run_replay_cli(const std::string& name, bool debug_mode, uint64_t cycles,
   }
 
   std::shared_ptr<waveform::WaveformSource> source;
-  if (format == "wvx") {
+  if (wvx) {
     auto indexed = std::make_shared<waveform::IndexedWaveform>(
         dump_path,
         waveform::WaveformOpenOptions{waveform::kDefaultCacheBlocks, io_mode});
-    std::cout << "dumped " << indexed->signal_count() << " signals into "
+    std::cout << (existing_dump ? "opened" : "dumped") << " "
+              << indexed->signal_count() << " signals into "
               << indexed->total_blocks() << " blocks (" << dump_path
               << ", format v" << indexed->version() << ", "
-              << indexed->codec_name() << " codec, no VCD round-trip); "
-              << indexed->io_kind() << " reads, cache capacity "
+              << indexed->codec_name() << " codec";
+    if (indexed->sharded()) {
+      std::cout << ", " << indexed->shard_count() << " shards";
+    }
+    std::cout << "); " << indexed->io_kind() << " reads, cache capacity "
               << indexed->cache_capacity() << " blocks\n";
     source = std::move(indexed);
   } else {
     source = std::make_shared<trace::VcdTrace>(trace::parse_vcd_file(dump_path));
   }
-  std::cout << "replaying " << cycles << " dumped cycles of '" << name
-            << "' through the " << (format == "wvx" ? "indexed" : "in-memory")
-            << " waveform store\n";
+  if (existing_dump) {
+    std::cout << "replaying dump '" << dump_path << "' through the "
+              << (wvx ? "indexed" : "in-memory") << " waveform store\n";
+  } else {
+    std::cout << "replaying " << cycles << " dumped cycles of '" << name
+              << "' through the " << (wvx ? "indexed" : "in-memory")
+              << " waveform store\n";
+  }
 
   vpi::ReplayBackend backend{trace::ReplayEngine(std::move(source))};
   symbols::MemorySymbolTable table(compiled.symbols);
@@ -560,41 +586,65 @@ int run_cli(const std::string& name, bool debug_mode, uint64_t cycles,
 int run_wvx_convert(int argc, char** argv) {
   if (argc < 4) {
     std::cerr << "usage: hgdb-cli wvx-convert <in.vcd> <out.wvx> [--v2] "
-                 "[--fixed-codec] [--no-dedup] [--no-checksums] "
-                 "[--block-cap N]\n";
+                 "[--v3] [--fixed-codec] [--no-dedup] [--no-checksums] "
+                 "[--block-cap N] [--jobs N] [--shard-by scope|none]\n";
     return 2;
   }
   const std::string vcd_path = argv[2];
   const std::string wvx_path = argv[3];
-  waveform::IndexWriterOptions options;
+  waveform::ShardedConvertOptions options;
+  options.shard_by_scope = false;  // single file unless --shard-by scope
   for (int i = 4; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--v2") {
-      options.version = 2;
+      options.index.version = 2;
+    } else if (arg == "--v3") {
+      options.index.version = 3;
     } else if (arg == "--fixed-codec") {
-      options.delta_codec = false;
+      // Pin every stream: the file default *and* per-signal selection.
+      options.index.delta_codec = false;
+      options.index.auto_codec = false;
     } else if (arg == "--no-dedup") {
-      options.dedup_aliases = false;
+      options.index.dedup_aliases = false;
     } else if (arg == "--no-checksums") {
-      options.block_checksums = false;
+      options.index.block_checksums = false;
     } else if (arg == "--block-cap" && i + 1 < argc) {
-      options.block_capacity = static_cast<uint32_t>(std::stoul(argv[++i]));
+      options.index.block_capacity =
+          static_cast<uint32_t>(std::stoul(argv[++i]));
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      options.jobs = static_cast<uint32_t>(std::stoul(argv[++i]));
+    } else if (arg == "--shard-by" && i + 1 < argc) {
+      const std::string mode = argv[++i];
+      if (mode == "scope") {
+        options.shard_by_scope = true;
+      } else if (mode == "none") {
+        options.shard_by_scope = false;
+      } else {
+        std::cerr << "fatal: --shard-by expects 'scope' or 'none'\n";
+        return 2;
+      }
     } else {
       std::cerr << "fatal: unknown wvx-convert flag '" << arg << "'\n";
       return 2;
     }
   }
-  const size_t signals = waveform::convert_vcd_to_index(vcd_path, wvx_path,
-                                                        options);
+  const auto convert =
+      waveform::convert_vcd_to_sharded_index(vcd_path, wvx_path, options);
+  // verify_index opens the manifest transparently, so this one call
+  // checks every shard.
   const auto result = waveform::verify_index(wvx_path);
   if (!result.ok) {
     std::cerr << "conversion produced a corrupt index:\n"
               << waveform::describe(result, wvx_path) << "\n";
     return 1;
   }
-  std::cout << wvx_path << ": " << signals << " signal(s), " << result.blocks
-            << " block(s), format v" << result.version << ", " << result.codec
-            << " codec";
+  std::cout << wvx_path << ": " << convert.signals << " signal(s), "
+            << result.blocks << " block(s), format v" << result.version << ", "
+            << result.codec << " codec";
+  if (convert.shards != 0) {
+    std::cout << ", " << convert.shards << " shard(s) via " << convert.jobs
+              << " job(s)";
+  }
   if (result.aliases != 0) {
     std::cout << ", " << result.aliases << " alias(es) deduped";
   }
@@ -665,8 +715,13 @@ int main(int argc, char** argv) {
       binary_events = true;
     } else if (arg == "--replay" && i + 1 < argc) {
       replay_format = argv[++i];
-      if (replay_format != "vcd" && replay_format != "wvx") {
-        std::cerr << "fatal: --replay expects 'vcd' or 'wvx'\n";
+      const bool is_dump_path =
+          waveform::is_wvx_path(replay_format) ||
+          (replay_format.size() > 4 &&
+           replay_format.compare(replay_format.size() - 4, 4, ".vcd") == 0);
+      if (replay_format != "vcd" && replay_format != "wvx" && !is_dump_path) {
+        std::cerr << "fatal: --replay expects 'vcd', 'wvx', or an existing "
+                     ".vcd/.wvx dump path\n";
         return 1;
       }
     } else {
@@ -676,7 +731,9 @@ int main(int argc, char** argv) {
   // --io picks the IndexedWaveform storage backend; only the indexed
   // replay mode opens one, so anywhere else the flag would be a silent
   // no-op the user believes took effect.
-  if (io_mode_set && replay_format != "wvx") {
+  const bool replay_wvx =
+      replay_format == "wvx" || waveform::is_wvx_path(replay_format);
+  if (io_mode_set && !replay_wvx) {
     std::cerr << "fatal: --io only applies to --replay wvx\n";
     return 1;
   }

@@ -215,6 +215,91 @@ class DeltaBlockCodec final : public BlockCodec {
   }
 };
 
+// ---------------------------------------------------------------------------
+// rle toggle codec (v4, width-1 signals)
+// ---------------------------------------------------------------------------
+
+class RleBlockCodec final : public BlockCodec {
+ public:
+  [[nodiscard]] const char* name() const override { return "rle"; }
+
+  void encode(const uint64_t* times, const BitVector* values, size_t count,
+              uint32_t width, std::string& out) const override {
+    if (width != 1) {
+      throw std::invalid_argument("wvx: rle codec requires a 1-bit signal");
+    }
+    uint64_t prev_time = 0;
+    bool prev_value = false;  // per-block baseline, same as delta's zero
+    size_t i = 0;
+    while (i < count) {
+      const bool value = values[i].to_bool();
+      const uint64_t delta = times[i] - prev_time;
+      if (value != prev_value) {
+        // Greedy maximal run: consecutive toggles at one uniform spacing.
+        size_t j = i + 1;
+        while (j < count && values[j].to_bool() != values[j - 1].to_bool() &&
+               times[j] - times[j - 1] == delta) {
+          ++j;
+        }
+        append_varint(out, j - i);  // run_len >= 1
+        append_varint(out, delta);
+        prev_time = times[j - 1];
+        prev_value = values[j - 1].to_bool();
+        i = j;
+      } else {
+        append_varint(out, 0);  // literal escape
+        append_varint(out, delta);
+        out.push_back(static_cast<char>(value ? 1 : 0));
+        prev_time = times[i];
+        prev_value = value;
+        ++i;
+      }
+    }
+  }
+
+  void decode(const char* payload, size_t payload_bytes, uint32_t count,
+              uint32_t width, DecodedBlock& out) const override {
+    if (width != 1) {
+      throw WvxError(WvxFault::kCorrupt, "wvx: rle block on a wide signal");
+    }
+    out.clear();
+    out.reserve(count);
+    const auto* p = reinterpret_cast<const uint8_t*>(payload);
+    const uint8_t* end = p + payload_bytes;
+    uint64_t time = 0;
+    bool value = false;
+    while (out.size() < count) {
+      const uint64_t run = read_varint(&p, end);
+      if (run == 0) {  // literal: explicit value byte
+        time += read_varint(&p, end);
+        if (p >= end) truncated();
+        const uint8_t byte = *p++;
+        if (byte > 1) {
+          throw WvxError(WvxFault::kCorrupt,
+                         "wvx: rle literal value byte out of range");
+        }
+        value = byte != 0;
+        out.emplace_back(time, BitVector(1, value ? 1 : 0));
+      } else {
+        if (run > count - out.size()) {
+          throw WvxError(WvxFault::kCorrupt,
+                         "wvx: rle run overflows its block entry count");
+        }
+        const uint64_t delta = read_varint(&p, end);
+        for (uint64_t k = 0; k < run; ++k) {
+          time += delta;
+          value = !value;
+          out.emplace_back(time, BitVector(1, value ? 1 : 0));
+        }
+      }
+    }
+    if (p != end) {
+      throw WvxError(WvxFault::kCorrupt,
+                     "wvx: trailing bytes after the last block entry");
+    }
+  }
+};
+
 }  // namespace
 
 const BlockCodec& fixed_codec() {
@@ -227,8 +312,29 @@ const BlockCodec& delta_codec() {
   return codec;
 }
 
+const BlockCodec& rle_codec() {
+  static const RleBlockCodec codec;
+  return codec;
+}
+
 const BlockCodec& codec_for_flags(uint32_t flags) {
   return (flags & kWvxFlagDeltaCodec) != 0 ? delta_codec() : fixed_codec();
+}
+
+uint8_t codec_id(const BlockCodec& codec) {
+  if (&codec == &fixed_codec()) return 0;
+  if (&codec == &delta_codec()) return 1;
+  if (&codec == &rle_codec()) return 2;
+  throw std::invalid_argument("wvx: unregistered block codec");
+}
+
+const BlockCodec* codec_by_id(uint8_t id) {
+  switch (id) {
+    case 0: return &fixed_codec();
+    case 1: return &delta_codec();
+    case 2: return &rle_codec();
+    default: return nullptr;
+  }
 }
 
 }  // namespace hgdb::waveform

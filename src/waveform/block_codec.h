@@ -61,8 +61,28 @@ class BlockCodec {
 /// 2-3 byte entries, which is where the v3 size win comes from.
 [[nodiscard]] const BlockCodec& delta_codec();
 
+/// Run-length toggle codec for width-1 signals (v4 per-signal selection;
+/// the writer auto-picks it for clock-like streams). Entries are grouped:
+///   varint run_len >= 1: run_len entries, each toggling the previous
+///     value, spaced by one shared varint time delta — a whole block of a
+///     pure clock collapses to ~3 bytes.
+///   varint 0 (literal escape): one entry at varint delta with an explicit
+///     u8 value (0/1) — covers the initial 0 at #0, glitches, and
+///     irregular spacing.
+/// "Previous value" starts at 0 per block, so blocks decode independently.
+/// encode()/decode() reject widths other than 1.
+[[nodiscard]] const BlockCodec& rle_codec();
+
 /// Codec selection for a file: delta when the flag says so, else fixed.
+/// v4 files may override per signal via the footer codec id.
 [[nodiscard]] const BlockCodec& codec_for_flags(uint32_t flags);
+
+/// On-disk codec ids, written per canonical signal in v4 footers:
+/// 0 = fixed, 1 = delta, 2 = rle.
+[[nodiscard]] uint8_t codec_id(const BlockCodec& codec);
+/// The codec for an id, or nullptr when the id is unknown (corrupt or
+/// future file — the reader reports a typed fault with path context).
+[[nodiscard]] const BlockCodec* codec_by_id(uint8_t id);
 
 }  // namespace hgdb::waveform
 

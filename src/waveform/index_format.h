@@ -11,43 +11,56 @@
 
 namespace hgdb::waveform {
 
-/// The .wvx on-disk waveform index, version 3 (version-1 and -2 files
-/// remain readable).
+/// The .wvx on-disk waveform index, version 4 (versions 1-3 remain
+/// readable bit-identically).
 ///
 /// Layout (all integers little-endian; "varint" = unsigned LEB128):
 ///
 ///   [header, 36 bytes (32 in v1, which has no flags word)]
 ///     u32 magic            "WVX1" (0x31585657; identifies the format, not
 ///                          the version)
-///     u32 version          3 (2 / 1 for legacy files)
+///     u32 version          4 (3 / 2 / 1 for legacy files)
 ///     u32 flags            kWvxFlag* bits (v2+)
 ///     u64 footer_offset    patched after the block region is written
 ///     u64 max_time
 ///     u64 signal_count
 ///   [block region]
 ///     Per-signal change blocks, interleaved in write order, encoded by the
-///     file's block codec:
-///       fixed codec (v1/v2, and v3 without kWvxFlagDeltaCodec): `count`
+///     signal's block codec:
+///       fixed codec (v1/v2, and v3+ without kWvxFlagDeltaCodec): `count`
 ///         fixed-stride entries — u64 time, then ceil(width/8) value bytes.
-///       delta codec (v3 with kWvxFlagDeltaCodec): `count` variable-size
+///       delta codec (v3+ with kWvxFlagDeltaCodec): `count` variable-size
 ///         entries — varint time delta (first entry: absolute time), then a
 ///         value tag byte (0 = repeat previous value, 1 = varint of
 ///         value XOR previous, 2 = raw ceil(width/8) bytes) and its
 ///         payload. "Previous value" starts at zero per block, so blocks
 ///         decode independently.
+///       rle codec (v4, per-signal): toggle runs for clock-like 1-bit
+///         signals; see rle_codec() in block_codec.h for the grouping.
 ///   [footer: signal table + block directory]
 ///     per signal:
 ///       u32 name_len, name bytes
 ///       u32 width
-///       u32 canonical        [v3 only] index of the signal owning the
+///       u32 canonical        [v3+] index of the signal owning the
 ///                            change stream; == own index when canonical.
 ///                            Aliased signals (canonical != self) carry no
 ///                            directory of their own.
+///       u8 codec_id          [v4, canonical signals only] block codec of
+///                            this signal's stream (0 fixed, 1 delta,
+///                            2 rle), overriding the file-default flag —
+///                            this is the per-signal codec-selection seam.
 ///       u64 block_count      [only when canonical]
 ///       per block: u64 start_time, u64 end_time, u64 file_offset,
 ///                  u32 count,
-///                  [u32 payload_bytes in v3 — variable-size codecs],
+///                  [u32 payload_bytes in v3+ — variable-size codecs],
 ///                  [u32 crc32 when kWvxFlagBlockChecksums]
+///
+/// Sharded indexes (v4): a dump may instead be stored as a *manifest*
+/// (magic "WVXM", see manifest.h) naming N shard files, each of which is
+/// a complete single-file index holding a disjoint subset of the signals
+/// (whole alias groups; split by top-level scope). Both spellings use the
+/// .wvx extension — readers sniff the magic, so every open path accepts
+/// either transparently.
 ///
 /// The footer is small (O(signals + blocks)) and is the only part an
 /// IndexedWaveform keeps resident; block payloads load on demand through
@@ -63,7 +76,7 @@ namespace hgdb::waveform {
 /// corruption surfaces as a clean "checksum mismatch" error naming the
 /// block instead of garbage waveform values.
 constexpr uint32_t kWvxMagic = 0x31585657;  // "WVX1"
-constexpr uint32_t kWvxVersion = 3;         ///< written by IndexWriter
+constexpr uint32_t kWvxVersion = 4;         ///< written by IndexWriter
 constexpr uint32_t kWvxMinVersion = 1;      ///< oldest readable version
 constexpr size_t kWvxHeaderSizeV1 = 32;
 constexpr size_t kWvxHeaderSizeV2 = 36;  ///< also the v3 header size
@@ -119,6 +132,8 @@ struct BlockInfo {
   uint32_t crc32 = 0;       ///< payload checksum (kWvxFlagBlockChecksums)
 };
 
+class BlockCodec;
+
 /// Resident metadata for one indexed signal.
 struct IndexedSignal {
   SignalInfo info;
@@ -126,6 +141,11 @@ struct IndexedSignal {
   /// Index of the signal owning the change stream (alias dedup); equals
   /// the signal's own index when it is canonical.
   size_t canonical = 0;
+  /// Block codec of this signal's stream (v4 per-signal selection; the
+  /// file-default codec for v1-v3). nullptr until resolved.
+  const BlockCodec* codec = nullptr;
+  /// Which shard file holds the stream (0 for single-file indexes).
+  uint32_t shard = 0;
   std::vector<BlockInfo> blocks;  ///< empty for aliased signals
 };
 
@@ -143,16 +163,22 @@ struct IndexWriterOptions {
   /// Write a CRC-32 per block (kWvxFlagBlockChecksums). ~4 bytes per
   /// block of overhead; on by default.
   bool block_checksums = true;
-  /// On-disk format version to emit: 3 (default) or 2 for tooling that
-  /// must interoperate with older readers.
+  /// On-disk format version to emit: 4 (default), or 3 / 2 for tooling
+  /// that must interoperate with older readers.
   uint32_t version = kWvxVersion;
-  /// v3 only: encode blocks with the varint/delta codec. false falls back
-  /// to the fixed-stride codec inside a v3 container.
+  /// v3+: encode blocks with the varint/delta codec by default. false
+  /// falls back to the fixed-stride codec inside a v3/v4 container.
   bool delta_codec = true;
-  /// v3 only: store one change stream per id-code alias group and record
+  /// v3+: store one change stream per id-code alias group and record
   /// the aliases in the signal table (canonical indirection). v2 files
   /// duplicate the stream per alias, as they always did.
   bool dedup_aliases = true;
+  /// v4 only: pick each signal's codec from its data — a 1-bit signal
+  /// whose first flushed block is toggle-dominated gets the rle codec,
+  /// everything else keeps the file default. The choice depends only on
+  /// the change stream, so identical input yields identical bytes
+  /// regardless of how the conversion is parallelized.
+  bool auto_codec = true;
   /// Write strategy (see WriteBackend): kAuto maps the output read-write
   /// where the platform allows — appends become memcpys and the header
   /// back-patch never seeks — and falls back to positional writes.

@@ -26,13 +26,33 @@ void put_u64_at(char* dest, uint64_t value) {
   for (int i = 0; i < 8; ++i) dest[i] = static_cast<char>(value >> (8 * i));
 }
 
+/// v4 auto-selection: a 1-bit stream whose first flushed block is
+/// dominated by toggles (>= 90% of entries flip the previous value,
+/// starting from the per-block baseline 0) is clock-like — the rle codec
+/// collapses it to a few bytes per block. The sample must be large enough
+/// to mean something; tiny first blocks keep the file default.
+constexpr size_t kAutoCodecMinSample = 16;
+
+bool is_clock_like(const std::vector<common::BitVector>& values) {
+  if (values.size() < kAutoCodecMinSample) return false;
+  size_t toggles = 0;
+  bool previous = false;
+  for (const auto& value : values) {
+    const bool current = value.to_bool();
+    if (current != previous) ++toggles;
+    previous = current;
+  }
+  return toggles * 10 >= values.size() * 9;
+}
+
 }  // namespace
 
 IndexWriter::IndexWriter(const std::string& path, IndexWriterOptions options)
     : path_(path), options_(options) {
   if (options_.block_capacity == 0) options_.block_capacity = 1;
-  if (options_.version != 2 && options_.version != kWvxVersion) {
-    throw std::invalid_argument("wvx: writer supports versions 2 and " +
+  if (options_.version != 2 && options_.version != 3 &&
+      options_.version != kWvxVersion) {
+    throw std::invalid_argument("wvx: writer supports versions 2.." +
                                 std::to_string(kWvxVersion) + ", not " +
                                 std::to_string(options_.version));
   }
@@ -41,6 +61,8 @@ IndexWriter::IndexWriter(const std::string& path, IndexWriterOptions options)
     options_.delta_codec = false;
     options_.dedup_aliases = false;
   }
+  // Per-signal codec bytes exist only in v4 footers.
+  if (options_.version < 4) options_.auto_codec = false;
   codec_ = options_.delta_codec ? &delta_codec() : &fixed_codec();
   // open_write_storage throws WvxError; keep the historical error type
   // for callers that catch runtime_error on open failures (WvxError
@@ -71,6 +93,9 @@ void IndexWriter::on_signal(size_t id, const SignalInfo& info) {
   signal.info = info;
   signal.value_bytes = wvx_value_bytes(info.width);
   signal.canonical = id;
+  // Auto-selected codecs resolve lazily at the first flush (the choice
+  // needs data); everything else uses the file default from day one.
+  if (!(options_.auto_codec && info.width == 1)) signal.codec = codec_;
   signals_.push_back(std::move(signal));
   pending_.emplace_back();
   fanout_.emplace_back();
@@ -115,6 +140,13 @@ void IndexWriter::flush_block(size_t id) {
   auto& pending = pending_[id];
   if (pending.times.empty()) return;
   auto& signal = signals_[id];
+  if (signal.codec == nullptr) {
+    // First flush of an auto-codec candidate: decide from this block and
+    // stick with it (the directory records one codec per stream). The
+    // decision is a pure function of the change data, so re-converting
+    // the same dump — sharded or not, any job count — picks identically.
+    signal.codec = is_clock_like(pending.values) ? &rle_codec() : codec_;
+  }
   BlockInfo block;
   block.start_time = pending.times.front();
   block.end_time = pending.times.back();
@@ -123,8 +155,8 @@ void IndexWriter::flush_block(size_t id) {
   // Serialize through a buffer so the checksum covers exactly the bytes
   // that land on disk.
   buffer_.clear();
-  codec_->encode(pending.times.data(), pending.values.data(),
-                 pending.times.size(), signal.info.width, buffer_);
+  signal.codec->encode(pending.times.data(), pending.values.data(),
+                       pending.times.size(), signal.info.width, buffer_);
   block.payload_bytes = static_cast<uint32_t>(buffer_.size());
   if (options_.block_checksums) {
     block.crc32 = common::crc32(buffer_.data(), buffer_.size());
@@ -140,14 +172,21 @@ void IndexWriter::on_finish(uint64_t max_time) {
   for (size_t id = 0; id < signals_.size(); ++id) flush_block(id);
   const uint64_t footer_offset = out_->offset();
   const bool v3 = options_.version >= 3;
+  const bool v4 = options_.version >= 4;
   for (size_t id = 0; id < signals_.size(); ++id) {
-    const auto& signal = signals_[id];
+    auto& signal = signals_[id];
     put_u32(*out_, static_cast<uint32_t>(signal.info.hier_name.size()));
     out_->append(signal.info.hier_name.data(), signal.info.hier_name.size());
     put_u32(*out_, signal.info.width);
     if (v3) {
       put_u32(*out_, static_cast<uint32_t>(signal.canonical));
       if (signal.canonical != id) continue;  // aliases carry no directory
+    }
+    if (v4) {
+      // A stream that never changed had no flush to decide its codec.
+      if (signal.codec == nullptr) signal.codec = codec_;
+      const char id_byte = static_cast<char>(codec_id(*signal.codec));
+      out_->append(&id_byte, 1);
     }
     put_u64(*out_, signal.blocks.size());
     for (const auto& block : signal.blocks) {

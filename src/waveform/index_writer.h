@@ -17,10 +17,11 @@ namespace hgdb::waveform {
 /// block per signal plus the growing, small directory) and sim::VcdWriter's
 /// direct dump path (simulator -> index, no intermediate VCD text).
 ///
-/// The on-disk version and block encoding are options: v3 (default) with
-/// the varint/delta codec and alias dedup, or v2/fixed for compatibility
-/// with older readers. Blocks are serialized through the BlockCodec seam,
-/// so the writer never touches entry layout itself.
+/// The on-disk version and block encoding are options: v4 (default) with
+/// the varint/delta codec, alias dedup and per-signal codec auto-selection
+/// (clock-like 1-bit streams get the rle toggle codec), or v3 / v2 for
+/// compatibility with older readers. Blocks are serialized through the
+/// BlockCodec seam, so the writer never touches entry layout itself.
 class IndexWriter final : public VcdEventSink {
  public:
   explicit IndexWriter(const std::string& path, IndexWriterOptions options = {});

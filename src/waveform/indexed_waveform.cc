@@ -5,6 +5,7 @@
 
 #include "common/crc32.h"
 #include "obs/trace.h"
+#include "waveform/manifest.h"
 
 namespace hgdb::waveform {
 
@@ -19,6 +20,11 @@ class MemReader {
  public:
   MemReader(const uint8_t* data, size_t size, const std::string& path)
       : p_(data), end_(data + size), path_(path) {}
+
+  uint8_t u8() {
+    need(1);
+    return *p_++;
+  }
 
   uint32_t u32() {
     need(4);
@@ -61,10 +67,21 @@ class MemReader {
 /// index must fail with a clean error, not an unchecked huge allocation.
 constexpr uint32_t kMaxSignalWidth = 1u << 20;   // 1M bits
 constexpr uint32_t kMaxNameLength = 1u << 16;
+/// Largest possible well-formed manifest (every field at its cap); a
+/// bigger file can't parse, so don't slurp it into memory first.
+constexpr uint64_t kMaxManifestBytes =
+    static_cast<uint64_t>(kWvxMaxShards) * (kWvxMaxShardNameLength + 4) + 36;
 
 [[noreturn]] void corrupt(const std::string& path, const std::string& what) {
   throw WvxError(WvxFault::kCorrupt,
                  "wvx: corrupt index '" + path + "': " + what);
+}
+
+/// Directory prefix of `path` (with trailing '/'), "" for a bare name.
+/// Shard names are resolved relative to their manifest.
+std::string dir_of(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash + 1);
 }
 
 }  // namespace
@@ -75,7 +92,6 @@ IndexedWaveform::IndexedWaveform(const std::string& path, size_t cache_blocks)
 IndexedWaveform::IndexedWaveform(const std::string& path,
                                  const WaveformOpenOptions& options)
     : path_(path),
-      storage_(open_storage(path, options.io_mode)),
       cache_(options.cache_blocks),
       obs_(std::make_unique<ObsMetrics>()) {
   auto& registry = obs::MetricsRegistry::global();
@@ -84,89 +100,154 @@ IndexedWaveform::IndexedWaveform(const std::string& path,
   obs_->evictions = &registry.counter("waveform.block_cache.evictions");
   obs_->resident = &registry.gauge("waveform.block_cache.resident");
   obs_->load_ns = &registry.histogram("waveform.block_load_ns");
-  const uint64_t file_size = storage_->size();
+
+  // The constructor owns the object exclusively, but load_shard() and the
+  // members it touches are annotated for the concurrent query path — hold
+  // the (uncontended) lock so the analysis covers open-time parsing too.
+  common::LockGuard lock(mutex_);
+  auto primary = open_storage(path, options.io_mode);
+  const uint64_t primary_size = primary->size();
+  std::string sniff_scratch;
+  const char* head = primary_size >= 4
+                         ? primary->view(0, 4, sniff_scratch)
+                         : nullptr;
+  if (head != nullptr && is_manifest_bytes(head, 4)) {
+    // Sharded dump: `path` is the manifest; every signal lives in one of
+    // the shard files it names. Shards share this instance's BlockCache,
+    // so options.cache_blocks bounds residency for the whole dump.
+    sharded_ = true;
+    if (primary_size > kMaxManifestBytes) {
+      corrupt(path_, "manifest larger than any well-formed manifest");
+    }
+    const char* image = primary->view(
+        0, static_cast<size_t>(primary_size), sniff_scratch);
+    const Manifest manifest =
+        parse_manifest(image, static_cast<size_t>(primary_size));
+    primary.reset();  // the manifest file itself holds no block data
+    const std::string dir = dir_of(path);
+    shards_.reserve(manifest.shards.size());
+    for (const auto& name : manifest.shards) {
+      const std::string shard_path = dir + name;
+      shards_.push_back(open_storage(shard_path, options.io_mode));
+      shard_paths_.push_back(shard_path);
+    }
+    for (uint32_t k = 0; k < shards_.size(); ++k) load_shard(k);
+    if (manifest.signal_count != signals_.size()) {
+      corrupt(path_, "manifest signal count disagrees with its shards");
+    }
+    max_time_ = std::max(max_time_, manifest.max_time);
+  } else {
+    shards_.push_back(std::move(primary));
+    shard_paths_.push_back(path);
+    load_shard(0);
+  }
+  io_kind_ = shards_.front()->kind();
+}
+
+IndexedWaveform::~IndexedWaveform() {
+  // Settle this instance's contribution to the process-global resident
+  // gauge; other open readers keep theirs.
+  common::LockGuard lock(mutex_);
+  obs_->resident->add(-resident_reported_);
+}
+
+void IndexedWaveform::load_shard(uint32_t shard_index) {
+  StorageBackend& storage = *shards_[shard_index];
+  const std::string& path = shard_paths_[shard_index];
+  const size_t base = signals_.size();
+  const uint64_t file_size = storage.size();
   if (file_size < kWvxHeaderSizeV1) {
     throw WvxError(WvxFault::kBadMagic,
                    "wvx: '" + path + "' is not a waveform index (too small)");
   }
   // Header: magic + version first, the rest depends on the version.
   std::string scratch;
+  uint32_t version = 0;
   {
     const auto* head = reinterpret_cast<const uint8_t*>(
-        storage_->view(0, kWvxHeaderSizeV1, scratch));
-    MemReader reader(head, kWvxHeaderSizeV1, path_);
+        storage.view(0, kWvxHeaderSizeV1, scratch));
+    MemReader reader(head, kWvxHeaderSizeV1, path);
     if (reader.u32() != kWvxMagic) {
       throw WvxError(WvxFault::kBadMagic,
                      "wvx: '" + path + "' is not a waveform index (bad magic)");
     }
-    version_ = reader.u32();
+    version = reader.u32();
   }
-  if (version_ < kWvxMinVersion || version_ > kWvxVersion) {
+  if (version < kWvxMinVersion || version > kWvxVersion) {
     throw WvxError(WvxFault::kBadVersion,
-                   "wvx: unsupported index version " +
-                       std::to_string(version_) + " in '" + path + "'");
+                   "wvx: unsupported index version " + std::to_string(version) +
+                       " in '" + path + "'");
   }
+  version_ = std::max(version_, version);
   // v2+ adds a flags word after the version; v1 files have none, no
   // per-block checksums and the fixed codec.
   const uint64_t header_size =
-      version_ >= 2 ? kWvxHeaderSizeV2 : kWvxHeaderSizeV1;
+      version >= 2 ? kWvxHeaderSizeV2 : kWvxHeaderSizeV1;
   if (file_size < header_size) {
     throw WvxError(WvxFault::kTruncatedDirectory,
                    "wvx: '" + path + "' ends inside the header");
   }
   const auto* head = reinterpret_cast<const uint8_t*>(
-      storage_->view(8, header_size - 8, scratch));
-  MemReader reader(head, header_size - 8, path_);
-  const uint32_t flags = version_ >= 2 ? reader.u32() : 0;
-  has_checksums_ = (flags & kWvxFlagBlockChecksums) != 0;
-  codec_ = &codec_for_flags(flags);
+      storage.view(8, header_size - 8, scratch));
+  MemReader reader(head, header_size - 8, path);
+  const uint32_t flags = version >= 2 ? reader.u32() : 0;
+  const bool checksums = (flags & kWvxFlagBlockChecksums) != 0;
+  shard_checksums_.push_back(checksums);
+  has_checksums_ = has_checksums_ && checksums;
+  const BlockCodec* default_codec = &codec_for_flags(flags);
+  if (codec_ == nullptr) codec_ = default_codec;
   const uint64_t footer_offset = reader.u64();
-  max_time_ = reader.u64();
+  max_time_ = std::max(max_time_, reader.u64());
   const uint64_t signal_count = reader.u64();
   if (footer_offset == 0) {
     throw WvxError(WvxFault::kNeverFinalized,
-                   "wvx: '" + path +
-                       "' was never finalized (missing footer)");
+                   "wvx: '" + path + "' was never finalized (missing footer)");
   }
   if (footer_offset < header_size || footer_offset > file_size) {
-    corrupt(path_, "footer offset outside the file");
+    corrupt(path, "footer offset outside the file");
   }
 
   // The footer is small (O(signals + blocks)): read it whole, parse from
   // memory. Cheap a-priori caps so corrupt counts fail before any
-  // allocation: every v1/v2 signal entry needs >= 16 footer bytes; in v3
+  // allocation: every v1/v2 signal entry needs >= 16 footer bytes; in v3+
   // an *alias* entry can be as small as 13 (name_len + 1-char name +
   // width + canonical, no directory).
   const uint64_t footer_size = file_size - footer_offset;
-  const bool v3 = version_ >= 3;
+  const bool v3 = version >= 3;
+  const bool v4 = version >= 4;
   if (signal_count > footer_size / (v3 ? 13 : 16)) {
-    corrupt(path_, "signal count exceeds footer size");
+    corrupt(path, "signal count exceeds footer size");
   }
-  const uint64_t max_total_blocks = footer_size / 28;
+  const uint64_t max_shard_blocks = footer_size / 28;
+  uint64_t shard_blocks = 0;
   std::string footer_scratch;
-  const auto* footer = reinterpret_cast<const uint8_t*>(storage_->view(
+  const auto* footer = reinterpret_cast<const uint8_t*>(storage.view(
       footer_offset, static_cast<size_t>(footer_size), footer_scratch));
-  MemReader dir(footer, static_cast<size_t>(footer_size), path_);
-  signals_.reserve(signal_count);
+  MemReader dir(footer, static_cast<size_t>(footer_size), path);
+  signals_.reserve(base + signal_count);
   for (uint64_t i = 0; i < signal_count; ++i) {
     IndexedSignal signal;
+    signal.shard = shard_index;
     const uint32_t name_len = dir.u32();
-    if (name_len > kMaxNameLength) corrupt(path_, "oversized signal name");
+    if (name_len > kMaxNameLength) corrupt(path, "oversized signal name");
     signal.info.hier_name = dir.str(name_len);
     signal.info.width = dir.u32();
     if (signal.info.width == 0 || signal.info.width > kMaxSignalWidth) {
-      corrupt(path_, "implausible signal width");
+      corrupt(path, "implausible signal width");
     }
     signal.value_bytes = wvx_value_bytes(signal.info.width);
-    signal.canonical = i;
+    // Canonical indexes are shard-local on disk; rebase into the global
+    // table (shards hold disjoint, contiguous signal ranges).
+    signal.canonical = base + i;
     if (v3) {
       const uint32_t canonical = dir.u32();
-      if (canonical > i) corrupt(path_, "alias points forward");
-      signal.canonical = canonical;
+      if (canonical > i) corrupt(path, "alias points forward");
+      signal.canonical = base + canonical;
       if (canonical != i) {
-        if (signals_[canonical].canonical != canonical) {
-          corrupt(path_, "alias of an alias");
+        if (signals_[base + canonical].canonical != base + canonical) {
+          corrupt(path, "alias of an alias");
         }
+        signal.codec = signals_[base + canonical].codec;
         ++alias_count_;
         // emplace (first wins) to match VcdTrace's duplicate-name
         // resolution.
@@ -175,11 +256,23 @@ IndexedWaveform::IndexedWaveform(const std::string& path,
         continue;  // aliases carry no directory of their own
       }
     }
+    // v4 records the stream's codec per signal (auto-selection); earlier
+    // versions encode one codec for the whole file in the header flags.
+    if (v4) {
+      const uint8_t codec = dir.u8();
+      signal.codec = codec_by_id(codec);
+      if (signal.codec == nullptr) {
+        corrupt(path, "unknown codec id " + std::to_string(codec));
+      }
+    } else {
+      signal.codec = default_codec;
+    }
     const uint64_t stride = wvx_entry_stride(signal.info.width);
     const uint64_t block_count = dir.u64();
-    if (total_blocks_ + block_count > max_total_blocks) {
-      corrupt(path_, "block count exceeds footer size");
+    if (shard_blocks + block_count > max_shard_blocks) {
+      corrupt(path, "block count exceeds footer size");
     }
+    shard_blocks += block_count;
     signal.blocks.reserve(block_count);
     for (uint64_t b = 0; b < block_count; ++b) {
       BlockInfo block;
@@ -192,22 +285,22 @@ IndexedWaveform::IndexedWaveform(const std::string& path,
       // throughout: a corrupt count must not truncate through the cast.
       const uint64_t payload =
           v3 ? dir.u32() : static_cast<uint64_t>(block.count) * stride;
-      if (has_checksums_) block.crc32 = dir.u32();
+      if (checksums) block.crc32 = dir.u32();
       // Block payloads live strictly between the header and the footer.
       if (block.count == 0 || payload == 0 ||
           block.file_offset < header_size ||
           block.file_offset > footer_offset ||
           payload > footer_offset - block.file_offset ||
           payload > UINT32_MAX) {
-        corrupt(path_, "block outside the data region");
+        corrupt(path, "block outside the data region");
       }
       block.payload_bytes = static_cast<uint32_t>(payload);
       signal.blocks.push_back(block);
     }
-    total_blocks_ += block_count;
     by_name_.emplace(signal.info.hier_name, signals_.size());
     signals_.push_back(std::move(signal));
   }
+  total_blocks_ += shard_blocks;
 }
 
 std::optional<size_t> IndexedWaveform::signal_index(
@@ -220,7 +313,9 @@ std::optional<size_t> IndexedWaveform::signal_index(
 BlockCache::BlockPtr IndexedWaveform::load_block(size_t signal_index,
                                                  size_t block_index) const {
   // HGDB_REQUIRES(mutex_): the caller passes a *canonical* signal index,
-  // so aliased names share cache entries as well as on-disk blocks.
+  // so aliased names share cache entries as well as on-disk blocks. The
+  // key's signal index is global (rebased across shards), so one cache
+  // serves every shard without collisions.
   const BlockCache::Key key{static_cast<uint32_t>(signal_index),
                             static_cast<uint32_t>(block_index)};
   if (auto cached = cache_.lookup(key)) {
@@ -232,18 +327,20 @@ BlockCache::BlockPtr IndexedWaveform::load_block(size_t signal_index,
 
   const auto& signal = signals_[signal_index];
   const auto& info = signal.blocks[block_index];
+  StorageBackend& storage = *shards_[signal.shard];
+  const std::string& shard_path = shard_paths_[signal.shard];
   const char* payload;
   {
     HGDB_TRACE_SPAN_VAR(read_span, "wvx", "block_read");
     read_span.set_arg(info.payload_bytes);
-    payload = storage_->view(info.file_offset, info.payload_bytes, scratch_);
+    payload = storage.view(info.file_offset, info.payload_bytes, scratch_);
     // Integrity gate: verified once per load; cache hits skip it.
-    if (has_checksums_) {
+    if (shard_checksums_[signal.shard]) {
       const uint32_t actual = common::crc32(payload, info.payload_bytes);
       if (actual != info.crc32) {
         throw WvxError(
             WvxFault::kChecksum,
-            "wvx: checksum mismatch in '" + path_ + "' (signal '" +
+            "wvx: checksum mismatch in '" + shard_path + "' (signal '" +
                 signal.info.hier_name + "', block " +
                 std::to_string(block_index) + " at offset " +
                 std::to_string(info.file_offset) + ")");
@@ -255,13 +352,18 @@ BlockCache::BlockPtr IndexedWaveform::load_block(size_t signal_index,
   {
     HGDB_TRACE_SPAN_VAR(decode_span, "wvx", "block_decode");
     decode_span.set_arg(info.count);
-    codec_->decode(payload, info.payload_bytes, info.count, signal.info.width,
-                   *block);
+    signal.codec->decode(payload, info.payload_bytes, info.count,
+                         signal.info.width, *block);
   }
   const uint64_t before_evictions = cache_.stats().evictions;
   cache_.insert(key, block);
   obs_->evictions->add(cache_.stats().evictions - before_evictions);
-  obs_->resident->set(static_cast<int64_t>(cache_.stats().resident));
+  // The gauge is shared by every open reader in the process: report this
+  // instance's residency as a delta so instances aggregate instead of
+  // overwriting each other's contribution.
+  const int64_t resident = static_cast<int64_t>(cache_.stats().resident);
+  obs_->resident->add(resident - resident_reported_);
+  resident_reported_ = resident;
   obs_->load_ns->record(static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - t0)

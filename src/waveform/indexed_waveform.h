@@ -26,14 +26,22 @@ struct WaveformOpenOptions {
   IoMode io_mode = IoMode::kAuto;
 };
 
-/// WaveformSource over a .wvx index file (v1, v2 or v3). Opening reads
-/// only the header and the footer (signal table + block directory); change
-/// payloads stream in on demand through an LRU block cache, fetched by a
-/// pluggable StorageBackend and decoded by the file's BlockCodec. The
-/// resident set is bounded by `cache_blocks` regardless of trace size. A
-/// cycle seek is O(log blocks + log block_capacity).
+/// WaveformSource over a .wvx index (v1-v4). `path` may name either a
+/// single-file index or a v4 shard manifest — the constructor sniffs the
+/// magic, so callers never distinguish the two. Opening reads only the
+/// header and the footer of every file involved (signal table + block
+/// directory); change payloads stream in on demand through an LRU block
+/// cache, fetched by a pluggable StorageBackend per shard and decoded by
+/// each signal's BlockCodec. A cycle seek is O(log blocks + log
+/// block_capacity).
 ///
-/// v3 alias dedup: signals declared as id-code aliases share one change
+/// Sharded opens keep ONE BlockCache for the whole dump: `cache_blocks`
+/// is a global residency budget shared by every shard, not a per-shard
+/// allowance, so memory stays bounded no matter how many shard files the
+/// manifest names. Cache keys are global canonical signal indexes, which
+/// are unique across shards by construction.
+///
+/// v3+ alias dedup: signals declared as id-code aliases share one change
 /// stream on disk and one set of cache entries in memory — queries on any
 /// aliased name are served through the canonical signal's directory.
 ///
@@ -49,6 +57,7 @@ class IndexedWaveform final : public WaveformSource {
   explicit IndexedWaveform(const std::string& path,
                            size_t cache_blocks = kDefaultCacheBlocks);
   IndexedWaveform(const std::string& path, const WaveformOpenOptions& options);
+  ~IndexedWaveform() override;
 
   // -- WaveformSource -----------------------------------------------------------
   [[nodiscard]] size_t signal_count() const override { return signals_.size(); }
@@ -75,16 +84,29 @@ class IndexedWaveform final : public WaveformSource {
   [[nodiscard]] CacheStats cache_stats() const;
   [[nodiscard]] size_t cache_capacity() const { return cache_.capacity(); }
   [[nodiscard]] uint64_t total_blocks() const { return total_blocks_; }
-  /// On-disk format version of the opened file (1, 2 or 3).
+  /// On-disk format version of the opened file (1..4; the max across
+  /// shards for a manifest open).
   [[nodiscard]] uint32_t version() const { return version_; }
-  /// Block encoding in use ("fixed" / "delta").
+  /// File-default block encoding ("fixed" / "delta"); v4 signals may
+  /// override individually — see signal_codec_name().
   [[nodiscard]] const char* codec_name() const { return codec_->name(); }
+  /// Block encoding of one signal's stream ("fixed" / "delta" / "rle").
+  [[nodiscard]] const char* signal_codec_name(size_t index) const {
+    return signals_[signals_[index].canonical].codec->name();
+  }
   /// I/O strategy actually in use ("buffered" / "mmap").
-  [[nodiscard]] const char* io_kind() const { return storage_->kind(); }
+  [[nodiscard]] const char* io_kind() const { return io_kind_; }
   /// Signals that are aliases of another signal's change stream.
   [[nodiscard]] size_t alias_count() const { return alias_count_; }
-  /// True when the file carries per-block CRC32s (format v2+ flag).
+  /// True when every opened file carries per-block CRC32s (v2+ flag).
   [[nodiscard]] bool has_block_checksums() const { return has_checksums_; }
+  /// True when `path` named a shard manifest rather than a single file.
+  [[nodiscard]] bool sharded() const { return sharded_; }
+  /// Shard files backing this dump (just `path` for single-file opens).
+  [[nodiscard]] const std::vector<std::string>& shard_paths() const {
+    return shard_paths_;
+  }
+  [[nodiscard]] size_t shard_count() const { return shard_paths_.size(); }
 
   /// First unreadable/corrupt block, if any. Loads every block once
   /// (through the cache), verifying checksums when present.
@@ -100,11 +122,19 @@ class IndexedWaveform final : public WaveformSource {
  private:
   BlockCache::BlockPtr load_block(size_t signal_index, size_t block_index) const
       HGDB_REQUIRES(mutex_);
+  /// Parses one shard's header + footer, appending its signals to the
+  /// global table (canonical indexes rebased by the current table size).
+  /// Constructor-only; takes the (uncontended) lock's annotation so the
+  /// thread-safety analysis covers the guarded members it fills in.
+  void load_shard(uint32_t shard_index) HGDB_REQUIRES(mutex_);
 
   /// Global-registry mirrors of the per-instance CacheStats, resolved
   /// once at open. Readers have no natural owner with a registry, so the
   /// `waveform.*` metrics aggregate across every open index in the
   /// process; per-instance numbers stay available via cache_stats().
+  /// hits/misses/evictions are monotonic counters and add cleanly; the
+  /// resident gauge aggregates via per-instance deltas (resident_reported_)
+  /// so concurrent readers sharing the registry never clobber each other.
   struct ObsMetrics {
     obs::Counter* hits = nullptr;
     obs::Counter* misses = nullptr;
@@ -116,18 +146,31 @@ class IndexedWaveform final : public WaveformSource {
   std::string path_;
   std::vector<IndexedSignal> signals_;
   std::map<std::string, size_t> by_name_;
+  std::vector<std::string> shard_paths_;
+  /// Per shard: does the file carry per-block CRC32s? (Shards are written
+  /// together, but a reader must not trust that they agree.)
+  std::vector<bool> shard_checksums_;
   uint64_t max_time_ = 0;
   uint64_t total_blocks_ = 0;
   uint32_t version_ = 0;
   size_t alias_count_ = 0;
-  bool has_checksums_ = false;
+  bool has_checksums_ = true;
+  bool sharded_ = false;
   const BlockCodec* codec_ = nullptr;
+  const char* io_kind_ = "buffered";
 
   mutable common::WaveformMutex mutex_{"waveform::reader"};
-  mutable std::unique_ptr<StorageBackend> storage_ HGDB_GUARDED_BY(mutex_);
+  /// One StorageBackend per shard file (exactly one for single-file
+  /// opens), indexed by IndexedSignal::shard.
+  mutable std::vector<std::unique_ptr<StorageBackend>> shards_
+      HGDB_GUARDED_BY(mutex_);
   /// buffered-read landing zone
   mutable std::string scratch_ HGDB_GUARDED_BY(mutex_);
   mutable BlockCache cache_ HGDB_GUARDED_BY(mutex_);
+  /// Last residency this instance reported into the global gauge; the
+  /// gauge moves by deltas so multiple open readers aggregate instead of
+  /// overwriting one another (the destructor settles the balance).
+  mutable int64_t resident_reported_ HGDB_GUARDED_BY(mutex_) = 0;
   std::unique_ptr<ObsMetrics> obs_;
 };
 

@@ -1,0 +1,170 @@
+#include "waveform/manifest.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/crc32.h"
+
+namespace hgdb::waveform {
+
+namespace {
+
+[[noreturn]] void corrupt(const std::string& what) {
+  throw WvxError(WvxFault::kCorrupt, "wvx: corrupt manifest: " + what);
+}
+
+class Reader {
+ public:
+  Reader(const char* data, size_t size)
+      : p_(reinterpret_cast<const uint8_t*>(data)), end_(p_ + size) {}
+
+  uint32_t u32() {
+    need(4);
+    uint32_t out = 0;
+    for (int i = 3; i >= 0; --i) out = (out << 8) | p_[i];
+    p_ += 4;
+    return out;
+  }
+
+  uint64_t u64() {
+    need(8);
+    uint64_t out = 0;
+    for (int i = 7; i >= 0; --i) out = (out << 8) | p_[i];
+    p_ += 8;
+    return out;
+  }
+
+  std::string str(size_t length) {
+    need(length);
+    std::string out(reinterpret_cast<const char*>(p_), length);
+    p_ += length;
+    return out;
+  }
+
+  [[nodiscard]] size_t remaining() const {
+    return static_cast<size_t>(end_ - p_);
+  }
+
+ private:
+  void need(size_t bytes) {
+    if (remaining() < bytes) {
+      throw WvxError(WvxFault::kTruncatedDirectory,
+                     "wvx: truncated manifest (ends mid-entry)");
+    }
+  }
+
+  const uint8_t* p_;
+  const uint8_t* end_;
+};
+
+/// A shard name must stay inside the manifest's directory: no separators,
+/// no traversal, no empty or hidden-relative names. The manifest is the
+/// fourth untrusted-byte parser in the tree — treat every field as hostile.
+bool shard_name_ok(const std::string& name) {
+  if (name.empty() || name == "." || name == "..") return false;
+  for (const char c : name) {
+    if (c == '/' || c == '\\' || c == '\0') return false;
+  }
+  return true;
+}
+
+void put_u32(std::string& out, uint32_t value) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>(value >> (8 * i)));
+}
+
+void put_u64(std::string& out, uint64_t value) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>(value >> (8 * i)));
+}
+
+}  // namespace
+
+bool is_manifest_bytes(const char* data, size_t size) {
+  if (size < 4) return false;
+  uint32_t magic = 0;
+  for (int i = 3; i >= 0; --i) {
+    magic = (magic << 8) | static_cast<uint8_t>(data[i]);
+  }
+  return magic == kWvxManifestMagic;
+}
+
+Manifest parse_manifest(const char* data, size_t size) {
+  Reader in(data, size);
+  if (in.u32() != kWvxManifestMagic) {
+    throw WvxError(WvxFault::kBadMagic, "wvx: not a shard manifest");
+  }
+  Manifest manifest;
+  manifest.version = in.u32();
+  if (manifest.version != kWvxManifestVersion) {
+    throw WvxError(WvxFault::kBadVersion,
+                   "wvx: unsupported manifest version " +
+                       std::to_string(manifest.version));
+  }
+  const uint32_t shard_count = in.u32();
+  if (shard_count == 0) corrupt("zero shards");
+  if (shard_count > kWvxMaxShards) corrupt("implausible shard count");
+  if (in.u32() != 0) corrupt("nonzero reserved flags");
+  manifest.max_time = in.u64();
+  manifest.signal_count = in.u64();
+  manifest.shards.reserve(shard_count);
+  for (uint32_t i = 0; i < shard_count; ++i) {
+    const uint32_t name_len = in.u32();
+    if (name_len > kWvxMaxShardNameLength) corrupt("oversized shard name");
+    std::string name = in.str(name_len);
+    if (!shard_name_ok(name)) {
+      corrupt("shard name '" + name + "' escapes the manifest directory");
+    }
+    manifest.shards.push_back(std::move(name));
+  }
+  if (in.remaining() != 4) {
+    if (in.remaining() < 4) {
+      throw WvxError(WvxFault::kTruncatedDirectory,
+                     "wvx: truncated manifest (missing checksum)");
+    }
+    corrupt("trailing bytes after the checksum");
+  }
+  const uint32_t expected = in.u32();
+  const uint32_t actual = common::crc32(data, size - 4);
+  if (expected != actual) {
+    throw WvxError(WvxFault::kChecksum, "wvx: manifest checksum mismatch");
+  }
+  return manifest;
+}
+
+std::string encode_manifest(const Manifest& manifest) {
+  std::string out;
+  put_u32(out, kWvxManifestMagic);
+  put_u32(out, kWvxManifestVersion);
+  put_u32(out, static_cast<uint32_t>(manifest.shards.size()));
+  put_u32(out, 0);  // reserved flags
+  put_u64(out, manifest.max_time);
+  put_u64(out, manifest.signal_count);
+  for (const auto& name : manifest.shards) {
+    put_u32(out, static_cast<uint32_t>(name.size()));
+    out.append(name);
+  }
+  put_u32(out, common::crc32(out.data(), out.size()));
+  return out;
+}
+
+void write_manifest(const std::string& path, const Manifest& manifest) {
+  const std::string bytes = encode_manifest(manifest);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) {
+    throw WvxError(WvxFault::kIo, "wvx: cannot write manifest '" + path + "'");
+  }
+}
+
+Manifest read_manifest(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw WvxError(WvxFault::kNotFound,
+                   "wvx: cannot open manifest '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string bytes = buffer.str();
+  return parse_manifest(bytes.data(), bytes.size());
+}
+
+}  // namespace hgdb::waveform

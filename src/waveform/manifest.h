@@ -1,0 +1,68 @@
+#ifndef HGDB_WAVEFORM_MANIFEST_H
+#define HGDB_WAVEFORM_MANIFEST_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "waveform/index_format.h"
+
+namespace hgdb::waveform {
+
+/// The .wvx shard manifest: the small file a sharded dump is opened by.
+/// It names the shard files (each a complete single-file index holding a
+/// disjoint subset of the signals) and carries the merged dump metadata.
+///
+/// Layout (all integers little-endian):
+///
+///   u32 magic          "WVXM" (0x4D585657)
+///   u32 version        1
+///   u32 shard_count    >= 1
+///   u32 flags          reserved, must be 0
+///   u64 max_time       largest change time across every shard
+///   u64 signal_count   total signals across every shard (informational)
+///   per shard: u32 name_len, name bytes — the shard's file name,
+///     *relative* to the manifest's directory. Path separators and ".."
+///     are rejected: a manifest is untrusted input and must not be able
+///     to point a reader outside its own directory.
+///   u32 crc32          IEEE CRC-32 of every preceding byte
+///
+/// Manifests use the same .wvx extension as single-file indexes; readers
+/// tell them apart by magic, so `open_waveform` and `--replay` accept a
+/// manifest path transparently.
+constexpr uint32_t kWvxManifestMagic = 0x4D585657;  // "WVXM"
+constexpr uint32_t kWvxManifestVersion = 1;
+/// A-priori cap on shard_count: a manifest is a handful of file names,
+/// so anything larger is corrupt metadata, not a big dump.
+constexpr uint32_t kWvxMaxShards = 4096;
+constexpr uint32_t kWvxMaxShardNameLength = 4096;
+
+struct Manifest {
+  uint32_t version = kWvxManifestVersion;
+  uint64_t max_time = 0;
+  uint64_t signal_count = 0;
+  std::vector<std::string> shards;  ///< file names relative to the manifest
+};
+
+/// True when `data` starts with the manifest magic — the sniff readers
+/// use to route a .wvx path to the sharded or the single-file open path.
+[[nodiscard]] bool is_manifest_bytes(const char* data, size_t size);
+
+/// Parses a complete manifest image. Pure function over untrusted bytes:
+/// throws WvxError (kBadMagic / kBadVersion / kTruncatedDirectory /
+/// kCorrupt / kChecksum) and never reads outside [data, data+size).
+[[nodiscard]] Manifest parse_manifest(const char* data, size_t size);
+
+/// Serializes `manifest` (including the trailing CRC).
+[[nodiscard]] std::string encode_manifest(const Manifest& manifest);
+
+/// Writes `manifest` to `path`. Throws WvxError(kIo) on failure.
+void write_manifest(const std::string& path, const Manifest& manifest);
+
+/// Reads and parses the manifest at `path` (same faults as
+/// parse_manifest, plus kNotFound).
+[[nodiscard]] Manifest read_manifest(const std::string& path);
+
+}  // namespace hgdb::waveform
+
+#endif  // HGDB_WAVEFORM_MANIFEST_H

@@ -55,6 +55,13 @@ uint64_t parse_u64(std::string_view text, const char* what) {
 
 }  // namespace
 
+BitVector parse_vcd_value(std::string_view text, bool scalar, uint32_t width) {
+  if (scalar) {
+    return BitVector(width, !text.empty() && bit_of(text[0]) ? 1 : 0);
+  }
+  return parse_vector_value(text, width);
+}
+
 void VcdStreamParser::malformed(const std::string& what) {
   throw std::runtime_error("vcd: " + what);
 }
@@ -101,7 +108,7 @@ void VcdStreamParser::handle_token(std::string_view token) {
       }
       return;
     case State::kVectorCode: {
-      emit_change(std::string(token), pending_vector_, /*scalar=*/false, '0');
+      emit_change(token, pending_vector_, /*scalar=*/false, '0');
       pending_vector_.clear();
       state_ = State::kTop;
       return;
@@ -198,18 +205,18 @@ void VcdStreamParser::handle_value_change(std::string_view token) {
   }
   if (is_scalar_value_char(head)) {
     if (token.size() < 2) malformed("scalar change without id code");
-    emit_change(std::string(token.substr(1)), {}, /*scalar=*/true, head);
+    emit_change(token.substr(1), {}, /*scalar=*/true, head);
     return;
   }
   malformed("unexpected token '" + std::string(token) + "'");
 }
 
-void VcdStreamParser::emit_change(const std::string& code,
+void VcdStreamParser::emit_change(std::string_view code,
                                   std::string_view value_text, bool scalar,
                                   char scalar_char) {
   auto it = code_to_ids_.find(code);
   if (it == code_to_ids_.end()) {
-    malformed("unknown id code '" + code + "'");
+    malformed("unknown id code '" + std::string(code) + "'");
   }
   // One change per code for the canonical id and its same-width aliases
   // (announced at declaration time; they share the canonical stream).
@@ -221,7 +228,11 @@ void VcdStreamParser::emit_change(const std::string& code,
     const size_t id = ids[i];
     const uint32_t width = widths_[id];
     if (i != 0 && width == canonical_width) continue;  // alias: deduped
-    if (scalar) {
+    if (text_changes_) {
+      sink_->on_change_text(
+          id, now_, scalar ? std::string_view(&scalar_char, 1) : value_text,
+          scalar);
+    } else if (scalar) {
       sink_->on_change(id, now_, BitVector(width, bit_of(scalar_char) ? 1 : 0));
     } else {
       sink_->on_change(id, now_, parse_vector_value(value_text, width));

@@ -31,7 +31,27 @@ class VcdEventSink : public IndexSink {
   virtual void on_definitions_done() {}
   /// A #<time> marker (monotonically nondecreasing in well-formed dumps).
   virtual void on_time(uint64_t /*time*/) {}
+
+  /// Sinks that parse value text themselves return true; the parser then
+  /// delivers on_change_text() instead of on_change() and never builds a
+  /// BitVector. This is the convert pipeline's seam: digit parsing is the
+  /// bulk of single-thread convert time, so the sharded sink defers it to
+  /// its writer workers. Sampled once at parser construction.
+  [[nodiscard]] virtual bool wants_text_changes() const { return false; }
+  /// Raw value change for text-mode sinks: `text` is the value portion of
+  /// the token (MSB-first binary digits for a vector, one value char for
+  /// a scalar) and is valid only for the duration of the call. Same
+  /// dedup/canonical-id contract as on_change().
+  virtual void on_change_text(size_t /*id*/, uint64_t /*time*/,
+                              std::string_view /*text*/, bool /*scalar*/) {}
 };
+
+/// Parses a VCD value token body at `width`: one scalar value char, or
+/// MSB-first binary vector digits, possibly shorter than the width
+/// (X/Z/U/'-' map to 0 — the runtime is two-state). The one parsing
+/// routine behind on_change() and text-mode sinks' deferred parsing.
+[[nodiscard]] common::BitVector parse_vcd_value(std::string_view text,
+                                                bool scalar, uint32_t width);
 
 /// Incremental VCD parser: feed() accepts arbitrary chunk boundaries (mid
 /// token, mid directive) so a multi-gigabyte dump streams through a small
@@ -43,7 +63,8 @@ class VcdEventSink : public IndexSink {
 /// unterminated directives, bad $var headers, $upscope underflow).
 class VcdStreamParser {
  public:
-  explicit VcdStreamParser(VcdEventSink& sink) : sink_(&sink) {}
+  explicit VcdStreamParser(VcdEventSink& sink)
+      : sink_(&sink), text_changes_(sink.wants_text_changes()) {}
 
   /// Consumes the next chunk of VCD text.
   void feed(std::string_view chunk);
@@ -72,11 +93,12 @@ class VcdStreamParser {
   void handle_token(std::string_view token);
   void handle_directive_end();
   void handle_value_change(std::string_view token);
-  void emit_change(const std::string& code, std::string_view value_text,
+  void emit_change(std::string_view code, std::string_view value_text,
                    bool scalar, char scalar_char);
   [[noreturn]] static void malformed(const std::string& what);
 
   VcdEventSink* sink_;
+  const bool text_changes_;
   State state_ = State::kTop;
   bool in_definitions_ = true;
   uint64_t now_ = 0;

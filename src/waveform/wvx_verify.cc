@@ -18,6 +18,7 @@ VerifyResult verify_index(const std::string& path) {
     result.signals = waveform.signal_count();
     result.blocks = waveform.total_blocks();
     result.aliases = waveform.alias_count();
+    if (waveform.sharded()) result.shards = waveform.shard_count();
     if (auto fault = waveform.verify_blocks()) {
       result.fault = fault->fault;
       result.error = fault->message;
@@ -44,6 +45,9 @@ std::string describe(const VerifyResult& result, const std::string& path) {
                        " codec, " + std::to_string(result.signals) +
                        " signal(s), " + std::to_string(result.blocks) +
                        " block(s)";
+    if (result.shards != 0) {
+      text += ", " + std::to_string(result.shards) + " shard(s)";
+    }
     if (result.aliases != 0) {
       text += ", " + std::to_string(result.aliases) + " alias(es) deduped";
     }

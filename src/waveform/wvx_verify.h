@@ -17,6 +17,7 @@ struct VerifyResult {
   uint64_t signals = 0;
   uint64_t blocks = 0;
   uint64_t aliases = 0;  ///< signals sharing another signal's stream (v3)
+  uint32_t shards = 0;   ///< shard files behind a manifest (0 = single file)
   /// When !ok: the typed fault class (truncated-directory, checksum-
   /// mismatch, ...) and what went wrong. Structural errors (bad
   /// header/footer) leave `signal` empty; block faults name the first

@@ -1,0 +1,44 @@
+// Fuzz harness for waveform::parse_manifest: a .wvx shard manifest is
+// read from disk before anything about it is trusted, so the parser's
+// contract is "return a validated Manifest or throw WvxError" — any
+// other escape (crash, ASan report, over-read past the input buffer, a
+// different exception type) is a bug. Shard-name validation is part of
+// the contract: no parsed name may carry separators or traversal, or a
+// hostile manifest could point a reader outside its own directory.
+//
+// Built two ways:
+//   - libFuzzer (clang, -fsanitize=fuzzer,address, -DHGDB_FUZZ_LIBFUZZER):
+//     the CI fuzz-smoke job explores from the committed corpus.
+//   - standalone (any compiler): main() replays the corpus files given as
+//     argv, making the seeds a ctest regression suite.
+
+#include <cstdint>
+#include <cstdlib>
+
+#include "waveform/manifest.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const char* bytes = reinterpret_cast<const char*>(data);
+  // The magic sniff must never throw, on any input.
+  (void)hgdb::waveform::is_manifest_bytes(bytes, size);
+  try {
+    const auto manifest = hgdb::waveform::parse_manifest(bytes, size);
+    // Anything the parser accepts must honor its own validation rules.
+    if (manifest.shards.empty()) std::abort();
+    for (const auto& name : manifest.shards) {
+      if (name.empty()) std::abort();
+      for (const char c : name) {
+        if (c == '/' || c == '\\' || c == '\0') std::abort();
+      }
+      if (name == "." || name == "..") std::abort();
+    }
+  } catch (const hgdb::waveform::WvxError&) {
+    // malformed/truncated/corrupt input: the documented failure mode
+  }
+  return 0;
+}
+
+#ifndef HGDB_FUZZ_LIBFUZZER
+#include "standalone_driver.h"
+int main(int argc, char** argv) { return hgdb_fuzz_replay(argc, argv); }
+#endif

@@ -15,6 +15,7 @@
 
 #include "rpc/event_frame.h"
 #include "session/dap_protocol.h"
+#include "waveform/manifest.h"
 
 namespace {
 
@@ -132,6 +133,53 @@ int main(int argc, char** argv) {
     write_file(dir + "bad_length", "Content-Length: banana\r\n\r\n{}");
     write_file(dir + "huge_length", "Content-Length: 4294967295\r\n\r\n{}");
     write_file(dir + "truncated", "Content-Length: 100\r\n\r\n{\"partial\":");
+  }
+
+  // -- wvx_manifest: shard manifests the waveform reader must survive ------
+  {
+    const std::string dir = root + "/wvx_manifest/";
+    using hgdb::waveform::Manifest;
+    using hgdb::waveform::encode_manifest;
+
+    Manifest single;
+    single.max_time = 1000;
+    single.signal_count = 12;
+    single.shards = {"dump.shard0.wvx"};
+    write_file(dir + "single_shard", encode_manifest(single));
+
+    Manifest multi;
+    multi.max_time = 987654321;
+    multi.signal_count = 4096;
+    multi.shards = {"dump.shard0.wvx", "dump.shard1.wvx", "dump.shard2.wvx",
+                    "dump.shard3.wvx"};
+    const std::string multi_bytes = encode_manifest(multi);
+    write_file(dir + "four_shards", multi_bytes);
+
+    Manifest long_name;
+    long_name.shards = {std::string(200, 'n') + ".wvx"};
+    write_file(dir + "long_name", encode_manifest(long_name));
+
+    // Invalid shapes, built from the real encoder so every prefix up to
+    // the defect is well-formed (deep coverage, not an early bail-out).
+    Manifest hostile;
+    hostile.shards = {"../escape.wvx"};
+    write_file(dir + "traversal_name", encode_manifest(hostile));
+
+    Manifest empty;  // zero shards: rejected after the fixed header
+    write_file(dir + "zero_shards", encode_manifest(empty));
+
+    write_file(dir + "truncated",
+               multi_bytes.substr(0, multi_bytes.size() / 2));
+
+    std::string bad_crc = multi_bytes;
+    bad_crc.back() = static_cast<char>(bad_crc.back() ^ 1);
+    write_file(dir + "bad_crc", bad_crc);
+
+    write_file(dir + "trailing_bytes", multi_bytes + "??");
+
+    std::string bad_magic = multi_bytes;
+    bad_magic[0] = 'Z';
+    write_file(dir + "bad_magic", bad_magic);
   }
 
   std::cout << "seed corpus written under " << root << "\n";

@@ -99,7 +99,7 @@ TEST_F(DirectWriteTest, DirectEmissionRoundTripsBitIdentically) {
   EXPECT_TRUE(verify_index(converted_path_).ok);
   const auto result = verify_index(direct_path_);
   EXPECT_TRUE(result.ok);
-  EXPECT_EQ(result.version, 3u);
+  EXPECT_EQ(result.version, kWvxVersion);
 }
 
 TEST_F(DirectWriteTest, DirectDumpReplaysOnTheFullEngine) {

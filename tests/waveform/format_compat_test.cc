@@ -178,7 +178,9 @@ TEST_F(FormatCompatTest, V3DefaultsToDeltaCodecAndMatchesV2BitForBit) {
   IndexWriterOptions v2;
   v2.version = 2;
   const auto v2_path = convert("v2", v2);
-  const auto v3_path = convert("v3", IndexWriterOptions{});
+  IndexWriterOptions v3;
+  v3.version = 3;
+  const auto v3_path = convert("v3", v3);
 
   IndexedWaveform two(v2_path), three(v3_path);
   EXPECT_EQ(three.version(), 3u);
@@ -195,6 +197,7 @@ TEST_F(FormatCompatTest, V3FixedCodecContainerIsAlsoReadable) {
   write_vcd(synthetic_vcd(4, 40, 0));
   auto trace = trace::parse_vcd_file(vcd_path_);
   IndexWriterOptions options;
+  options.version = 3;
   options.delta_codec = false;
   const auto path = convert("v3fixed", options);
   IndexedWaveform indexed(path);
@@ -331,7 +334,9 @@ TEST_F(FormatCompatTest, AliasHeavyShortNameFilesPassTheFooterSanityCap) {
 
 TEST_F(FormatCompatTest, VerifyReportsVersionAndCodec) {
   write_vcd(synthetic_vcd(2, 20, 2));
-  const auto path = convert("report", IndexWriterOptions{});
+  IndexWriterOptions v3;
+  v3.version = 3;
+  const auto path = convert("report", v3);
   const auto result = verify_index(path);
   ASSERT_TRUE(result.ok);
   EXPECT_EQ(result.version, 3u);
@@ -340,6 +345,147 @@ TEST_F(FormatCompatTest, VerifyReportsVersionAndCodec) {
   const std::string text = describe(result, path);
   EXPECT_NE(text.find("format v3"), std::string::npos);
   EXPECT_NE(text.find("delta codec"), std::string::npos);
+}
+
+TEST_F(FormatCompatTest, V4AutoSelectsRlePerSignalAndKeepsParity) {
+  // A real clock (toggles every step, >= the selection sample), a sparse
+  // 1-bit signal and a bus: v4 must pick rle for the clock only, record
+  // the choice per signal in the footer, and answer every query exactly
+  // like the in-memory trace.
+  std::string vcd =
+      "$scope module top $end\n"
+      "$var wire 1 c clk $end\n"
+      "$var wire 1 s sparse $end\n"
+      "$var wire 8 d bus $end\n"
+      "$upscope $end\n$enddefinitions $end\n";
+  for (int t = 0; t < 200; ++t) {
+    vcd += "#" + std::to_string(t) + "\n";
+    vcd += (t % 2 == 0 ? "1c\n" : "0c\n");
+    if (t % 37 == 0) vcd += (t % 74 == 0 ? "1s\n" : "0s\n");
+    if (t % 5 == 0) vcd += "b" + std::to_string(t % 2) + "01 d\n";
+  }
+  write_vcd(vcd);
+  auto trace = trace::parse_vcd_file(vcd_path_);
+
+  const auto v4_path = convert("v4", IndexWriterOptions{});
+  IndexWriterOptions v3;
+  v3.version = 3;
+  const auto v3_path = convert("v3", v3);
+
+  IndexedWaveform four(v4_path);
+  EXPECT_EQ(four.version(), 4u);
+  EXPECT_STREQ(four.codec_name(), "delta");  // the file default
+  EXPECT_STREQ(four.signal_codec_name(*four.signal_index("top.clk")), "rle");
+  EXPECT_STREQ(four.signal_codec_name(*four.signal_index("top.sparse")),
+               "delta");
+  EXPECT_STREQ(four.signal_codec_name(*four.signal_index("top.bus")), "delta");
+  expect_parity(four, trace);
+
+  // The clock stream collapses to a few bytes per block, so the v4 file
+  // must be smaller than the same dump pinned at v3.
+  EXPECT_LT(file_size(v4_path), file_size(v3_path));
+
+  const auto result = verify_index(v4_path);
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.version, 4u);
+}
+
+TEST_F(FormatCompatTest, V4ShortOneBitStreamsKeepTheFileDefault) {
+  // Below the selection sample (16 changes in the first block) the choice
+  // must fall back to the file default — a 4-entry "clock" is noise.
+  std::string vcd =
+      "$var wire 1 c tick $end\n$enddefinitions $end\n"
+      "#0\n1c\n#1\n0c\n#2\n1c\n#3\n0c\n";
+  write_vcd(vcd);
+  const auto path = convert("short1", IndexWriterOptions{});
+  IndexedWaveform indexed(path);
+  EXPECT_STREQ(indexed.signal_codec_name(0), "delta");
+  EXPECT_TRUE(verify_index(path).ok);
+}
+
+TEST(BlockCodecs, RleRoundTripsClockAndLiteralMixes) {
+  // Pure toggling runs, interrupted by repeats (non-toggles, which must
+  // take the literal escape) and irregular gaps.
+  std::vector<uint64_t> times;
+  std::vector<common::BitVector> values;
+  bool bit = false;
+  uint64_t t = 5;
+  for (int i = 0; i < 64; ++i) {  // regular clock: one run
+    bit = !bit;
+    times.push_back(t += 2);
+    values.push_back(common::BitVector(1, bit ? 1 : 0));
+  }
+  times.push_back(t += 7);  // repeat: literal escape
+  values.push_back(common::BitVector(1, bit ? 1 : 0));
+  for (int i = 0; i < 5; ++i) {  // irregular deltas: short runs
+    bit = !bit;
+    times.push_back(t += 1 + i);
+    values.push_back(common::BitVector(1, bit ? 1 : 0));
+  }
+  std::string encoded;
+  rle_codec().encode(times.data(), values.data(), values.size(), 1, encoded);
+  // The 64-entry clock run costs ~3 bytes; everything must round-trip.
+  EXPECT_LT(encoded.size(), values.size());
+  DecodedBlock decoded;
+  rle_codec().decode(encoded.data(), encoded.size(),
+                     static_cast<uint32_t>(values.size()), 1, decoded);
+  ASSERT_EQ(decoded.size(), values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(decoded[i].first, times[i]) << i;
+    EXPECT_EQ(decoded[i].second, values[i]) << i;
+  }
+}
+
+TEST(BlockCodecs, RleRejectsWideSignalsAndCorruptPayloads) {
+  std::vector<uint64_t> times{1, 2};
+  std::vector<common::BitVector> values{common::BitVector(8, 1),
+                                        common::BitVector(8, 2)};
+  std::string out;
+  EXPECT_THROW(rle_codec().encode(times.data(), values.data(), 2, 8, out),
+               std::invalid_argument);
+  DecodedBlock decoded;
+  EXPECT_THROW(rle_codec().decode("", 0, 1, 8, decoded), WvxError);
+
+  // A valid 1-bit encoding, then mutilations.
+  std::vector<common::BitVector> bits{common::BitVector(1, 1),
+                                      common::BitVector(1, 0),
+                                      common::BitVector(1, 1)};
+  std::string encoded;
+  rle_codec().encode(times.data(), bits.data(), 2, 1, encoded);
+  // Truncation mid-payload.
+  EXPECT_THROW(
+      rle_codec().decode(encoded.data(), encoded.size() - 1, 2, 1, decoded),
+      WvxError);
+  // Trailing garbage.
+  std::string padded = encoded + '\x01';
+  EXPECT_THROW(rle_codec().decode(padded.data(), padded.size(), 2, 1, decoded),
+               WvxError);
+  // A run longer than the block's entry count.
+  std::string overflow;
+  append_varint(overflow, 100);  // run of 100 toggles...
+  append_varint(overflow, 1);
+  EXPECT_THROW(
+      rle_codec().decode(overflow.data(), overflow.size(), 3, 1, decoded),
+      WvxError);  // ...into a 3-entry block
+  // A literal escape whose value byte is not 0/1.
+  std::string literal;
+  append_varint(literal, 0);
+  append_varint(literal, 4);
+  literal += '\x07';
+  EXPECT_THROW(
+      rle_codec().decode(literal.data(), literal.size(), 1, 1, decoded),
+      WvxError);
+}
+
+TEST(BlockCodecs, CodecRegistryMapsIdsBothWays) {
+  EXPECT_EQ(codec_id(fixed_codec()), 0);
+  EXPECT_EQ(codec_id(delta_codec()), 1);
+  EXPECT_EQ(codec_id(rle_codec()), 2);
+  EXPECT_EQ(codec_by_id(0), &fixed_codec());
+  EXPECT_EQ(codec_by_id(1), &delta_codec());
+  EXPECT_EQ(codec_by_id(2), &rle_codec());
+  EXPECT_EQ(codec_by_id(3), nullptr);
+  EXPECT_EQ(codec_by_id(255), nullptr);
 }
 
 TEST(BlockCodecs, VarintRoundTripAndBounds) {
